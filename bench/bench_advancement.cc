@@ -1,0 +1,84 @@
+// Experiment E8 — version-advancement scalability and multi-coordinator
+// behaviour (Section 3.2).
+//
+// (a) Advancement latency and message cost vs. cluster size and one-way
+//     network latency (idle system: pure protocol cost = ~5 message hops).
+// (b) k simultaneous coordinators: all converge to the same (u, q, g);
+//     total message cost scales with k but correctness never depends on
+//     coordinator count.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace ava3;
+
+int main() {
+  bench::Banner("E8: advancement latency, fan-out and multi-coordinator",
+                "Section 3.2",
+                "Any node coordinates; several may at once; all rounds "
+                "advance the system to the same versions.");
+
+  std::printf("\n-- (a) idle-system advancement latency --\n");
+  std::printf("%8s %14s | %14s | %10s\n", "nodes", "one-way (us)",
+              "duration (us)", "messages");
+  for (int nodes : {2, 4, 8, 16, 32}) {
+    for (SimDuration latency : {200, 1000, 5000}) {
+      db::DatabaseOptions o;
+      o.num_nodes = nodes;
+      o.net.base_latency = latency;
+      o.net.jitter = 0;
+      db::Database database(o);
+      const uint64_t msgs_before = database.network().TotalSent();
+      database.ava3_engine()->TriggerAdvancement(0);
+      database.RunFor(60 * latency + kSecond);
+      std::printf("%8d %14lld | %14lld | %10llu\n", nodes,
+                  static_cast<long long>(latency),
+                  static_cast<long long>(
+                      database.metrics().advancement_duration().max()),
+                  static_cast<unsigned long long>(
+                      database.network().TotalSent() - msgs_before));
+      if (database.metrics().advancements() != 1) {
+        std::printf("ADVANCEMENT DID NOT COMPLETE\n");
+        return 1;
+      }
+    }
+  }
+
+  std::printf("\n-- (b) k simultaneous coordinators, 8 nodes --\n");
+  std::printf("%14s | %10s | %12s | %12s | %16s\n", "coordinators",
+              "rounds", "cancelled", "messages", "final (u,q,g)");
+  for (int k : {1, 2, 4, 8}) {
+    db::DatabaseOptions o;
+    o.num_nodes = 8;
+    o.net.jitter = 200;
+    db::Database database(o);
+    auto* eng = database.ava3_engine();
+    for (NodeId n = 0; n < k; ++n) eng->TriggerAdvancement(n);
+    database.RunFor(5 * kSecond);
+    bool consistent = true;
+    for (NodeId n = 1; n < 8; ++n) {
+      consistent &= eng->control(n).u() == eng->control(0).u() &&
+                    eng->control(n).q() == eng->control(0).q() &&
+                    eng->control(n).g() == eng->control(0).g();
+    }
+    std::printf("%14d | %10llu | %12llu | %12llu | (%lld,%lld,%lld) %s\n", k,
+                static_cast<unsigned long long>(
+                    database.metrics().advancements()),
+                static_cast<unsigned long long>(
+                    database.metrics().advancements_cancelled()),
+                static_cast<unsigned long long>(
+                    database.network().TotalSent()),
+                static_cast<long long>(eng->control(0).u()),
+                static_cast<long long>(eng->control(0).q()),
+                static_cast<long long>(eng->control(0).g()),
+                consistent ? "consistent" : "DIVERGED");
+    if (!consistent || eng->control(0).u() != 2) return 1;
+  }
+  std::printf(
+      "\nDuration ~ 5 one-way hops (advance-u, ack, advance-q, ack, gc) and\n"
+      "is independent of node count beyond fan-out; redundant coordinators\n"
+      "are either cancelled or complete the same round — never a second\n"
+      "version step.\n");
+  return 0;
+}

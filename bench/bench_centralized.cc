@@ -1,0 +1,85 @@
+// Experiment E7 — the centralized case (Sections 7 and 9).
+//
+// Claim: centralized AVA3 needs only three versions where [WYC91, MPL92]
+// need four; the four-version schemes buy read freshness (queries always
+// get the latest stable data right after an advancement, because
+// advancement is not gated on query drain). Measured on one node under a
+// mix of short and long ("report") queries.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace ava3;
+
+namespace {
+
+struct Row {
+  int max_versions = 0;
+  uint64_t advancements = 0;
+  double stale_mean_ms = 0;
+  int64_t stale_p99_ms = 0;
+  uint64_t commits = 0;
+  bool verified = false;
+};
+
+Row Run(db::Scheme scheme, SimDuration report_len) {
+  bench::RunConfig cfg;
+  cfg.db.scheme = scheme;
+  cfg.db.num_nodes = 1;
+  cfg.db.seed = 61;
+  cfg.duration = 5 * kSecond;
+  cfg.workload.num_nodes = 1;
+  cfg.workload.items_per_node = 200;
+  cfg.workload.update_rate_per_sec = 400;
+  cfg.workload.query_rate_per_sec = 60;
+  cfg.workload.query_think = report_len;  // every query runs ~report_len
+  cfg.workload.advancement_period = 40 * kMillisecond;
+  bench::RunOutput out = bench::RunWorkload(std::move(cfg));
+  Row row;
+  row.max_versions = out.max_live_versions;
+  row.advancements = out.metrics().advancements();
+  row.stale_mean_ms = out.metrics().staleness().Mean() / 1000.0;
+  row.stale_p99_ms = out.metrics().staleness().Percentile(99) / 1000;
+  row.commits = out.metrics().update_commits();
+  row.verified = out.verified;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "E7: centralized AVA3 (3 versions) vs FOURV (4 versions)",
+      "Sections 7 / 9",
+      "One fewer version at the cost of slightly staler reads while "
+      "queries drain — the tradeoff Section 9 calls 'a small penalty'.");
+  std::printf("\n%-12s %-8s | %12s | %10s | %14s | %12s | %8s\n",
+              "query len", "scheme", "max versions", "rounds",
+              "stale mean(ms)", "stale p99(ms)", "oracle");
+  std::printf("----------------------------------------------------------"
+              "----------------------------\n");
+  for (SimDuration report : {0 * kMillisecond, 30 * kMillisecond,
+                             120 * kMillisecond}) {
+    for (db::Scheme scheme : {db::Scheme::kAva3, db::Scheme::kFourV}) {
+      Row r = Run(scheme, report);
+      std::printf("%8lld ms  %-8s | %12d | %10llu | %14.1f | %12lld | %8s\n",
+                  static_cast<long long>(report / kMillisecond),
+                  db::SchemeName(scheme), r.max_versions,
+                  static_cast<unsigned long long>(r.advancements),
+                  r.stale_mean_ms, static_cast<long long>(r.stale_p99_ms),
+                  r.verified ? "ok" : "FAIL");
+      if ((scheme == db::Scheme::kAva3 && r.max_versions > 3) ||
+          (scheme == db::Scheme::kFourV && r.max_versions > 4)) {
+        std::printf("VERSION BOUND VIOLATED\n");
+        return 1;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "With long report queries, AVA3's next advancement waits for the\n"
+      "drain (fewer rounds, staler reads) while FOURV keeps advancing on a\n"
+      "fourth version — the exact 3-vs-4 tradeoff of the paper.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Experiment E2 — Figure 1 of the paper (Section 8, "Time diagram of
+// version advancement").
+//
+// Constructs the figure's situation: when advancement starts, a long update
+// transaction runs in the old update version and a long query reads the old
+// query version. Measured: Phase 1 lasts until the longest old-version
+// update finishes; Phase 2 until the longest old-version query finishes;
+// with the Section-8 eager-handoff optimization, Phase 1 collapses to the
+// time of the transaction's moveToFuture.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace ava3;
+using txn::Op;
+
+namespace {
+
+struct Timeline {
+  SimTime advancement_start = 0;
+  SimDuration phase1 = 0;
+  SimDuration phase2 = 0;
+  SimDuration update_runtime = 0;  // longest old-version update
+  SimDuration query_runtime = 0;   // longest old-version query
+};
+
+Timeline Run(SimDuration update_len, SimDuration query_len, bool eager) {
+  db::DatabaseOptions o;
+  o.num_nodes = 3;
+  o.net.jitter = 0;
+  o.ava3.eager_counter_handoff = eager;
+  db::Database database(o);
+  auto* eng = database.ava3_engine();
+  database.engine().LoadInitial(0, 1, 0);
+  database.engine().LoadInitial(0, 2, 0);
+
+  Timeline tl;
+  db::TxnResult upd, qry;
+  // Longest update transaction in the old version. Under eager handoff it
+  // must execute a moveToFuture to be released from Phase 1's wait; give it
+  // a conflicting item (2) that a new-version transaction commits early.
+  database.engine().Submit(
+      database.NextTxnId(),
+      txn::SingleNodeUpdate(0, {Op::Add(1, 1), Op::Think(3 * kMillisecond),
+                                Op::Add(2, 1),
+                                Op::Think(update_len - 3 * kMillisecond)}),
+      [&upd](const db::TxnResult& r) { upd = r; });
+  // Longest query in the old query version.
+  database.engine().Submit(
+      database.NextTxnId(),
+      txn::TxnScript{TxnKind::kQuery,
+                     {txn::SubtxnSpec{
+                         0, -1, {Op::Think(query_len), Op::Read(1)}}}},
+      [&qry](const db::TxnResult& r) { qry = r; });
+  database.RunFor(kMillisecond);
+  tl.advancement_start = database.simulator().Now();
+  eng->TriggerAdvancement(1);
+  // A version-(v+2) transaction updates item 2, so the long transaction
+  // moves when it touches it at ~3 ms.
+  database.simulator().After(kMillisecond, [&database]() {
+    database.engine().Submit(database.NextTxnId(),
+                             txn::SingleNodeUpdate(0, {Op::Add(2, 100)}),
+                             [](const db::TxnResult&) {});
+  });
+  database.RunFor(update_len + query_len + 5 * kSecond);
+  tl.phase1 = database.metrics().phase1_duration().max();
+  tl.phase2 = database.metrics().phase2_duration().max();
+  tl.update_runtime = upd.finish_time - upd.submit_time;
+  tl.query_runtime = qry.finish_time - qry.submit_time;
+  return tl;
+}
+
+void PrintBar(const char* label, SimTime start, SimDuration len,
+              SimDuration scale) {
+  std::printf("%-26s ", label);
+  const int offset = static_cast<int>(start / scale);
+  const int width = static_cast<int>(len / scale);
+  for (int i = 0; i < offset; ++i) std::printf(" ");
+  std::printf("|");
+  for (int i = 0; i < width; ++i) std::printf("=");
+  std::printf("|  %.1f ms\n", static_cast<double>(len) / kMillisecond);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "E2: version-advancement time diagram", "Figure 1, Section 8",
+      "Phase 1 ends with the longest update transaction of the old version; "
+      "Phase 2 ends with the longest query; eager handoff collapses "
+      "Phase 1.");
+
+  const SimDuration update_len = 20 * kMillisecond;
+  const SimDuration query_len = 35 * kMillisecond;
+
+  for (bool eager : {false, true}) {
+    Timeline tl = Run(update_len, query_len, eager);
+    std::printf("\n-- %s --\n",
+                eager ? "with Section-8 eager counter handoff"
+                      : "base protocol");
+    const SimDuration scale = kMillisecond;  // 1 char per ms
+    PrintBar("longest update txn (v+1)", 0, tl.update_runtime, scale);
+    PrintBar("longest query (v)", 0, tl.query_runtime, scale);
+    PrintBar("phase 1 (advance u)", tl.advancement_start, tl.phase1, scale);
+    PrintBar("phase 2 (advance q)", tl.advancement_start + tl.phase1,
+             tl.phase2, scale);
+    std::printf("phase1=%.1f ms phase2=%.1f ms (advancement ends at %.1f "
+                "ms)\n",
+                static_cast<double>(tl.phase1) / kMillisecond,
+                static_cast<double>(tl.phase2) / kMillisecond,
+                static_cast<double>(tl.advancement_start + tl.phase1 +
+                                    tl.phase2) /
+                    kMillisecond);
+    if (!eager) {
+      std::printf("expected: phase1 ~ update runtime (%.0f ms), phase1+2 ~ "
+                  "query runtime (%.0f ms): %s\n",
+                  static_cast<double>(update_len) / kMillisecond,
+                  static_cast<double>(query_len) / kMillisecond,
+                  bench::Check(tl.phase1 >= update_len - 2 * kMillisecond &&
+                               tl.phase1 + tl.phase2 >=
+                                   query_len - 5 * kMillisecond));
+    } else {
+      std::printf("expected: phase1 collapses to the moveToFuture (~3 ms): "
+                  "%s\n",
+                  bench::Check(tl.phase1 < 6 * kMillisecond));
+    }
+  }
+  return 0;
+}

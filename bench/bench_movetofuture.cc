@@ -1,0 +1,93 @@
+// Experiment E6 — moveToFuture frequency and cost; SYNC-AVA ablation
+// (Sections 3.4, 4; the [MPL92] comparison of Section 1).
+//
+// (a) How often transactions move, and what a move costs, under both
+//     recovery schemes, as advancement frequency rises.
+// (b) The ablation: with moveToFuture disabled (SYNC-AVA), every mismatch
+//     becomes an abort+retry — the distributed interference AVA3 removes.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace ava3;
+
+namespace {
+
+bench::RunConfig BaseConfig(SimDuration period) {
+  bench::RunConfig cfg;
+  cfg.db.num_nodes = 3;
+  cfg.db.seed = 17;
+  cfg.workload.num_nodes = 3;
+  cfg.workload.items_per_node = 25;  // hot: mismatches actually happen
+  cfg.workload.zipf_theta = 0.9;
+  cfg.workload.update_rate_per_sec = 400;
+  cfg.workload.query_rate_per_sec = 40;
+  cfg.workload.update_multinode_prob = 0.5;
+  cfg.workload.update_think = 4 * kMillisecond;
+  cfg.workload.advancement_period = period;
+  cfg.workload.rotate_coordinator = true;
+  cfg.duration = 3 * kSecond;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E6: moveToFuture frequency/cost + SYNC-AVA ablation",
+                "Sections 3.4 / 4; [MPL92] comparison",
+                "moveToFuture resolves version mismatches without aborting; "
+                "its cost is ~0 under no-undo and a log-tail scan in-place.");
+
+  std::printf("\n-- (a) moves per advancement cadence (both recovery "
+              "schemes) --\n");
+  std::printf("%12s | %-9s | %10s | %12s | %16s | %8s\n", "period (ms)",
+              "recovery", "commits", "moves", "log recs/move", "oracle");
+  for (SimDuration period :
+       {400 * kMillisecond, 100 * kMillisecond, 25 * kMillisecond}) {
+    for (auto rec :
+         {wal::RecoveryScheme::kNoUndo, wal::RecoveryScheme::kInPlace}) {
+      bench::RunConfig cfg = BaseConfig(period);
+      cfg.db.ava3.recovery = rec;
+      bench::RunOutput out = bench::RunWorkload(std::move(cfg));
+      const uint64_t moves = out.metrics().mtf_count();
+      std::printf("%12lld | %-9s | %10llu | %12llu | %16.2f | %8s\n",
+                  static_cast<long long>(period / kMillisecond),
+                  wal::RecoverySchemeName(rec),
+                  static_cast<unsigned long long>(
+                      out.metrics().update_commits()),
+                  static_cast<unsigned long long>(moves),
+                  moves == 0 ? 0.0
+                             : static_cast<double>(
+                                   out.metrics().mtf_records_scanned()) /
+                                   static_cast<double>(moves),
+                  out.verified ? "ok" : "FAIL");
+    }
+  }
+
+  std::printf("\n-- (b) ablation: moveToFuture vs. abort-and-restart --\n");
+  std::printf("%12s | %-10s | %10s | %10s | %12s | %12s\n", "period (ms)",
+              "mode", "commits", "moves", "sync aborts", "retries");
+  for (SimDuration period : {100 * kMillisecond, 25 * kMillisecond}) {
+    for (bool sync : {false, true}) {
+      bench::RunConfig cfg = BaseConfig(period);
+      cfg.db.ava3.disable_move_to_future = sync;
+      bench::RunOutput out = bench::RunWorkload(std::move(cfg));
+      std::printf("%12lld | %-10s | %10llu | %10llu | %12llu | %12llu\n",
+                  static_cast<long long>(period / kMillisecond),
+                  sync ? "sync-ava" : "ava3",
+                  static_cast<unsigned long long>(
+                      out.metrics().update_commits()),
+                  static_cast<unsigned long long>(out.metrics().mtf_count()),
+                  static_cast<unsigned long long>(
+                      out.metrics().sync_mismatch_aborts()),
+                  static_cast<unsigned long long>(out.runner.retries));
+    }
+  }
+  std::printf(
+      "\nEvery sync-ava abort corresponds to user work AVA3 would have\n"
+      "saved with a moveToFuture; the gap widens as advancement gets more\n"
+      "frequent — the paper's argument against [MPL92]'s distributed "
+      "variant.\n");
+  return 0;
+}

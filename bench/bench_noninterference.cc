@@ -1,0 +1,86 @@
+// Experiment E4 — non-interference (Sections 1, 6.3, 9; Theorem 6.3).
+//
+// Sweep the query scan length while a fixed update stream runs. Under AVA3
+// query latency equals pure scan time and update latency is flat; under
+// S2PL-R both collide; MVU stays non-interfering but pays version chains.
+
+#include <cstdio>
+
+#include "baselines/mvu_engine.h"
+#include "bench/bench_util.h"
+
+using namespace ava3;
+
+namespace {
+
+struct Row {
+  int64_t query_p50 = 0;
+  int64_t query_p99 = 0;
+  int64_t update_p99 = 0;
+  uint64_t committed_updates = 0;
+  uint64_t aborts = 0;
+  bool verified = true;
+};
+
+Row Run(db::Scheme scheme, int query_ops, SimDuration per_op_think) {
+  bench::RunConfig cfg;
+  cfg.db.scheme = scheme;
+  cfg.db.num_nodes = 3;
+  cfg.db.seed = 41;
+  cfg.duration = 3 * kSecond;
+  cfg.workload.num_nodes = 3;
+  cfg.workload.items_per_node = 80;
+  cfg.workload.zipf_theta = 0.7;
+  cfg.workload.update_rate_per_sec = 400;
+  cfg.workload.query_rate_per_sec = 40;
+  cfg.workload.query_ops_min = query_ops;
+  cfg.workload.query_ops_max = query_ops;
+  cfg.workload.query_per_op_think = per_op_think;  // paced scan
+  cfg.workload.advancement_period =
+      scheme == db::Scheme::kAva3 ? 150 * kMillisecond : 0;
+  bench::RunOutput out = bench::RunWorkload(std::move(cfg));
+  Row row;
+  row.query_p50 = out.metrics().query_latency().Percentile(50);
+  row.query_p99 = out.metrics().query_latency().Percentile(99);
+  row.update_p99 = out.metrics().update_latency().Percentile(99);
+  row.committed_updates = out.runner.committed_updates;
+  row.aborts = out.metrics().aborts();
+  row.verified = out.verified;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "E4: query/update interference vs. query length",
+      "Sections 1 / 6.3 / 9 (Theorem 6.3)",
+      "AVA3: query latency = scan time, update latency flat, zero aborts "
+      "from reads. S2PL-R: queries and updates collide.");
+  std::printf("\n%-6s %-10s | %12s %12s | %12s %10s %8s %6s\n", "scheme",
+              "query len", "query p50", "query p99", "update p99",
+              "upd commits", "aborts", "oracle");
+  std::printf("---------------------------------------------------------"
+              "---------------------------------\n");
+  for (int query_ops : {4, 16, 64}) {
+    for (db::Scheme scheme :
+         {db::Scheme::kAva3, db::Scheme::kS2pl, db::Scheme::kMvu}) {
+      Row r = Run(scheme, query_ops, 500);
+      std::printf("%-6s %7d ops | %10lld us %10lld us | %10lld us %10llu "
+                  "%8llu %6s\n",
+                  db::SchemeName(scheme), query_ops,
+                  static_cast<long long>(r.query_p50),
+                  static_cast<long long>(r.query_p99),
+                  static_cast<long long>(r.update_p99),
+                  static_cast<unsigned long long>(r.committed_updates),
+                  static_cast<unsigned long long>(r.aborts),
+                  r.verified ? "ok" : "FAIL");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape to check against the paper: as queries grow, s2pl update p99\n"
+      "and abort counts explode while ava3's stay flat; ava3 query latency\n"
+      "is pure scan time at every update rate (non-interference).\n");
+  return 0;
+}

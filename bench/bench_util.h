@@ -1,0 +1,75 @@
+#ifndef AVA3_BENCH_BENCH_UTIL_H_
+#define AVA3_BENCH_BENCH_UTIL_H_
+
+// Shared harness for the experiment binaries (one per table/figure/claim;
+// see DESIGN.md's experiment index). Each binary prints the rows/series the
+// corresponding experiment reports; EXPERIMENTS.md records the outputs.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "engine/database.h"
+#include "verify/serializability.h"
+#include "workload/runner.h"
+
+namespace ava3::bench {
+
+/// One workload run and everything the experiment tables read off it.
+struct RunConfig {
+  db::DatabaseOptions db;
+  wl::WorkloadSpec workload;
+  SimDuration duration = 5 * kSecond;
+  SimDuration drain = 60 * kSecond;
+  bool verify = true;  // run the serializability oracle afterwards
+};
+
+struct RunOutput {
+  std::unique_ptr<db::Database> database;
+  wl::RunnerStats runner;
+  bool verified = false;
+  Status verify_status;
+  int max_live_versions = 0;
+
+  db::Metrics& metrics() { return database->metrics(); }
+};
+
+inline RunOutput RunWorkload(RunConfig cfg) {
+  RunOutput out;
+  out.database = std::make_unique<db::Database>(cfg.db);
+  wl::WorkloadRunner runner(&out.database->simulator(),
+                            &out.database->engine(), cfg.workload,
+                            cfg.db.seed);
+  const auto& initial = runner.SeedData();
+  runner.Start(cfg.duration);
+  out.database->RunFor(cfg.duration);
+  out.database->RunFor(cfg.drain);
+  out.runner = runner.stats();
+  if (cfg.verify) {
+    verify::SerializabilityChecker checker(initial);
+    out.verify_status = checker.Check(out.database->recorder().txns());
+    out.verified = out.verify_status.ok();
+  }
+  if (auto* base = dynamic_cast<db::EngineBase*>(&out.database->engine())) {
+    for (int n = 0; n < cfg.db.num_nodes; ++n) {
+      out.max_live_versions = std::max(
+          out.max_live_versions, base->store(n).MaxLiveVersionsObserved());
+    }
+  }
+  return out;
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* experiment, const char* paper_ref,
+                   const char* claim) {
+  std::printf("==================================================================\n");
+  std::printf("%s  (%s)\n", experiment, paper_ref);
+  std::printf("%s\n", claim);
+  std::printf("==================================================================\n");
+}
+
+inline const char* Check(bool ok) { return ok ? "ok" : "VIOLATED"; }
+
+}  // namespace ava3::bench
+
+#endif  // AVA3_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,101 @@
+// Experiment E3 — the version-count bound (Sections 1.2, 6.2, 9).
+//
+// Claim: AVA3 keeps at most 3 versions of any item (2 outside advancement)
+// regardless of query length; unbounded-multiversioning schemes grow
+// version chains with the length of the longest concurrent query; FOURV
+// needs 4. Sweep the pinned-query duration and report the max live
+// versions per item and the read-path chain scans.
+
+#include <cstdio>
+
+#include "baselines/mvu_engine.h"
+#include "bench/bench_util.h"
+
+using namespace ava3;
+using txn::Op;
+
+namespace {
+
+struct Row {
+  int max_versions = 0;
+  double mean_chain = 1.0;
+  uint64_t commits = 0;
+};
+
+Row Run(db::Scheme scheme, SimDuration pin_len) {
+  db::DatabaseOptions o;
+  o.num_nodes = 1;
+  o.scheme = scheme;
+  o.seed = 3;
+  db::Database database(o);
+  for (ItemId i = 0; i < 50; ++i) database.engine().LoadInitial(0, i, 0);
+  // The pinned decision-support query.
+  db::TxnResult pin;
+  database.engine().Submit(
+      database.NextTxnId(),
+      txn::TxnScript{TxnKind::kQuery,
+                     {txn::SubtxnSpec{0, -1, {Op::Think(pin_len),
+                                              Op::Read(0), Op::Read(1)}}}},
+      [&pin](const db::TxnResult& r) { pin = r; });
+  // Update stream over the same items + periodic advancement.
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 1;
+  spec.items_per_node = 50;
+  spec.zipf_theta = 0.8;
+  spec.update_rate_per_sec = 500;
+  spec.query_rate_per_sec = 20;
+  spec.advancement_period =
+      (scheme == db::Scheme::kAva3 || scheme == db::Scheme::kFourV)
+          ? 100 * kMillisecond
+          : 0;
+  wl::WorkloadRunner runner(&database.simulator(), &database.engine(), spec,
+                            3);
+  runner.Start(pin_len + kSecond);
+  database.RunFor(pin_len + kSecond);
+  database.RunFor(30 * kSecond);
+  Row row;
+  row.max_versions = database.ava3_engine() != nullptr
+                         ? database.ava3_engine()->store(0)
+                               .MaxLiveVersionsObserved()
+                         : 0;
+  if (auto* mvu = dynamic_cast<baselines::MvuEngine*>(&database.engine())) {
+    row.max_versions = mvu->store(0).MaxLiveVersionsObserved();
+    row.mean_chain = mvu->MaxChainScan();  // what the pinned snapshot pays
+  }
+  row.commits = runner.stats().committed_updates;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "E3: versions per item vs. longest-query duration",
+      "Sections 1.2 / 6.2 / 9",
+      "AVA3 <= 3 versions always; MVU grows without bound under a pinned "
+      "query; FOURV <= 4.");
+  std::printf("\n%-14s | %-22s | %-22s | %-26s\n", "pinned query",
+              "ava3 max-versions", "fourv max-versions",
+              "mvu max-versions (max scan)");
+  std::printf("---------------+------------------------+------------------"
+              "------+------------------------\n");
+  for (SimDuration pin : {100 * kMillisecond, 400 * kMillisecond,
+                          1600 * kMillisecond, 6400 * kMillisecond}) {
+    Row ava3_row = Run(db::Scheme::kAva3, pin);
+    Row fourv_row = Run(db::Scheme::kFourV, pin);
+    Row mvu_row = Run(db::Scheme::kMvu, pin);
+    std::printf("%10lld ms | %22d | %22d | %16d (%5.0f)\n",
+                static_cast<long long>(pin / kMillisecond),
+                ava3_row.max_versions, fourv_row.max_versions,
+                mvu_row.max_versions, mvu_row.mean_chain);
+    if (ava3_row.max_versions > 3 || fourv_row.max_versions > 4) {
+      std::printf("BOUND VIOLATED\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nAVA3's bound is flat at 3 and FOURV's at 4 no matter how long the\n"
+      "query runs; MVU's chains (and per-read scan cost) track the number\n"
+      "of commits the pinned snapshot outlives — the paper's core claim.\n");
+  return 0;
+}

@@ -1,0 +1,243 @@
+// ava3_sim: a command-line driver for the simulated distributed database.
+//
+// Runs a configurable workload under any of the four concurrency-control
+// schemes and prints a full metrics report, with optional serializability
+// verification and protocol tracing.
+//
+// Examples:
+//   ./build/examples/ava3_sim --scheme=ava3 --nodes=4 --seconds=5
+//   ./build/examples/ava3_sim --scheme=s2pl --update-rate=800 --zipf=0.9
+//   ./build/examples/ava3_sim --scheme=ava3 --advance-ms=50 --verify
+//   ./build/examples/ava3_sim --help
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine/database.h"
+#include "verify/serializability.h"
+#include "workload/runner.h"
+
+using namespace ava3;
+
+namespace {
+
+struct Flags {
+  std::string scheme = "ava3";
+  int nodes = 3;
+  int64_t items = 500;
+  double zipf = 0.5;
+  double update_rate = 400;
+  double query_rate = 100;
+  double delete_fraction = 0.0;
+  double scan_fraction = 0.2;
+  int seconds = 5;
+  int64_t advance_ms = 250;
+  uint64_t seed = 42;
+  bool in_place = false;
+  bool eager = false;
+  bool continuous = false;
+  bool verify = false;
+  bool trace = false;
+  bool help = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  if (arg[n] == '\0') {
+    *value = nullptr;  // boolean form
+    return true;
+  }
+  return false;
+}
+
+void Usage() {
+  std::printf(
+      "ava3_sim — drive the simulated distributed three-version database\n\n"
+      "  --scheme=ava3|s2pl|mvu|fourv   concurrency control (default ava3)\n"
+      "  --nodes=N                      sites (default 3; fourv needs 1)\n"
+      "  --items=N                      items per node (default 500)\n"
+      "  --zipf=T                       access skew 0..0.99 (default 0.5)\n"
+      "  --update-rate=R --query-rate=R arrivals per second\n"
+      "  --delete-fraction=F            fraction of writes that delete\n"
+      "  --scan-fraction=F              fraction of query ops that scan\n"
+      "  --seconds=S                    workload duration (default 5)\n"
+      "  --advance-ms=MS                advancement period, 0=off\n"
+      "  --seed=N                       deterministic seed (default 42)\n"
+      "  --in-place                     in-place recovery (moveToFuture "
+      "scans the log)\n"
+      "  --eager                        Section-8 eager counter handoff\n"
+      "  --continuous                   Section-8 continuous advancement\n"
+      "  --verify                       run the serializability oracle\n"
+      "  --trace                        print the protocol trace\n");
+}
+
+Flags Parse(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--scheme", &v) && v) {
+      f.scheme = v;
+    } else if (ParseFlag(argv[i], "--nodes", &v) && v) {
+      f.nodes = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--items", &v) && v) {
+      f.items = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--zipf", &v) && v) {
+      f.zipf = std::atof(v);
+    } else if (ParseFlag(argv[i], "--update-rate", &v) && v) {
+      f.update_rate = std::atof(v);
+    } else if (ParseFlag(argv[i], "--query-rate", &v) && v) {
+      f.query_rate = std::atof(v);
+    } else if (ParseFlag(argv[i], "--delete-fraction", &v) && v) {
+      f.delete_fraction = std::atof(v);
+    } else if (ParseFlag(argv[i], "--scan-fraction", &v) && v) {
+      f.scan_fraction = std::atof(v);
+    } else if (ParseFlag(argv[i], "--seconds", &v) && v) {
+      f.seconds = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--advance-ms", &v) && v) {
+      f.advance_ms = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--seed", &v) && v) {
+      f.seed = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--in-place", &v)) {
+      f.in_place = true;
+    } else if (ParseFlag(argv[i], "--eager", &v)) {
+      f.eager = true;
+    } else if (ParseFlag(argv[i], "--continuous", &v)) {
+      f.continuous = true;
+    } else if (ParseFlag(argv[i], "--verify", &v)) {
+      f.verify = true;
+    } else if (ParseFlag(argv[i], "--trace", &v)) {
+      f.trace = true;
+    } else if (ParseFlag(argv[i], "--help", &v)) {
+      f.help = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      f.help = true;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags f = Parse(argc, argv);
+  if (f.help) {
+    Usage();
+    return 1;
+  }
+
+  db::DatabaseOptions options;
+  options.num_nodes = f.nodes;
+  options.seed = f.seed;
+  options.enable_trace = f.trace;
+  options.ava3.recovery = f.in_place ? wal::RecoveryScheme::kInPlace
+                                     : wal::RecoveryScheme::kNoUndo;
+  options.ava3.eager_counter_handoff = f.eager;
+  options.ava3.continuous_advancement = f.continuous;
+  if (f.scheme == "ava3") {
+    options.scheme = db::Scheme::kAva3;
+  } else if (f.scheme == "s2pl") {
+    options.scheme = db::Scheme::kS2pl;
+  } else if (f.scheme == "mvu") {
+    options.scheme = db::Scheme::kMvu;
+  } else if (f.scheme == "fourv") {
+    options.scheme = db::Scheme::kFourV;
+    if (f.nodes != 1) {
+      std::fprintf(stderr, "fourv models a centralized scheme: --nodes=1\n");
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "unknown scheme %s\n", f.scheme.c_str());
+    return 1;
+  }
+
+  db::Database database(options);
+  if (f.trace) {
+    database.trace().SetListener([](const TraceEvent& ev) {
+      std::printf("%10lld n%d  %s\n", static_cast<long long>(ev.time),
+                  ev.node, ev.what.c_str());
+    });
+  }
+
+  wl::WorkloadSpec spec;
+  spec.num_nodes = f.nodes;
+  spec.items_per_node = f.items;
+  spec.zipf_theta = f.zipf;
+  spec.update_rate_per_sec = f.update_rate;
+  spec.query_rate_per_sec = f.query_rate;
+  spec.update_delete_fraction = f.delete_fraction;
+  spec.query_scan_fraction = f.scan_fraction;
+  spec.advancement_period = f.advance_ms * kMillisecond;
+  spec.rotate_coordinator = true;
+
+  wl::WorkloadRunner runner(&database.simulator(), &database.engine(), spec,
+                            f.seed);
+  const auto& initial = runner.SeedData();
+  std::printf("scheme=%s nodes=%d items/node=%lld zipf=%.2f seed=%llu\n",
+              database.engine().name(), f.nodes,
+              static_cast<long long>(f.items), f.zipf,
+              static_cast<unsigned long long>(f.seed));
+  runner.Start(f.seconds * kSecond);
+  database.RunFor(f.seconds * kSecond);
+  database.RunFor(60 * kSecond);
+
+  const auto& m = database.metrics();
+  const auto& s = runner.stats();
+  std::printf("\n-- results (%d simulated seconds) --\n", f.seconds);
+  std::printf("updates committed  : %llu (%.0f/s), retries %llu, gave up "
+              "%llu\n",
+              static_cast<unsigned long long>(s.committed_updates),
+              static_cast<double>(s.committed_updates) / f.seconds,
+              static_cast<unsigned long long>(s.retries),
+              static_cast<unsigned long long>(s.gave_up));
+  std::printf("queries committed  : %llu (%.0f/s)\n",
+              static_cast<unsigned long long>(s.committed_queries),
+              static_cast<double>(s.committed_queries) / f.seconds);
+  std::printf("update latency us  : %s\n", m.update_latency().Summary().c_str());
+  std::printf("query latency us   : %s\n", m.query_latency().Summary().c_str());
+  std::printf("aborts             : %llu (deadlock %llu, sync %llu)\n",
+              static_cast<unsigned long long>(m.aborts()),
+              static_cast<unsigned long long>(m.deadlock_aborts()),
+              static_cast<unsigned long long>(m.sync_mismatch_aborts()));
+  if (options.scheme == db::Scheme::kAva3 ||
+      options.scheme == db::Scheme::kFourV) {
+    std::printf("advancements       : %llu completed, %llu cancelled\n",
+                static_cast<unsigned long long>(m.advancements()),
+                static_cast<unsigned long long>(m.advancements_cancelled()));
+    std::printf("moveToFutures      : %llu (%llu log records scanned)\n",
+                static_cast<unsigned long long>(m.mtf_count()),
+                static_cast<unsigned long long>(m.mtf_records_scanned()));
+    std::printf("snapshot staleness : %s\n", m.staleness().Summary().c_str());
+    auto* eng = database.ava3_engine();
+    int max_versions = 0;
+    for (int n = 0; n < f.nodes; ++n) {
+      max_versions =
+          std::max(max_versions, eng->store(n).MaxLiveVersionsObserved());
+    }
+    std::printf("max live versions  : %d\n", max_versions);
+    std::printf("latch ops          : %llu\n",
+                static_cast<unsigned long long>(eng->TotalLatchOps()));
+  }
+  std::printf("network            : %s\n",
+              database.network().StatsSummary().c_str());
+
+  if (f.verify) {
+    verify::SerializabilityChecker checker(initial);
+    Status ok = checker.Check(database.recorder().txns());
+    std::printf("\nserializability oracle: %s\n", ok.ToString().c_str());
+    if (auto* eng = database.ava3_engine()) {
+      Status inv = eng->CheckInvariants();
+      std::printf("section 6.2 invariants: %s\n", inv.ToString().c_str());
+      if (!inv.ok()) return 1;
+    }
+    if (!ok.ok()) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Credit-card audit: a long-running decision-support scan concurrent with
+// OLTP traffic — the workload that motivates the paper's non-interference
+// requirement. The same scenario runs under AVA3 and under the read-locking
+// S2PL baseline; compare what the audit does to update throughput.
+//
+// Run: ./build/examples/credit_audit
+
+#include <cstdio>
+#include <vector>
+
+#include "engine/database.h"
+#include "workload/runner.h"
+
+using namespace ava3;
+using txn::Op;
+
+namespace {
+
+struct Outcome {
+  uint64_t committed_updates = 0;
+  int64_t update_p99 = 0;
+  bool audit_done = false;
+  int64_t audit_sum = 0;
+};
+
+Outcome Run(db::Scheme scheme) {
+  db::DatabaseOptions options;
+  options.num_nodes = 2;
+  options.scheme = scheme;
+  options.seed = 7;
+  db::Database database(options);
+
+  constexpr int64_t kAccounts = 200;
+  for (ItemId a = 0; a < kAccounts; ++a) {
+    database.engine().LoadInitial(0, a, 100);
+  }
+
+  // The audit: one read-only transaction scanning every account at node 0,
+  // paced like a real report generator (~0.5 ms per account).
+  std::vector<Op> audit_ops;
+  for (ItemId a = 0; a < kAccounts; ++a) {
+    audit_ops.push_back(Op::Read(a));
+    audit_ops.push_back(Op::Think(500));
+  }
+  db::TxnResult audit;
+  database.engine().Submit(
+      database.NextTxnId(),
+      txn::TxnScript{TxnKind::kQuery,
+                     {txn::SubtxnSpec{0, -1, std::move(audit_ops)}}},
+      [&audit](const db::TxnResult& r) { audit = r; });
+
+  // OLTP: card transactions against the same accounts.
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 2;
+  spec.items_per_node = kAccounts;  // node 0's range collides with the audit
+  spec.zipf_theta = 0.6;
+  spec.update_rate_per_sec = 500;
+  spec.query_rate_per_sec = 0;
+  spec.advancement_period =
+      scheme == db::Scheme::kAva3 ? 100 * kMillisecond : 0;
+  wl::WorkloadRunner runner(&database.simulator(), &database.engine(), spec,
+                            7);
+  runner.Start(2 * kSecond);
+  database.RunFor(2 * kSecond);
+  database.RunFor(60 * kSecond);
+
+  Outcome out;
+  out.committed_updates = runner.stats().committed_updates;
+  out.update_p99 = database.metrics().update_latency().Percentile(99);
+  out.audit_done = audit.outcome == TxnOutcome::kCommitted;
+  for (const auto& r : audit.reads) out.audit_sum += r.value;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A 100 ms-per-account audit scans 200 accounts while card\n"
+              "transactions hammer the same accounts for 2 simulated "
+              "seconds.\n\n");
+  std::printf("%-8s %18s %16s %12s %14s\n", "scheme", "updates committed",
+              "update p99 (us)", "audit done", "audit total");
+  for (db::Scheme scheme : {db::Scheme::kAva3, db::Scheme::kS2pl}) {
+    Outcome o = Run(scheme);
+    std::printf("%-8s %18llu %16lld %12s %14lld\n", db::SchemeName(scheme),
+                static_cast<unsigned long long>(o.committed_updates),
+                static_cast<long long>(o.update_p99),
+                o.audit_done ? "yes" : "no",
+                static_cast<long long>(o.audit_sum));
+  }
+  std::printf(
+      "\nUnder AVA3 the audit reads a consistent version-0 snapshot (total"
+      "\n= 200 x 100) without ever blocking an update. Under S2PL-R the"
+      "\naudit's shared locks stall conflicting updates behind a scan that"
+      "\nholds each lock to completion — tail latency explodes, and the"
+      "\naudit itself reads a smeared, non-snapshot total.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: a single-node (centralized, paper Section 7) AVA3 database.
+//
+// Shows the core lifecycle: load data, run update transactions and
+// lock-free queries, observe that queries read the stable snapshot, advance
+// versions asynchronously, and watch the fresher snapshot appear.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "engine/database.h"
+
+using namespace ava3;            // examples favor brevity
+using txn::Op;
+
+int main() {
+  // A 1-node AVA3 database. All defaults: no-undo recovery, 0.5 ms network
+  // hops (loopback here), deterministic seed.
+  db::DatabaseOptions options;
+  options.num_nodes = 1;
+  db::Database database(options);
+  auto& engine = database.engine();
+  auto* ava3 = database.ava3_engine();
+
+  // Load three accounts at version 0 (the paper's start-up state).
+  engine.LoadInitial(0, /*item=*/1, /*value=*/1000);
+  engine.LoadInitial(0, 2, 2000);
+  engine.LoadInitial(0, 3, 3000);
+
+  std::printf("== initial control state: q=%lld u=%lld g=%lld\n",
+              static_cast<long long>(ava3->control(0).q()),
+              static_cast<long long>(ava3->control(0).u()),
+              static_cast<long long>(ava3->control(0).g()));
+
+  // An update transaction: transfer 250 from account 1 to account 2.
+  auto transfer = database.RunToCompletion(txn::SingleNodeUpdate(
+      0, {Op::Add(1, -250), Op::Add(2, +250)}));
+  std::printf("transfer committed in version %lld\n",
+              static_cast<long long>(transfer.commit_version));
+
+  // A read-only query. It takes NO locks and reads the stable snapshot
+  // (version 0): the transfer is not visible yet.
+  auto audit = database.RunToCompletion(txn::SingleNodeQuery(0, {1, 2, 3}));
+  std::printf("query before advancement (V=%lld): a1=%lld a2=%lld a3=%lld\n",
+              static_cast<long long>(audit.commit_version),
+              static_cast<long long>(audit.reads[0].value),
+              static_cast<long long>(audit.reads[1].value),
+              static_cast<long long>(audit.reads[2].value));
+
+  // Advance versions. This runs fully asynchronously with user
+  // transactions; here the system is idle so it finishes immediately.
+  engine.TriggerAdvancement(0);
+  database.RunFor(kSecond);
+
+  auto fresh = database.RunToCompletion(txn::SingleNodeQuery(0, {1, 2, 3}));
+  std::printf("query after advancement  (V=%lld): a1=%lld a2=%lld a3=%lld\n",
+              static_cast<long long>(fresh.commit_version),
+              static_cast<long long>(fresh.reads[0].value),
+              static_cast<long long>(fresh.reads[1].value),
+              static_cast<long long>(fresh.reads[2].value));
+
+  std::printf("== final control state: q=%lld u=%lld g=%lld, "
+              "advancements=%llu, max live versions=%d (bound: 3)\n",
+              static_cast<long long>(ava3->control(0).q()),
+              static_cast<long long>(ava3->control(0).u()),
+              static_cast<long long>(ava3->control(0).g()),
+              static_cast<unsigned long long>(database.metrics().advancements()),
+              ava3->store(0).MaxLiveVersionsObserved());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Staleness tuning: Section 8 of the paper. Queries in AVA3 read a stale
+// snapshot; the advancement cadence is the tuning knob. This example sweeps
+// the advancement period and prints the staleness a query experiences,
+// ending with the continuous-advancement + eager-handoff configuration
+// whose bound is "the age of the longest query running when Q started".
+//
+// Run: ./build/examples/staleness_tuning
+
+#include <cstdio>
+
+#include "engine/database.h"
+#include "workload/runner.h"
+
+using namespace ava3;
+
+namespace {
+
+struct Row {
+  const char* label;
+  SimDuration period;
+  bool eager;
+  bool continuous;
+};
+
+void RunRow(const Row& row) {
+  db::DatabaseOptions options;
+  options.num_nodes = 3;
+  options.seed = 11;
+  options.ava3.eager_counter_handoff = row.eager;
+  options.ava3.continuous_advancement = row.continuous;
+  db::Database database(options);
+
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 3;
+  spec.items_per_node = 200;
+  spec.update_rate_per_sec = 400;
+  spec.query_rate_per_sec = 100;
+  spec.update_think = 2 * kMillisecond;  // non-trivial transactions
+  spec.advancement_period = row.period;
+  spec.rotate_coordinator = true;
+  wl::WorkloadRunner runner(&database.simulator(), &database.engine(), spec,
+                            options.seed);
+  runner.SeedData();
+  runner.Start(5 * kSecond);
+  database.RunFor(5 * kSecond);
+  database.RunFor(30 * kSecond);
+
+  const auto& m = database.metrics();
+  std::printf("%-28s %10lld %8llu %12.1f %12lld %12lld\n", row.label,
+              static_cast<long long>(row.period / kMillisecond),
+              static_cast<unsigned long long>(m.advancements()),
+              m.staleness().Mean() / 1000.0,
+              static_cast<long long>(m.staleness().Percentile(99) / 1000),
+              static_cast<long long>(m.phase1_duration().Percentile(50)));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Query snapshot staleness vs. version-advancement cadence\n");
+  std::printf("(5 simulated seconds, 3 nodes, 400 updates/s, 100 queries/s)\n\n");
+  std::printf("%-28s %10s %8s %12s %12s %12s\n", "configuration",
+              "period(ms)", "rounds", "stale avg(ms)", "p99(ms)",
+              "phase1 p50(us)");
+  const Row rows[] = {
+      {"period = 1 s", 1000 * kMillisecond, false, false},
+      {"period = 500 ms", 500 * kMillisecond, false, false},
+      {"period = 250 ms", 250 * kMillisecond, false, false},
+      {"period = 100 ms", 100 * kMillisecond, false, false},
+      {"period = 50 ms", 50 * kMillisecond, false, false},
+      {"50 ms + eager handoff", 50 * kMillisecond, true, false},
+      {"20 ms continuous + eager", 20 * kMillisecond, true, true},
+  };
+  for (const Row& row : rows) RunRow(row);
+  std::printf(
+      "\nMore frequent advancement -> fresher snapshots; the eager-handoff\n"
+      "optimization keeps Phase 1 short even with in-flight transactions,\n"
+      "and continuous advancement lets rounds run back-to-back (Section 8).\n");
+  return 0;
+}

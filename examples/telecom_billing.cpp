@@ -1,0 +1,90 @@
+// Telecom billing: the paper's motivating application (Section 1.1).
+//
+// A 4-node distributed database records call activity (continuous small
+// update transactions, often spanning the caller's and callee's home
+// nodes) while customer-service queries read consistent account snapshots.
+// Instead of the manual "flush updates to the read-only copy and block
+// access" procedure, AVA3 advances versions every simulated hour scaled
+// down to 250 ms — with zero interference.
+//
+// Run: ./build/examples/telecom_billing
+
+#include <cstdio>
+
+#include "engine/database.h"
+#include "verify/serializability.h"
+#include "workload/runner.h"
+
+using namespace ava3;
+
+int main() {
+  db::DatabaseOptions options;
+  options.num_nodes = 4;
+  options.seed = 2026;
+  db::Database database(options);
+
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.items_per_node = 500;      // customer accounts per region
+  spec.zipf_theta = 0.8;          // some customers call a lot
+  spec.update_ops_min = 2;        // a call record touches 2-4 accounts
+  spec.update_ops_max = 4;
+  spec.update_multinode_prob = 0.5;  // cross-region calls
+  spec.update_rate_per_sec = 800;
+  spec.query_ops_min = 8;         // customer-inquiry scans
+  spec.query_ops_max = 24;
+  spec.query_rate_per_sec = 120;
+  spec.advancement_period = 250 * kMillisecond;  // the "hourly flush"
+  spec.rotate_coordinator = true;
+
+  wl::WorkloadRunner runner(&database.simulator(), &database.engine(), spec,
+                            options.seed);
+  const auto& initial = runner.SeedData();
+
+  std::printf("running 5 simulated seconds of call traffic on 4 nodes...\n");
+  runner.Start(5 * kSecond);
+  database.RunFor(5 * kSecond);
+  database.RunFor(30 * kSecond);  // drain
+
+  const auto& m = database.metrics();
+  const auto& s = runner.stats();
+  std::printf("\n-- throughput --\n");
+  std::printf("call-record txns committed : %llu (%.0f/s)\n",
+              static_cast<unsigned long long>(s.committed_updates),
+              s.committed_updates / 5.0);
+  std::printf("customer queries committed : %llu (%.0f/s)\n",
+              static_cast<unsigned long long>(s.committed_queries),
+              s.committed_queries / 5.0);
+  std::printf("retries (deadlock victims) : %llu, gave up: %llu\n",
+              static_cast<unsigned long long>(s.retries),
+              static_cast<unsigned long long>(s.gave_up));
+
+  std::printf("\n-- latency (simulated us) --\n");
+  std::printf("updates : %s\n", m.update_latency().Summary().c_str());
+  std::printf("queries : %s\n", m.query_latency().Summary().c_str());
+
+  std::printf("\n-- version management --\n");
+  std::printf("advancements completed : %llu (every %lld ms)\n",
+              static_cast<unsigned long long>(m.advancements()),
+              static_cast<long long>(spec.advancement_period / kMillisecond));
+  std::printf("moveToFutures          : %llu (%.2f%% of commits)\n",
+              static_cast<unsigned long long>(m.mtf_count()),
+              100.0 * m.mtf_count() /
+                  (m.update_commits() > 0 ? m.update_commits() : 1));
+  std::printf("query snapshot age     : %s\n", m.staleness().Summary().c_str());
+  auto* eng = database.ava3_engine();
+  int max_versions = 0;
+  for (int n = 0; n < 4; ++n) {
+    max_versions =
+        std::max(max_versions, eng->store(n).MaxLiveVersionsObserved());
+  }
+  std::printf("max live versions/item : %d (paper bound: 3)\n", max_versions);
+
+  // The run doubles as a correctness demonstration.
+  verify::SerializabilityChecker checker(initial);
+  Status ok = checker.Check(database.recorder().txns());
+  Status inv = eng->CheckInvariants();
+  std::printf("\nserializability oracle : %s\n", ok.ToString().c_str());
+  std::printf("Section 6.2 invariants : %s\n", inv.ToString().c_str());
+  return ok.ok() && inv.ok() ? 0 : 1;
+}

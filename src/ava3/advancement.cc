@@ -1,0 +1,311 @@
+// Implementation of the AVA3 version-advancement protocol (paper
+// Section 3.2): Phase 1 (advance the update version), Phase 2 (advance the
+// query version), Phase 3 (garbage collection), with support for multiple
+// simultaneous coordinators, coordinator cancellation, idempotent
+// participants, resends, the FOURV asynchronous-drain mode, and the
+// optional stalled-advancement watchdog.
+
+#include <cassert>
+
+#include "ava3/ava3_engine.h"
+
+namespace ava3::core {
+
+using sim::MsgKind;
+
+void Ava3Engine::TriggerAdvancement(NodeId k) {
+  if (!network().IsNodeUp(k)) return;
+  Coordinator& c = coordinators_[k];
+  if (c.active) return;  // already coordinating one
+  const ControlState& cs = *control_[k];
+  // Guard (paper): a node may initiate only if it is not in the middle of
+  // an advancement: u == g + 2 with version g collected. The continuous
+  // mode (Section 8) only requires Phase 2 of the previous round to have
+  // completed; FOURV additionally tolerates one extra draining version.
+  if (cs.q() != cs.u() - 1) return;  // previous Phase 2 incomplete
+  if (opts_.four_version_mode) {
+    if (cs.u() - cs.g() > 3) return;
+  } else if (!opts_.continuous_advancement && cs.u() != cs.g() + 2) {
+    return;
+  }
+  StartPhase1(k, cs.u() + 1);
+}
+
+void Ava3Engine::StartPhase1(NodeId k, Version newu) {
+  Coordinator& c = coordinators_[k];
+  c.active = true;
+  c.phase = 1;
+  c.newu = newu;
+  c.start_time = simulator().Now();
+  c.pending_acks.clear();
+  for (NodeId i = 0; i < num_nodes(); ++i) c.pending_acks.insert(i);
+  Trace(k, "advancement coordinator: Phase 1, newu=" + std::to_string(newu));
+  BroadcastCurrentPhase(k, /*pending_only=*/false);
+  ScheduleResend(k);
+}
+
+void Ava3Engine::BroadcastCurrentPhase(NodeId k, bool pending_only) {
+  Coordinator& c = coordinators_[k];
+  if (!c.active) return;
+  std::vector<NodeId> targets;
+  if (pending_only) {
+    targets.assign(c.pending_acks.begin(), c.pending_acks.end());
+  } else {
+    for (NodeId i = 0; i < num_nodes(); ++i) targets.push_back(i);
+  }
+  if (c.phase == 1) {
+    const Version newu = c.newu;
+    for (NodeId i : targets) {
+      network().Send(k, i, MsgKind::kAdvanceU,
+                     [this, i, newu, k]() { OnAdvanceU(i, newu, k); });
+    }
+  } else if (c.phase == 2) {
+    const Version newq = c.newu - 1;
+    for (NodeId i : targets) {
+      network().Send(k, i, MsgKind::kAdvanceQ,
+                     [this, i, newq, k]() { OnAdvanceQ(i, newq, k); });
+    }
+  }
+}
+
+void Ava3Engine::ScheduleResend(NodeId k) {
+  if (opts_.advancement_resend <= 0) return;
+  Coordinator& c = coordinators_[k];
+  const Version round = c.newu;
+  c.resend_ev = simulator().After(opts_.advancement_resend, [this, k, round]() {
+    Coordinator& cc = coordinators_[k];
+    if (!cc.active || cc.newu != round) return;
+    if (!network().IsNodeUp(k)) return;
+    BroadcastCurrentPhase(k, /*pending_only=*/true);
+    ScheduleResend(k);
+  });
+}
+
+void Ava3Engine::CancelCoordinator(NodeId k) {
+  Coordinator& c = coordinators_[k];
+  if (!c.active) return;
+  simulator().Cancel(c.resend_ev);
+  c = Coordinator{};
+  metrics().RecordAdvancementCancelled();
+  Trace(k, "advancement coordinator cancelled (another is ahead)");
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: switching to a new update version
+// ---------------------------------------------------------------------------
+
+void Ava3Engine::OnAdvanceU(NodeId i, Version newu, NodeId coord) {
+  ControlState& cs = *control_[i];
+  if (TraceEnabled()) {
+    Trace(i, "recv advance-u(" + std::to_string(newu) + ")");
+  }
+  if (cs.u() > newu) return;  // obsolete round
+  if (!opts_.four_version_mode && cs.g() < newu - 3) {
+    // This node missed the previous round's garbage-collect message; the
+    // new round's existence proves collection up to newu-3 is safe
+    // (paper, Phase 1). In FOURV mode a lagging g is *intentional* (old
+    // query versions drain asynchronously), so the catch-up is disabled.
+    RunGcUpTo(i, newu - 3);
+  }
+  cs.AdvanceU(newu);  // no-op if some coordinator already advanced us
+  // Ack once all update subtransactions that started before the switch are
+  // done (updateCount(i, newu-1) == 0).
+  cs.WhenUpdateZero(newu - 1, [this, i, coord, newu]() {
+    if (!network().IsNodeUp(i)) return;  // we crashed while waiting
+    network().Send(i, coord, MsgKind::kAckAdvanceU, [this, coord, newu, i]() {
+      OnAckAdvanceU(coord, newu, i);
+    });
+  });
+}
+
+void Ava3Engine::OnAckAdvanceU(NodeId k, Version newu, NodeId from) {
+  Coordinator& c = coordinators_[k];
+  if (!c.active || c.phase != 1 || c.newu != newu) return;  // stale ack
+  c.pending_acks.erase(from);
+  if (!c.pending_acks.empty()) return;
+  // All nodes switched and drained: version newu-1 is now stable
+  // everywhere; make it readable.
+  StartPhase2(k);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: switching to a new query version
+// ---------------------------------------------------------------------------
+
+void Ava3Engine::StartPhase2(NodeId k) {
+  Coordinator& c = coordinators_[k];
+  c.phase = 2;
+  c.phase2_start = simulator().Now();
+  c.pending_acks.clear();
+  for (NodeId i = 0; i < num_nodes(); ++i) c.pending_acks.insert(i);
+  Trace(k, "advancement coordinator: Phase 2, newq=" +
+               std::to_string(c.newu - 1));
+  BroadcastCurrentPhase(k, /*pending_only=*/false);
+}
+
+void Ava3Engine::OnAdvanceQ(NodeId i, Version newq, NodeId coord) {
+  // A coordinator waiting in Phase 1 that sees Phase 2 of the same round
+  // from elsewhere stops and ignores its remaining acks (paper).
+  Coordinator& mine = coordinators_[i];
+  if (mine.active && mine.phase == 1 && newq >= mine.newu - 1) {
+    CancelCoordinator(i);
+  }
+  ControlState& cs = *control_[i];
+  if (TraceEnabled()) {
+    Trace(i, "recv advance-q(" + std::to_string(newq) + ")");
+  }
+  if (cs.q() > newq) return;  // obsolete
+  cs.AdvanceQ(newq);          // no-op if a subquery already advanced us
+  if (opts_.four_version_mode) {
+    // FOURV: do not gate on the old queries draining; collect the old
+    // query version asynchronously when its local count hits zero.
+    FourVRegisterDrain(i, newq - 1);
+    network().Send(i, coord, MsgKind::kAckAdvanceQ, [this, coord, newq, i]() {
+      OnAckAdvanceQ(coord, newq, i);
+    });
+    return;
+  }
+  cs.WhenQueryZero(newq - 1, [this, i, coord, newq]() {
+    if (!network().IsNodeUp(i)) return;
+    network().Send(i, coord, MsgKind::kAckAdvanceQ, [this, coord, newq, i]() {
+      OnAckAdvanceQ(coord, newq, i);
+    });
+  });
+}
+
+void Ava3Engine::OnAckAdvanceQ(NodeId k, Version newq, NodeId from) {
+  Coordinator& c = coordinators_[k];
+  if (!c.active || c.phase != 2 || c.newu - 1 != newq) return;
+  c.pending_acks.erase(from);
+  if (!c.pending_acks.empty()) return;
+  StartPhase3(k);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: garbage collection
+// ---------------------------------------------------------------------------
+
+void Ava3Engine::StartPhase3(NodeId k) {
+  Coordinator& c = coordinators_[k];
+  const SimTime now = simulator().Now();
+  metrics().RecordAdvancement(c.phase2_start - c.start_time,
+                              now - c.phase2_start, now - c.start_time);
+  const Version newg = c.newu - 2;
+  Trace(k, "advancement coordinator: Phase 3, garbage-collect(" +
+               std::to_string(newg) + ")");
+  simulator().Cancel(c.resend_ev);
+  c = Coordinator{};  // coordinator's job is done; Phase 3 needs no acks
+  if (opts_.four_version_mode) return;  // drains collect locally instead
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    network().Send(k, i, MsgKind::kGarbageCollect,
+                   [this, i, newg]() { OnGarbageCollect(i, newg); });
+  }
+}
+
+void Ava3Engine::OnGarbageCollect(NodeId i, Version newg) {
+  // A coordinator waiting in Phase 2 that sees Phase 3 of its round from
+  // elsewhere stops (paper).
+  Coordinator& mine = coordinators_[i];
+  if (mine.active && mine.phase == 2 && newg >= mine.newu - 2) {
+    CancelCoordinator(i);
+  }
+  ControlState& cs = *control_[i];
+  if (cs.g() >= newg) return;  // already collected
+  RunGcUpTo(i, newg);
+}
+
+void Ava3Engine::RunGcUpTo(NodeId i, Version upto) {
+  ControlState& cs = *control_[i];
+  if (cs.g() >= upto) return;
+  const Version v = cs.g() + 1;
+  cs.WhenQueryZero(v, [this, i, v, upto]() {
+    if (!network().IsNodeUp(i)) return;
+    // Another path (a duplicate collect request) may have advanced g
+    // while we waited; the step itself is ordered and idempotent.
+    if (control_[i]->g() == v - 1) RunGcStep(i, v);
+    RunGcUpTo(i, upto);
+  });
+}
+
+void Ava3Engine::RunGcStep(NodeId i, Version v) {
+  ControlState& cs = *control_[i];
+  assert(cs.g() == v - 1 && "GC must collect versions in order");
+  const Version newq = v + 1;  // the version that carries items forward
+  store::GcStats stats = store(i).GarbageCollect(v, newq);
+  if (opts_.durable_replay_recovery) durable_[i].LogGc(v, newq);
+  cs.AdvanceG(v);
+  cs.EraseCountersAt(/*oldq=*/v, /*oldu=*/newq);
+  // Read marks at or below the collected epoch can no longer constrain any
+  // writer (every active update runs at version > newq).
+  auto& marks = read_marks_[i];
+  for (auto it = marks.begin(); it != marks.end();) {
+    if (it->second <= newq) {
+      it = marks.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (TraceEnabled()) {
+    Trace(i, "garbage-collected version " + std::to_string(v) + " (dropped " +
+                 std::to_string(stats.versions_dropped) + ", relabeled " +
+                 std::to_string(stats.versions_relabeled) + ")");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FOURV asynchronous drains
+// ---------------------------------------------------------------------------
+
+void Ava3Engine::FourVRegisterDrain(NodeId i, Version drained_q) {
+  control_[i]->WhenQueryZero(drained_q, [this, i, drained_q]() {
+    if (!network().IsNodeUp(i)) return;
+    fourv_drain_ready_[i].insert(drained_q);
+    FourVTryGc(i);
+  });
+}
+
+void Ava3Engine::FourVTryGc(NodeId i) {
+  ControlState& cs = *control_[i];
+  auto& ready = fourv_drain_ready_[i];
+  while (ready.count(cs.g() + 1) > 0) {
+    const Version v = cs.g() + 1;
+    ready.erase(v);
+    RunGcStep(i, v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: adopt a stalled advancement (coordinator crash)
+// ---------------------------------------------------------------------------
+
+void Ava3Engine::StartWatchdog(NodeId i) {
+  simulator().After(opts_.watchdog_interval, [this, i]() {
+    if (network().IsNodeUp(i) && !coordinators_[i].active) {
+      const ControlState& cs = *control_[i];
+      VersionSnapshot now{cs.u(), cs.q(), cs.g()};
+      const bool stuck_phase2 = cs.q() == cs.u() - 2;
+      const bool stuck_gc = !opts_.four_version_mode &&
+                            cs.q() == cs.u() - 1 && cs.g() < cs.q() - 1;
+      if (now == watchdog_last_[i] && (stuck_phase2 || stuck_gc)) {
+        if (stuck_phase2) {
+          // Re-drive the round with the same newu; every handler is
+          // idempotent and all coordinators advance to the same versions.
+          Trace(i, "watchdog adopts stalled advancement, newu=" +
+                       std::to_string(cs.u()));
+          StartPhase1(i, cs.u());
+        } else {
+          Trace(i, "watchdog re-drives garbage collection");
+          const Version newg = cs.q() - 1;
+          for (NodeId j = 0; j < num_nodes(); ++j) {
+            network().Send(i, j, MsgKind::kGarbageCollect,
+                           [this, j, newg]() { OnGarbageCollect(j, newg); });
+          }
+        }
+      }
+      watchdog_last_[i] = now;
+    }
+    StartWatchdog(i);
+  });
+}
+
+}  // namespace ava3::core

@@ -1,0 +1,619 @@
+#include "ava3/ava3_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ava3::core {
+
+using db::BaseOptions;
+using db::EngineEnv;
+
+Ava3Engine::Ava3Engine(EngineEnv env, int num_nodes, BaseOptions base_options,
+                       Ava3Options options)
+    : EngineBase(env, num_nodes, base_options, StoreCapacityFor(options)),
+      opts_(options) {
+  name_ = opts_.four_version_mode ? "fourv"
+          : opts_.disable_move_to_future ? "ava3-sync"
+                                         : "ava3";
+  assert((!opts_.four_version_mode || num_nodes == 1) &&
+         "FOURV models a centralized scheme (see Ava3Options)");
+  control_.reserve(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    control_.push_back(
+        std::make_unique<ControlState>(&simulator(), opts_.combined_counters));
+  }
+  coordinators_.resize(static_cast<size_t>(num_nodes));
+  fourv_drain_ready_.resize(static_cast<size_t>(num_nodes));
+  read_marks_.resize(static_cast<size_t>(num_nodes));
+  durable_.resize(static_cast<size_t>(num_nodes));
+  watchdog_last_.resize(static_cast<size_t>(num_nodes));
+  if (opts_.advancement_watchdog) {
+    for (int i = 0; i < num_nodes; ++i) StartWatchdog(i);
+  }
+  if (opts_.durable_replay_recovery && opts_.checkpoint_period > 0) {
+    for (int i = 0; i < num_nodes; ++i) StartCheckpointTimer(i);
+  }
+}
+
+void Ava3Engine::OnLoadInitial(NodeId node, ItemId item, int64_t value) {
+  if (!opts_.durable_replay_recovery) return;
+  wal::DurableLog::ApplyRecord rec;
+  rec.txn = kInvalidTxn;
+  rec.version = 0;
+  rec.writes.push_back(wal::DurableLog::ApplyWrite{item, value, false});
+  durable_[node].LogApply(std::move(rec));
+}
+
+void Ava3Engine::ApplyUndo(store::VersionedStore& st, NodeId node,
+                           TxnId txn) {
+  log(node).ForEachOfTxnBackwards(txn, [&](const wal::LogRecord& rec) {
+    if (rec.kind != wal::LogRecord::Kind::kUndo) return;
+    if (rec.had_version) {
+      Status s = st.Put(rec.item, rec.version, rec.old_value, txn, 0);
+      (void)s;
+      if (rec.old_deleted) {
+        (void)st.MarkDeleted(rec.item, rec.version, txn, 0);
+      }
+    } else {
+      (void)st.DropVersion(rec.item, rec.version);  // NotFound is fine
+    }
+  });
+}
+
+std::unique_ptr<store::VersionedStore> Ava3Engine::CommittedStateClone(
+    NodeId i) {
+  std::unique_ptr<store::VersionedStore> clone = store(i).Clone();
+  if (opts_.recovery == wal::RecoveryScheme::kInPlace) {
+    // In-place: the live store contains effects of in-flight transactions;
+    // a checkpoint must be transaction-consistent, so undo them on the
+    // copy (this is what [BPR+96]'s fuzzy checkpoints achieve with undo
+    // records).
+    for (const auto& [txn, rt] : node_state(i).updates) {
+      (void)rt;
+      ApplyUndo(*clone, i, txn);
+    }
+  }
+  return clone;
+}
+
+void Ava3Engine::StartCheckpointTimer(NodeId i) {
+  simulator().After(opts_.checkpoint_period, [this, i]() {
+    if (network().IsNodeUp(i)) {
+      durable_[i].Checkpoint(CommittedStateClone(i));
+    }
+    StartCheckpointTimer(i);
+  });
+}
+
+void Ava3Engine::OnNodeRecover(NodeId node) {
+  if (!opts_.durable_replay_recovery) return;
+  // Rebuild the store from the durable checkpoint + redo tail and verify
+  // it against the surviving committed content (which the crash handler
+  // already netted of in-flight effects). A mismatch is a recovery bug.
+  std::unique_ptr<store::VersionedStore> replayed =
+      durable_[node].Recover(StoreCapacityFor(opts_));
+  ++recoveries_replayed_;
+  if (!replayed->ContentEquals(store(node))) {
+    ++recovery_mismatches_;
+    Trace(node, "RECOVERY MISMATCH: replayed store differs from committed");
+    return;  // keep the live store; the mismatch counter fails tests
+  }
+  Trace(node, "recovery replay verified (" +
+                  std::to_string(durable_[node].tail_length()) +
+                  " tail records)");
+  ReplaceStore(node, std::move(replayed));
+}
+
+bool Ava3Engine::AdvancementInProgress() const {
+  for (const auto& c : coordinators_) {
+    if (c.active) return true;
+  }
+  return false;
+}
+
+uint64_t Ava3Engine::TotalLatchOps() const {
+  uint64_t n = 0;
+  for (const auto& cs : control_) n += cs->latch_ops();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Update transactions (paper Section 3.4)
+// ---------------------------------------------------------------------------
+
+void Ava3Engine::OnUpdateStart(UpdateRt& rt, Version carried) {
+  ControlState& cs = *control_[rt.node];
+  if (opts_.carry_version_in_txn && carried != kInvalidVersion &&
+      carried > cs.u()) {
+    // Optimization O1: the spawn message proves a newer update version is
+    // live elsewhere; starting there directly avoids a later moveToFuture.
+    // Locally this acts like the advancement signal of step 8.
+    cs.AdvanceU(carried);
+    Trace(rt.node, "carried version starts local advancement to u=" +
+                       std::to_string(carried));
+  }
+  rt.version = rt.start_version = rt.counter_version = cs.u();
+  cs.IncUpdate(rt.start_version);
+}
+
+Status Ava3Engine::UpdateRead(UpdateRt& rt, ItemId item,
+                              verify::ReadRecord* out) {
+  store::VersionedStore& st = store(rt.node);
+  if (opts_.recovery == wal::RecoveryScheme::kNoUndo) {
+    // Deferred updates: the transaction's own writes live in its buffer.
+    auto it = rt.wbuf.find(item);
+    if (it != rt.wbuf.end()) {
+      out->version_read = rt.version;
+      out->value = it->second.value;
+      out->found = !it->second.deleted;
+      out->own_write = true;
+      return Status::Ok();
+    }
+  }
+  const Version cur = st.MaxVersion(item);
+  if (cur != kInvalidVersion && cur > rt.version) {
+    // A transaction with a newer version already committed this item: we
+    // must serialize after it (paper Section 3.4 step 2).
+    if (opts_.disable_move_to_future) {
+      return Status::Aborted("sync-mismatch");
+    }
+    MoveToFuture(rt, control_[rt.node]->u());
+  }
+  auto r = st.ReadAtMost(item, rt.version);
+  if (r.ok() && !r->deleted) {
+    out->version_read = r->version;
+    out->value = r->value;
+    out->found = true;
+  } else {
+    out->found = false;
+  }
+  // In-place scheme: an item this transaction already wrote returns the
+  // transaction's own (uncommitted) effect straight from the store.
+  out->own_write = rt.undo_logged.count(item) > 0;
+  return Status::Ok();
+}
+
+Status Ava3Engine::UpdateWrite(UpdateRt& rt, const txn::Op& op) {
+  store::VersionedStore& st = store(rt.node);
+  Version cur = st.MaxVersion(op.item);
+  if (opts_.update_read_marks) {
+    // A committed update transaction with a higher version *read* this
+    // item; writing it in a lower version would invert their serialization
+    // order (the gap in the paper's Theorem 6.2 — see Ava3Options).
+    auto mark = read_marks_[rt.node].find(op.item);
+    if (mark != read_marks_[rt.node].end() && mark->second > cur) {
+      cur = mark->second;
+    }
+  }
+  if (cur != kInvalidVersion && cur > rt.version) {
+    if (opts_.disable_move_to_future) {
+      return Status::Aborted("sync-mismatch");
+    }
+    MoveToFuture(rt, control_[rt.node]->u());
+  }
+
+  // Resolve the value to install.
+  int64_t base = 0;
+  bool have_base = false;
+  if (opts_.recovery == wal::RecoveryScheme::kNoUndo) {
+    auto bit = rt.wbuf.find(op.item);
+    if (bit != rt.wbuf.end()) {
+      // Buffered deletes make the item logically absent: base stays 0.
+      if (!bit->second.deleted) base = bit->second.value;
+      have_base = true;
+    }
+  }
+  if (!have_base) {
+    auto r = st.ReadAtMost(op.item, rt.version);
+    if (r.ok() && !r->deleted) base = r->value;
+  }
+  int64_t value = 0;
+  bool deleted = false;
+  switch (op.kind) {
+    case txn::Op::Kind::kWrite:
+      value = op.arg;
+      break;
+    case txn::Op::Kind::kAdd:
+      value = base + op.arg;
+      break;
+    case txn::Op::Kind::kDelete:
+      deleted = true;
+      break;
+    default:
+      return Status::Internal("non-write op in UpdateWrite");
+  }
+
+  if (opts_.recovery == wal::RecoveryScheme::kNoUndo) {
+    auto [it, inserted] =
+        rt.wbuf.insert_or_assign(op.item, PendingWrite{value, deleted});
+    if (inserted) rt.wbuf_order.push_back(op.item);
+    return Status::Ok();
+  }
+
+  // In-place scheme: mutate the store under the exclusive lock; log undo on
+  // first touch and redo always (paper Section 4, [BPR+96]).
+  wal::RecoveryLog& lg = log(rt.node);
+  if (rt.undo_logged.insert(op.item).second) {
+    rt.wbuf_order.push_back(op.item);  // reused as touched-items order
+    wal::LogRecord undo;
+    undo.kind = wal::LogRecord::Kind::kUndo;
+    undo.txn = rt.txn;
+    undo.item = op.item;
+    undo.version = rt.version;
+    auto prev = st.ReadExact(op.item, rt.version);
+    undo.had_version = prev.ok();
+    if (prev.ok()) {
+      undo.old_value = prev->value;
+      undo.old_deleted = prev->deleted;
+    }
+    lg.Append(undo);
+  }
+  Status ws;
+  if (deleted) {
+    ws = st.MarkDeleted(op.item, rt.version, rt.txn, simulator().Now());
+  } else {
+    ws = st.Put(op.item, rt.version, value, rt.txn, simulator().Now());
+  }
+  if (!ws.ok()) return ws;
+  wal::LogRecord redo;
+  redo.kind = wal::LogRecord::Kind::kRedo;
+  redo.txn = rt.txn;
+  redo.item = op.item;
+  redo.version = rt.version;
+  redo.new_value = value;
+  redo.new_deleted = deleted;
+  lg.Append(redo);
+  return Status::Ok();
+}
+
+Version Ava3Engine::CarriedVersionForChild(const UpdateRt& rt) {
+  return opts_.carry_version_in_txn ? rt.version : kInvalidVersion;
+}
+
+Status Ava3Engine::ValidateCommit(const UpdateRt& root_rt, Version global,
+                                  Version min_used) {
+  (void)root_rt;
+  if (opts_.disable_move_to_future && min_used < global) {
+    // SYNC-AVA: subtransactions used different versions and there is no
+    // moveToFuture to reconcile them — the transaction must abort (this is
+    // exactly the interference [MPL92] suffers in the distributed case).
+    return Status::Aborted("sync-mismatch");
+  }
+  return Status::Ok();
+}
+
+void Ava3Engine::OnCommitMsg(UpdateRt& rt, Version global_version) {
+  ControlState& cs = *control_[rt.node];
+  if (rt.version < global_version) {
+    // Step 8: this subtransaction used an earlier version than a sibling.
+    if (cs.u() == rt.version) {
+      // Version advancement has not begun at this node; the commit message
+      // is the signal to start it (paper: increment u_i, init counter).
+      cs.AdvanceU(global_version);
+      Trace(rt.node, "commit(T" + std::to_string(rt.txn) +
+                         ") triggers local advancement to u=" +
+                         std::to_string(global_version));
+    }
+    MoveToFuture(rt, global_version);
+  }
+
+  const SimTime now = simulator().Now();
+  if (opts_.recovery == wal::RecoveryScheme::kNoUndo || rt.resurrected) {
+    // Deferred-update apply: install the write buffer at the commit
+    // version (also the path for resurrected in-doubt transactions, whose
+    // durable prepare record is modeled by the buffer). Items are
+    // exclusively locked, so overwriting an existing slot of the same
+    // version can only replace a value this transaction is serialized
+    // after.
+    store::VersionedStore& st = store(rt.node);
+    for (ItemId item : rt.wbuf_order) {
+      const PendingWrite& pw = rt.wbuf[item];
+      Status s = pw.deleted
+                     ? st.MarkDeleted(item, global_version, rt.txn, now)
+                     : st.Put(item, global_version, pw.value, rt.txn, now);
+      assert(s.ok() && "commit apply violated the version bound");
+      (void)s;
+      rt.writes.push_back(verify::WriteRecord{rt.node, item, pw.value,
+                                              pw.deleted, now,
+                                              simulator().events_executed()});
+    }
+  } else {
+    // In-place: data already sits at rt.version == global_version; just
+    // report the final values to the oracle.
+    store::VersionedStore& st = store(rt.node);
+    for (ItemId item : rt.wbuf_order) {
+      auto r = st.ReadExact(item, global_version);
+      if (r.ok()) {
+        rt.writes.push_back(verify::WriteRecord{rt.node, item, r->value,
+                                                r->deleted, now,
+                                                simulator().events_executed()});
+      } else {
+        // Deleted as the only version: physically removed already.
+        rt.writes.push_back(verify::WriteRecord{rt.node, item, 0, true, now,
+                                                simulator().events_executed()});
+      }
+    }
+  }
+  if (opts_.durable_replay_recovery && !rt.writes.empty()) {
+    wal::DurableLog::ApplyRecord rec;
+    rec.txn = rt.txn;
+    rec.version = global_version;
+    rec.writes.reserve(rt.writes.size());
+    for (const verify::WriteRecord& w : rt.writes) {
+      rec.writes.push_back(
+          wal::DurableLog::ApplyWrite{w.item, w.value, w.deleted});
+    }
+    durable_[rt.node].LogApply(std::move(rec));
+  }
+  if (opts_.update_read_marks) {
+    // Record, while this subtransaction's locks are still held, that a
+    // transaction with commit version `global_version` read these items:
+    // later writers at lower versions must serialize after us and the
+    // write path checks these marks. Marks are pruned at garbage
+    // collection and on crash (main-memory control state).
+    auto& marks = read_marks_[rt.node];
+    for (const verify::ReadRecord& r : rt.reads) {
+      auto [it, inserted] = marks.try_emplace(r.item, global_version);
+      if (!inserted && it->second < global_version) {
+        it->second = global_version;
+      }
+    }
+  }
+  cs.DecUpdate(rt.counter_version);
+}
+
+void Ava3Engine::OnUpdateAborted(UpdateRt& rt) {
+  if (opts_.recovery == wal::RecoveryScheme::kInPlace && !rt.resurrected) {
+    // Roll back in-place effects: apply every undo record newest-first.
+    // Records from versions this transaction already moved away from are
+    // harmless to re-apply (moveToFuture left those versions restored).
+    // (Resurrected in-doubt transactions have no store effects left.)
+    ApplyUndo(store(rt.node), rt.node, rt.txn);
+  }
+  control_[rt.node]->DecUpdate(rt.counter_version);
+}
+
+// ---------------------------------------------------------------------------
+// moveToFuture (paper Section 4)
+// ---------------------------------------------------------------------------
+
+void Ava3Engine::MoveToFuture(UpdateRt& rt, Version newv) {
+  if (newv <= rt.version) return;
+  const Version oldv = rt.version;
+  int scanned = 0;
+  if (opts_.recovery == wal::RecoveryScheme::kInPlace) {
+    store::VersionedStore& st = store(rt.node);
+    wal::RecoveryLog& lg = log(rt.node);
+    // One backward pass over the transaction's log tail: collect the items
+    // whose current effects sit at oldv, and the undo records that restore
+    // oldv to its pre-transaction state.
+    std::vector<ItemId> to_copy;
+    std::vector<wal::LogRecord> undos;  // newest-first
+    std::set<ItemId> seen;
+    scanned = lg.ForEachOfTxnBackwards(rt.txn, [&](const wal::LogRecord& rec) {
+      if (rec.version != oldv) return;
+      if (rec.kind == wal::LogRecord::Kind::kRedo) {
+        if (seen.insert(rec.item).second) to_copy.push_back(rec.item);
+      } else if (rec.kind == wal::LogRecord::Kind::kUndo) {
+        undos.push_back(rec);
+      }
+    });
+    // Copy the transaction's current state of each touched item into the
+    // new version (the items are exclusively locked, so nothing can exist
+    // there yet), logging fresh records so a later moveToFuture or abort
+    // operates on the new version.
+    for (ItemId item : to_copy) {
+      auto cur = st.ReadExact(item, oldv);
+      if (!cur.ok()) continue;  // deletion collapsed the item entirely
+      wal::LogRecord undo;
+      undo.kind = wal::LogRecord::Kind::kUndo;
+      undo.txn = rt.txn;
+      undo.item = item;
+      undo.version = newv;
+      undo.had_version = false;
+      lg.Append(undo);
+      wal::LogRecord redo;
+      redo.kind = wal::LogRecord::Kind::kRedo;
+      redo.txn = rt.txn;
+      redo.item = item;
+      redo.version = newv;
+      redo.new_value = cur->value;
+      redo.new_deleted = cur->deleted;
+      lg.Append(redo);
+      if (cur->deleted) {
+        (void)st.MarkDeleted(item, newv, rt.txn, simulator().Now());
+      } else {
+        Status s = st.Put(item, newv, cur->value, rt.txn, simulator().Now());
+        assert(s.ok() && "moveToFuture copy violated the version bound");
+        (void)s;
+      }
+    }
+    // Undo the transaction's effect on the old version, newest-first.
+    for (const wal::LogRecord& rec : undos) {
+      if (rec.had_version) {
+        (void)st.Put(rec.item, rec.version, rec.old_value, rt.txn, 0);
+        if (rec.old_deleted) {
+          (void)st.MarkDeleted(rec.item, rec.version, rt.txn, 0);
+        }
+      } else {
+        (void)st.DropVersion(rec.item, rec.version);
+      }
+    }
+  }
+  rt.version = newv;
+  ++rt.mtf_count;
+  metrics().RecordMoveToFuture(scanned);
+  if (TraceEnabled()) {
+    Trace(rt.node, "T" + std::to_string(rt.txn) + " moveToFuture(" +
+                       std::to_string(oldv) + "->" + std::to_string(newv) +
+                       ")");
+  }
+  if (opts_.eager_counter_handoff && rt.counter_version != newv) {
+    // Section 8: the transaction now "appears to have started" in the new
+    // version, so Phase 1 does not wait for it.
+    ControlState& cs = *control_[rt.node];
+    cs.IncUpdate(newv);
+    cs.DecUpdate(rt.counter_version);
+    rt.counter_version = newv;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Queries (paper Section 3.3)
+// ---------------------------------------------------------------------------
+
+Status Ava3Engine::OnQueryStart(QueryRt& rt, Version assigned) {
+  ControlState& cs = *control_[rt.node];
+  if (rt.is_root()) {
+    rt.version = cs.q();
+    metrics().RecordQueryStart(rt.version, simulator().Now());
+  } else {
+    rt.version = assigned;
+    if (assigned <= cs.g()) {
+      // This node already collected the assigned snapshot (possible only
+      // on pathological recovery paths — e.g. the root never learned of an
+      // advancement because its coordinator died and a watchdog re-drove
+      // garbage collection). Refusing is always safe; the query retries
+      // against the current version.
+      return Status::Aborted("assigned snapshot " + std::to_string(assigned) +
+                             " already collected at node " +
+                             std::to_string(rt.node));
+    }
+    if (assigned > cs.q()) {
+      // Section 3.3 step 2: the advance-q message has not arrived here yet;
+      // the subquery itself advances the node's query version.
+      cs.AdvanceQ(assigned);
+      Trace(rt.node, "subquery advances q to " + std::to_string(assigned));
+    }
+  }
+  if (rt.is_root() || !opts_.root_only_query_counters) {
+    cs.IncQuery(rt.version);
+    rt.counted = true;
+  }
+  return Status::Ok();
+}
+
+void Ava3Engine::QueryRead(QueryRt& rt, ItemId item,
+                           verify::ReadRecord* out) {
+  auto r = store(rt.node).ReadAtMost(item, rt.version);
+  if (r.ok() && !r->deleted) {
+    out->version_read = r->version;
+    out->value = r->value;
+    out->found = true;
+  } else {
+    out->found = false;
+  }
+}
+
+void Ava3Engine::OnQueryFinish(QueryRt& rt) {
+  if (rt.counted) control_[rt.node]->DecQuery(rt.version);
+}
+
+void Ava3Engine::OnCrashPrepared(UpdateRt& rt) {
+  if (rt.resurrected) return;  // a second crash: nothing left in the store
+  if (opts_.recovery == wal::RecoveryScheme::kInPlace) {
+    // The durable prepare record holds the final values; model it by
+    // stashing them into the write buffer, then remove the main-memory
+    // in-place effects like any other in-flight state.
+    store::VersionedStore& st = store(rt.node);
+    for (ItemId item : rt.wbuf_order) {
+      auto cur = st.ReadExact(item, rt.version);
+      if (cur.ok()) {
+        rt.wbuf[item] = PendingWrite{cur->value, cur->deleted};
+      } else {
+        rt.wbuf[item] = PendingWrite{0, true};
+      }
+    }
+    ApplyUndo(st, rt.node, rt.txn);
+  }
+}
+
+void Ava3Engine::OnNodeCrash(NodeId node) {
+  control_[node]->CrashReset();
+  read_marks_[node].clear();
+  // In-doubt transactions still occupy their version's update counter:
+  // they may yet commit into it, so advancement Phases must keep waiting
+  // for their resolution (otherwise a "stable" version could mutate).
+  for (const auto& [txn, rt] : node_state(node).updates) {
+    (void)txn;
+    control_[node]->IncUpdate(rt->counter_version);
+  }
+  Coordinator& c = coordinators_[node];
+  if (c.active) {
+    simulator().Cancel(c.resend_ev);
+    c = Coordinator{};
+  }
+  fourv_drain_ready_[node].clear();
+}
+
+// ---------------------------------------------------------------------------
+// Section 6.2 invariants
+// ---------------------------------------------------------------------------
+
+Status Ava3Engine::CheckInvariants() const {
+  // Property 3: q_i < u_i <= q_i + 2 at every node, at all times.
+  for (size_t i = 0; i < control_.size(); ++i) {
+    const ControlState& cs = *control_[i];
+    if (!(cs.q() < cs.u())) {
+      return Status::Internal("node " + std::to_string(i) +
+                              ": q >= u (q=" + std::to_string(cs.q()) +
+                              " u=" + std::to_string(cs.u()) + ")");
+    }
+    if (!opts_.four_version_mode && cs.u() > cs.q() + 2) {
+      return Status::Internal("node " + std::to_string(i) +
+                              ": u > q + 2 (q=" + std::to_string(cs.q()) +
+                              " u=" + std::to_string(cs.u()) + ")");
+    }
+  }
+  // Properties 1a/2a: version-count bound per item (the store enforces the
+  // hard cap on writes; this re-checks the current state).
+  const int cap = StoreCapacityFor(opts_);
+  if (cap > 0) {
+    for (int n = 0; n < num_nodes(); ++n) {
+      if (store(n).MaxLiveVersionsObserved() > cap) {
+        return Status::Internal("node " + std::to_string(n) +
+                                ": more than " + std::to_string(cap) +
+                                " live versions observed");
+      }
+    }
+  }
+  // Section 3's re-use claim: "an implementation could re-use old version
+  // numbers, employing only three distinct numbers". That requires every
+  // item's live logical versions to span a window of at most `cap`, so
+  // that (version mod cap) is unambiguous.
+  if (cap > 0) {
+    for (int n = 0; n < num_nodes(); ++n) {
+      Status span = Status::Ok();
+      store(n).ForEachItem([&span, cap, n](ItemId item, const auto& chain) {
+        if (!span.ok() || chain.empty()) return;
+        const Version lo = chain.front().version;
+        const Version hi = chain.back().version;
+        if (hi - lo >= cap) {
+          span = Status::Internal(
+              "node " + std::to_string(n) + " item " + std::to_string(item) +
+              ": live version span [" + std::to_string(lo) + "," +
+              std::to_string(hi) + "] would make mod-" + std::to_string(cap) +
+              " version labels ambiguous");
+        }
+      });
+      if (!span.ok()) return span;
+    }
+  }
+  // Properties 2b/2c: if two nodes disagree on u, they agree on q, and
+  // vice versa (the system advances one version at a time).
+  for (size_t i = 0; i < control_.size(); ++i) {
+    for (size_t j = i + 1; j < control_.size(); ++j) {
+      const ControlState& a = *control_[i];
+      const ControlState& b = *control_[j];
+      if (a.u() != b.u() && a.q() != b.q() &&
+          !opts_.four_version_mode && !opts_.continuous_advancement) {
+        return Status::Internal(
+            "nodes " + std::to_string(i) + "," + std::to_string(j) +
+            " disagree on both u and q");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ava3::core

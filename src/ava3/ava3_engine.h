@@ -1,0 +1,158 @@
+#ifndef AVA3_AVA3_AVA3_ENGINE_H_
+#define AVA3_AVA3_AVA3_ENGINE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ava3/control_state.h"
+#include "ava3/options.h"
+#include "engine/engine_base.h"
+#include "log/durable_log.h"
+
+namespace ava3::core {
+
+/// The AVA3 protocol engine (the paper's contribution): strict 2PL + 2PC
+/// with version piggybacking, at most three versions per data item,
+/// lock-free queries, moveToFuture, and the fully asynchronous three-phase
+/// version-advancement protocol with arbitrarily many concurrent
+/// coordinators.
+///
+/// Two evaluation variants ride on the same machinery via Ava3Options:
+/// SYNC-AVA (moveToFuture disabled; mismatches abort) and FOURV (Phase 2
+/// does not gate on query drain; four versions).
+class Ava3Engine : public db::EngineBase {
+ public:
+  Ava3Engine(db::EngineEnv env, int num_nodes, db::BaseOptions base_options,
+             Ava3Options options);
+
+  const char* name() const override { return name_.c_str(); }
+
+  /// Initiates version advancement with node `coordinator` coordinating
+  /// (paper Section 3.2). Ignored if the node is down, already
+  /// coordinating, or the advancement guard fails.
+  void TriggerAdvancement(NodeId coordinator) override;
+
+  // --- Introspection for tests and benches --------------------------------
+  ControlState& control(NodeId n) { return *control_[n]; }
+  const ControlState& control(NodeId n) const { return *control_[n]; }
+  /// True iff any node currently coordinates an advancement.
+  bool AdvancementInProgress() const;
+  /// Sum of counter latch operations across nodes.
+  uint64_t TotalLatchOps() const;
+  const Ava3Options& options() const { return opts_; }
+
+  /// Checks the paper's Section 6.2 invariants across all *up* nodes;
+  /// returns a non-OK status naming the first violated property.
+  Status CheckInvariants() const;
+
+  /// Recovery-replay statistics (Ava3Options::durable_replay_recovery).
+  uint64_t recoveries_replayed() const { return recoveries_replayed_; }
+  uint64_t recovery_mismatches() const { return recovery_mismatches_; }
+  const wal::DurableLog& durable_log(NodeId n) const { return durable_[n]; }
+
+ protected:
+  // EngineBase hooks (see engine_base.h for contracts).
+  void OnUpdateStart(UpdateRt& rt, Version carried) override;
+  Status UpdateRead(UpdateRt& rt, ItemId item,
+                    verify::ReadRecord* out) override;
+  Status UpdateWrite(UpdateRt& rt, const txn::Op& op) override;
+  Version CarriedVersionForChild(const UpdateRt& rt) override;
+  Status ValidateCommit(const UpdateRt& root_rt, Version global,
+                        Version min_used) override;
+  void OnCommitMsg(UpdateRt& rt, Version global_version) override;
+  void OnUpdateAborted(UpdateRt& rt) override;
+  Status OnQueryStart(QueryRt& rt, Version assigned) override;
+  void QueryRead(QueryRt& rt, ItemId item, verify::ReadRecord* out) override;
+  void OnQueryFinish(QueryRt& rt) override;
+  void OnNodeCrash(NodeId node) override;
+  void OnNodeRecover(NodeId node) override;
+  void OnCrashPrepared(UpdateRt& rt) override;
+  void OnLoadInitial(NodeId node, ItemId item, int64_t value) override;
+
+ private:
+  /// Per-node version-advancement coordinator state (any node may
+  /// coordinate; several may be active at once, paper Section 3.2).
+  struct Coordinator {
+    bool active = false;
+    int phase = 0;  // 1 or 2; Phase 3 is fire-and-forget
+    Version newu = kInvalidVersion;
+    std::set<NodeId> pending_acks;
+    SimTime start_time = 0;
+    SimTime phase2_start = 0;
+    sim::EventId resend_ev = sim::kInvalidEvent;
+  };
+
+  // Coordinator side.
+  void StartPhase1(NodeId k, Version newu);
+  void StartPhase2(NodeId k);
+  void StartPhase3(NodeId k);
+  void OnAckAdvanceU(NodeId k, Version newu, NodeId from);
+  void OnAckAdvanceQ(NodeId k, Version newq, NodeId from);
+  void CancelCoordinator(NodeId k);
+  void BroadcastCurrentPhase(NodeId k, bool pending_only);
+  void ScheduleResend(NodeId k);
+
+  // Participant side.
+  void OnAdvanceU(NodeId i, Version newu, NodeId coord);
+  void OnAdvanceQ(NodeId i, Version newq, NodeId coord);
+  void OnGarbageCollect(NodeId i, Version newg);
+
+  /// Runs the Phase-3 collection for versions g+1 .. upto at node i (the
+  /// chain form covers the Phase-1 catch-up path). Each step is gated on
+  /// the local drain of the version being collected: in the normal flow
+  /// the counter is already zero (Phase 2 acked first), but recovery paths
+  /// (watchdog re-drives, catch-up after missed messages) may deliver the
+  /// collect request while old-version readers are still active locally.
+  void RunGcUpTo(NodeId i, Version upto);
+  void RunGcStep(NodeId i, Version v);
+
+  // FOURV-mode asynchronous per-node drains.
+  void FourVRegisterDrain(NodeId i, Version drained_q);
+  void FourVTryGc(NodeId i);
+
+  /// moveToFuture (paper Section 4): re-homes rt to `newv` without aborts
+  /// or locks; cost depends on the recovery scheme.
+  void MoveToFuture(UpdateRt& rt, Version newv);
+
+  void StartWatchdog(NodeId i);
+
+  /// Applies txn's undo records (in-place recovery scheme) to `st` —
+  /// shared by abort processing and transaction-consistent checkpoints.
+  void ApplyUndo(store::VersionedStore& st, NodeId node, TxnId txn);
+  /// A copy of node i's store with all in-flight effects undone.
+  std::unique_ptr<store::VersionedStore> CommittedStateClone(NodeId i);
+  void StartCheckpointTimer(NodeId i);
+
+  Ava3Options opts_;
+  std::string name_;
+  std::vector<std::unique_ptr<ControlState>> control_;
+  std::vector<Coordinator> coordinators_;
+  std::vector<std::set<Version>> fourv_drain_ready_;
+  /// Per-node read marks (see Ava3Options::update_read_marks): the highest
+  /// commit version of an update transaction that read each item.
+  /// Main-memory only (crash-reset is safe: in-flight readers abort and
+  /// post-recovery writers start at the durable, already-advanced u).
+  std::vector<std::unordered_map<ItemId, Version>> read_marks_;
+  /// Per-node durable redo logs + checkpoints (replay recovery).
+  std::vector<wal::DurableLog> durable_;
+  uint64_t recoveries_replayed_ = 0;
+  uint64_t recovery_mismatches_ = 0;
+  // Watchdog change detection: last observed (u,q,g) per node.
+  struct VersionSnapshot {
+    Version u = -1, q = -1, g = -1;
+    bool operator==(const VersionSnapshot&) const = default;
+  };
+  std::vector<VersionSnapshot> watchdog_last_;
+
+  static int StoreCapacityFor(const Ava3Options& o) {
+    if (o.continuous_advancement) return 0;  // GC may lag (footnote 3)
+    return o.four_version_mode ? 4 : 3;
+  }
+};
+
+}  // namespace ava3::core
+
+#endif  // AVA3_AVA3_AVA3_ENGINE_H_

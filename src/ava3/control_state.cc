@@ -1,0 +1,71 @@
+#include "ava3/control_state.h"
+
+#include <utility>
+
+namespace ava3::core {
+
+void ControlState::IncUpdate(Version v) {
+  ++latch_ops_;
+  ++update_counters_[v];
+}
+
+void ControlState::DecUpdate(Version v) {
+  ++latch_ops_;
+  int& c = update_counters_[v];
+  --c;
+  if (c == 0) {
+    FireWaiters(update_waiters_, v);
+    if (combined_) FireWaiters(query_waiters_, v);
+  }
+}
+
+void ControlState::IncQuery(Version v) {
+  ++latch_ops_;
+  ++QueryMap()[v];
+}
+
+void ControlState::DecQuery(Version v) {
+  ++latch_ops_;
+  int& c = QueryMap()[v];
+  --c;
+  if (c == 0) {
+    FireWaiters(query_waiters_, v);
+    if (combined_) FireWaiters(update_waiters_, v);
+  }
+}
+
+int ControlState::UpdateCount(Version v) const {
+  auto it = update_counters_.find(v);
+  return it == update_counters_.end() ? 0 : it->second;
+}
+
+int ControlState::QueryCount(Version v) const {
+  auto it = QueryMap().find(v);
+  return it == QueryMap().end() ? 0 : it->second;
+}
+
+void ControlState::WhenUpdateZero(Version v, std::function<void()> cb) {
+  if (UpdateCount(v) == 0) {
+    simulator_->After(0, std::move(cb));
+    return;
+  }
+  update_waiters_[v].push_back(std::move(cb));
+}
+
+void ControlState::WhenQueryZero(Version v, std::function<void()> cb) {
+  if (QueryCount(v) == 0) {
+    simulator_->After(0, std::move(cb));
+    return;
+  }
+  query_waiters_[v].push_back(std::move(cb));
+}
+
+void ControlState::FireWaiters(WaiterMap& waiters, Version v) {
+  auto it = waiters.find(v);
+  if (it == waiters.end()) return;
+  std::vector<std::function<void()>> fns = std::move(it->second);
+  waiters.erase(it);
+  for (auto& fn : fns) simulator_->After(0, std::move(fn));
+}
+
+}  // namespace ava3::core

@@ -1,0 +1,133 @@
+#ifndef AVA3_AVA3_CONTROL_STATE_H_
+#define AVA3_AVA3_CONTROL_STATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace ava3::core {
+
+/// Per-node control state of the AVA3 protocol (paper Section 3.1):
+///
+/// - u: the update version number (new update subtransactions write here),
+/// - q: the query version number (new queries read here),
+/// - g: the garbage version number (already collected / being collected),
+/// - main-memory query/update transaction counters per active version,
+///   with registered "counter reached zero" waiters used by the
+///   advancement phases.
+///
+/// u, q, g are durable (a few logged integers); the counters are
+/// main-memory only and reset to zero on a crash — safe because recovery
+/// aborts all in-flight transactions (Lemma 6.1).
+///
+/// The `combined` mode implements optimization O3 from Section 10: one
+/// counter per version shared by queries and updates. It is sound because a
+/// version receives queries only after all its updates finished.
+class ControlState {
+ public:
+  /// Initial state per the paper: all data in version 0, q=0, u=1, g=-1
+  /// (version -1 is vacuously collected, satisfying the advancement guard
+  /// u == g + 2).
+  ControlState(sim::Simulator* simulator, bool combined)
+      : simulator_(simulator), combined_(combined) {
+    update_counters_[1] = 0;
+    QueryMap()[0] = 0;
+  }
+
+  Version u() const { return u_; }
+  Version q() const { return q_; }
+  Version g() const { return g_; }
+
+  /// Advances the update version (monotonic; no-op if not larger) and
+  /// initializes the new version's update counter.
+  void AdvanceU(Version newu) {
+    if (newu <= u_) return;
+    u_ = newu;
+    update_counters_.try_emplace(newu, 0);
+  }
+  /// Advances the query version and initializes its query counter.
+  void AdvanceQ(Version newq) {
+    if (newq <= q_) return;
+    q_ = newq;
+    QueryMap().try_emplace(newq, 0);
+  }
+  void AdvanceG(Version newg) {
+    if (newg <= g_) return;
+    g_ = newg;
+  }
+
+  // Counter operations. Each is one latched main-memory increment or
+  // decrement; `latch_ops` counts them for experiment E9.
+  void IncUpdate(Version v);
+  void DecUpdate(Version v);
+  void IncQuery(Version v);
+  void DecQuery(Version v);
+
+  int UpdateCount(Version v) const;
+  int QueryCount(Version v) const;
+
+  /// Registers `cb` to fire (as a simulator event) once the update counter
+  /// for `v` is zero; fires immediately if it already is. Multiple waiters
+  /// per version are supported (multiple advancement coordinators).
+  void WhenUpdateZero(Version v, std::function<void()> cb);
+  void WhenQueryZero(Version v, std::function<void()> cb);
+
+  /// Phase-3 cleanup: forget the (drained) query counter of `oldq` and the
+  /// update counter of `oldu`. In combined mode (O3) the slot for `oldu`
+  /// IS the live query counter for the current query version (queries of a
+  /// version reuse the counter its updates drained), so only `oldq` may be
+  /// forgotten.
+  void EraseCountersAt(Version oldq, Version oldu) {
+    if (combined_) {
+      update_counters_.erase(oldq);
+      return;
+    }
+    query_counters_.erase(oldq);
+    update_counters_.erase(oldu);
+  }
+
+  /// Crash: counters and waiters are volatile; u/q/g survive (durable).
+  void CrashReset() {
+    update_counters_.clear();
+    query_counters_.clear();
+    update_waiters_.clear();
+    query_waiters_.clear();
+    update_counters_.try_emplace(u_, 0);
+    QueryMap().try_emplace(q_, 0);
+  }
+
+  uint64_t latch_ops() const { return latch_ops_; }
+  bool combined() const { return combined_; }
+
+ private:
+  using CounterMap = std::map<Version, int>;
+  using WaiterMap = std::map<Version, std::vector<std::function<void()>>>;
+
+  CounterMap& QueryMap() {
+    return combined_ ? update_counters_ : query_counters_;
+  }
+  const CounterMap& QueryMap() const {
+    return combined_ ? update_counters_ : query_counters_;
+  }
+
+  void FireWaiters(WaiterMap& waiters, Version v);
+
+  sim::Simulator* simulator_;
+  bool combined_;
+  Version u_ = 1;
+  Version q_ = 0;
+  Version g_ = -1;
+  CounterMap update_counters_;
+  CounterMap query_counters_;  // unused in combined mode
+  WaiterMap update_waiters_;
+  WaiterMap query_waiters_;
+  uint64_t latch_ops_ = 0;
+};
+
+}  // namespace ava3::core
+
+#endif  // AVA3_AVA3_CONTROL_STATE_H_

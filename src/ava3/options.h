@@ -1,0 +1,91 @@
+#ifndef AVA3_AVA3_OPTIONS_H_
+#define AVA3_AVA3_OPTIONS_H_
+
+#include "common/types.h"
+#include "log/recovery_log.h"
+
+namespace ava3::core {
+
+/// Configuration of the AVA3 engine, including the paper's optional
+/// optimizations (Sections 8 and 10) and the two evaluation modes that are
+/// implemented as deltas on the AVA3 machinery (SYNC-AVA and FOURV).
+struct Ava3Options {
+  /// Recovery scheme (paper Section 4); determines moveToFuture's cost.
+  wal::RecoveryScheme recovery = wal::RecoveryScheme::kNoUndo;
+
+  /// SYNC-AVA ablation: disable moveToFuture; any version mismatch
+  /// (at access time or at commit) aborts the transaction instead. Models
+  /// the [MPL92] distributed behaviour the paper improves on.
+  bool disable_move_to_future = false;
+
+  /// Section 8: when a transaction executes moveToFuture, immediately
+  /// re-home its update counter to the new version, so Phase 1 need not
+  /// wait for long-running transactions that already moved.
+  bool eager_counter_handoff = false;
+
+  /// Section 8: let Phase-3 garbage collection lag; a new advancement may
+  /// start as soon as the previous Phase 2 completed. Temporarily allows
+  /// more than three physical copies (the paper's footnote 3), so the
+  /// store bound is lifted; user transactions still touch only the latest
+  /// three.
+  bool continuous_advancement = false;
+
+  /// Section 10 optimization O1: piggyback the parent's current version on
+  /// child-spawn messages and start the child at max(carried, u_i).
+  bool carry_version_in_txn = false;
+
+  /// Section 10 optimization O2: only root subqueries maintain query
+  /// counters.
+  bool root_only_query_counters = false;
+
+  /// Section 10 optimization O3: one shared transaction counter per
+  /// version for both queries and updates.
+  bool combined_counters = false;
+
+  /// FOURV mode ([WYC91]/[MPL92]-flavored baseline): Phase 2 does not wait
+  /// for old queries to drain; drained query versions are collected
+  /// asynchronously when their query count hits zero; up to four versions
+  /// coexist and advancement can run more often (fresher reads at the cost
+  /// of a fourth version). Centralized only (num_nodes == 1), like the
+  /// schemes it models: with local asynchronous drains, a remote subquery
+  /// of an old-version query could arrive after its version was collected —
+  /// the very distributed-coordination problem the paper's AVA3 solves.
+  bool four_version_mode = false;
+
+  /// Close the serializability gap our MVSG oracle found in the paper's
+  /// protocol (see DESIGN.md "Findings"): during an advancement window a
+  /// version-v transaction may write an item *after* a version-(v+1)
+  /// transaction read it — reads leave no trace once their lock drops, so
+  /// the paper's maxV-based moveToFuture never fires, and the resulting
+  /// anti-dependency contradicts the commit-version serial order. Fix, in
+  /// the paper's own style: each node keeps in-memory per-item *read
+  /// marks* (the highest commit version of any update transaction that
+  /// read the item, recorded at commit while its locks are still held); a
+  /// writer that finds a mark above its version executes moveToFuture.
+  /// Queries never touch marks, so non-interference is untouched. Disable
+  /// only to study the anomaly (tests/paper_deviation_test.cc).
+  bool update_read_marks = true;
+
+  /// Re-drive stalled advancement (coordinator crash): nodes periodically
+  /// detect a stuck half-advanced state and adopt the round. Handlers are
+  /// idempotent, so adoption is safe.
+  bool advancement_watchdog = false;
+
+  /// Coordinator resend period for un-acked advancement messages (covers
+  /// participant crashes); 0 disables resends.
+  SimDuration advancement_resend = 200 * kMillisecond;
+  SimDuration watchdog_interval = 1 * kSecond;
+
+  /// Model recovery as real checkpoint + redo-log replay ([BPR+96]-style,
+  /// paper Section 4) instead of trusting the surviving store: every node
+  /// keeps a durable log of commit-applies and GC steps plus periodic
+  /// transaction-consistent checkpoints; RecoverNode rebuilds the store by
+  /// replay, verifies it against the committed live content, and swaps it
+  /// in. Disable to model an ideal durable store.
+  bool durable_replay_recovery = true;
+  SimDuration checkpoint_period = 500 * kMillisecond;
+};
+
+}  // namespace ava3::core
+
+#endif  // AVA3_AVA3_OPTIONS_H_

@@ -1,0 +1,209 @@
+#ifndef AVA3_BASELINES_MVU_ENGINE_H_
+#define AVA3_BASELINES_MVU_ENGINE_H_
+
+#include <algorithm>
+#include <set>
+
+#include "engine/engine_base.h"
+
+namespace ava3::baselines {
+
+/// Unbounded timestamp-chain multi-versioning in the spirit of
+/// [CFL+82]/[CG85]: every commit creates a new version of the items it
+/// wrote, stamped with a global commit sequence number; queries read the
+/// snapshot current at their start and never lock; versions older than the
+/// oldest active snapshot are pruned. A single long-running query therefore
+/// makes version chains grow without bound — the behaviour the paper's
+/// three-version design eliminates.
+///
+/// Simplifications (documented in DESIGN.md): commit sequence numbers come
+/// from a global timestamp authority, and a committing transaction's writes
+/// become visible at all nodes atomically at the decision (idealizations
+/// that only *favor* this baseline).
+class MvuEngine : public db::EngineBase {
+ public:
+  MvuEngine(db::EngineEnv env, int num_nodes, db::BaseOptions base_options,
+            SimDuration gc_sweep_interval = 100 * kMillisecond)
+      : EngineBase(env, num_nodes, base_options, /*store_capacity=*/0) {
+    if (gc_sweep_interval > 0) StartSweep(gc_sweep_interval);
+  }
+
+  const char* name() const override { return "mvu"; }
+
+  /// Oldest snapshot any active query may read (the GC watermark).
+  Version Watermark() const {
+    return active_snapshots_.empty() ? commit_seq_ : *active_snapshots_.begin();
+  }
+  Version commit_seq() const { return commit_seq_; }
+  uint64_t versions_pruned() const { return versions_pruned_; }
+  /// Average version-chain length traversed per read (the pointer-chasing
+  /// overhead the paper attributes to unbounded-versioning schemes).
+  double MeanChainScan() const {
+    return reads_ == 0 ? 0.0
+                       : static_cast<double>(chain_scans_) /
+                             static_cast<double>(reads_);
+  }
+  /// Deepest single-read chain traversal observed (what an old snapshot
+  /// pays once chains have grown).
+  int MaxChainScan() const { return max_chain_scan_; }
+
+ protected:
+  void OnUpdateStart(UpdateRt& rt, Version carried) override {
+    (void)carried;
+    rt.version = rt.start_version = rt.counter_version = 0;
+  }
+
+  Status UpdateRead(UpdateRt& rt, ItemId item,
+                    verify::ReadRecord* out) override {
+    auto it = rt.wbuf.find(item);
+    if (it != rt.wbuf.end()) {
+      out->version_read = commit_seq_;
+      out->value = it->second.value;
+      out->found = !it->second.deleted;
+      out->own_write = true;
+      return Status::Ok();
+    }
+    // Updates read the latest committed version (they hold the lock).
+    auto r = store(rt.node).ReadAtMost(item, kSimTimeMax);
+    NoteScan(r);
+    if (r.ok() && !r->deleted) {
+      out->version_read = r->version;
+      out->value = r->value;
+      out->found = true;
+    } else {
+      out->found = false;
+    }
+    return Status::Ok();
+  }
+
+  Status UpdateWrite(UpdateRt& rt, const txn::Op& op) override {
+    int64_t base = 0;
+    auto bit = rt.wbuf.find(op.item);
+    if (bit != rt.wbuf.end()) {
+      if (!bit->second.deleted) base = bit->second.value;
+    } else {
+      auto r = store(rt.node).ReadAtMost(op.item, kSimTimeMax);
+      if (r.ok() && !r->deleted) base = r->value;
+    }
+    PendingWrite pw;
+    switch (op.kind) {
+      case txn::Op::Kind::kWrite:
+        pw.value = op.arg;
+        break;
+      case txn::Op::Kind::kAdd:
+        pw.value = base + op.arg;
+        break;
+      case txn::Op::Kind::kDelete:
+        pw.deleted = true;
+        break;
+      default:
+        return Status::Internal("non-write op in UpdateWrite");
+    }
+    auto [it, inserted] = rt.wbuf.insert_or_assign(op.item, pw);
+    if (inserted) rt.wbuf_order.push_back(op.item);
+    return Status::Ok();
+  }
+
+  void OnCommitDecision(UpdateRt& root_rt, Version* global_version) override {
+    // Stamp from the global timestamp authority and install every
+    // subtransaction's writes across the cluster atomically (idealized
+    // synchronous apply; see class comment).
+    const Version cv = ++commit_seq_;
+    *global_version = cv;
+    const SimTime now = simulator().Now();
+    const Version wm = Watermark();
+    for (size_t i = 0; i < root_rt.script->subtxns.size(); ++i) {
+      const NodeId n = root_rt.script->subtxns[i].node;
+      auto it = node_state(n).updates.find(root_rt.txn);
+      if (it == node_state(n).updates.end()) continue;
+      UpdateRt& rt = *it->second;
+      store::VersionedStore& st = store(n);
+      for (ItemId item : rt.wbuf_order) {
+        const PendingWrite& pw = rt.wbuf[item];
+        Status s = pw.deleted ? st.MarkDeleted(item, cv, rt.txn, now)
+                              : st.Put(item, cv, pw.value, rt.txn, now);
+        (void)s;
+        rt.writes.push_back(verify::WriteRecord{
+            n, item, pw.value, pw.deleted, now,
+            simulator().events_executed()});
+        versions_pruned_ += static_cast<uint64_t>(st.PruneItem(item, wm));
+      }
+    }
+  }
+
+  void OnCommitMsg(UpdateRt& rt, Version global_version) override {
+    // Data was installed at decision time; the commit message only
+    // releases locks (handled by the base).
+    (void)rt;
+    (void)global_version;
+  }
+
+  void OnUpdateAborted(UpdateRt& rt) override { (void)rt; }
+
+  Status OnQueryStart(QueryRt& rt, Version assigned) override {
+    if (rt.is_root()) {
+      rt.version = commit_seq_;
+      metrics().RecordQueryStart(rt.version, simulator().Now());
+    } else {
+      rt.version = assigned;
+    }
+    active_snapshots_.insert(rt.version);
+    rt.counted = true;
+    return Status::Ok();
+  }
+
+  void QueryRead(QueryRt& rt, ItemId item, verify::ReadRecord* out) override {
+    auto r = store(rt.node).ReadAtMost(item, rt.version);
+    NoteScan(r);
+    if (r.ok() && !r->deleted) {
+      out->version_read = r->version;
+      out->value = r->value;
+      out->found = true;
+    } else {
+      out->found = false;
+    }
+  }
+
+  void OnQueryFinish(QueryRt& rt) override {
+    if (!rt.counted) return;
+    auto it = active_snapshots_.find(rt.version);
+    if (it != active_snapshots_.end()) active_snapshots_.erase(it);
+    rt.counted = false;
+  }
+
+ private:
+  void NoteScan(const Result<store::ReadResult>& r) {
+    ++reads_;
+    if (r.ok()) {
+      chain_scans_ += static_cast<uint64_t>(r->versions_scanned);
+      max_chain_scan_ = std::max(max_chain_scan_, r->versions_scanned);
+    }
+  }
+
+  void StartSweep(SimDuration interval) {
+    simulator().After(interval, [this, interval]() {
+      const Version wm = Watermark();
+      for (int n = 0; n < num_nodes(); ++n) {
+        std::vector<ItemId> ids;
+        store(n).ForEachItem(
+            [&ids](ItemId item, const auto&) { ids.push_back(item); });
+        for (ItemId item : ids) {
+          versions_pruned_ +=
+              static_cast<uint64_t>(store(n).PruneItem(item, wm));
+        }
+      }
+      StartSweep(interval);
+    });
+  }
+
+  Version commit_seq_ = 0;
+  std::multiset<Version> active_snapshots_;
+  uint64_t versions_pruned_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t chain_scans_ = 0;
+  int max_chain_scan_ = 0;
+};
+
+}  // namespace ava3::baselines
+
+#endif  // AVA3_BASELINES_MVU_ENGINE_H_

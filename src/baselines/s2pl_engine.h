@@ -1,0 +1,116 @@
+#ifndef AVA3_BASELINES_S2PL_ENGINE_H_
+#define AVA3_BASELINES_S2PL_ENGINE_H_
+
+#include "engine/engine_base.h"
+
+namespace ava3::baselines {
+
+/// Single-version strict two-phase locking where *queries also take shared
+/// locks* — the interference baseline standing in for the two-version
+/// schemes of [BHR80, SR81] the paper rules out: long read-only queries
+/// block updates (and vice versa), and queries can deadlock and abort.
+class S2plEngine : public db::EngineBase {
+ public:
+  S2plEngine(db::EngineEnv env, int num_nodes, db::BaseOptions base_options)
+      : EngineBase(env, num_nodes, base_options, /*store_capacity=*/1) {}
+
+  const char* name() const override { return "s2pl"; }
+
+ protected:
+  void OnUpdateStart(UpdateRt& rt, Version carried) override {
+    (void)carried;
+    rt.version = rt.start_version = rt.counter_version = 0;
+  }
+
+  Status UpdateRead(UpdateRt& rt, ItemId item,
+                    verify::ReadRecord* out) override {
+    auto it = rt.wbuf.find(item);
+    if (it != rt.wbuf.end()) {
+      out->version_read = 0;
+      out->value = it->second.value;
+      out->found = !it->second.deleted;
+      out->own_write = true;
+      return Status::Ok();
+    }
+    auto r = store(rt.node).ReadAtMost(item, 0);
+    if (r.ok() && !r->deleted) {
+      out->version_read = 0;
+      out->value = r->value;
+      out->found = true;
+    } else {
+      out->found = false;
+    }
+    return Status::Ok();
+  }
+
+  Status UpdateWrite(UpdateRt& rt, const txn::Op& op) override {
+    int64_t base = 0;
+    auto bit = rt.wbuf.find(op.item);
+    if (bit != rt.wbuf.end()) {
+      if (!bit->second.deleted) base = bit->second.value;
+    } else {
+      auto r = store(rt.node).ReadAtMost(op.item, 0);
+      if (r.ok() && !r->deleted) base = r->value;
+    }
+    PendingWrite pw;
+    switch (op.kind) {
+      case txn::Op::Kind::kWrite:
+        pw.value = op.arg;
+        break;
+      case txn::Op::Kind::kAdd:
+        pw.value = base + op.arg;
+        break;
+      case txn::Op::Kind::kDelete:
+        pw.deleted = true;
+        break;
+      default:
+        return Status::Internal("non-write op in UpdateWrite");
+    }
+    auto [it, inserted] = rt.wbuf.insert_or_assign(op.item, pw);
+    if (inserted) rt.wbuf_order.push_back(op.item);
+    return Status::Ok();
+  }
+
+  void OnCommitMsg(UpdateRt& rt, Version global_version) override {
+    (void)global_version;
+    store::VersionedStore& st = store(rt.node);
+    const SimTime now = simulator().Now();
+    for (ItemId item : rt.wbuf_order) {
+      const PendingWrite& pw = rt.wbuf[item];
+      Status s = pw.deleted ? st.MarkDeleted(item, 0, rt.txn, now)
+                            : st.Put(item, 0, pw.value, rt.txn, now);
+      (void)s;
+      rt.writes.push_back(verify::WriteRecord{rt.node, item, pw.value,
+                                              pw.deleted, now,
+                                              simulator().events_executed()});
+    }
+  }
+
+  void OnUpdateAborted(UpdateRt& rt) override { (void)rt; }
+
+  bool QueriesUseLocks() const override { return true; }
+
+  Status OnQueryStart(QueryRt& rt, Version assigned) override {
+    (void)assigned;
+    rt.version = 0;
+    if (rt.is_root()) metrics().RecordQueryStart(0, simulator().Now());
+    return Status::Ok();
+  }
+
+  void QueryRead(QueryRt& rt, ItemId item, verify::ReadRecord* out) override {
+    auto r = store(rt.node).ReadAtMost(item, 0);
+    if (r.ok() && !r->deleted) {
+      out->version_read = 0;
+      out->value = r->value;
+      out->found = true;
+    } else {
+      out->found = false;
+    }
+  }
+
+  void OnQueryFinish(QueryRt& rt) override { (void)rt; }
+};
+
+}  // namespace ava3::baselines
+
+#endif  // AVA3_BASELINES_S2PL_ENGINE_H_

@@ -1,0 +1,18 @@
+#include "common/histogram.h"
+
+#include <cstdio>
+
+namespace ava3 {
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%zu mean=%.1f p50=%lld p90=%lld p99=%lld max=%lld",
+                count(), Mean(), static_cast<long long>(Percentile(50)),
+                static_cast<long long>(Percentile(90)),
+                static_cast<long long>(Percentile(99)),
+                static_cast<long long>(max()));
+  return std::string(buf);
+}
+
+}  // namespace ava3

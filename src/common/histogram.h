@@ -1,0 +1,73 @@
+#ifndef AVA3_COMMON_HISTOGRAM_H_
+#define AVA3_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ava3 {
+
+/// Simple exact-percentile histogram for latency/staleness measurements.
+/// Stores all samples; simulations are bounded so memory is not a concern,
+/// and exactness makes the experiment tables reproducible bit-for-bit.
+class Histogram {
+ public:
+  void Add(int64_t sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+    sum_ += sample;
+    max_ = std::max(max_, sample);
+    min_ = std::min(min_, sample);
+  }
+
+  size_t count() const { return samples_.size(); }
+  int64_t sum() const { return sum_; }
+  int64_t max() const { return samples_.empty() ? 0 : max_; }
+  int64_t min() const { return samples_.empty() ? 0 : min_; }
+
+  double Mean() const {
+    return samples_.empty()
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(samples_.size());
+  }
+
+  /// Exact percentile, p in [0, 100].
+  int64_t Percentile(double p) const {
+    if (samples_.empty()) return 0;
+    EnsureSorted();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const size_t idx = static_cast<size_t>(rank + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  void Clear() {
+    samples_.clear();
+    sum_ = 0;
+    max_ = std::numeric_limits<int64_t>::min();
+    min_ = std::numeric_limits<int64_t>::max();
+    sorted_ = false;
+  }
+
+  /// "count=…, mean=…, p50=…, p99=…, max=…" one-liner for reports.
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<int64_t> samples_;
+  mutable bool sorted_ = false;
+  int64_t sum_ = 0;
+  int64_t max_ = std::numeric_limits<int64_t>::min();
+  int64_t min_ = std::numeric_limits<int64_t>::max();
+};
+
+}  // namespace ava3
+
+#endif  // AVA3_COMMON_HISTOGRAM_H_

@@ -1,0 +1,134 @@
+#ifndef AVA3_COMMON_STATUS_H_
+#define AVA3_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ava3 {
+
+/// Error categories used across the library. Modeled after the
+/// Arrow/RocksDB Status idiom: protocol and storage paths never throw;
+/// they return Status / Result<T>.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kAborted,        // transaction aborted (deadlock victim, crash, sync-ava)
+  kDeadlock,       // chosen as deadlock victim
+  kTimedOut,
+  kInternal,
+  kUnavailable,    // node crashed / not running
+};
+
+/// Returns a short stable name for the code, e.g. "Aborted".
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value-type status. Ok status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True when the failure indicates the transaction should be retried
+  /// (deadlock victim, sync-advancement mismatch, node crash).
+  bool IsRetryable() const {
+    return code_ == StatusCode::kAborted || code_ == StatusCode::kDeadlock ||
+           code_ == StatusCode::kTimedOut || code_ == StatusCode::kUnavailable;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Result<T>: either a value or an error Status. Minimal StatusOr analog.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse (`return value;` / `return Status::NotFound(...)`).
+  Result(T value) : rep_(std::move(value)) {}            // NOLINT
+  Result(Status status) : rep_(std::move(status)) {      // NOLINT
+    // An OK status without a value is a programming error.
+    if (std::get<Status>(rep_).ok()) {
+      rep_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::move(std::get<T>(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace ava3
+
+/// Propagates a non-OK Status from an expression.
+#define AVA3_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::ava3::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // AVA3_COMMON_STATUS_H_

@@ -1,0 +1,13 @@
+#include "common/trace.h"
+
+namespace ava3 {
+
+std::vector<TraceEvent> TraceSink::Matching(const std::string& needle) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.what.find(needle) != std::string::npos) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace ava3

@@ -1,0 +1,54 @@
+#ifndef AVA3_COMMON_TRACE_H_
+#define AVA3_COMMON_TRACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ava3 {
+
+/// A single protocol-level trace event. The Table-1 reproduction bench
+/// renders these as the paper's example execution table; tests assert on
+/// them; normal runs keep tracing disabled for speed.
+struct TraceEvent {
+  SimTime time = 0;
+  NodeId node = kInvalidNode;
+  std::string what;
+};
+
+/// Collects trace events when enabled. One sink per simulation; subsystems
+/// hold a pointer and call Emit(). Not thread-safe (the simulator is
+/// single-threaded by design).
+class TraceSink {
+ public:
+  void Enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void Emit(SimTime time, NodeId node, std::string what) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{time, node, std::move(what)});
+    if (listener_) listener_(events_.back());
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Optional live listener (used by example binaries to stream the trace).
+  void SetListener(std::function<void(const TraceEvent&)> fn) {
+    listener_ = std::move(fn);
+  }
+
+  /// Returns events whose description contains `needle`.
+  std::vector<TraceEvent> Matching(const std::string& needle) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+  std::function<void(const TraceEvent&)> listener_;
+};
+
+}  // namespace ava3
+
+#endif  // AVA3_COMMON_TRACE_H_

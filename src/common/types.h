@@ -1,0 +1,62 @@
+#ifndef AVA3_COMMON_TYPES_H_
+#define AVA3_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ava3 {
+
+/// Identifier of a node (site) in the distributed system. Nodes are labeled
+/// 0..n-1, matching the paper's sites 1..n.
+using NodeId = int32_t;
+
+/// Identifier of a data item. Items are partitioned across nodes by the
+/// catalog (see workload::WorkloadSpec); an item lives on exactly one node.
+using ItemId = int64_t;
+
+/// Globally unique transaction identifier (assigned by the driver).
+using TxnId = uint64_t;
+
+/// A data version number. The paper's protocol needs only three distinct
+/// physical numbers; we use monotonically increasing logical numbers (the
+/// paper explicitly allows this) and enforce the <=3 live-versions bound in
+/// the versioned store instead.
+using Version = int64_t;
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+
+/// Duration in simulated microseconds.
+using SimDuration = int64_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr ItemId kInvalidItem = -1;
+inline constexpr TxnId kInvalidTxn = 0;
+inline constexpr Version kInvalidVersion = std::numeric_limits<int64_t>::min();
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<int64_t>::max();
+
+/// Convenience literals for simulated durations.
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * 1000;
+
+/// Kind of a user transaction. Queries are read-only and lock-free;
+/// updates use strict two-phase locking (paper, Section 2).
+enum class TxnKind : uint8_t {
+  kUpdate = 0,
+  kQuery = 1,
+};
+
+/// Returns "update" or "query".
+std::string ToString(TxnKind kind);
+
+/// Terminal state of a transaction as observed by the driver.
+enum class TxnOutcome : uint8_t {
+  kCommitted = 0,
+  kAborted = 1,   // aborted and will not be retried by the engine itself
+};
+
+}  // namespace ava3
+
+#endif  // AVA3_COMMON_TYPES_H_

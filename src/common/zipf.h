@@ -1,0 +1,58 @@
+#ifndef AVA3_COMMON_ZIPF_H_
+#define AVA3_COMMON_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ava3 {
+
+/// Zipfian item-popularity distribution over [0, n) with skew theta in
+/// [0, 1). theta == 0 degenerates to uniform. Uses the standard
+/// Gray et al. "zeta" rejection-free method with precomputed constants,
+/// as popularized by YCSB.
+class ZipfGenerator {
+ public:
+  /// Builds a generator over n items with skew theta (0 <= theta < 1).
+  ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+    zeta_n_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+
+  /// Draws an item rank in [0, n); rank 0 is the most popular item.
+  uint64_t Next(Rng& rng) const {
+    if (theta_ <= 1e-12) return rng.Uniform(n_);
+    const double u = rng.NextDouble();
+    const double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zeta_n_ = 0;
+  double zeta2_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+};
+
+}  // namespace ava3
+
+#endif  // AVA3_COMMON_ZIPF_H_

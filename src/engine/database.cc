@@ -1,0 +1,85 @@
+#include "engine/database.h"
+
+#include <cassert>
+
+#include "baselines/mvu_engine.h"
+#include "baselines/s2pl_engine.h"
+
+namespace ava3::db {
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kAva3:
+      return "ava3";
+    case Scheme::kS2pl:
+      return "s2pl";
+    case Scheme::kMvu:
+      return "mvu";
+    case Scheme::kFourV:
+      return "fourv";
+  }
+  return "?";
+}
+
+Database::Database(DatabaseOptions options) : options_(options) {
+  simulator_ = std::make_unique<sim::Simulator>();
+  trace_ = std::make_unique<TraceSink>();
+  trace_->Enable(options_.enable_trace);
+  metrics_ = std::make_unique<Metrics>();
+  recorder_ = std::make_unique<verify::HistoryRecorder>();
+  network_ = std::make_unique<sim::Network>(simulator_.get(),
+                                            options_.num_nodes, options_.net,
+                                            Rng(options_.seed ^ 0xA5A5A5A5ULL));
+  EngineEnv env;
+  env.simulator = simulator_.get();
+  env.network = network_.get();
+  env.metrics = metrics_.get();
+  env.recorder = options_.enable_recorder ? recorder_.get() : nullptr;
+  env.trace = trace_.get();
+  switch (options_.scheme) {
+    case Scheme::kAva3:
+      engine_ = std::make_unique<core::Ava3Engine>(env, options_.num_nodes,
+                                                   options_.base,
+                                                   options_.ava3);
+      break;
+    case Scheme::kFourV: {
+      core::Ava3Options ava3 = options_.ava3;
+      ava3.four_version_mode = true;
+      engine_ = std::make_unique<core::Ava3Engine>(env, options_.num_nodes,
+                                                   options_.base, ava3);
+      break;
+    }
+    case Scheme::kS2pl:
+      engine_ = std::make_unique<baselines::S2plEngine>(
+          env, options_.num_nodes, options_.base);
+      break;
+    case Scheme::kMvu:
+      engine_ = std::make_unique<baselines::MvuEngine>(
+          env, options_.num_nodes, options_.base);
+      break;
+  }
+}
+
+Database::~Database() = default;
+
+core::Ava3Engine* Database::ava3_engine() {
+  if (options_.scheme == Scheme::kAva3 || options_.scheme == Scheme::kFourV) {
+    return static_cast<core::Ava3Engine*>(engine_.get());
+  }
+  return nullptr;
+}
+
+TxnResult Database::RunToCompletion(txn::TxnScript script) {
+  std::optional<TxnResult> result;
+  engine_->Submit(NextTxnId(), std::move(script),
+                  [&result](const TxnResult& r) { result = r; });
+  // Periodic services (deadlock detector, watchdogs) keep the event queue
+  // non-empty forever; bound the drain by completion instead.
+  uint64_t safety = 100'000'000;
+  while (!result.has_value() && safety-- > 0 && simulator_->Step()) {
+  }
+  assert(result.has_value() && "transaction never completed");
+  return *result;
+}
+
+}  // namespace ava3::db

@@ -1,0 +1,90 @@
+#ifndef AVA3_ENGINE_DATABASE_H_
+#define AVA3_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <optional>
+
+#include "ava3/ava3_engine.h"
+#include "engine/engine_iface.h"
+
+namespace ava3::db {
+
+/// Which concurrency-control scheme a Database runs.
+enum class Scheme {
+  kAva3 = 0,  // the paper's protocol (variants via Ava3Options)
+  kS2pl,      // single-version strict 2PL with read-locking queries
+  kMvu,       // unbounded timestamp-chain multiversioning
+  kFourV,     // Ava3 machinery in four-version (WYC91-flavored) mode
+};
+
+const char* SchemeName(Scheme scheme);
+
+struct DatabaseOptions {
+  int num_nodes = 3;
+  Scheme scheme = Scheme::kAva3;
+  uint64_t seed = 42;
+  BaseOptions base;
+  core::Ava3Options ava3;
+  sim::NetworkOptions net;
+  bool enable_trace = false;
+  bool enable_recorder = true;
+};
+
+/// The public entry point: one simulated distributed database. Owns the
+/// simulator, network, metrics, oracle, and the selected engine.
+///
+/// Typical use (see examples/quickstart.cc):
+///
+///   ava3::db::DatabaseOptions opt;
+///   ava3::db::Database database(opt);
+///   database.engine().LoadInitial(0, /*item=*/1, /*value=*/100);
+///   auto result = database.RunToCompletion(
+///       ava3::txn::SingleNodeQuery(0, {1}));
+///
+/// The simulator is single-threaded and deterministic: the same options and
+/// submission sequence reproduce identical runs.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options);
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  sim::Simulator& simulator() { return *simulator_; }
+  sim::Network& network() { return *network_; }
+  Engine& engine() { return *engine_; }
+  Metrics& metrics() { return *metrics_; }
+  TraceSink& trace() { return *trace_; }
+  verify::HistoryRecorder& recorder() { return *recorder_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// The AVA3 engine, or nullptr when running a non-AVA3 scheme.
+  core::Ava3Engine* ava3_engine();
+
+  /// Fresh transaction id (monotonic).
+  TxnId NextTxnId() { return next_txn_id_++; }
+
+  /// Submits `script` and runs the simulation until it finishes (plus any
+  /// already-scheduled events at earlier times). Convenience for examples
+  /// and tests; concurrent-workload runs use WorkloadRunner instead.
+  TxnResult RunToCompletion(txn::TxnScript script);
+
+  /// Runs the simulation for `d` simulated microseconds.
+  void RunFor(SimDuration d) {
+    simulator_->RunUntil(simulator_->Now() + d);
+  }
+
+ private:
+  DatabaseOptions options_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<TraceSink> trace_;
+  std::unique_ptr<Metrics> metrics_;
+  std::unique_ptr<verify::HistoryRecorder> recorder_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<Engine> engine_;
+  TxnId next_txn_id_ = 1;
+};
+
+}  // namespace ava3::db
+
+#endif  // AVA3_ENGINE_DATABASE_H_

@@ -1,0 +1,911 @@
+#include "engine/engine_base.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ava3::db {
+
+using sim::MsgKind;
+
+EngineBase::EngineBase(EngineEnv env, int num_nodes, BaseOptions options,
+                       int store_capacity)
+    : env_(env), options_(options) {
+  assert(env_.simulator != nullptr && env_.network != nullptr &&
+         env_.metrics != nullptr);
+  nodes_.resize(static_cast<size_t>(num_nodes));
+  std::vector<lock::LockManager*> lms;
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes_[i].store = std::make_unique<store::VersionedStore>(store_capacity);
+    nodes_[i].locks = std::make_unique<lock::LockManager>(env_.simulator, i);
+    lms.push_back(nodes_[i].locks.get());
+  }
+  deadlock_detector_ = std::make_unique<lock::DeadlockDetector>(
+      env_.simulator, std::move(lms), options_.deadlock_interval,
+      [this](TxnId victim) { OnDeadlockVictim(victim); });
+  deadlock_detector_->Start();
+}
+
+EngineBase::~EngineBase() { deadlock_detector_->Stop(); }
+
+int EngineBase::ActiveSubtxns() const {
+  int n = 0;
+  for (const auto& ns : nodes_) {
+    n += static_cast<int>(ns.updates.size() + ns.queries.size());
+  }
+  return n;
+}
+
+void EngineBase::Submit(TxnId id, txn::TxnScript script, ResultCallback done) {
+  Status valid = script.Validate(num_nodes());
+  const SimTime submit_time = simulator().Now();
+  if (!valid.ok()) {
+    simulator().After(0, [id, kind = script.kind, valid, submit_time,
+                          done = std::move(done)]() {
+      TxnResult res;
+      res.id = id;
+      res.kind = kind;
+      res.outcome = TxnOutcome::kAborted;
+      res.status = valid;
+      res.submit_time = submit_time;
+      done(res);
+    });
+    return;
+  }
+  auto shared = std::make_shared<const txn::TxnScript>(std::move(script));
+  const NodeId root = shared->subtxns[0].node;
+  if (shared->kind == TxnKind::kUpdate) {
+    network().Send(root, root, MsgKind::kSpawnSubtxn,
+                   [this, root, shared, id, done = std::move(done),
+                    submit_time]() mutable {
+                     StartUpdateSubtxn(root, shared, 0, id, kInvalidVersion,
+                                       std::move(done), submit_time);
+                   });
+  } else {
+    network().Send(root, root, MsgKind::kSpawnSubtxn,
+                   [this, root, shared, id, done = std::move(done),
+                    submit_time]() mutable {
+                     StartQuerySubtxn(root, shared, 0, id, kInvalidVersion,
+                                      std::move(done), submit_time);
+                   });
+  }
+}
+
+void EngineBase::ScheduleStepUpdate(NodeId node, TxnId txn,
+                                    SimDuration delay) {
+  simulator().After(delay, [this, node, txn]() { StepUpdate(node, txn); });
+}
+
+void EngineBase::ScheduleStepQuery(NodeId node, TxnId txn, SimDuration delay) {
+  simulator().After(delay, [this, node, txn]() { StepQuery(node, txn); });
+}
+
+// ---------------------------------------------------------------------------
+// Update transactions
+// ---------------------------------------------------------------------------
+
+void EngineBase::StartUpdateSubtxn(NodeId node,
+                                   std::shared_ptr<const txn::TxnScript> s,
+                                   int spec, TxnId txn, Version carried,
+                                   ResultCallback done, SimTime submit_time) {
+  NodeState& ns = nodes_[node];
+  auto rt = std::make_unique<UpdateRt>();
+  rt->txn = txn;
+  rt->spec = spec;
+  rt->node = node;
+  rt->parent_spec = s->subtxns[spec].parent;
+  rt->script = std::move(s);
+  if (rt->is_root()) {
+    rt->done = std::move(done);
+    rt->submit_time = submit_time;
+    rt->timeout_ev =
+        simulator().After(options_.txn_timeout, [this, node, txn]() {
+          auto it = nodes_[node].updates.find(txn);
+          if (it == nodes_[node].updates.end()) return;
+          UpdateRt& r = *it->second;
+          if (r.decided || r.state == UpdateRt::State::kFinishing) return;
+          FailUpdate(r, Status::TimedOut("transaction timeout at root"));
+        });
+  } else {
+    // Orphan guard: if the root's node crashes, its timeout (and the abort
+    // broadcast) dies with it, so a non-prepared participant must bound its
+    // own wait. Firing while the root is merely slow is safe: the root
+    // cannot have decided commit while this subtransaction is unprepared.
+    rt->timeout_ev =
+        simulator().After(2 * options_.txn_timeout, [this, node, txn]() {
+          auto it = nodes_[node].updates.find(txn);
+          if (it == nodes_[node].updates.end()) return;
+          UpdateRt& r = *it->second;
+          if (r.state == UpdateRt::State::kPrepared ||
+              r.state == UpdateRt::State::kFinishing) {
+            return;  // prepared: the decision-inquiry loop owns cleanup
+          }
+          FailUpdate(r, Status::TimedOut("orphaned subtransaction"));
+        });
+  }
+  OnUpdateStart(*rt, carried);
+  wal::LogRecord begin;
+  begin.kind = wal::LogRecord::Kind::kBegin;
+  begin.txn = txn;
+  ns.log.Append(begin);
+  if (TraceEnabled()) {
+    Trace(node, "update T" + std::to_string(txn) +
+                    " starts: startV=" + std::to_string(rt->start_version));
+  }
+  ns.updates.emplace(txn, std::move(rt));
+  ScheduleStepUpdate(node, txn, 0);
+}
+
+void EngineBase::StepUpdate(NodeId node, TxnId txn) {
+  auto it = nodes_[node].updates.find(txn);
+  if (it == nodes_[node].updates.end()) return;
+  UpdateRt& rt = *it->second;
+  if (rt.state != UpdateRt::State::kRunning) return;
+  const auto& ops = rt.spec_ref().ops;
+  if (rt.pc >= ops.size()) {
+    OnUpdateLocalOpsDone(rt);
+    return;
+  }
+  ExecUpdateOp(rt, ops[rt.pc]);
+}
+
+void EngineBase::ExecUpdateOp(UpdateRt& rt, const txn::Op& op) {
+  using Kind = txn::Op::Kind;
+  switch (op.kind) {
+    case Kind::kThink:
+      ++rt.pc;
+      ScheduleStepUpdate(rt.node, rt.txn, op.arg);
+      return;
+    case Kind::kSpawn:
+      SpawnUpdateChildren(rt);
+      ++rt.pc;
+      ScheduleStepUpdate(rt.node, rt.txn, 0);
+      return;
+    case Kind::kRead:
+    case Kind::kWrite:
+    case Kind::kAdd:
+    case Kind::kDelete:
+      break;
+    case Kind::kScan:
+      // Scripts are validated at submit; scans never reach updates.
+      FailUpdate(rt, Status::Internal("scan op in an update transaction"));
+      return;
+  }
+  const lock::LockMode mode = (op.kind == Kind::kRead)
+                                  ? lock::LockMode::kShared
+                                  : lock::LockMode::kExclusive;
+  lock::LockManager& lm = *nodes_[rt.node].locks;
+  const NodeId node = rt.node;
+  const TxnId txn = rt.txn;
+  auto result = lm.Acquire(txn, op.item, mode, [this, node, txn](Status st) {
+    auto it = nodes_[node].updates.find(txn);
+    if (it == nodes_[node].updates.end()) return;
+    UpdateRt& r = *it->second;
+    if (r.state != UpdateRt::State::kLockWait) return;
+    if (!st.ok()) {
+      // Cancelled: the abort path is already tearing this transaction down.
+      return;
+    }
+    r.state = UpdateRt::State::kRunning;
+    // Perform the access the transaction was blocked on.
+    const txn::Op& blocked_op = r.spec_ref().ops[r.pc];
+    FinishUpdateAccess(r, blocked_op);
+  });
+  if (result == lock::AcquireResult::kWaiting) {
+    rt.state = UpdateRt::State::kLockWait;
+    return;
+  }
+  FinishUpdateAccess(rt, op);
+}
+
+void EngineBase::FinishUpdateAccess(UpdateRt& rt, const txn::Op& op) {
+  Status st;
+  if (op.kind == txn::Op::Kind::kRead) {
+    verify::ReadRecord rec;
+    rec.node = rt.node;
+    rec.item = op.item;
+    rec.read_time = simulator().Now();
+    rec.read_seq = simulator().events_executed();
+    st = UpdateRead(rt, op.item, &rec);
+    if (st.ok()) rt.reads.push_back(rec);
+  } else {
+    st = UpdateWrite(rt, op);
+  }
+  if (!st.ok()) {
+    FailUpdate(rt, st);
+    return;
+  }
+  ++rt.pc;
+  ScheduleStepUpdate(rt.node, rt.txn, options_.op_cost);
+}
+
+void EngineBase::SpawnUpdateChildren(UpdateRt& rt) {
+  if (rt.spawned) return;
+  rt.spawned = true;
+  const Version carried = CarriedVersionForChild(rt);
+  for (int child : rt.script->ChildrenOf(rt.spec)) {
+    ++rt.children_outstanding;
+    const NodeId dst = rt.script->subtxns[child].node;
+    network().Send(rt.node, dst, MsgKind::kSpawnSubtxn,
+                   [this, dst, s = rt.script, child, txn = rt.txn, carried]() {
+                     StartUpdateSubtxn(dst, s, child, txn, carried, nullptr, 0);
+                   });
+  }
+}
+
+void EngineBase::OnUpdateLocalOpsDone(UpdateRt& rt) {
+  rt.local_ops_done = true;
+  if (!rt.spawned && !rt.script->ChildrenOf(rt.spec).empty()) {
+    SpawnUpdateChildren(rt);
+  }
+  if (rt.children_outstanding > 0) {
+    rt.state = UpdateRt::State::kWaitChildren;
+    return;
+  }
+  PrepareUpdate(rt);
+}
+
+void EngineBase::PrepareUpdate(UpdateRt& rt) {
+  rt.state = UpdateRt::State::kPrepared;
+  OnPrepared(rt);
+  // Paper Section 2 releases shared read locks here; that is unsound with
+  // parallel sibling subtransactions (see BaseOptions), so the default
+  // holds them until commit.
+  if (options_.release_read_locks_at_prepare) {
+    nodes_[rt.node].locks->ReleaseShared(rt.txn);
+  }
+  const Version report_max =
+      std::max(rt.version, rt.max_child_version == kInvalidVersion
+                               ? rt.version
+                               : rt.max_child_version);
+  const Version report_min =
+      std::min(rt.version, rt.min_child_version == kInvalidVersion
+                               ? rt.version
+                               : rt.min_child_version);
+  if (TraceEnabled()) {
+    Trace(rt.node, "T" + std::to_string(rt.txn) + " prepared(" +
+                       std::to_string(report_max) + ")");
+  }
+  if (rt.is_root()) {
+    DecideCommit(rt);
+    return;
+  }
+  const NodeId parent = rt.parent_node();
+  network().Send(rt.node, parent, MsgKind::kPrepared,
+                 [this, parent, txn = rt.txn, report_max, report_min]() {
+                   OnChildPrepared(parent, txn, report_max, report_min);
+                 });
+  ArmPreparedTimeout(rt);
+}
+
+void EngineBase::ArmPreparedTimeout(UpdateRt& rt) {
+  // A prepared participant may neither commit nor abort unilaterally: the
+  // verdict may be in flight (or lost). On timeout, ask the root's node —
+  // its commit log answers commit; no record means presumed abort. Both
+  // the request and the reply may be lost, so the timeout re-arms until a
+  // verdict lands.
+  const NodeId node = rt.node;
+  const TxnId txn = rt.txn;
+  rt.prep_timeout_ev =
+      simulator().After(options_.prepared_timeout, [this, node, txn]() {
+        auto it = nodes_[node].updates.find(txn);
+        if (it == nodes_[node].updates.end()) return;
+        UpdateRt& r = *it->second;
+        if (r.state != UpdateRt::State::kPrepared) return;
+        if (TraceEnabled()) {
+          Trace(node, "T" + std::to_string(txn) +
+                          " prepared-timeout: asking root for the verdict");
+        }
+        const NodeId root = r.root_node();
+        network().Send(node, root, MsgKind::kDecisionRequest,
+                       [this, root, txn, node]() {
+                         OnDecisionRequest(root, txn, node);
+                       });
+        ArmPreparedTimeout(r);
+      });
+}
+
+void EngineBase::OnDecisionRequest(NodeId root_node, TxnId txn, NodeId from) {
+  auto it = commit_outcomes_.find(txn);
+  if (it != commit_outcomes_.end()) {
+    const Version global = it->second.first;
+    const SimTime decision_time = it->second.second;
+    network().Send(root_node, from, MsgKind::kCommit,
+                   [this, from, txn, global, decision_time]() {
+                     CommitLocal(from, txn, global, decision_time);
+                   });
+    return;
+  }
+  // No commit record and no live undecided root: presumed abort. (If the
+  // root is still deciding, stay silent; the participant will ask again.)
+  auto rit = nodes_[root_node].updates.find(txn);
+  if (rit != nodes_[root_node].updates.end() && !rit->second->decided) {
+    return;
+  }
+  network().Send(root_node, from, MsgKind::kAbort, [this, from, txn]() {
+    auto uit = nodes_[from].updates.find(txn);
+    if (uit != nodes_[from].updates.end()) AbortUpdateLocal(*uit->second);
+  });
+}
+
+void EngineBase::OnChildPrepared(NodeId node, TxnId txn, Version child_max,
+                                 Version child_min) {
+  auto it = nodes_[node].updates.find(txn);
+  if (it == nodes_[node].updates.end()) return;  // abort raced the message
+  UpdateRt& rt = *it->second;
+  if (rt.max_child_version == kInvalidVersion ||
+      child_max > rt.max_child_version) {
+    rt.max_child_version = child_max;
+  }
+  if (rt.min_child_version == kInvalidVersion ||
+      child_min < rt.min_child_version) {
+    rt.min_child_version = child_min;
+  }
+  --rt.children_outstanding;
+  if (rt.children_outstanding == 0 && rt.local_ops_done &&
+      rt.state == UpdateRt::State::kWaitChildren) {
+    PrepareUpdate(rt);
+  }
+}
+
+void EngineBase::DecideCommit(UpdateRt& root_rt) {
+  Version global = std::max(
+      root_rt.version, root_rt.max_child_version == kInvalidVersion
+                           ? root_rt.version
+                           : root_rt.max_child_version);
+  const Version min_used = std::min(
+      root_rt.version, root_rt.min_child_version == kInvalidVersion
+                           ? root_rt.version
+                           : root_rt.min_child_version);
+  Status valid = ValidateCommit(root_rt, global, min_used);
+  if (!valid.ok()) {
+    BeginAbortBroadcast(root_rt, std::move(valid));
+    return;
+  }
+  OnCommitDecision(root_rt, &global);
+  root_rt.decided = true;
+  simulator().Cancel(root_rt.timeout_ev);
+  const SimTime decision_time = simulator().Now();
+  commit_outcomes_.emplace(root_rt.txn,
+                           std::make_pair(global, decision_time));
+  metrics().RecordUpdateCommit(decision_time - root_rt.submit_time, global,
+                               decision_time);
+  if (env_.recorder != nullptr) {
+    PendingHistory ph;
+    ph.txn.id = root_rt.txn;
+    ph.txn.kind = TxnKind::kUpdate;
+    ph.txn.commit_version = global;
+    ph.txn.decision_time = decision_time;
+    ph.subtxns_remaining = static_cast<int>(root_rt.script->subtxns.size());
+    pending_history_.emplace(root_rt.txn, std::move(ph));
+  }
+  if (TraceEnabled()) {
+    Trace(root_rt.node, "T" + std::to_string(root_rt.txn) +
+                            " commit decision: V(T)=" + std::to_string(global));
+  }
+  // The root processes its own commit via a loopback message; each
+  // subtransaction forwards `commit` to its children (paper step 8).
+  const NodeId node = root_rt.node;
+  const TxnId txn = root_rt.txn;
+  network().Send(node, node, MsgKind::kCommit,
+                 [this, node, txn, global, decision_time]() {
+                   CommitLocal(node, txn, global, decision_time);
+                 });
+}
+
+void EngineBase::CommitLocal(NodeId node, TxnId txn, Version global_version,
+                             SimTime decision_time) {
+  NodeState& ns = nodes_[node];
+  auto it = ns.updates.find(txn);
+  if (it == ns.updates.end()) return;  // crashed & recovered participant
+  UpdateRt& rt = *it->second;
+  if (rt.state != UpdateRt::State::kPrepared) return;
+  rt.state = UpdateRt::State::kFinishing;
+  simulator().Cancel(rt.prep_timeout_ev);
+
+  OnCommitMsg(rt, global_version);
+
+  wal::LogRecord commit;
+  commit.kind = wal::LogRecord::Kind::kCommit;
+  commit.txn = txn;
+  commit.version = global_version;  // final version, for recovery replay
+  ns.log.Append(commit);
+
+  ns.locks->ReleaseAll(txn);
+  if (TraceEnabled()) {
+    Trace(node, "T" + std::to_string(txn) + " commits in version " +
+                    std::to_string(global_version));
+  }
+  DepositHistory(rt);
+  for (int child : rt.script->ChildrenOf(rt.spec)) {
+    const NodeId dst = rt.script->subtxns[child].node;
+    network().Send(node, dst, MsgKind::kCommit,
+                   [this, dst, txn, global_version, decision_time]() {
+                     CommitLocal(dst, txn, global_version, decision_time);
+                   });
+  }
+  if (rt.is_root() && rt.done) {
+    TxnResult res;
+    res.id = txn;
+    res.kind = TxnKind::kUpdate;
+    res.outcome = TxnOutcome::kCommitted;
+    res.commit_version = global_version;
+    res.submit_time = rt.submit_time;
+    res.finish_time = simulator().Now();
+    res.move_to_futures = rt.mtf_count;
+    res.reads = std::move(rt.reads);  // root-local reads only
+    rt.done(res);
+  }
+  ns.log.ForgetTxn(txn);
+  ns.updates.erase(it);
+}
+
+void EngineBase::DepositHistory(UpdateRt& rt) {
+  if (env_.recorder == nullptr) return;
+  auto it = pending_history_.find(rt.txn);
+  if (it == pending_history_.end()) return;
+  PendingHistory& ph = it->second;
+  for (auto& r : rt.reads) ph.txn.reads.push_back(r);
+  for (auto& w : rt.writes) ph.txn.writes.push_back(w);
+  if (--ph.subtxns_remaining == 0) {
+    env_.recorder->Record(std::move(ph.txn));
+    pending_history_.erase(it);
+  }
+}
+
+void EngineBase::FailUpdate(UpdateRt& rt, Status status) {
+  if (rt.state == UpdateRt::State::kFinishing) return;
+  if (TraceEnabled()) {
+    Trace(rt.node,
+          "T" + std::to_string(rt.txn) + " fails: " + status.ToString());
+  }
+  if (rt.is_root()) {
+    BeginAbortBroadcast(rt, std::move(status));
+    return;
+  }
+  const NodeId root = rt.root_node();
+  const TxnId txn = rt.txn;
+  network().Send(rt.node, root, MsgKind::kAbort,
+                 [this, root, txn, status]() {
+                   OnAbortMsgAtRoot(root, txn, status);
+                 });
+  // A prepared participant must never abort unilaterally: the root may
+  // decide commit concurrently (it ignores our abort request once
+  // decided), and aborting here would break 2PC atomicity. It either
+  // receives the root's verdict or presumed-aborts on timeout.
+  if (rt.state != UpdateRt::State::kPrepared) AbortUpdateLocal(rt);
+}
+
+void EngineBase::OnAbortMsgAtRoot(NodeId node, TxnId txn, Status status) {
+  auto it = nodes_[node].updates.find(txn);
+  if (it != nodes_[node].updates.end()) {
+    UpdateRt& rt = *it->second;
+    if (!rt.decided && rt.state != UpdateRt::State::kFinishing) {
+      BeginAbortBroadcast(rt, std::move(status));
+    }
+    return;
+  }
+  // The root runtime may be a query (shared abort channel).
+  auto qit = nodes_[node].queries.find(txn);
+  if (qit != nodes_[node].queries.end()) {
+    FailQuery(*qit->second, std::move(status));
+  }
+}
+
+void EngineBase::BeginAbortBroadcast(UpdateRt& root_rt, Status status) {
+  if (root_rt.decided) return;
+  metrics().RecordAbort(status.code() == StatusCode::kDeadlock,
+                        status.message() == "sync-mismatch");
+  simulator().Cancel(root_rt.timeout_ev);
+  const TxnId txn = root_rt.txn;
+  const NodeId root_node = root_rt.node;
+  ResultCallback done = std::move(root_rt.done);
+  const SimTime submit_time = root_rt.submit_time;
+  auto script = root_rt.script;
+  // Abort every participant (including this node, handled last because the
+  // local abort destroys root_rt).
+  for (size_t i = 1; i < script->subtxns.size(); ++i) {
+    const NodeId dst = script->subtxns[i].node;
+    network().Send(root_node, dst, MsgKind::kAbort, [this, dst, txn]() {
+      auto it = nodes_[dst].updates.find(txn);
+      if (it != nodes_[dst].updates.end()) AbortUpdateLocal(*it->second);
+    });
+  }
+  AbortUpdateLocal(root_rt);  // invalidates root_rt
+  if (done) {
+    TxnResult res;
+    res.id = txn;
+    res.kind = TxnKind::kUpdate;
+    res.outcome = TxnOutcome::kAborted;
+    res.status = std::move(status);
+    res.submit_time = submit_time;
+    res.finish_time = simulator().Now();
+    done(res);
+  }
+}
+
+void EngineBase::AbortUpdateLocal(UpdateRt& rt) {
+  if (rt.state == UpdateRt::State::kFinishing) return;
+  rt.state = UpdateRt::State::kFinishing;
+  const NodeId node = rt.node;
+  const TxnId txn = rt.txn;
+  NodeState& ns = nodes_[node];
+  simulator().Cancel(rt.timeout_ev);
+  simulator().Cancel(rt.prep_timeout_ev);
+  ns.locks->CancelWaiter(txn);
+  OnUpdateAborted(rt);
+  wal::LogRecord abort;
+  abort.kind = wal::LogRecord::Kind::kAbort;
+  abort.txn = txn;
+  ns.log.Append(abort);
+  ns.locks->ReleaseAll(txn);
+  ns.log.ForgetTxn(txn);
+  ns.updates.erase(txn);  // destroys rt
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+void EngineBase::StartQuerySubtxn(NodeId node,
+                                  std::shared_ptr<const txn::TxnScript> s,
+                                  int spec, TxnId txn, Version assigned,
+                                  ResultCallback done, SimTime submit_time) {
+  NodeState& ns = nodes_[node];
+  auto rt = std::make_unique<QueryRt>();
+  rt->txn = txn;
+  rt->spec = spec;
+  rt->node = node;
+  rt->parent_spec = s->subtxns[spec].parent;
+  rt->script = std::move(s);
+  if (rt->is_root()) {
+    rt->done = std::move(done);
+    rt->submit_time = submit_time;
+    rt->timeout_ev =
+        simulator().After(options_.txn_timeout, [this, node, txn]() {
+          auto it = nodes_[node].queries.find(txn);
+          if (it == nodes_[node].queries.end()) return;
+          QueryRt& r = *it->second;
+          if (r.state == QueryRt::State::kFinishing) return;
+          FailQuery(r, Status::TimedOut("query timeout at root"));
+        });
+  } else {
+    // Orphan guard for subqueries whose root's node crashed (see the
+    // update-side counterpart above). Aborting a subquery is always safe.
+    rt->timeout_ev =
+        simulator().After(2 * options_.txn_timeout, [this, node, txn]() {
+          auto it = nodes_[node].queries.find(txn);
+          if (it == nodes_[node].queries.end()) return;
+          QueryRt& r = *it->second;
+          if (r.state == QueryRt::State::kFinishing) return;
+          AbortQueryLocal(r);
+        });
+  }
+  Status started = OnQueryStart(*rt, assigned);
+  if (TraceEnabled()) {
+    Trace(node, "query Q" + std::to_string(txn) +
+                    " starts: V=" + std::to_string(rt->version));
+  }
+  auto [it, inserted] = ns.queries.emplace(txn, std::move(rt));
+  if (!started.ok()) {
+    // The engine refused the snapshot (e.g. already collected locally):
+    // fail the whole query cleanly; the submitter retries at a fresh
+    // version. The rt must exist in the map so FailQuery can tear it down.
+    FailQuery(*it->second, std::move(started));
+    return;
+  }
+  ScheduleStepQuery(node, txn, 0);
+}
+
+void EngineBase::StepQuery(NodeId node, TxnId txn) {
+  auto it = nodes_[node].queries.find(txn);
+  if (it == nodes_[node].queries.end()) return;
+  QueryRt& rt = *it->second;
+  if (rt.state != QueryRt::State::kRunning) return;
+  const auto& ops = rt.spec_ref().ops;
+  if (rt.pc >= ops.size()) {
+    OnQueryLocalOpsDone(rt);
+    return;
+  }
+  ExecQueryOp(rt, ops[rt.pc]);
+}
+
+void EngineBase::ExecQueryOp(QueryRt& rt, const txn::Op& op) {
+  using Kind = txn::Op::Kind;
+  switch (op.kind) {
+    case Kind::kThink:
+      ++rt.pc;
+      ScheduleStepQuery(rt.node, rt.txn, op.arg);
+      return;
+    case Kind::kSpawn:
+      SpawnQueryChildren(rt);
+      ++rt.pc;
+      ScheduleStepQuery(rt.node, rt.txn, 0);
+      return;
+    case Kind::kRead:
+    case Kind::kScan:
+      break;
+    default:
+      FailQuery(rt, Status::InvalidArgument("query op must be a read"));
+      return;
+  }
+  // A scan reads one item per step; the effective item advances with
+  // scan_pos while the program counter stays on the kScan op.
+  const ItemId target =
+      op.kind == Kind::kScan ? op.item + rt.scan_pos : op.item;
+  if (QueriesUseLocks()) {
+    const NodeId node = rt.node;
+    const TxnId txn = rt.txn;
+    auto result = nodes_[node].locks->Acquire(
+        txn, target, lock::LockMode::kShared, [this, node, txn](Status st) {
+          auto it = nodes_[node].queries.find(txn);
+          if (it == nodes_[node].queries.end()) return;
+          QueryRt& r = *it->second;
+          if (r.state != QueryRt::State::kLockWait) return;
+          if (!st.ok()) return;  // abort path tears down
+          r.state = QueryRt::State::kRunning;
+          FinishQueryRead(r, r.spec_ref().ops[r.pc]);
+        });
+    if (result == lock::AcquireResult::kWaiting) {
+      rt.state = QueryRt::State::kLockWait;
+      return;
+    }
+  }
+  FinishQueryRead(rt, op);
+}
+
+void EngineBase::FinishQueryRead(QueryRt& rt, const txn::Op& op) {
+  const bool scanning = op.kind == txn::Op::Kind::kScan;
+  const ItemId target = scanning ? op.item + rt.scan_pos : op.item;
+  verify::ReadRecord rec;
+  rec.node = rt.node;
+  rec.item = target;
+  rec.read_time = simulator().Now();
+  rec.read_seq = simulator().events_executed();
+  QueryRead(rt, target, &rec);
+  rt.reads.push_back(rec);
+  if (scanning && ++rt.scan_pos < op.arg) {
+    // Stay on the scan op; the next step reads the next item.
+  } else {
+    rt.scan_pos = 0;
+    ++rt.pc;
+  }
+  ScheduleStepQuery(rt.node, rt.txn, options_.op_cost);
+}
+
+void EngineBase::SpawnQueryChildren(QueryRt& rt) {
+  if (rt.spawned) return;
+  rt.spawned = true;
+  for (int child : rt.script->ChildrenOf(rt.spec)) {
+    ++rt.children_outstanding;
+    const NodeId dst = rt.script->subtxns[child].node;
+    // Paper Section 3.3 step 4: children inherit V(Q).
+    network().Send(rt.node, dst, MsgKind::kSpawnSubtxn,
+                   [this, dst, s = rt.script, child, txn = rt.txn,
+                    v = rt.version]() {
+                     StartQuerySubtxn(dst, s, child, txn, v, nullptr, 0);
+                   });
+  }
+}
+
+void EngineBase::OnQueryLocalOpsDone(QueryRt& rt) {
+  rt.local_ops_done = true;
+  if (!rt.spawned && !rt.script->ChildrenOf(rt.spec).empty()) {
+    SpawnQueryChildren(rt);
+  }
+  if (rt.children_outstanding > 0) {
+    rt.state = QueryRt::State::kWaitChildren;
+    return;
+  }
+  MaybeCompleteQuery(rt);
+}
+
+void EngineBase::MaybeCompleteQuery(QueryRt& rt) {
+  if (rt.state == QueryRt::State::kFinishing) return;
+  rt.state = QueryRt::State::kFinishing;
+  const NodeId node = rt.node;
+  const TxnId txn = rt.txn;
+  NodeState& ns = nodes_[node];
+  OnQueryFinish(rt);
+  if (QueriesUseLocks()) ns.locks->ReleaseAll(txn);
+  if (rt.is_root()) {
+    simulator().Cancel(rt.timeout_ev);
+    metrics().RecordQueryCommit(simulator().Now() - rt.submit_time);
+    if (env_.recorder != nullptr) {
+      verify::CommittedTxn rec;
+      rec.id = txn;
+      rec.kind = TxnKind::kQuery;
+      rec.commit_version = rt.version;
+      rec.decision_time = simulator().Now();
+      rec.reads = rt.reads;
+      env_.recorder->Record(std::move(rec));
+    }
+    if (TraceEnabled()) {
+      Trace(node, "Q" + std::to_string(txn) + " completes");
+    }
+    if (rt.done) {
+      TxnResult res;
+      res.id = txn;
+      res.kind = TxnKind::kQuery;
+      res.outcome = TxnOutcome::kCommitted;
+      res.commit_version = rt.version;
+      res.submit_time = rt.submit_time;
+      res.finish_time = simulator().Now();
+      res.reads = std::move(rt.reads);
+      rt.done(res);
+    }
+    ns.queries.erase(txn);
+    return;
+  }
+  const NodeId parent = rt.parent_node();
+  network().Send(node, parent, MsgKind::kQueryResult,
+                 [this, parent, txn, reads = std::move(rt.reads)]() mutable {
+                   OnChildQueryResult(parent, txn, std::move(reads));
+                 });
+  if (TraceEnabled()) {
+    Trace(node, "Q" + std::to_string(txn) + " subquery completes");
+  }
+  ns.queries.erase(txn);
+}
+
+void EngineBase::OnChildQueryResult(NodeId node, TxnId txn,
+                                    std::vector<verify::ReadRecord> reads) {
+  auto it = nodes_[node].queries.find(txn);
+  if (it == nodes_[node].queries.end()) return;
+  QueryRt& rt = *it->second;
+  for (auto& r : reads) rt.reads.push_back(std::move(r));
+  --rt.children_outstanding;
+  if (rt.children_outstanding == 0 && rt.local_ops_done &&
+      rt.state == QueryRt::State::kWaitChildren) {
+    rt.state = QueryRt::State::kRunning;
+    MaybeCompleteQuery(rt);
+  }
+}
+
+void EngineBase::FailQuery(QueryRt& rt, Status status) {
+  if (rt.state == QueryRt::State::kFinishing) return;
+  if (rt.is_root()) {
+    metrics().RecordAbort(status.code() == StatusCode::kDeadlock, false);
+    simulator().Cancel(rt.timeout_ev);
+    const TxnId txn = rt.txn;
+    const NodeId root_node = rt.node;
+    ResultCallback done = std::move(rt.done);
+    const SimTime submit_time = rt.submit_time;
+    auto script = rt.script;
+    for (size_t i = 1; i < script->subtxns.size(); ++i) {
+      const NodeId dst = script->subtxns[i].node;
+      network().Send(root_node, dst, MsgKind::kAbort, [this, dst, txn]() {
+        auto it = nodes_[dst].queries.find(txn);
+        if (it != nodes_[dst].queries.end()) AbortQueryLocal(*it->second);
+      });
+    }
+    AbortQueryLocal(rt);  // invalidates rt
+    if (done) {
+      TxnResult res;
+      res.id = txn;
+      res.kind = TxnKind::kQuery;
+      res.outcome = TxnOutcome::kAborted;
+      res.status = std::move(status);
+      res.submit_time = submit_time;
+      res.finish_time = simulator().Now();
+      done(res);
+    }
+    return;
+  }
+  // Non-root failures route to the root, which broadcasts the abort.
+  const NodeId root = rt.root_node();
+  const TxnId txn = rt.txn;
+  network().Send(rt.node, root, MsgKind::kAbort,
+                 [this, root, txn, status]() {
+                   OnAbortMsgAtRoot(root, txn, status);
+                 });
+  AbortQueryLocal(rt);
+}
+
+void EngineBase::AbortQueryLocal(QueryRt& rt) {
+  if (rt.state == QueryRt::State::kFinishing) return;
+  rt.state = QueryRt::State::kFinishing;
+  const NodeId node = rt.node;
+  const TxnId txn = rt.txn;
+  NodeState& ns = nodes_[node];
+  simulator().Cancel(rt.timeout_ev);
+  if (QueriesUseLocks()) {
+    ns.locks->CancelWaiter(txn);
+    ns.locks->ReleaseAll(txn);
+  }
+  OnQueryFinish(rt);
+  ns.queries.erase(txn);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlocks, crashes
+// ---------------------------------------------------------------------------
+
+void EngineBase::OnDeadlockVictim(TxnId txn) {
+  // Waits-for edges are keyed by global transaction id, so the victim may
+  // have subtransactions in several states across nodes. Abort through the
+  // one actually *waiting* (it holds no commit promises); a prepared
+  // sibling must only learn its fate from the root.
+  UpdateRt* any_update = nullptr;
+  for (auto& ns : nodes_) {
+    auto it = ns.updates.find(txn);
+    if (it != ns.updates.end()) {
+      UpdateRt& rt = *it->second;
+      if (rt.state == UpdateRt::State::kLockWait ||
+          rt.state == UpdateRt::State::kRunning) {
+        FailUpdate(rt, Status::Deadlock("deadlock victim"));
+        return;
+      }
+      if (any_update == nullptr) any_update = &rt;
+    }
+    auto qit = ns.queries.find(txn);
+    if (qit != ns.queries.end()) {
+      FailQuery(*qit->second, Status::Deadlock("deadlock victim"));
+      return;
+    }
+  }
+  // Every local subtransaction is prepared or finishing (the wait resolved
+  // while the detector ran): route the request to the root, which ignores
+  // it if the commit decision already happened.
+  if (any_update != nullptr) {
+    FailUpdate(*any_update, Status::Deadlock("deadlock victim"));
+  }
+}
+
+void EngineBase::CrashNode(NodeId node) {
+  network().SetNodeUp(node, false);
+  NodeState& ns = nodes_[node];
+  // Non-prepared in-flight work dies with the node. Undo side effects
+  // first (the in-place recovery scheme must restore the store, which
+  // models the recovery pass), then drop the volatile state. PREPARED
+  // subtransactions survive as in-doubt work: their prepare record is
+  // durable, and aborting them unilaterally would lose the writes of a
+  // transaction the root may already have committed.
+  for (auto it = ns.updates.begin(); it != ns.updates.end();) {
+    UpdateRt& rt = *it->second;
+    if (rt.state == UpdateRt::State::kPrepared) {
+      OnCrashPrepared(rt);
+      rt.resurrected = true;
+      ns.log.ForgetTxn(rt.txn);  // volatile undo/redo records are gone
+      ++it;
+      continue;
+    }
+    simulator().Cancel(rt.timeout_ev);
+    simulator().Cancel(rt.prep_timeout_ev);
+    OnUpdateAborted(rt);
+    ns.log.ForgetTxn(rt.txn);
+    it = ns.updates.erase(it);
+  }
+  while (!ns.queries.empty()) {
+    QueryRt& rt = *ns.queries.begin()->second;
+    simulator().Cancel(rt.timeout_ev);
+    OnQueryFinish(rt);
+    ns.queries.erase(ns.queries.begin());
+  }
+  ns.locks->Reset();
+  OnNodeCrash(node);
+  Trace(node, "node crash");
+}
+
+void EngineBase::RecoverNode(NodeId node) {
+  network().SetNodeUp(node, true);
+  // Re-acquire the locks of in-doubt transactions before any new traffic
+  // reaches the node (same event, so nothing can interleave): written
+  // items may yet commit and read items must stay write-protected until
+  // the transaction publishes its read marks at resolution.
+  NodeState& ns = nodes_[node];
+  for (auto& [txn, rt] : ns.updates) {
+    for (ItemId item : rt->wbuf_order) {
+      (void)ns.locks->Acquire(txn, item, lock::LockMode::kExclusive,
+                              [](Status) {});
+    }
+    for (const verify::ReadRecord& r : rt->reads) {
+      (void)ns.locks->Acquire(txn, r.item, lock::LockMode::kShared,
+                              [](Status) {});
+    }
+  }
+  OnNodeRecover(node);
+  Trace(node, "node recovered");
+}
+
+}  // namespace ava3::db

@@ -1,0 +1,387 @@
+#ifndef AVA3_ENGINE_ENGINE_BASE_H_
+#define AVA3_ENGINE_ENGINE_BASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/engine_iface.h"
+#include "lock/deadlock_detector.h"
+#include "lock/lock_manager.h"
+#include "log/recovery_log.h"
+#include "storage/versioned_store.h"
+
+namespace ava3::db {
+
+/// Tunables shared by every engine.
+struct BaseOptions {
+  /// Simulated CPU cost of one read/write operation.
+  SimDuration op_cost = 20;
+  /// Root-side whole-transaction timeout (covers crashed participants).
+  SimDuration txn_timeout = 20 * kSecond;
+  /// Participant-side presumed-abort timeout while in the prepared state.
+  /// Must exceed txn_timeout: the root always decides (or aborts) within
+  /// txn_timeout unless it crashed, and only then may a prepared
+  /// participant abort unilaterally.
+  SimDuration prepared_timeout = 60 * kSecond;
+  /// Global deadlock-detector sweep interval.
+  SimDuration deadlock_interval = 10 * kMillisecond;
+  /// Paper Section 2 releases an update subtransaction's shared locks when
+  /// it sends `prepared`. With *parallel sibling subtransactions* that is
+  /// unsound: a sibling still acquiring locks breaks global two-phase-ness
+  /// and real non-serializable histories result (the MVSG oracle finds the
+  /// cycles — see tests/paper_deviation_test.cc). Default: hold read locks
+  /// until commit. Enable to study the paper's variant.
+  bool release_read_locks_at_prepare = false;
+};
+
+/// Shared machinery for every concurrency-control engine: per-node state
+/// (versioned store, lock table, recovery log), the subtransaction executor
+/// state machines for the R*-style transaction trees of Section 2, the
+/// two-phase commit protocol with version piggybacking, abort/timeout/crash
+/// handling, and the global deadlock detector.
+///
+/// Scheme-specific behaviour (version selection, counters, moveToFuture,
+/// commit application) is supplied by subclasses through protected hooks.
+class EngineBase : public Engine {
+ public:
+  EngineBase(EngineEnv env, int num_nodes, BaseOptions options,
+             int store_capacity);
+  ~EngineBase() override;
+
+  int num_nodes() const final { return static_cast<int>(nodes_.size()); }
+  void Submit(TxnId id, txn::TxnScript script, ResultCallback done) final;
+  void LoadInitial(NodeId node, ItemId item, int64_t value) final {
+    Status s = nodes_[node].store->Put(item, 0, value, kInvalidTxn, 0);
+    (void)s;
+    OnLoadInitial(node, item, value);
+  }
+  void CrashNode(NodeId node) override;
+  void RecoverNode(NodeId node) override;
+
+  // Test/bench accessors.
+  store::VersionedStore& store(NodeId n) { return *nodes_[n].store; }
+  const store::VersionedStore& store(NodeId n) const { return *nodes_[n].store; }
+  lock::LockManager& locks(NodeId n) { return *nodes_[n].locks; }
+  wal::RecoveryLog& log(NodeId n) { return nodes_[n].log; }
+  lock::DeadlockDetector& deadlock_detector() { return *deadlock_detector_; }
+  /// Number of in-flight subtransactions (updates + queries) everywhere.
+  int ActiveSubtxns() const;
+
+ protected:
+  /// Buffered (deferred-update) write, used by the no-undo recovery scheme
+  /// and by the baselines.
+  struct PendingWrite {
+    int64_t value = 0;
+    bool deleted = false;
+  };
+
+  /// Per-node runtime of one update subtransaction.
+  struct UpdateRt {
+    TxnId txn = kInvalidTxn;
+    int spec = 0;  // index into script->subtxns
+    NodeId node = kInvalidNode;
+    int parent_spec = -1;
+    std::shared_ptr<const txn::TxnScript> script;
+    size_t pc = 0;
+
+    // Versioning state (paper Section 3.1): V(T_i), startV(T_i), and the
+    // version whose update counter this subtransaction currently occupies
+    // (differs from startV only under the Section-8 eager-handoff
+    // optimization).
+    Version version = 0;
+    Version start_version = 0;
+    Version counter_version = 0;
+
+    enum class State : uint8_t {
+      kRunning,
+      kLockWait,
+      kWaitChildren,
+      kPrepared,
+      kFinishing,
+    };
+    State state = State::kRunning;
+    bool local_ops_done = false;
+    bool spawned = false;
+    int children_outstanding = 0;
+    // Extremes of the versions reported by the subtree's prepared messages.
+    // The max is the paper's global version V(T); the min lets engines
+    // detect cross-node version mismatches before deciding (SYNC-AVA).
+    Version max_child_version = kInvalidVersion;
+    Version min_child_version = kInvalidVersion;
+
+    // Deferred-update write buffer (insertion-ordered for deterministic
+    // commit application). Unused by the in-place recovery scheme.
+    std::unordered_map<ItemId, PendingWrite> wbuf;
+    std::vector<ItemId> wbuf_order;
+    // In-place scheme: items whose undo record was already logged.
+    std::unordered_set<ItemId> undo_logged;
+    // In-doubt transaction recovered from a crashed node's durable prepare
+    // record: its pending values live in `wbuf` regardless of the recovery
+    // scheme, and its in-place store effects (if any) are gone.
+    bool resurrected = false;
+
+    int mtf_count = 0;
+    std::vector<verify::ReadRecord> reads;
+    std::vector<verify::WriteRecord> writes;
+
+    // Root-only fields.
+    ResultCallback done;
+    SimTime submit_time = 0;
+    bool decided = false;
+    sim::EventId timeout_ev = sim::kInvalidEvent;
+    sim::EventId prep_timeout_ev = sim::kInvalidEvent;
+
+    bool is_root() const { return parent_spec < 0; }
+    NodeId parent_node() const {
+      return is_root() ? kInvalidNode : script->subtxns[parent_spec].node;
+    }
+    NodeId root_node() const { return script->subtxns[0].node; }
+    const txn::SubtxnSpec& spec_ref() const { return script->subtxns[spec]; }
+  };
+
+  /// Per-node runtime of one read-only subquery.
+  struct QueryRt {
+    TxnId txn = kInvalidTxn;
+    int spec = 0;
+    NodeId node = kInvalidNode;
+    int parent_spec = -1;
+    std::shared_ptr<const txn::TxnScript> script;
+    size_t pc = 0;
+
+    Version version = 0;  // V(Q_i)
+    bool counted = false;  // did this subquery bump a query counter
+    int64_t scan_pos = 0;  // progress within the current kScan op
+
+    enum class State : uint8_t {
+      kRunning,
+      kLockWait,  // only when the scheme makes queries lock (S2PL-R)
+      kWaitChildren,
+      kFinishing,
+    };
+    State state = State::kRunning;
+    bool local_ops_done = false;
+    bool spawned = false;
+    int children_outstanding = 0;
+    std::vector<verify::ReadRecord> reads;  // own + children's
+
+    // Root-only fields.
+    ResultCallback done;
+    SimTime submit_time = 0;
+    sim::EventId timeout_ev = 0;
+
+    bool is_root() const { return parent_spec < 0; }
+    NodeId parent_node() const {
+      return is_root() ? kInvalidNode : script->subtxns[parent_spec].node;
+    }
+    NodeId root_node() const { return script->subtxns[0].node; }
+    const txn::SubtxnSpec& spec_ref() const { return script->subtxns[spec]; }
+  };
+
+  struct NodeState {
+    std::unique_ptr<store::VersionedStore> store;
+    std::unique_ptr<lock::LockManager> locks;
+    wal::RecoveryLog log;
+    std::map<TxnId, std::unique_ptr<UpdateRt>> updates;
+    std::map<TxnId, std::unique_ptr<QueryRt>> queries;
+  };
+
+  // ---------------------------------------------------------------------
+  // Hooks implemented by concrete engines.
+  // ---------------------------------------------------------------------
+
+  /// Fixes the subtransaction's start/current version and bumps counters.
+  /// `carried` is the version piggybacked by the parent (kInvalidVersion if
+  /// none / root).
+  virtual void OnUpdateStart(UpdateRt& rt, Version carried) = 0;
+
+  /// Reads `item` with the subtransaction's lock already held. Fills `out`
+  /// (item/node/read_time prefilled). A non-OK status aborts the txn.
+  virtual Status UpdateRead(UpdateRt& rt, ItemId item,
+                            verify::ReadRecord* out) = 0;
+
+  /// Applies a write/add/delete op with the exclusive lock held. A non-OK
+  /// status aborts the transaction.
+  virtual Status UpdateWrite(UpdateRt& rt, const txn::Op& op) = 0;
+
+  /// Called when the subtransaction reaches the prepared state (paper:
+  /// shared locks are released here; the base already handles that).
+  virtual void OnPrepared(UpdateRt& rt) { (void)rt; }
+
+  /// Version number piggybacked on child-spawn messages (Section 10
+  /// optimization O1); kInvalidVersion disables carrying.
+  virtual Version CarriedVersionForChild(const UpdateRt& rt) {
+    (void)rt;
+    return kInvalidVersion;
+  }
+
+  /// Root decided to commit; may adjust the global version (e.g. MVU stamps
+  /// its commit sequence number) and perform decision-time work.
+  virtual void OnCommitDecision(UpdateRt& root_rt, Version* global_version) {
+    (void)root_rt;
+    (void)global_version;
+  }
+
+  /// Last chance to veto the commit at the root (after all prepared
+  /// messages arrived, before the decision). `min_used` is the smallest
+  /// version any subtransaction used. A non-OK status aborts the whole
+  /// transaction (SYNC-AVA models [MPL92]'s distributed behaviour here).
+  virtual Status ValidateCommit(const UpdateRt& root_rt, Version global,
+                                Version min_used) {
+    (void)root_rt;
+    (void)global;
+    (void)min_used;
+    return Status::Ok();
+  }
+
+  /// Subtransaction-side commit processing (paper Section 3.4 step 8):
+  /// version-mismatch resolution, commit application, counter decrement.
+  /// Lock release, log/commit records and rt teardown are done by the base
+  /// afterwards.
+  virtual void OnCommitMsg(UpdateRt& rt, Version global_version) = 0;
+
+  /// Undo scheme-side effects of an aborting subtransaction (store undo,
+  /// counter decrement). Lock release and teardown are done by the base.
+  virtual void OnUpdateAborted(UpdateRt& rt) = 0;
+
+  /// Whether queries acquire shared locks (S2PL-R baseline).
+  virtual bool QueriesUseLocks() const { return false; }
+
+  /// Fixes V(Q_i) and bumps query counters. `assigned` is the version given
+  /// by the parent subquery, kInvalidVersion at the root. A non-OK status
+  /// aborts the query (e.g. the assigned snapshot was already collected
+  /// here — retryable).
+  virtual Status OnQueryStart(QueryRt& rt, Version assigned) = 0;
+
+  /// Performs a lock-free (or S-locked, if QueriesUseLocks) versioned read.
+  virtual void QueryRead(QueryRt& rt, ItemId item,
+                         verify::ReadRecord* out) = 0;
+
+  /// Query finished (commit or abort): decrement counters.
+  virtual void OnQueryFinish(QueryRt& rt) = 0;
+
+  /// Scheme-specific crash/recovery of per-node volatile state. The base
+  /// has already aborted in-flight subtransactions and reset the lock
+  /// table when this fires. Prepared subtransactions are NOT aborted —
+  /// their prepare record is durable in real 2PC — instead
+  /// OnCrashPrepared() runs for each and the runtime survives as an
+  /// in-doubt transaction (rt.resurrected), resolved after recovery by the
+  /// decision-inquiry loop.
+  virtual void OnNodeCrash(NodeId node) { (void)node; }
+  virtual void OnNodeRecover(NodeId node) { (void)node; }
+
+  /// Converts a prepared subtransaction into its durable in-doubt form at
+  /// crash time: final values must end up in rt.wbuf and any in-place
+  /// store effects must be removed (they are main-memory state).
+  virtual void OnCrashPrepared(UpdateRt& rt) { (void)rt; }
+
+  /// Initial data was installed at version 0 (durable-log bootstrap).
+  virtual void OnLoadInitial(NodeId node, ItemId item, int64_t value) {
+    (void)node;
+    (void)item;
+    (void)value;
+  }
+
+  /// Swaps in a replayed store (recovery). The observed version-count
+  /// high-water mark is carried over.
+  void ReplaceStore(NodeId node,
+                    std::unique_ptr<store::VersionedStore> fresh) {
+    fresh->InheritMaxLiveObserved(
+        nodes_[node].store->MaxLiveVersionsObserved());
+    nodes_[node].store = std::move(fresh);
+  }
+
+  // ---------------------------------------------------------------------
+  // Services for subclasses.
+  // ---------------------------------------------------------------------
+
+  sim::Simulator& simulator() { return *env_.simulator; }
+  sim::Network& network() { return *env_.network; }
+  Metrics& metrics() { return *env_.metrics; }
+  NodeState& node_state(NodeId n) { return nodes_[n]; }
+  const BaseOptions& base_options() const { return options_; }
+
+  void Trace(NodeId node, std::string what) {
+    if (env_.trace != nullptr) {
+      env_.trace->Emit(env_.simulator->Now(), node, std::move(what));
+    }
+  }
+  bool TraceEnabled() const {
+    return env_.trace != nullptr && env_.trace->enabled();
+  }
+
+  /// Aborts the whole transaction this subtransaction belongs to.
+  void FailUpdate(UpdateRt& rt, Status status);
+  void FailQuery(QueryRt& rt, Status status);
+
+ private:
+  // Update-transaction state machine.
+  void StartUpdateSubtxn(NodeId node, std::shared_ptr<const txn::TxnScript> s,
+                         int spec, TxnId txn, Version carried,
+                         ResultCallback done, SimTime submit_time);
+  void StepUpdate(NodeId node, TxnId txn);
+  void ExecUpdateOp(UpdateRt& rt, const txn::Op& op);
+  void FinishUpdateAccess(UpdateRt& rt, const txn::Op& op);
+  void SpawnUpdateChildren(UpdateRt& rt);
+  void OnUpdateLocalOpsDone(UpdateRt& rt);
+  void PrepareUpdate(UpdateRt& rt);
+  void OnChildPrepared(NodeId node, TxnId txn, Version child_max,
+                       Version child_min);
+  void DecideCommit(UpdateRt& root_rt);
+  void CommitLocal(NodeId node, TxnId txn, Version global_version,
+                   SimTime decision_time);
+  void BeginAbortBroadcast(UpdateRt& root_rt, Status status);
+  void AbortUpdateLocal(UpdateRt& rt);
+  void OnAbortMsgAtRoot(NodeId node, TxnId txn, Status status);
+  /// A prepared participant whose commit/abort message never arrived asks
+  /// the root's node for the verdict (presumed abort: no commit record =>
+  /// abort). Retried on every prepared-timeout tick, so arbitrary message
+  /// loss is survivable.
+  void ArmPreparedTimeout(UpdateRt& rt);
+  void OnDecisionRequest(NodeId root_node, TxnId txn, NodeId from);
+
+  // Query state machine.
+  void StartQuerySubtxn(NodeId node, std::shared_ptr<const txn::TxnScript> s,
+                        int spec, TxnId txn, Version assigned,
+                        ResultCallback done, SimTime submit_time);
+  void StepQuery(NodeId node, TxnId txn);
+  void ExecQueryOp(QueryRt& rt, const txn::Op& op);
+  void FinishQueryRead(QueryRt& rt, const txn::Op& op);
+  void SpawnQueryChildren(QueryRt& rt);
+  void OnQueryLocalOpsDone(QueryRt& rt);
+  void MaybeCompleteQuery(QueryRt& rt);
+  void OnChildQueryResult(NodeId node, TxnId txn,
+                          std::vector<verify::ReadRecord> reads);
+  void AbortQueryLocal(QueryRt& rt);
+
+  // Shared plumbing.
+  void OnDeadlockVictim(TxnId txn);
+  void ScheduleStepUpdate(NodeId node, TxnId txn, SimDuration delay);
+  void ScheduleStepQuery(NodeId node, TxnId txn, SimDuration delay);
+
+  /// Oracle bookkeeping: a commit decision opens a pending history entry;
+  /// every subtransaction's CommitLocal deposits its reads/writes; the last
+  /// one closes and records it.
+  struct PendingHistory {
+    verify::CommittedTxn txn;
+    int subtxns_remaining = 0;
+  };
+  void DepositHistory(UpdateRt& rt);
+
+  EngineEnv env_;
+  BaseOptions options_;
+  std::vector<NodeState> nodes_;
+  std::unique_ptr<lock::DeadlockDetector> deadlock_detector_;
+  std::unordered_map<TxnId, PendingHistory> pending_history_;
+  /// The coordinator side's durable commit log: global version and
+  /// decision time of every committed transaction, consulted by decision
+  /// requests (a real system would truncate it at checkpoints).
+  std::unordered_map<TxnId, std::pair<Version, SimTime>> commit_outcomes_;
+};
+
+}  // namespace ava3::db
+
+#endif  // AVA3_ENGINE_ENGINE_BASE_H_

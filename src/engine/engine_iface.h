@@ -1,0 +1,77 @@
+#ifndef AVA3_ENGINE_ENGINE_IFACE_H_
+#define AVA3_ENGINE_ENGINE_IFACE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/trace.h"
+#include "common/types.h"
+#include "engine/metrics.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "txn/script.h"
+#include "verify/history.h"
+
+namespace ava3::db {
+
+/// Outcome of one transaction attempt, delivered to the submitter.
+struct TxnResult {
+  TxnId id = kInvalidTxn;
+  TxnKind kind = TxnKind::kUpdate;
+  TxnOutcome outcome = TxnOutcome::kAborted;
+  Status status;  // abort reason; OK on commit
+  Version commit_version = kInvalidVersion;
+  SimTime submit_time = 0;
+  SimTime finish_time = 0;
+  int move_to_futures = 0;
+  /// For queries: every read performed (aggregated across subqueries).
+  std::vector<verify::ReadRecord> reads;
+};
+
+using ResultCallback = std::function<void(const TxnResult&)>;
+
+/// Shared wiring handed to every engine. All pointers outlive the engine;
+/// `recorder` and `trace` may be null.
+struct EngineEnv {
+  sim::Simulator* simulator = nullptr;
+  sim::Network* network = nullptr;
+  Metrics* metrics = nullptr;
+  verify::HistoryRecorder* recorder = nullptr;
+  TraceSink* trace = nullptr;
+};
+
+/// Abstract concurrency-control engine over the simulated cluster. One
+/// implementation per scheme: AVA3 (the paper), S2PL-R, MVU, FOURV (an
+/// Ava3Engine mode).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual const char* name() const = 0;
+  virtual int num_nodes() const = 0;
+
+  /// Submits one transaction attempt. `done` fires exactly once, at commit
+  /// or abort. Retrying aborted transactions is the submitter's job (each
+  /// attempt gets a fresh TxnId so deadlock victim selection sees its age).
+  virtual void Submit(TxnId id, txn::TxnScript script, ResultCallback done) = 0;
+
+  /// Installs initial data (version 0) before the simulation starts — the
+  /// paper's start-up state "all records exist in a single version 0".
+  virtual void LoadInitial(NodeId node, ItemId item, int64_t value) = 0;
+
+  /// Starts one version advancement with `coordinator` as the coordinating
+  /// node (no-op for schemes without advancement). Safe to call at any
+  /// time; the engine ignores it if advancement cannot start yet.
+  virtual void TriggerAdvancement(NodeId coordinator) { (void)coordinator; }
+
+  /// Crashes a node: volatile state (locks, counters, in-flight work) is
+  /// lost; durable state (committed versions, version numbers) survives.
+  virtual void CrashNode(NodeId node) { (void)node; }
+  /// Brings a crashed node back with recovered (empty-volatile) state.
+  virtual void RecoverNode(NodeId node) { (void)node; }
+};
+
+}  // namespace ava3::db
+
+#endif  // AVA3_ENGINE_ENGINE_IFACE_H_

@@ -1,0 +1,116 @@
+#ifndef AVA3_ENGINE_METRICS_H_
+#define AVA3_ENGINE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace ava3::db {
+
+/// Simulation-wide measurement collector. Engines call the Record* hooks;
+/// the bench harness reads the aggregates. The collector is an instrument,
+/// not part of the protocol: it has global visibility by design.
+class Metrics {
+ public:
+  // --- Transactions --------------------------------------------------------
+  void RecordUpdateCommit(SimTime latency, Version commit_version,
+                          SimTime commit_time) {
+    ++update_commits_;
+    update_latency_.Add(latency);
+    auto [it, inserted] =
+        first_commit_time_.try_emplace(commit_version, commit_time);
+    if (!inserted && commit_time < it->second) it->second = commit_time;
+  }
+  void RecordQueryCommit(SimTime latency) {
+    ++query_commits_;
+    query_latency_.Add(latency);
+  }
+  void RecordAbort(bool deadlock, bool sync_mismatch) {
+    ++aborts_;
+    if (deadlock) ++deadlock_aborts_;
+    if (sync_mismatch) ++sync_mismatch_aborts_;
+  }
+
+  /// Called at query (root) start with the snapshot version it will read.
+  /// Staleness = time since the first commit the query cannot see, i.e.
+  /// since data in version `snapshot+1` first appeared (0 if none yet).
+  void RecordQueryStart(Version snapshot, SimTime now) {
+    auto it = first_commit_time_.upper_bound(snapshot);
+    SimTime staleness = 0;
+    if (it != first_commit_time_.end() && it->second <= now) {
+      staleness = now - it->second;
+    }
+    staleness_.Add(staleness);
+  }
+
+  // --- moveToFuture ---------------------------------------------------------
+  void RecordMoveToFuture(int records_scanned) {
+    ++mtf_count_;
+    mtf_records_scanned_ += static_cast<uint64_t>(records_scanned);
+  }
+
+  // --- Version advancement --------------------------------------------------
+  void RecordAdvancement(SimDuration phase1, SimDuration phase2,
+                         SimDuration total) {
+    ++advancements_;
+    phase1_duration_.Add(phase1);
+    phase2_duration_.Add(phase2);
+    advancement_duration_.Add(total);
+  }
+  void RecordAdvancementCancelled() { ++advancements_cancelled_; }
+
+  // --- Latch accounting (paper: queries only bump counters under latches) ---
+  void RecordLatchOp() { ++latch_ops_; }
+
+  // --- Accessors ------------------------------------------------------------
+  uint64_t update_commits() const { return update_commits_; }
+  uint64_t query_commits() const { return query_commits_; }
+  uint64_t aborts() const { return aborts_; }
+  uint64_t deadlock_aborts() const { return deadlock_aborts_; }
+  uint64_t sync_mismatch_aborts() const { return sync_mismatch_aborts_; }
+  uint64_t mtf_count() const { return mtf_count_; }
+  uint64_t mtf_records_scanned() const { return mtf_records_scanned_; }
+  uint64_t advancements() const { return advancements_; }
+  uint64_t advancements_cancelled() const { return advancements_cancelled_; }
+  uint64_t latch_ops() const { return latch_ops_; }
+
+  const Histogram& update_latency() const { return update_latency_; }
+  const Histogram& query_latency() const { return query_latency_; }
+  const Histogram& staleness() const { return staleness_; }
+  const Histogram& phase1_duration() const { return phase1_duration_; }
+  const Histogram& phase2_duration() const { return phase2_duration_; }
+  const Histogram& advancement_duration() const {
+    return advancement_duration_;
+  }
+
+  /// First time any transaction committed in each version (global view).
+  const std::map<Version, SimTime>& first_commit_time() const {
+    return first_commit_time_;
+  }
+
+ private:
+  uint64_t update_commits_ = 0;
+  uint64_t query_commits_ = 0;
+  uint64_t aborts_ = 0;
+  uint64_t deadlock_aborts_ = 0;
+  uint64_t sync_mismatch_aborts_ = 0;
+  uint64_t mtf_count_ = 0;
+  uint64_t mtf_records_scanned_ = 0;
+  uint64_t advancements_ = 0;
+  uint64_t advancements_cancelled_ = 0;
+  uint64_t latch_ops_ = 0;
+  Histogram update_latency_;
+  Histogram query_latency_;
+  Histogram staleness_;
+  Histogram phase1_duration_;
+  Histogram phase2_duration_;
+  Histogram advancement_duration_;
+  std::map<Version, SimTime> first_commit_time_;
+};
+
+}  // namespace ava3::db
+
+#endif  // AVA3_ENGINE_METRICS_H_

@@ -1,0 +1,78 @@
+#include "lock/deadlock_detector.h"
+
+#include <algorithm>
+
+namespace ava3::lock {
+
+std::vector<TxnId> DeadlockDetector::FindCycle(
+    const std::unordered_map<TxnId, std::unordered_set<TxnId>>& graph) {
+  // Iterative three-color DFS; returns the node sequence of the first cycle.
+  enum class Color : uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<TxnId, Color> color;
+  for (const auto& [node, edges] : graph) color.emplace(node, Color::kWhite);
+
+  struct Frame {
+    TxnId node;
+    std::unordered_set<TxnId>::const_iterator next;
+  };
+
+  // Every edge target is guaranteed to be a key of `graph` (RunOnce inserts
+  // holders with try_emplace), so lookups below always succeed.
+  for (const auto& [start, start_edges] : graph) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> stack;
+    std::vector<TxnId> path;
+    color[start] = Color::kGray;
+    stack.push_back(Frame{start, start_edges.begin()});
+    path.push_back(start);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& edges = graph.at(frame.node);
+      if (frame.next == edges.end()) {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      const TxnId succ = *frame.next;
+      ++frame.next;
+      Color& succ_color = color.at(succ);
+      if (succ_color == Color::kGray) {
+        // Found a back edge: extract the cycle from the path.
+        auto pos = std::find(path.begin(), path.end(), succ);
+        return std::vector<TxnId>(pos, path.end());
+      }
+      if (succ_color == Color::kWhite) {
+        succ_color = Color::kGray;
+        stack.push_back(Frame{succ, graph.at(succ).begin()});
+        path.push_back(succ);
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<TxnId> DeadlockDetector::RunOnce() {
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> graph;
+  for (LockManager* lm : lock_managers_) {
+    lm->CollectWaitsFor([&graph](TxnId waiter, TxnId holder) {
+      graph[waiter].insert(holder);
+      graph.try_emplace(holder);  // ensure the node exists for coloring
+    });
+  }
+  std::vector<TxnId> victims;
+  while (true) {
+    std::vector<TxnId> cycle = FindCycle(graph);
+    if (cycle.empty()) break;
+    ++deadlocks_found_;
+    // Youngest transaction (largest id) dies: it has done the least work.
+    const TxnId victim = *std::max_element(cycle.begin(), cycle.end());
+    victims.push_back(victim);
+    graph.erase(victim);
+    for (auto& [node, edges] : graph) edges.erase(victim);
+  }
+  for (TxnId victim : victims) on_victim_(victim);
+  return victims;
+}
+
+}  // namespace ava3::lock

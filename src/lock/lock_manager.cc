@@ -1,0 +1,192 @@
+#include "lock/lock_manager.h"
+
+#include <cassert>
+
+namespace ava3::lock {
+
+bool LockManager::CompatibleWithHolders(const Entry& entry, TxnId txn,
+                                        LockMode mode) {
+  for (const auto& [holder, held_mode] : entry.holders) {
+    if (holder == txn) continue;  // own holdings never conflict
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+AcquireResult LockManager::Acquire(TxnId txn, ItemId item, LockMode mode,
+                                   GrantCallback on_grant) {
+  ++stats_.acquisitions;
+  Entry& entry = table_[item];
+
+  auto held = entry.holders.find(txn);
+  const bool already_holds = held != entry.holders.end();
+  if (already_holds) {
+    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      // Re-entrant: already strong enough.
+      ++stats_.immediate_grants;
+      return AcquireResult::kGranted;
+    }
+    // Upgrade S -> X: immediate if sole holder and nothing queued ahead
+    // that conflicts (upgrades bypass the FIFO queue — they go first).
+    if (entry.holders.size() == 1) {
+      held->second = LockMode::kExclusive;
+      ++stats_.immediate_grants;
+      return AcquireResult::kGranted;
+    }
+    ++stats_.waits;
+    entry.queue.push_front(Request{txn, mode, std::move(on_grant),
+                                   simulator_->Now(), /*is_upgrade=*/true});
+    return AcquireResult::kWaiting;
+  }
+
+  // Fresh request: FIFO — must wait behind any queued request, and behind
+  // incompatible holders.
+  if (entry.queue.empty() && CompatibleWithHolders(entry, txn, mode)) {
+    entry.holders.emplace(txn, mode);
+    ++stats_.immediate_grants;
+    return AcquireResult::kGranted;
+  }
+  ++stats_.waits;
+  entry.queue.push_back(Request{txn, mode, std::move(on_grant),
+                                simulator_->Now(), /*is_upgrade=*/false});
+  return AcquireResult::kWaiting;
+}
+
+void LockManager::ProcessQueue(ItemId item, Entry& entry) {
+  while (!entry.queue.empty()) {
+    Request& req = entry.queue.front();
+    if (req.is_upgrade) {
+      // Grantable when the requester is the sole remaining holder.
+      auto held = entry.holders.find(req.txn);
+      if (held != entry.holders.end() && entry.holders.size() == 1) {
+        held->second = LockMode::kExclusive;
+      } else if (held == entry.holders.end() &&
+                 CompatibleWithHolders(entry, req.txn, req.mode)) {
+        // The shared lock was released (e.g. at prepare) while the upgrade
+        // waited; grant as a fresh exclusive acquisition.
+        entry.holders.emplace(req.txn, req.mode);
+      } else {
+        return;  // still blocked; FIFO stops here
+      }
+    } else {
+      if (!CompatibleWithHolders(entry, req.txn, req.mode)) return;
+      auto [it, inserted] = entry.holders.emplace(req.txn, req.mode);
+      if (!inserted && req.mode == LockMode::kExclusive) {
+        it->second = LockMode::kExclusive;
+      }
+    }
+    stats_.total_wait_micros += simulator_->Now() - req.enqueue_time;
+    ScheduleGrant(std::move(req.on_grant));
+    entry.queue.pop_front();
+  }
+  if (entry.queue.empty() && entry.holders.empty()) table_.erase(item);
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::vector<ItemId> touched;
+  for (auto& [item, entry] : table_) {
+    bool changed = entry.holders.erase(txn) > 0;
+    for (auto it = entry.queue.begin(); it != entry.queue.end();) {
+      if (it->txn == txn) {
+        it = entry.queue.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (changed) touched.push_back(item);
+  }
+  for (ItemId item : touched) {
+    auto it = table_.find(item);
+    if (it != table_.end()) ProcessQueue(item, it->second);
+  }
+}
+
+void LockManager::ReleaseShared(TxnId txn) {
+  std::vector<ItemId> touched;
+  for (auto& [item, entry] : table_) {
+    auto it = entry.holders.find(txn);
+    if (it != entry.holders.end() && it->second == LockMode::kShared) {
+      // Do not drop a shared lock with a pending upgrade request from the
+      // same transaction: the upgrade still needs it as its anchor. The
+      // queue-processing path handles granting it as a fresh X instead.
+      entry.holders.erase(it);
+      touched.push_back(item);
+    }
+  }
+  for (ItemId item : touched) {
+    auto it = table_.find(item);
+    if (it != table_.end()) ProcessQueue(item, it->second);
+  }
+}
+
+void LockManager::CancelWaiter(TxnId txn) {
+  std::vector<ItemId> touched;
+  for (auto& [item, entry] : table_) {
+    for (auto it = entry.queue.begin(); it != entry.queue.end();) {
+      if (it->txn == txn) {
+        ++stats_.cancelled;
+        GrantCallback cb = std::move(it->on_grant);
+        it = entry.queue.erase(it);
+        simulator_->After(0, [fn = std::move(cb)]() {
+          fn(Status::Aborted("lock wait cancelled"));
+        });
+        touched.push_back(item);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (ItemId item : touched) {
+    auto it = table_.find(item);
+    if (it != table_.end()) ProcessQueue(item, it->second);
+  }
+}
+
+bool LockManager::Holds(TxnId txn, ItemId item, LockMode mode) const {
+  auto it = table_.find(item);
+  if (it == table_.end()) return false;
+  auto held = it->second.holders.find(txn);
+  if (held == it->second.holders.end()) return false;
+  return mode == LockMode::kShared || held->second == LockMode::kExclusive;
+}
+
+void LockManager::CollectWaitsFor(
+    const std::function<void(TxnId waiter, TxnId holder)>& emit) const {
+  for (const auto& [item, entry] : table_) {
+    // Each queued request waits for (a) every conflicting holder and
+    // (b) every conflicting request queued ahead of it.
+    for (size_t i = 0; i < entry.queue.size(); ++i) {
+      const Request& req = entry.queue[i];
+      for (const auto& [holder, held_mode] : entry.holders) {
+        if (holder == req.txn) continue;
+        if (req.mode == LockMode::kExclusive ||
+            held_mode == LockMode::kExclusive) {
+          emit(req.txn, holder);
+        }
+      }
+      for (size_t j = 0; j < i; ++j) {
+        const Request& ahead = entry.queue[j];
+        if (ahead.txn == req.txn) continue;
+        if (req.mode == LockMode::kExclusive ||
+            ahead.mode == LockMode::kExclusive) {
+          emit(req.txn, ahead.txn);
+        }
+      }
+    }
+  }
+}
+
+bool LockManager::HasAnyLockOrWait(TxnId txn) const {
+  for (const auto& [item, entry] : table_) {
+    if (entry.holders.count(txn) > 0) return true;
+    for (const auto& req : entry.queue) {
+      if (req.txn == txn) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ava3::lock

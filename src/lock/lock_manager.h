@@ -1,0 +1,131 @@
+#ifndef AVA3_LOCK_LOCK_MANAGER_H_
+#define AVA3_LOCK_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace ava3::lock {
+
+/// Lock modes for update transactions (paper Section 2). Queries never
+/// acquire locks; they go straight to the versioned store.
+enum class LockMode : uint8_t {
+  kShared = 0,
+  kExclusive = 1,
+};
+
+/// Result of an Acquire call.
+enum class AcquireResult : uint8_t {
+  kGranted,  // lock held; no callback will fire
+  kWaiting,  // queued; the callback fires on grant or cancellation
+};
+
+/// Statistics exposed per node for the experiment harness.
+struct LockStats {
+  uint64_t acquisitions = 0;       // requests issued
+  uint64_t immediate_grants = 0;   // granted without waiting
+  uint64_t waits = 0;              // requests that had to queue
+  int64_t total_wait_micros = 0;   // summed queue time of granted waits
+  uint64_t cancelled = 0;          // waiters cancelled (aborts)
+};
+
+/// Strict two-phase-locking lock table for one node.
+///
+/// - Shared locks are compatible with shared; exclusive with nothing.
+/// - Requests queue FIFO; a request waits if any queued request precedes it
+///   (no reader overtaking, preventing writer starvation).
+/// - Upgrades (S held, X requested) jump to the queue front; two concurrent
+///   upgraders deadlock and are resolved by the global detector.
+/// - Locks are keyed by the *global* transaction id, so subtransactions of
+///   one distributed transaction share their locks at a node, and waits-for
+///   edges compose across nodes into a global graph.
+///
+/// Delayed grants are delivered as simulator events, never from inside the
+/// Release/Cancel call stack, to keep executor re-entrancy trivial.
+class LockManager {
+ public:
+  using GrantCallback = std::function<void(Status)>;
+
+  LockManager(sim::Simulator* simulator, NodeId node)
+      : simulator_(simulator), node_(node) {}
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Requests `mode` on `item` for transaction `txn`. If kGranted is
+  /// returned the lock is held and `on_grant` is dropped. Otherwise the
+  /// request queues and `on_grant` later fires with OK (granted) or
+  /// a non-OK status (cancelled via CancelWaiter).
+  AcquireResult Acquire(TxnId txn, ItemId item, LockMode mode,
+                        GrantCallback on_grant);
+
+  /// Releases every lock `txn` holds on this node and removes any queued
+  /// requests (without invoking their callbacks — use CancelWaiter first if
+  /// a callback is expected). Unblocked waiters are granted via events.
+  void ReleaseAll(TxnId txn);
+
+  /// Releases only the shared locks `txn` holds (paper: update transactions
+  /// release read locks when sending `prepared`). Exclusive locks, and
+  /// shared locks upgraded to exclusive, stay.
+  void ReleaseShared(TxnId txn);
+
+  /// Cancels `txn`'s queued (not yet granted) requests on this node,
+  /// invoking their callbacks with Aborted. Held locks are unaffected.
+  void CancelWaiter(TxnId txn);
+
+  /// True iff txn holds `item` in a mode at least as strong as `mode`.
+  bool Holds(TxnId txn, ItemId item, LockMode mode) const;
+
+  /// Emits waits-for edges (waiter -> holder or earlier queued conflicting
+  /// requester) for the global deadlock detector.
+  void CollectWaitsFor(
+      const std::function<void(TxnId waiter, TxnId holder)>& emit) const;
+
+  /// True iff txn holds or waits for any lock on this node.
+  bool HasAnyLockOrWait(TxnId txn) const;
+
+  /// Drops the entire lock table without invoking waiter callbacks
+  /// (node-crash simulation: lock state is volatile).
+  void Reset() { table_.clear(); }
+
+  const LockStats& stats() const { return stats_; }
+  NodeId node() const { return node_; }
+
+ private:
+  struct Request {
+    TxnId txn;
+    LockMode mode;
+    GrantCallback on_grant;
+    SimTime enqueue_time;
+    bool is_upgrade;
+  };
+  struct Entry {
+    std::unordered_map<TxnId, LockMode> holders;
+    std::deque<Request> queue;
+  };
+
+  /// True if `txn` requesting `mode` is compatible with current holders.
+  static bool CompatibleWithHolders(const Entry& entry, TxnId txn,
+                                    LockMode mode);
+
+  /// Grants every queue-front request that is now compatible.
+  void ProcessQueue(ItemId item, Entry& entry);
+
+  void ScheduleGrant(GrantCallback cb) {
+    simulator_->After(0, [fn = std::move(cb)]() { fn(Status::Ok()); });
+  }
+
+  sim::Simulator* simulator_;
+  NodeId node_;
+  std::unordered_map<ItemId, Entry> table_;
+  LockStats stats_;
+};
+
+}  // namespace ava3::lock
+
+#endif  // AVA3_LOCK_LOCK_MANAGER_H_

@@ -1,0 +1,28 @@
+#include "log/durable_log.h"
+
+namespace ava3::wal {
+
+std::unique_ptr<store::VersionedStore> DurableLog::Recover(
+    int capacity) const {
+  std::unique_ptr<store::VersionedStore> st =
+      checkpoint_ != nullptr ? checkpoint_->Clone()
+                             : std::make_unique<store::VersionedStore>(
+                                   capacity);
+  for (const Record& rec : tail_) {
+    if (const auto* apply = std::get_if<ApplyRecord>(&rec)) {
+      for (const ApplyWrite& w : apply->writes) {
+        Status s = w.deleted
+                       ? st->MarkDeleted(w.item, apply->version, apply->txn, 0)
+                       : st->Put(w.item, apply->version, w.value, apply->txn,
+                                 0);
+        (void)s;  // replay of a valid log cannot violate the bound
+      }
+    } else {
+      const GcRecord& gc = std::get<GcRecord>(rec);
+      (void)st->GarbageCollect(gc.g, gc.newq);
+    }
+  }
+  return st;
+}
+
+}  // namespace ava3::wal

@@ -1,0 +1,88 @@
+#ifndef AVA3_LOG_DURABLE_LOG_H_
+#define AVA3_LOG_DURABLE_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/versioned_store.h"
+
+namespace ava3::wal {
+
+/// Per-node durable redo log with fuzzy-free checkpoints — the recovery
+/// substrate of the paper's Section 4 ([BPR+96]-style main-memory
+/// database): the store is main memory; what survives a crash is the last
+/// checkpoint plus the redo records of transactions committed since.
+///
+/// Record types:
+///  - ApplyRecord: the final per-item values a committed (sub)transaction
+///    installed, at its commit version — written at commit while the
+///    transaction still holds its exclusive locks, so log order equals the
+///    store's mutation order.
+///  - GcRecord: a Phase-3 garbage-collection step (drop/relabel are
+///    deterministic given (g, newq), so logging the step suffices).
+///
+/// Recover() rebuilds the store by cloning the checkpoint and replaying
+/// the tail; the result must equal the live (committed) store content —
+/// the engine verifies that on every node recovery.
+class DurableLog {
+ public:
+  struct ApplyWrite {
+    ItemId item;
+    int64_t value;
+    bool deleted;
+  };
+  struct ApplyRecord {
+    TxnId txn;
+    Version version;
+    std::vector<ApplyWrite> writes;
+  };
+  struct GcRecord {
+    Version g;
+    Version newq;
+  };
+
+  void LogApply(ApplyRecord rec) {
+    tail_.emplace_back(std::move(rec));
+    ++records_logged_;
+  }
+  void LogGc(Version g, Version newq) {
+    tail_.emplace_back(GcRecord{g, newq});
+    ++records_logged_;
+  }
+
+  /// Installs `committed_state` as the new checkpoint and truncates the
+  /// tail. The caller must pass a transaction-consistent store (no
+  /// uncommitted effects) — for the in-place scheme that means undoing
+  /// in-flight transactions on a copy first.
+  void Checkpoint(std::unique_ptr<store::VersionedStore> committed_state) {
+    checkpoint_ = std::move(committed_state);
+    truncated_records_ += tail_.size();
+    tail_.clear();
+    ++checkpoints_;
+  }
+
+  /// Rebuilds the store: checkpoint clone (or an empty store with
+  /// `capacity`) plus the redo tail in order.
+  std::unique_ptr<store::VersionedStore> Recover(int capacity) const;
+
+  uint64_t records_logged() const { return records_logged_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+  uint64_t truncated_records() const { return truncated_records_; }
+  size_t tail_length() const { return tail_.size(); }
+
+ private:
+  using Record = std::variant<ApplyRecord, GcRecord>;
+
+  std::unique_ptr<store::VersionedStore> checkpoint_;
+  std::vector<Record> tail_;
+  uint64_t records_logged_ = 0;
+  uint64_t checkpoints_ = 0;
+  uint64_t truncated_records_ = 0;
+};
+
+}  // namespace ava3::wal
+
+#endif  // AVA3_LOG_DURABLE_LOG_H_

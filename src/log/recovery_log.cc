@@ -1,0 +1,31 @@
+#include "log/recovery_log.h"
+
+namespace ava3::wal {
+
+const char* RecoverySchemeName(RecoveryScheme scheme) {
+  return scheme == RecoveryScheme::kNoUndo ? "no-undo" : "in-place";
+}
+
+void RecoveryLog::Append(const LogRecord& rec) {
+  ++records_appended_;
+  by_txn_[rec.txn].push_back(rec);
+}
+
+int RecoveryLog::ForEachOfTxnBackwards(
+    TxnId txn, const std::function<void(const LogRecord&)>& fn) const {
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return 0;
+  int visited = 0;
+  const auto& recs = it->second;
+  for (auto rit = recs.rbegin(); rit != recs.rend(); ++rit) {
+    ++visited;
+    ++records_scanned_;
+    fn(*rit);
+    if (rit->kind == LogRecord::Kind::kBegin) break;
+  }
+  return visited;
+}
+
+void RecoveryLog::ForgetTxn(TxnId txn) { by_txn_.erase(txn); }
+
+}  // namespace ava3::wal

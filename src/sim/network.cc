@@ -1,0 +1,101 @@
+#include "sim/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ava3::sim {
+
+const char* MsgKindName(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kAdvanceU:
+      return "advance-u";
+    case MsgKind::kAckAdvanceU:
+      return "ack-advance-u";
+    case MsgKind::kAdvanceQ:
+      return "advance-q";
+    case MsgKind::kAckAdvanceQ:
+      return "ack-advance-q";
+    case MsgKind::kGarbageCollect:
+      return "garbage-collect";
+    case MsgKind::kSpawnSubtxn:
+      return "spawn-subtxn";
+    case MsgKind::kPrepared:
+      return "prepared";
+    case MsgKind::kCommit:
+      return "commit";
+    case MsgKind::kAbort:
+      return "abort";
+    case MsgKind::kQueryResult:
+      return "query-result";
+    case MsgKind::kDecisionRequest:
+      return "decision-request";
+    case MsgKind::kOther:
+      return "other";
+    case MsgKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+Network::Network(Simulator* simulator, int num_nodes, NetworkOptions options,
+                 Rng rng)
+    : simulator_(simulator),
+      options_(options),
+      rng_(rng),
+      node_up_(static_cast<size_t>(num_nodes), true) {
+  assert(num_nodes > 0);
+}
+
+void Network::Send(NodeId from, NodeId to, MsgKind kind,
+                   std::function<void()> deliver) {
+  assert(to >= 0 && to < num_nodes());
+  ++sent_[static_cast<size_t>(kind)];
+  SimDuration latency;
+  if (from == to) {
+    latency = options_.local_latency;
+  } else {
+    if (options_.drop_probability > 0 &&
+        rng_.NextDouble() < options_.drop_probability) {
+      ++dropped_;
+      return;  // lost in transit
+    }
+    latency = options_.base_latency;
+    if (options_.jitter > 0) {
+      latency += static_cast<SimDuration>(
+          rng_.Uniform(static_cast<uint64_t>(options_.jitter) + 1));
+    }
+  }
+  simulator_->After(latency, [this, to, fn = std::move(deliver)]() {
+    if (!node_up_[static_cast<size_t>(to)]) {
+      ++dropped_;
+      return;
+    }
+    fn();
+  });
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  assert(node >= 0 && node < num_nodes());
+  node_up_[static_cast<size_t>(node)] = up;
+}
+
+uint64_t Network::TotalSent() const {
+  uint64_t total = 0;
+  for (uint64_t c : sent_) total += c;
+  return total;
+}
+
+std::string Network::StatsSummary() const {
+  std::string out;
+  for (size_t k = 0; k < static_cast<size_t>(MsgKind::kNumKinds); ++k) {
+    if (sent_[k] == 0) continue;
+    if (!out.empty()) out += " ";
+    out += MsgKindName(static_cast<MsgKind>(k));
+    out += "=";
+    out += std::to_string(sent_[k]);
+  }
+  out += " dropped=" + std::to_string(dropped_);
+  return out;
+}
+
+}  // namespace ava3::sim

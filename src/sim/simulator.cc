@@ -1,0 +1,56 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ava3::sim {
+
+EventId Simulator::At(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule events in the past");
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id});
+  fns_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) { return fns_.erase(id) > 0; }
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = fns_.find(ev.id);
+    if (it == fns_.end()) continue;  // cancelled
+    // Move the closure out before executing: the closure may schedule or
+    // cancel other events (rehashing fns_), and may even re-enter Step()
+    // indirectly via RunUntil in tests.
+    std::function<void()> fn = std::move(it->second);
+    fns_.erase(it);
+    now_ = ev.time;
+    ++events_executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run(uint64_t max_events) {
+  while (max_events-- > 0 && Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty()) {
+    // Skip over cancelled heads without advancing time.
+    if (fns_.find(queue_.top().id) == fns_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > t) break;
+    if (!Step()) break;
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace ava3::sim

@@ -1,0 +1,82 @@
+#ifndef AVA3_SIM_SIMULATOR_H_
+#define AVA3_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ava3::sim {
+
+/// Handle used to cancel a scheduled event.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Deterministic discrete-event simulator. Single-threaded by design:
+/// every run is a pure function of the scheduled closures and their times.
+/// Ties are broken by scheduling order (FIFO), which the protocol code
+/// relies on for determinism.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (microseconds).
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t` (>= Now()). Returns a
+  /// handle that can be passed to Cancel().
+  EventId At(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `d` microseconds of simulated time.
+  EventId After(SimDuration d, std::function<void()> fn) {
+    return At(now_ + d, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns true if the event was still pending;
+  /// cancelling a fired or unknown event is a no-op returning false.
+  bool Cancel(EventId id);
+
+  /// Executes the next pending event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Runs until the event queue drains or `max_events` fire.
+  void Run(uint64_t max_events = UINT64_MAX);
+
+  /// Runs until simulated time reaches `t` (events at exactly `t` are
+  /// executed) or the queue drains. Advances Now() to `t` even if the queue
+  /// drained earlier.
+  void RunUntil(SimTime t);
+
+  /// Number of events executed so far.
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events currently pending.
+  size_t pending() const { return fns_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;  // ids are allocated in scheduling order => FIFO tiebreak
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_map<EventId, std::function<void()>> fns_;
+};
+
+}  // namespace ava3::sim
+
+#endif  // AVA3_SIM_SIMULATOR_H_

@@ -1,0 +1,152 @@
+#ifndef AVA3_STORAGE_VERSIONED_STORE_H_
+#define AVA3_STORAGE_VERSIONED_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ava3::store {
+
+/// One physical version of a data item.
+struct VersionedValue {
+  Version version = kInvalidVersion;
+  int64_t value = 0;
+  bool deleted = false;      // deletion marker (paper Section 3.1)
+  TxnId writer = kInvalidTxn;
+  SimTime write_time = 0;    // commit time of the writing transaction
+};
+
+/// Result of a versioned read.
+struct ReadResult {
+  Version version = kInvalidVersion;
+  int64_t value = 0;
+  bool deleted = false;
+  int versions_scanned = 0;  // chain length traversed (baseline accounting)
+};
+
+/// Statistics from one garbage-collection pass (paper, Phase 3).
+struct GcStats {
+  uint64_t versions_dropped = 0;
+  uint64_t versions_relabeled = 0;
+  uint64_t items_removed = 0;  // fully-deleted items physically removed
+};
+
+/// Per-node multi-version item store.
+///
+/// Supports the two index questions the paper requires answered
+/// efficiently (Section 3): (1) does item x exist in version v, and
+/// (2) what is the maximum existing version of x. Versions per item are kept
+/// sorted ascending in a small vector.
+///
+/// `max_live_versions` enforces the protocol's version bound: 3 for AVA3,
+/// 1 for the single-version S2PL baseline, 4 for FOURV, 0 (unbounded) for
+/// the MVU baseline. Exceeding the bound returns an Internal error — for
+/// AVA3 this is a protocol-invariant violation, and tests assert it never
+/// fires.
+class VersionedStore {
+ public:
+  explicit VersionedStore(int max_live_versions)
+      : max_live_versions_(max_live_versions) {}
+
+  /// True iff item x physically exists in exactly version v.
+  bool ExistsIn(ItemId item, Version v) const;
+
+  /// Maximum existing version of x, or kInvalidVersion if x is absent.
+  Version MaxVersion(ItemId item) const;
+
+  /// Reads the maximum existing version of x not exceeding `at_most`
+  /// (paper Section 3.3 step 3). NotFound if no such version exists.
+  /// Deleted markers are returned with deleted=true (logically absent).
+  Result<ReadResult> ReadAtMost(ItemId item, Version at_most) const;
+
+  /// Reads the exact version v of x.
+  Result<ReadResult> ReadExact(ItemId item, Version v) const;
+
+  /// Creates or overwrites version v of item x with `value`.
+  /// Overwriting an existing version is allowed only for the same or a new
+  /// writer holding the exclusive lock (enforced by the caller); the store
+  /// checks only the live-version bound.
+  Status Put(ItemId item, Version v, int64_t value, TxnId writer, SimTime t);
+
+  /// Marks item x as deleted in version v (paper: deletion is modeled by a
+  /// marker; the object is removed only once earlier versions are gone).
+  Status MarkDeleted(ItemId item, Version v, TxnId writer, SimTime t);
+
+  /// Physically removes version v of item x. NotFound if absent.
+  Status DropVersion(ItemId item, Version v);
+
+  /// Renames version `from` of item x to `to` (Phase-3 relabeling). The
+  /// target version must not already exist for x.
+  Status RelabelVersion(ItemId item, Version from, Version to);
+
+  /// Phase-3 garbage collection (paper Section 3.2): for every item x, if x
+  /// exists in version newq, drop version g of x (if present); otherwise
+  /// relabel x's version g (if present) to newq. Items whose only remaining
+  /// version is a deletion marker at newq (with nothing older) are removed.
+  GcStats GarbageCollect(Version g, Version newq);
+
+  /// Timestamp-chain pruning for the unbounded-multiversioning baseline:
+  /// keeps every version newer than `watermark` plus the newest version at
+  /// or below it (the one visible to the oldest active snapshot). Returns
+  /// the number of versions dropped.
+  int PruneItem(ItemId item, Version watermark);
+
+  /// Iterates all items; `fn(item, versions)` with versions sorted
+  /// ascending. Used by the verifier and by scans.
+  void ForEachItem(
+      const std::function<void(ItemId, const std::vector<VersionedValue>&)>&
+          fn) const;
+
+  /// Deep copy (checkpoints and recovery replay).
+  std::unique_ptr<VersionedStore> Clone() const;
+
+  /// Content equality: same items with the same (version, value, deleted)
+  /// chains. Writer/time metadata is ignored (recovery replay does not
+  /// reproduce it).
+  bool ContentEquals(const VersionedStore& other) const;
+
+  /// Carries the high-water mark across a store replacement (recovery
+  /// swaps in a replayed store; the observed bound must not reset).
+  void InheritMaxLiveObserved(int hwm) {
+    max_live_observed_ = std::max(max_live_observed_, hwm);
+  }
+
+  size_t NumItems() const { return items_.size(); }
+  /// Number of live versions of an item (0 if absent).
+  int LiveVersions(ItemId item) const;
+  /// Total physical versions across all items.
+  int64_t TotalVersionCount() const { return total_versions_; }
+  /// High-water mark of per-item live versions over the store's lifetime.
+  int MaxLiveVersionsObserved() const { return max_live_observed_; }
+  /// Configured bound (0 = unbounded).
+  int max_live_versions() const { return max_live_versions_; }
+
+ private:
+  using Chain = std::vector<VersionedValue>;  // sorted ascending by version
+
+  // Returns the chain slot for (item, v) or nullptr.
+  static const VersionedValue* Find(const Chain& chain, Version v);
+  static VersionedValue* Find(Chain& chain, Version v);
+
+  void NoteChainSize(size_t n) {
+    if (static_cast<int>(n) > max_live_observed_) {
+      max_live_observed_ = static_cast<int>(n);
+    }
+  }
+
+  int max_live_versions_;
+  int max_live_observed_ = 0;
+  int64_t total_versions_ = 0;
+  std::unordered_map<ItemId, Chain> items_;
+};
+
+}  // namespace ava3::store
+
+#endif  // AVA3_STORAGE_VERSIONED_STORE_H_

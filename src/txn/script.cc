@@ -1,0 +1,127 @@
+#include "txn/script.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace ava3::txn {
+
+Status TxnScript::Validate(int num_nodes) const {
+  if (subtxns.empty()) {
+    return Status::InvalidArgument("transaction has no subtransactions");
+  }
+  if (subtxns[0].parent != -1) {
+    return Status::InvalidArgument("subtxns[0] must be the root (parent=-1)");
+  }
+  std::unordered_set<NodeId> nodes_seen;
+  for (size_t i = 0; i < subtxns.size(); ++i) {
+    const SubtxnSpec& s = subtxns[i];
+    if (s.node < 0 || s.node >= num_nodes) {
+      return Status::InvalidArgument("subtxn " + std::to_string(i) +
+                                     " has invalid node " +
+                                     std::to_string(s.node));
+    }
+    if (i > 0 && (s.parent < 0 || s.parent >= static_cast<int>(i))) {
+      return Status::InvalidArgument(
+          "subtxn " + std::to_string(i) +
+          " parent must precede it (got " + std::to_string(s.parent) + ")");
+    }
+    if (i == 0 && s.parent != -1) {
+      return Status::InvalidArgument("root parent must be -1");
+    }
+    if (!nodes_seen.insert(s.node).second) {
+      return Status::InvalidArgument(
+          "at most one subtransaction per node (duplicate node " +
+          std::to_string(s.node) + ")");
+    }
+    int spawns = 0;
+    for (const Op& op : s.ops) {
+      if (op.kind == Op::Kind::kSpawn) {
+        ++spawns;
+        continue;
+      }
+      if (op.kind == Op::Kind::kThink) {
+        if (op.arg < 0) {
+          return Status::InvalidArgument("negative think time");
+        }
+        continue;
+      }
+      if (op.item < 0) {
+        return Status::InvalidArgument("op with invalid item");
+      }
+      if (op.kind == Op::Kind::kScan) {
+        if (kind != TxnKind::kQuery) {
+          return Status::InvalidArgument("scans are query-only");
+        }
+        if (op.arg <= 0) {
+          return Status::InvalidArgument("scan count must be positive");
+        }
+        continue;
+      }
+      if (kind == TxnKind::kQuery && op.kind != Op::Kind::kRead) {
+        return Status::InvalidArgument("queries may only read, scan, think");
+      }
+    }
+    if (spawns > 1) {
+      return Status::InvalidArgument("at most one kSpawn op per subtxn");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<int> TxnScript::ChildrenOf(int idx) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < subtxns.size(); ++i) {
+    if (subtxns[i].parent == idx) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int TxnScript::TotalOps() const {
+  int n = 0;
+  for (const auto& s : subtxns) {
+    for (const auto& op : s.ops) {
+      if (op.kind == Op::Kind::kSpawn || op.kind == Op::Kind::kThink) {
+        continue;
+      }
+      n += op.kind == Op::Kind::kScan ? static_cast<int>(op.arg) : 1;
+    }
+  }
+  return n;
+}
+
+TxnScript SingleNodeUpdate(NodeId node, std::vector<Op> ops) {
+  TxnScript script;
+  script.kind = TxnKind::kUpdate;
+  script.subtxns.push_back(SubtxnSpec{node, -1, std::move(ops)});
+  return script;
+}
+
+TxnScript SingleNodeQuery(NodeId node, std::vector<ItemId> items) {
+  TxnScript script;
+  script.kind = TxnKind::kQuery;
+  std::vector<Op> ops;
+  ops.reserve(items.size());
+  for (ItemId item : items) ops.push_back(Op::Read(item));
+  script.subtxns.push_back(SubtxnSpec{node, -1, std::move(ops)});
+  return script;
+}
+
+TxnScript TreeTxn(TxnKind kind, NodeId root_node, std::vector<Op> root_ops,
+                  std::vector<std::pair<NodeId, std::vector<Op>>> children,
+                  bool spawn_first) {
+  TxnScript script;
+  script.kind = kind;
+  SubtxnSpec root;
+  root.node = root_node;
+  root.parent = -1;
+  if (!children.empty() && spawn_first) root.ops.push_back(Op::Spawn());
+  for (Op& op : root_ops) root.ops.push_back(op);
+  if (!children.empty() && !spawn_first) root.ops.push_back(Op::Spawn());
+  script.subtxns.push_back(std::move(root));
+  for (auto& [node, ops] : children) {
+    script.subtxns.push_back(SubtxnSpec{node, 0, std::move(ops)});
+  }
+  return script;
+}
+
+}  // namespace ava3::txn

@@ -1,0 +1,94 @@
+#ifndef AVA3_TXN_SCRIPT_H_
+#define AVA3_TXN_SCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ava3::txn {
+
+/// One operation of a subtransaction. Operations execute in order at the
+/// subtransaction's node.
+struct Op {
+  enum class Kind : uint8_t {
+    kRead = 0,   // read `item`
+    kWrite,      // set `item` := arg (update transactions only)
+    kAdd,        // read-modify-write: `item` := old + arg (0 if absent)
+    kDelete,     // delete `item` (deletion-marker semantics)
+    kScan,       // read items [item, item + arg) — queries only
+    kSpawn,      // dispatch all child subtransactions now
+    kThink,      // consume `arg` microseconds of simulated work
+  };
+
+  Kind kind = Kind::kRead;
+  ItemId item = kInvalidItem;
+  int64_t arg = 0;
+
+  static Op Read(ItemId item) { return Op{Kind::kRead, item, 0}; }
+  static Op Write(ItemId item, int64_t value) {
+    return Op{Kind::kWrite, item, value};
+  }
+  static Op Add(ItemId item, int64_t delta) {
+    return Op{Kind::kAdd, item, delta};
+  }
+  static Op Delete(ItemId item) { return Op{Kind::kDelete, item, 0}; }
+  static Op Scan(ItemId first, int64_t count) {
+    return Op{Kind::kScan, first, count};
+  }
+  static Op Spawn() { return Op{Kind::kSpawn, kInvalidItem, 0}; }
+  static Op Think(SimDuration micros) {
+    return Op{Kind::kThink, kInvalidItem, micros};
+  }
+};
+
+/// A subtransaction: a node plus an operation list, positioned in the
+/// transaction tree via `parent` (index into TxnScript::subtxns, -1 for the
+/// root). If a subtransaction has children but no kSpawn op, children are
+/// dispatched after its last local op.
+struct SubtxnSpec {
+  NodeId node = kInvalidNode;
+  int parent = -1;
+  std::vector<Op> ops;
+};
+
+/// A user transaction, following the paper's R*-style execution-tree model
+/// (Section 2): one subtransaction per participating node, rooted at the
+/// node the transaction was submitted to.
+struct TxnScript {
+  TxnKind kind = TxnKind::kUpdate;
+  std::vector<SubtxnSpec> subtxns;  // subtxns[0] is the root
+
+  /// Validates the tree shape: non-empty, subtxns[0] is the root, parents
+  /// precede children, at most one subtransaction per node (the paper's
+  /// T_i-per-site model), queries contain only reads/spawns, and updates
+  /// contain no spawn-less orphans.
+  Status Validate(int num_nodes) const;
+
+  /// Indices of the children of subtxn `idx`.
+  std::vector<int> ChildrenOf(int idx) const;
+
+  /// Total number of read/write ops across all subtransactions.
+  int TotalOps() const;
+};
+
+/// Convenience builders used by tests and examples.
+
+/// Single-node update: ops all at `node`.
+TxnScript SingleNodeUpdate(NodeId node, std::vector<Op> ops);
+
+/// Single-node read-only query.
+TxnScript SingleNodeQuery(NodeId node, std::vector<ItemId> items);
+
+/// Root at `root_node` with `root_ops`; one child per entry of `children`
+/// (node, ops), spawned before the root's local ops when `spawn_first` is
+/// true, after them otherwise.
+TxnScript TreeTxn(TxnKind kind, NodeId root_node, std::vector<Op> root_ops,
+                  std::vector<std::pair<NodeId, std::vector<Op>>> children,
+                  bool spawn_first = true);
+
+}  // namespace ava3::txn
+
+#endif  // AVA3_TXN_SCRIPT_H_

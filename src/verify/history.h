@@ -1,0 +1,71 @@
+#ifndef AVA3_VERIFY_HISTORY_H_
+#define AVA3_VERIFY_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ava3::verify {
+
+/// One read performed by a committed transaction.
+struct ReadRecord {
+  NodeId node = kInvalidNode;
+  ItemId item = kInvalidItem;
+  Version version_read = kInvalidVersion;  // physical version returned
+  int64_t value = 0;
+  bool found = false;      // false: absent or deletion marker
+  SimTime read_time = 0;   // when the value was observed
+  uint64_t read_seq = 0;   // global event sequence of the observation
+  bool own_write = false;  // satisfied from the transaction's own write set
+};
+
+/// One write installed by a committed update transaction.
+struct WriteRecord {
+  NodeId node = kInvalidNode;
+  ItemId item = kInvalidItem;
+  int64_t value = 0;
+  bool deleted = false;
+  /// When the write became visible to others (commit-apply under the item's
+  /// exclusive lock); per-item apply order equals lock order, which the
+  /// checker uses as the within-version serialization of writers.
+  SimTime apply_time = 0;
+  /// Global event sequence of the apply — a strict tiebreak for writes that
+  /// share a simulated timestamp.
+  uint64_t apply_seq = 0;
+};
+
+/// A committed transaction as observed by the oracle.
+struct CommittedTxn {
+  TxnId id = kInvalidTxn;
+  TxnKind kind = TxnKind::kUpdate;
+  Version commit_version = kInvalidVersion;  // V(T) for updates, V(Q) for queries
+  /// Global serialization tiebreak within a version: for updates, the root's
+  /// commit-decision time (valid for strict 2PL — all locks are held until
+  /// after the decision, so conflict order matches decision order).
+  SimTime decision_time = 0;
+  std::vector<ReadRecord> reads;
+  std::vector<WriteRecord> writes;
+};
+
+/// Records every committed transaction for post-hoc serializability
+/// checking. This is a test oracle with global visibility; the protocol
+/// itself never reads it.
+class HistoryRecorder {
+ public:
+  /// Called once per committed transaction (updates: at the root's commit
+  /// decision; queries: at root completion). Reads/writes from all
+  /// subtransactions must already be merged in.
+  void Record(CommittedTxn txn) { txns_.push_back(std::move(txn)); }
+
+  const std::vector<CommittedTxn>& txns() const { return txns_; }
+  void Clear() { txns_.clear(); }
+
+ private:
+  std::vector<CommittedTxn> txns_;
+};
+
+}  // namespace ava3::verify
+
+#endif  // AVA3_VERIFY_HISTORY_H_

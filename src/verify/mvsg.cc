@@ -1,0 +1,137 @@
+#include "verify/mvsg.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ava3::verify {
+
+namespace {
+
+struct Write {
+  Version version;
+  uint64_t apply_seq;
+  TxnId writer;
+};
+
+/// Index of the latest write with version <= bound and apply_seq <= seq,
+/// or -1 (the initial state).
+int VisibleIndex(const std::vector<Write>& writes, Version version_bound,
+                 uint64_t seq_bound) {
+  int best = -1;
+  for (size_t i = 0; i < writes.size(); ++i) {
+    if (writes[i].version > version_bound) break;  // sorted by version
+    if (writes[i].apply_seq > seq_bound) continue;
+    best = static_cast<int>(i);
+  }
+  return best;
+}
+
+/// Finds a cycle in `graph`; returns its node sequence (empty if acyclic).
+std::vector<TxnId> FindCycle(
+    const std::unordered_map<TxnId, std::unordered_set<TxnId>>& graph) {
+  enum class Color : uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<TxnId, Color> color;
+  for (const auto& [node, edges] : graph) {
+    color.emplace(node, Color::kWhite);
+    for (TxnId succ : edges) color.emplace(succ, Color::kWhite);
+  }
+  struct Frame {
+    TxnId node;
+    std::unordered_set<TxnId>::const_iterator next;
+    bool leaf;
+  };
+  static const std::unordered_set<TxnId> kEmpty;
+  auto edges_of = [&graph](TxnId n) -> const std::unordered_set<TxnId>& {
+    auto it = graph.find(n);
+    return it == graph.end() ? kEmpty : it->second;
+  };
+  for (const auto& [start, unused] : graph) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> stack;
+    std::vector<TxnId> path;
+    color[start] = Color::kGray;
+    stack.push_back(Frame{start, edges_of(start).begin(), false});
+    path.push_back(start);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& edges = edges_of(frame.node);
+      if (frame.next == edges.end()) {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      const TxnId succ = *frame.next;
+      ++frame.next;
+      Color& c = color.at(succ);
+      if (c == Color::kGray) {
+        auto pos = std::find(path.begin(), path.end(), succ);
+        return std::vector<TxnId>(pos, path.end());
+      }
+      if (c == Color::kWhite) {
+        c = Color::kGray;
+        stack.push_back(Frame{succ, edges_of(succ).begin(), false});
+        path.push_back(succ);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Status MvsgChecker::Check(const std::vector<CommittedTxn>& txns) const {
+  // Per-item write lists in the version order the engines produced.
+  std::map<ItemId, std::vector<Write>> by_item;
+  for (const CommittedTxn& t : txns) {
+    if (t.kind != TxnKind::kUpdate) continue;
+    for (const WriteRecord& w : t.writes) {
+      by_item[w.item].push_back(Write{t.commit_version, w.apply_seq, t.id});
+    }
+  }
+  for (auto& [item, ws] : by_item) {
+    std::sort(ws.begin(), ws.end(), [](const Write& a, const Write& b) {
+      if (a.version != b.version) return a.version < b.version;
+      return a.apply_seq < b.apply_seq;
+    });
+  }
+
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> graph;
+  size_t edges = 0;
+  auto add_edge = [&graph, &edges](TxnId from, TxnId to) {
+    if (from == to) return;
+    if (graph[from].insert(to).second) ++edges;
+  };
+
+  // ww edges: consecutive writes of an item in version order.
+  for (const auto& [item, ws] : by_item) {
+    for (size_t i = 1; i < ws.size(); ++i) {
+      add_edge(ws[i - 1].writer, ws[i].writer);
+    }
+  }
+  // wr and rw edges from every committed read.
+  for (const CommittedTxn& t : txns) {
+    for (const ReadRecord& r : t.reads) {
+      if (r.own_write) continue;
+      auto it = by_item.find(r.item);
+      if (it == by_item.end()) continue;  // initial-only item: no writers
+      const std::vector<Write>& ws = it->second;
+      const int vi = VisibleIndex(ws, t.commit_version, r.read_seq);
+      if (vi >= 0) add_edge(ws[static_cast<size_t>(vi)].writer, t.id);  // wr
+      // rw: the reader precedes the writer of the next version.
+      const size_t next = static_cast<size_t>(vi + 1);
+      if (next < ws.size()) add_edge(t.id, ws[next].writer);
+    }
+  }
+  last_edge_count_ = edges;
+
+  std::vector<TxnId> cycle = FindCycle(graph);
+  if (cycle.empty()) return Status::Ok();
+  std::string msg = "MVSG cycle:";
+  for (TxnId id : cycle) msg += " T" + std::to_string(id);
+  return Status::Internal(msg);
+}
+
+}  // namespace ava3::verify

@@ -1,0 +1,174 @@
+#include "verify/serializability.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ava3::verify {
+
+SerializabilityChecker::WritesByItem SerializabilityChecker::IndexWrites(
+    const std::vector<CommittedTxn>& txns) const {
+  WritesByItem by_item;
+  for (const CommittedTxn& t : txns) {
+    if (t.kind != TxnKind::kUpdate) continue;
+    for (const WriteRecord& w : t.writes) {
+      by_item[w.item].push_back(
+          Write{t.commit_version, w.apply_seq, w.value, w.deleted, t.id});
+    }
+  }
+  for (auto& [item, ws] : by_item) {
+    std::sort(ws.begin(), ws.end(), [](const Write& a, const Write& b) {
+      if (a.version != b.version) return a.version < b.version;
+      return a.apply_seq < b.apply_seq;
+    });
+  }
+  return by_item;
+}
+
+const SerializabilityChecker::Write* SerializabilityChecker::Visible(
+    const std::vector<Write>& writes, Version version_bound,
+    uint64_t seq_bound) {
+  const Write* best = nullptr;
+  for (const Write& w : writes) {
+    if (w.version > version_bound) break;  // sorted ascending by version
+    if (w.apply_seq > seq_bound) continue;
+    // Sorted by (version, apply_seq), so a later qualifying entry always
+    // supersedes `best`.
+    best = &w;
+  }
+  return best;
+}
+
+Status SerializabilityChecker::CheckRead(const CommittedTxn& txn,
+                                         const ReadRecord& read,
+                                         const WritesByItem& writes) const {
+  if (read.own_write) return Status::Ok();  // read-your-writes, trivially ok
+
+  const std::string who =
+      (txn.kind == TxnKind::kUpdate ? "update T" : "query Q") +
+      std::to_string(txn.id);
+
+  // Check 3: never observe beyond the commit version.
+  if (read.found && read.version_read > txn.commit_version) {
+    return Status::Internal(
+        who + " read item " + std::to_string(read.item) + " at version " +
+        std::to_string(read.version_read) + " > commit version " +
+        std::to_string(txn.commit_version));
+  }
+
+  auto it = writes.find(read.item);
+  const Write* expected =
+      it == writes.end()
+          ? nullptr
+          : Visible(it->second, txn.commit_version, read.read_seq);
+
+  // Check 2 (updates only): the reader must not have returned data older
+  // than a conflicting committed write it was obliged to see. `expected`
+  // is exactly the newest such write; its version is a lower bound on what
+  // a correct read returns. For queries the same bound holds by Lemma 6.2.
+  // We compare values (not physical versions) to be relabeling-proof.
+  bool exp_found;
+  int64_t exp_value = 0;
+  if (expected != nullptr) {
+    exp_found = !expected->deleted;
+    exp_value = expected->value;
+  } else {
+    auto iit = initial_.find(read.item);
+    exp_found = iit != initial_.end();
+    if (exp_found) exp_value = iit->second;
+  }
+
+  if (read.found != exp_found) {
+    return Status::Internal(
+        who + " read item " + std::to_string(read.item) + ": found=" +
+        (read.found ? "true" : "false") + " but expected found=" +
+        (exp_found ? "true" : "false") +
+        (expected != nullptr
+             ? " (expected writer T" + std::to_string(expected->writer) +
+                   " v" + std::to_string(expected->version) + ")"
+             : " (initial state)"));
+  }
+  if (read.found && read.value != exp_value) {
+    return Status::Internal(
+        who + " read item " + std::to_string(read.item) + " = " +
+        std::to_string(read.value) + " but expected " +
+        std::to_string(exp_value) +
+        (expected != nullptr
+             ? " from T" + std::to_string(expected->writer) + " (v" +
+                   std::to_string(expected->version) + ")"
+             : " (initial state)"));
+  }
+  return Status::Ok();
+}
+
+Status SerializabilityChecker::Check(
+    const std::vector<CommittedTxn>& txns) const {
+  const WritesByItem writes = IndexWrites(txns);
+  for (const CommittedTxn& t : txns) {
+    for (const ReadRecord& r : t.reads) {
+      AVA3_RETURN_IF_ERROR(CheckRead(t, r, writes));
+    }
+  }
+  return Status::Ok();
+}
+
+Status SerializabilityChecker::CheckFinalState(
+    const std::vector<CommittedTxn>& txns,
+    const std::vector<const store::VersionedStore*>& stores) const {
+  const WritesByItem writes = IndexWrites(txns);
+  // Which node holds each item: take it from the write records; unwritten
+  // items are checked on every store that contains them.
+  std::map<ItemId, NodeId> home;
+  for (const CommittedTxn& t : txns) {
+    for (const WriteRecord& w : t.writes) home[w.item] = w.node;
+  }
+  constexpr Version kMaxV = std::numeric_limits<Version>::max();
+  constexpr uint64_t kMaxSeq = std::numeric_limits<uint64_t>::max();
+
+  auto check_item = [&](ItemId item,
+                        const store::VersionedStore& st) -> Status {
+    auto wit = writes.find(item);
+    const Write* last =
+        wit == writes.end() ? nullptr : Visible(wit->second, kMaxV, kMaxSeq);
+    bool exp_found;
+    int64_t exp_value = 0;
+    if (last != nullptr) {
+      exp_found = !last->deleted;
+      exp_value = last->value;
+    } else {
+      auto iit = initial_.find(item);
+      exp_found = iit != initial_.end();
+      if (exp_found) exp_value = iit->second;
+    }
+    auto r = st.ReadAtMost(item, kMaxV);
+    const bool got_found = r.ok() && !r->deleted;
+    if (got_found != exp_found ||
+        (got_found && r->value != exp_value)) {
+      return Status::Internal(
+          "final state mismatch for item " + std::to_string(item) +
+          ": store has " +
+          (got_found ? std::to_string(r->value) : std::string("absent")) +
+          " but history says " +
+          (exp_found ? std::to_string(exp_value) : std::string("absent")));
+    }
+    return Status::Ok();
+  };
+
+  for (const auto& [item, node] : home) {
+    if (node < 0 || static_cast<size_t>(node) >= stores.size()) {
+      return Status::Internal("write record with bad node");
+    }
+    AVA3_RETURN_IF_ERROR(check_item(item, *stores[node]));
+  }
+  // Unwritten initial items: verify wherever they live.
+  for (const auto& [item, value] : initial_) {
+    if (home.count(item) > 0) continue;
+    for (const store::VersionedStore* st : stores) {
+      if (st->MaxVersion(item) != kInvalidVersion) {
+        AVA3_RETURN_IF_ERROR(check_item(item, *st));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ava3::verify

@@ -1,0 +1,78 @@
+#ifndef AVA3_VERIFY_SERIALIZABILITY_H_
+#define AVA3_VERIFY_SERIALIZABILITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/versioned_store.h"
+#include "verify/history.h"
+
+namespace ava3::verify {
+
+/// Post-hoc correctness oracle for committed histories.
+///
+/// The theory (paper Theorem 6.2): an AVA3 schedule is equivalent to a
+/// serial schedule in which transactions are ordered by commit version,
+/// updates of a version precede queries of that version, and same-version
+/// updates are ordered by strict 2PL. The checker operationalizes this:
+///
+/// 1. **Read validity.** Every read (by queries and by update
+///    transactions) must return the value of the latest committed write to
+///    that item with commit version <= the reader's bound that had been
+///    applied by the time of the read — falling back to the initial value.
+///    Per-item apply order under exclusive locks is the within-version
+///    serialization, made strict by a global event-sequence tiebreak.
+/// 2. **No missed versions.** An update transaction must never return a
+///    version older than a conflicting committed write it was obliged to
+///    observe (a write with commit version in (version_read, V(T)] applied
+///    before the read) — this is exactly what a missing moveToFuture would
+///    produce.
+/// 3. **Version-order sanity.** No transaction observes data from a
+///    version beyond its own commit version (queries: V(Q); updates:
+///    V(T)). Version relabeling (Phase 3) is handled by comparing logical
+///    commit versions of writers, never physical labels.
+/// 4. **Final state.** After the run, every item's latest value in the
+///    store equals the last committed write (or the initial value).
+class SerializabilityChecker {
+ public:
+  explicit SerializabilityChecker(std::map<ItemId, int64_t> initial_values)
+      : initial_(std::move(initial_values)) {}
+
+  /// Runs checks 1-3 over a committed history. Returns the first violation.
+  Status Check(const std::vector<CommittedTxn>& txns) const;
+
+  /// Check 4: compares the stores' final content against the history.
+  /// `stores[n]` is node n's store.
+  Status CheckFinalState(const std::vector<CommittedTxn>& txns,
+                         const std::vector<const store::VersionedStore*>&
+                             stores) const;
+
+ private:
+  struct Write {
+    Version version;     // writer's commit version (logical, stable)
+    uint64_t apply_seq;  // strict global order of the apply
+    int64_t value;
+    bool deleted;
+    TxnId writer;
+  };
+  using WritesByItem = std::map<ItemId, std::vector<Write>>;
+
+  WritesByItem IndexWrites(const std::vector<CommittedTxn>& txns) const;
+
+  /// Latest write with version <= version_bound and apply_seq <= seq_bound;
+  /// nullptr if none.
+  static const Write* Visible(const std::vector<Write>& writes,
+                              Version version_bound, uint64_t seq_bound);
+
+  Status CheckRead(const CommittedTxn& txn, const ReadRecord& read,
+                   const WritesByItem& writes) const;
+
+  std::map<ItemId, int64_t> initial_;
+};
+
+}  // namespace ava3::verify
+
+#endif  // AVA3_VERIFY_SERIALIZABILITY_H_

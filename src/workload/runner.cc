@@ -1,0 +1,94 @@
+#include "workload/runner.h"
+
+#include <utility>
+
+namespace ava3::wl {
+
+WorkloadRunner::WorkloadRunner(sim::Simulator* simulator, db::Engine* engine,
+                               WorkloadSpec spec, uint64_t seed)
+    : simulator_(simulator),
+      engine_(engine),
+      spec_(spec),
+      gen_(spec, Rng(seed)),
+      arrivals_(Rng(seed ^ 0x9E3779B97F4A7C15ULL)) {}
+
+const std::map<ItemId, int64_t>& WorkloadRunner::SeedData() {
+  for (NodeId n = 0; n < spec_.num_nodes; ++n) {
+    for (int64_t i = 0; i < spec_.items_per_node; ++i) {
+      const ItemId item = spec_.FirstItemOf(n) + i;
+      engine_->LoadInitial(n, item, spec_.initial_value);
+      initial_values_[item] = spec_.initial_value;
+    }
+  }
+  return initial_values_;
+}
+
+void WorkloadRunner::Start(SimDuration duration) {
+  const SimTime end = simulator_->Now() + duration;
+  if (spec_.update_rate_per_sec > 0) ScheduleNextUpdate(end);
+  if (spec_.query_rate_per_sec > 0) ScheduleNextQuery(end);
+  if (spec_.advancement_period > 0) ScheduleAdvancement(end);
+}
+
+void WorkloadRunner::ScheduleNextUpdate(SimTime end) {
+  const double gap_us =
+      arrivals_.Exponential(1e6 / spec_.update_rate_per_sec);
+  const SimTime t = simulator_->Now() + static_cast<SimTime>(gap_us) + 1;
+  if (t >= end) return;
+  simulator_->At(t, [this, end]() {
+    ++stats_.update_attempts;
+    SubmitWithRetry(gen_.NextUpdate());
+    ScheduleNextUpdate(end);
+  });
+}
+
+void WorkloadRunner::ScheduleNextQuery(SimTime end) {
+  const double gap_us = arrivals_.Exponential(1e6 / spec_.query_rate_per_sec);
+  const SimTime t = simulator_->Now() + static_cast<SimTime>(gap_us) + 1;
+  if (t >= end) return;
+  simulator_->At(t, [this, end]() {
+    ++stats_.query_attempts;
+    SubmitWithRetry(gen_.NextQuery());
+    ScheduleNextQuery(end);
+  });
+}
+
+void WorkloadRunner::ScheduleAdvancement(SimTime end) {
+  const SimTime t = simulator_->Now() + spec_.advancement_period;
+  if (t >= end) return;
+  simulator_->At(t, [this, end]() {
+    NodeId coordinator = 0;
+    if (spec_.rotate_coordinator) {
+      coordinator = next_coordinator_;
+      next_coordinator_ =
+          static_cast<NodeId>((next_coordinator_ + 1) % spec_.num_nodes);
+    }
+    engine_->TriggerAdvancement(coordinator);
+    ScheduleAdvancement(end);
+  });
+}
+
+void WorkloadRunner::SubmitWithRetry(txn::TxnScript script, int attempt) {
+  const TxnId id = NextTxnId();
+  engine_->Submit(id, script, [this, script, attempt](
+                                  const db::TxnResult& res) {
+    if (res.outcome == TxnOutcome::kCommitted) {
+      if (res.kind == TxnKind::kUpdate) {
+        ++stats_.committed_updates;
+      } else {
+        ++stats_.committed_queries;
+      }
+      return;
+    }
+    if (!res.status.IsRetryable() || attempt >= spec_.max_retries) {
+      ++stats_.gave_up;
+      return;
+    }
+    ++stats_.retries;
+    simulator_->After(
+        spec_.retry_backoff * (1 + attempt),
+        [this, script, attempt]() { SubmitWithRetry(script, attempt + 1); });
+  });
+}
+
+}  // namespace ava3::wl

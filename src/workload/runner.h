@@ -1,0 +1,63 @@
+#ifndef AVA3_WORKLOAD_RUNNER_H_
+#define AVA3_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "engine/engine_iface.h"
+#include "workload/workload.h"
+
+namespace ava3::wl {
+
+/// Driver-side statistics (engine-side metrics live in db::Metrics).
+struct RunnerStats {
+  uint64_t update_attempts = 0;
+  uint64_t query_attempts = 0;
+  uint64_t committed_updates = 0;
+  uint64_t committed_queries = 0;
+  uint64_t retries = 0;
+  uint64_t gave_up = 0;  // exceeded max_retries
+};
+
+/// Submits a Poisson-arrival stream of generated transactions to an engine,
+/// retrying aborted attempts (fresh TxnId per attempt, so deadlock victim
+/// selection sees real ages), and periodically triggering version
+/// advancement.
+class WorkloadRunner {
+ public:
+  WorkloadRunner(sim::Simulator* simulator, db::Engine* engine,
+                 WorkloadSpec spec, uint64_t seed);
+
+  /// Installs initial data (every item at `spec.initial_value`). Returns
+  /// the initial-state map for the serializability checker.
+  const std::map<ItemId, int64_t>& SeedData();
+
+  /// Schedules arrivals over [Now, Now+duration) plus the advancement
+  /// trigger loop. Call simulator->RunUntil(...) afterwards to execute.
+  void Start(SimDuration duration);
+
+  /// Submits one explicit script (with retries); used by tests.
+  void SubmitWithRetry(txn::TxnScript script, int attempt = 0);
+
+  const RunnerStats& stats() const { return stats_; }
+  TxnId NextTxnId() { return next_txn_id_++; }
+
+ private:
+  void ScheduleNextUpdate(SimTime end);
+  void ScheduleNextQuery(SimTime end);
+  void ScheduleAdvancement(SimTime end);
+
+  sim::Simulator* simulator_;
+  db::Engine* engine_;
+  WorkloadSpec spec_;
+  ScriptGenerator gen_;
+  Rng arrivals_;
+  TxnId next_txn_id_ = 1;
+  NodeId next_coordinator_ = 0;
+  RunnerStats stats_;
+  std::map<ItemId, int64_t> initial_values_;
+};
+
+}  // namespace ava3::wl
+
+#endif  // AVA3_WORKLOAD_RUNNER_H_

@@ -1,0 +1,57 @@
+#ifndef AVA3_WORKLOAD_SCENARIOS_H_
+#define AVA3_WORKLOAD_SCENARIOS_H_
+
+#include <map>
+#include <optional>
+
+#include "engine/database.h"
+
+namespace ava3::wl {
+
+/// Deterministic reproduction of the paper's Table 1 example execution
+/// (Section 5): three sites i, j, k with items w@i, x@j y@j, z@k.
+///
+///  - Update T roots at i (writes w), with children T_j (writes y, later x)
+///    and T_k (writes z).
+///  - Version advancement is initiated by k while T runs, so T_k starts in
+///    version 2 while T_i/T_j start in version 1.
+///  - Update S (version 1) waits on T_j's lock on y and finishes in
+///    version 2 via a trivial moveToFuture.
+///  - Update U (version 2) commits x(2) quickly, forcing T_j's
+///    moveToFuture when T_j touches x.
+///  - T's cross-node version mismatch is caught by 2PC: T_i moves w to
+///    version 2 at commit.
+///  - Queries: R reads w(0) at i before advancement; Q starts at j before
+///    the query version advances (V(Q)=0) and reads y as of version 0; P
+///    starts after (V(P)=1).
+///  - Phase 3 garbage-collects version 0 only after Q completes.
+///
+/// The scenario uses the in-place recovery scheme so the moveToFuture
+/// copy/undo mechanics of Section 4 are exercised exactly as in the table.
+struct Table1Expectations {
+  // Initial values.
+  static constexpr ItemId kW = 1, kX = 1001, kY = 1002, kZ = 2001;
+  static constexpr int64_t kW0 = 100, kX0 = 200, kY0 = 300, kZ0 = 400;
+  // Deltas applied by the transactions.
+  static constexpr int64_t kTw = 5, kTy = 11, kTx = 13, kTz = 17, kSy = 7,
+                           kUx = 3;
+};
+
+struct Table1Results {
+  db::TxnResult t, s, u;  // updates T, S, U
+  db::TxnResult r, q, p;  // queries R, Q, P
+  db::TxnResult final_query;  // after a second advancement: reads y and x
+  std::map<ItemId, int64_t> initial_values;
+};
+
+/// Runs the scenario on `database` (must be 3-node AVA3, in-place recovery,
+/// zero network jitter; see MakeTable1Options). Returns nullopt if any
+/// transaction failed to complete.
+std::optional<Table1Results> RunTable1(db::Database* database);
+
+/// Database options that make the scenario's interleaving deterministic.
+db::DatabaseOptions MakeTable1Options(bool enable_trace);
+
+}  // namespace ava3::wl
+
+#endif  // AVA3_WORKLOAD_SCENARIOS_H_

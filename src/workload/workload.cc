@@ -1,0 +1,159 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace ava3::wl {
+
+ScriptGenerator::ScriptGenerator(WorkloadSpec spec, Rng rng)
+    : spec_(spec), rng_(rng) {
+  zipf_ = std::make_unique<ZipfGenerator>(
+      static_cast<uint64_t>(spec_.items_per_node), spec_.zipf_theta);
+}
+
+ItemId ScriptGenerator::PickItem(NodeId node) {
+  const uint64_t rank = zipf_->Next(rng_);
+  // Scramble the rank across the node's range with a fixed multiplicative
+  // permutation so that popular items are not adjacent ids.
+  const uint64_t n = static_cast<uint64_t>(spec_.items_per_node);
+  const uint64_t scrambled = (rank * 2654435761ULL + 12345) % n;
+  return spec_.FirstItemOf(node) + static_cast<ItemId>(scrambled);
+}
+
+std::vector<txn::Op> ScriptGenerator::MakeOps(NodeId node, int count,
+                                              bool update) {
+  std::vector<txn::Op> ops;
+  ops.reserve(static_cast<size_t>(count) + 1);
+  std::unordered_set<ItemId> used;  // distinct items within a subtxn
+  for (int i = 0; i < count; ++i) {
+    ItemId item = PickItem(node);
+    for (int tries = 0; tries < 8 && used.count(item) > 0; ++tries) {
+      item = PickItem(node);
+    }
+    used.insert(item);
+    if (update && rng_.NextDouble() < spec_.update_write_fraction) {
+      // Mostly read-modify-writes (the paper's "record current activity"
+      // pattern); occasionally a blind overwrite or a deletion.
+      if (spec_.update_delete_fraction > 0 &&
+          rng_.NextDouble() < spec_.update_delete_fraction) {
+        ops.push_back(txn::Op::Delete(item));
+      } else if (rng_.Bernoulli(0.25)) {
+        ops.push_back(txn::Op::Write(
+            item, static_cast<int64_t>(rng_.Uniform(1'000'000))));
+      } else {
+        ops.push_back(txn::Op::Add(item, rng_.UniformRange(-50, 100)));
+      }
+    } else if (!update && spec_.query_scan_fraction > 0 &&
+               rng_.NextDouble() < spec_.query_scan_fraction) {
+      // A short range scan clamped to the node's item range.
+      const ItemId end = spec_.FirstItemOf(node) + spec_.items_per_node;
+      const int64_t want = rng_.UniformRange(4, 16);
+      ops.push_back(txn::Op::Scan(item, std::min<int64_t>(want, end - item)));
+      if (spec_.query_per_op_think > 0) {
+        ops.push_back(txn::Op::Think(spec_.query_per_op_think));
+      }
+    } else {
+      ops.push_back(txn::Op::Read(item));
+      if (!update && spec_.query_per_op_think > 0) {
+        ops.push_back(txn::Op::Think(spec_.query_per_op_think));
+      }
+    }
+  }
+  return ops;
+}
+
+txn::TxnScript ScriptGenerator::NextUpdate() {
+  const NodeId root = PickNode();
+  const int total_ops = static_cast<int>(
+      rng_.UniformRange(spec_.update_ops_min, spec_.update_ops_max));
+  const bool multi = spec_.num_nodes > 1 &&
+                     rng_.NextDouble() < spec_.update_multinode_prob;
+  txn::TxnScript script;
+  script.kind = TxnKind::kUpdate;
+  if (!multi) {
+    auto ops = MakeOps(root, total_ops, /*update=*/true);
+    if (spec_.update_think > 0) {
+      ops.insert(ops.begin(), txn::Op::Think(spec_.update_think));
+    }
+    script.subtxns.push_back(txn::SubtxnSpec{root, -1, std::move(ops)});
+    return script;
+  }
+  // Distribute ops over the root plus `fanout` distinct child nodes.
+  std::vector<NodeId> nodes{root};
+  for (int i = 0; i < spec_.update_fanout &&
+                  static_cast<int>(nodes.size()) < spec_.num_nodes;
+       ++i) {
+    NodeId child = PickNode();
+    while (std::find(nodes.begin(), nodes.end(), child) != nodes.end()) {
+      child = static_cast<NodeId>((child + 1) % spec_.num_nodes);
+    }
+    nodes.push_back(child);
+  }
+  const int per = std::max(1, total_ops / static_cast<int>(nodes.size()));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    auto ops = MakeOps(nodes[i], per, /*update=*/true);
+    if (i == 0) {
+      // Root spawns children before its local work so they run in parallel.
+      ops.insert(ops.begin(), txn::Op::Spawn());
+      if (spec_.update_think > 0) {
+        ops.insert(ops.begin() + 1, txn::Op::Think(spec_.update_think));
+      }
+      script.subtxns.push_back(txn::SubtxnSpec{nodes[i], -1, std::move(ops)});
+    } else {
+      // Star by default; with deep_trees, hang off any earlier subtxn
+      // (multi-level prepared/commit propagation).
+      int parent = 0;
+      if (spec_.deep_trees && i > 1) {
+        parent = static_cast<int>(rng_.Uniform(static_cast<uint64_t>(i)));
+      }
+      script.subtxns.push_back(
+          txn::SubtxnSpec{nodes[i], parent, std::move(ops)});
+    }
+  }
+  return script;
+}
+
+txn::TxnScript ScriptGenerator::NextQuery() {
+  const NodeId root = PickNode();
+  const int total_ops = static_cast<int>(
+      rng_.UniformRange(spec_.query_ops_min, spec_.query_ops_max));
+  const bool multi = spec_.num_nodes > 1 &&
+                     rng_.NextDouble() < spec_.query_multinode_prob;
+  txn::TxnScript script;
+  script.kind = TxnKind::kQuery;
+  if (!multi) {
+    auto ops = MakeOps(root, total_ops, /*update=*/false);
+    if (spec_.query_think > 0) {
+      ops.insert(ops.begin(), txn::Op::Think(spec_.query_think));
+    }
+    script.subtxns.push_back(txn::SubtxnSpec{root, -1, std::move(ops)});
+    return script;
+  }
+  std::vector<NodeId> nodes{root};
+  for (int i = 0; i < spec_.query_fanout &&
+                  static_cast<int>(nodes.size()) < spec_.num_nodes;
+       ++i) {
+    NodeId child = PickNode();
+    while (std::find(nodes.begin(), nodes.end(), child) != nodes.end()) {
+      child = static_cast<NodeId>((child + 1) % spec_.num_nodes);
+    }
+    nodes.push_back(child);
+  }
+  const int per = std::max(1, total_ops / static_cast<int>(nodes.size()));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    auto ops = MakeOps(nodes[i], per, /*update=*/false);
+    if (i == 0) {
+      ops.insert(ops.begin(), txn::Op::Spawn());
+      if (spec_.query_think > 0) {
+        ops.insert(ops.begin() + 1, txn::Op::Think(spec_.query_think));
+      }
+      script.subtxns.push_back(txn::SubtxnSpec{nodes[i], -1, std::move(ops)});
+    } else {
+      script.subtxns.push_back(txn::SubtxnSpec{nodes[i], 0, std::move(ops)});
+    }
+  }
+  return script;
+}
+
+}  // namespace ava3::wl

@@ -1,0 +1,103 @@
+#ifndef AVA3_WORKLOAD_WORKLOAD_H_
+#define AVA3_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/zipf.h"
+#include "txn/script.h"
+
+namespace ava3::wl {
+
+/// Parameters of the synthetic workload. Defaults model the paper's
+/// motivating applications: a continuous stream of small update
+/// transactions (call records / card transactions) plus longer read-only
+/// decision-support queries, with optional cross-node fan-out.
+struct WorkloadSpec {
+  int num_nodes = 3;
+  int64_t items_per_node = 1000;
+  /// Zipfian skew of item popularity within a node (0 = uniform).
+  double zipf_theta = 0.0;
+  int64_t initial_value = 1000;
+
+  // Update-transaction shape.
+  int update_ops_min = 2;
+  int update_ops_max = 8;
+  double update_write_fraction = 0.7;  // remaining ops are reads
+  double update_delete_fraction = 0.0;  // of writes: deletion markers
+  double update_multinode_prob = 0.3;  // spans child nodes with this prob.
+  int update_fanout = 2;               // children per multi-node update
+  /// Arrange multi-node subtransactions as a random-depth tree instead of
+  /// a root-plus-leaves star (exercises multi-level 2PC propagation).
+  bool deep_trees = false;
+  SimDuration update_think = 0;        // extra per-subtxn think time
+
+  // Query shape.
+  int query_ops_min = 4;
+  int query_ops_max = 16;
+  double query_multinode_prob = 0.5;
+  int query_fanout = 2;
+  SimDuration query_think = 0;
+  /// Think time interleaved after *each* query read (scan pacing); under a
+  /// locking scheme this is what makes long scans hold locks progressively.
+  SimDuration query_per_op_think = 0;
+  /// Probability that a query op is a range scan (of 4-16 items) instead
+  /// of a point read.
+  double query_scan_fraction = 0.0;
+
+  // Poisson arrival rates (per simulated second).
+  double update_rate_per_sec = 200.0;
+  double query_rate_per_sec = 50.0;
+
+  /// Version-advancement trigger period (0 disables triggering).
+  SimDuration advancement_period = 500 * kMillisecond;
+  /// Rotate the advancement coordinator across nodes (exercises the
+  /// multi-coordinator paths); otherwise node 0 always coordinates.
+  bool rotate_coordinator = false;
+
+  // Retry policy for aborted attempts.
+  int max_retries = 25;
+  SimDuration retry_backoff = 5 * kMillisecond;
+
+  /// First item id owned by `node`.
+  ItemId FirstItemOf(NodeId node) const { return node * items_per_node; }
+  /// Owner node of `item`.
+  NodeId NodeOf(ItemId item) const {
+    return static_cast<NodeId>(item / items_per_node);
+  }
+  int64_t TotalItems() const { return num_nodes * items_per_node; }
+};
+
+/// Generates transaction scripts according to a WorkloadSpec. Determinism:
+/// a generator seeded identically produces the same stream.
+class ScriptGenerator {
+ public:
+  ScriptGenerator(WorkloadSpec spec, Rng rng);
+
+  txn::TxnScript NextUpdate();
+  txn::TxnScript NextQuery();
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  /// Picks an item on `node` (Zipf-ranked, rank scrambled across the node's
+  /// id range so hot items are spread out).
+  ItemId PickItem(NodeId node);
+  NodeId PickNode() {
+    return static_cast<NodeId>(rng_.Uniform(
+        static_cast<uint64_t>(spec_.num_nodes)));
+  }
+  std::vector<txn::Op> MakeOps(NodeId node, int count, bool update);
+
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+};
+
+}  // namespace ava3::wl
+
+#endif  // AVA3_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,270 @@
+// Version-advancement protocol tests (paper Section 3.2): the three phases,
+// the initiation guard, multiple concurrent coordinators converging on the
+// same versions, obsolete-message handling, commit-triggered advancement,
+// query-driven q bumps, and the continuous-advancement mode of Section 8.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace ava3 {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using txn::Op;
+
+DatabaseOptions Opts(int nodes = 3) {
+  DatabaseOptions o;
+  o.num_nodes = nodes;
+  o.net.jitter = 0;
+  return o;
+}
+
+TEST(AdvancementTest, CompletesOnIdleSystem) {
+  Database dbase(Opts());
+  auto* eng = dbase.ava3_engine();
+  eng->TriggerAdvancement(1);
+  dbase.RunFor(kSecond);
+  EXPECT_EQ(dbase.metrics().advancements(), 1u);
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(eng->control(n).u(), 2);
+    EXPECT_EQ(eng->control(n).q(), 1);
+    EXPECT_EQ(eng->control(n).g(), 0);
+  }
+}
+
+TEST(AdvancementTest, GuardBlocksReinitiationUntilGcCompletes) {
+  Database dbase(Opts());
+  auto* eng = dbase.ava3_engine();
+  eng->TriggerAdvancement(0);
+  // Immediately re-trigger: the coordinator is active, so this is ignored.
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(kSecond);
+  EXPECT_EQ(dbase.metrics().advancements(), 1u);
+  // After completion the guard opens again.
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(kSecond);
+  EXPECT_EQ(dbase.metrics().advancements(), 2u);
+  EXPECT_EQ(eng->control(0).u(), 3);
+}
+
+TEST(AdvancementTest, Phase1WaitsForOldUpdateTransactions) {
+  Database dbase(Opts());
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 10);
+  // A long version-1 update is running when advancement starts.
+  db::TxnResult result;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::SingleNodeUpdate(0, {Op::Add(1, 1), Op::Think(50 * kMillisecond)}),
+      [&result](const db::TxnResult& r) { result = r; });
+  dbase.RunFor(kMillisecond);
+  eng->TriggerAdvancement(1);
+  dbase.RunFor(10 * kMillisecond);
+  // u advanced everywhere, but q has not: Phase 1 is waiting for the txn.
+  EXPECT_EQ(eng->control(0).u(), 2);
+  EXPECT_EQ(eng->control(0).q(), 0);
+  EXPECT_TRUE(eng->AdvancementInProgress());
+  dbase.RunFor(100 * kMillisecond);
+  EXPECT_EQ(result.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(result.commit_version, 1);  // started (and stayed) in v1
+  EXPECT_EQ(eng->control(0).q(), 1);
+  EXPECT_FALSE(eng->AdvancementInProgress());
+  // Phase 1 duration reflects the straggler (Figure 1's diagram).
+  EXPECT_GE(dbase.metrics().phase1_duration().max(), 40 * kMillisecond);
+}
+
+TEST(AdvancementTest, Phase2WaitsForOldQueries) {
+  Database dbase(Opts());
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 10);
+  db::TxnResult qres;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::TxnScript{TxnKind::kQuery,
+                     {txn::SubtxnSpec{
+                         0, -1, {Op::Think(50 * kMillisecond), Op::Read(1)}}}},
+      [&qres](const db::TxnResult& r) { qres = r; });
+  dbase.RunFor(kMillisecond);
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(10 * kMillisecond);
+  // Phase 1 done (no updates), Phase 2 blocked on the version-0 query.
+  EXPECT_EQ(eng->control(0).u(), 2);
+  EXPECT_EQ(eng->control(0).q(), 1);  // q advanced; GC is what waits
+  EXPECT_EQ(eng->control(0).g(), -1);
+  EXPECT_TRUE(eng->AdvancementInProgress());
+  dbase.RunFor(100 * kMillisecond);
+  EXPECT_EQ(qres.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(eng->control(0).g(), 0);  // GC ran once the query drained
+  EXPECT_FALSE(eng->AdvancementInProgress());
+}
+
+TEST(AdvancementTest, MultipleCoordinatorsConvergeToOneRound) {
+  Database dbase(Opts(5));
+  auto* eng = dbase.ava3_engine();
+  // All five nodes initiate simultaneously.
+  for (NodeId n = 0; n < 5; ++n) eng->TriggerAdvancement(n);
+  dbase.RunFor(2 * kSecond);
+  // Exactly one version step happened (all coordinators drove the same
+  // round; redundant ones completed or were cancelled).
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(eng->control(n).u(), 2) << "node " << n;
+    EXPECT_EQ(eng->control(n).q(), 1) << "node " << n;
+    EXPECT_EQ(eng->control(n).g(), 0) << "node " << n;
+  }
+  EXPECT_FALSE(eng->AdvancementInProgress());
+  EXPECT_GE(dbase.metrics().advancements() +
+                dbase.metrics().advancements_cancelled(),
+            1u);
+  EXPECT_TRUE(eng->CheckInvariants().ok());
+}
+
+TEST(AdvancementTest, StaggeredCoordinatorsStillConverge) {
+  Database dbase(Opts(4));
+  auto* eng = dbase.ava3_engine();
+  for (NodeId n = 0; n < 4; ++n) {
+    dbase.simulator().At(n * 300, [eng, n]() { eng->TriggerAdvancement(n); });
+  }
+  dbase.RunFor(2 * kSecond);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(eng->control(n).u(), 2) << "node " << n;
+    EXPECT_EQ(eng->control(n).q(), 1) << "node " << n;
+  }
+  EXPECT_TRUE(eng->CheckInvariants().ok());
+}
+
+TEST(AdvancementTest, CommitMessageTriggersLocalAdvancement) {
+  // A transaction spans nodes 0 and 1; node 1 advances mid-flight, so the
+  // commit version is 2 while node 0 never heard about the advancement
+  // (we cut the trigger so only part of the cluster advances via a
+  // different transaction's commit)... Simplest faithful setup: node 1
+  // advances its u via a carried... Instead we reproduce step 8 directly:
+  // start advancement while the root subtransaction at node 0 has already
+  // prepared in version 1 but a child at node 1 moved to version 2.
+  Database dbase(Opts(2));
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 10);
+  dbase.engine().LoadInitial(1, 1001, 20);
+
+  // Long-running distributed update T: root at 0 (writes item 1), child at
+  // 1 (thinks, then writes 1001).
+  db::TxnResult tres;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::TreeTxn(TxnKind::kUpdate, 0, {Op::Add(1, 1)},
+                   {{1, {Op::Think(20 * kMillisecond), Op::Add(1001, 1)}}}),
+      [&tres](const db::TxnResult& r) { tres = r; });
+  dbase.RunFor(2 * kMillisecond);
+
+  // Node 1 starts advancement; a quick version-2 update U commits item
+  // 1001's sibling... U must touch the same item to force T's child to
+  // move: U writes item 1001? It would block on nothing (T child hasn't
+  // locked it yet during Think). U commits 1001 in version 2; T's child
+  // then hits it and moves to version 2. The root stays at version 1 and
+  // discovers the mismatch via commit(2) — step 8's second case.
+  eng->TriggerAdvancement(1);
+  dbase.RunFor(2 * kMillisecond);
+  db::TxnResult ures;
+  dbase.engine().Submit(dbase.NextTxnId(),
+                        txn::SingleNodeUpdate(1, {Op::Add(1001, 100)}),
+                        [&ures](const db::TxnResult& r) { ures = r; });
+  dbase.RunFor(kSecond);
+
+  EXPECT_EQ(ures.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(ures.commit_version, 2);
+  EXPECT_EQ(tres.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(tres.commit_version, 2);
+  EXPECT_EQ(tres.move_to_futures, 1);  // the root moved at commit time
+  // Advancement completed even though node 0 learned of it via commit(2)
+  // before (or concurrently with) the advance-u message.
+  EXPECT_EQ(eng->control(0).u(), 2);
+  EXPECT_EQ(eng->control(0).q(), 1);
+  EXPECT_TRUE(eng->CheckInvariants().ok());
+}
+
+TEST(AdvancementTest, ChildQueryBumpsLaggingNodeQueryVersion) {
+  // Section 3.3 step 2: a child subquery carrying V(Q) greater than the
+  // local q means advance-q is still in flight; the node advances locally.
+  Database dbase(Opts(2));
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 10);
+  dbase.engine().LoadInitial(1, 1001, 20);
+  // Raise messages latency so advance-q(1) to node 1 is slow, then start a
+  // distributed query from node 0 right after node 0 advanced.
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(5 * kMillisecond);
+  ASSERT_EQ(eng->control(0).q(), 1);
+  // Force node 1 back into the lagging state is not possible post-hoc, so
+  // instead check the invariant directly through a fresh advancement with
+  // a query racing it: trigger advancement and immediately (before
+  // advance-q can cross the 500us network) run a distributed query.
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(600);  // Phase 1 ack round-trips are still in flight
+  db::TxnResult qres;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::TreeTxn(TxnKind::kQuery, 0, {Op::Read(1)}, {{1, {Op::Read(1001)}}}),
+      [&qres](const db::TxnResult& r) { qres = r; });
+  dbase.RunFor(kSecond);
+  EXPECT_EQ(qres.outcome, TxnOutcome::kCommitted);
+  EXPECT_TRUE(eng->CheckInvariants().ok());
+  EXPECT_EQ(eng->control(1).q(), 2);
+}
+
+TEST(AdvancementTest, ObsoleteMessagesAreIgnored) {
+  Database dbase(Opts());
+  auto* eng = dbase.ava3_engine();
+  // Two back-to-back advancements; any stale advance-u(2) arriving after a
+  // node reached u=3 must be ignored (the handler's u_i > newu branch).
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(kSecond);
+  eng->TriggerAdvancement(1);
+  dbase.RunFor(kSecond);
+  EXPECT_EQ(eng->control(2).u(), 3);
+  EXPECT_EQ(dbase.metrics().advancements(), 2u);
+  EXPECT_TRUE(eng->CheckInvariants().ok());
+}
+
+// Section 8's relaxation: only Phases 1-2 of consecutive rounds must not
+// overlap; Phase-3 garbage collection may lag. Concretely: a node whose
+// garbage-collect message from the previous round is still in flight
+// (q == u-1 locally, but g lags) may already coordinate the next round in
+// continuous mode, while the standard guard (u == g+2) refuses.
+TEST(AdvancementTest, ContinuousModeAllowsCoordinatingBeforeGcLands) {
+  for (bool continuous : {false, true}) {
+    DatabaseOptions o = Opts();
+    o.ava3.continuous_advancement = continuous;
+    Database dbase(o);
+    auto* eng = dbase.ava3_engine();
+    // Round 1, coordinated by node 0. With 500us hops: Phase 1 completes
+    // ~1ms, Phase 2 ~2ms, garbage-collect(0) reaches node 1 ~2.5ms.
+    eng->TriggerAdvancement(0);
+    dbase.RunFor(2200);  // inside the window: node 1 has q=1,u=2 but g=-1
+    ASSERT_EQ(eng->control(1).q(), 1) << "continuous=" << continuous;
+    ASSERT_EQ(eng->control(1).u(), 2);
+    ASSERT_EQ(eng->control(1).g(), -1);
+    eng->TriggerAdvancement(1);
+    const bool started = eng->AdvancementInProgress();
+    EXPECT_EQ(started, continuous) << "continuous=" << continuous;
+    dbase.RunFor(kSecond);
+    // Either way the system ends consistent; in continuous mode one more
+    // version step completed.
+    EXPECT_FALSE(eng->AdvancementInProgress());
+    EXPECT_EQ(eng->control(1).u(), continuous ? 3 : 2);
+    EXPECT_TRUE(eng->CheckInvariants().ok());
+  }
+}
+
+TEST(AdvancementTest, LatchOpsAreCountedForReads) {
+  Database dbase(Opts(1));
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 10);
+  const uint64_t before = eng->TotalLatchOps();
+  (void)dbase.RunToCompletion(txn::SingleNodeQuery(0, {1}));
+  // A root query costs exactly two latched counter ops (inc + dec).
+  EXPECT_EQ(eng->TotalLatchOps(), before + 2);
+}
+
+}  // namespace
+}  // namespace ava3

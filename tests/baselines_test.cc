@@ -1,0 +1,271 @@
+// Baseline-specific behaviour: SYNC-AVA's aborts on version mismatch, the
+// MVU engine's unbounded version growth under long queries and its chain
+// scans, and the FOURV engine's 4-version / freshness tradeoff.
+
+#include <gtest/gtest.h>
+
+#include "baselines/mvu_engine.h"
+#include "engine/database.h"
+#include "workload/runner.h"
+
+namespace ava3 {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using db::Scheme;
+using txn::Op;
+
+// --- SYNC-AVA ---------------------------------------------------------------
+
+TEST(SyncAvaTest, AccessTimeMismatchAbortsInsteadOfMoving) {
+  DatabaseOptions o;
+  o.num_nodes = 1;
+  o.net.jitter = 0;
+  o.ava3.disable_move_to_future = true;
+  Database dbase(o);
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 100);
+  dbase.engine().LoadInitial(0, 2, 200);
+  db::TxnResult t;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::SingleNodeUpdate(
+          0, {Op::Add(1, 1), Op::Think(10 * kMillisecond), Op::Add(2, 1)}),
+      [&t](const db::TxnResult& r) { t = r; });
+  dbase.RunFor(kMillisecond);
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(kMillisecond);
+  ASSERT_EQ(dbase.RunToCompletion(txn::SingleNodeUpdate(0, {Op::Add(2, 50)}))
+                .outcome,
+            TxnOutcome::kCommitted);
+  dbase.RunFor(kSecond);
+  EXPECT_EQ(t.outcome, TxnOutcome::kAborted);
+  EXPECT_EQ(t.status.message(), "sync-mismatch");
+  EXPECT_EQ(dbase.metrics().sync_mismatch_aborts(), 1u);
+  EXPECT_EQ(dbase.metrics().mtf_count(), 0u);
+}
+
+TEST(SyncAvaTest, CommitTimeMismatchAbortsDistributedTxn) {
+  DatabaseOptions o;
+  o.num_nodes = 2;
+  o.net.jitter = 0;
+  o.ava3.disable_move_to_future = true;
+  Database dbase(o);
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 10);
+  dbase.engine().LoadInitial(1, 1001, 20);
+  // The root starts in version 1 and only then spawns its child (after a
+  // think); by the time the child reaches node 1, the advancement has
+  // switched u_1 to 2, so the child starts in version 2. Prepared versions
+  // 1 vs 2 -> with moveToFuture disabled, commit validation aborts.
+  db::TxnResult t;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::TreeTxn(TxnKind::kUpdate, 0,
+                   {Op::Add(1, 1), Op::Think(5 * kMillisecond)},
+                   {{1, {Op::Add(1001, 1)}}},
+                   /*spawn_first=*/false),
+      [&t](const db::TxnResult& r) { t = r; });
+  dbase.RunFor(200);
+  eng->TriggerAdvancement(1);
+  dbase.RunFor(10 * kSecond);
+  EXPECT_EQ(t.outcome, TxnOutcome::kAborted);
+  EXPECT_EQ(t.status.message(), "sync-mismatch");
+  // The workload driver would retry; a fresh attempt succeeds in the new
+  // version.
+  auto retry = dbase.RunToCompletion(
+      txn::TreeTxn(TxnKind::kUpdate, 0, {Op::Add(1, 1)},
+                   {{1, {Op::Add(1001, 1)}}}));
+  EXPECT_EQ(retry.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(retry.commit_version, 2);
+}
+
+TEST(SyncAvaTest, AbortRateUnderFrequentAdvancementExceedsAva3) {
+  auto gave_up_plus_retries = [](bool sync) {
+    DatabaseOptions o;
+    o.num_nodes = 3;
+    o.seed = 17;
+    o.ava3.disable_move_to_future = sync;
+    Database dbase(o);
+    wl::WorkloadSpec spec;
+    spec.num_nodes = 3;
+    spec.items_per_node = 20;  // hot
+    spec.zipf_theta = 0.95;
+    spec.update_rate_per_sec = 400;
+    spec.query_rate_per_sec = 50;
+    spec.update_multinode_prob = 0.6;
+    spec.update_think = 5 * kMillisecond;  // long enough to straddle rounds
+    spec.advancement_period = 50 * kMillisecond;
+    spec.rotate_coordinator = true;
+    wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, 17);
+    runner.SeedData();
+    runner.Start(3 * kSecond);
+    dbase.RunFor(3 * kSecond);
+    dbase.RunFor(60 * kSecond);
+    return dbase.metrics().sync_mismatch_aborts();
+  };
+  EXPECT_EQ(gave_up_plus_retries(false), 0u);
+  EXPECT_GT(gave_up_plus_retries(true), 20u);
+}
+
+// --- MVU ---------------------------------------------------------------------
+
+TEST(MvuTest, LongQueryCausesUnboundedVersionGrowth) {
+  DatabaseOptions o;
+  o.num_nodes = 1;
+  o.scheme = Scheme::kMvu;
+  Database dbase(o);
+  auto* eng = dynamic_cast<baselines::MvuEngine*>(&dbase.engine());
+  ASSERT_NE(eng, nullptr);
+  dbase.engine().LoadInitial(0, 1, 0);
+  // Pin a snapshot with a long query, then hammer the item.
+  db::TxnResult qres;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::TxnScript{
+          TxnKind::kQuery,
+          {txn::SubtxnSpec{0, -1, {Op::Think(kSecond), Op::Read(1)}}}},
+      [&qres](const db::TxnResult& r) { qres = r; });
+  dbase.RunFor(kMillisecond);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_EQ(
+        dbase.RunToCompletion(txn::SingleNodeUpdate(0, {Op::Add(1, 1)}))
+            .outcome,
+        TxnOutcome::kCommitted);
+  }
+  // Every one of those commits kept a version alive for the pinned query.
+  EXPECT_GE(eng->store(0).LiveVersions(1), 60);
+  EXPECT_GE(eng->store(0).MaxLiveVersionsObserved(), 60);
+  dbase.RunFor(5 * kSecond);
+  EXPECT_EQ(qres.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(qres.reads[0].value, 0);  // its pinned snapshot
+  // With the query gone, the sweep prunes down to the newest version.
+  dbase.RunFor(kSecond);
+  EXPECT_EQ(eng->store(0).LiveVersions(1), 1);
+  EXPECT_GT(eng->versions_pruned(), 0u);
+}
+
+TEST(MvuTest, QueriesAlwaysReadLatestCommittedSnapshot) {
+  DatabaseOptions o;
+  o.num_nodes = 1;
+  o.scheme = Scheme::kMvu;
+  Database dbase(o);
+  dbase.engine().LoadInitial(0, 1, 0);
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_EQ(
+        dbase.RunToCompletion(txn::SingleNodeUpdate(0, {Op::Add(1, 1)}))
+            .outcome,
+        TxnOutcome::kCommitted);
+    auto q = dbase.RunToCompletion(txn::SingleNodeQuery(0, {1}));
+    ASSERT_EQ(q.reads.size(), 1u);
+    EXPECT_EQ(q.reads[0].value, i);  // zero staleness, unlike AVA3
+  }
+  EXPECT_EQ(dbase.metrics().staleness().max(), 0);
+}
+
+TEST(MvuTest, ChainScansGrowWithPinnedSnapshots) {
+  DatabaseOptions o;
+  o.num_nodes = 1;
+  o.scheme = Scheme::kMvu;
+  Database dbase(o);
+  auto* eng = dynamic_cast<baselines::MvuEngine*>(&dbase.engine());
+  dbase.engine().LoadInitial(0, 1, 0);
+  db::TxnResult pin;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::TxnScript{
+          TxnKind::kQuery,
+          {txn::SubtxnSpec{0, -1, {Op::Think(kSecond), Op::Read(1)}}}},
+      [&pin](const db::TxnResult& r) { pin = r; });
+  dbase.RunFor(kMillisecond);
+  for (int i = 0; i < 40; ++i) {
+    (void)dbase.RunToCompletion(txn::SingleNodeUpdate(0, {Op::Add(1, 1)}));
+  }
+  dbase.RunFor(5 * kSecond);
+  ASSERT_EQ(pin.outcome, TxnOutcome::kCommitted);
+  // The pinned query's final read walked the whole 40+ version chain.
+  EXPECT_GT(eng->MeanChainScan(), 5.0);
+}
+
+// --- FOURV ---------------------------------------------------------------------
+
+TEST(FourVTest, UsesUpToFourVersionsAndAdvancesThroughQueryDrain) {
+  DatabaseOptions o;
+  o.num_nodes = 1;
+  o.scheme = Scheme::kFourV;
+  o.net.jitter = 0;
+  Database dbase(o);
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 0);
+  // Pin version 0 with a long query.
+  db::TxnResult pin;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::TxnScript{
+          TxnKind::kQuery,
+          {txn::SubtxnSpec{0, -1, {Op::Think(kSecond), Op::Read(1)}}}},
+      [&pin](const db::TxnResult& r) { pin = r; });
+  dbase.RunFor(kMillisecond);
+  // Two advancements proceed despite the pinned version-0 query (AVA3
+  // would block the second one until the query drains).
+  for (int round = 0; round < 2; ++round) {
+    (void)dbase.RunToCompletion(txn::SingleNodeUpdate(0, {Op::Add(1, 1)}));
+    eng->TriggerAdvancement(0);
+    dbase.RunFor(50 * kMillisecond);
+  }
+  EXPECT_EQ(eng->control(0).u(), 3);
+  EXPECT_EQ(eng->control(0).q(), 2);
+  EXPECT_EQ(eng->control(0).g(), -1);  // version 0 still pinned
+  // Fresh queries read the latest stable version already.
+  auto q = dbase.RunToCompletion(txn::SingleNodeQuery(0, {1}));
+  EXPECT_EQ(q.commit_version, 2);
+  EXPECT_EQ(q.reads[0].value, 2);
+  // A third advancement would need a fifth version: blocked.
+  eng->TriggerAdvancement(0);
+  EXPECT_FALSE(eng->AdvancementInProgress());
+  // The pinned query drains; deferred GC catches up; the bound held.
+  dbase.RunFor(5 * kSecond);
+  EXPECT_EQ(pin.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(pin.reads[0].value, 0);
+  EXPECT_GE(eng->control(0).g(), 0);
+  EXPECT_LE(eng->store(0).MaxLiveVersionsObserved(), 4);
+  // Now the next round is allowed again.
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(kSecond);
+  EXPECT_EQ(eng->control(0).u(), 4);
+}
+
+TEST(FourVTest, FresherThanAva3AfterAdvancement) {
+  // Right after an advancement during a query drain, FOURV serves version
+  // u-1 while plain AVA3 (blocked) still serves the older snapshot.
+  auto freshest = [](Scheme scheme) {
+    DatabaseOptions o;
+    o.num_nodes = 1;
+    o.scheme = scheme;
+    Database dbase(o);
+    auto* eng = dbase.ava3_engine();
+    dbase.engine().LoadInitial(0, 1, 0);
+    // Pin version 0.
+    dbase.engine().Submit(
+        dbase.NextTxnId(),
+        txn::TxnScript{
+            TxnKind::kQuery,
+            {txn::SubtxnSpec{0, -1, {Op::Think(kSecond), Op::Read(1)}}}},
+        [](const db::TxnResult&) {});
+    dbase.RunFor(kMillisecond);
+    for (int round = 0; round < 2; ++round) {
+      (void)dbase.RunToCompletion(
+          txn::SingleNodeUpdate(0, {Op::Add(1, 1)}));
+      eng->TriggerAdvancement(0);
+      dbase.RunFor(50 * kMillisecond);
+    }
+    auto q = dbase.RunToCompletion(txn::SingleNodeQuery(0, {1}));
+    return q.reads[0].value;
+  };
+  EXPECT_EQ(freshest(Scheme::kFourV), 2);
+  EXPECT_EQ(freshest(Scheme::kAva3), 1);  // second round blocked by the pin
+}
+
+}  // namespace
+}  // namespace ava3

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "common/zipf.h"
+#include "log/recovery_log.h"
+#include "txn/script.h"
+
+namespace ava3 {
+namespace {
+
+// --- Status ---------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("item 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: item 7");
+}
+
+TEST(StatusTest, RetryableClassification) {
+  EXPECT_TRUE(Status::Aborted("x").IsRetryable());
+  EXPECT_TRUE(Status::Deadlock("x").IsRetryable());
+  EXPECT_TRUE(Status::TimedOut("x").IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    int64_t v = r.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialHasRoughlyTheRequestedMean) {
+  Rng r(7);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng a(9);
+  Rng forked = a.Fork();
+  EXPECT_NE(a.Next(), forked.Next());
+}
+
+// --- Zipf -------------------------------------------------------------------
+
+TEST(ZipfTest, ZeroThetaIsUniformish) {
+  Rng r(5);
+  ZipfGenerator z(100, 0.0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = z.Next(r);
+    EXPECT_LT(v, 100u);
+    seen.insert(v);
+  }
+  EXPECT_GT(seen.size(), 90u);
+}
+
+TEST(ZipfTest, HighThetaIsSkewed) {
+  Rng r(5);
+  ZipfGenerator z(1000, 0.99);
+  int hot = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Next(r) < 10) ++hot;  // top-10 ranks
+  }
+  // Under heavy skew the top 1% of items draw a large share of accesses.
+  EXPECT_GT(hot, n / 4);
+}
+
+// --- Histogram ----------------------------------------------------------------
+
+TEST(HistogramTest, PercentilesAndStats) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_NEAR(h.Percentile(50), 50, 1);
+  EXPECT_NEAR(h.Percentile(99), 99, 1);
+  EXPECT_EQ(h.Percentile(100), 100);
+  EXPECT_EQ(h.Percentile(0), 1);
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, AddAfterPercentileQueryStillSorts) {
+  Histogram h;
+  h.Add(10);
+  EXPECT_EQ(h.Percentile(50), 10);
+  h.Add(5);
+  EXPECT_EQ(h.Percentile(0), 5);
+}
+
+// --- TraceSink ----------------------------------------------------------------
+
+TEST(TraceTest, DisabledSinkRecordsNothing) {
+  TraceSink sink;
+  sink.Emit(1, 0, "hello");
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(TraceTest, EnabledSinkRecordsAndMatches) {
+  TraceSink sink;
+  sink.Enable(true);
+  sink.Emit(1, 0, "T1 commits");
+  sink.Emit(2, 1, "T2 moveToFuture(1->2)");
+  EXPECT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.Matching("moveToFuture").size(), 1u);
+  EXPECT_EQ(sink.Matching("commits").size(), 1u);
+  EXPECT_EQ(sink.Matching("nothing").size(), 0u);
+}
+
+// --- RecoveryLog ----------------------------------------------------------------
+
+TEST(RecoveryLogTest, BackwardScanStopsAtBegin) {
+  wal::RecoveryLog log;
+  wal::LogRecord begin;
+  begin.kind = wal::LogRecord::Kind::kBegin;
+  begin.txn = 1;
+  log.Append(begin);
+  for (int i = 0; i < 3; ++i) {
+    wal::LogRecord redo;
+    redo.kind = wal::LogRecord::Kind::kRedo;
+    redo.txn = 1;
+    redo.item = i;
+    log.Append(redo);
+  }
+  std::vector<ItemId> seen;
+  int visited = log.ForEachOfTxnBackwards(1, [&](const wal::LogRecord& r) {
+    if (r.kind == wal::LogRecord::Kind::kRedo) seen.push_back(r.item);
+  });
+  EXPECT_EQ(visited, 4);  // 3 redos + begin
+  EXPECT_EQ(seen, (std::vector<ItemId>{2, 1, 0}));  // newest first
+  EXPECT_EQ(log.records_scanned(), 4u);
+}
+
+TEST(RecoveryLogTest, PerTxnIsolationAndForget) {
+  wal::RecoveryLog log;
+  wal::LogRecord a;
+  a.kind = wal::LogRecord::Kind::kBegin;
+  a.txn = 1;
+  log.Append(a);
+  wal::LogRecord b = a;
+  b.txn = 2;
+  log.Append(b);
+  EXPECT_EQ(log.live_txns(), 2u);
+  EXPECT_EQ(log.ForEachOfTxnBackwards(1, [](const wal::LogRecord&) {}), 1);
+  log.ForgetTxn(1);
+  EXPECT_EQ(log.live_txns(), 1u);
+  EXPECT_EQ(log.ForEachOfTxnBackwards(1, [](const wal::LogRecord&) {}), 0);
+}
+
+// --- TxnScript -------------------------------------------------------------------
+
+TEST(ScriptTest, ValidatesGoodTree) {
+  auto s = txn::TreeTxn(TxnKind::kUpdate, 0, {txn::Op::Write(1, 5)},
+                        {{1, {txn::Op::Read(1001)}}});
+  EXPECT_TRUE(s.Validate(3).ok());
+  EXPECT_EQ(s.ChildrenOf(0), std::vector<int>{1});
+  EXPECT_EQ(s.TotalOps(), 2);
+}
+
+TEST(ScriptTest, RejectsBadShapes) {
+  txn::TxnScript empty;
+  EXPECT_FALSE(empty.Validate(3).ok());
+
+  // Duplicate node.
+  txn::TxnScript dup;
+  dup.kind = TxnKind::kUpdate;
+  dup.subtxns.push_back({0, -1, {}});
+  dup.subtxns.push_back({0, 0, {}});
+  EXPECT_FALSE(dup.Validate(3).ok());
+
+  // Node out of range.
+  txn::TxnScript range;
+  range.subtxns.push_back({7, -1, {}});
+  EXPECT_FALSE(range.Validate(3).ok());
+
+  // Child before parent.
+  txn::TxnScript order;
+  order.subtxns.push_back({0, -1, {}});
+  order.subtxns.push_back({1, 2, {}});
+  EXPECT_FALSE(order.Validate(3).ok());
+
+  // Query with a write.
+  txn::TxnScript q = txn::SingleNodeQuery(0, {1});
+  q.subtxns[0].ops.push_back(txn::Op::Write(1, 5));
+  EXPECT_FALSE(q.Validate(3).ok());
+}
+
+TEST(ScriptTest, ThinkOpsAreAllowedAndNotCountedAsOps) {
+  auto s = txn::SingleNodeUpdate(0, {txn::Op::Think(100), txn::Op::Add(1, 2)});
+  EXPECT_TRUE(s.Validate(1).ok());
+  EXPECT_EQ(s.TotalOps(), 1);
+}
+
+}  // namespace
+}  // namespace ava3

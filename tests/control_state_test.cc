@@ -1,0 +1,167 @@
+#include "ava3/control_state.h"
+
+#include <gtest/gtest.h>
+
+namespace ava3::core {
+namespace {
+
+class ControlStateTest : public testing::Test {
+ protected:
+  sim::Simulator sim_;
+};
+
+TEST_F(ControlStateTest, InitialStateMatchesPaper) {
+  ControlState cs(&sim_, /*combined=*/false);
+  EXPECT_EQ(cs.q(), 0);
+  EXPECT_EQ(cs.u(), 1);
+  EXPECT_EQ(cs.g(), -1);
+  EXPECT_EQ(cs.UpdateCount(1), 0);
+  EXPECT_EQ(cs.QueryCount(0), 0);
+}
+
+TEST_F(ControlStateTest, AdvanceIsMonotonic) {
+  ControlState cs(&sim_, false);
+  cs.AdvanceU(3);
+  EXPECT_EQ(cs.u(), 3);
+  cs.AdvanceU(2);  // no-op
+  EXPECT_EQ(cs.u(), 3);
+  cs.AdvanceQ(2);
+  EXPECT_EQ(cs.q(), 2);
+  cs.AdvanceQ(1);
+  EXPECT_EQ(cs.q(), 2);
+  cs.AdvanceG(0);
+  EXPECT_EQ(cs.g(), 0);
+}
+
+TEST_F(ControlStateTest, CountersTrackIncDec) {
+  ControlState cs(&sim_, false);
+  cs.IncUpdate(1);
+  cs.IncUpdate(1);
+  cs.IncQuery(0);
+  EXPECT_EQ(cs.UpdateCount(1), 2);
+  EXPECT_EQ(cs.QueryCount(0), 1);
+  cs.DecUpdate(1);
+  EXPECT_EQ(cs.UpdateCount(1), 1);
+  EXPECT_EQ(cs.latch_ops(), 4u);
+}
+
+TEST_F(ControlStateTest, WaiterFiresImmediatelyWhenAlreadyZero) {
+  ControlState cs(&sim_, false);
+  bool fired = false;
+  cs.WhenUpdateZero(1, [&] { fired = true; });
+  EXPECT_FALSE(fired);  // delivered as a simulator event, not inline
+  sim_.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(ControlStateTest, WaiterFiresOnTransitionToZero) {
+  ControlState cs(&sim_, false);
+  cs.IncUpdate(1);
+  cs.IncUpdate(1);
+  bool fired = false;
+  cs.WhenUpdateZero(1, [&] { fired = true; });
+  cs.DecUpdate(1);
+  sim_.Run();
+  EXPECT_FALSE(fired);  // still one active
+  cs.DecUpdate(1);
+  sim_.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(ControlStateTest, MultipleWaitersAllFire) {
+  ControlState cs(&sim_, false);
+  cs.IncQuery(0);
+  int fired = 0;
+  cs.WhenQueryZero(0, [&] { ++fired; });
+  cs.WhenQueryZero(0, [&] { ++fired; });  // two coordinators
+  cs.DecQuery(0);
+  sim_.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(ControlStateTest, WaitersAreIndependentPerVersion) {
+  ControlState cs(&sim_, false);
+  cs.IncUpdate(1);
+  cs.IncUpdate(2);
+  bool fired1 = false, fired2 = false;
+  cs.WhenUpdateZero(1, [&] { fired1 = true; });
+  cs.WhenUpdateZero(2, [&] { fired2 = true; });
+  cs.DecUpdate(2);
+  sim_.Run();
+  EXPECT_FALSE(fired1);
+  EXPECT_TRUE(fired2);
+}
+
+TEST_F(ControlStateTest, CrashResetClearsCountersAndWaiters) {
+  ControlState cs(&sim_, false);
+  cs.AdvanceU(2);
+  cs.AdvanceQ(1);
+  cs.IncUpdate(2);
+  cs.IncQuery(1);
+  bool fired = false;
+  cs.WhenUpdateZero(2, [&] { fired = true; });
+  cs.CrashReset();
+  // Counters are volatile (Lemma 6.1): gone. Version numbers are durable.
+  EXPECT_EQ(cs.UpdateCount(2), 0);
+  EXPECT_EQ(cs.QueryCount(1), 0);
+  EXPECT_EQ(cs.u(), 2);
+  EXPECT_EQ(cs.q(), 1);
+  sim_.Run();
+  EXPECT_FALSE(fired);  // waiters died with the node
+}
+
+TEST_F(ControlStateTest, CombinedModeSharesOneCounterPerVersion) {
+  ControlState cs(&sim_, /*combined=*/true);
+  cs.IncUpdate(1);
+  cs.IncQuery(1);
+  // O3: one counter per version for both kinds.
+  EXPECT_EQ(cs.UpdateCount(1), 2);
+  EXPECT_EQ(cs.QueryCount(1), 2);
+  bool fired = false;
+  cs.WhenUpdateZero(1, [&] { fired = true; });
+  cs.DecUpdate(1);
+  sim_.Run();
+  EXPECT_FALSE(fired);
+  cs.DecQuery(1);  // the query's decrement crosses zero
+  sim_.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(ControlStateTest, CombinedModeQueryDecFiresUpdateWaiters) {
+  ControlState cs(&sim_, true);
+  cs.IncQuery(3);
+  bool update_waiter = false, query_waiter = false;
+  cs.WhenUpdateZero(3, [&] { update_waiter = true; });
+  cs.WhenQueryZero(3, [&] { query_waiter = true; });
+  cs.DecQuery(3);
+  sim_.Run();
+  EXPECT_TRUE(update_waiter);
+  EXPECT_TRUE(query_waiter);
+}
+
+TEST_F(ControlStateTest, CombinedEraseKeepsLiveQueryCounter) {
+  // Regression: Phase-3 cleanup must not erase the shared counter slot of
+  // the *current* query version (== oldu) in combined mode.
+  ControlState cs(&sim_, true);
+  cs.AdvanceU(2);
+  cs.AdvanceQ(1);
+  cs.IncQuery(1);  // active query at the current query version
+  cs.EraseCountersAt(/*oldq=*/0, /*oldu=*/1);
+  EXPECT_EQ(cs.QueryCount(1), 1);  // still counted
+  cs.DecQuery(1);
+  EXPECT_EQ(cs.QueryCount(1), 0);  // balanced, not -1
+}
+
+TEST_F(ControlStateTest, EraseCountersDropsDrainedSlots) {
+  ControlState cs(&sim_, false);
+  cs.IncUpdate(1);
+  cs.DecUpdate(1);
+  cs.IncQuery(0);
+  cs.DecQuery(0);
+  cs.EraseCountersAt(0, 1);
+  EXPECT_EQ(cs.UpdateCount(1), 0);
+  EXPECT_EQ(cs.QueryCount(0), 0);
+}
+
+}  // namespace
+}  // namespace ava3::core

@@ -1,0 +1,276 @@
+// Crash and recovery tests. Lemma 6.1's crash argument: transaction
+// counters are main-memory only, reset to zero on recovery, and this is
+// safe because recovery aborts all in-flight transactions. Version numbers
+// u/q/g are durable. Advancement survives participant crashes via resends
+// and coordinator crashes via the watchdog's adoption of the round.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "verify/serializability.h"
+#include "workload/runner.h"
+
+namespace ava3 {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using txn::Op;
+
+DatabaseOptions Opts() {
+  DatabaseOptions o;
+  o.num_nodes = 3;
+  o.net.jitter = 0;
+  o.base.txn_timeout = 2 * kSecond;       // fast aborts in tests
+  o.base.prepared_timeout = 6 * kSecond;  // still > txn_timeout
+  return o;
+}
+
+TEST(CrashTest, CrashAbortsInFlightTransactionsAndResetsCounters) {
+  for (auto rec :
+       {wal::RecoveryScheme::kNoUndo, wal::RecoveryScheme::kInPlace}) {
+    DatabaseOptions o = Opts();
+    o.ava3.recovery = rec;
+    Database dbase(o);
+    auto* eng = dbase.ava3_engine();
+    dbase.engine().LoadInitial(1, 1001, 500);
+    db::TxnResult t;
+    dbase.engine().Submit(
+        dbase.NextTxnId(),
+        txn::SingleNodeUpdate(1, {Op::Add(1001, 9), Op::Think(kSecond)}),
+        [&t](const db::TxnResult& r) { t = r; });
+    dbase.RunFor(10 * kMillisecond);
+    EXPECT_EQ(eng->control(1).UpdateCount(1), 1);
+    dbase.engine().CrashNode(1);
+    // Counters reset; uncommitted effects gone from the durable store.
+    EXPECT_EQ(eng->control(1).UpdateCount(1), 0);
+    EXPECT_EQ(eng->store(1).ReadAtMost(1001, 100)->value, 500);
+    dbase.engine().RecoverNode(1);
+    dbase.RunFor(5 * kSecond);
+    // The client-side outcome is an abort (the node lost the transaction).
+    EXPECT_EQ(t.outcome, TxnOutcome::kAborted);
+  }
+}
+
+TEST(CrashTest, DistributedTxnWithCrashedParticipantAbortsEverywhere) {
+  Database dbase(Opts());
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 10);
+  dbase.engine().LoadInitial(1, 1001, 20);
+  db::TxnResult t;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::TreeTxn(TxnKind::kUpdate, 0, {Op::Add(1, 1)},
+                   {{1, {Op::Think(kSecond), Op::Add(1001, 1)}}}),
+      [&t](const db::TxnResult& r) { t = r; });
+  dbase.RunFor(100 * kMillisecond);
+  dbase.engine().CrashNode(1);
+  dbase.RunFor(10 * kSecond);
+  EXPECT_EQ(t.outcome, TxnOutcome::kAborted);
+  EXPECT_EQ(t.status.code(), StatusCode::kTimedOut);
+  // The root's locks were released; a new transaction can touch item 1.
+  dbase.engine().RecoverNode(1);
+  auto res = dbase.RunToCompletion(txn::SingleNodeUpdate(0, {Op::Add(1, 5)}));
+  EXPECT_EQ(res.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(eng->store(0).ReadAtMost(1, 100)->value, 15);
+}
+
+TEST(CrashTest, PreparedParticipantBlocksUntilRootAnswersThenAborts) {
+  // Classic 2PC: a prepared participant may not decide unilaterally. When
+  // the root's node dies before deciding, the participant holds its locks
+  // and periodically asks for the verdict; once the root's node recovers
+  // (with no commit record for the transaction — presumed abort), the
+  // participant aborts and releases.
+  Database dbase(Opts());
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 10);
+  dbase.engine().LoadInitial(1, 1001, 20);
+  db::TxnResult t;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::TreeTxn(TxnKind::kUpdate, 0,
+                   {Op::Add(1, 1), Op::Think(kSecond)},
+                   {{1, {Op::Add(1001, 1)}}},
+                   /*spawn_first=*/true),
+      [&t](const db::TxnResult& r) { t = r; });
+  // The child prepares quickly (holding its X lock) while the root thinks;
+  // then the root's node dies before deciding.
+  dbase.RunFor(50 * kMillisecond);
+  dbase.engine().CrashNode(0);
+  EXPECT_TRUE(eng->locks(1).Holds(1, 1001, lock::LockMode::kExclusive));
+  // While the root stays down, the participant keeps waiting (2PC blocks).
+  dbase.RunFor(10 * kSecond);
+  EXPECT_TRUE(eng->locks(1).Holds(1, 1001, lock::LockMode::kExclusive));
+  // Root's node recovers; the next decision request gets "no commit
+  // record" back and the participant aborts.
+  dbase.engine().RecoverNode(0);
+  dbase.RunFor(10 * kSecond);
+  EXPECT_FALSE(eng->locks(1).HasAnyLockOrWait(1));
+  EXPECT_EQ(eng->store(1).ReadAtMost(1001, 100)->value, 20);
+  EXPECT_EQ(eng->control(1).UpdateCount(1), 0);  // counter drained
+}
+
+TEST(CrashTest, ParticipantCrashDuringPhase1IsCoveredByResends) {
+  DatabaseOptions o = Opts();
+  o.ava3.advancement_resend = 50 * kMillisecond;
+  Database dbase(o);
+  auto* eng = dbase.ava3_engine();
+  // Node 2 is down when the coordinator broadcasts advance-u.
+  dbase.engine().CrashNode(2);
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(100 * kMillisecond);
+  EXPECT_TRUE(eng->AdvancementInProgress());  // stuck on node 2's ack
+  EXPECT_EQ(eng->control(2).u(), 1);
+  dbase.engine().RecoverNode(2);
+  dbase.RunFor(kSecond);
+  // The resend reached the recovered node; the round completed.
+  EXPECT_FALSE(eng->AdvancementInProgress());
+  EXPECT_EQ(dbase.metrics().advancements(), 1u);
+  EXPECT_EQ(eng->control(2).u(), 2);
+  EXPECT_EQ(eng->control(2).q(), 1);
+  EXPECT_EQ(eng->control(2).g(), 0);
+}
+
+TEST(CrashTest, ParticipantCrashDuringPhase2IsCoveredByResends) {
+  DatabaseOptions o = Opts();
+  o.ava3.advancement_resend = 50 * kMillisecond;
+  Database dbase(o);
+  auto* eng = dbase.ava3_engine();
+  eng->TriggerAdvancement(0);
+  // Let Phase 1 complete (~1ms with 500us hops), then kill node 1 before
+  // it can ack Phase 2.
+  dbase.RunFor(1400);
+  EXPECT_EQ(eng->control(1).u(), 2);
+  dbase.engine().CrashNode(1);
+  dbase.RunFor(200 * kMillisecond);
+  EXPECT_TRUE(eng->AdvancementInProgress());
+  dbase.engine().RecoverNode(1);
+  dbase.RunFor(kSecond);
+  EXPECT_FALSE(eng->AdvancementInProgress());
+  EXPECT_EQ(eng->control(1).q(), 1);
+  EXPECT_EQ(eng->control(1).g(), 0);
+  EXPECT_TRUE(eng->CheckInvariants().ok());
+}
+
+TEST(CrashTest, WatchdogAdoptsRoundAfterCoordinatorCrash) {
+  DatabaseOptions o = Opts();
+  o.ava3.advancement_watchdog = true;
+  o.ava3.watchdog_interval = 300 * kMillisecond;
+  Database dbase(o);
+  auto* eng = dbase.ava3_engine();
+  eng->TriggerAdvancement(0);
+  // Kill the coordinator right after Phase 1 completed at the participants
+  // (they have u=2, q=0) but before Phase 2 finishes.
+  dbase.RunFor(1100);
+  ASSERT_EQ(eng->control(1).u(), 2);
+  dbase.engine().CrashNode(0);
+  // The remaining nodes are stuck half-advanced; the watchdog notices the
+  // stable stuck state (two consecutive observations) and adopts the
+  // round with the same newu.
+  dbase.RunFor(5 * kSecond);
+  EXPECT_EQ(eng->control(1).q(), 1);
+  EXPECT_EQ(eng->control(2).q(), 1);
+  EXPECT_EQ(eng->control(1).g(), 0);
+  // The crashed ex-coordinator recovers and is caught up by resends of
+  // whatever the adopting coordinator still retries, or at the next round.
+  dbase.engine().RecoverNode(0);
+  eng->TriggerAdvancement(1);
+  dbase.RunFor(5 * kSecond);
+  EXPECT_EQ(eng->control(0).u(), eng->control(1).u());
+  EXPECT_EQ(eng->control(0).q(), eng->control(1).q());
+  EXPECT_TRUE(eng->CheckInvariants().ok());
+}
+
+TEST(CrashTest, InDoubtTransactionCommitsAfterCrashRecovery) {
+  // The participant prepares, the root decides commit, but the node
+  // crashes before the commit message lands. The prepare record is
+  // durable: after recovery the in-doubt transaction re-acquires its
+  // locks, asks the root for the verdict, and installs its writes — a
+  // committed transaction never loses a node's share of its effects.
+  for (auto rec :
+       {wal::RecoveryScheme::kNoUndo, wal::RecoveryScheme::kInPlace}) {
+    DatabaseOptions o = Opts();
+    o.ava3.recovery = rec;
+    o.base.prepared_timeout = 500 * kMillisecond;  // quick inquiries
+    Database dbase(o);
+    auto* eng = dbase.ava3_engine();
+    dbase.engine().LoadInitial(0, 1, 10);
+    dbase.engine().LoadInitial(1, 1001, 20);
+    db::TxnResult t;
+    dbase.engine().Submit(
+        dbase.NextTxnId(),
+        txn::TreeTxn(TxnKind::kUpdate, 0,
+                     {Op::Add(1, 1), Op::Think(5 * kMillisecond)},
+                     {{1, {Op::Add(1001, 7)}}}),
+        [&t](const db::TxnResult& r) { t = r; });
+    // The child prepares (~1 ms); crash node 1 just before the commit
+    // message can arrive (decision at ~5.5 ms, delivery at ~6 ms).
+    dbase.RunFor(5300);
+    ASSERT_EQ(t.outcome, TxnOutcome::kCommitted) << "root decided commit";
+    dbase.engine().CrashNode(1);
+    // The in-doubt transaction holds its version's counter: advancement
+    // cannot declare version 1 stable while it is unresolved.
+    EXPECT_EQ(eng->control(1).UpdateCount(1), 1);
+    dbase.RunFor(kSecond);
+    EXPECT_EQ(eng->store(1).ReadAtMost(1001, 100)->value, 20)
+        << "no effects while in doubt";
+    dbase.engine().RecoverNode(1);
+    dbase.RunFor(5 * kSecond);
+    // Resolution installed the committed write.
+    EXPECT_EQ(eng->store(1).ReadAtMost(1001, 100)->value, 27)
+        << wal::RecoverySchemeName(rec);
+    EXPECT_EQ(eng->control(1).UpdateCount(1), 0);
+    EXPECT_EQ(dynamic_cast<db::EngineBase*>(&dbase.engine())->ActiveSubtxns(),
+              0);
+    // The oracle sees the complete transaction.
+    size_t recorded = 0;
+    for (const auto& rec_txn : dbase.recorder().txns()) {
+      if (rec_txn.kind == TxnKind::kUpdate) ++recorded;
+    }
+    EXPECT_EQ(recorded, dbase.metrics().update_commits());
+  }
+}
+
+TEST(CrashTest, RandomizedWorkloadSurvivesCrashesSerializably) {
+  DatabaseOptions o = Opts();
+  o.ava3.advancement_resend = 50 * kMillisecond;
+  o.ava3.advancement_watchdog = true;
+  o.ava3.watchdog_interval = 500 * kMillisecond;
+  o.seed = 7;
+  Database dbase(o);
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 3;
+  spec.items_per_node = 40;
+  spec.update_rate_per_sec = 300;
+  spec.query_rate_per_sec = 100;
+  spec.advancement_period = 150 * kMillisecond;
+  spec.max_retries = 50;
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, 7);
+  const auto& initial = runner.SeedData();
+  runner.Start(4 * kSecond);
+  // Crash and recover each node once, mid-run.
+  for (NodeId n = 0; n < 3; ++n) {
+    dbase.simulator().At((n + 1) * 800 * kMillisecond,
+                         [&dbase, n]() { dbase.engine().CrashNode(n); });
+    dbase.simulator().At((n + 1) * 800 * kMillisecond + 200 * kMillisecond,
+                         [&dbase, n]() { dbase.engine().RecoverNode(n); });
+  }
+  dbase.RunFor(4 * kSecond);
+  dbase.RunFor(120 * kSecond);  // drain + let the watchdog finish any round
+
+  EXPECT_GT(runner.stats().committed_updates, 100u);
+  verify::SerializabilityChecker checker(initial);
+  Status ok = checker.Check(dbase.recorder().txns());
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+  auto* eng = dbase.ava3_engine();
+  EXPECT_TRUE(eng->CheckInvariants().ok());
+  EXPECT_FALSE(eng->AdvancementInProgress());
+  // All nodes converged to one (u, q, g).
+  for (NodeId n = 1; n < 3; ++n) {
+    EXPECT_EQ(eng->control(n).u(), eng->control(0).u());
+    EXPECT_EQ(eng->control(n).q(), eng->control(0).q());
+  }
+}
+
+}  // namespace
+}  // namespace ava3

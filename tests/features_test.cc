@@ -1,0 +1,283 @@
+// Feature tests: range scans (kScan), deletion semantics end-to-end, and
+// multi-level (deep) transaction trees through the full 2PC machinery.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "verify/serializability.h"
+#include "workload/runner.h"
+
+namespace ava3 {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using db::Scheme;
+using txn::Op;
+using txn::TxnScript;
+
+DatabaseOptions Opts(Scheme scheme = Scheme::kAva3, int nodes = 3) {
+  DatabaseOptions o;
+  o.scheme = scheme;
+  o.num_nodes = nodes;
+  o.net.jitter = 0;
+  return o;
+}
+
+// --- Scans -------------------------------------------------------------------
+
+TEST(ScanTest, ScanReadsTheWholeRangeInOrder) {
+  Database dbase(Opts(Scheme::kAva3, 1));
+  for (ItemId i = 10; i < 20; ++i) dbase.engine().LoadInitial(0, i, i * 10);
+  TxnScript q;
+  q.kind = TxnKind::kQuery;
+  q.subtxns.push_back(txn::SubtxnSpec{0, -1, {Op::Scan(10, 10)}});
+  auto res = dbase.RunToCompletion(std::move(q));
+  ASSERT_EQ(res.outcome, TxnOutcome::kCommitted);
+  ASSERT_EQ(res.reads.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(res.reads[i].item, 10 + i);
+    EXPECT_EQ(res.reads[i].value, (10 + i) * 10);
+  }
+}
+
+TEST(ScanTest, ScanSeesOneConsistentSnapshotDespiteConcurrentUpdates) {
+  // Updates land mid-scan; the scan's version bound hides all of them.
+  Database dbase(Opts(Scheme::kAva3, 1));
+  for (ItemId i = 0; i < 50; ++i) dbase.engine().LoadInitial(0, i, 7);
+  db::TxnResult scan;
+  TxnScript q;
+  q.kind = TxnKind::kQuery;
+  q.subtxns.push_back(txn::SubtxnSpec{0, -1, {Op::Scan(0, 50)}});
+  dbase.engine().Submit(dbase.NextTxnId(), std::move(q),
+                        [&scan](const db::TxnResult& r) { scan = r; });
+  for (int i = 0; i < 20; ++i) {
+    (void)dbase.RunToCompletion(txn::SingleNodeUpdate(
+        0, {Op::Add(static_cast<ItemId>(i), 1000)}));
+  }
+  dbase.RunFor(kSecond);
+  ASSERT_EQ(scan.outcome, TxnOutcome::kCommitted);
+  int64_t sum = 0;
+  for (const auto& r : scan.reads) sum += r.value;
+  EXPECT_EQ(sum, 50 * 7);  // exactly the snapshot, no smearing
+}
+
+TEST(ScanTest, ScansWorkAcrossSubqueries) {
+  Database dbase(Opts());
+  for (ItemId i = 0; i < 5; ++i) dbase.engine().LoadInitial(0, i, 1);
+  for (ItemId i = 1000; i < 1005; ++i) dbase.engine().LoadInitial(1, i, 2);
+  TxnScript q;
+  q.kind = TxnKind::kQuery;
+  q.subtxns.push_back(txn::SubtxnSpec{0, -1, {Op::Spawn(), Op::Scan(0, 5)}});
+  q.subtxns.push_back(txn::SubtxnSpec{1, 0, {Op::Scan(1000, 5)}});
+  auto res = dbase.RunToCompletion(std::move(q));
+  ASSERT_EQ(res.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(res.reads.size(), 10u);
+}
+
+TEST(ScanTest, S2plScanLocksEveryItem) {
+  Database dbase(Opts(Scheme::kS2pl, 1));
+  for (ItemId i = 0; i < 8; ++i) dbase.engine().LoadInitial(0, i, 1);
+  db::TxnResult scan;
+  TxnScript q;
+  q.kind = TxnKind::kQuery;
+  q.subtxns.push_back(
+      txn::SubtxnSpec{0, -1, {Op::Scan(0, 8), Op::Think(10 * kMillisecond)}});
+  TxnId scan_id = dbase.NextTxnId();
+  dbase.engine().Submit(scan_id, std::move(q),
+                        [&scan](const db::TxnResult& r) { scan = r; });
+  dbase.RunFor(kMillisecond);
+  auto* base = dynamic_cast<db::EngineBase*>(&dbase.engine());
+  for (ItemId i = 0; i < 8; ++i) {
+    EXPECT_TRUE(base->locks(0).Holds(scan_id, i, lock::LockMode::kShared))
+        << i;
+  }
+  dbase.RunFor(kSecond);
+  EXPECT_EQ(scan.outcome, TxnOutcome::kCommitted);
+}
+
+TEST(ScanTest, ValidationRejectsScansInUpdatesAndBadCounts) {
+  TxnScript bad;
+  bad.kind = TxnKind::kUpdate;
+  bad.subtxns.push_back(txn::SubtxnSpec{0, -1, {Op::Scan(0, 5)}});
+  EXPECT_FALSE(bad.Validate(1).ok());
+  TxnScript zero;
+  zero.kind = TxnKind::kQuery;
+  zero.subtxns.push_back(txn::SubtxnSpec{0, -1, {Op::Scan(0, 0)}});
+  EXPECT_FALSE(zero.Validate(1).ok());
+  TxnScript good;
+  good.kind = TxnKind::kQuery;
+  good.subtxns.push_back(txn::SubtxnSpec{0, -1, {Op::Scan(0, 5)}});
+  EXPECT_TRUE(good.Validate(1).ok());
+  EXPECT_EQ(good.TotalOps(), 5);
+}
+
+// --- Deletions ------------------------------------------------------------------
+
+TEST(DeleteTest, DeletedItemInvisibleAfterAdvancement) {
+  Database dbase(Opts(Scheme::kAva3, 1));
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 100);
+  ASSERT_EQ(dbase.RunToCompletion(txn::SingleNodeUpdate(0, {Op::Delete(1)}))
+                .outcome,
+            TxnOutcome::kCommitted);
+  // Still visible to version-0 readers.
+  auto q0 = dbase.RunToCompletion(txn::SingleNodeQuery(0, {1}));
+  EXPECT_TRUE(q0.reads[0].found);
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(kSecond);
+  auto q1 = dbase.RunToCompletion(txn::SingleNodeQuery(0, {1}));
+  EXPECT_FALSE(q1.reads[0].found);
+  // A second advancement lets GC reclaim the tombstone physically.
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(kSecond);
+  EXPECT_EQ(eng->store(0).MaxVersion(1), kInvalidVersion);
+}
+
+TEST(DeleteTest, ReinsertAfterDelete) {
+  for (auto rec :
+       {wal::RecoveryScheme::kNoUndo, wal::RecoveryScheme::kInPlace}) {
+    DatabaseOptions o = Opts(Scheme::kAva3, 1);
+    o.ava3.recovery = rec;
+    Database dbase(o);
+    dbase.engine().LoadInitial(0, 1, 100);
+    ASSERT_EQ(dbase
+                  .RunToCompletion(txn::SingleNodeUpdate(
+                      0, {Op::Delete(1), Op::Add(1, 5)}))
+                  .outcome,
+              TxnOutcome::kCommitted);
+    dbase.ava3_engine()->TriggerAdvancement(0);
+    dbase.RunFor(kSecond);
+    auto q = dbase.RunToCompletion(txn::SingleNodeQuery(0, {1}));
+    ASSERT_TRUE(q.reads[0].found) << wal::RecoverySchemeName(rec);
+    EXPECT_EQ(q.reads[0].value, 5) << wal::RecoverySchemeName(rec);
+  }
+}
+
+TEST(DeleteTest, AbortedDeleteLeavesItemIntact) {
+  DatabaseOptions o = Opts(Scheme::kAva3, 1);
+  o.ava3.recovery = wal::RecoveryScheme::kInPlace;
+  o.base.txn_timeout = 50 * kMillisecond;
+  Database dbase(o);
+  dbase.engine().LoadInitial(0, 1, 100);
+  db::TxnResult t;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::SingleNodeUpdate(0, {Op::Delete(1), Op::Think(kSecond)}),
+      [&t](const db::TxnResult& r) { t = r; });
+  dbase.RunFor(5 * kSecond);
+  EXPECT_EQ(t.outcome, TxnOutcome::kAborted);
+  auto q = dbase.RunToCompletion(txn::SingleNodeQuery(0, {1}));
+  ASSERT_TRUE(q.reads[0].found);
+  EXPECT_EQ(q.reads[0].value, 100);
+}
+
+TEST(DeleteTest, DeleteThenMoveToFutureCarriesTheTombstone) {
+  // The regression the durable-marker change exists for: an item created
+  // and deleted in the transaction's own version must keep its tombstone
+  // across a moveToFuture under the in-place scheme.
+  DatabaseOptions o = Opts(Scheme::kAva3, 1);
+  o.ava3.recovery = wal::RecoveryScheme::kInPlace;
+  Database dbase(o);
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 2, 200);
+  // T deletes item 1 (which exists only at version 0), thinks, then
+  // touches item 2 after a v2 txn committed it -> moveToFuture.
+  dbase.engine().LoadInitial(0, 1, 100);
+  db::TxnResult t;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::SingleNodeUpdate(
+          0, {Op::Delete(1), Op::Think(10 * kMillisecond), Op::Add(2, 1)}),
+      [&t](const db::TxnResult& r) { t = r; });
+  dbase.RunFor(kMillisecond);
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(kMillisecond);
+  ASSERT_EQ(dbase.RunToCompletion(txn::SingleNodeUpdate(0, {Op::Add(2, 50)}))
+                .outcome,
+            TxnOutcome::kCommitted);
+  dbase.RunFor(kSecond);
+  ASSERT_EQ(t.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(t.commit_version, 2);
+  // The tombstone moved with the transaction: readers at version 2 see
+  // item 1 as deleted.
+  auto r = eng->store(0).ReadAtMost(1, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->deleted);
+  EXPECT_EQ(r->version, 2);
+}
+
+// --- Deep trees ---------------------------------------------------------------
+
+TEST(DeepTreeTest, ThreeLevelUpdateCommitsAtomically) {
+  Database dbase(Opts(Scheme::kAva3, 3));
+  dbase.engine().LoadInitial(0, 1, 10);
+  dbase.engine().LoadInitial(1, 1001, 20);
+  dbase.engine().LoadInitial(2, 2001, 30);
+  TxnScript t;
+  t.kind = TxnKind::kUpdate;
+  t.subtxns.push_back(txn::SubtxnSpec{0, -1, {Op::Add(1, 1)}});
+  t.subtxns.push_back(txn::SubtxnSpec{1, 0, {Op::Add(1001, 1)}});
+  t.subtxns.push_back(txn::SubtxnSpec{2, 1, {Op::Add(2001, 1)}});  // child of child
+  auto res = dbase.RunToCompletion(std::move(t));
+  ASSERT_EQ(res.outcome, TxnOutcome::kCommitted);
+  dbase.RunFor(5 * kSecond);
+  auto* eng = dbase.ava3_engine();
+  EXPECT_EQ(eng->store(0).ReadAtMost(1, 100)->value, 11);
+  EXPECT_EQ(eng->store(1).ReadAtMost(1001, 100)->value, 21);
+  EXPECT_EQ(eng->store(2).ReadAtMost(2001, 100)->value, 31);
+  EXPECT_EQ(dynamic_cast<db::EngineBase*>(&dbase.engine())->ActiveSubtxns(),
+            0);
+}
+
+TEST(DeepTreeTest, VersionMaxPropagatesThroughIntermediateLevels) {
+  // The grandchild runs in version 2 (its node advanced); the max must
+  // climb through the middle subtransaction to the root.
+  Database dbase(Opts(Scheme::kAva3, 3));
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 10);
+  dbase.engine().LoadInitial(1, 1001, 20);
+  dbase.engine().LoadInitial(2, 2001, 30);
+  eng->TriggerAdvancement(2);
+  dbase.RunFor(300);  // only node 2 advanced so far
+  ASSERT_EQ(eng->control(2).u(), 2);
+  ASSERT_EQ(eng->control(1).u(), 1);
+  TxnScript t;
+  t.kind = TxnKind::kUpdate;
+  t.subtxns.push_back(txn::SubtxnSpec{0, -1, {Op::Add(1, 1)}});
+  t.subtxns.push_back(txn::SubtxnSpec{1, 0, {Op::Add(1001, 1)}});
+  t.subtxns.push_back(txn::SubtxnSpec{2, 1, {Op::Add(2001, 1)}});
+  auto res = dbase.RunToCompletion(std::move(t));
+  ASSERT_EQ(res.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(res.commit_version, 2);
+  dbase.RunFor(5 * kSecond);
+  EXPECT_TRUE(eng->store(1).ExistsIn(1001, 2));  // middle moved at commit
+  EXPECT_TRUE(eng->CheckInvariants().ok());
+}
+
+TEST(DeepTreeTest, FailureDeepInTheTreeAbortsTheWholeTransaction) {
+  DatabaseOptions o = Opts(Scheme::kAva3, 3);
+  o.base.txn_timeout = 100 * kMillisecond;
+  Database dbase(o);
+  dbase.engine().LoadInitial(0, 1, 10);
+  dbase.engine().LoadInitial(1, 1001, 20);
+  dbase.engine().LoadInitial(2, 2001, 30);
+  TxnScript t;
+  t.kind = TxnKind::kUpdate;
+  t.subtxns.push_back(txn::SubtxnSpec{0, -1, {Op::Add(1, 1)}});
+  t.subtxns.push_back(txn::SubtxnSpec{1, 0, {Op::Add(1001, 1)}});
+  t.subtxns.push_back(
+      txn::SubtxnSpec{2, 1, {Op::Add(2001, 1), Op::Think(kSecond)}});
+  db::TxnResult res;
+  dbase.engine().Submit(dbase.NextTxnId(), std::move(t),
+                        [&res](const db::TxnResult& r) { res = r; });
+  dbase.RunFor(10 * kSecond);
+  EXPECT_EQ(res.outcome, TxnOutcome::kAborted);
+  auto* base = dynamic_cast<db::EngineBase*>(&dbase.engine());
+  EXPECT_EQ(base->ActiveSubtxns(), 0);
+  EXPECT_EQ(base->store(0).ReadAtMost(1, 100)->value, 10);
+  EXPECT_EQ(base->store(1).ReadAtMost(1001, 100)->value, 20);
+}
+
+}  // namespace
+}  // namespace ava3

@@ -1,0 +1,125 @@
+// Configuration fuzzing: random points in the configuration space (cluster
+// size, rates, skew, optimization flags, recovery scheme, network latency,
+// message loss, crashes), each run through the full workload and verified
+// by both serializability oracles and the invariant checker. Every config
+// is derived deterministically from its seed, so any failure reproduces by
+// seed alone.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "verify/mvsg.h"
+#include "verify/serializability.h"
+#include "workload/runner.h"
+
+namespace ava3 {
+namespace {
+
+struct FuzzOutcome {
+  uint64_t commits = 0;
+  std::string config;
+};
+
+FuzzOutcome RunOneFuzzConfig(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+
+  db::DatabaseOptions opt;
+  opt.num_nodes = static_cast<int>(rng.UniformRange(1, 6));
+  opt.seed = seed;
+  opt.net.base_latency = rng.UniformRange(50, 2000);
+  opt.net.jitter = rng.UniformRange(0, 1000);
+  opt.net.drop_probability = rng.Bernoulli(0.3) ? 0.03 : 0.0;
+  opt.ava3.recovery = rng.Bernoulli(0.5) ? wal::RecoveryScheme::kNoUndo
+                                         : wal::RecoveryScheme::kInPlace;
+  opt.ava3.eager_counter_handoff = rng.Bernoulli(0.5);
+  opt.ava3.carry_version_in_txn = rng.Bernoulli(0.5);
+  opt.ava3.root_only_query_counters = rng.Bernoulli(0.5);
+  opt.ava3.combined_counters = rng.Bernoulli(0.5);
+  opt.ava3.continuous_advancement = rng.Bernoulli(0.3);
+  opt.ava3.advancement_watchdog = rng.Bernoulli(0.5);
+  opt.ava3.advancement_resend = 50 * kMillisecond;
+  opt.ava3.checkpoint_period =
+      rng.Bernoulli(0.5) ? 100 * kMillisecond : 400 * kMillisecond;
+  opt.base.txn_timeout = 2 * kSecond;
+  opt.base.prepared_timeout = 6 * kSecond;
+
+  wl::WorkloadSpec spec;
+  spec.num_nodes = opt.num_nodes;
+  spec.items_per_node = rng.UniformRange(20, 120);
+  spec.zipf_theta = rng.NextDouble() * 0.95;
+  spec.update_rate_per_sec = static_cast<double>(rng.UniformRange(100, 500));
+  spec.query_rate_per_sec = static_cast<double>(rng.UniformRange(20, 150));
+  spec.update_multinode_prob = opt.num_nodes > 1 ? rng.NextDouble() * 0.6 : 0;
+  spec.query_multinode_prob = spec.update_multinode_prob;
+  spec.update_delete_fraction = rng.NextDouble() * 0.2;
+  spec.query_scan_fraction = rng.NextDouble() * 0.5;
+  spec.deep_trees = rng.Bernoulli(0.5);
+  spec.update_think = rng.Bernoulli(0.5) ? rng.UniformRange(0, 5000) : 0;
+  spec.advancement_period =
+      static_cast<SimDuration>(rng.UniformRange(40, 400)) * kMillisecond;
+  spec.rotate_coordinator = true;
+  spec.max_retries = 60;
+
+  const bool with_crash = rng.Bernoulli(0.4);
+
+  FuzzOutcome out;
+  out.config = "seed=" + std::to_string(seed) +
+               " nodes=" + std::to_string(opt.num_nodes) +
+               " items=" + std::to_string(spec.items_per_node) +
+               " drop=" + std::to_string(opt.net.drop_probability) +
+               " crash=" + std::to_string(with_crash) +
+               " rec=" + wal::RecoverySchemeName(opt.ava3.recovery);
+
+  db::Database dbase(opt);
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, seed);
+  const auto& initial = runner.SeedData();
+  runner.Start(2 * kSecond);
+  if (with_crash) {
+    const NodeId victim =
+        static_cast<NodeId>(rng.Uniform(static_cast<uint64_t>(opt.num_nodes)));
+    dbase.simulator().At(900 * kMillisecond, [&dbase, victim]() {
+      dbase.engine().CrashNode(victim);
+    });
+    dbase.simulator().At(1100 * kMillisecond, [&dbase, victim]() {
+      dbase.engine().RecoverNode(victim);
+    });
+  }
+  dbase.RunFor(2 * kSecond);
+  dbase.RunFor(120 * kSecond);
+
+  auto* base = dynamic_cast<db::EngineBase*>(&dbase.engine());
+  EXPECT_EQ(base->ActiveSubtxns(), 0) << out.config;
+
+  verify::SerializabilityChecker values(initial);
+  Status ok = values.Check(dbase.recorder().txns());
+  EXPECT_TRUE(ok.ok()) << out.config << "\n" << ok.ToString();
+
+  verify::MvsgChecker mvsg(initial);
+  Status acyclic = mvsg.Check(dbase.recorder().txns());
+  EXPECT_TRUE(acyclic.ok()) << out.config << "\n" << acyclic.ToString();
+
+  auto* eng = dbase.ava3_engine();
+  Status inv = eng->CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << out.config << "\n" << inv.ToString();
+  EXPECT_EQ(eng->recovery_mismatches(), 0u) << out.config;
+
+  out.commits = dbase.metrics().update_commits();
+  return out;
+}
+
+class FuzzTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, RandomConfigurationHoldsAllInvariants) {
+  FuzzOutcome out = RunOneFuzzConfig(GetParam());
+  // Paranoia: the run must have done real work to be meaningful.
+  EXPECT_GT(out.commits, 50u) << out.config;
+}
+
+INSTANTIATE_TEST_SUITE_P(ConfigSpace, FuzzTest,
+                         testing::Range<uint64_t>(1, 21),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ava3

@@ -1,0 +1,264 @@
+#include "lock/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lock/deadlock_detector.h"
+
+namespace ava3::lock {
+namespace {
+
+class LockManagerTest : public testing::Test {
+ protected:
+  sim::Simulator sim_;
+  LockManager lm_{&sim_, 0};
+
+  AcquireResult Acquire(TxnId txn, ItemId item, LockMode mode,
+                        Status* out = nullptr) {
+    return lm_.Acquire(txn, item, mode, [out](Status s) {
+      if (out != nullptr) *out = s;
+    });
+  }
+};
+
+TEST_F(LockManagerTest, SharedLocksAreCompatible) {
+  EXPECT_EQ(Acquire(1, 7, LockMode::kShared), AcquireResult::kGranted);
+  EXPECT_EQ(Acquire(2, 7, LockMode::kShared), AcquireResult::kGranted);
+  EXPECT_TRUE(lm_.Holds(1, 7, LockMode::kShared));
+  EXPECT_TRUE(lm_.Holds(2, 7, LockMode::kShared));
+  EXPECT_FALSE(lm_.Holds(1, 7, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, ExclusiveConflictsAndFifoGrant) {
+  EXPECT_EQ(Acquire(1, 7, LockMode::kExclusive), AcquireResult::kGranted);
+  Status granted2 = Status::Internal("pending");
+  Status granted3 = Status::Internal("pending");
+  EXPECT_EQ(Acquire(2, 7, LockMode::kExclusive, &granted2),
+            AcquireResult::kWaiting);
+  EXPECT_EQ(Acquire(3, 7, LockMode::kExclusive, &granted3),
+            AcquireResult::kWaiting);
+  lm_.ReleaseAll(1);
+  sim_.Run();
+  EXPECT_TRUE(granted2.ok());             // FIFO: 2 first
+  EXPECT_TRUE(lm_.Holds(2, 7, LockMode::kExclusive));
+  EXPECT_FALSE(granted3.ok());            // 3 still behind 2
+  lm_.ReleaseAll(2);
+  sim_.Run();
+  EXPECT_TRUE(granted3.ok());
+}
+
+TEST_F(LockManagerTest, ReadersDoNotOvertakeQueuedWriter) {
+  EXPECT_EQ(Acquire(1, 7, LockMode::kShared), AcquireResult::kGranted);
+  EXPECT_EQ(Acquire(2, 7, LockMode::kExclusive), AcquireResult::kWaiting);
+  // A new reader queues behind the writer even though it is compatible
+  // with the current holder (no writer starvation).
+  EXPECT_EQ(Acquire(3, 7, LockMode::kShared), AcquireResult::kWaiting);
+  lm_.ReleaseAll(1);
+  sim_.Run();
+  EXPECT_TRUE(lm_.Holds(2, 7, LockMode::kExclusive));
+  EXPECT_FALSE(lm_.Holds(3, 7, LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, ReentrantAndUpgrade) {
+  EXPECT_EQ(Acquire(1, 7, LockMode::kShared), AcquireResult::kGranted);
+  EXPECT_EQ(Acquire(1, 7, LockMode::kShared), AcquireResult::kGranted);
+  // Sole holder upgrades immediately.
+  EXPECT_EQ(Acquire(1, 7, LockMode::kExclusive), AcquireResult::kGranted);
+  EXPECT_TRUE(lm_.Holds(1, 7, LockMode::kExclusive));
+  // X holder re-requesting S or X is a no-op grant.
+  EXPECT_EQ(Acquire(1, 7, LockMode::kShared), AcquireResult::kGranted);
+  EXPECT_EQ(Acquire(1, 7, LockMode::kExclusive), AcquireResult::kGranted);
+}
+
+TEST_F(LockManagerTest, UpgradeWaitsForOtherReadersAndJumpsQueue) {
+  EXPECT_EQ(Acquire(1, 7, LockMode::kShared), AcquireResult::kGranted);
+  EXPECT_EQ(Acquire(2, 7, LockMode::kShared), AcquireResult::kGranted);
+  Status upgrade = Status::Internal("pending");
+  Status writer3 = Status::Internal("pending");
+  EXPECT_EQ(Acquire(3, 7, LockMode::kExclusive, &writer3),
+            AcquireResult::kWaiting);
+  EXPECT_EQ(Acquire(1, 7, LockMode::kExclusive, &upgrade),
+            AcquireResult::kWaiting);
+  lm_.ReleaseAll(2);
+  sim_.Run();
+  // Upgrade beats the earlier-queued writer 3.
+  EXPECT_TRUE(upgrade.ok());
+  EXPECT_TRUE(lm_.Holds(1, 7, LockMode::kExclusive));
+  EXPECT_FALSE(writer3.ok());
+}
+
+TEST_F(LockManagerTest, ReleaseSharedKeepsExclusive) {
+  EXPECT_EQ(Acquire(1, 7, LockMode::kShared), AcquireResult::kGranted);
+  EXPECT_EQ(Acquire(1, 8, LockMode::kExclusive), AcquireResult::kGranted);
+  lm_.ReleaseShared(1);
+  sim_.Run();
+  EXPECT_FALSE(lm_.Holds(1, 7, LockMode::kShared));
+  EXPECT_TRUE(lm_.Holds(1, 8, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, ReleaseSharedUnblocksWriter) {
+  EXPECT_EQ(Acquire(1, 7, LockMode::kShared), AcquireResult::kGranted);
+  Status writer = Status::Internal("pending");
+  EXPECT_EQ(Acquire(2, 7, LockMode::kExclusive, &writer),
+            AcquireResult::kWaiting);
+  lm_.ReleaseShared(1);  // the paper's prepare-time read-lock release
+  sim_.Run();
+  EXPECT_TRUE(writer.ok());
+  EXPECT_TRUE(lm_.Holds(2, 7, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, CancelWaiterInvokesCallbackWithAborted) {
+  EXPECT_EQ(Acquire(1, 7, LockMode::kExclusive), AcquireResult::kGranted);
+  Status st = Status::Internal("pending");
+  EXPECT_EQ(Acquire(2, 7, LockMode::kExclusive, &st),
+            AcquireResult::kWaiting);
+  lm_.CancelWaiter(2);
+  sim_.Run();
+  EXPECT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_FALSE(lm_.HasAnyLockOrWait(2));
+  EXPECT_EQ(lm_.stats().cancelled, 1u);
+}
+
+TEST_F(LockManagerTest, CancellingQueueHeadUnblocksSuccessor) {
+  EXPECT_EQ(Acquire(1, 7, LockMode::kShared), AcquireResult::kGranted);
+  Status w2 = Status::Internal("pending");
+  Status r3 = Status::Internal("pending");
+  EXPECT_EQ(Acquire(2, 7, LockMode::kExclusive, &w2),
+            AcquireResult::kWaiting);
+  EXPECT_EQ(Acquire(3, 7, LockMode::kShared, &r3), AcquireResult::kWaiting);
+  lm_.CancelWaiter(2);
+  sim_.Run();
+  // With the writer gone, the queued reader is compatible with holder 1.
+  EXPECT_TRUE(r3.ok());
+  EXPECT_TRUE(lm_.Holds(3, 7, LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, WaitsForEdges) {
+  Acquire(1, 7, LockMode::kExclusive);
+  Acquire(2, 7, LockMode::kExclusive);
+  Acquire(3, 7, LockMode::kExclusive);
+  std::vector<std::pair<TxnId, TxnId>> edges;
+  lm_.CollectWaitsFor([&edges](TxnId w, TxnId h) { edges.emplace_back(w, h); });
+  // 2 waits for holder 1; 3 waits for holder 1 and for queued 2.
+  EXPECT_EQ(edges.size(), 3u);
+}
+
+TEST_F(LockManagerTest, StatsTrackWaits) {
+  Acquire(1, 7, LockMode::kExclusive);
+  Status st;
+  Acquire(2, 7, LockMode::kExclusive, &st);
+  sim_.RunUntil(1000);
+  lm_.ReleaseAll(1);
+  sim_.Run();
+  EXPECT_EQ(lm_.stats().acquisitions, 2u);
+  EXPECT_EQ(lm_.stats().immediate_grants, 1u);
+  EXPECT_EQ(lm_.stats().waits, 1u);
+  EXPECT_GE(lm_.stats().total_wait_micros, 1000);
+}
+
+TEST_F(LockManagerTest, ResetDropsEverything) {
+  Acquire(1, 7, LockMode::kExclusive);
+  Acquire(2, 7, LockMode::kExclusive);
+  lm_.Reset();
+  EXPECT_FALSE(lm_.HasAnyLockOrWait(1));
+  EXPECT_FALSE(lm_.HasAnyLockOrWait(2));
+  EXPECT_EQ(Acquire(3, 7, LockMode::kExclusive), AcquireResult::kGranted);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock detection
+// ---------------------------------------------------------------------------
+
+class DeadlockTest : public testing::Test {
+ protected:
+  void MakeDetector(std::vector<LockManager*> lms) {
+    detector_ = std::make_unique<DeadlockDetector>(
+        &sim_, std::move(lms), 1000,
+        [this](TxnId victim) { victims_.push_back(victim); });
+  }
+  sim::Simulator sim_;
+  std::unique_ptr<DeadlockDetector> detector_;
+  std::vector<TxnId> victims_;
+};
+
+TEST_F(DeadlockTest, DetectsLocalCycleAndPicksYoungest) {
+  LockManager lm(&sim_, 0);
+  MakeDetector({&lm});
+  lm.Acquire(1, 7, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(2, 8, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(1, 8, LockMode::kExclusive, [](Status) {});  // 1 waits for 2
+  lm.Acquire(2, 7, LockMode::kExclusive, [](Status) {});  // 2 waits for 1
+  auto found = detector_->RunOnce();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], 2u);  // youngest = largest id
+  EXPECT_EQ(detector_->deadlocks_found(), 1u);
+}
+
+TEST_F(DeadlockTest, DetectsDistributedCycleAcrossNodes) {
+  LockManager lm0(&sim_, 0);
+  LockManager lm1(&sim_, 1);
+  MakeDetector({&lm0, &lm1});
+  // T1 holds a@node0, T2 holds b@node1; each waits for the other remotely.
+  lm0.Acquire(1, 7, LockMode::kExclusive, [](Status) {});
+  lm1.Acquire(2, 9, LockMode::kExclusive, [](Status) {});
+  lm1.Acquire(1, 9, LockMode::kExclusive, [](Status) {});
+  lm0.Acquire(2, 7, LockMode::kExclusive, [](Status) {});
+  auto found = detector_->RunOnce();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], 2u);
+}
+
+TEST_F(DeadlockTest, NoFalsePositivesOnPlainWaiting) {
+  LockManager lm(&sim_, 0);
+  MakeDetector({&lm});
+  lm.Acquire(1, 7, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(2, 7, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(3, 7, LockMode::kExclusive, [](Status) {});
+  EXPECT_TRUE(detector_->RunOnce().empty());
+}
+
+TEST_F(DeadlockTest, UpgradeDeadlockIsDetected) {
+  LockManager lm(&sim_, 0);
+  MakeDetector({&lm});
+  lm.Acquire(1, 7, LockMode::kShared, [](Status) {});
+  lm.Acquire(2, 7, LockMode::kShared, [](Status) {});
+  lm.Acquire(1, 7, LockMode::kExclusive, [](Status) {});  // upgrade waits
+  lm.Acquire(2, 7, LockMode::kExclusive, [](Status) {});  // upgrade waits
+  auto found = detector_->RunOnce();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], 2u);
+}
+
+TEST_F(DeadlockTest, MultipleIndependentCyclesEachLoseOneTxn) {
+  LockManager lm(&sim_, 0);
+  MakeDetector({&lm});
+  // Cycle A: 1 <-> 2 on items 7/8. Cycle B: 3 <-> 4 on items 9/10.
+  lm.Acquire(1, 7, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(2, 8, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(1, 8, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(2, 7, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(3, 9, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(4, 10, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(3, 10, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(4, 9, LockMode::kExclusive, [](Status) {});
+  auto found = detector_->RunOnce();
+  EXPECT_EQ(found.size(), 2u);
+}
+
+TEST_F(DeadlockTest, PeriodicSweepFiresVictimCallback) {
+  LockManager lm(&sim_, 0);
+  MakeDetector({&lm});
+  detector_->Start();
+  lm.Acquire(1, 7, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(2, 8, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(1, 8, LockMode::kExclusive, [](Status) {});
+  lm.Acquire(2, 7, LockMode::kExclusive, [](Status) {});
+  sim_.RunUntil(1500);
+  ASSERT_EQ(victims_.size(), 1u);
+  EXPECT_EQ(victims_[0], 2u);
+  detector_->Stop();
+}
+
+}  // namespace
+}  // namespace ava3::lock

@@ -1,0 +1,239 @@
+// moveToFuture tests (paper Section 4): both recovery schemes produce the
+// state the database would have had if the transaction had run in the new
+// version all along; aborts after a move roll everything back; the no-undo
+// scheme's move is free while the in-place scheme scans the log tail; and
+// the two schemes are observationally equivalent on identical workloads.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "verify/serializability.h"
+#include "workload/runner.h"
+
+namespace ava3 {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using txn::Op;
+
+DatabaseOptions Opts(wal::RecoveryScheme rec, int nodes = 2) {
+  DatabaseOptions o;
+  o.num_nodes = nodes;
+  o.net.jitter = 0;
+  o.ava3.recovery = rec;
+  return o;
+}
+
+// Runs the canonical access-time move: T updates item A in version 1,
+// advancement begins, U commits item B in version 2, then T touches B.
+struct MoveScenario {
+  std::unique_ptr<Database> dbase;
+  db::TxnResult t, u;
+  core::Ava3Engine* eng = nullptr;
+};
+
+MoveScenario RunAccessTimeMove(wal::RecoveryScheme rec, bool abort_t) {
+  MoveScenario s;
+  s.dbase = std::make_unique<Database>(Opts(rec, 1));
+  s.eng = s.dbase->ava3_engine();
+  auto& dbase = *s.dbase;
+  dbase.engine().LoadInitial(0, 1, 100);
+  dbase.engine().LoadInitial(0, 2, 200);
+  // T: add to item 1 (version 1), think, then touch item 2.
+  std::vector<Op> t_ops = {Op::Add(1, 11), Op::Think(10 * kMillisecond),
+                           Op::Add(2, 13)};
+  if (abort_t) {
+    // An invalid trailing op makes validation... no: we abort via timeout
+    // instead — give T an infinite think so the root timeout fires.
+    t_ops.push_back(Op::Think(100 * kSecond));
+  }
+  dbase.engine().Submit(dbase.NextTxnId(),
+                        txn::SingleNodeUpdate(0, std::move(t_ops)),
+                        [&s](const db::TxnResult& r) { s.t = r; });
+  dbase.RunFor(kMillisecond);
+  s.eng->TriggerAdvancement(0);
+  dbase.RunFor(kMillisecond);
+  dbase.engine().Submit(dbase.NextTxnId(),
+                        txn::SingleNodeUpdate(0, {Op::Add(2, 1000)}),
+                        [&s](const db::TxnResult& r) { s.u = r; });
+  dbase.RunFor(abort_t ? 60 * kSecond : kSecond);
+  return s;
+}
+
+class MoveToFutureTest
+    : public testing::TestWithParam<wal::RecoveryScheme> {};
+
+TEST_P(MoveToFutureTest, AccessTimeMoveLandsEverythingInNewVersion) {
+  MoveScenario s = RunAccessTimeMove(GetParam(), /*abort_t=*/false);
+  ASSERT_EQ(s.u.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(s.u.commit_version, 2);
+  ASSERT_EQ(s.t.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(s.t.commit_version, 2);
+  EXPECT_EQ(s.t.move_to_futures, 1);
+  auto& st = s.eng->store(0);
+  // Both of T's writes live in version 2. The pre-T copies (relabeled from
+  // version 0 to 1 by the advancement's GC) show no trace of T.
+  EXPECT_EQ(st.ReadExact(1, 2)->value, 111);
+  EXPECT_EQ(st.ReadExact(2, 2)->value, 1213);  // 200 + 1000 (U) + 13 (T)
+  EXPECT_EQ(st.ReadAtMost(1, 1)->value, 100);
+  EXPECT_EQ(st.ReadAtMost(2, 1)->value, 200);
+  EXPECT_TRUE(s.eng->CheckInvariants().ok());
+}
+
+TEST_P(MoveToFutureTest, AbortAfterMoveRollsBackBothVersions) {
+  MoveScenario s = RunAccessTimeMove(GetParam(), /*abort_t=*/true);
+  ASSERT_EQ(s.u.outcome, TxnOutcome::kCommitted);
+  ASSERT_EQ(s.t.outcome, TxnOutcome::kAborted);
+  EXPECT_EQ(s.t.status.code(), StatusCode::kTimedOut);
+  auto& st = s.eng->store(0);
+  // Only U's committed write survives; T left no residue in any version.
+  EXPECT_EQ(st.ReadExact(2, 2)->value, 1200);
+  EXPECT_EQ(st.ReadAtMost(1, 1'000'000)->value, 100);  // newest = initial
+  EXPECT_FALSE(st.ExistsIn(1, 2));
+  EXPECT_TRUE(s.eng->CheckInvariants().ok());
+}
+
+TEST_P(MoveToFutureTest, ReadTriggersMoveToo) {
+  // Section 3.4 step 2: a *read* of an item existing in a newer version
+  // also moves the transaction.
+  Database dbase(Opts(GetParam(), 1));
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 100);
+  dbase.engine().LoadInitial(0, 2, 200);
+  db::TxnResult t;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::SingleNodeUpdate(
+          0, {Op::Add(1, 11), Op::Think(10 * kMillisecond), Op::Read(2)}),
+      [&t](const db::TxnResult& r) { t = r; });
+  dbase.RunFor(kMillisecond);
+  eng->TriggerAdvancement(0);
+  dbase.RunFor(kMillisecond);
+  ASSERT_EQ(dbase
+                .RunToCompletion(
+                    txn::SingleNodeUpdate(0, {Op::Write(2, 777)}))
+                .outcome,
+            TxnOutcome::kCommitted);
+  dbase.RunFor(kSecond);
+  ASSERT_EQ(t.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(t.commit_version, 2);
+  EXPECT_EQ(t.move_to_futures, 1);
+  ASSERT_EQ(t.reads.size(), 1u);
+  EXPECT_EQ(t.reads[0].value, 777);  // read the committed v2 value
+  EXPECT_EQ(eng->store(0).ReadExact(1, 2)->value, 111);
+}
+
+TEST_P(MoveToFutureTest, MultipleMovesAcrossTwoAdvancements) {
+  // A very long transaction can be moved twice under the eager-handoff
+  // optimization (otherwise Phase 1 of the second advancement waits on it).
+  DatabaseOptions o = Opts(GetParam(), 1);
+  o.ava3.eager_counter_handoff = true;
+  Database dbase(o);
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 100);
+  dbase.engine().LoadInitial(0, 2, 200);
+  dbase.engine().LoadInitial(0, 3, 300);
+  db::TxnResult t;
+  dbase.engine().Submit(
+      dbase.NextTxnId(),
+      txn::SingleNodeUpdate(0, {Op::Add(1, 1), Op::Think(10 * kMillisecond),
+                                Op::Add(2, 2), Op::Think(10 * kMillisecond),
+                                Op::Add(3, 3)}),
+      [&t](const db::TxnResult& r) { t = r; });
+  auto advance_and_touch = [&dbase, eng](ItemId item, SimTime at) {
+    dbase.simulator().At(at, [eng]() { eng->TriggerAdvancement(0); });
+    dbase.simulator().At(at + 2 * kMillisecond, [&dbase, item]() {
+      dbase.engine().Submit(dbase.NextTxnId(),
+                            txn::SingleNodeUpdate(0, {Op::Add(item, 1000)}),
+                            [](const db::TxnResult&) {});
+    });
+  };
+  advance_and_touch(2, 2 * kMillisecond);   // forces first move at ~10ms
+  advance_and_touch(3, 14 * kMillisecond);  // forces second move at ~20ms
+  dbase.RunFor(5 * kSecond);
+  ASSERT_EQ(t.outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(t.commit_version, 3);
+  EXPECT_EQ(t.move_to_futures, 2);
+  auto& st = eng->store(0);
+  EXPECT_EQ(st.ReadAtMost(1, 3)->value, 101);
+  EXPECT_EQ(st.ReadAtMost(2, 3)->value, 1202);
+  EXPECT_EQ(st.ReadAtMost(3, 3)->value, 1303);
+  EXPECT_TRUE(eng->CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothSchemes, MoveToFutureTest,
+    testing::Values(wal::RecoveryScheme::kNoUndo,
+                    wal::RecoveryScheme::kInPlace),
+    [](const testing::TestParamInfo<wal::RecoveryScheme>& info) {
+      return std::string(wal::RecoverySchemeName(info.param)) == "no-undo"
+                 ? "NoUndo"
+                 : "InPlace";
+    });
+
+TEST(MoveToFutureCostTest, NoUndoMoveIsFreeInPlaceScansLog) {
+  MoveScenario cheap =
+      RunAccessTimeMove(wal::RecoveryScheme::kNoUndo, false);
+  MoveScenario costly =
+      RunAccessTimeMove(wal::RecoveryScheme::kInPlace, false);
+  EXPECT_EQ(cheap.dbase->metrics().mtf_count(), 1u);
+  EXPECT_EQ(costly.dbase->metrics().mtf_count(), 1u);
+  EXPECT_EQ(cheap.dbase->metrics().mtf_records_scanned(), 0u);
+  EXPECT_GT(costly.dbase->metrics().mtf_records_scanned(), 0u);
+}
+
+TEST(SchemeEquivalenceTest, IdenticalWorkloadsCommitIdenticalHistories) {
+  // The same seeded workload under no-undo and in-place recovery must
+  // produce the same committed transactions with the same commit versions
+  // and the same final store state.
+  auto run = [](wal::RecoveryScheme rec) {
+    DatabaseOptions o;
+    o.num_nodes = 3;
+    o.seed = 99;
+    o.ava3.recovery = rec;
+    auto dbase = std::make_unique<Database>(o);
+    wl::WorkloadSpec spec;
+    spec.num_nodes = 3;
+    spec.items_per_node = 50;
+    spec.update_rate_per_sec = 300;
+    spec.query_rate_per_sec = 80;
+    spec.advancement_period = 150 * kMillisecond;
+    wl::WorkloadRunner runner(&dbase->simulator(), &dbase->engine(), spec, 99);
+    runner.SeedData();
+    runner.Start(2 * kSecond);
+    dbase->RunFor(2 * kSecond);
+    dbase->RunFor(60 * kSecond);
+    return dbase;
+  };
+  auto a = run(wal::RecoveryScheme::kNoUndo);
+  auto b = run(wal::RecoveryScheme::kInPlace);
+  const auto& ta = a->recorder().txns();
+  const auto& tb = b->recorder().txns();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].id, tb[i].id) << i;
+    EXPECT_EQ(ta[i].commit_version, tb[i].commit_version) << "txn " << ta[i].id;
+    ASSERT_EQ(ta[i].writes.size(), tb[i].writes.size()) << "txn " << ta[i].id;
+    for (size_t w = 0; w < ta[i].writes.size(); ++w) {
+      EXPECT_EQ(ta[i].writes[w].item, tb[i].writes[w].item);
+      EXPECT_EQ(ta[i].writes[w].value, tb[i].writes[w].value)
+          << "txn " << ta[i].id << " item " << ta[i].writes[w].item;
+    }
+  }
+  // Final stores match item-for-item.
+  auto* ea = a->ava3_engine();
+  auto* eb = b->ava3_engine();
+  for (int n = 0; n < 3; ++n) {
+    ea->store(n).ForEachItem([&](ItemId item, const auto& chain) {
+      auto va = ea->store(n).ReadAtMost(item, 1'000'000);
+      auto vb = eb->store(n).ReadAtMost(item, 1'000'000);
+      ASSERT_TRUE(va.ok() && vb.ok()) << "item " << item;
+      EXPECT_EQ(va->value, vb->value) << "item " << item;
+      (void)chain;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace ava3

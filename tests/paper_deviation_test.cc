@@ -1,0 +1,197 @@
+// Documented deviation from the paper, discovered by the MVSG oracle.
+//
+// Paper Section 2: update subtransactions "release shared read locks upon
+// sending the prepare message". With the paper's own parallel R*-style
+// subtransaction trees, that is unsound: after one subtransaction releases
+// its read locks at prepare, a *sibling* may still be acquiring locks, so
+// the transaction is no longer globally two-phase. Concretely, another
+// transaction can slip a conflicting write between one subtransaction's
+// read and the whole transaction's commit, producing an anti-dependency
+// that contradicts the commit-version order; an epoch-crossing query then
+// closes a cycle in the multiversion serialization graph.
+//
+// Our default therefore holds shared locks until commit; the paper's
+// variant remains available behind
+// BaseOptions::release_read_locks_at_prepare for study, and this test
+// pins the anomaly deterministically: the same seeded workload is
+// one-copy-serializable with the default and cyclic with the paper's
+// early release.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "verify/mvsg.h"
+#include "verify/serializability.h"
+#include "workload/runner.h"
+
+namespace ava3 {
+namespace {
+
+Status RunAndCheckMvsg(bool early_release, bool read_marks = true) {
+  db::DatabaseOptions opt;
+  opt.scheme = db::Scheme::kAva3;
+  opt.num_nodes = 3;
+  opt.seed = 23;
+  opt.base.release_read_locks_at_prepare = early_release;
+  opt.ava3.update_read_marks = read_marks;
+  db::Database dbase(opt);
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 3;
+  spec.items_per_node = 60;
+  spec.update_rate_per_sec = 400;
+  spec.query_rate_per_sec = 120;
+  spec.update_multinode_prob = 0.4;
+  spec.query_multinode_prob = 0.4;
+  spec.advancement_period = 200 * kMillisecond;
+  spec.query_scan_fraction = 0.4;
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, 23);
+  runner.SeedData();
+  runner.Start(4 * kSecond);
+  dbase.RunFor(4 * kSecond);
+  dbase.RunFor(60 * kSecond);
+  EXPECT_GT(runner.stats().committed_updates, 500u);
+  verify::MvsgChecker mvsg(runner.stats().committed_updates > 0
+                               ? std::map<ItemId, int64_t>{}
+                               : std::map<ItemId, int64_t>{});
+  return mvsg.Check(dbase.recorder().txns());
+}
+
+TEST(PaperDeviationTest, EarlyReadLockReleaseProducesMvsgCycles) {
+  // Deviation 1: the paper's prepare-time shared-lock release is unsound
+  // with parallel sibling subtransactions (a sibling still acquires locks
+  // after the release, so the transaction is not globally two-phase).
+  Status with_early = RunAndCheckMvsg(/*early_release=*/true);
+  EXPECT_FALSE(with_early.ok())
+      << "expected the paper's prepare-time read-lock release to produce a "
+         "non-serializable history under parallel sibling subtransactions";
+  if (!with_early.ok()) {
+    EXPECT_NE(with_early.message().find("MVSG cycle"), std::string::npos);
+  }
+}
+
+TEST(PaperDeviationTest, PaperProtocolWithoutReadMarksProducesCycles) {
+  // Deviation 2 — a gap in the paper's Theorem 6.2 itself: even with
+  // commit-time lock release, a version-v transaction can write an item
+  // AFTER a version-(v+1) transaction read it (reads leave no trace, so
+  // the maxV-based moveToFuture rule never fires). The anti-dependency
+  // contradicts the version order, and an epoch-crossing query closes a
+  // cycle in the MVSG.
+  Status without_marks =
+      RunAndCheckMvsg(/*early_release=*/false, /*read_marks=*/false);
+  EXPECT_FALSE(without_marks.ok())
+      << "expected the version-inversion anomaly without read marks";
+  if (!without_marks.ok()) {
+    EXPECT_NE(without_marks.message().find("MVSG cycle"), std::string::npos);
+  }
+}
+
+TEST(PaperDeviationTest, ReadMarksRestoreOneCopySerializability) {
+  // Our fix: per-node in-memory read marks promote later writers of a
+  // read item via the paper's own moveToFuture.
+  Status with_default = RunAndCheckMvsg(/*early_release=*/false);
+  EXPECT_TRUE(with_default.ok()) << with_default.ToString();
+}
+
+// The F2 anomaly, constructed deterministically on one node:
+//   S (startV=1) runs long; advancement begins (u=2).
+//   T (startV=2) reads item x (still version 0) and writes item z; commits
+//     in version 2.
+//   S then writes x: maxV(x)=0 does not exceed V(S)=1, so the paper's rule
+//     keeps S in version 1 — yet S must serialize AFTER T (T read x before
+//     S's write). S commits with the LOWER version.
+//   After advancement completes, query Q (V=1) reads the version-1
+//     snapshot: it sees S's write of x (wr S->Q) but not T's write of z
+//     (rw Q->T), closing the cycle T->S->Q->T.
+// With read marks, T's commit leaves mark(x)=2; S's write of x triggers
+// moveToFuture, S commits in version 2, and the history is serializable.
+TEST(PaperDeviationTest, ConstructedVersionInversionScenario) {
+  using txn::Op;
+  for (bool marks : {false, true}) {
+    db::DatabaseOptions opt;
+    opt.num_nodes = 1;
+    opt.net.jitter = 0;
+    opt.ava3.update_read_marks = marks;
+    db::Database dbase(opt);
+    auto* eng = dbase.ava3_engine();
+    dbase.engine().LoadInitial(0, 1, 10);  // x
+    dbase.engine().LoadInitial(0, 2, 20);  // y (S's first write)
+    dbase.engine().LoadInitial(0, 3, 30);  // z (T's write)
+
+    db::TxnResult s_res, t_res, q_res;
+    dbase.engine().Submit(
+        dbase.NextTxnId(),
+        txn::SingleNodeUpdate(0, {Op::Add(2, 1), Op::Think(20 * kMillisecond),
+                                  Op::Add(1, 100)}),
+        [&s_res](const db::TxnResult& r) { s_res = r; });
+    dbase.RunFor(kMillisecond);
+    eng->TriggerAdvancement(0);  // u -> 2; Phase 1 waits for S
+    dbase.RunFor(kMillisecond);
+    dbase.engine().Submit(
+        dbase.NextTxnId(),
+        txn::SingleNodeUpdate(0, {Op::Read(1), Op::Add(3, 5)}),
+        [&t_res](const db::TxnResult& r) { t_res = r; });
+    dbase.RunFor(kSecond);  // S finishes; advancement completes; q=1
+    ASSERT_EQ(s_res.outcome, TxnOutcome::kCommitted);
+    ASSERT_EQ(t_res.outcome, TxnOutcome::kCommitted);
+    EXPECT_EQ(t_res.commit_version, 2);
+    dbase.engine().Submit(dbase.NextTxnId(),
+                          txn::SingleNodeQuery(0, {1, 3}),
+                          [&q_res](const db::TxnResult& r) { q_res = r; });
+    dbase.RunFor(kSecond);
+    ASSERT_EQ(q_res.outcome, TxnOutcome::kCommitted);
+
+    verify::MvsgChecker mvsg(
+        std::map<ItemId, int64_t>{{1, 10}, {2, 20}, {3, 30}});
+    Status acyclic = mvsg.Check(dbase.recorder().txns());
+    if (marks) {
+      // S was promoted by the mark and the history is serializable.
+      EXPECT_EQ(s_res.commit_version, 2);
+      EXPECT_GE(s_res.move_to_futures, 1);
+      EXPECT_TRUE(acyclic.ok()) << acyclic.ToString();
+      // Q (V=1) therefore sees neither S's nor T's writes: version 1 holds
+      // only carried-forward data.
+      EXPECT_EQ(q_res.reads[0].value, 10);
+      EXPECT_EQ(q_res.reads[1].value, 30);
+    } else {
+      // The paper's rules keep S at version 1: version order inverted.
+      EXPECT_EQ(s_res.commit_version, 1);
+      EXPECT_FALSE(acyclic.ok())
+          << "expected the constructed T->S->Q->T cycle";
+      // Q observes the contradiction: S's write of x without T's of z.
+      EXPECT_EQ(q_res.reads[0].value, 110);
+      EXPECT_EQ(q_res.reads[1].value, 30);
+    }
+  }
+}
+
+TEST(PaperDeviationTest, EarlyReleaseIsSafeForSingleNodeTransactions) {
+  // With one subtransaction per transaction, prepare is the true lock
+  // point and the paper's optimization is sound.
+  db::DatabaseOptions opt;
+  opt.scheme = db::Scheme::kAva3;
+  opt.num_nodes = 1;
+  opt.seed = 23;
+  opt.base.release_read_locks_at_prepare = true;
+  db::Database dbase(opt);
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 1;
+  spec.items_per_node = 40;
+  spec.zipf_theta = 0.9;
+  spec.update_rate_per_sec = 500;
+  spec.query_rate_per_sec = 120;
+  spec.advancement_period = 100 * kMillisecond;
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, 23);
+  const auto& initial = runner.SeedData();
+  runner.Start(4 * kSecond);
+  dbase.RunFor(4 * kSecond);
+  dbase.RunFor(60 * kSecond);
+  verify::MvsgChecker mvsg(initial);
+  Status acyclic = mvsg.Check(dbase.recorder().txns());
+  EXPECT_TRUE(acyclic.ok()) << acyclic.ToString();
+  verify::SerializabilityChecker values(initial);
+  Status ok = values.Check(dbase.recorder().txns());
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+}
+
+}  // namespace
+}  // namespace ava3

@@ -1,0 +1,271 @@
+// Randomized property tests: run a concurrent generated workload under a
+// sweep of (scheme, recovery variant, optimization flags, skew, advancement
+// period, seed) configurations and assert, on every run:
+//   - the committed history passes the serializability oracle (reads see
+//     exactly the committed state their version entitles them to),
+//   - the final store state equals the replayed history,
+//   - the Section 6.2 version invariants held,
+//   - at most the scheme's version bound was ever live,
+//   - the system quiesced (no leaked subtransactions or counters).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "verify/mvsg.h"
+#include "verify/serializability.h"
+#include "workload/runner.h"
+
+namespace ava3 {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using db::Scheme;
+
+struct PropertyConfig {
+  std::string label;
+  Scheme scheme = Scheme::kAva3;
+  wal::RecoveryScheme recovery = wal::RecoveryScheme::kNoUndo;
+  int num_nodes = 3;
+  double zipf_theta = 0.0;
+  SimDuration advancement_period = 200 * kMillisecond;
+  bool rotate_coordinator = false;
+  bool eager_handoff = false;
+  bool carry_version = false;
+  bool root_only_counters = false;
+  bool combined_counters = false;
+  bool continuous = false;
+  double delete_fraction = 0.0;
+  double scan_fraction = 0.0;
+  bool deep_trees = false;
+  uint64_t seed = 1;
+};
+
+std::string PrintConfig(const testing::TestParamInfo<PropertyConfig>& info) {
+  return info.param.label + "_seed" + std::to_string(info.param.seed);
+}
+
+class PropertyTest : public testing::TestWithParam<PropertyConfig> {};
+
+TEST_P(PropertyTest, RandomWorkloadIsSerializable) {
+  const PropertyConfig& cfg = GetParam();
+
+  DatabaseOptions opt;
+  opt.scheme = cfg.scheme;
+  opt.num_nodes = cfg.num_nodes;
+  opt.seed = cfg.seed;
+  opt.ava3.recovery = cfg.recovery;
+  opt.ava3.eager_counter_handoff = cfg.eager_handoff;
+  opt.ava3.carry_version_in_txn = cfg.carry_version;
+  opt.ava3.root_only_query_counters = cfg.root_only_counters;
+  opt.ava3.combined_counters = cfg.combined_counters;
+  opt.ava3.continuous_advancement = cfg.continuous;
+  Database dbase(opt);
+
+  wl::WorkloadSpec spec;
+  spec.num_nodes = cfg.num_nodes;
+  spec.items_per_node = 60;  // small: force real contention
+  spec.zipf_theta = cfg.zipf_theta;
+  spec.update_rate_per_sec = 400;
+  spec.query_rate_per_sec = 120;
+  spec.update_multinode_prob = 0.4;
+  spec.query_multinode_prob = 0.4;
+  spec.advancement_period = cfg.advancement_period;
+  spec.rotate_coordinator = cfg.rotate_coordinator;
+  spec.update_delete_fraction = cfg.delete_fraction;
+  spec.query_scan_fraction = cfg.scan_fraction;
+  spec.deep_trees = cfg.deep_trees;
+  if (cfg.deep_trees) {
+    spec.update_multinode_prob = 0.7;
+    spec.update_fanout = 2;  // plus the random re-parenting below the root
+  }
+
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec,
+                            cfg.seed);
+  const auto& initial = runner.SeedData();
+  runner.Start(4 * kSecond);
+  dbase.RunFor(4 * kSecond);
+  // Drain: stop arrivals, let in-flight transactions and advancement finish.
+  dbase.RunFor(60 * kSecond);
+
+  // The run actually exercised the machinery.
+  EXPECT_GT(runner.stats().committed_updates, 200u) << "too few commits";
+  EXPECT_GT(runner.stats().committed_queries, 50u);
+  EXPECT_EQ(runner.stats().gave_up, 0u);
+
+  // Everything quiesced.
+  auto* base = dynamic_cast<db::EngineBase*>(&dbase.engine());
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->ActiveSubtxns(), 0);
+
+  // Serializability oracle #1: every read returned exactly the committed
+  // state its version entitles it to.
+  verify::SerializabilityChecker checker(initial);
+  Status ok = checker.Check(dbase.recorder().txns());
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+
+  // Serializability oracle #2: the multiversion serialization graph of the
+  // history is acyclic (one-copy serializability).
+  verify::MvsgChecker mvsg(initial);
+  Status acyclic = mvsg.Check(dbase.recorder().txns());
+  EXPECT_TRUE(acyclic.ok()) << acyclic.ToString();
+
+  std::vector<const store::VersionedStore*> stores;
+  for (int n = 0; n < cfg.num_nodes; ++n) stores.push_back(&base->store(n));
+  Status final_ok = checker.CheckFinalState(dbase.recorder().txns(), stores);
+  EXPECT_TRUE(final_ok.ok()) << final_ok.ToString();
+
+  // Scheme-specific invariants.
+  if (auto* eng = dbase.ava3_engine()) {
+    Status inv = eng->CheckInvariants();
+    EXPECT_TRUE(inv.ok()) << inv.ToString();
+    // Advancement actually ran and completed.
+    if (cfg.advancement_period > 0) {
+      EXPECT_GT(dbase.metrics().advancements(), 3u);
+      EXPECT_FALSE(eng->AdvancementInProgress());
+    }
+    // All counters drained.
+    for (int n = 0; n < cfg.num_nodes; ++n) {
+      const auto& cs = eng->control(n);
+      EXPECT_EQ(cs.UpdateCount(cs.u()), 0) << "node " << n;
+      EXPECT_EQ(cs.QueryCount(cs.q()), 0) << "node " << n;
+    }
+  }
+}
+
+std::vector<PropertyConfig> MakeConfigs() {
+  std::vector<PropertyConfig> out;
+  auto push = [&out](PropertyConfig c) {
+    for (uint64_t seed : {11ull, 23ull, 47ull, 89ull, 131ull}) {
+      c.seed = seed;
+      out.push_back(c);
+    }
+  };
+  {
+    PropertyConfig c;
+    c.label = "ava3_noundo";
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "ava3_inplace";
+    c.recovery = wal::RecoveryScheme::kInPlace;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "ava3_zipf";
+    c.zipf_theta = 0.9;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "ava3_multicoord";
+    c.rotate_coordinator = true;
+    c.advancement_period = 100 * kMillisecond;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "ava3_opts";  // O1+O2+O3 + Section 8 eager handoff
+    c.eager_handoff = true;
+    c.carry_version = true;
+    c.root_only_counters = true;
+    c.combined_counters = true;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "ava3_continuous";
+    c.continuous = true;
+    c.advancement_period = 50 * kMillisecond;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "ava3_onenode";  // centralized case (paper Section 7)
+    c.num_nodes = 1;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "ava3_deletes";
+    c.delete_fraction = 0.15;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "ava3_scans";
+    c.scan_fraction = 0.4;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "ava3_deep_trees";
+    c.deep_trees = true;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "ava3_everything";  // deletes + scans + deep trees + opts
+    c.delete_fraction = 0.1;
+    c.scan_fraction = 0.3;
+    c.deep_trees = true;
+    c.eager_handoff = true;
+    c.carry_version = true;
+    c.root_only_counters = true;
+    c.combined_counters = true;
+    c.recovery = wal::RecoveryScheme::kInPlace;
+    c.zipf_theta = 0.8;
+    c.rotate_coordinator = true;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "fourv";  // centralized, like the schemes it models
+    c.scheme = Scheme::kFourV;
+    c.num_nodes = 1;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "s2pl_deletes";
+    c.scheme = Scheme::kS2pl;
+    c.advancement_period = 0;
+    c.delete_fraction = 0.15;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "mvu_deletes_scans";
+    c.scheme = Scheme::kMvu;
+    c.advancement_period = 0;
+    c.delete_fraction = 0.15;
+    c.scan_fraction = 0.3;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "s2pl";
+    c.scheme = Scheme::kS2pl;
+    c.advancement_period = 0;
+    push(c);
+  }
+  {
+    PropertyConfig c;
+    c.label = "mvu";
+    c.scheme = Scheme::kMvu;
+    c.advancement_period = 0;
+    push(c);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PropertyTest, testing::ValuesIn(MakeConfigs()),
+                         PrintConfig);
+
+}  // namespace
+}  // namespace ava3

@@ -1,0 +1,144 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+
+namespace ava3::sim {
+namespace {
+
+TEST(SimulatorTest, ExecutesEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.At(300, [&] { order.push_back(3); });
+  s.At(100, [&] { order.push_back(1); });
+  s.At(200, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 300);
+}
+
+TEST(SimulatorTest, FifoTiebreakAtSameTime) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.At(50, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator s;
+  SimTime seen = -1;
+  s.At(100, [&] {
+    s.After(25, [&] { seen = s.Now(); });
+  });
+  s.Run();
+  EXPECT_EQ(seen, 125);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  EventId id = s.At(10, [&] { fired = true; });
+  EXPECT_TRUE(s.Cancel(id));
+  EXPECT_FALSE(s.Cancel(id));  // second cancel is a no-op
+  s.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator s;
+  int count = 0;
+  s.At(10, [&] { ++count; });
+  s.At(20, [&] { ++count; });
+  s.At(30, [&] { ++count; });
+  s.RunUntil(20);
+  EXPECT_EQ(count, 2);  // events at exactly t are executed
+  EXPECT_EQ(s.Now(), 20);
+  s.RunUntil(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.Now(), 100);  // clock advances even after the queue drained
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) s.After(1, recurse);
+  };
+  s.After(1, recurse);
+  s.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(s.Now(), 10);
+  EXPECT_EQ(s.events_executed(), 10u);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.Step());
+  s.At(5, [] {});
+  EXPECT_TRUE(s.Step());
+  EXPECT_FALSE(s.Step());
+}
+
+TEST(NetworkTest, DeliversWithLatencyInRange) {
+  Simulator s;
+  NetworkOptions opt;
+  opt.base_latency = 100;
+  opt.jitter = 50;
+  Network net(&s, 3, opt, Rng(7));
+  SimTime delivered = -1;
+  net.Send(0, 1, MsgKind::kOther, [&] { delivered = s.Now(); });
+  s.Run();
+  EXPECT_GE(delivered, 100);
+  EXPECT_LE(delivered, 150);
+  EXPECT_EQ(net.SentCount(MsgKind::kOther), 1u);
+}
+
+TEST(NetworkTest, SelfSendUsesLocalLatency) {
+  Simulator s;
+  NetworkOptions opt;
+  opt.base_latency = 1000;
+  opt.jitter = 0;
+  opt.local_latency = 5;
+  Network net(&s, 2, opt, Rng(7));
+  SimTime delivered = -1;
+  net.Send(1, 1, MsgKind::kCommit, [&] { delivered = s.Now(); });
+  s.Run();
+  EXPECT_EQ(delivered, 5);
+}
+
+TEST(NetworkTest, DropsDeliveryToDownNode) {
+  Simulator s;
+  Network net(&s, 2, NetworkOptions{}, Rng(7));
+  bool delivered = false;
+  net.SetNodeUp(1, false);
+  net.Send(0, 1, MsgKind::kAdvanceU, [&] { delivered = true; });
+  s.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.DroppedCount(), 1u);
+  // The drop decision happens at delivery time, not send time.
+  net.Send(0, 1, MsgKind::kAdvanceU, [&] { delivered = true; });
+  net.SetNodeUp(1, true);
+  s.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkTest, CountsPerKind) {
+  Simulator s;
+  Network net(&s, 2, NetworkOptions{}, Rng(7));
+  net.Send(0, 1, MsgKind::kPrepared, [] {});
+  net.Send(0, 1, MsgKind::kPrepared, [] {});
+  net.Send(1, 0, MsgKind::kCommit, [] {});
+  s.Run();
+  EXPECT_EQ(net.SentCount(MsgKind::kPrepared), 2u);
+  EXPECT_EQ(net.SentCount(MsgKind::kCommit), 1u);
+  EXPECT_EQ(net.TotalSent(), 3u);
+}
+
+}  // namespace
+}  // namespace ava3::sim

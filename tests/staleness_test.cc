@@ -1,0 +1,139 @@
+// Staleness tests (paper Section 8): queries read stale snapshots bounded
+// by the advancement cadence; the eager-counter-handoff optimization keeps
+// Phase 1 short regardless of long transactions; and in the continuous-
+// advancement limit, a query's snapshot is at most as old as the longest
+// query running when it started.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "workload/runner.h"
+
+namespace ava3 {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using txn::Op;
+
+double RunAndGetMeanStaleness(SimDuration advancement_period,
+                              SimDuration update_think,
+                              bool eager_handoff) {
+  DatabaseOptions o;
+  o.num_nodes = 3;
+  o.seed = 21;
+  o.ava3.eager_counter_handoff = eager_handoff;
+  Database dbase(o);
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 3;
+  spec.items_per_node = 100;
+  spec.update_rate_per_sec = 300;
+  spec.query_rate_per_sec = 100;
+  spec.update_think = update_think;
+  spec.advancement_period = advancement_period;
+  spec.rotate_coordinator = true;
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, 21);
+  runner.SeedData();
+  runner.Start(4 * kSecond);
+  dbase.RunFor(4 * kSecond);
+  dbase.RunFor(30 * kSecond);
+  return dbase.metrics().staleness().Mean();
+}
+
+TEST(StalenessTest, MoreFrequentAdvancementMeansFresherReads) {
+  const double slow = RunAndGetMeanStaleness(800 * kMillisecond, 0, false);
+  const double fast = RunAndGetMeanStaleness(100 * kMillisecond, 0, false);
+  EXPECT_GT(slow, fast * 2) << "slow=" << slow << " fast=" << fast;
+}
+
+TEST(StalenessTest, EagerHandoffShortensPhase1ForMovedTransactions) {
+  // Section 8: a transaction that executes moveToFuture re-homes its
+  // update counter, so Phase 1 stops waiting for it. Constructed scenario:
+  // long transaction T (v1) moves to v2 early (it touches an item a v2
+  // transaction committed), then keeps running for ~50ms. With the
+  // optimization, Phase 1 completes right after the move; without it,
+  // Phase 1 waits for T to finish.
+  auto phase1 = [](bool eager) {
+    DatabaseOptions o;
+    o.num_nodes = 1;
+    o.net.jitter = 0;
+    o.ava3.eager_counter_handoff = eager;
+    Database dbase(o);
+    auto* eng = dbase.ava3_engine();
+    dbase.engine().LoadInitial(0, 1, 0);
+    dbase.engine().LoadInitial(0, 2, 0);
+    dbase.engine().Submit(
+        dbase.NextTxnId(),
+        txn::SingleNodeUpdate(
+            0, {Op::Add(1, 1), Op::Think(5 * kMillisecond), Op::Add(2, 1),
+                Op::Think(50 * kMillisecond)}),
+        [](const db::TxnResult&) {});
+    dbase.RunFor(kMillisecond);
+    eng->TriggerAdvancement(0);  // Phase 1 starts at t=1ms
+    dbase.RunFor(kMillisecond);
+    // A version-2 transaction commits item 2; T hits it at ~5ms and moves.
+    dbase.engine().Submit(dbase.NextTxnId(),
+                          txn::SingleNodeUpdate(0, {Op::Add(2, 100)}),
+                          [](const db::TxnResult&) {});
+    dbase.RunFor(kSecond);
+    EXPECT_EQ(dbase.metrics().advancements(), 1u);
+    EXPECT_EQ(dbase.metrics().mtf_count(), 1u);
+    return dbase.metrics().phase1_duration().max();
+  };
+  const int64_t baseline = phase1(false);
+  const int64_t eager = phase1(true);
+  EXPECT_GE(baseline, 50 * kMillisecond) << "Phase 1 should wait for T";
+  EXPECT_LT(eager, 10 * kMillisecond)
+      << "Phase 1 should complete at T's moveToFuture";
+}
+
+TEST(StalenessTest, QueriesNeverReadUncommittedOrFutureData) {
+  DatabaseOptions o;
+  o.num_nodes = 1;
+  o.net.jitter = 0;
+  Database dbase(o);
+  auto* eng = dbase.ava3_engine();
+  dbase.engine().LoadInitial(0, 1, 0);
+  // Interleave: value marches upward by committed increments; every query
+  // must observe a value that some advancement made stable, never a
+  // half-applied one.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(
+          dbase.RunToCompletion(txn::SingleNodeUpdate(0, {Op::Add(1, 1)}))
+              .outcome,
+          TxnOutcome::kCommitted);
+    }
+    auto q = dbase.RunToCompletion(txn::SingleNodeQuery(0, {1}));
+    ASSERT_EQ(q.reads.size(), 1u);
+    // The query sees exactly the snapshot of the last completed
+    // advancement: 3 increments per completed round.
+    EXPECT_EQ(q.reads[0].value, round * 3);
+    eng->TriggerAdvancement(0);
+    dbase.RunFor(kSecond);
+  }
+}
+
+TEST(StalenessTest, StalenessMetricMatchesConstructedScenario) {
+  // Construct a precise case: commit at t0, query at t0 + d without any
+  // advancement: staleness == d.
+  DatabaseOptions o;
+  o.num_nodes = 1;
+  o.net.jitter = 0;
+  o.net.local_latency = 0;
+  o.base.op_cost = 0;
+  Database dbase(o);
+  dbase.engine().LoadInitial(0, 1, 0);
+  auto res = dbase.RunToCompletion(txn::SingleNodeUpdate(0, {Op::Add(1, 1)}));
+  ASSERT_EQ(res.outcome, TxnOutcome::kCommitted);
+  const SimTime commit_time = res.finish_time;
+  dbase.RunFor(10 * kMillisecond);
+  (void)dbase.RunToCompletion(txn::SingleNodeQuery(0, {1}));
+  ASSERT_EQ(dbase.metrics().staleness().count(), 1u);
+  const int64_t staleness = dbase.metrics().staleness().max();
+  EXPECT_GE(staleness, 10 * kMillisecond - commit_time - 100);
+  EXPECT_LE(staleness, 10 * kMillisecond + 100);
+}
+
+}  // namespace
+}  // namespace ava3

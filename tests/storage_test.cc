@@ -1,0 +1,188 @@
+#include "storage/versioned_store.h"
+
+#include <gtest/gtest.h>
+
+namespace ava3::store {
+namespace {
+
+TEST(VersionedStoreTest, PutAndReadBack) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 0, 100, 5, 10).ok());
+  EXPECT_TRUE(st.ExistsIn(1, 0));
+  EXPECT_FALSE(st.ExistsIn(1, 1));
+  EXPECT_EQ(st.MaxVersion(1), 0);
+  auto r = st.ReadExact(1, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value, 100);
+  EXPECT_EQ(st.NumItems(), 1u);
+  EXPECT_EQ(st.TotalVersionCount(), 1);
+}
+
+TEST(VersionedStoreTest, ReadAtMostPicksNewestQualifying) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 0, 100, 1, 0).ok());
+  ASSERT_TRUE(st.Put(1, 1, 200, 2, 0).ok());
+  ASSERT_TRUE(st.Put(1, 2, 300, 3, 0).ok());
+  EXPECT_EQ(st.ReadAtMost(1, 0)->value, 100);
+  EXPECT_EQ(st.ReadAtMost(1, 1)->value, 200);
+  EXPECT_EQ(st.ReadAtMost(1, 5)->value, 300);
+  EXPECT_EQ(st.ReadAtMost(1, 5)->version, 2);
+  EXPECT_EQ(st.MaxVersion(1), 2);
+}
+
+TEST(VersionedStoreTest, ReadBelowOldestIsNotFound) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 2, 300, 3, 0).ok());
+  EXPECT_FALSE(st.ReadAtMost(1, 1).ok());
+  EXPECT_FALSE(st.ReadAtMost(99, 5).ok());  // absent item
+}
+
+TEST(VersionedStoreTest, OverwriteSameVersionDoesNotAddACopy) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 1, 100, 1, 0).ok());
+  ASSERT_TRUE(st.Put(1, 1, 150, 2, 0).ok());
+  EXPECT_EQ(st.LiveVersions(1), 1);
+  EXPECT_EQ(st.ReadExact(1, 1)->value, 150);
+}
+
+TEST(VersionedStoreTest, CapacityBoundIsEnforced) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 0, 1, 1, 0).ok());
+  ASSERT_TRUE(st.Put(1, 1, 2, 1, 0).ok());
+  ASSERT_TRUE(st.Put(1, 2, 3, 1, 0).ok());
+  Status s = st.Put(1, 3, 4, 1, 0);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.MaxLiveVersionsObserved(), 3);
+}
+
+TEST(VersionedStoreTest, UnboundedCapacityGrows) {
+  VersionedStore st(0);
+  for (Version v = 0; v < 100; ++v) {
+    ASSERT_TRUE(st.Put(1, v, v, 1, 0).ok());
+  }
+  EXPECT_EQ(st.LiveVersions(1), 100);
+  EXPECT_EQ(st.MaxLiveVersionsObserved(), 100);
+  // Chain-scan accounting: reading the oldest scans the whole chain.
+  EXPECT_EQ(st.ReadAtMost(1, 0)->versions_scanned, 100);
+  EXPECT_EQ(st.ReadAtMost(1, 99)->versions_scanned, 1);
+}
+
+TEST(VersionedStoreTest, DeletionMarkerShadowsOlderVersions) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 0, 100, 1, 0).ok());
+  ASSERT_TRUE(st.MarkDeleted(1, 1, 2, 0).ok());
+  auto r = st.ReadAtMost(1, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->deleted);
+  // Version-0 readers still see the live value.
+  EXPECT_FALSE(st.ReadAtMost(1, 0)->deleted);
+}
+
+TEST(VersionedStoreTest, DeletingTheOnlyVersionLeavesAMarkerUntilGc) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 0, 100, 1, 0).ok());
+  ASSERT_TRUE(st.MarkDeleted(1, 0, 2, 0).ok());
+  // Logically absent but physically a marker (it may still be undone or
+  // moved by the uncommitted deleter); GC reclaims it.
+  EXPECT_TRUE(st.ReadAtMost(1, 0)->deleted);
+  EXPECT_EQ(st.NumItems(), 1u);
+  st.GarbageCollect(0, 1);
+  EXPECT_EQ(st.NumItems(), 0u);
+  EXPECT_EQ(st.MaxVersion(1), kInvalidVersion);
+}
+
+TEST(VersionedStoreTest, DropAndRelabel) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 0, 100, 1, 0).ok());
+  ASSERT_TRUE(st.Put(1, 1, 200, 1, 0).ok());
+  ASSERT_TRUE(st.DropVersion(1, 1).ok());
+  EXPECT_FALSE(st.ExistsIn(1, 1));
+  EXPECT_EQ(st.DropVersion(1, 1).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(st.RelabelVersion(1, 0, 1).ok());
+  EXPECT_TRUE(st.ExistsIn(1, 1));
+  EXPECT_FALSE(st.ExistsIn(1, 0));
+  EXPECT_EQ(st.ReadExact(1, 1)->value, 100);
+}
+
+TEST(VersionedStoreTest, RelabelOntoExistingVersionFails) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 0, 100, 1, 0).ok());
+  ASSERT_TRUE(st.Put(1, 1, 200, 1, 0).ok());
+  EXPECT_EQ(st.RelabelVersion(1, 0, 1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(VersionedStoreTest, GarbageCollectDropsSupersededAndRelabelsRest) {
+  VersionedStore st(3);
+  // Item 1: updated during the epoch -> version 0 dropped.
+  ASSERT_TRUE(st.Put(1, 0, 100, 1, 0).ok());
+  ASSERT_TRUE(st.Put(1, 1, 150, 2, 0).ok());
+  // Item 2: untouched -> version 0 relabeled to 1.
+  ASSERT_TRUE(st.Put(2, 0, 200, 1, 0).ok());
+  // Item 3: exists only in a newer version (created during the epoch).
+  ASSERT_TRUE(st.Put(3, 1, 300, 2, 0).ok());
+  GcStats stats = st.GarbageCollect(/*g=*/0, /*newq=*/1);
+  EXPECT_EQ(stats.versions_dropped, 1u);
+  EXPECT_EQ(stats.versions_relabeled, 1u);
+  EXPECT_FALSE(st.ExistsIn(1, 0));
+  EXPECT_EQ(st.ReadExact(1, 1)->value, 150);
+  EXPECT_EQ(st.ReadExact(2, 1)->value, 200);
+  EXPECT_EQ(st.ReadExact(3, 1)->value, 300);
+}
+
+TEST(VersionedStoreTest, GarbageCollectRemovesFullyDeletedItems) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 0, 100, 1, 0).ok());
+  ASSERT_TRUE(st.MarkDeleted(1, 1, 2, 0).ok());
+  GcStats stats = st.GarbageCollect(0, 1);
+  // Version 0 dropped (superseded), then the marker has nothing left to
+  // shadow and is removed along with the item.
+  EXPECT_EQ(st.NumItems(), 0u);
+  EXPECT_EQ(stats.items_removed, 1u);
+}
+
+TEST(VersionedStoreTest, GcKeepsNewerVersionAboveDeletionMarker) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 0, 100, 1, 0).ok());
+  ASSERT_TRUE(st.MarkDeleted(1, 1, 2, 0).ok());
+  ASSERT_TRUE(st.Put(1, 2, 300, 3, 0).ok());  // re-created later
+  st.GarbageCollect(0, 1);
+  // The marker at version 1 is dropped with version 0; the re-created
+  // version 2 survives.
+  EXPECT_EQ(st.LiveVersions(1), 1);
+  EXPECT_EQ(st.ReadExact(1, 2)->value, 300);
+  EXPECT_FALSE(st.ReadAtMost(1, 1).ok());
+}
+
+TEST(VersionedStoreTest, PruneItemKeepsWatermarkVisibleVersion) {
+  VersionedStore st(0);
+  for (Version v = 1; v <= 10; ++v) {
+    ASSERT_TRUE(st.Put(1, v, v * 10, 1, 0).ok());
+  }
+  // Oldest active snapshot at version 4: versions 1-3 are invisible.
+  EXPECT_EQ(st.PruneItem(1, 4), 3);
+  EXPECT_EQ(st.LiveVersions(1), 7);
+  EXPECT_EQ(st.ReadAtMost(1, 4)->value, 40);
+  // Watermark below the oldest remaining: nothing to prune.
+  EXPECT_EQ(st.PruneItem(1, 3), 0);
+  // No snapshots: keep only the newest.
+  EXPECT_EQ(st.PruneItem(1, 100), 6);
+  EXPECT_EQ(st.LiveVersions(1), 1);
+}
+
+TEST(VersionedStoreTest, ForEachItemVisitsSortedChains) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(1, 2, 1, 1, 0).ok());
+  ASSERT_TRUE(st.Put(1, 0, 2, 1, 0).ok());
+  ASSERT_TRUE(st.Put(2, 1, 3, 1, 0).ok());
+  int items = 0;
+  st.ForEachItem([&](ItemId item, const std::vector<VersionedValue>& chain) {
+    ++items;
+    for (size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_LT(chain[i - 1].version, chain[i].version) << "item " << item;
+    }
+  });
+  EXPECT_EQ(items, 2);
+}
+
+}  // namespace
+}  // namespace ava3::store

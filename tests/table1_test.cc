@@ -1,0 +1,143 @@
+// Reproduction of the paper's Table 1 (Section 5): the example execution on
+// three sites, asserting every key outcome the narrative calls out.
+
+#include <gtest/gtest.h>
+
+#include "verify/serializability.h"
+#include "workload/scenarios.h"
+
+namespace ava3 {
+namespace {
+
+using E = wl::Table1Expectations;
+
+class Table1Test : public testing::Test {
+ protected:
+  void SetUp() override {
+    dbase_ = std::make_unique<db::Database>(wl::MakeTable1Options(true));
+    auto res = wl::RunTable1(dbase_.get());
+    ASSERT_TRUE(res.has_value()) << "scenario did not complete";
+    r_ = *res;
+    eng_ = dbase_->ava3_engine();
+    ASSERT_NE(eng_, nullptr);
+  }
+
+  std::unique_ptr<db::Database> dbase_;
+  wl::Table1Results r_;
+  core::Ava3Engine* eng_ = nullptr;
+};
+
+TEST_F(Table1Test, TStartsInVersion1AndCommitsInVersion2) {
+  // T_i and T_j start with version 1, T_k with 2; the 2PC max makes the
+  // whole transaction commit in version 2.
+  EXPECT_EQ(r_.t.commit_version, 2);
+  // Root-local moveToFuture happened at commit time (w moved 1 -> 2).
+  EXPECT_EQ(r_.t.move_to_futures, 1);
+}
+
+TEST_F(Table1Test, MoveToFutureEventsMatchNarrative) {
+  // Three moveToFutures in total: T_j at access time (step 13), T_i at
+  // commit time (step 17), S trivially after its lock wait (step 21).
+  EXPECT_EQ(dbase_->metrics().mtf_count(), 3u);
+  auto mtf = dbase_->trace().Matching("moveToFuture");
+  ASSERT_EQ(mtf.size(), 3u);
+  // First is T_j's (node 1, while executing), then T_i's at commit
+  // (node 0), then S's (node 1).
+  EXPECT_EQ(mtf[0].node, 1);
+  EXPECT_EQ(mtf[1].node, 0);
+  EXPECT_EQ(mtf[2].node, 1);
+}
+
+TEST_F(Table1Test, SWaitsOnYAndCommitsInVersion2ViaTrivialMove) {
+  EXPECT_EQ(r_.s.commit_version, 2);
+  EXPECT_EQ(r_.s.move_to_futures, 1);
+  // S committed after T (it waited for T's lock on y).
+  EXPECT_GT(r_.s.finish_time, r_.t.finish_time);
+}
+
+TEST_F(Table1Test, UStartsAndCommitsInVersion2) {
+  EXPECT_EQ(r_.u.commit_version, 2);
+  EXPECT_EQ(r_.u.move_to_futures, 0);
+  // U committed while T was still running — it is what forces T_j's move.
+  EXPECT_LT(r_.u.finish_time, r_.t.finish_time);
+}
+
+TEST_F(Table1Test, QueriesReadTheirVersionBound) {
+  // R (V=0) read w's initial value, untouched by T's in-flight write.
+  ASSERT_EQ(r_.r.reads.size(), 1u);
+  EXPECT_EQ(r_.r.commit_version, 0);
+  EXPECT_EQ(r_.r.reads[0].value, E::kW0);
+  // Q started before the query version advanced: V(Q)=0, reads y as of
+  // version 0 even though it finishes long after T committed y in v2.
+  EXPECT_EQ(r_.q.commit_version, 0);
+  ASSERT_EQ(r_.q.reads.size(), 1u);
+  EXPECT_EQ(r_.q.reads[0].value, E::kY0);
+  // P started after advance-q(1): V(P)=1 (step 26).
+  EXPECT_EQ(r_.p.commit_version, 1);
+  ASSERT_EQ(r_.p.reads.size(), 1u);
+  EXPECT_EQ(r_.p.reads[0].value, E::kY0);  // physical copy still the v0 bytes
+  // P and Q overlap in wall-clock but use different snapshot bounds.
+}
+
+TEST_F(Table1Test, SecondAdvancementExposesTheNewData) {
+  EXPECT_EQ(r_.final_query.commit_version, 2);
+  ASSERT_EQ(r_.final_query.reads.size(), 2u);
+  EXPECT_EQ(r_.final_query.reads[0].value, E::kY0 + E::kTy + E::kSy);
+  EXPECT_EQ(r_.final_query.reads[1].value, E::kX0 + E::kUx + E::kTx);
+}
+
+TEST_F(Table1Test, FinalStoreStateAndVersions) {
+  // After both advancements and garbage collection:
+  //   y: carried-forward copy + version 2 (T then S): y0 + 11 + 7.
+  //   x: version 2 holds U's then T's update: x0 + 3 + 13.
+  //   z: version 2 holds T_k's update: z0 + 17.
+  //   w: version 2 holds T's update (moved at commit): w0 + 5.
+  auto& s1 = eng_->store(1);
+  auto y2 = s1.ReadExact(E::kY, 2);
+  ASSERT_TRUE(y2.ok());
+  EXPECT_EQ(y2->value, E::kY0 + E::kTy + E::kSy);
+  auto x2 = s1.ReadExact(E::kX, 2);
+  ASSERT_TRUE(x2.ok());
+  EXPECT_EQ(x2->value, E::kX0 + E::kUx + E::kTx);
+  auto z2 = eng_->store(2).ReadExact(E::kZ, 2);
+  ASSERT_TRUE(z2.ok());
+  EXPECT_EQ(z2->value, E::kZ0 + E::kTz);
+  auto w2 = eng_->store(0).ReadExact(E::kW, 2);
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ(w2->value, E::kW0 + E::kTw);
+  // Version 1 of y was undone by T_j's moveToFuture and never reappeared.
+  EXPECT_FALSE(s1.ExistsIn(E::kY, 1) && s1.ReadExact(E::kY, 1)->value ==
+                                            E::kY0 + E::kTy);
+  // At most 3 live versions were ever observed on any node.
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_LE(eng_->store(n).MaxLiveVersionsObserved(), 3) << "node " << n;
+  }
+}
+
+TEST_F(Table1Test, AdvancementProtocolRanToCompletion) {
+  EXPECT_EQ(dbase_->metrics().advancements(), 2u);
+  EXPECT_FALSE(eng_->AdvancementInProgress());
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(eng_->control(n).u(), 3) << "node " << n;
+    EXPECT_EQ(eng_->control(n).q(), 2) << "node " << n;
+    EXPECT_EQ(eng_->control(n).g(), 1) << "node " << n;
+  }
+  EXPECT_TRUE(eng_->CheckInvariants().ok());
+  // Phase 1 of the first advancement had to wait for T and S (the longest
+  // version-1 transactions), exactly the Figure-1 behaviour.
+  EXPECT_GE(dbase_->metrics().phase1_duration().max(),
+            r_.s.finish_time - 200 /*advancement start*/ - 2000);
+}
+
+TEST_F(Table1Test, HistoryIsSerializable) {
+  verify::SerializabilityChecker checker(r_.initial_values);
+  Status ok = checker.Check(dbase_->recorder().txns());
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+  std::vector<const store::VersionedStore*> stores;
+  for (int n = 0; n < 3; ++n) stores.push_back(&eng_->store(n));
+  Status fin = checker.CheckFinalState(dbase_->recorder().txns(), stores);
+  EXPECT_TRUE(fin.ok()) << fin.ToString();
+}
+
+}  // namespace
+}  // namespace ava3

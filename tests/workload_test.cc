@@ -1,0 +1,249 @@
+// Workload-layer tests: the script generator (validity, determinism, knob
+// fidelity), the runner (seeding, arrivals, retry policy) and the metrics
+// collector's staleness accounting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/database.h"
+#include "engine/metrics.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+namespace ava3 {
+namespace {
+
+using txn::Op;
+
+wl::WorkloadSpec BaseSpec() {
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 4;
+  spec.items_per_node = 100;
+  return spec;
+}
+
+TEST(GeneratorTest, AllGeneratedScriptsValidate) {
+  wl::WorkloadSpec spec = BaseSpec();
+  spec.zipf_theta = 0.9;
+  spec.update_delete_fraction = 0.2;
+  spec.query_scan_fraction = 0.4;
+  spec.deep_trees = true;
+  spec.update_multinode_prob = 0.6;
+  spec.query_multinode_prob = 0.6;
+  wl::ScriptGenerator gen(spec, Rng(5));
+  for (int i = 0; i < 500; ++i) {
+    auto u = gen.NextUpdate();
+    Status su = u.Validate(spec.num_nodes);
+    ASSERT_TRUE(su.ok()) << "update " << i << ": " << su.ToString();
+    auto q = gen.NextQuery();
+    Status sq = q.Validate(spec.num_nodes);
+    ASSERT_TRUE(sq.ok()) << "query " << i << ": " << sq.ToString();
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  wl::WorkloadSpec spec = BaseSpec();
+  spec.update_multinode_prob = 0.5;
+  wl::ScriptGenerator a(spec, Rng(7));
+  wl::ScriptGenerator b(spec, Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    auto ua = a.NextUpdate();
+    auto ub = b.NextUpdate();
+    ASSERT_EQ(ua.subtxns.size(), ub.subtxns.size());
+    for (size_t s = 0; s < ua.subtxns.size(); ++s) {
+      EXPECT_EQ(ua.subtxns[s].node, ub.subtxns[s].node);
+      ASSERT_EQ(ua.subtxns[s].ops.size(), ub.subtxns[s].ops.size());
+      for (size_t o = 0; o < ua.subtxns[s].ops.size(); ++o) {
+        EXPECT_EQ(ua.subtxns[s].ops[o].item, ub.subtxns[s].ops[o].item);
+        EXPECT_EQ(ua.subtxns[s].ops[o].arg, ub.subtxns[s].ops[o].arg);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, ItemsStayWithinTheirNodesRange) {
+  wl::WorkloadSpec spec = BaseSpec();
+  spec.query_scan_fraction = 0.5;
+  wl::ScriptGenerator gen(spec, Rng(9));
+  for (int i = 0; i < 300; ++i) {
+    for (const auto& script : {gen.NextUpdate(), gen.NextQuery()}) {
+      for (const auto& sub : script.subtxns) {
+        const ItemId lo = spec.FirstItemOf(sub.node);
+        const ItemId hi = lo + spec.items_per_node;
+        for (const auto& op : sub.ops) {
+          if (op.item == kInvalidItem) continue;
+          EXPECT_GE(op.item, lo);
+          if (op.kind == Op::Kind::kScan) {
+            EXPECT_LE(op.item + op.arg, hi);
+          } else {
+            EXPECT_LT(op.item, hi);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, MultinodeProbabilityIsHonoredRoughly) {
+  wl::WorkloadSpec spec = BaseSpec();
+  spec.update_multinode_prob = 0.5;
+  wl::ScriptGenerator gen(spec, Rng(11));
+  int multi = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.NextUpdate().subtxns.size() > 1) ++multi;
+  }
+  EXPECT_NEAR(static_cast<double>(multi) / n, 0.5, 0.05);
+}
+
+TEST(GeneratorTest, DeleteFractionProducesDeletes) {
+  wl::WorkloadSpec spec = BaseSpec();
+  spec.update_delete_fraction = 0.3;
+  spec.update_write_fraction = 1.0;
+  wl::ScriptGenerator gen(spec, Rng(13));
+  int deletes = 0, writes = 0;
+  for (int i = 0; i < 500; ++i) {
+    for (const auto& sub : gen.NextUpdate().subtxns) {
+      for (const auto& op : sub.ops) {
+        if (op.kind == Op::Kind::kDelete) ++deletes;
+        if (op.kind == Op::Kind::kWrite || op.kind == Op::Kind::kAdd) {
+          ++writes;
+        }
+      }
+    }
+  }
+  const double frac =
+      static_cast<double>(deletes) / static_cast<double>(deletes + writes);
+  EXPECT_NEAR(frac, 0.3, 0.05);
+}
+
+TEST(GeneratorTest, ZipfSkewConcentratesAccess) {
+  wl::WorkloadSpec spec = BaseSpec();
+  spec.zipf_theta = 0.95;
+  spec.update_multinode_prob = 0;
+  wl::ScriptGenerator gen(spec, Rng(17));
+  std::map<ItemId, int> hits;
+  for (int i = 0; i < 2000; ++i) {
+    for (const auto& sub : gen.NextUpdate().subtxns) {
+      for (const auto& op : sub.ops) {
+        if (op.item != kInvalidItem) ++hits[op.item];
+      }
+    }
+  }
+  int total = 0, top = 0;
+  std::vector<int> counts;
+  for (auto& [item, c] : hits) {
+    total += c;
+    counts.push_back(c);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  for (size_t i = 0; i < counts.size() / 20; ++i) top += counts[i];
+  // Top 5% of items should draw a large share under heavy skew.
+  EXPECT_GT(static_cast<double>(top) / total, 0.3);
+}
+
+// --- Runner -------------------------------------------------------------------
+
+TEST(RunnerTest, SeedsEveryItemAtInitialValue) {
+  db::DatabaseOptions o;
+  o.num_nodes = 2;
+  db::Database dbase(o);
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 2;
+  spec.items_per_node = 10;
+  spec.initial_value = 77;
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, 1);
+  const auto& initial = runner.SeedData();
+  EXPECT_EQ(initial.size(), 20u);
+  auto* base = dynamic_cast<db::EngineBase*>(&dbase.engine());
+  EXPECT_EQ(base->store(0).ReadExact(5, 0)->value, 77);
+  EXPECT_EQ(base->store(1).ReadExact(15, 0)->value, 77);
+}
+
+TEST(RunnerTest, ArrivalRatesAreRoughlyPoisson) {
+  db::DatabaseOptions o;
+  o.num_nodes = 1;
+  db::Database dbase(o);
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 1;
+  spec.items_per_node = 100;
+  spec.update_rate_per_sec = 300;
+  spec.query_rate_per_sec = 100;
+  spec.advancement_period = 0;
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, 3);
+  runner.SeedData();
+  runner.Start(4 * kSecond);
+  dbase.RunFor(4 * kSecond);
+  dbase.RunFor(30 * kSecond);
+  EXPECT_NEAR(runner.stats().update_attempts, 1200, 150);
+  EXPECT_NEAR(runner.stats().query_attempts, 400, 80);
+  EXPECT_EQ(runner.stats().committed_updates +
+                runner.stats().gave_up,
+            runner.stats().update_attempts);
+}
+
+TEST(RunnerTest, RetriesAbortedAttemptsWithFreshIds) {
+  // A 1-item database with two racing updates per arrival guarantees
+  // deadlocks under S2PL (read-then-write upgrades); the runner must retry
+  // victims to completion.
+  db::DatabaseOptions o;
+  o.num_nodes = 1;
+  o.scheme = db::Scheme::kS2pl;
+  db::Database dbase(o);
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 1;
+  spec.items_per_node = 2;
+  spec.update_ops_min = 2;
+  spec.update_ops_max = 2;
+  spec.update_write_fraction = 0.5;  // read+write mixes -> upgrades
+  spec.update_rate_per_sec = 500;
+  spec.query_rate_per_sec = 0;
+  spec.advancement_period = 0;
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, 5);
+  runner.SeedData();
+  runner.Start(2 * kSecond);
+  dbase.RunFor(2 * kSecond);
+  dbase.RunFor(60 * kSecond);
+  EXPECT_GT(runner.stats().retries, 0u);
+  EXPECT_EQ(runner.stats().gave_up, 0u);
+  EXPECT_EQ(runner.stats().committed_updates,
+            runner.stats().update_attempts);
+}
+
+// --- Metrics -------------------------------------------------------------------
+
+TEST(MetricsTest, StalenessIsZeroWithNoInvisibleCommits) {
+  db::Metrics m;
+  m.RecordUpdateCommit(10, /*version=*/1, /*time=*/100);
+  m.RecordQueryStart(/*snapshot=*/1, /*now=*/200);  // sees everything
+  EXPECT_EQ(m.staleness().max(), 0);
+}
+
+TEST(MetricsTest, StalenessMeasuresOldestInvisibleCommit) {
+  db::Metrics m;
+  m.RecordUpdateCommit(10, 2, 100);  // invisible to snapshot-1 readers
+  m.RecordUpdateCommit(10, 2, 400);  // later commit; the first one counts
+  m.RecordQueryStart(1, 1000);
+  EXPECT_EQ(m.staleness().max(), 900);
+}
+
+TEST(MetricsTest, StalenessIgnoresFutureCommits) {
+  db::Metrics m;
+  m.RecordUpdateCommit(10, 2, 5000);
+  m.RecordQueryStart(1, 1000);  // the v2 commit hasn't happened yet
+  EXPECT_EQ(m.staleness().max(), 0);
+}
+
+TEST(MetricsTest, AdvancementDurationsAccumulate) {
+  db::Metrics m;
+  m.RecordAdvancement(100, 200, 300);
+  m.RecordAdvancement(50, 100, 150);
+  EXPECT_EQ(m.advancements(), 2u);
+  EXPECT_EQ(m.phase1_duration().max(), 100);
+  EXPECT_EQ(m.phase2_duration().max(), 200);
+  EXPECT_EQ(m.advancement_duration().max(), 300);
+}
+
+}  // namespace
+}  // namespace ava3
