@@ -1,0 +1,124 @@
+// Experiment E11 — behaviour under injected faults.
+//
+// (a) Throughput/latency/advancement degradation vs. message-loss rate:
+//     the protocols pay for loss with resends and retries, never with
+//     incorrect results (the oracle runs on every row).
+// (b) Fault-class breakdown at a fixed chaos intensity: loss, duplication,
+//     latency-spike reordering, partitions, and crash/restart cycles, each
+//     alone and all together, with per-cause drop attribution from the
+//     network's accounting.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/fault_injector.h"
+
+using namespace ava3;
+
+namespace {
+
+bench::RunConfig BaseConfig(uint64_t seed) {
+  bench::RunConfig cfg;
+  cfg.db.num_nodes = 3;
+  cfg.db.seed = seed;
+  cfg.db.ava3.advancement_resend = 50 * kMillisecond;
+  cfg.db.base.txn_timeout = 2 * kSecond;
+  cfg.db.base.prepared_timeout = 6 * kSecond;
+  cfg.workload.num_nodes = 3;
+  cfg.workload.items_per_node = 60;
+  cfg.workload.zipf_theta = 0.6;
+  cfg.workload.update_rate_per_sec = 300;
+  cfg.workload.query_rate_per_sec = 100;
+  cfg.workload.update_multinode_prob = 0.5;
+  cfg.workload.query_multinode_prob = 0.5;
+  cfg.workload.advancement_period = 150 * kMillisecond;
+  cfg.workload.rotate_coordinator = true;
+  cfg.workload.max_retries = 100;
+  cfg.duration = 5 * kSecond;
+  // The drain must outlast the worst-case retry tail (max_retries attempts
+  // x txn_timeout each, under heavy loss) or the oracle runs against a
+  // history with committed-but-unacknowledged stragglers still in flight.
+  cfg.drain = 400 * kSecond;
+  return cfg;
+}
+
+void PrintRow(const char* label, bench::RunOutput& out) {
+  const db::Metrics& m = out.metrics();
+  const double secs = 5.0;
+  std::printf("%-12s | %8.0f | %8.0f | %9lld | %9lld | %12lld | %s\n", label,
+              static_cast<double>(m.update_commits()) / secs,
+              static_cast<double>(m.query_commits()) / secs,
+              static_cast<long long>(m.update_latency().Percentile(99)),
+              static_cast<long long>(m.query_latency().Percentile(99)),
+              static_cast<long long>(m.advancement_duration().Percentile(99)),
+              bench::Check(out.verified));
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E11: fault injection — degradation, never corruption",
+                "Sections 3.2/5 (resends, recovery)",
+                "Loss, duplication, reordering, partitions and crashes cost "
+                "throughput and latency; serializability always holds.");
+
+  std::printf("\n-- (a) degradation vs. message-loss rate (3 nodes) --\n");
+  std::printf("%-12s | %8s | %8s | %9s | %9s | %12s | %s\n", "loss", "upd/s",
+              "qry/s", "upd p99", "qry p99", "adv p99", "oracle");
+  for (double loss : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+    bench::RunConfig cfg = BaseConfig(1);
+    cfg.db.faults.rates.loss = loss;
+    bench::RunOutput out = bench::RunWorkload(std::move(cfg));
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f%%", loss * 100);
+    PrintRow(label, out);
+    if (!out.verified) return 1;
+  }
+
+  std::printf("\n-- (b) fault-class breakdown (3 nodes, seed 7) --\n");
+  std::printf("%-12s | %8s | %8s | %9s | %9s | %12s | %s\n", "class",
+              "upd/s", "qry/s", "upd p99", "qry p99", "adv p99", "oracle");
+  struct Class {
+    const char* name;
+    sim::ChaosProfile profile;
+  };
+  sim::ChaosProfile loss_p, dup, delay, part, crash, all;
+  loss_p.rates.loss = 0.05;
+  dup.rates.duplicate = 0.15;
+  delay.rates.delay = 0.15;
+  part.partitions = 4;
+  crash.crashes = 3;
+  all.rates.loss = 0.03;
+  all.rates.duplicate = 0.08;
+  all.rates.delay = 0.08;
+  all.partitions = 2;
+  all.crashes = 2;
+  const Class classes[] = {
+      {"none", {}},       {"loss", loss_p}, {"duplicate", dup},
+      {"reorder", delay}, {"partition", part}, {"crash", crash},
+      {"everything", all},
+  };
+  for (const Class& c : classes) {
+    bench::RunConfig cfg = BaseConfig(7);
+    cfg.db.faults =
+        sim::FaultPlan::Chaos(7, cfg.db.num_nodes, cfg.duration, c.profile);
+    bench::RunOutput out = bench::RunWorkload(std::move(cfg));
+    PrintRow(c.name, out);
+    if (!out.verified) return 1;
+    if (const sim::FaultInjector* inj = out.database->fault_injector()) {
+      std::printf("             `- %s; crashes=%llu\n",
+                  inj->StatsSummary().c_str(),
+                  static_cast<unsigned long long>(
+                      out.database->metrics().crashes()));
+      std::printf("             `- net: %s\n",
+                  out.database->network().StatsSummary().c_str());
+    }
+  }
+
+  std::printf(
+      "\nEvery row passes the serializability oracle: faults degrade the\n"
+      "numbers (resends, retries, stalled advancement during partitions)\n"
+      "but never the answers. The per-cause drop breakdown attributes the\n"
+      "cost to protocol traffic classes.\n");
+  return 0;
+}

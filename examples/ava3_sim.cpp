@@ -16,6 +16,7 @@
 #include <string>
 
 #include "engine/database.h"
+#include "sim/fault_injector.h"
 #include "verify/serializability.h"
 #include "workload/runner.h"
 
@@ -35,6 +36,11 @@ struct Flags {
   int seconds = 5;
   int64_t advance_ms = 250;
   uint64_t seed = 42;
+  double loss = 0.0;
+  double dup = 0.0;
+  double delay = 0.0;
+  int partitions = 0;
+  int crashes = 0;
   bool in_place = false;
   bool eager = false;
   bool continuous = false;
@@ -70,6 +76,8 @@ void Usage() {
       "  --seconds=S                    workload duration (default 5)\n"
       "  --advance-ms=MS                advancement period, 0=off\n"
       "  --seed=N                       deterministic seed (default 42)\n"
+      "  --loss=P --dup=P --delay=P     fault rates 0..1 on remote sends\n"
+      "  --partitions=N --crashes=N     seeded windows over the workload\n"
       "  --in-place                     in-place recovery (moveToFuture "
       "scans the log)\n"
       "  --eager                        Section-8 eager counter handoff\n"
@@ -104,6 +112,16 @@ Flags Parse(int argc, char** argv) {
       f.advance_ms = std::atoll(v);
     } else if (ParseFlag(argv[i], "--seed", &v) && v) {
       f.seed = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--loss", &v) && v) {
+      f.loss = std::atof(v);
+    } else if (ParseFlag(argv[i], "--dup", &v) && v) {
+      f.dup = std::atof(v);
+    } else if (ParseFlag(argv[i], "--delay", &v) && v) {
+      f.delay = std::atof(v);
+    } else if (ParseFlag(argv[i], "--partitions", &v) && v) {
+      f.partitions = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--crashes", &v) && v) {
+      f.crashes = std::atoi(v);
     } else if (ParseFlag(argv[i], "--in-place", &v)) {
       f.in_place = true;
     } else if (ParseFlag(argv[i], "--eager", &v)) {
@@ -158,6 +176,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  sim::ChaosProfile profile;
+  profile.rates.loss = f.loss;
+  profile.rates.duplicate = f.dup;
+  profile.rates.delay = f.delay;
+  profile.partitions = f.partitions;
+  profile.crashes = f.crashes;
+  options.faults = sim::FaultPlan::Chaos(f.seed, f.nodes,
+                                         f.seconds * kSecond, profile);
+
   db::Database database(options);
   if (f.trace) {
     database.trace().SetListener([](const TraceEvent& ev) {
@@ -186,7 +213,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(f.seed));
   runner.Start(f.seconds * kSecond);
   database.RunFor(f.seconds * kSecond);
-  database.RunFor(60 * kSecond);
+  // Drain to quiescence. Under faults the retry tail can run for up to
+  // max_retries * txn_timeout past the load window; verifying before the
+  // stragglers resolve reports spurious oracle violations.
+  SimDuration drain = 60 * kSecond;
+  if (options.faults.Enabled()) {
+    drain += spec.max_retries * options.base.txn_timeout +
+             options.base.prepared_timeout;
+  }
+  database.RunFor(drain);
 
   const auto& m = database.metrics();
   const auto& s = runner.stats();
@@ -227,6 +262,13 @@ int main(int argc, char** argv) {
   }
   std::printf("network            : %s\n",
               database.network().StatsSummary().c_str());
+  if (const sim::FaultInjector* inj = database.fault_injector()) {
+    std::string fs = inj->StatsSummary();  // starts with "faults: "
+    if (fs.rfind("faults: ", 0) == 0) fs.erase(0, 8);
+    std::printf("faults             : %s; crashes=%llu recoveries=%llu\n",
+                fs.c_str(), static_cast<unsigned long long>(m.crashes()),
+                static_cast<unsigned long long>(m.recoveries()));
+  }
 
   if (f.verify) {
     verify::SerializabilityChecker checker(initial);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: build and test both configurations.
+#
+#   scripts/ci.sh            # default (RelWithDebInfo) + ASan/UBSan
+#   scripts/ci.sh default    # just the plain build
+#   scripts/ci.sh asan       # just the sanitizer build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+configs=("$@")
+if [[ ${#configs[@]} -eq 0 ]]; then
+  configs=(default asan)
+fi
+
+for preset in "${configs[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset" -j "$(nproc)"
+done
+echo "=== CI green ==="

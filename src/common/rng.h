@@ -36,8 +36,25 @@ class Rng {
     return result;
   }
 
-  /// Uniform integer in [0, bound). bound must be > 0.
-  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+  /// Uniform integer in [0, bound). bound must be > 0. Unbiased: uses
+  /// Lemire's multiply-shift with rejection of the short residue interval
+  /// (`Next() % bound` over-weights small values for bounds that do not
+  /// divide 2^64). For power-of-two-friendly bounds the fast path never
+  /// rejects, so the cost is one 128-bit multiply.
+  uint64_t Uniform(uint64_t bound) {
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(Next()) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      // threshold = 2^64 mod bound, computed without 128-bit division.
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(Next()) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   int64_t UniformRange(int64_t lo, int64_t hi) {

@@ -16,7 +16,10 @@ namespace ava3 {
 class ZipfGenerator {
  public:
   /// Builds a generator over n items with skew theta (0 <= theta < 1).
+  /// n == 1 degenerates to the constant 0 (the eta formula below divides
+  /// by 1 - zeta2/zeta_n, which is negative for n == 1).
   ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+    if (n_ <= 1) return;
     zeta_n_ = Zeta(n, theta);
     zeta2_ = Zeta(2, theta);
     alpha_ = 1.0 / (1.0 - theta_);
@@ -26,13 +29,17 @@ class ZipfGenerator {
 
   /// Draws an item rank in [0, n); rank 0 is the most popular item.
   uint64_t Next(Rng& rng) const {
+    if (n_ <= 1) return 0;
     if (theta_ <= 1e-12) return rng.Uniform(n_);
     const double u = rng.NextDouble();
     const double uz = u * zeta_n_;
     if (uz < 1.0) return 0;
     if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
-    return static_cast<uint64_t>(
+    // As u -> 1 the continuous formula reaches exactly n; clamp to the
+    // valid rank range (the YCSB original has the same off-by-one).
+    const uint64_t rank = static_cast<uint64_t>(
         static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
   }
 
   uint64_t n() const { return n_; }

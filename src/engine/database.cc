@@ -30,6 +30,14 @@ Database::Database(DatabaseOptions options) : options_(options) {
   network_ = std::make_unique<sim::Network>(simulator_.get(),
                                             options_.num_nodes, options_.net,
                                             Rng(options_.seed ^ 0xA5A5A5A5ULL));
+  if (options_.faults.Enabled()) {
+    // Own randomness stream: enabling faults must not perturb the
+    // network's latency/drop draws (only the extra fault branches do).
+    injector_ = std::make_unique<sim::FaultInjector>(
+        simulator_.get(), options_.faults,
+        Rng(options_.seed ^ 0x0FA17B17E5ULL));
+    network_->SetFaultInjector(injector_.get());
+  }
   EngineEnv env;
   env.simulator = simulator_.get();
   env.network = network_.get();
@@ -57,6 +65,21 @@ Database::Database(DatabaseOptions options) : options_(options) {
       engine_ = std::make_unique<baselines::MvuEngine>(
           env, options_.num_nodes, options_.base);
       break;
+  }
+  ScheduleCrashWindows();
+}
+
+void Database::ScheduleCrashWindows() {
+  for (const sim::CrashWindow& w : options_.faults.crashes) {
+    if (w.node < 0 || w.node >= options_.num_nodes) continue;
+    simulator_->At(w.crash_at, [this, node = w.node]() {
+      if (network_->IsNodeUp(node)) engine_->CrashNode(node);
+    });
+    if (w.recover_at > w.crash_at) {
+      simulator_->At(w.recover_at, [this, node = w.node]() {
+        if (!network_->IsNodeUp(node)) engine_->RecoverNode(node);
+      });
+    }
   }
 }
 

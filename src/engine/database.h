@@ -6,6 +6,7 @@
 
 #include "ava3/ava3_engine.h"
 #include "engine/engine_iface.h"
+#include "sim/fault_injector.h"
 
 namespace ava3::db {
 
@@ -26,6 +27,11 @@ struct DatabaseOptions {
   BaseOptions base;
   core::Ava3Options ava3;
   sim::NetworkOptions net;
+  /// Chaos fault scenario: message loss/duplication/latency spikes,
+  /// partition windows, and timed crash/restart cycles. A
+  /// default-constructed (inert) plan installs nothing and leaves the run
+  /// bit-identical to a fault-free build.
+  sim::FaultPlan faults;
   bool enable_trace = false;
   bool enable_recorder = true;
 };
@@ -52,6 +58,8 @@ class Database {
 
   sim::Simulator& simulator() { return *simulator_; }
   sim::Network& network() { return *network_; }
+  /// The fault injector, or nullptr when the fault plan is inert.
+  sim::FaultInjector* fault_injector() { return injector_.get(); }
   Engine& engine() { return *engine_; }
   Metrics& metrics() { return *metrics_; }
   TraceSink& trace() { return *trace_; }
@@ -75,12 +83,18 @@ class Database {
   }
 
  private:
+  /// Schedules the fault plan's crash/restart cycles as simulator events
+  /// driving CrashNode/RecoverNode (skipping redundant transitions, so
+  /// overlapping windows in a hand-written plan are harmless).
+  void ScheduleCrashWindows();
+
   DatabaseOptions options_;
   std::unique_ptr<sim::Simulator> simulator_;
   std::unique_ptr<TraceSink> trace_;
   std::unique_ptr<Metrics> metrics_;
   std::unique_ptr<verify::HistoryRecorder> recorder_;
   std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<Engine> engine_;
   TxnId next_txn_id_ = 1;
 };

@@ -89,6 +89,9 @@ void EngineBase::StartUpdateSubtxn(NodeId node,
                                    int spec, TxnId txn, Version carried,
                                    ResultCallback done, SimTime submit_time) {
   NodeState& ns = nodes_[node];
+  if (!ns.started_txns.insert(txn).second) {
+    return;  // duplicated spawn message; the first copy runs the subtxn
+  }
   auto rt = std::make_unique<UpdateRt>();
   rt->txn = txn;
   rt->spec = spec;
@@ -272,8 +275,9 @@ void EngineBase::PrepareUpdate(UpdateRt& rt) {
   }
   const NodeId parent = rt.parent_node();
   network().Send(rt.node, parent, MsgKind::kPrepared,
-                 [this, parent, txn = rt.txn, report_max, report_min]() {
-                   OnChildPrepared(parent, txn, report_max, report_min);
+                 [this, parent, txn = rt.txn, spec = rt.spec, report_max,
+                  report_min]() {
+                   OnChildPrepared(parent, txn, spec, report_max, report_min);
                  });
   ArmPreparedTimeout(rt);
 }
@@ -328,11 +332,14 @@ void EngineBase::OnDecisionRequest(NodeId root_node, TxnId txn, NodeId from) {
   });
 }
 
-void EngineBase::OnChildPrepared(NodeId node, TxnId txn, Version child_max,
-                                 Version child_min) {
+void EngineBase::OnChildPrepared(NodeId node, TxnId txn, int child_spec,
+                                 Version child_max, Version child_min) {
   auto it = nodes_[node].updates.find(txn);
   if (it == nodes_[node].updates.end()) return;  // abort raced the message
   UpdateRt& rt = *it->second;
+  if (!rt.prepared_children.insert(child_spec).second) {
+    return;  // duplicated prepared message
+  }
   if (rt.max_child_version == kInvalidVersion ||
       child_max > rt.max_child_version) {
     rt.max_child_version = child_max;
@@ -552,6 +559,9 @@ void EngineBase::StartQuerySubtxn(NodeId node,
                                   int spec, TxnId txn, Version assigned,
                                   ResultCallback done, SimTime submit_time) {
   NodeState& ns = nodes_[node];
+  if (!ns.started_txns.insert(txn).second) {
+    return;  // duplicated spawn message
+  }
   auto rt = std::make_unique<QueryRt>();
   rt->txn = txn;
   rt->spec = spec;
@@ -701,14 +711,31 @@ void EngineBase::OnQueryLocalOpsDone(QueryRt& rt) {
 }
 
 void EngineBase::MaybeCompleteQuery(QueryRt& rt) {
-  if (rt.state == QueryRt::State::kFinishing) return;
-  rt.state = QueryRt::State::kFinishing;
+  if (rt.state == QueryRt::State::kFinishing ||
+      rt.state == QueryRt::State::kLockHold) {
+    return;
+  }
+  const bool hold_locks = QueriesUseLocks() && !rt.is_root();
+  rt.state = hold_locks ? QueryRt::State::kLockHold
+                        : QueryRt::State::kFinishing;
   const NodeId node = rt.node;
   const TxnId txn = rt.txn;
   NodeState& ns = nodes_[node];
   OnQueryFinish(rt);
-  if (QueriesUseLocks()) ns.locks->ReleaseAll(txn);
+  if (QueriesUseLocks() && !hold_locks) ns.locks->ReleaseAll(txn);
   if (rt.is_root()) {
+    if (QueriesUseLocks()) {
+      // Strict 2PL across nodes: subqueries kept their shared locks while
+      // this root finished; release them only now that the query is done.
+      // The release may be lost — the subquery's orphan timeout backstops.
+      auto script = rt.script;
+      for (size_t i = 1; i < script->subtxns.size(); ++i) {
+        const NodeId dst = script->subtxns[i].node;
+        network().Send(node, dst, MsgKind::kCommit, [this, dst, txn]() {
+          ReleaseHeldQueryLocks(dst, txn);
+        });
+      }
+    }
     simulator().Cancel(rt.timeout_ev);
     metrics().RecordQueryCommit(simulator().Now() - rt.submit_time);
     if (env_.recorder != nullptr) {
@@ -739,20 +766,35 @@ void EngineBase::MaybeCompleteQuery(QueryRt& rt) {
   }
   const NodeId parent = rt.parent_node();
   network().Send(node, parent, MsgKind::kQueryResult,
-                 [this, parent, txn, reads = std::move(rt.reads)]() mutable {
-                   OnChildQueryResult(parent, txn, std::move(reads));
+                 [this, parent, txn, spec = rt.spec,
+                  reads = std::move(rt.reads)]() mutable {
+                   OnChildQueryResult(parent, txn, spec, std::move(reads));
                  });
   if (TraceEnabled()) {
     Trace(node, "Q" + std::to_string(txn) + " subquery completes");
   }
+  if (hold_locks) return;  // stays in kLockHold until the root's release
   ns.queries.erase(txn);
 }
 
-void EngineBase::OnChildQueryResult(NodeId node, TxnId txn,
+void EngineBase::ReleaseHeldQueryLocks(NodeId node, TxnId txn) {
+  auto it = nodes_[node].queries.find(txn);
+  if (it == nodes_[node].queries.end()) return;
+  QueryRt& rt = *it->second;
+  if (rt.state != QueryRt::State::kLockHold) return;
+  simulator().Cancel(rt.timeout_ev);
+  nodes_[node].locks->ReleaseAll(txn);
+  nodes_[node].queries.erase(txn);
+}
+
+void EngineBase::OnChildQueryResult(NodeId node, TxnId txn, int child_spec,
                                     std::vector<verify::ReadRecord> reads) {
   auto it = nodes_[node].queries.find(txn);
   if (it == nodes_[node].queries.end()) return;
   QueryRt& rt = *it->second;
+  if (!rt.reported_children.insert(child_spec).second) {
+    return;  // duplicated query-result message
+  }
   for (auto& r : reads) rt.reads.push_back(std::move(r));
   --rt.children_outstanding;
   if (rt.children_outstanding == 0 && rt.local_ops_done &&
@@ -804,6 +846,9 @@ void EngineBase::FailQuery(QueryRt& rt, Status status) {
 
 void EngineBase::AbortQueryLocal(QueryRt& rt) {
   if (rt.state == QueryRt::State::kFinishing) return;
+  // A kLockHold subquery already ran OnQueryFinish when it shipped its
+  // results; it only has locks left to drop.
+  const bool finished = rt.state == QueryRt::State::kLockHold;
   rt.state = QueryRt::State::kFinishing;
   const NodeId node = rt.node;
   const TxnId txn = rt.txn;
@@ -813,7 +858,7 @@ void EngineBase::AbortQueryLocal(QueryRt& rt) {
     ns.locks->CancelWaiter(txn);
     ns.locks->ReleaseAll(txn);
   }
-  OnQueryFinish(rt);
+  if (!finished) OnQueryFinish(rt);
   ns.queries.erase(txn);
 }
 
@@ -879,11 +924,12 @@ void EngineBase::CrashNode(NodeId node) {
   while (!ns.queries.empty()) {
     QueryRt& rt = *ns.queries.begin()->second;
     simulator().Cancel(rt.timeout_ev);
-    OnQueryFinish(rt);
+    if (rt.state != QueryRt::State::kLockHold) OnQueryFinish(rt);
     ns.queries.erase(ns.queries.begin());
   }
   ns.locks->Reset();
   OnNodeCrash(node);
+  metrics().RecordCrash();
   Trace(node, "node crash");
 }
 
@@ -905,6 +951,7 @@ void EngineBase::RecoverNode(NodeId node) {
     }
   }
   OnNodeRecover(node);
+  metrics().RecordRecovery();
   Trace(node, "node recovered");
 }
 

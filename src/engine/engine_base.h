@@ -112,6 +112,10 @@ class EngineBase : public Engine {
     // detect cross-node version mismatches before deciding (SYNC-AVA).
     Version max_child_version = kInvalidVersion;
     Version min_child_version = kInvalidVersion;
+    /// Child spec indices whose `prepared` already arrived. The network may
+    /// duplicate messages (fault injection); a second copy must not
+    /// decrement children_outstanding again.
+    std::unordered_set<int> prepared_children;
 
     // Deferred-update write buffer (insertion-ordered for deterministic
     // commit application). Unused by the in-place recovery scheme.
@@ -160,12 +164,19 @@ class EngineBase : public Engine {
       kRunning,
       kLockWait,  // only when the scheme makes queries lock (S2PL-R)
       kWaitChildren,
+      /// Results shipped to the parent, shared locks retained until the
+      /// root resolves (locking schemes only). Releasing at ship time
+      /// would break two-phase-ness across nodes: an update could slip
+      /// between this child's reads and the root's remaining reads.
+      kLockHold,
       kFinishing,
     };
     State state = State::kRunning;
     bool local_ops_done = false;
     bool spawned = false;
     int children_outstanding = 0;
+    /// Child spec indices whose result already arrived (duplicate guard).
+    std::unordered_set<int> reported_children;
     std::vector<verify::ReadRecord> reads;  // own + children's
 
     // Root-only fields.
@@ -187,6 +198,13 @@ class EngineBase : public Engine {
     wal::RecoveryLog log;
     std::map<TxnId, std::unique_ptr<UpdateRt>> updates;
     std::map<TxnId, std::unique_ptr<QueryRt>> queries;
+    /// Every transaction whose subtransaction ever started on this node —
+    /// the recovery log's transaction table, used to refuse duplicated
+    /// spawn messages (a late copy arriving after commit/abort would
+    /// otherwise re-run the subtransaction as a zombie). Script validation
+    /// guarantees one subtransaction per (txn, node), so a per-node set
+    /// keyed by TxnId suffices. Deliberately kept across crashes.
+    std::unordered_set<TxnId> started_txns;
   };
 
   // ---------------------------------------------------------------------
@@ -328,8 +346,8 @@ class EngineBase : public Engine {
   void SpawnUpdateChildren(UpdateRt& rt);
   void OnUpdateLocalOpsDone(UpdateRt& rt);
   void PrepareUpdate(UpdateRt& rt);
-  void OnChildPrepared(NodeId node, TxnId txn, Version child_max,
-                       Version child_min);
+  void OnChildPrepared(NodeId node, TxnId txn, int child_spec,
+                       Version child_max, Version child_min);
   void DecideCommit(UpdateRt& root_rt);
   void CommitLocal(NodeId node, TxnId txn, Version global_version,
                    SimTime decision_time);
@@ -353,7 +371,11 @@ class EngineBase : public Engine {
   void SpawnQueryChildren(QueryRt& rt);
   void OnQueryLocalOpsDone(QueryRt& rt);
   void MaybeCompleteQuery(QueryRt& rt);
-  void OnChildQueryResult(NodeId node, TxnId txn,
+  /// Drops the shared locks a kLockHold subquery kept for the root; runs
+  /// on the root's post-completion release broadcast (idempotent — the
+  /// message may be duplicated, lost, or raced by an abort).
+  void ReleaseHeldQueryLocks(NodeId node, TxnId txn);
+  void OnChildQueryResult(NodeId node, TxnId txn, int child_spec,
                           std::vector<verify::ReadRecord> reads);
   void AbortQueryLocal(QueryRt& rt);
 

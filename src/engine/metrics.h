@@ -65,6 +65,10 @@ class Metrics {
   // --- Latch accounting (paper: queries only bump counters under latches) ---
   void RecordLatchOp() { ++latch_ops_; }
 
+  // --- Fault events ---------------------------------------------------------
+  void RecordCrash() { ++crashes_; }
+  void RecordRecovery() { ++recoveries_; }
+
   // --- Accessors ------------------------------------------------------------
   uint64_t update_commits() const { return update_commits_; }
   uint64_t query_commits() const { return query_commits_; }
@@ -76,6 +80,8 @@ class Metrics {
   uint64_t advancements() const { return advancements_; }
   uint64_t advancements_cancelled() const { return advancements_cancelled_; }
   uint64_t latch_ops() const { return latch_ops_; }
+  uint64_t crashes() const { return crashes_; }
+  uint64_t recoveries() const { return recoveries_; }
 
   const Histogram& update_latency() const { return update_latency_; }
   const Histogram& query_latency() const { return query_latency_; }
@@ -102,6 +108,8 @@ class Metrics {
   uint64_t advancements_ = 0;
   uint64_t advancements_cancelled_ = 0;
   uint64_t latch_ops_ = 0;
+  uint64_t crashes_ = 0;
+  uint64_t recoveries_ = 0;
   Histogram update_latency_;
   Histogram query_latency_;
   Histogram staleness_;

@@ -3,7 +3,23 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/fault_injector.h"
+
 namespace ava3::sim {
+
+const char* DropCauseName(DropCause cause) {
+  switch (cause) {
+    case DropCause::kInTransit:
+      return "in-transit";
+    case DropCause::kDestDown:
+      return "dest-down";
+    case DropCause::kPartition:
+      return "partition";
+    case DropCause::kNumCauses:
+      break;
+  }
+  return "?";
+}
 
 const char* MsgKindName(MsgKind kind) {
   switch (kind) {
@@ -50,24 +66,45 @@ void Network::Send(NodeId from, NodeId to, MsgKind kind,
                    std::function<void()> deliver) {
   assert(to >= 0 && to < num_nodes());
   ++sent_[static_cast<size_t>(kind)];
-  SimDuration latency;
   if (from == to) {
-    latency = options_.local_latency;
-  } else {
-    if (options_.drop_probability > 0 &&
-        rng_.NextDouble() < options_.drop_probability) {
-      ++dropped_;
-      return;  // lost in transit
+    // Self-sends model in-process dispatch: never lost, never faulted.
+    Deliver(to, kind, options_.local_latency, std::move(deliver));
+    return;
+  }
+  if (options_.drop_probability > 0 &&
+      rng_.NextDouble() < options_.drop_probability) {
+    CountDrop(DropCause::kInTransit, kind);
+    return;  // lost in transit
+  }
+  FaultInjector::Verdict verdict;
+  if (injector_ != nullptr) {
+    verdict = injector_->OnSend(from, to, kind);
+    if (verdict.drop) {
+      CountDrop(verdict.partitioned ? DropCause::kPartition
+                                    : DropCause::kInTransit,
+                kind);
+      return;
     }
-    latency = options_.base_latency;
+    if (verdict.copies > 1) duplicated_ += verdict.copies - 1;
+    if (verdict.extra_delay > 0) ++delayed_;
+  }
+  for (int copy = 0; copy < verdict.copies; ++copy) {
+    // Each copy draws its own jitter, so a duplicate pair may arrive in
+    // either order (the injected-delay spike applies to both).
+    SimDuration latency = options_.base_latency + verdict.extra_delay;
     if (options_.jitter > 0) {
       latency += static_cast<SimDuration>(
           rng_.Uniform(static_cast<uint64_t>(options_.jitter) + 1));
     }
+    Deliver(to, kind, latency, deliver);
   }
-  simulator_->After(latency, [this, to, fn = std::move(deliver)]() {
+}
+
+void Network::Deliver(NodeId to, MsgKind kind, SimDuration latency,
+                      std::function<void()> fn) {
+  simulator_->After(latency, [this, to, kind, fn = std::move(fn)]() {
     if (!node_up_[static_cast<size_t>(to)]) {
-      ++dropped_;
+      CountDrop(DropCause::kDestDown, kind);
       return;
     }
     fn();
@@ -85,6 +122,20 @@ uint64_t Network::TotalSent() const {
   return total;
 }
 
+uint64_t Network::DroppedCount() const {
+  uint64_t total = 0;
+  for (const auto& per_kind : dropped_) {
+    for (uint64_t c : per_kind) total += c;
+  }
+  return total;
+}
+
+uint64_t Network::DroppedCount(DropCause cause) const {
+  uint64_t total = 0;
+  for (uint64_t c : dropped_[static_cast<size_t>(cause)]) total += c;
+  return total;
+}
+
 std::string Network::StatsSummary() const {
   std::string out;
   for (size_t k = 0; k < static_cast<size_t>(MsgKind::kNumKinds); ++k) {
@@ -94,7 +145,26 @@ std::string Network::StatsSummary() const {
     out += "=";
     out += std::to_string(sent_[k]);
   }
-  out += " dropped=" + std::to_string(dropped_);
+  out += " dropped=" + std::to_string(DroppedCount());
+  for (size_t c = 0; c < static_cast<size_t>(DropCause::kNumCauses); ++c) {
+    const DropCause cause = static_cast<DropCause>(c);
+    if (DroppedCount(cause) == 0) continue;
+    out += " dropped[" + std::string(DropCauseName(cause)) +
+           "]=" + std::to_string(DroppedCount(cause)) + " (";
+    bool first = true;
+    for (size_t k = 0; k < static_cast<size_t>(MsgKind::kNumKinds); ++k) {
+      const uint64_t n = dropped_[c][k];
+      if (n == 0) continue;
+      if (!first) out += " ";
+      first = false;
+      out += MsgKindName(static_cast<MsgKind>(k));
+      out += "=";
+      out += std::to_string(n);
+    }
+    out += ")";
+  }
+  if (duplicated_ > 0) out += " duplicated=" + std::to_string(duplicated_);
+  if (delayed_ > 0) out += " delayed=" + std::to_string(delayed_);
   return out;
 }
 

@@ -50,14 +50,37 @@ struct NetworkOptions {
   double drop_probability = 0.0;
 };
 
+class FaultInjector;
+
+/// Why a message never executed its delivery closure. Kept per MsgKind so
+/// fault experiments can attribute message cost to protocol traffic
+/// classes (e.g. lost `prepared` vs. lost `garbage-collect`).
+enum class DropCause : uint8_t {
+  kInTransit = 0,  // random in-transit loss (drop_probability / fault plan)
+  kDestDown,       // destination node was down at delivery time
+  kPartition,      // an active partition window separated the endpoints
+  kNumCauses,      // sentinel
+};
+
+/// Returns a stable short name, e.g. "in-transit".
+const char* DropCauseName(DropCause cause);
+
 /// Simulated message-passing network between `n` nodes. Delivery executes a
 /// closure in the destination's context at the delivery time. Messages to a
 /// crashed node are dropped (counted); the sender learns nothing — exactly
 /// the asynchronous-network assumption the AVA3 protocol is designed for.
+///
+/// An optional FaultInjector adds loss, duplication, latency spikes and
+/// partitions per message; with no injector (or an all-zero plan) the
+/// event and randomness streams are identical to a fault-free build.
 class Network {
  public:
   Network(Simulator* simulator, int num_nodes, NetworkOptions options,
           Rng rng);
+
+  /// Installs a fault injector consulted for every remote send. Pass
+  /// nullptr to detach. The injector must outlive the network.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
   /// Sends a message; `deliver` runs at the destination after the modeled
   /// latency, unless the destination is down at delivery time.
@@ -70,24 +93,49 @@ class Network {
 
   int num_nodes() const { return static_cast<int>(node_up_.size()); }
 
-  /// Total messages sent of a kind (including later-dropped ones).
+  /// Total messages sent of a kind (excluding injected duplicate copies,
+  /// including later-dropped ones).
   uint64_t SentCount(MsgKind kind) const {
     return sent_[static_cast<size_t>(kind)];
   }
-  /// Messages dropped because the destination was down.
-  uint64_t DroppedCount() const { return dropped_; }
+  /// Messages dropped for any reason (all causes, all kinds).
+  uint64_t DroppedCount() const;
+  /// Messages dropped for one cause (summed over kinds).
+  uint64_t DroppedCount(DropCause cause) const;
+  /// Messages of one kind dropped for one cause.
+  uint64_t DroppedCount(DropCause cause, MsgKind kind) const {
+    return dropped_[static_cast<size_t>(cause)][static_cast<size_t>(kind)];
+  }
+  /// Extra copies delivered due to injected duplication.
+  uint64_t DuplicatedCount() const { return duplicated_; }
+  /// Messages that suffered an injected latency spike.
+  uint64_t DelayedCount() const { return delayed_; }
   uint64_t TotalSent() const;
 
-  /// One-line per-kind summary for reports.
+  /// One-line per-kind summary for reports: sent per kind, then drops per
+  /// cause (with a per-kind breakdown for each non-empty cause), then
+  /// duplication/delay counts when fault injection is active.
   std::string StatsSummary() const;
 
  private:
+  void CountDrop(DropCause cause, MsgKind kind) {
+    ++dropped_[static_cast<size_t>(cause)][static_cast<size_t>(kind)];
+  }
+  /// Schedules one delivery attempt after `latency`.
+  void Deliver(NodeId to, MsgKind kind, SimDuration latency,
+               std::function<void()> fn);
+
   Simulator* simulator_;
   NetworkOptions options_;
   Rng rng_;
+  FaultInjector* injector_ = nullptr;
   std::vector<bool> node_up_;
   std::array<uint64_t, static_cast<size_t>(MsgKind::kNumKinds)> sent_{};
-  uint64_t dropped_ = 0;
+  std::array<std::array<uint64_t, static_cast<size_t>(MsgKind::kNumKinds)>,
+             static_cast<size_t>(DropCause::kNumCauses)>
+      dropped_{};
+  uint64_t duplicated_ = 0;
+  uint64_t delayed_ = 0;
 };
 
 }  // namespace ava3::sim

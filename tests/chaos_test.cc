@@ -1,0 +1,283 @@
+// Chaos soak: randomized fault injection (message loss, duplication,
+// latency-spike reordering, network partitions, and timed crash/restart
+// cycles) layered over a concurrent workload, for every engine. Each
+// (seed, fault-mix) combination must preserve serializability, the paper's
+// Section 6.2 invariants (AVA3/4V), and leak no subtransaction state. A
+// final determinism test proves that an inert fault plan is bit-identical
+// to a run with no plan at all.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "sim/fault_injector.h"
+#include "verify/mvsg.h"
+#include "verify/serializability.h"
+#include "workload/runner.h"
+
+namespace ava3 {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using db::Scheme;
+
+// One fault-mix archetype. kEverything exercises all classes at once —
+// duplicated prepares racing partitions racing crash windows.
+enum class Mix {
+  kLoss = 0,
+  kDuplication,
+  kReordering,
+  kPartitions,
+  kCrashes,
+  kEverything,
+  kNumMixes,
+};
+
+const char* MixName(Mix mix) {
+  switch (mix) {
+    case Mix::kLoss: return "loss";
+    case Mix::kDuplication: return "dup";
+    case Mix::kReordering: return "reorder";
+    case Mix::kPartitions: return "partition";
+    case Mix::kCrashes: return "crash";
+    case Mix::kEverything: return "everything";
+    default: return "?";
+  }
+}
+
+sim::FaultPlan PlanFor(Mix mix, uint64_t seed, int num_nodes,
+                       SimTime horizon) {
+  sim::ChaosProfile profile;
+  switch (mix) {
+    case Mix::kLoss:
+      profile.rates.loss = 0.05;
+      break;
+    case Mix::kDuplication:
+      profile.rates.duplicate = 0.15;
+      break;
+    case Mix::kReordering:
+      profile.rates.delay = 0.15;
+      break;
+    case Mix::kPartitions:
+      profile.partitions = 3;
+      break;
+    case Mix::kCrashes:
+      profile.crashes = 2;
+      break;
+    case Mix::kEverything:
+      profile.rates.loss = 0.03;
+      profile.rates.duplicate = 0.08;
+      profile.rates.delay = 0.08;
+      profile.partitions = 2;
+      profile.crashes = 2;
+      break;
+    default:
+      break;
+  }
+  return sim::FaultPlan::Chaos(seed, num_nodes, horizon, profile);
+}
+
+struct ChaosCase {
+  uint64_t seed;
+  Mix mix;
+};
+
+std::vector<ChaosCase> AllCases() {
+  std::vector<ChaosCase> cases;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    for (int m = 0; m < static_cast<int>(Mix::kNumMixes); ++m) {
+      cases.push_back({seed, static_cast<Mix>(m)});
+    }
+  }
+  return cases;  // 24 combinations >= the 20 the soak promises
+}
+
+void RunChaos(Scheme scheme, const ChaosCase& cc) {
+  const int num_nodes = scheme == Scheme::kFourV ? 1 : 3;
+  const SimDuration load_window = 2 * kSecond;
+
+  DatabaseOptions opt;
+  opt.num_nodes = num_nodes;
+  opt.scheme = scheme;
+  opt.seed = cc.seed;
+  opt.ava3.advancement_resend = 50 * kMillisecond;
+  opt.base.txn_timeout = 2 * kSecond;
+  opt.base.prepared_timeout = 6 * kSecond;
+  opt.faults = PlanFor(cc.mix, cc.seed, num_nodes, load_window);
+
+  const std::string label = std::string(db::SchemeName(scheme)) +
+                            " mix=" + MixName(cc.mix) +
+                            " seed=" + std::to_string(cc.seed);
+
+  Database dbase(opt);
+  wl::WorkloadSpec spec;
+  spec.num_nodes = num_nodes;
+  spec.items_per_node = 40;
+  spec.zipf_theta = 0.6;
+  spec.update_rate_per_sec = 200;
+  spec.query_rate_per_sec = 60;
+  spec.update_multinode_prob = num_nodes > 1 ? 0.5 : 0.0;
+  spec.query_multinode_prob = spec.update_multinode_prob;
+  spec.advancement_period = 150 * kMillisecond;
+  spec.rotate_coordinator = true;
+  spec.max_retries = 80;
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec,
+                            cc.seed);
+  const auto& initial = runner.SeedData();
+  runner.Start(load_window);
+  dbase.RunFor(load_window);
+  dbase.RunFor(120 * kSecond);  // drain: timeouts, recovery, resends
+
+  // The run must have done real work *and* the faults must have fired.
+  // Message faults only touch remote sends, so they cannot fire in the
+  // single-node (FourV) cluster — there, only the crash mixes bite.
+  EXPECT_GT(dbase.metrics().update_commits(), 20u) << label;
+  const sim::FaultInjector* inj = dbase.fault_injector();
+  // A single-node partition mix degenerates to an inert plan (there is no
+  // cut of one node), so no injector gets installed at all.
+  ASSERT_EQ(inj != nullptr, opt.faults.Enabled()) << label;
+  if (num_nodes > 1) {
+    switch (cc.mix) {
+      case Mix::kLoss:
+        EXPECT_GT(inj->losses(), 0u) << label;
+        break;
+      case Mix::kDuplication:
+        EXPECT_GT(inj->duplicates(), 0u) << label;
+        EXPECT_GT(dbase.network().DuplicatedCount(), 0u) << label;
+        break;
+      case Mix::kReordering:
+        EXPECT_GT(inj->delays(), 0u) << label;
+        break;
+      case Mix::kPartitions:
+        EXPECT_GT(inj->partition_drops(), 0u) << label;
+        break;
+      case Mix::kCrashes:
+      case Mix::kEverything:
+        EXPECT_GT(dbase.metrics().crashes(), 0u) << label;
+        break;
+      default:
+        break;
+    }
+  }
+  if (cc.mix == Mix::kCrashes || cc.mix == Mix::kEverything) {
+    EXPECT_GT(dbase.metrics().crashes(), 0u) << label;
+  }
+
+  // No leaked subtransaction state once everything drained.
+  auto* base = dynamic_cast<db::EngineBase*>(&dbase.engine());
+  ASSERT_NE(base, nullptr) << label;
+  EXPECT_EQ(base->ActiveSubtxns(), 0) << label;
+
+  // Serializability: value equivalence and MVSG acyclicity.
+  verify::SerializabilityChecker values(initial);
+  Status ok = values.Check(dbase.recorder().txns());
+  EXPECT_TRUE(ok.ok()) << label << "\n" << ok.ToString();
+  verify::MvsgChecker mvsg(initial);
+  Status acyclic = mvsg.Check(dbase.recorder().txns());
+  EXPECT_TRUE(acyclic.ok()) << label << "\n" << acyclic.ToString();
+
+  // Section 6.2 invariants (version-bound, counter sanity) where they apply.
+  if (auto* eng = dbase.ava3_engine()) {
+    Status inv = eng->CheckInvariants();
+    EXPECT_TRUE(inv.ok()) << label << "\n" << inv.ToString();
+    EXPECT_EQ(eng->recovery_mismatches(), 0u) << label;
+  }
+}
+
+class ChaosTest : public testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosTest, Ava3SurvivesChaos) { RunChaos(Scheme::kAva3, GetParam()); }
+
+TEST_P(ChaosTest, S2plSurvivesChaos) { RunChaos(Scheme::kS2pl, GetParam()); }
+
+TEST_P(ChaosTest, MvuSurvivesChaos) { RunChaos(Scheme::kMvu, GetParam()); }
+
+TEST_P(ChaosTest, FourVSurvivesChaos) {
+  RunChaos(Scheme::kFourV, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SoakMatrix, ChaosTest, testing::ValuesIn(AllCases()),
+    [](const testing::TestParamInfo<ChaosCase>& info) {
+      return std::string(MixName(info.param.mix)) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// Zero-fault bit-identity: installing an inert FaultPlan must not shift a
+// single event or random draw relative to a run with no plan at all.
+
+struct RunFingerprint {
+  uint64_t commits;
+  uint64_t queries;
+  uint64_t aborts;
+  uint64_t advancements;
+  uint64_t events;
+  size_t recorded;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+RunFingerprint Fingerprint(const sim::FaultPlan& plan) {
+  DatabaseOptions o;
+  o.num_nodes = 3;
+  o.seed = 4242;
+  o.faults = plan;
+  Database dbase(o);
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 3;
+  spec.items_per_node = 50;
+  spec.zipf_theta = 0.8;
+  spec.update_rate_per_sec = 300;
+  spec.query_rate_per_sec = 100;
+  spec.update_multinode_prob = 0.4;
+  spec.advancement_period = 100 * kMillisecond;
+  spec.rotate_coordinator = true;
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, 4242);
+  runner.SeedData();
+  runner.Start(2 * kSecond);
+  dbase.RunFor(2 * kSecond);
+  dbase.RunFor(60 * kSecond);
+  RunFingerprint fp;
+  fp.commits = dbase.metrics().update_commits();
+  fp.queries = dbase.metrics().query_commits();
+  fp.aborts = dbase.metrics().aborts();
+  fp.advancements = dbase.metrics().advancements();
+  fp.events = dbase.simulator().events_executed();
+  fp.recorded = dbase.recorder().txns().size();
+  return fp;
+}
+
+TEST(ChaosDeterminismTest, InertPlanIsBitIdenticalToNoPlan) {
+  sim::FaultPlan inert;  // all rates zero, no windows
+  EXPECT_FALSE(inert.Enabled());
+  RunFingerprint without = Fingerprint(sim::FaultPlan{});
+  RunFingerprint with = Fingerprint(inert);
+  EXPECT_EQ(without, with);
+  EXPECT_GT(without.commits, 100u);
+}
+
+TEST(ChaosDeterminismTest, SameSeedSameChaos) {
+  ChaosCase cc{3, Mix::kEverything};
+  // The whole faulty run is reproducible: plan generation, injector draws,
+  // crash scheduling, and the workload all key off the same seed.
+  sim::FaultPlan a = PlanFor(cc.mix, cc.seed, 3, 2 * kSecond);
+  sim::FaultPlan b = PlanFor(cc.mix, cc.seed, 3, 2 * kSecond);
+  ASSERT_EQ(a.partitions.size(), b.partitions.size());
+  for (size_t i = 0; i < a.partitions.size(); ++i) {
+    EXPECT_EQ(a.partitions[i].start, b.partitions[i].start);
+    EXPECT_EQ(a.partitions[i].side_a, b.partitions[i].side_a);
+  }
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].node, b.crashes[i].node);
+    EXPECT_EQ(a.crashes[i].crash_at, b.crashes[i].crash_at);
+    EXPECT_EQ(a.crashes[i].recover_at, b.crashes[i].recover_at);
+  }
+}
+
+}  // namespace
+}  // namespace ava3

@@ -89,6 +89,46 @@ TEST(RngTest, ForkedStreamsAreIndependent) {
   EXPECT_NE(a.Next(), forked.Next());
 }
 
+TEST(RngTest, UniformIsUnbiasedChiSquaredSmoke) {
+  const uint64_t kBound = 3;
+  const int kBuckets = 3;
+  const int kSamples = 30000;
+  Rng r(2026);
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[r.Uniform(kBound)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double d = counts[b] - expected;
+    chi2 += d * d / expected;
+  }
+  // 2 degrees of freedom: p=0.001 critical value is 13.8.
+  EXPECT_LT(chi2, 13.8);
+}
+
+TEST(RngTest, UniformHandlesHugeBounds) {
+  // Bounds just under 2^64 force the rejection path to matter: modulo
+  // would double-weight [0, 2^63) relative to [2^63, bound).
+  Rng r(11);
+  const uint64_t kBound = (uint64_t{1} << 63) + (uint64_t{1} << 62);
+  int high = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = r.Uniform(kBound);
+    EXPECT_LT(v, kBound);
+    if (v >= (uint64_t{1} << 63)) ++high;
+  }
+  // The top third of the range should get about a third of the draws
+  // (a modulo sampler would give it about a fifth).
+  EXPECT_GT(high, n / 4);
+  EXPECT_LT(high, n / 2);
+}
+
+TEST(RngTest, UniformBoundOneIsAlwaysZero) {
+  Rng r(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.Uniform(1), 0u);
+}
+
 // --- Zipf -------------------------------------------------------------------
 
 TEST(ZipfTest, ZeroThetaIsUniformish) {
@@ -115,6 +155,49 @@ TEST(ZipfTest, HighThetaIsSkewed) {
   EXPECT_GT(hot, n / 4);
 }
 
+TEST(ZipfTest, RanksNeverLeaveTheDomain) {
+  // The continuous inverse-CDF reaches exactly n as u -> 1, so an
+  // unclamped generator occasionally returns the out-of-range rank n.
+  // Sweep enough draws over several (n, theta) points to hit the tail.
+  for (uint64_t n : {2ull, 3ull, 10ull, 1000ull}) {
+    for (double theta : {0.0, 0.3, 0.6, 0.9, 0.99}) {
+      Rng r(n * 1000 + static_cast<uint64_t>(theta * 100));
+      ZipfGenerator z(n, theta);
+      for (int i = 0; i < 200000; ++i) {
+        EXPECT_LT(z.Next(r), n) << "n=" << n << " theta=" << theta;
+      }
+    }
+  }
+}
+
+TEST(ZipfTest, SingleItemDomainIsConstantZero) {
+  // n == 1 used to compute a negative eta (division by 1 - zeta2/zeta_n
+  // with zeta2 > zeta_1); the generator must simply return rank 0.
+  Rng r(5);
+  for (double theta : {0.0, 0.5, 0.99}) {
+    ZipfGenerator z(1, theta);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(z.Next(r), 0u);
+  }
+  ZipfGenerator empty(0, 0.5);
+  EXPECT_EQ(empty.Next(r), 0u);
+}
+
+TEST(ZipfTest, MoreSkewMeansMoreMassOnTopRanks) {
+  const int n = 20000;
+  double prev_share = 0.0;
+  for (double theta : {0.0, 0.4, 0.8, 0.99}) {
+    Rng r(42);
+    ZipfGenerator z(500, theta);
+    int top = 0;
+    for (int i = 0; i < n; ++i) {
+      if (z.Next(r) < 5) ++top;
+    }
+    const double share = static_cast<double>(top) / n;
+    EXPECT_GT(share, prev_share) << "theta=" << theta;
+    prev_share = share;
+  }
+}
+
 // --- Histogram ----------------------------------------------------------------
 
 TEST(HistogramTest, PercentilesAndStats) {
@@ -136,6 +219,27 @@ TEST(HistogramTest, EmptyIsSafe) {
   EXPECT_EQ(h.Percentile(50), 0);
   EXPECT_EQ(h.Mean(), 0.0);
   EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_EQ(h.Percentile(0), 42);
+  EXPECT_EQ(h.Percentile(50), 42);
+  EXPECT_EQ(h.Percentile(100), 42);
+}
+
+TEST(HistogramTest, ExtremePercentilesAreMinAndMax) {
+  Histogram h;
+  h.Add(7);
+  h.Add(-3);
+  h.Add(100);
+  EXPECT_EQ(h.Percentile(0), -3);
+  EXPECT_EQ(h.Percentile(100), 100);
 }
 
 TEST(HistogramTest, AddAfterPercentileQueryStillSorts) {

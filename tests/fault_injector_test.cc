@@ -1,0 +1,267 @@
+// Unit tests for the fault-injection layer: verdict mechanics, partition
+// windows, per-cause/per-kind drop accounting in the network, rate
+// override precedence, and the well-formedness of generated chaos plans.
+
+#include <gtest/gtest.h>
+
+#include "sim/fault_injector.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace ava3::sim {
+namespace {
+
+NetworkOptions QuietNet() {
+  NetworkOptions o;
+  o.base_latency = 100;
+  o.jitter = 0;
+  o.local_latency = 5;
+  return o;
+}
+
+TEST(FaultRatesTest, EnabledOnlyWhenSomeRateIsPositive) {
+  FaultRates r;
+  EXPECT_FALSE(r.Enabled());
+  r.delay = 0.1;
+  EXPECT_TRUE(r.Enabled());
+}
+
+TEST(FaultPlanTest, EnabledDetectsEveryFaultClass) {
+  EXPECT_FALSE(FaultPlan{}.Enabled());
+  {
+    FaultPlan p;
+    p.rates.loss = 0.1;
+    EXPECT_TRUE(p.Enabled());
+  }
+  {
+    FaultPlan p;
+    p.SetKindRates(MsgKind::kPrepared, {.duplicate = 0.5});
+    EXPECT_TRUE(p.Enabled());
+  }
+  {
+    FaultPlan p;
+    p.SetLinkRates(0, 1, {.loss = 1.0});
+    EXPECT_TRUE(p.Enabled());
+  }
+  {
+    FaultPlan p;
+    p.partitions.push_back({.start = 0, .end = 100, .side_a = 1});
+    EXPECT_TRUE(p.Enabled());
+  }
+  {
+    FaultPlan p;
+    p.crashes.push_back({.node = 0, .crash_at = 10, .recover_at = 20});
+    EXPECT_TRUE(p.Enabled());
+  }
+  // All-zero overrides stay inert.
+  {
+    FaultPlan p;
+    p.SetKindRates(MsgKind::kCommit, FaultRates{});
+    p.SetLinkRates(1, 2, FaultRates{});
+    EXPECT_FALSE(p.Enabled());
+  }
+}
+
+TEST(PartitionWindowTest, SplitsExactlyAcrossTheCut) {
+  PartitionWindow w{.start = 0, .end = 100, .side_a = 0b011};  // {0,1} | {2,3}
+  EXPECT_FALSE(w.Splits(0, 1));
+  EXPECT_FALSE(w.Splits(2, 3));
+  EXPECT_TRUE(w.Splits(0, 2));
+  EXPECT_TRUE(w.Splits(3, 1));
+}
+
+TEST(FaultInjectorTest, PartitionActiveOnlyInsideWindow) {
+  Simulator sim;
+  FaultPlan plan;
+  plan.partitions.push_back(
+      {.start = 1000, .end = 2000, .side_a = 0b001});
+  FaultInjector inj(&sim, plan, Rng(7));
+  EXPECT_FALSE(inj.Partitioned(0, 1));  // t=0, before the window
+  sim.At(1500, [] {});
+  sim.RunUntil(1500);
+  EXPECT_TRUE(inj.Partitioned(0, 1));
+  EXPECT_TRUE(inj.Partitioned(1, 0));
+  EXPECT_FALSE(inj.Partitioned(1, 2));  // same side
+  EXPECT_FALSE(inj.Partitioned(0, 0));  // self-sends never partitioned
+  sim.RunUntil(2500);
+  EXPECT_FALSE(inj.Partitioned(0, 1));  // window closed ([start, end))
+}
+
+TEST(FaultInjectorTest, CertainLossDropsAndCounts) {
+  Simulator sim;
+  FaultPlan plan;
+  plan.rates.loss = 1.0;
+  FaultInjector inj(&sim, plan, Rng(7));
+  auto v = inj.OnSend(0, 1, MsgKind::kCommit);
+  EXPECT_TRUE(v.drop);
+  EXPECT_FALSE(v.partitioned);
+  EXPECT_EQ(inj.losses(), 1u);
+}
+
+TEST(FaultInjectorTest, CertainDuplicationYieldsTwoCopies) {
+  Simulator sim;
+  FaultPlan plan;
+  plan.rates.duplicate = 1.0;
+  FaultInjector inj(&sim, plan, Rng(7));
+  auto v = inj.OnSend(0, 1, MsgKind::kPrepared);
+  EXPECT_FALSE(v.drop);
+  EXPECT_EQ(v.copies, 2);
+  EXPECT_EQ(inj.duplicates(), 1u);
+}
+
+TEST(FaultInjectorTest, CertainDelaySpikesWithinConfiguredRange) {
+  Simulator sim;
+  FaultPlan plan;
+  plan.rates.delay = 1.0;
+  plan.rates.delay_min = 3000;
+  plan.rates.delay_max = 4000;
+  FaultInjector inj(&sim, plan, Rng(7));
+  for (int i = 0; i < 50; ++i) {
+    auto v = inj.OnSend(0, 1, MsgKind::kAdvanceU);
+    EXPECT_GE(v.extra_delay, 3000);
+    EXPECT_LE(v.extra_delay, 4000);
+  }
+  EXPECT_EQ(inj.delays(), 50u);
+}
+
+TEST(FaultInjectorTest, RateOverridePrecedenceLinkOverKindOverGlobal) {
+  Simulator sim;
+  FaultPlan plan;
+  plan.rates.loss = 0.0;
+  plan.SetKindRates(MsgKind::kCommit, {.loss = 1.0});
+  plan.SetLinkRates(0, 1, FaultRates{});  // calm link overrides the kind
+  FaultInjector inj(&sim, plan, Rng(7));
+  // kCommit on the calm link survives; on any other link it dies.
+  EXPECT_FALSE(inj.OnSend(0, 1, MsgKind::kCommit).drop);
+  EXPECT_TRUE(inj.OnSend(1, 0, MsgKind::kCommit).drop);
+  // Non-kCommit traffic falls through to the (zero) global rates.
+  EXPECT_FALSE(inj.OnSend(1, 0, MsgKind::kAbort).drop);
+}
+
+// --- Network integration ---------------------------------------------------
+
+TEST(NetworkFaultTest, DropsAreAttributedPerCauseAndKind) {
+  Simulator sim;
+  Network net(&sim, 3, QuietNet(), Rng(1));
+  FaultPlan plan;
+  plan.SetKindRates(MsgKind::kCommit, {.loss = 1.0});
+  plan.partitions.push_back({.start = 0, .end = 10'000, .side_a = 0b001});
+  FaultInjector inj(&sim, plan, Rng(2));
+  net.SetFaultInjector(&inj);
+
+  int delivered = 0;
+  // Partition separates 0 from {1,2}: this one dies as kPartition.
+  net.Send(0, 1, MsgKind::kPrepared, [&] { ++delivered; });
+  // Same side of the cut, but certain in-transit loss for kCommit.
+  net.Send(1, 2, MsgKind::kCommit, [&] { ++delivered; });
+  // Down destination: dropped at delivery time as kDestDown.
+  net.SetNodeUp(2, false);
+  net.Send(1, 2, MsgKind::kAbort, [&] { ++delivered; });
+  // A healthy message still goes through.
+  net.Send(2, 1, MsgKind::kQueryResult, [&] { ++delivered; });
+  sim.RunUntil(5000);
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.DroppedCount(), 3u);
+  EXPECT_EQ(net.DroppedCount(DropCause::kPartition), 1u);
+  EXPECT_EQ(net.DroppedCount(DropCause::kPartition, MsgKind::kPrepared), 1u);
+  EXPECT_EQ(net.DroppedCount(DropCause::kInTransit), 1u);
+  EXPECT_EQ(net.DroppedCount(DropCause::kInTransit, MsgKind::kCommit), 1u);
+  EXPECT_EQ(net.DroppedCount(DropCause::kDestDown), 1u);
+  EXPECT_EQ(net.DroppedCount(DropCause::kDestDown, MsgKind::kAbort), 1u);
+  EXPECT_EQ(inj.partition_drops(), 1u);
+  // The summary reports every cause it counted.
+  const std::string summary = net.StatsSummary();
+  EXPECT_NE(summary.find("in-transit"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("dest-down"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("partition"), std::string::npos) << summary;
+}
+
+TEST(NetworkFaultTest, SelfSendsBypassTheInjector) {
+  Simulator sim;
+  Network net(&sim, 2, QuietNet(), Rng(1));
+  FaultPlan plan;
+  plan.rates.loss = 1.0;  // every remote message dies...
+  plan.partitions.push_back({.start = 0, .end = 10'000, .side_a = 0b01});
+  FaultInjector inj(&sim, plan, Rng(2));
+  net.SetFaultInjector(&inj);
+  int delivered = 0;
+  net.Send(0, 0, MsgKind::kOther, [&] { ++delivered; });  // ...but not this
+  sim.RunUntil(1000);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.DroppedCount(), 0u);
+}
+
+TEST(NetworkFaultTest, DuplicatedMessageDeliversTwiceAndCountsOnce) {
+  Simulator sim;
+  Network net(&sim, 2, QuietNet(), Rng(1));
+  FaultPlan plan;
+  plan.rates.duplicate = 1.0;
+  FaultInjector inj(&sim, plan, Rng(2));
+  net.SetFaultInjector(&inj);
+  int delivered = 0;
+  net.Send(0, 1, MsgKind::kAdvanceQ, [&] { ++delivered; });
+  sim.RunUntil(5000);
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.SentCount(MsgKind::kAdvanceQ), 1u);  // copies excluded
+  EXPECT_EQ(net.DuplicatedCount(), 1u);
+}
+
+TEST(NetworkFaultTest, DelaySpikeShiftsDelivery) {
+  Simulator sim;
+  Network net(&sim, 2, QuietNet(), Rng(1));  // base latency 100, no jitter
+  FaultPlan plan;
+  plan.rates.delay = 1.0;
+  plan.rates.delay_min = 5000;
+  plan.rates.delay_max = 5000;
+  FaultInjector inj(&sim, plan, Rng(2));
+  net.SetFaultInjector(&inj);
+  SimTime arrival = 0;
+  net.Send(0, 1, MsgKind::kOther, [&] { arrival = sim.Now(); });
+  sim.RunUntil(20'000);
+  EXPECT_EQ(arrival, 5100);
+  EXPECT_EQ(net.DelayedCount(), 1u);
+}
+
+// --- Chaos plan generation -------------------------------------------------
+
+TEST(ChaosPlanTest, GeneratedPlansAreWellFormed) {
+  ChaosProfile profile;
+  profile.partitions = 5;
+  profile.crashes = 4;
+  const SimTime horizon = 10 * kSecond;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultPlan plan = FaultPlan::Chaos(seed, 5, horizon, profile);
+    ASSERT_EQ(plan.partitions.size(), 5u);
+    for (const PartitionWindow& w : plan.partitions) {
+      EXPECT_LT(w.start, w.end);
+      EXPECT_LE(w.end, horizon + (w.end - w.start));
+      // A proper bipartition of 5 nodes: neither side empty.
+      EXPECT_NE(w.side_a & 0b11111, 0u);
+      EXPECT_NE(w.side_a & 0b11111, 0b11111u);
+    }
+    ASSERT_EQ(plan.crashes.size(), 4u);
+    SimTime prev_recover = 0;
+    for (const CrashWindow& w : plan.crashes) {
+      EXPECT_GE(w.node, 0);
+      EXPECT_LT(w.node, 5);
+      EXPECT_LT(w.crash_at, w.recover_at);
+      // Staggered: at most one node down at any instant.
+      EXPECT_GE(w.crash_at, prev_recover);
+      prev_recover = w.recover_at;
+    }
+  }
+}
+
+TEST(ChaosPlanTest, SingleNodeClusterGetsNoPartitions) {
+  ChaosProfile profile;
+  profile.partitions = 3;
+  profile.crashes = 2;
+  FaultPlan plan = FaultPlan::Chaos(11, 1, 5 * kSecond, profile);
+  EXPECT_TRUE(plan.partitions.empty());
+  EXPECT_EQ(plan.crashes.size(), 2u);
+  for (const CrashWindow& w : plan.crashes) EXPECT_EQ(w.node, 0);
+}
+
+}  // namespace
+}  // namespace ava3::sim

@@ -27,11 +27,16 @@
 namespace ava3 {
 namespace {
 
-Status RunAndCheckMvsg(bool early_release, bool read_marks = true) {
+// Each anomaly below is pinned to a seed where it deterministically
+// manifests under the current RNG draw sequence; a change to the RNG (or
+// to draw order anywhere on the workload path) requires re-scanning for
+// seeds that reproduce the cycles.
+Status RunAndCheckMvsg(uint64_t seed, bool early_release,
+                       bool read_marks = true) {
   db::DatabaseOptions opt;
   opt.scheme = db::Scheme::kAva3;
   opt.num_nodes = 3;
-  opt.seed = 23;
+  opt.seed = seed;
   opt.base.release_read_locks_at_prepare = early_release;
   opt.ava3.update_read_marks = read_marks;
   db::Database dbase(opt);
@@ -44,7 +49,7 @@ Status RunAndCheckMvsg(bool early_release, bool read_marks = true) {
   spec.query_multinode_prob = 0.4;
   spec.advancement_period = 200 * kMillisecond;
   spec.query_scan_fraction = 0.4;
-  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, 23);
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec, seed);
   runner.SeedData();
   runner.Start(4 * kSecond);
   dbase.RunFor(4 * kSecond);
@@ -60,7 +65,7 @@ TEST(PaperDeviationTest, EarlyReadLockReleaseProducesMvsgCycles) {
   // Deviation 1: the paper's prepare-time shared-lock release is unsound
   // with parallel sibling subtransactions (a sibling still acquires locks
   // after the release, so the transaction is not globally two-phase).
-  Status with_early = RunAndCheckMvsg(/*early_release=*/true);
+  Status with_early = RunAndCheckMvsg(/*seed=*/33, /*early_release=*/true);
   EXPECT_FALSE(with_early.ok())
       << "expected the paper's prepare-time read-lock release to produce a "
          "non-serializable history under parallel sibling subtransactions";
@@ -76,8 +81,8 @@ TEST(PaperDeviationTest, PaperProtocolWithoutReadMarksProducesCycles) {
   // the maxV-based moveToFuture rule never fires). The anti-dependency
   // contradicts the version order, and an epoch-crossing query closes a
   // cycle in the MVSG.
-  Status without_marks =
-      RunAndCheckMvsg(/*early_release=*/false, /*read_marks=*/false);
+  Status without_marks = RunAndCheckMvsg(/*seed=*/136, /*early_release=*/false,
+                                         /*read_marks=*/false);
   EXPECT_FALSE(without_marks.ok())
       << "expected the version-inversion anomaly without read marks";
   if (!without_marks.ok()) {
@@ -87,9 +92,13 @@ TEST(PaperDeviationTest, PaperProtocolWithoutReadMarksProducesCycles) {
 
 TEST(PaperDeviationTest, ReadMarksRestoreOneCopySerializability) {
   // Our fix: per-node in-memory read marks promote later writers of a
-  // read item via the paper's own moveToFuture.
-  Status with_default = RunAndCheckMvsg(/*early_release=*/false);
-  EXPECT_TRUE(with_default.ok()) << with_default.ToString();
+  // read item via the paper's own moveToFuture. The very workloads that
+  // are cyclic under the unsound variants are clean with the defaults.
+  for (uint64_t seed : {33u, 136u}) {
+    Status with_default = RunAndCheckMvsg(seed, /*early_release=*/false);
+    EXPECT_TRUE(with_default.ok())
+        << "seed " << seed << ": " << with_default.ToString();
+  }
 }
 
 // The F2 anomaly, constructed deterministically on one node:
