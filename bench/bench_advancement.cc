@@ -19,6 +19,8 @@ int main() {
                 "Any node coordinates; several may at once; all rounds "
                 "advance the system to the same versions.");
 
+  bench::BenchReport report("advancement");
+
   std::printf("\n-- (a) idle-system advancement latency --\n");
   std::printf("%8s %14s | %14s | %10s\n", "nodes", "one-way (us)",
               "duration (us)", "messages");
@@ -42,6 +44,10 @@ int main() {
         std::printf("ADVANCEMENT DID NOT COMPLETE\n");
         return 1;
       }
+      char label[64];
+      std::snprintf(label, sizeof label, "idle-n%d-lat%lld", nodes,
+                    static_cast<long long>(latency));
+      report.AddDatabase(label, database);
     }
   }
 
@@ -74,6 +80,9 @@ int main() {
                 static_cast<long long>(eng->control(0).g()),
                 consistent ? "consistent" : "DIVERGED");
     if (!consistent || eng->control(0).u() != 2) return 1;
+    char label[32];
+    std::snprintf(label, sizeof label, "multi-coord-k%d", k);
+    report.AddDatabase(label, database);
   }
   std::printf(
       "\nDuration ~ 5 one-way hops (advance-u, ack, advance-q, ack, gc) and\n"

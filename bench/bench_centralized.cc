@@ -23,7 +23,8 @@ struct Row {
   bool verified = false;
 };
 
-Row Run(db::Scheme scheme, SimDuration report_len) {
+Row Run(db::Scheme scheme, SimDuration report_len,
+        bench::BenchReport* report) {
   bench::RunConfig cfg;
   cfg.db.scheme = scheme;
   cfg.db.num_nodes = 1;
@@ -36,6 +37,10 @@ Row Run(db::Scheme scheme, SimDuration report_len) {
   cfg.workload.query_think = report_len;  // every query runs ~report_len
   cfg.workload.advancement_period = 40 * kMillisecond;
   bench::RunOutput out = bench::RunWorkload(std::move(cfg));
+  char label[64];
+  std::snprintf(label, sizeof label, "%s-qlen%lldms", db::SchemeName(scheme),
+                static_cast<long long>(report_len / kMillisecond));
+  report->AddRun(label, out);
   Row row;
   row.max_versions = out.max_live_versions;
   row.advancements = out.metrics().advancements();
@@ -54,17 +59,18 @@ int main() {
       "Sections 7 / 9",
       "One fewer version at the cost of slightly staler reads while "
       "queries drain — the tradeoff Section 9 calls 'a small penalty'.");
+  bench::BenchReport report("centralized");
   std::printf("\n%-12s %-8s | %12s | %10s | %14s | %12s | %8s\n",
               "query len", "scheme", "max versions", "rounds",
               "stale mean(ms)", "stale p99(ms)", "oracle");
   std::printf("----------------------------------------------------------"
               "----------------------------\n");
-  for (SimDuration report : {0 * kMillisecond, 30 * kMillisecond,
-                             120 * kMillisecond}) {
+  for (SimDuration report_len : {0 * kMillisecond, 30 * kMillisecond,
+                                 120 * kMillisecond}) {
     for (db::Scheme scheme : {db::Scheme::kAva3, db::Scheme::kFourV}) {
-      Row r = Run(scheme, report);
+      Row r = Run(scheme, report_len, &report);
       std::printf("%8lld ms  %-8s | %12d | %10llu | %14.1f | %12lld | %8s\n",
-                  static_cast<long long>(report / kMillisecond),
+                  static_cast<long long>(report_len / kMillisecond),
                   db::SchemeName(scheme), r.max_versions,
                   static_cast<unsigned long long>(r.advancements),
                   r.stale_mean_ms, static_cast<long long>(r.stale_p99_ms),

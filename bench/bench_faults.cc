@@ -9,6 +9,8 @@
 //     network's accounting.
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "sim/fault_injector.h"
@@ -42,9 +44,8 @@ bench::RunConfig BaseConfig(uint64_t seed) {
   return cfg;
 }
 
-void PrintRow(const char* label, bench::RunOutput& out) {
+void PrintRow(const char* label, bench::RunOutput& out, double secs) {
   const db::Metrics& m = out.metrics();
-  const double secs = 5.0;
   std::printf("%-12s | %8.0f | %8.0f | %9lld | %9lld | %12lld | %s\n", label,
               static_cast<double>(m.update_commits()) / secs,
               static_cast<double>(m.query_commits()) / secs,
@@ -56,22 +57,40 @@ void PrintRow(const char* label, bench::RunOutput& out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: the CI bench-smoke job's reduced matrix — short runs, two
+  // loss points, two fault classes. Same code paths, minutes not hours.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   bench::Banner("E11: fault injection — degradation, never corruption",
                 "Sections 3.2/5 (resends, recovery)",
                 "Loss, duplication, reordering, partitions and crashes cost "
                 "throughput and latency; serializability always holds.");
+  if (smoke) std::printf("(smoke mode: reduced durations and matrix)\n");
+  bench::BenchReport report("faults");
 
   std::printf("\n-- (a) degradation vs. message-loss rate (3 nodes) --\n");
   std::printf("%-12s | %8s | %8s | %9s | %9s | %12s | %s\n", "loss", "upd/s",
               "qry/s", "upd p99", "qry p99", "adv p99", "oracle");
-  for (double loss : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+  const std::vector<double> losses =
+      smoke ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.01, 0.05, 0.10, 0.20};
+  for (double loss : losses) {
     bench::RunConfig cfg = BaseConfig(1);
     cfg.db.faults.rates.loss = loss;
+    if (smoke) {
+      cfg.duration = 2 * kSecond;
+      cfg.drain = 120 * kSecond;
+    }
+    const double secs = cfg.duration / static_cast<double>(kSecond);
     bench::RunOutput out = bench::RunWorkload(std::move(cfg));
     char label[32];
     std::snprintf(label, sizeof label, "%.0f%%", loss * 100);
-    PrintRow(label, out);
+    PrintRow(label, out, secs);
+    report.AddRun(std::string("loss-") + label, out);
     if (!out.verified) return 1;
   }
 
@@ -93,17 +112,24 @@ int main() {
   all.rates.delay = 0.08;
   all.partitions = 2;
   all.crashes = 2;
-  const Class classes[] = {
-      {"none", {}},       {"loss", loss_p}, {"duplicate", dup},
-      {"reorder", delay}, {"partition", part}, {"crash", crash},
-      {"everything", all},
-  };
+  const std::vector<Class> classes =
+      smoke ? std::vector<Class>{{"none", {}}, {"everything", all}}
+            : std::vector<Class>{{"none", {}},       {"loss", loss_p},
+                                 {"duplicate", dup}, {"reorder", delay},
+                                 {"partition", part}, {"crash", crash},
+                                 {"everything", all}};
   for (const Class& c : classes) {
     bench::RunConfig cfg = BaseConfig(7);
+    if (smoke) {
+      cfg.duration = 2 * kSecond;
+      cfg.drain = 120 * kSecond;
+    }
     cfg.db.faults =
         sim::FaultPlan::Chaos(7, cfg.db.num_nodes, cfg.duration, c.profile);
+    const double secs = cfg.duration / static_cast<double>(kSecond);
     bench::RunOutput out = bench::RunWorkload(std::move(cfg));
-    PrintRow(c.name, out);
+    PrintRow(c.name, out, secs);
+    report.AddRun(std::string("class-") + c.name, out);
     if (!out.verified) return 1;
     if (const sim::FaultInjector* inj = out.database->fault_injector()) {
       std::printf("             `- %s; crashes=%llu\n",

@@ -25,7 +25,8 @@ struct Timeline {
   SimDuration query_runtime = 0;   // longest old-version query
 };
 
-Timeline Run(SimDuration update_len, SimDuration query_len, bool eager) {
+Timeline Run(SimDuration update_len, SimDuration query_len, bool eager,
+             bench::BenchReport* report) {
   db::DatabaseOptions o;
   o.num_nodes = 3;
   o.net.jitter = 0;
@@ -68,6 +69,7 @@ Timeline Run(SimDuration update_len, SimDuration query_len, bool eager) {
   tl.phase2 = database.metrics().phase2_duration().max();
   tl.update_runtime = upd.finish_time - upd.submit_time;
   tl.query_runtime = qry.finish_time - qry.submit_time;
+  report->AddDatabase(eager ? "eager-handoff" : "base", database);
   return tl;
 }
 
@@ -93,9 +95,14 @@ int main() {
 
   const SimDuration update_len = 20 * kMillisecond;
   const SimDuration query_len = 35 * kMillisecond;
+  bench::BenchReport report("fig1_timeline");
 
   for (bool eager : {false, true}) {
-    Timeline tl = Run(update_len, query_len, eager);
+    Timeline tl = Run(update_len, query_len, eager, &report);
+    report.AddScalar(eager ? "eager_phase1_ms" : "base_phase1_ms",
+                     static_cast<double>(tl.phase1) / kMillisecond);
+    report.AddScalar(eager ? "eager_phase2_ms" : "base_phase2_ms",
+                     static_cast<double>(tl.phase2) / kMillisecond);
     std::printf("\n-- %s --\n",
                 eager ? "with Section-8 eager counter handoff"
                       : "base protocol");

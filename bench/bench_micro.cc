@@ -8,6 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "ava3/control_state.h"
 #include "common/zipf.h"
 #include "lock/lock_manager.h"
@@ -101,4 +106,30 @@ BENCHMARK(BM_GarbageCollectPass);
 }  // namespace
 }  // namespace ava3
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// $AVA3_BENCH_OUT_DIR/BENCH_micro.json (google-benchmark's native JSON
+// schema; scripts/check_bench_json.py understands both formats). An
+// explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    const char* dir = std::getenv("AVA3_BENCH_OUT_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+    if (path.back() != '/') path += '/';
+    out_flag = "--benchmark_out=" + path + "BENCH_micro.json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

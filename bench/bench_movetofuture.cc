@@ -39,6 +39,8 @@ int main() {
                 "moveToFuture resolves version mismatches without aborting; "
                 "its cost is ~0 under no-undo and a log-tail scan in-place.");
 
+  bench::BenchReport report("movetofuture");
+
   std::printf("\n-- (a) moves per advancement cadence (both recovery "
               "schemes) --\n");
   std::printf("%12s | %-9s | %10s | %12s | %16s | %8s\n", "period (ms)",
@@ -62,6 +64,11 @@ int main() {
                                    out.metrics().mtf_records_scanned()) /
                                    static_cast<double>(moves),
                   out.verified ? "ok" : "FAIL");
+      char label[64];
+      std::snprintf(label, sizeof label, "period%lldms-%s",
+                    static_cast<long long>(period / kMillisecond),
+                    wal::RecoverySchemeName(rec));
+      report.AddRun(label, out);
     }
   }
 
@@ -82,6 +89,11 @@ int main() {
                   static_cast<unsigned long long>(
                       out.metrics().sync_mismatch_aborts()),
                   static_cast<unsigned long long>(out.runner.retries));
+      char label[64];
+      std::snprintf(label, sizeof label, "ablation-period%lldms-%s",
+                    static_cast<long long>(period / kMillisecond),
+                    sync ? "sync-ava" : "ava3");
+      report.AddRun(label, out);
     }
   }
   std::printf(

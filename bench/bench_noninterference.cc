@@ -22,7 +22,8 @@ struct Row {
   bool verified = true;
 };
 
-Row Run(db::Scheme scheme, int query_ops, SimDuration per_op_think) {
+Row Run(db::Scheme scheme, int query_ops, SimDuration per_op_think,
+        bench::BenchReport* report) {
   bench::RunConfig cfg;
   cfg.db.scheme = scheme;
   cfg.db.num_nodes = 3;
@@ -39,6 +40,10 @@ Row Run(db::Scheme scheme, int query_ops, SimDuration per_op_think) {
   cfg.workload.advancement_period =
       scheme == db::Scheme::kAva3 ? 150 * kMillisecond : 0;
   bench::RunOutput out = bench::RunWorkload(std::move(cfg));
+  char label[64];
+  std::snprintf(label, sizeof label, "%s-q%dops", db::SchemeName(scheme),
+                query_ops);
+  report->AddRun(label, out);
   Row row;
   row.query_p50 = out.metrics().query_latency().Percentile(50);
   row.query_p99 = out.metrics().query_latency().Percentile(99);
@@ -57,6 +62,7 @@ int main() {
       "Sections 1 / 6.3 / 9 (Theorem 6.3)",
       "AVA3: query latency = scan time, update latency flat, zero aborts "
       "from reads. S2PL-R: queries and updates collide.");
+  bench::BenchReport report("noninterference");
   std::printf("\n%-6s %-10s | %12s %12s | %12s %10s %8s %6s\n", "scheme",
               "query len", "query p50", "query p99", "update p99",
               "upd commits", "aborts", "oracle");
@@ -65,7 +71,7 @@ int main() {
   for (int query_ops : {4, 16, 64}) {
     for (db::Scheme scheme :
          {db::Scheme::kAva3, db::Scheme::kS2pl, db::Scheme::kMvu}) {
-      Row r = Run(scheme, query_ops, 500);
+      Row r = Run(scheme, query_ops, 500, &report);
       std::printf("%-6s %7d ops | %10lld us %10lld us | %10lld us %10llu "
                   "%8llu %6s\n",
                   db::SchemeName(scheme), query_ops,

@@ -23,8 +23,8 @@ struct Row {
   bool verified = false;
 };
 
-Row Run(bool carry, bool root_only, bool combined, bool eager,
-        bool read_marks = true) {
+Row Run(bench::BenchReport* report, const char* label, bool carry,
+        bool root_only, bool combined, bool eager, bool read_marks = true) {
   bench::RunConfig cfg;
   cfg.db.num_nodes = 4;
   cfg.db.seed = 71;
@@ -46,6 +46,7 @@ Row Run(bool carry, bool root_only, bool combined, bool eager,
   cfg.workload.advancement_period = 50 * kMillisecond;
   cfg.workload.rotate_coordinator = true;
   bench::RunOutput out = bench::RunWorkload(std::move(cfg));
+  report->AddRun(label, out);
   Row row;
   row.moves = out.metrics().mtf_count();
   row.latch_ops = out.database->ava3_engine()->TotalLatchOps();
@@ -77,15 +78,21 @@ int main() {
               "commits", "oracle");
   std::printf("-------------------------+----------+------------+----------"
               "----+----------+----------+-------\n");
-  Print("base", Run(false, false, false, false));
-  Print("O1 carry version", Run(true, false, false, false));
-  Print("O2 root-only counters", Run(false, true, false, false));
-  Print("O3 combined counters", Run(false, false, true, false));
-  Print("E  eager handoff", Run(false, false, false, true));
-  Print("all four", Run(true, true, true, true));
+  bench::BenchReport report("optimizations");
+  Print("base", Run(&report, "base", false, false, false, false));
+  Print("O1 carry version", Run(&report, "o1-carry", true, false, false,
+                                false));
+  Print("O2 root-only counters", Run(&report, "o2-root-only", false, true,
+                                     false, false));
+  Print("O3 combined counters", Run(&report, "o3-combined", false, false,
+                                    true, false));
+  Print("E  eager handoff", Run(&report, "eager-handoff", false, false,
+                                false, true));
+  Print("all four", Run(&report, "all-four", true, true, true, true));
   // The serializability fix (DESIGN.md finding F2): extra moveToFutures
   // caused by read marks = the price of closing the paper's gap.
-  Row no_marks = Run(false, false, false, false, /*read_marks=*/false);
+  Row no_marks = Run(&report, "paper-no-read-marks", false, false, false,
+                     false, /*read_marks=*/false);
   no_marks.verified = true;  // not checked (the anomaly is the point)
   Print("paper (no read marks)", no_marks);
   std::printf(

@@ -17,6 +17,8 @@ int main() {
                 "Staleness ~ advancement period / 2 (+ phase time); the "
                 "continuous limit is bounded by concurrent query age.");
 
+  bench::BenchReport report("staleness");
+
   std::printf("\n-- (a) staleness vs. period --\n");
   std::printf("%12s | %10s | %14s | %14s | %12s\n", "period (ms)", "rounds",
               "stale mean(ms)", "stale p99(ms)", "oracle");
@@ -40,6 +42,10 @@ int main() {
                 static_cast<long long>(
                     out.metrics().staleness().Percentile(99) / 1000),
                 out.verified ? "ok" : "FAIL");
+    char label[48];
+    std::snprintf(label, sizeof label, "period%lldms",
+                  static_cast<long long>(period / kMillisecond));
+    report.AddRun(label, out);
   }
 
   std::printf("\n-- (b) the continuous-advancement limit --\n");
@@ -68,6 +74,10 @@ int main() {
                 static_cast<long long>(p99 / 1000),
                 static_cast<long long>(bound / 1000),
                 bench::Check(p99 <= bound));
+    char label[48];
+    std::snprintf(label, sizeof label, "continuous-qlen%lldms",
+                  static_cast<long long>(qlen / kMillisecond));
+    report.AddRun(label, out);
   }
   std::printf(
       "\nStaleness tracks the advancement period linearly (a); in the\n"

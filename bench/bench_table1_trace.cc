@@ -31,9 +31,10 @@ int main() {
               "--------\n");
   const char* site_names[] = {"i", "j", "k"};
   for (const TraceEvent& ev : database.trace().events()) {
+    if (!IsNarrative(ev)) continue;  // skip msg traffic and span brackets
     std::printf("%-10lld | %-6s | %s\n", static_cast<long long>(ev.time),
                 ev.node >= 0 && ev.node < 3 ? site_names[ev.node] : "?",
-                ev.what.c_str());
+                Render(ev).c_str());
   }
 
   const auto& r = *result;
@@ -71,5 +72,17 @@ int main() {
       database.metrics().mtf_count() == 3;
   std::printf("\nreproduction matches the paper's narrative: %s\n",
               bench::Check(ok));
+
+  bench::BenchReport report("table1_trace");
+  report.AddDatabase("table1", database);
+  report.AddScalar("t_commit_version",
+                   static_cast<double>(r.t.commit_version));
+  report.AddScalar("s_commit_version",
+                   static_cast<double>(r.s.commit_version));
+  report.AddScalar("u_commit_version",
+                   static_cast<double>(r.u.commit_version));
+  report.AddScalar("move_to_futures",
+                   static_cast<double>(database.metrics().mtf_count()));
+  report.AddScalar("matches_paper", ok ? 1 : 0);
   return ok ? 0 : 1;
 }

@@ -6,9 +6,13 @@
 // corresponding experiment reports; EXPERIMENTS.md records the outputs.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/json.h"
 #include "engine/database.h"
 #include "verify/serializability.h"
 #include "workload/runner.h"
@@ -69,6 +73,112 @@ inline void Banner(const char* experiment, const char* paper_ref,
 }
 
 inline const char* Check(bool ok) { return ok ? "ok" : "VIOLATED"; }
+
+/// Machine-readable experiment export. Each bench binary owns one
+/// BenchReport; every configuration it runs is recorded with AddRun (full
+/// Metrics::ToJson payload plus runner/verifier outcomes), headline numbers
+/// with AddScalar, and the destructor writes BENCH_<name>.json into
+/// AVA3_BENCH_OUT_DIR (default: the working directory). The schema is
+/// validated by scripts/check_bench_json.py in CI.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() { Write(); }
+
+  /// Records one completed workload run under `label`.
+  void AddRun(const std::string& label, RunOutput& out) {
+    const db::DatabaseOptions& opt = out.database->options();
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("label", label);
+    w.KV("scheme", db::SchemeName(opt.scheme));
+    w.KV("nodes", opt.num_nodes);
+    w.KV("seed", opt.seed);
+    w.KV("verified", out.verified);
+    w.KV("max_live_versions", out.max_live_versions);
+    w.Key("runner");
+    w.BeginObject();
+    w.KV("update_attempts", out.runner.update_attempts);
+    w.KV("query_attempts", out.runner.query_attempts);
+    w.KV("committed_updates", out.runner.committed_updates);
+    w.KV("committed_queries", out.runner.committed_queries);
+    w.KV("retries", out.runner.retries);
+    w.KV("gave_up", out.runner.gave_up);
+    w.EndObject();
+    w.Key("metrics");
+    w.Raw(out.metrics().ToJson());
+    w.EndObject();
+    runs_.push_back(std::move(w).Take());
+  }
+
+  /// Records a run driven directly through a Database (scenario benches
+  /// that bypass RunWorkload): configuration plus the metrics payload.
+  void AddDatabase(const std::string& label, db::Database& database) {
+    const db::DatabaseOptions& opt = database.options();
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("label", label);
+    w.KV("scheme", db::SchemeName(opt.scheme));
+    w.KV("nodes", opt.num_nodes);
+    w.KV("seed", opt.seed);
+    w.Key("metrics");
+    w.Raw(database.metrics().ToJson());
+    w.EndObject();
+    runs_.push_back(std::move(w).Take());
+  }
+
+  /// Records a headline scalar (a table cell: a throughput, a ratio...).
+  void AddScalar(const std::string& key, double value) {
+    scalars_.emplace_back(key, value);
+  }
+
+  /// Destination path: $AVA3_BENCH_OUT_DIR/BENCH_<name>.json.
+  std::string Path() const {
+    const char* dir = std::getenv("AVA3_BENCH_OUT_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+    if (path.back() != '/') path += '/';
+    return path + "BENCH_" + name_ + ".json";
+  }
+
+  /// Serializes and writes the report (idempotent; the destructor calls it).
+  bool Write() {
+    if (written_) return true;
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("bench", name_);
+    w.KV("schema_version", 1);
+    w.Key("scalars");
+    w.BeginObject();
+    for (const auto& [k, v] : scalars_) w.KV(k, v);
+    w.EndObject();
+    w.Key("runs");
+    w.BeginArray();
+    for (const std::string& r : runs_) w.Raw(r);
+    w.EndArray();
+    w.EndObject();
+    const std::string path = Path();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot open %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = std::move(w).Take();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("[bench-json] wrote %s\n", path.c_str());
+    written_ = true;
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> runs_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  bool written_ = false;
+};
 
 }  // namespace ava3::bench
 

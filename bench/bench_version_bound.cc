@@ -22,7 +22,8 @@ struct Row {
   uint64_t commits = 0;
 };
 
-Row Run(db::Scheme scheme, SimDuration pin_len) {
+Row Run(db::Scheme scheme, SimDuration pin_len,
+        bench::BenchReport* report) {
   db::DatabaseOptions o;
   o.num_nodes = 1;
   o.scheme = scheme;
@@ -63,6 +64,10 @@ Row Run(db::Scheme scheme, SimDuration pin_len) {
     row.mean_chain = mvu->MaxChainScan();  // what the pinned snapshot pays
   }
   row.commits = runner.stats().committed_updates;
+  char label[64];
+  std::snprintf(label, sizeof label, "%s-pin%lldms", db::SchemeName(scheme),
+                static_cast<long long>(pin_len / kMillisecond));
+  report->AddDatabase(label, database);
   return row;
 }
 
@@ -74,6 +79,7 @@ int main() {
       "Sections 1.2 / 6.2 / 9",
       "AVA3 <= 3 versions always; MVU grows without bound under a pinned "
       "query; FOURV <= 4.");
+  bench::BenchReport report("version_bound");
   std::printf("\n%-14s | %-22s | %-22s | %-26s\n", "pinned query",
               "ava3 max-versions", "fourv max-versions",
               "mvu max-versions (max scan)");
@@ -81,9 +87,9 @@ int main() {
               "------+------------------------\n");
   for (SimDuration pin : {100 * kMillisecond, 400 * kMillisecond,
                           1600 * kMillisecond, 6400 * kMillisecond}) {
-    Row ava3_row = Run(db::Scheme::kAva3, pin);
-    Row fourv_row = Run(db::Scheme::kFourV, pin);
-    Row mvu_row = Run(db::Scheme::kMvu, pin);
+    Row ava3_row = Run(db::Scheme::kAva3, pin, &report);
+    Row fourv_row = Run(db::Scheme::kFourV, pin, &report);
+    Row mvu_row = Run(db::Scheme::kMvu, pin, &report);
     std::printf("%10lld ms | %22d | %22d | %16d (%5.0f)\n",
                 static_cast<long long>(pin / kMillisecond),
                 ava3_row.max_versions, fourv_row.max_versions,

@@ -15,8 +15,10 @@
 #include <cstring>
 #include <string>
 
+#include "common/trace_export.h"
 #include "engine/database.h"
 #include "sim/fault_injector.h"
+#include "sim/timeseries.h"
 #include "verify/serializability.h"
 #include "workload/runner.h"
 
@@ -46,6 +48,9 @@ struct Flags {
   bool continuous = false;
   bool verify = false;
   bool trace = false;
+  std::string trace_out;
+  std::string metrics_out;
+  int64_t sample_ms = 0;
   bool help = false;
 };
 
@@ -83,7 +88,12 @@ void Usage() {
       "  --eager                        Section-8 eager counter handoff\n"
       "  --continuous                   Section-8 continuous advancement\n"
       "  --verify                       run the serializability oracle\n"
-      "  --trace                        print the protocol trace\n");
+      "  --trace                        print the protocol trace\n"
+      "  --trace-out=FILE               write Chrome trace JSON (load in\n"
+      "                                 Perfetto / chrome://tracing)\n"
+      "  --metrics-out=FILE             write the metrics report as JSON\n"
+      "  --sample-ms=MS                 sample per-node gauges every MS of\n"
+      "                                 simulated time (0=off)\n");
 }
 
 Flags Parse(int argc, char** argv) {
@@ -130,8 +140,14 @@ Flags Parse(int argc, char** argv) {
       f.continuous = true;
     } else if (ParseFlag(argv[i], "--verify", &v)) {
       f.verify = true;
+    } else if (ParseFlag(argv[i], "--trace-out", &v) && v) {
+      f.trace_out = v;
     } else if (ParseFlag(argv[i], "--trace", &v)) {
       f.trace = true;
+    } else if (ParseFlag(argv[i], "--metrics-out", &v) && v) {
+      f.metrics_out = v;
+    } else if (ParseFlag(argv[i], "--sample-ms", &v) && v) {
+      f.sample_ms = std::atoll(v);
     } else if (ParseFlag(argv[i], "--help", &v)) {
       f.help = true;
     } else {
@@ -154,7 +170,8 @@ int main(int argc, char** argv) {
   db::DatabaseOptions options;
   options.num_nodes = f.nodes;
   options.seed = f.seed;
-  options.enable_trace = f.trace;
+  options.enable_trace = f.trace || !f.trace_out.empty();
+  options.timeseries_interval = f.sample_ms * kMillisecond;
   options.ava3.recovery = f.in_place ? wal::RecoveryScheme::kInPlace
                                      : wal::RecoveryScheme::kNoUndo;
   options.ava3.eager_counter_handoff = f.eager;
@@ -188,8 +205,9 @@ int main(int argc, char** argv) {
   db::Database database(options);
   if (f.trace) {
     database.trace().SetListener([](const TraceEvent& ev) {
+      if (!IsNarrative(ev)) return;
       std::printf("%10lld n%d  %s\n", static_cast<long long>(ev.time),
-                  ev.node, ev.what.c_str());
+                  ev.node, Render(ev).c_str());
     });
   }
 
@@ -268,6 +286,31 @@ int main(int argc, char** argv) {
     std::printf("faults             : %s; crashes=%llu recoveries=%llu\n",
                 fs.c_str(), static_cast<unsigned long long>(m.crashes()),
                 static_cast<unsigned long long>(m.recoveries()));
+  }
+
+  if (!f.trace_out.empty()) {
+    TraceExportOptions topts;
+    topts.sampler = database.sampler();
+    topts.faults = &options.faults;
+    if (WriteChromeTrace(database.trace(), f.trace_out, topts)) {
+      std::printf("trace written      : %s (%zu events)\n",
+                  f.trace_out.c_str(), database.trace().events().size());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", f.trace_out.c_str());
+      return 1;
+    }
+  }
+  if (!f.metrics_out.empty()) {
+    std::FILE* out = std::fopen(f.metrics_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "failed to write %s\n", f.metrics_out.c_str());
+      return 1;
+    }
+    const std::string json = m.ToJson();
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("metrics written    : %s\n", f.metrics_out.c_str());
   }
 
   if (f.verify) {

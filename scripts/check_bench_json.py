@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Schema check for the machine-readable bench exports (BENCH_*.json).
+
+Two accepted shapes:
+
+1. The BenchReport schema written by bench/bench_util.h:
+     {"bench": str, "schema_version": 1,
+      "scalars": {str: number, ...},
+      "runs": [{"label": str, "scheme": str, "nodes": int, "seed": int,
+                "metrics": {"counters": {...}, "latency_us": {...},
+                            "advancement_us": {...}}, ...}, ...]}
+   Every run must carry a metrics object with the counters/latency_us
+   sections, and latency_us.phases must break down lock_wait / twopc_round
+   / commit_apply.
+
+2. google-benchmark's native JSON (bench_micro): top-level "context" and
+   "benchmarks" keys; each benchmark entry has "name" and "real_time".
+
+Usage: check_bench_json.py FILE [FILE...]   (or a directory to glob)
+Exits non-zero on the first malformed file. Stdlib only.
+"""
+
+import json
+import pathlib
+import sys
+
+HIST_KEYS = {"count", "sum", "mean", "min", "p50", "p90", "p99", "max"}
+PHASE_KEYS = {"lock_wait", "twopc_round", "commit_apply"}
+
+
+def fail(path, msg):
+    print(f"FAIL {path}: {msg}")
+    sys.exit(1)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_histogram(path, name, h):
+    if not isinstance(h, dict):
+        fail(path, f"{name}: histogram is not an object")
+    missing = HIST_KEYS - h.keys()
+    if missing:
+        fail(path, f"{name}: histogram missing keys {sorted(missing)}")
+    for k in HIST_KEYS:
+        if not is_num(h[k]):
+            fail(path, f"{name}.{k}: not a number")
+    if h["count"] < 0 or (h["count"] > 0 and h["min"] > h["max"]):
+        fail(path, f"{name}: inconsistent count/min/max")
+
+
+def check_metrics(path, label, m):
+    if not isinstance(m, dict):
+        fail(path, f"{label}: metrics is not an object")
+    for section in ("counters", "latency_us", "advancement_us"):
+        if section not in m:
+            fail(path, f"{label}: metrics missing '{section}'")
+    for k, v in m["counters"].items():
+        if not is_num(v):
+            fail(path, f"{label}: counter {k} is not a number")
+    lat = m["latency_us"]
+    for name in ("update", "query", "staleness"):
+        check_histogram(path, f"{label}.latency_us.{name}", lat.get(name))
+    phases = lat.get("phases")
+    if not isinstance(phases, dict):
+        fail(path, f"{label}: latency_us.phases missing")
+    missing = PHASE_KEYS - phases.keys()
+    if missing:
+        fail(path, f"{label}: phases missing {sorted(missing)}")
+    for name in PHASE_KEYS:
+        check_histogram(path, f"{label}.phases.{name}", phases[name])
+    for name in ("phase1", "phase2", "total"):
+        check_histogram(path, f"{label}.advancement_us.{name}",
+                        m["advancement_us"].get(name))
+
+
+def check_bench_report(path, doc):
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(path, "'bench' missing or not a string")
+    if doc.get("schema_version") != 1:
+        fail(path, "'schema_version' != 1")
+    scalars = doc.get("scalars")
+    if not isinstance(scalars, dict):
+        fail(path, "'scalars' missing or not an object")
+    for k, v in scalars.items():
+        if not is_num(v):
+            fail(path, f"scalar {k} is not a number")
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        fail(path, "'runs' missing or not a list")
+    if not runs and not scalars:
+        fail(path, "report has neither runs nor scalars")
+    labels = set()
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            fail(path, f"runs[{i}] is not an object")
+        label = run.get("label")
+        if not isinstance(label, str) or not label:
+            fail(path, f"runs[{i}]: 'label' missing")
+        if label in labels:
+            fail(path, f"duplicate run label '{label}'")
+        labels.add(label)
+        if run.get("scheme") not in ("ava3", "s2pl", "mvu", "fourv"):
+            fail(path, f"run '{label}': bad scheme {run.get('scheme')!r}")
+        if not isinstance(run.get("nodes"), int) or run["nodes"] < 1:
+            fail(path, f"run '{label}': bad 'nodes'")
+        check_metrics(path, f"run '{label}'", run.get("metrics"))
+    print(f"ok   {path}: {len(runs)} run(s), {len(scalars)} scalar(s)")
+
+
+def check_google_benchmark(path, doc):
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail(path, "'benchmarks' missing or empty")
+    for i, b in enumerate(benchmarks):
+        if not isinstance(b.get("name"), str):
+            fail(path, f"benchmarks[{i}]: 'name' missing")
+        if "real_time" in b and not is_num(b["real_time"]):
+            fail(path, f"benchmarks[{i}]: 'real_time' not a number")
+    print(f"ok   {path}: {len(benchmarks)} microbenchmark(s)")
+
+
+def check_file(path):
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if "benchmarks" in doc and "context" in doc:
+        check_google_benchmark(path, doc)
+    else:
+        check_bench_report(path, doc)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.glob("BENCH_*.json")))
+        else:
+            files.append(p)
+    if not files:
+        print("FAIL: no BENCH_*.json files found")
+        return 1
+    for f in files:
+        check_file(f)
+    print(f"all {len(files)} bench export(s) pass the schema check")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,6 +5,7 @@
 // participants, resends, the FOURV asynchronous-drain mode, and the
 // optional stalled-advancement watchdog.
 
+#include <algorithm>
 #include <cassert>
 
 #include "ava3/ava3_engine.h"
@@ -39,7 +40,10 @@ void Ava3Engine::StartPhase1(NodeId k, Version newu) {
   c.start_time = simulator().Now();
   c.pending_acks.clear();
   for (NodeId i = 0; i < num_nodes(); ++i) c.pending_acks.insert(i);
-  Trace(k, "advancement coordinator: Phase 1, newu=" + std::to_string(newu));
+  if (TraceEnabled()) {
+    c.phase_span = BeginSpan(k, TraceKind::kAdvancePhase, kInvalidTxn, newu,
+                             /*a=*/0, /*phase=*/1);
+  }
   BroadcastCurrentPhase(k, /*pending_only=*/false);
   ScheduleResend(k);
 }
@@ -85,9 +89,11 @@ void Ava3Engine::CancelCoordinator(NodeId k) {
   Coordinator& c = coordinators_[k];
   if (!c.active) return;
   simulator().Cancel(c.resend_ev);
+  EndSpan(k, TraceKind::kAdvancePhase, &c.phase_span, kInvalidTxn,
+          static_cast<uint8_t>(c.phase));
   c = Coordinator{};
   metrics().RecordAdvancementCancelled();
-  Trace(k, "advancement coordinator cancelled (another is ahead)");
+  EmitTrace(k, TraceKind::kAdvanceCancelled);
 }
 
 // ---------------------------------------------------------------------------
@@ -96,9 +102,7 @@ void Ava3Engine::CancelCoordinator(NodeId k) {
 
 void Ava3Engine::OnAdvanceU(NodeId i, Version newu, NodeId coord) {
   ControlState& cs = *control_[i];
-  if (TraceEnabled()) {
-    Trace(i, "recv advance-u(" + std::to_string(newu) + ")");
-  }
+  EmitTrace(i, TraceKind::kRecvAdvanceU, kInvalidTxn, newu);
   if (cs.u() > newu) return;  // obsolete round
   if (!opts_.four_version_mode && cs.g() < newu - 3) {
     // This node missed the previous round's garbage-collect message; the
@@ -134,12 +138,16 @@ void Ava3Engine::OnAckAdvanceU(NodeId k, Version newu, NodeId from) {
 
 void Ava3Engine::StartPhase2(NodeId k) {
   Coordinator& c = coordinators_[k];
+  EndSpan(k, TraceKind::kAdvancePhase, &c.phase_span, kInvalidTxn,
+          /*phase=*/1);
   c.phase = 2;
   c.phase2_start = simulator().Now();
   c.pending_acks.clear();
   for (NodeId i = 0; i < num_nodes(); ++i) c.pending_acks.insert(i);
-  Trace(k, "advancement coordinator: Phase 2, newq=" +
-               std::to_string(c.newu - 1));
+  if (TraceEnabled()) {
+    c.phase_span = BeginSpan(k, TraceKind::kAdvancePhase, kInvalidTxn, c.newu,
+                             /*a=*/0, /*phase=*/2);
+  }
   BroadcastCurrentPhase(k, /*pending_only=*/false);
 }
 
@@ -151,9 +159,7 @@ void Ava3Engine::OnAdvanceQ(NodeId i, Version newq, NodeId coord) {
     CancelCoordinator(i);
   }
   ControlState& cs = *control_[i];
-  if (TraceEnabled()) {
-    Trace(i, "recv advance-q(" + std::to_string(newq) + ")");
-  }
+  EmitTrace(i, TraceKind::kRecvAdvanceQ, kInvalidTxn, newq);
   if (cs.q() > newq) return;  // obsolete
   cs.AdvanceQ(newq);          // no-op if a subquery already advanced us
   if (opts_.four_version_mode) {
@@ -191,8 +197,9 @@ void Ava3Engine::StartPhase3(NodeId k) {
   metrics().RecordAdvancement(c.phase2_start - c.start_time,
                               now - c.phase2_start, now - c.start_time);
   const Version newg = c.newu - 2;
-  Trace(k, "advancement coordinator: Phase 3, garbage-collect(" +
-               std::to_string(newg) + ")");
+  EndSpan(k, TraceKind::kAdvancePhase, &c.phase_span, kInvalidTxn,
+          /*phase=*/2);
+  EmitTrace(k, TraceKind::kGcBroadcast, kInvalidTxn, newg);
   simulator().Cancel(c.resend_ev);
   c = Coordinator{};  // coordinator's job is done; Phase 3 needs no acks
   if (opts_.four_version_mode) return;  // drains collect locally instead
@@ -245,11 +252,14 @@ void Ava3Engine::RunGcStep(NodeId i, Version v) {
       ++it;
     }
   }
-  if (TraceEnabled()) {
-    Trace(i, "garbage-collected version " + std::to_string(v) + " (dropped " +
-                 std::to_string(stats.versions_dropped) + ", relabeled " +
-                 std::to_string(stats.versions_relabeled) + ")");
-  }
+  EmitTrace(i, TraceKind::kGcStep, kInvalidTxn, v,
+            /*a=*/stats.versions_dropped, /*b=*/stats.versions_relabeled);
+  // Staleness bookkeeping can forget versions every node has collected:
+  // once min-g reaches v, no future query can snapshot below v + 1, so the
+  // first-commit entries at or below min-g are dead weight on long soaks.
+  Version min_g = cs.g();
+  for (const auto& other : control_) min_g = std::min(min_g, other->g());
+  metrics().PruneFirstCommitTimes(min_g);
 }
 
 // ---------------------------------------------------------------------------
@@ -290,11 +300,23 @@ void Ava3Engine::StartWatchdog(NodeId i) {
         if (stuck_phase2) {
           // Re-drive the round with the same newu; every handler is
           // idempotent and all coordinators advance to the same versions.
-          Trace(i, "watchdog adopts stalled advancement, newu=" +
-                       std::to_string(cs.u()));
+          if (TraceEnabled()) {
+            TraceEvent ev;
+            ev.node = i;
+            ev.kind = TraceKind::kWatchdog;
+            ev.phase = 1;
+            ev.version = cs.u();
+            EmitTrace(std::move(ev));
+          }
           StartPhase1(i, cs.u());
         } else {
-          Trace(i, "watchdog re-drives garbage collection");
+          if (TraceEnabled()) {
+            TraceEvent ev;
+            ev.node = i;
+            ev.kind = TraceKind::kWatchdog;
+            ev.phase = 3;
+            EmitTrace(std::move(ev));
+          }
           const Version newg = cs.q() - 1;
           for (NodeId j = 0; j < num_nodes(); ++j) {
             network().Send(i, j, MsgKind::kGarbageCollect,

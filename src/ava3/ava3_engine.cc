@@ -129,8 +129,7 @@ void Ava3Engine::OnUpdateStart(UpdateRt& rt, Version carried) {
     // live elsewhere; starting there directly avoids a later moveToFuture.
     // Locally this acts like the advancement signal of step 8.
     cs.AdvanceU(carried);
-    Trace(rt.node, "carried version starts local advancement to u=" +
-                       std::to_string(carried));
+    EmitTrace(rt.node, TraceKind::kCarriedAdvance, kInvalidTxn, carried);
   }
   rt.version = rt.start_version = rt.counter_version = cs.u();
   cs.IncUpdate(rt.start_version);
@@ -290,9 +289,7 @@ void Ava3Engine::OnCommitMsg(UpdateRt& rt, Version global_version) {
       // Version advancement has not begun at this node; the commit message
       // is the signal to start it (paper: increment u_i, init counter).
       cs.AdvanceU(global_version);
-      Trace(rt.node, "commit(T" + std::to_string(rt.txn) +
-                         ") triggers local advancement to u=" +
-                         std::to_string(global_version));
+      EmitTrace(rt.node, TraceKind::kCommitAdvance, rt.txn, global_version);
     }
     MoveToFuture(rt, global_version);
   }
@@ -443,11 +440,8 @@ void Ava3Engine::MoveToFuture(UpdateRt& rt, Version newv) {
   rt.version = newv;
   ++rt.mtf_count;
   metrics().RecordMoveToFuture(scanned);
-  if (TraceEnabled()) {
-    Trace(rt.node, "T" + std::to_string(rt.txn) + " moveToFuture(" +
-                       std::to_string(oldv) + "->" + std::to_string(newv) +
-                       ")");
-  }
+  EmitTrace(rt.node, TraceKind::kMoveToFuture, rt.txn, newv, /*a=*/oldv,
+            /*b=*/scanned);
   if (opts_.eager_counter_handoff && rt.counter_version != newv) {
     // Section 8: the transaction now "appears to have started" in the new
     // version, so Phase 1 does not wait for it.
@@ -483,7 +477,7 @@ Status Ava3Engine::OnQueryStart(QueryRt& rt, Version assigned) {
       // Section 3.3 step 2: the advance-q message has not arrived here yet;
       // the subquery itself advances the node's query version.
       cs.AdvanceQ(assigned);
-      Trace(rt.node, "subquery advances q to " + std::to_string(assigned));
+      EmitTrace(rt.node, TraceKind::kSubqueryAdvanceQ, rt.txn, assigned);
     }
   }
   if (rt.is_root() || !opts_.root_only_query_counters) {
@@ -541,6 +535,10 @@ void Ava3Engine::OnNodeCrash(NodeId node) {
   Coordinator& c = coordinators_[node];
   if (c.active) {
     simulator().Cancel(c.resend_ev);
+    // The crash kills the in-flight advancement round; close its span so
+    // the timeline shows the truncated phase.
+    EndSpan(node, TraceKind::kAdvancePhase, &c.phase_span, kInvalidTxn,
+            static_cast<uint8_t>(c.phase));
     c = Coordinator{};
   }
   fourv_drain_ready_[node].clear();

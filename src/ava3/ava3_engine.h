@@ -83,6 +83,7 @@ class Ava3Engine : public db::EngineBase {
     SimTime start_time = 0;
     SimTime phase2_start = 0;
     sim::EventId resend_ev = sim::kInvalidEvent;
+    uint64_t phase_span = 0;  // open kAdvancePhase span (tracing only)
   };
 
   // Coordinator side.

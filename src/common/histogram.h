@@ -33,13 +33,28 @@ class Histogram {
                : static_cast<double>(sum_) / static_cast<double>(samples_.size());
   }
 
-  /// Exact percentile, p in [0, 100].
+  /// Exact percentile; p is clamped to [0, 100], and the endpoints are
+  /// pinned so Percentile(0) == min() and Percentile(100) == max() exactly.
   int64_t Percentile(double p) const {
     if (samples_.empty()) return 0;
+    if (p <= 0) return min();
+    if (p >= 100) return max();
     EnsureSorted();
     const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
     const size_t idx = static_cast<size_t>(rank + 0.5);
     return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  /// Folds another histogram's samples into this one (exactness is
+  /// preserved: the merge is sample-for-sample, not bucket approximation).
+  void Merge(const Histogram& other) {
+    if (other.samples_.empty()) return;  // keep our min/max sentinels intact
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, other.min_);
   }
 
   void Clear() {

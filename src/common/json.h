@@ -1,0 +1,91 @@
+#ifndef AVA3_COMMON_JSON_H_
+#define AVA3_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ava3 {
+
+/// Minimal streaming JSON writer shared by the trace exporters, the metrics
+/// report, and the bench harness. Emits compact (no-whitespace) JSON with
+/// automatic comma placement; the writer trusts the caller to produce a
+/// well-formed nesting (asserted in debug builds via the depth stack).
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("name"); w.String("bench_faults");
+///   w.Key("runs"); w.BeginArray();
+///   ...
+///   w.EndArray();
+///   w.EndObject();
+///   std::string out = std::move(w).Take();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Double(double value);  // non-finite values are emitted as null
+  void Bool(bool value);
+  void Null();
+
+  /// Emits a pre-rendered JSON fragment verbatim (e.g. a nested report
+  /// produced by another writer). The caller guarantees validity.
+  void Raw(std::string_view json);
+
+  // Key/value convenience forms.
+  void KV(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void KV(std::string_view key, const char* value) {
+    Key(key);
+    String(value);
+  }
+  void KV(std::string_view key, int64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void KV(std::string_view key, int value) {
+    Key(key);
+    Int(value);
+  }
+  void KV(std::string_view key, uint64_t value) {
+    Key(key);
+    UInt(value);
+  }
+  void KV(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+  void KV(std::string_view key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+
+  /// JSON string escaping (quotes not included).
+  static std::string Escape(std::string_view s);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ava3
+
+#endif  // AVA3_COMMON_JSON_H_

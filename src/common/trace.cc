@@ -1,11 +1,234 @@
 #include "common/trace.h"
 
+#include "sim/network.h"
+
 namespace ava3 {
+
+namespace {
+
+std::string T(TxnId txn) { return "T" + std::to_string(txn); }
+std::string Q(TxnId txn) { return "Q" + std::to_string(txn); }
+
+const char* MsgName(int64_t kind) {
+  return sim::MsgKindName(static_cast<sim::MsgKind>(kind));
+}
+
+const char* CauseName(int64_t cause) {
+  return sim::DropCauseName(static_cast<sim::DropCause>(cause));
+}
+
+}  // namespace
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kNote:
+      return "note";
+    case TraceKind::kTxnStart:
+      return "txn-start";
+    case TraceKind::kQueryStart:
+      return "query-start";
+    case TraceKind::kPrepared:
+      return "prepared";
+    case TraceKind::kDecisionInquiry:
+      return "decision-inquiry";
+    case TraceKind::kCommitDecision:
+      return "commit-decision";
+    case TraceKind::kCommit:
+      return "commit";
+    case TraceKind::kAbort:
+      return "abort";
+    case TraceKind::kQueryDone:
+      return "query-done";
+    case TraceKind::kMoveToFuture:
+      return "move-to-future";
+    case TraceKind::kCarriedAdvance:
+      return "carried-advance";
+    case TraceKind::kCommitAdvance:
+      return "commit-advance";
+    case TraceKind::kSubqueryAdvanceQ:
+      return "subquery-advance-q";
+    case TraceKind::kRecvAdvanceU:
+      return "recv-advance-u";
+    case TraceKind::kRecvAdvanceQ:
+      return "recv-advance-q";
+    case TraceKind::kGcBroadcast:
+      return "gc-broadcast";
+    case TraceKind::kGcStep:
+      return "gc-step";
+    case TraceKind::kAdvanceCancelled:
+      return "advance-cancelled";
+    case TraceKind::kWatchdog:
+      return "watchdog";
+    case TraceKind::kNodeCrash:
+      return "node-crash";
+    case TraceKind::kNodeRecover:
+      return "node-recover";
+    case TraceKind::kMsgSend:
+      return "msg-send";
+    case TraceKind::kMsgRecv:
+      return "msg-recv";
+    case TraceKind::kMsgDrop:
+      return "msg-drop";
+    case TraceKind::kMsgDup:
+      return "msg-dup";
+    case TraceKind::kMsgDelay:
+      return "msg-delay";
+    case TraceKind::kUpdateTxn:
+      return "update-txn";
+    case TraceKind::kQueryTxn:
+      return "query-txn";
+    case TraceKind::kLockWait:
+      return "lock-wait";
+    case TraceKind::kTwoPcRound:
+      return "2pc-round";
+    case TraceKind::kCommitApply:
+      return "commit-apply";
+    case TraceKind::kAdvancePhase:
+      return "advance-phase";
+    case TraceKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+std::string Render(const TraceEvent& ev) {
+  const std::string v = std::to_string(ev.version);
+  switch (ev.kind) {
+    case TraceKind::kNote:
+      return ev.detail;
+    case TraceKind::kTxnStart:
+      return "update " + T(ev.txn) + " starts: startV=" + v;
+    case TraceKind::kQueryStart:
+      return "query " + Q(ev.txn) + " starts: V=" + v;
+    case TraceKind::kPrepared:
+      return T(ev.txn) + " prepared(" + v + ")";
+    case TraceKind::kDecisionInquiry:
+      return T(ev.txn) + " prepared-timeout: asking root for the verdict";
+    case TraceKind::kCommitDecision:
+      return T(ev.txn) + " commit decision: V(T)=" + v;
+    case TraceKind::kCommit:
+      return T(ev.txn) + " commits in version " + v;
+    case TraceKind::kAbort:
+      return T(ev.txn) + " fails: " + ev.detail;
+    case TraceKind::kQueryDone:
+      return Q(ev.txn) + (ev.a != 0 ? " completes" : " subquery completes");
+    case TraceKind::kMoveToFuture:
+      return T(ev.txn) + " moveToFuture(" + std::to_string(ev.a) + "->" + v +
+             ")";
+    case TraceKind::kCarriedAdvance:
+      return "carried version starts local advancement to u=" + v;
+    case TraceKind::kCommitAdvance:
+      return "commit(" + T(ev.txn) + ") triggers local advancement to u=" + v;
+    case TraceKind::kSubqueryAdvanceQ:
+      return "subquery advances q to " + v;
+    case TraceKind::kRecvAdvanceU:
+      return "recv advance-u(" + v + ")";
+    case TraceKind::kRecvAdvanceQ:
+      return "recv advance-q(" + v + ")";
+    case TraceKind::kGcBroadcast:
+      return "advancement coordinator: Phase 3, garbage-collect(" + v + ")";
+    case TraceKind::kGcStep:
+      return "garbage-collected version " + v + " (dropped " +
+             std::to_string(ev.a) + ", relabeled " + std::to_string(ev.b) +
+             ")";
+    case TraceKind::kAdvanceCancelled:
+      return "advancement coordinator cancelled (another is ahead)";
+    case TraceKind::kWatchdog:
+      return ev.phase == 1
+                 ? "watchdog adopts stalled advancement, newu=" + v
+                 : "watchdog re-drives garbage collection";
+    case TraceKind::kNodeCrash:
+      return "node crash";
+    case TraceKind::kNodeRecover:
+      return "node recovered";
+    case TraceKind::kMsgSend:
+      return std::string("send ") + MsgName(ev.a) + " -> n" +
+             std::to_string(ev.b) + " flow=" + std::to_string(ev.span);
+    case TraceKind::kMsgRecv:
+      return std::string("recv ") + MsgName(ev.a) + " <- n" +
+             std::to_string(ev.b) + " flow=" + std::to_string(ev.span);
+    case TraceKind::kMsgDrop:
+      return std::string("drop ") + MsgName(ev.a) + " (" + CauseName(ev.b) +
+             ") flow=" + std::to_string(ev.span);
+    case TraceKind::kMsgDup:
+      return std::string("duplicate ") + MsgName(ev.a) + " -> n" +
+             std::to_string(ev.b) + " flow=" + std::to_string(ev.span);
+    case TraceKind::kMsgDelay:
+      return std::string("delay ") + MsgName(ev.a) + " +" +
+             std::to_string(ev.b) + "us flow=" + std::to_string(ev.span);
+    case TraceKind::kUpdateTxn:
+      return T(ev.txn) + (ev.op == TraceOp::kBegin ? " subtxn begins"
+                                                   : " subtxn ends");
+    case TraceKind::kQueryTxn:
+      return Q(ev.txn) + (ev.op == TraceOp::kBegin ? " subquery begins"
+                                                   : " subquery ends");
+    case TraceKind::kLockWait:
+      return T(ev.txn) +
+             (ev.op == TraceOp::kBegin
+                  ? " waits for lock on item " + std::to_string(ev.a)
+                  : " lock wait over");
+    case TraceKind::kTwoPcRound:
+      return T(ev.txn) + (ev.op == TraceOp::kBegin ? " 2PC round begins"
+                                                   : " 2PC round ends");
+    case TraceKind::kCommitApply:
+      return T(ev.txn) + (ev.op == TraceOp::kBegin ? " commit apply begins"
+                                                   : " commit apply ends");
+    case TraceKind::kAdvancePhase:
+      if (ev.op == TraceOp::kBegin) {
+        return ev.phase == 1
+                   ? "advancement coordinator: Phase 1, newu=" + v
+                   : "advancement coordinator: Phase 2, newq=" +
+                         std::to_string(ev.version - 1);
+      }
+      return "advancement Phase " + std::to_string(ev.phase) + " done";
+    case TraceKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+bool IsNarrative(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceKind::kMsgSend:
+    case TraceKind::kMsgRecv:
+    case TraceKind::kMsgDrop:
+    case TraceKind::kMsgDup:
+    case TraceKind::kMsgDelay:
+      return false;
+    case TraceKind::kAdvancePhase:
+      return ev.op == TraceOp::kBegin;  // the Phase 1/2 coordinator lines
+    case TraceKind::kUpdateTxn:
+    case TraceKind::kQueryTxn:
+    case TraceKind::kLockWait:
+    case TraceKind::kTwoPcRound:
+    case TraceKind::kCommitApply:
+      return false;  // span brackets duplicate the instants
+    default:
+      return true;
+  }
+}
 
 std::vector<TraceEvent> TraceSink::Matching(const std::string& needle) const {
   std::vector<TraceEvent> out;
   for (const auto& e : events_) {
-    if (e.what.find(needle) != std::string::npos) out.push_back(e);
+    if (Render(e).find(needle) != std::string::npos) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceSink::Matching(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceSink::Matching(TraceKind kind,
+                                            TraceOp op) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind && e.op == op) out.push_back(e);
   }
   return out;
 }

@@ -1,6 +1,7 @@
 #ifndef AVA3_COMMON_TRACE_H_
 #define AVA3_COMMON_TRACE_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -9,26 +10,127 @@
 
 namespace ava3 {
 
-/// A single protocol-level trace event. The Table-1 reproduction bench
-/// renders these as the paper's example execution table; tests assert on
-/// them; normal runs keep tracing disabled for speed.
+/// What a trace event describes. Instant kinds mark a single protocol step;
+/// span kinds come in Begin/End pairs (see TraceOp) and carry a span id so
+/// exporters can reconstruct durations, and message kinds carry a flow id
+/// shared between the send and every delivery of one simulated message so
+/// cross-node causality survives into the exported timeline.
+enum class TraceKind : uint8_t {
+  kNote = 0,  // legacy free-form text (detail holds the message)
+
+  // --- Transaction instants (paper Sections 2, 3.3, 3.4) ---
+  kTxnStart,          // update subtransaction admitted; version = startV
+  kQueryStart,        // subquery admitted; version = V(Q)
+  kPrepared,          // subtransaction prepared; version = reported max
+  kDecisionInquiry,   // prepared participant asks the root for the verdict
+  kCommitDecision,    // root decided commit; version = V(T)
+  kCommit,            // one node applied the commit; version = V(T)
+  kAbort,             // subtransaction failed; detail = status
+  kQueryDone,         // root query (a=1) or subquery (a=0) completed
+  kMoveToFuture,      // paper Section 4; a = old version, b = records scanned
+  kCarriedAdvance,    // O1: spawn-carried version advanced local u
+  kCommitAdvance,     // step 8: commit message advanced local u
+  kSubqueryAdvanceQ,  // Section 3.3 step 2: subquery advanced local q
+
+  // --- Version-advancement instants (paper Section 3.2) ---
+  kRecvAdvanceU,      // participant received advance-u; version = newu
+  kRecvAdvanceQ,      // participant received advance-q; version = newq
+  kGcBroadcast,       // coordinator entered Phase 3; version = newg
+  kGcStep,            // node collected a version; a=dropped, b=relabeled
+  kAdvanceCancelled,  // coordinator cancelled (another round is ahead)
+  kWatchdog,          // phase=1 adopts a stalled round, phase=3 re-drives GC
+
+  // --- Fault / lifecycle instants ---
+  kNodeCrash,
+  kNodeRecover,
+
+  // --- Message flow instants (span field = flow id) ---
+  kMsgSend,   // node = sender;   a = MsgKind, b = destination
+  kMsgRecv,   // node = receiver; a = MsgKind, b = sender
+  kMsgDrop,   // node = where known; a = MsgKind, b = DropCause
+  kMsgDup,    // injected duplicate; a = MsgKind, b = destination
+  kMsgDelay,  // injected latency spike; a = MsgKind, b = extra micros
+
+  // --- Spans (emitted as Begin/End pairs) ---
+  kUpdateTxn,     // one update subtransaction's lifetime on one node
+  kQueryTxn,      // one subquery's lifetime on one node
+  kLockWait,      // one blocking lock acquisition; a = item
+  kTwoPcRound,    // root: local ops done -> commit/abort decision
+  kCommitApply,   // root: decision -> commit applied at the root
+  kAdvancePhase,  // coordinator; phase = 1 or 2, version = newu
+
+  kNumKinds,  // sentinel
+};
+
+/// Stable short name, e.g. "move-to-future".
+const char* TraceKindName(TraceKind kind);
+
+/// Span bracket for span kinds; instant kinds always use kInstant.
+enum class TraceOp : uint8_t {
+  kInstant = 0,
+  kBegin,
+  kEnd,
+};
+
+/// One structured protocol-level trace event. Numeric fields default to
+/// "absent"; which fields are meaningful depends on the kind (documented at
+/// each TraceKind). The Table-1 bench renders these through Render() as the
+/// paper's example execution table; tests assert on them; normal runs keep
+/// tracing disabled for speed.
 struct TraceEvent {
   SimTime time = 0;
   NodeId node = kInvalidNode;
-  std::string what;
+  TraceKind kind = TraceKind::kNote;
+  TraceOp op = TraceOp::kInstant;
+  uint8_t phase = 0;               // advancement phase where relevant
+  TxnId txn = kInvalidTxn;
+  Version version = kInvalidVersion;
+  uint64_t span = 0;               // span id (span kinds) / flow id (msgs)
+  int64_t a = 0;                   // kind-specific numeric argument
+  int64_t b = 0;                   // kind-specific numeric argument
+  std::string detail;              // status text / legacy notes only
 };
+
+/// Renders an event as the human-readable one-liner the string-only tracer
+/// used to emit (e.g. "T5 moveToFuture(1->2)"). Kept as a formatter: typed
+/// events are the source of truth, strings are a view.
+std::string Render(const TraceEvent& ev);
+
+/// True for events a human-facing narrative trace should print: protocol
+/// instants plus advancement-phase begins, excluding message-level traffic
+/// and span brackets (the Table-1 bench and --trace output use this).
+bool IsNarrative(const TraceEvent& ev);
 
 /// Collects trace events when enabled. One sink per simulation; subsystems
 /// hold a pointer and call Emit(). Not thread-safe (the simulator is
 /// single-threaded by design).
+///
+/// Contract: when disabled, Emit() drops the event and NextSpanId() must
+/// not be called (callers guard with enabled()); nothing else in the
+/// simulation may depend on the sink, so tracing on/off is bit-identical.
 class TraceSink {
  public:
   void Enable(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Fresh span/flow id. Only meaningful while enabled (callers allocate
+  /// ids solely inside enabled() guards, keeping disabled runs zero-cost).
+  uint64_t NextSpanId() { return ++last_span_; }
+
+  void Emit(TraceEvent ev) {
+    if (!enabled_) return;
+    events_.push_back(std::move(ev));
+    if (listener_) listener_(events_.back());
+  }
+
+  /// Legacy free-form emission; recorded as a kNote instant.
   void Emit(SimTime time, NodeId node, std::string what) {
     if (!enabled_) return;
-    events_.push_back(TraceEvent{time, node, std::move(what)});
+    TraceEvent ev;
+    ev.time = time;
+    ev.node = node;
+    ev.detail = std::move(what);
+    events_.push_back(std::move(ev));
     if (listener_) listener_(events_.back());
   }
 
@@ -40,11 +142,16 @@ class TraceSink {
     listener_ = std::move(fn);
   }
 
-  /// Returns events whose description contains `needle`.
+  /// Returns events whose rendered description contains `needle`.
   std::vector<TraceEvent> Matching(const std::string& needle) const;
+
+  /// Returns events of one kind (optionally one span op).
+  std::vector<TraceEvent> Matching(TraceKind kind) const;
+  std::vector<TraceEvent> Matching(TraceKind kind, TraceOp op) const;
 
  private:
   bool enabled_ = false;
+  uint64_t last_span_ = 0;
   std::vector<TraceEvent> events_;
   std::function<void(const TraceEvent&)> listener_;
 };

@@ -1,0 +1,363 @@
+#include "common/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/json.h"
+#include "sim/fault_injector.h"
+#include "sim/network.h"
+#include "sim/timeseries.h"
+
+namespace ava3 {
+
+namespace {
+
+// Chrome-trace track layout: one process per node (pid = node + 1; pid 0 is
+// the cluster-wide track), with per-process rows (tids) for protocol
+// control, network traffic, and one row per transaction.
+constexpr int64_t kControlTid = 1;
+constexpr int64_t kNetworkTid = 2;
+constexpr int64_t kTxnTidBase = 16;  // txn rows: tid = txn + kTxnTidBase
+
+int64_t PidOf(const TraceEvent& ev) {
+  return ev.node == kInvalidNode ? 0 : ev.node + 1;
+}
+
+int64_t TidOf(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceKind::kMsgSend:
+    case TraceKind::kMsgRecv:
+    case TraceKind::kMsgDrop:
+    case TraceKind::kMsgDup:
+    case TraceKind::kMsgDelay:
+      return kNetworkTid;
+    case TraceKind::kUpdateTxn:
+    case TraceKind::kQueryTxn:
+    case TraceKind::kLockWait:
+    case TraceKind::kTwoPcRound:
+    case TraceKind::kCommitApply:
+    case TraceKind::kTxnStart:
+    case TraceKind::kQueryStart:
+    case TraceKind::kPrepared:
+    case TraceKind::kDecisionInquiry:
+    case TraceKind::kCommitDecision:
+    case TraceKind::kCommit:
+    case TraceKind::kAbort:
+    case TraceKind::kQueryDone:
+    case TraceKind::kMoveToFuture:
+    case TraceKind::kCommitAdvance:
+      return ev.txn == kInvalidTxn ? kControlTid : ev.txn + kTxnTidBase;
+    default:
+      return kControlTid;
+  }
+}
+
+std::string SpanName(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceKind::kUpdateTxn:
+      return "T" + std::to_string(ev.txn);
+    case TraceKind::kQueryTxn:
+      return "Q" + std::to_string(ev.txn);
+    case TraceKind::kLockWait:
+      return "lock item " + std::to_string(ev.a);
+    case TraceKind::kTwoPcRound:
+      return "2PC";
+    case TraceKind::kCommitApply:
+      return "commit-apply";
+    case TraceKind::kAdvancePhase:
+      return "advance phase " + std::to_string(ev.phase) + " (v" +
+             std::to_string(ev.version) + ")";
+    default:
+      return TraceKindName(ev.kind);
+  }
+}
+
+/// One emitted Chrome event, buffered so unmatched B slices can be closed
+/// before serialization.
+struct Slice {
+  SimTime ts = 0;
+  SimTime dur = -1;  // only for ph 'X'
+  char ph = 'i';
+  int64_t pid = 0;
+  int64_t tid = 0;
+  std::string name;
+  uint64_t flow_id = 0;  // for ph 's'/'f'
+  // args
+  TxnId txn = kInvalidTxn;
+  Version version = kInvalidVersion;
+  int64_t a = 0, b = 0;
+  uint64_t span = 0;
+  std::string detail;
+  bool has_args = false;
+};
+
+void WriteSlice(JsonWriter& w, const Slice& s) {
+  w.BeginObject();
+  w.KV("name", s.name);
+  w.Key("ph");
+  w.String(std::string(1, s.ph));
+  w.KV("ts", static_cast<int64_t>(s.ts));
+  if (s.ph == 'X') w.KV("dur", static_cast<int64_t>(std::max<SimTime>(s.dur, 1)));
+  w.KV("pid", s.pid);
+  w.KV("tid", s.tid);
+  if (s.ph == 's' || s.ph == 'f') {
+    w.KV("id", std::to_string(s.flow_id));
+    if (s.ph == 'f') w.KV("bp", "e");
+    w.KV("cat", "msg");
+  } else {
+    w.KV("cat", "ava3");
+  }
+  if (s.ph == 'i') w.KV("s", "t");
+  if (s.has_args) {
+    w.Key("args");
+    w.BeginObject();
+    if (s.txn != kInvalidTxn) w.KV("txn", static_cast<int64_t>(s.txn));
+    if (s.version != kInvalidVersion) {
+      w.KV("version", static_cast<int64_t>(s.version));
+    }
+    if (s.a != 0) w.KV("a", s.a);
+    if (s.b != 0) w.KV("b", s.b);
+    if (s.span != 0) w.KV("flow", static_cast<uint64_t>(s.span));
+    if (!s.detail.empty()) w.KV("detail", s.detail);
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+void WriteMeta(JsonWriter& w, const char* what, int64_t pid, int64_t tid,
+               const std::string& name) {
+  w.BeginObject();
+  w.KV("name", what);
+  w.KV("ph", "M");
+  w.KV("pid", pid);
+  if (tid >= 0) w.KV("tid", tid);
+  w.Key("args");
+  w.BeginObject();
+  w.KV("name", name);
+  w.EndObject();
+  w.EndObject();
+}
+
+void WriteCounter(JsonWriter& w, int64_t pid, const std::string& name,
+                  SimTime ts, double value) {
+  w.BeginObject();
+  w.KV("name", name);
+  w.KV("ph", "C");
+  w.KV("ts", static_cast<int64_t>(ts));
+  w.KV("pid", pid);
+  w.KV("cat", "gauge");
+  w.Key("args");
+  w.BeginObject();
+  w.KV("value", value);
+  w.EndObject();
+  w.EndObject();
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = n == content.size() && std::fclose(f) == 0;
+  if (n != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceSink& sink,
+                            const TraceExportOptions& opts) {
+  std::vector<Slice> slices;
+  std::set<int64_t> pids;
+  SimTime max_ts = 0;
+  // Open B slices per (pid, tid), as (index into slices of the B) stack —
+  // used only to close anything left open so the file always loads.
+  std::map<std::pair<int64_t, int64_t>, std::vector<size_t>> open;
+
+  auto fill_args = [](Slice& s, const TraceEvent& ev) {
+    s.txn = ev.txn;
+    s.version = ev.version;
+    s.a = ev.a;
+    s.b = ev.b;
+    s.span = ev.span;
+    s.detail = ev.detail;
+    s.has_args = true;
+  };
+
+  for (const TraceEvent& ev : sink.events()) {
+    max_ts = std::max(max_ts, ev.time);
+    const int64_t pid = PidOf(ev);
+    const int64_t tid = TidOf(ev);
+    pids.insert(pid);
+    Slice s;
+    s.ts = ev.time;
+    s.pid = pid;
+    s.tid = tid;
+    switch (ev.kind) {
+      case TraceKind::kMsgSend:
+      case TraceKind::kMsgRecv: {
+        const bool send = ev.kind == TraceKind::kMsgSend;
+        s.ph = 'X';
+        s.dur = 1;
+        s.name = std::string(send ? "send " : "recv ") +
+                 sim::MsgKindName(static_cast<sim::MsgKind>(ev.a));
+        fill_args(s, ev);
+        slices.push_back(s);
+        if (ev.span != 0) {
+          Slice f;
+          f.ts = ev.time;
+          f.pid = pid;
+          f.tid = tid;
+          f.ph = send ? 's' : 'f';
+          f.name = "msg";
+          f.flow_id = ev.span;
+          slices.push_back(f);
+        }
+        break;
+      }
+      case TraceKind::kUpdateTxn:
+      case TraceKind::kQueryTxn:
+      case TraceKind::kLockWait:
+      case TraceKind::kTwoPcRound:
+      case TraceKind::kCommitApply:
+      case TraceKind::kAdvancePhase: {
+        if (ev.op == TraceOp::kBegin) {
+          s.ph = 'B';
+          s.name = SpanName(ev);
+          fill_args(s, ev);
+          open[{pid, tid}].push_back(slices.size());
+          slices.push_back(s);
+        } else if (ev.op == TraceOp::kEnd) {
+          auto& stack = open[{pid, tid}];
+          if (stack.empty()) break;  // unmatched E: drop (keeps file valid)
+          stack.pop_back();
+          s.ph = 'E';
+          s.name = SpanName(ev);
+          slices.push_back(s);
+        }
+        break;
+      }
+      default: {
+        s.ph = 'i';
+        s.name = TraceKindName(ev.kind);
+        fill_args(s, ev);
+        slices.push_back(s);
+        break;
+      }
+    }
+  }
+
+  // Synthesize fault-plan context (static — costs no simulation events).
+  if (opts.faults != nullptr) {
+    for (const sim::PartitionWindow& pw : opts.faults->partitions) {
+      Slice s;
+      s.ts = pw.start;
+      s.dur = pw.end - pw.start;
+      s.ph = 'X';
+      s.pid = 0;
+      s.tid = kControlTid;
+      s.name = "partition";
+      s.a = static_cast<int64_t>(pw.side_a);
+      s.has_args = true;
+      slices.push_back(s);
+      pids.insert(0);
+      max_ts = std::max(max_ts, pw.end);
+    }
+    for (const sim::CrashWindow& cw : opts.faults->crashes) {
+      if (cw.node == kInvalidNode) continue;
+      Slice s;
+      s.ts = cw.crash_at;
+      s.dur = (cw.recover_at > cw.crash_at ? cw.recover_at : max_ts) -
+              cw.crash_at;
+      s.ph = 'X';
+      s.pid = cw.node + 1;
+      s.tid = kControlTid;
+      s.name = "node down";
+      s.has_args = false;
+      slices.push_back(s);
+      pids.insert(cw.node + 1);
+      max_ts = std::max(max_ts, s.ts + s.dur);
+    }
+  }
+
+  // Close anything still open (crashed-at-end-of-run spans) at max_ts so
+  // the importer never sees an unbalanced stack.
+  for (auto& [key, stack] : open) {
+    while (!stack.empty()) {
+      const Slice& b = slices[stack.back()];
+      stack.pop_back();
+      Slice e;
+      e.ts = max_ts;
+      e.ph = 'E';
+      e.pid = b.pid;
+      e.tid = b.tid;
+      e.name = b.name;
+      slices.push_back(e);
+    }
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("displayTimeUnit", "ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (int64_t pid : pids) {
+    WriteMeta(w, "process_name", pid, -1,
+              pid == 0 ? "cluster" : "node " + std::to_string(pid - 1));
+    WriteMeta(w, "thread_name", pid, kControlTid, "control");
+    WriteMeta(w, "thread_name", pid, kNetworkTid, "network");
+  }
+  for (const Slice& s : slices) WriteSlice(w, s);
+  if (opts.sampler != nullptr) {
+    for (const auto& g : opts.sampler->gauges()) {
+      const int64_t pid = g.node == kInvalidNode ? 0 : g.node + 1;
+      for (size_t i = 0; i < g.series.size(); ++i) {
+        const sim::TimePoint& p = g.series.at(i);
+        WriteCounter(w, pid, g.name, p.time, p.value);
+      }
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+bool WriteChromeTrace(const TraceSink& sink, const std::string& path,
+                      const TraceExportOptions& opts) {
+  return WriteFile(path, ChromeTraceJson(sink, opts));
+}
+
+std::string JsonlDump(const TraceSink& sink) {
+  std::string out;
+  for (const TraceEvent& ev : sink.events()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("t", static_cast<int64_t>(ev.time));
+    if (ev.node != kInvalidNode) w.KV("node", static_cast<int64_t>(ev.node));
+    w.KV("kind", TraceKindName(ev.kind));
+    if (ev.op != TraceOp::kInstant) {
+      w.KV("op", ev.op == TraceOp::kBegin ? "b" : "e");
+    }
+    if (ev.phase != 0) w.KV("phase", static_cast<int64_t>(ev.phase));
+    if (ev.txn != kInvalidTxn) w.KV("txn", static_cast<int64_t>(ev.txn));
+    if (ev.version != kInvalidVersion) {
+      w.KV("version", static_cast<int64_t>(ev.version));
+    }
+    if (ev.span != 0) w.KV("span", static_cast<uint64_t>(ev.span));
+    if (ev.a != 0) w.KV("a", ev.a);
+    if (ev.b != 0) w.KV("b", ev.b);
+    if (!ev.detail.empty()) w.KV("detail", ev.detail);
+    w.EndObject();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+bool WriteJsonl(const TraceSink& sink, const std::string& path) {
+  return WriteFile(path, JsonlDump(sink));
+}
+
+}  // namespace ava3

@@ -1,0 +1,46 @@
+#ifndef AVA3_COMMON_TRACE_EXPORT_H_
+#define AVA3_COMMON_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "common/trace.h"
+
+namespace ava3::sim {
+class GaugeSampler;
+struct FaultPlan;
+}  // namespace ava3::sim
+
+namespace ava3 {
+
+/// Extra context merged into a Chrome trace export.
+struct TraceExportOptions {
+  /// When set, every gauge series is exported as Chrome counter ("C")
+  /// events so the ≤3-version bound, queue depths etc. plot as graphs.
+  const sim::GaugeSampler* sampler = nullptr;
+  /// When set, partition windows are synthesized as cluster-track slices
+  /// (the plan is static, so this costs no simulation events).
+  const sim::FaultPlan* faults = nullptr;
+};
+
+/// Renders the sink's events as Chrome trace-event JSON (the format
+/// Perfetto and chrome://tracing load): one process per node, one row per
+/// transaction plus control/network rows, B/E duration slices for spans,
+/// instant events for protocol steps and faults, and flow arrows binding
+/// each message send to its deliveries. Unclosed spans are closed at the
+/// final timestamp so the output always loads.
+std::string ChromeTraceJson(const TraceSink& sink,
+                            const TraceExportOptions& opts = {});
+
+/// Writes ChromeTraceJson() to `path`; returns false on I/O error.
+bool WriteChromeTrace(const TraceSink& sink, const std::string& path,
+                      const TraceExportOptions& opts = {});
+
+/// Compact JSONL dump: one JSON object per event per line, fields omitted
+/// when at their defaults. Grep-friendly companion to the Chrome export.
+std::string JsonlDump(const TraceSink& sink);
+
+bool WriteJsonl(const TraceSink& sink, const std::string& path);
+
+}  // namespace ava3
+
+#endif  // AVA3_COMMON_TRACE_EXPORT_H_

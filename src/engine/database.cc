@@ -66,6 +66,43 @@ Database::Database(DatabaseOptions options) : options_(options) {
           env, options_.num_nodes, options_.base);
       break;
   }
+  // The network traces regardless of scheme; emission is gated on the
+  // sink's enabled flag, so disabled runs stay on the exact legacy path.
+  network_->SetTrace(trace_.get());
+  if (options_.timeseries_interval > 0) {
+    sampler_ = std::make_unique<sim::GaugeSampler>(
+        simulator_.get(), options_.timeseries_interval,
+        options_.timeseries_capacity);
+    auto* eb = static_cast<EngineBase*>(engine_.get());
+    for (NodeId n = 0; n < options_.num_nodes; ++n) {
+      sampler_->AddGauge("live-versions", n, [eb, n]() {
+        return static_cast<double>(eb->store(n).CurrentMaxLiveVersions());
+      });
+      sampler_->AddGauge("lock-queue", n, [eb, n]() {
+        return static_cast<double>(eb->locks(n).WaitingCount());
+      });
+      sampler_->AddGauge("active-subtxns", n, [eb, n]() {
+        return static_cast<double>(eb->ActiveSubtxnsAt(n));
+      });
+    }
+    if (core::Ava3Engine* a3 = ava3_engine()) {
+      for (NodeId n = 0; n < options_.num_nodes; ++n) {
+        sampler_->AddGauge("version-u", n, [a3, n]() {
+          return static_cast<double>(a3->control(n).u());
+        });
+        sampler_->AddGauge("version-q", n, [a3, n]() {
+          return static_cast<double>(a3->control(n).q());
+        });
+      }
+    }
+    sampler_->AddGauge("net-in-flight", kInvalidNode, [this]() {
+      return static_cast<double>(network_->InFlight());
+    });
+    sampler_->AddGauge("net-dropped", kInvalidNode, [this]() {
+      return static_cast<double>(network_->DroppedCount());
+    });
+    sampler_->Start();
+  }
   ScheduleCrashWindows();
 }
 

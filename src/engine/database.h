@@ -7,6 +7,7 @@
 #include "ava3/ava3_engine.h"
 #include "engine/engine_iface.h"
 #include "sim/fault_injector.h"
+#include "sim/timeseries.h"
 
 namespace ava3::db {
 
@@ -34,6 +35,13 @@ struct DatabaseOptions {
   sim::FaultPlan faults;
   bool enable_trace = false;
   bool enable_recorder = true;
+  /// Simulated-clock cadence for the per-node gauge sampler (live version
+  /// count, lock-queue depth, in-flight subtransactions, u/q versions,
+  /// network in-flight/drops). 0 disables sampling entirely; sampling adds
+  /// simulator events but never changes any protocol outcome.
+  SimDuration timeseries_interval = 0;
+  /// Ring-buffer capacity per gauge (oldest samples overwritten on soaks).
+  size_t timeseries_capacity = 4096;
 };
 
 /// The public entry point: one simulated distributed database. Owns the
@@ -63,6 +71,8 @@ class Database {
   Engine& engine() { return *engine_; }
   Metrics& metrics() { return *metrics_; }
   TraceSink& trace() { return *trace_; }
+  /// The gauge sampler, or nullptr when timeseries_interval is 0.
+  sim::GaugeSampler* sampler() { return sampler_.get(); }
   verify::HistoryRecorder& recorder() { return *recorder_; }
   const DatabaseOptions& options() const { return options_; }
 
@@ -96,6 +106,9 @@ class Database {
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<sim::FaultInjector> injector_;
   std::unique_ptr<Engine> engine_;
+  /// Declared after engine_: gauge callbacks read engine state, so the
+  /// sampler must be destroyed first.
+  std::unique_ptr<sim::GaugeSampler> sampler_;
   TxnId next_txn_id_ = 1;
 };
 

@@ -132,8 +132,8 @@ void EngineBase::StartUpdateSubtxn(NodeId node,
   begin.txn = txn;
   ns.log.Append(begin);
   if (TraceEnabled()) {
-    Trace(node, "update T" + std::to_string(txn) +
-                    " starts: startV=" + std::to_string(rt->start_version));
+    rt->span = BeginSpan(node, TraceKind::kUpdateTxn, txn, rt->version);
+    EmitTrace(node, TraceKind::kTxnStart, txn, rt->start_version);
   }
   ns.updates.emplace(txn, std::move(rt));
   ScheduleStepUpdate(node, txn, 0);
@@ -190,12 +190,19 @@ void EngineBase::ExecUpdateOp(UpdateRt& rt, const txn::Op& op) {
       return;
     }
     r.state = UpdateRt::State::kRunning;
+    r.lock_wait_total += simulator().Now() - r.lock_wait_since;
+    EndSpan(node, TraceKind::kLockWait, &r.lock_span, txn);
     // Perform the access the transaction was blocked on.
     const txn::Op& blocked_op = r.spec_ref().ops[r.pc];
     FinishUpdateAccess(r, blocked_op);
   });
   if (result == lock::AcquireResult::kWaiting) {
     rt.state = UpdateRt::State::kLockWait;
+    rt.lock_wait_since = simulator().Now();
+    if (TraceEnabled()) {
+      rt.lock_span = BeginSpan(node, TraceKind::kLockWait, txn,
+                               kInvalidVersion, op.item);
+    }
     return;
   }
   FinishUpdateAccess(rt, op);
@@ -238,6 +245,14 @@ void EngineBase::SpawnUpdateChildren(UpdateRt& rt) {
 
 void EngineBase::OnUpdateLocalOpsDone(UpdateRt& rt) {
   rt.local_ops_done = true;
+  if (rt.is_root() && rt.ops_done_time == 0) {
+    // The 2PC round begins: everything from here to the commit decision is
+    // prepare collection (the root may still be waiting on children).
+    rt.ops_done_time = simulator().Now();
+    if (TraceEnabled()) {
+      rt.twopc_span = BeginSpan(rt.node, TraceKind::kTwoPcRound, rt.txn);
+    }
+  }
   if (!rt.spawned && !rt.script->ChildrenOf(rt.spec).empty()) {
     SpawnUpdateChildren(rt);
   }
@@ -265,10 +280,7 @@ void EngineBase::PrepareUpdate(UpdateRt& rt) {
       std::min(rt.version, rt.min_child_version == kInvalidVersion
                                ? rt.version
                                : rt.min_child_version);
-  if (TraceEnabled()) {
-    Trace(rt.node, "T" + std::to_string(rt.txn) + " prepared(" +
-                       std::to_string(report_max) + ")");
-  }
+  EmitTrace(rt.node, TraceKind::kPrepared, rt.txn, report_max);
   if (rt.is_root()) {
     DecideCommit(rt);
     return;
@@ -296,10 +308,7 @@ void EngineBase::ArmPreparedTimeout(UpdateRt& rt) {
         if (it == nodes_[node].updates.end()) return;
         UpdateRt& r = *it->second;
         if (r.state != UpdateRt::State::kPrepared) return;
-        if (TraceEnabled()) {
-          Trace(node, "T" + std::to_string(txn) +
-                          " prepared-timeout: asking root for the verdict");
-        }
+        EmitTrace(node, TraceKind::kDecisionInquiry, txn);
         const NodeId root = r.root_node();
         network().Send(node, root, MsgKind::kDecisionRequest,
                        [this, root, txn, node]() {
@@ -386,9 +395,12 @@ void EngineBase::DecideCommit(UpdateRt& root_rt) {
     ph.subtxns_remaining = static_cast<int>(root_rt.script->subtxns.size());
     pending_history_.emplace(root_rt.txn, std::move(ph));
   }
+  EndSpan(root_rt.node, TraceKind::kTwoPcRound, &root_rt.twopc_span,
+          root_rt.txn);
+  EmitTrace(root_rt.node, TraceKind::kCommitDecision, root_rt.txn, global);
   if (TraceEnabled()) {
-    Trace(root_rt.node, "T" + std::to_string(root_rt.txn) +
-                            " commit decision: V(T)=" + std::to_string(global));
+    root_rt.apply_span =
+        BeginSpan(root_rt.node, TraceKind::kCommitApply, root_rt.txn, global);
   }
   // The root processes its own commit via a loopback message; each
   // subtransaction forwards `commit` to its children (paper step 8).
@@ -419,10 +431,7 @@ void EngineBase::CommitLocal(NodeId node, TxnId txn, Version global_version,
   ns.log.Append(commit);
 
   ns.locks->ReleaseAll(txn);
-  if (TraceEnabled()) {
-    Trace(node, "T" + std::to_string(txn) + " commits in version " +
-                    std::to_string(global_version));
-  }
+  EmitTrace(node, TraceKind::kCommit, txn, global_version);
   DepositHistory(rt);
   for (int child : rt.script->ChildrenOf(rt.spec)) {
     const NodeId dst = rt.script->subtxns[child].node;
@@ -430,6 +439,14 @@ void EngineBase::CommitLocal(NodeId node, TxnId txn, Version global_version,
                    [this, dst, txn, global_version, decision_time]() {
                      CommitLocal(dst, txn, global_version, decision_time);
                    });
+  }
+  if (rt.is_root()) {
+    // Per-phase latency breakdown: blocked-on-locks, ops-done -> decision
+    // (the 2PC round), decision -> applied at the root.
+    metrics().RecordCommitPhases(rt.lock_wait_total,
+                                 decision_time - rt.ops_done_time,
+                                 simulator().Now() - decision_time);
+    EndSpan(node, TraceKind::kCommitApply, &rt.apply_span, txn);
   }
   if (rt.is_root() && rt.done) {
     TxnResult res;
@@ -443,6 +460,7 @@ void EngineBase::CommitLocal(NodeId node, TxnId txn, Version global_version,
     res.reads = std::move(rt.reads);  // root-local reads only
     rt.done(res);
   }
+  EndSpan(node, TraceKind::kUpdateTxn, &rt.span, txn);
   ns.log.ForgetTxn(txn);
   ns.updates.erase(it);
 }
@@ -463,8 +481,12 @@ void EngineBase::DepositHistory(UpdateRt& rt) {
 void EngineBase::FailUpdate(UpdateRt& rt, Status status) {
   if (rt.state == UpdateRt::State::kFinishing) return;
   if (TraceEnabled()) {
-    Trace(rt.node,
-          "T" + std::to_string(rt.txn) + " fails: " + status.ToString());
+    TraceEvent ev;
+    ev.node = rt.node;
+    ev.kind = TraceKind::kAbort;
+    ev.txn = rt.txn;
+    ev.detail = status.ToString();
+    EmitTrace(std::move(ev));
   }
   if (rt.is_root()) {
     BeginAbortBroadcast(rt, std::move(status));
@@ -546,6 +568,10 @@ void EngineBase::AbortUpdateLocal(UpdateRt& rt) {
   abort.txn = txn;
   ns.log.Append(abort);
   ns.locks->ReleaseAll(txn);
+  EndSpan(node, TraceKind::kLockWait, &rt.lock_span, txn);
+  EndSpan(node, TraceKind::kCommitApply, &rt.apply_span, txn);
+  EndSpan(node, TraceKind::kTwoPcRound, &rt.twopc_span, txn);
+  EndSpan(node, TraceKind::kUpdateTxn, &rt.span, txn);
   ns.log.ForgetTxn(txn);
   ns.updates.erase(txn);  // destroys rt
 }
@@ -593,8 +619,8 @@ void EngineBase::StartQuerySubtxn(NodeId node,
   }
   Status started = OnQueryStart(*rt, assigned);
   if (TraceEnabled()) {
-    Trace(node, "query Q" + std::to_string(txn) +
-                    " starts: V=" + std::to_string(rt->version));
+    rt->span = BeginSpan(node, TraceKind::kQueryTxn, txn, rt->version);
+    EmitTrace(node, TraceKind::kQueryStart, txn, rt->version);
   }
   auto [it, inserted] = ns.queries.emplace(txn, std::move(rt));
   if (!started.ok()) {
@@ -654,10 +680,17 @@ void EngineBase::ExecQueryOp(QueryRt& rt, const txn::Op& op) {
           if (r.state != QueryRt::State::kLockWait) return;
           if (!st.ok()) return;  // abort path tears down
           r.state = QueryRt::State::kRunning;
+          r.lock_wait_since = 0;
+          EndSpan(node, TraceKind::kLockWait, &r.lock_span, txn);
           FinishQueryRead(r, r.spec_ref().ops[r.pc]);
         });
     if (result == lock::AcquireResult::kWaiting) {
       rt.state = QueryRt::State::kLockWait;
+      rt.lock_wait_since = simulator().Now();
+      if (TraceEnabled()) {
+        rt.lock_span = BeginSpan(node, TraceKind::kLockWait, txn,
+                                 kInvalidVersion, target);
+      }
       return;
     }
   }
@@ -747,9 +780,7 @@ void EngineBase::MaybeCompleteQuery(QueryRt& rt) {
       rec.reads = rt.reads;
       env_.recorder->Record(std::move(rec));
     }
-    if (TraceEnabled()) {
-      Trace(node, "Q" + std::to_string(txn) + " completes");
-    }
+    EmitTrace(node, TraceKind::kQueryDone, txn, rt.version, /*a=*/1);
     if (rt.done) {
       TxnResult res;
       res.id = txn;
@@ -761,6 +792,7 @@ void EngineBase::MaybeCompleteQuery(QueryRt& rt) {
       res.reads = std::move(rt.reads);
       rt.done(res);
     }
+    EndSpan(node, TraceKind::kQueryTxn, &rt.span, txn);
     ns.queries.erase(txn);
     return;
   }
@@ -770,10 +802,9 @@ void EngineBase::MaybeCompleteQuery(QueryRt& rt) {
                   reads = std::move(rt.reads)]() mutable {
                    OnChildQueryResult(parent, txn, spec, std::move(reads));
                  });
-  if (TraceEnabled()) {
-    Trace(node, "Q" + std::to_string(txn) + " subquery completes");
-  }
+  EmitTrace(node, TraceKind::kQueryDone, txn, rt.version, /*a=*/0);
   if (hold_locks) return;  // stays in kLockHold until the root's release
+  EndSpan(node, TraceKind::kQueryTxn, &rt.span, txn);
   ns.queries.erase(txn);
 }
 
@@ -784,6 +815,7 @@ void EngineBase::ReleaseHeldQueryLocks(NodeId node, TxnId txn) {
   if (rt.state != QueryRt::State::kLockHold) return;
   simulator().Cancel(rt.timeout_ev);
   nodes_[node].locks->ReleaseAll(txn);
+  EndSpan(node, TraceKind::kQueryTxn, &rt.span, txn);
   nodes_[node].queries.erase(txn);
 }
 
@@ -859,6 +891,8 @@ void EngineBase::AbortQueryLocal(QueryRt& rt) {
     ns.locks->ReleaseAll(txn);
   }
   if (!finished) OnQueryFinish(rt);
+  EndSpan(node, TraceKind::kLockWait, &rt.lock_span, txn);
+  EndSpan(node, TraceKind::kQueryTxn, &rt.span, txn);
   ns.queries.erase(txn);
 }
 
@@ -918,6 +952,12 @@ void EngineBase::CrashNode(NodeId node) {
     simulator().Cancel(rt.timeout_ev);
     simulator().Cancel(rt.prep_timeout_ev);
     OnUpdateAborted(rt);
+    // Force-close the victim's open spans (lifetime included): the crash
+    // is the real end of this subtransaction on the timeline.
+    EndSpan(node, TraceKind::kLockWait, &rt.lock_span, rt.txn);
+    EndSpan(node, TraceKind::kCommitApply, &rt.apply_span, rt.txn);
+    EndSpan(node, TraceKind::kTwoPcRound, &rt.twopc_span, rt.txn);
+    EndSpan(node, TraceKind::kUpdateTxn, &rt.span, rt.txn);
     ns.log.ForgetTxn(rt.txn);
     it = ns.updates.erase(it);
   }
@@ -925,12 +965,14 @@ void EngineBase::CrashNode(NodeId node) {
     QueryRt& rt = *ns.queries.begin()->second;
     simulator().Cancel(rt.timeout_ev);
     if (rt.state != QueryRt::State::kLockHold) OnQueryFinish(rt);
+    EndSpan(node, TraceKind::kLockWait, &rt.lock_span, rt.txn);
+    EndSpan(node, TraceKind::kQueryTxn, &rt.span, rt.txn);
     ns.queries.erase(ns.queries.begin());
   }
   ns.locks->Reset();
   OnNodeCrash(node);
   metrics().RecordCrash();
-  Trace(node, "node crash");
+  EmitTrace(node, TraceKind::kNodeCrash);
 }
 
 void EngineBase::RecoverNode(NodeId node) {
@@ -952,7 +994,7 @@ void EngineBase::RecoverNode(NodeId node) {
   }
   OnNodeRecover(node);
   metrics().RecordRecovery();
-  Trace(node, "node recovered");
+  EmitTrace(node, TraceKind::kNodeRecover);
 }
 
 }  // namespace ava3::db

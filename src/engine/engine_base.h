@@ -70,6 +70,11 @@ class EngineBase : public Engine {
   lock::DeadlockDetector& deadlock_detector() { return *deadlock_detector_; }
   /// Number of in-flight subtransactions (updates + queries) everywhere.
   int ActiveSubtxns() const;
+  /// Same, restricted to one node (time-series gauge).
+  int ActiveSubtxnsAt(NodeId node) const {
+    return static_cast<int>(nodes_[node].updates.size() +
+                            nodes_[node].queries.size());
+  }
 
  protected:
   /// Buffered (deferred-update) write, used by the no-undo recovery scheme
@@ -132,6 +137,19 @@ class EngineBase : public Engine {
     std::vector<verify::ReadRecord> reads;
     std::vector<verify::WriteRecord> writes;
 
+    // Open trace spans (0 = none; only allocated while tracing is enabled,
+    // so disabled runs never touch the sink).
+    uint64_t span = 0;        // kUpdateTxn: this subtransaction's lifetime
+    uint64_t lock_span = 0;   // kLockWait: current blocking acquisition
+    uint64_t twopc_span = 0;  // root kTwoPcRound: ops done -> decision
+    uint64_t apply_span = 0;  // root kCommitApply: decision -> applied
+
+    // Always-on per-phase latency accounting (root only; nanoscale
+    // arithmetic, no sink involvement, so it cannot perturb determinism).
+    SimTime lock_wait_since = 0;      // != 0 while blocked on a lock
+    SimDuration lock_wait_total = 0;  // summed blocked time on this node
+    SimTime ops_done_time = 0;        // root: when 2PC began
+
     // Root-only fields.
     ResultCallback done;
     SimTime submit_time = 0;
@@ -159,6 +177,11 @@ class EngineBase : public Engine {
     Version version = 0;  // V(Q_i)
     bool counted = false;  // did this subquery bump a query counter
     int64_t scan_pos = 0;  // progress within the current kScan op
+
+    // Open trace spans (0 = none; tracing enabled only).
+    uint64_t span = 0;       // kQueryTxn lifetime
+    uint64_t lock_span = 0;  // kLockWait (S2PL-R only)
+    SimTime lock_wait_since = 0;  // != 0 while blocked on a lock
 
     enum class State : uint8_t {
       kRunning,
@@ -329,6 +352,66 @@ class EngineBase : public Engine {
   }
   bool TraceEnabled() const {
     return env_.trace != nullptr && env_.trace->enabled();
+  }
+  TraceSink* trace_sink() { return env_.trace; }
+
+  /// Emits a typed event stamped with the current simulated time. All
+  /// tracing goes through here so the disabled path is one branch.
+  void EmitTrace(TraceEvent ev) {
+    if (!TraceEnabled()) return;
+    ev.time = env_.simulator->Now();
+    env_.trace->Emit(std::move(ev));
+  }
+  /// Instant-event shorthand.
+  void EmitTrace(NodeId node, TraceKind kind, TxnId txn = kInvalidTxn,
+                 Version version = kInvalidVersion, int64_t a = 0,
+                 int64_t b = 0) {
+    if (!TraceEnabled()) return;
+    TraceEvent ev;
+    ev.time = env_.simulator->Now();
+    ev.node = node;
+    ev.kind = kind;
+    ev.txn = txn;
+    ev.version = version;
+    ev.a = a;
+    ev.b = b;
+    env_.trace->Emit(std::move(ev));
+  }
+  /// Opens a span and returns its id (0 when tracing is off — span fields
+  /// stay 0 and the matching End is skipped, keeping disabled runs inert).
+  uint64_t BeginSpan(NodeId node, TraceKind kind, TxnId txn,
+                     Version version = kInvalidVersion, int64_t a = 0,
+                     uint8_t phase = 0) {
+    if (!TraceEnabled()) return 0;
+    TraceEvent ev;
+    ev.time = env_.simulator->Now();
+    ev.node = node;
+    ev.kind = kind;
+    ev.op = TraceOp::kBegin;
+    ev.phase = phase;
+    ev.txn = txn;
+    ev.version = version;
+    ev.a = a;
+    ev.span = env_.trace->NextSpanId();
+    const uint64_t id = ev.span;
+    env_.trace->Emit(std::move(ev));
+    return id;
+  }
+  /// Closes a span opened by BeginSpan; resets `*span_id` to 0. Safe to
+  /// call with 0 (no-op), so teardown paths need no tracing branches.
+  void EndSpan(NodeId node, TraceKind kind, uint64_t* span_id,
+               TxnId txn = kInvalidTxn, uint8_t phase = 0) {
+    if (*span_id == 0) return;
+    TraceEvent ev;
+    ev.time = env_.simulator->Now();
+    ev.node = node;
+    ev.kind = kind;
+    ev.op = TraceOp::kEnd;
+    ev.phase = phase;
+    ev.txn = txn;
+    ev.span = *span_id;
+    *span_id = 0;
+    if (env_.trace != nullptr) env_.trace->Emit(std::move(ev));
   }
 
   /// Aborts the whole transaction this subtransaction belongs to.

@@ -1,0 +1,66 @@
+#include "engine/metrics.h"
+
+#include "common/json.h"
+
+namespace ava3::db {
+
+namespace {
+
+void HistogramJson(JsonWriter& w, std::string_view key, const Histogram& h) {
+  w.Key(key);
+  w.BeginObject();
+  w.KV("count", static_cast<uint64_t>(h.count()));
+  w.KV("sum", h.sum());
+  w.KV("mean", h.Mean());
+  w.KV("min", h.min());
+  w.KV("p50", h.Percentile(50));
+  w.KV("p90", h.Percentile(90));
+  w.KV("p99", h.Percentile(99));
+  w.KV("max", h.max());
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string Metrics::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  w.KV("update_commits", update_commits_);
+  w.KV("query_commits", query_commits_);
+  w.KV("aborts", aborts_);
+  w.KV("deadlock_aborts", deadlock_aborts_);
+  w.KV("sync_mismatch_aborts", sync_mismatch_aborts_);
+  w.KV("move_to_future", mtf_count_);
+  w.KV("move_to_future_records_scanned", mtf_records_scanned_);
+  w.KV("advancements", advancements_);
+  w.KV("advancements_cancelled", advancements_cancelled_);
+  w.KV("latch_ops", latch_ops_);
+  w.KV("crashes", crashes_);
+  w.KV("recoveries", recoveries_);
+  w.KV("first_commit_entries_pruned", first_commit_entries_pruned_);
+  w.EndObject();
+  w.Key("latency_us");
+  w.BeginObject();
+  HistogramJson(w, "update", update_latency_);
+  HistogramJson(w, "query", query_latency_);
+  HistogramJson(w, "staleness", staleness_);
+  w.Key("phases");
+  w.BeginObject();
+  HistogramJson(w, "lock_wait", lock_wait_);
+  HistogramJson(w, "twopc_round", twopc_round_);
+  HistogramJson(w, "commit_apply", commit_apply_);
+  w.EndObject();
+  w.EndObject();
+  w.Key("advancement_us");
+  w.BeginObject();
+  HistogramJson(w, "phase1", phase1_duration_);
+  HistogramJson(w, "phase2", phase2_duration_);
+  HistogramJson(w, "total", advancement_duration_);
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+}  // namespace ava3::db

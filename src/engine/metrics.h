@@ -2,6 +2,7 @@
 #define AVA3_ENGINE_METRICS_H_
 
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <string>
 
@@ -32,6 +33,16 @@ class Metrics {
     ++aborts_;
     if (deadlock) ++deadlock_aborts_;
     if (sync_mismatch) ++sync_mismatch_aborts_;
+  }
+
+  /// Per-phase latency breakdown of one committed root update: time blocked
+  /// on locks, local-ops-done -> commit decision (the 2PC round trip), and
+  /// decision -> commit applied at the root.
+  void RecordCommitPhases(SimDuration lock_wait, SimDuration twopc_round,
+                          SimDuration commit_apply) {
+    lock_wait_.Add(lock_wait);
+    twopc_round_.Add(twopc_round);
+    commit_apply_.Add(commit_apply);
   }
 
   /// Called at query (root) start with the snapshot version it will read.
@@ -92,10 +103,33 @@ class Metrics {
     return advancement_duration_;
   }
 
+  const Histogram& lock_wait() const { return lock_wait_; }
+  const Histogram& twopc_round() const { return twopc_round_; }
+  const Histogram& commit_apply() const { return commit_apply_; }
+
   /// First time any transaction committed in each version (global view).
   const std::map<Version, SimTime>& first_commit_time() const {
     return first_commit_time_;
   }
+
+  /// Drops first-commit entries for versions <= min_g. Once every node has
+  /// garbage-collected up through min_g, no query can start with a snapshot
+  /// below min_g + 1, so RecordQueryStart's upper_bound can never land on
+  /// the erased keys; pruning keeps long soaks at bounded memory without
+  /// changing any staleness sample.
+  void PruneFirstCommitTimes(Version min_g) {
+    auto end = first_commit_time_.upper_bound(min_g);
+    first_commit_entries_pruned_ +=
+        static_cast<uint64_t>(std::distance(first_commit_time_.begin(), end));
+    first_commit_time_.erase(first_commit_time_.begin(), end);
+  }
+  uint64_t first_commit_entries_pruned() const {
+    return first_commit_entries_pruned_;
+  }
+
+  /// Full machine-readable report (counters + histogram summaries); the
+  /// bench harness writes this as BENCH_<name>.json.
+  std::string ToJson() const;
 
  private:
   uint64_t update_commits_ = 0;
@@ -110,12 +144,16 @@ class Metrics {
   uint64_t latch_ops_ = 0;
   uint64_t crashes_ = 0;
   uint64_t recoveries_ = 0;
+  uint64_t first_commit_entries_pruned_ = 0;
   Histogram update_latency_;
   Histogram query_latency_;
   Histogram staleness_;
   Histogram phase1_duration_;
   Histogram phase2_duration_;
   Histogram advancement_duration_;
+  Histogram lock_wait_;
+  Histogram twopc_round_;
+  Histogram commit_apply_;
   std::map<Version, SimTime> first_commit_time_;
 };
 

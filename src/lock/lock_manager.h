@@ -93,6 +93,16 @@ class LockManager {
   /// (node-crash simulation: lock state is volatile).
   void Reset() { table_.clear(); }
 
+  /// Requests currently queued (not granted) across all items — the
+  /// lock-queue-depth gauge for the time-series sampler. O(items).
+  int WaitingCount() const {
+    int n = 0;
+    for (const auto& [item, e] : table_) {
+      n += static_cast<int>(e.queue.size());
+    }
+    return n;
+  }
+
   const LockStats& stats() const { return stats_; }
   NodeId node() const { return node_; }
 

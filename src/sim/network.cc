@@ -62,31 +62,70 @@ Network::Network(Simulator* simulator, int num_nodes, NetworkOptions options,
   assert(num_nodes > 0);
 }
 
+void Network::TraceMsg(TraceKind tk, NodeId node, MsgKind kind, int64_t b,
+                       uint64_t flow) {
+  TraceEvent ev;
+  ev.time = simulator_->Now();
+  ev.node = node;
+  ev.kind = tk;
+  ev.a = static_cast<int64_t>(kind);
+  ev.b = b;
+  ev.span = flow;
+  trace_->Emit(std::move(ev));
+}
+
 void Network::Send(NodeId from, NodeId to, MsgKind kind,
                    std::function<void()> deliver) {
   assert(to >= 0 && to < num_nodes());
   ++sent_[static_cast<size_t>(kind)];
+  // Flow ids are allocated only while tracing, so disabled runs touch
+  // nothing; every copy of this message shares `flow`.
+  uint64_t flow = 0;
+  if (Tracing()) {
+    flow = trace_->NextSpanId();
+    TraceMsg(TraceKind::kMsgSend, from, kind, to, flow);
+  }
   if (from == to) {
     // Self-sends model in-process dispatch: never lost, never faulted.
-    Deliver(to, kind, options_.local_latency, std::move(deliver));
+    Deliver(from, to, kind, options_.local_latency, flow, std::move(deliver));
     return;
   }
   if (options_.drop_probability > 0 &&
       rng_.NextDouble() < options_.drop_probability) {
     CountDrop(DropCause::kInTransit, kind);
+    if (Tracing()) {
+      TraceMsg(TraceKind::kMsgDrop, from, kind,
+               static_cast<int64_t>(DropCause::kInTransit), flow);
+    }
     return;  // lost in transit
   }
   FaultInjector::Verdict verdict;
   if (injector_ != nullptr) {
     verdict = injector_->OnSend(from, to, kind);
     if (verdict.drop) {
-      CountDrop(verdict.partitioned ? DropCause::kPartition
-                                    : DropCause::kInTransit,
-                kind);
+      const DropCause cause = verdict.partitioned ? DropCause::kPartition
+                                                  : DropCause::kInTransit;
+      CountDrop(cause, kind);
+      if (Tracing()) {
+        TraceMsg(TraceKind::kMsgDrop, from, kind, static_cast<int64_t>(cause),
+                 flow);
+      }
       return;
     }
-    if (verdict.copies > 1) duplicated_ += verdict.copies - 1;
-    if (verdict.extra_delay > 0) ++delayed_;
+    if (verdict.copies > 1) {
+      duplicated_ += verdict.copies - 1;
+      if (Tracing()) {
+        for (int c = 1; c < verdict.copies; ++c) {
+          TraceMsg(TraceKind::kMsgDup, from, kind, to, flow);
+        }
+      }
+    }
+    if (verdict.extra_delay > 0) {
+      ++delayed_;
+      if (Tracing()) {
+        TraceMsg(TraceKind::kMsgDelay, from, kind, verdict.extra_delay, flow);
+      }
+    }
   }
   for (int copy = 0; copy < verdict.copies; ++copy) {
     // Each copy draws its own jitter, so a duplicate pair may arrive in
@@ -96,17 +135,26 @@ void Network::Send(NodeId from, NodeId to, MsgKind kind,
       latency += static_cast<SimDuration>(
           rng_.Uniform(static_cast<uint64_t>(options_.jitter) + 1));
     }
-    Deliver(to, kind, latency, deliver);
+    Deliver(from, to, kind, latency, flow, deliver);
   }
 }
 
-void Network::Deliver(NodeId to, MsgKind kind, SimDuration latency,
+void Network::Deliver(NodeId from, NodeId to, MsgKind kind,
+                      SimDuration latency, uint64_t flow,
                       std::function<void()> fn) {
-  simulator_->After(latency, [this, to, kind, fn = std::move(fn)]() {
+  ++in_flight_;
+  simulator_->After(latency, [this, from, to, kind, flow,
+                              fn = std::move(fn)]() {
+    --in_flight_;
     if (!node_up_[static_cast<size_t>(to)]) {
       CountDrop(DropCause::kDestDown, kind);
+      if (Tracing()) {
+        TraceMsg(TraceKind::kMsgDrop, to, kind,
+                 static_cast<int64_t>(DropCause::kDestDown), flow);
+      }
       return;
     }
+    if (Tracing()) TraceMsg(TraceKind::kMsgRecv, to, kind, from, flow);
     fn();
   });
 }

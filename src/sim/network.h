@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -82,6 +83,16 @@ class Network {
   /// nullptr to detach. The injector must outlive the network.
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Installs the trace sink. When the sink is enabled, every send,
+  /// delivery, drop, duplicate and delay spike is emitted as a typed event;
+  /// all copies of one message share a flow id, so exporters can draw the
+  /// causal arrow from sender to receiver across nodes.
+  void SetTrace(TraceSink* trace) { trace_ = trace; }
+
+  /// Messages currently in flight (scheduled, not yet delivered or
+  /// dropped-at-destination). Cheap counter for the time-series sampler.
+  int64_t InFlight() const { return in_flight_; }
+
   /// Sends a message; `deliver` runs at the destination after the modeled
   /// latency, unless the destination is down at delivery time.
   void Send(NodeId from, NodeId to, MsgKind kind,
@@ -122,13 +133,18 @@ class Network {
     ++dropped_[static_cast<size_t>(cause)][static_cast<size_t>(kind)];
   }
   /// Schedules one delivery attempt after `latency`.
-  void Deliver(NodeId to, MsgKind kind, SimDuration latency,
-               std::function<void()> fn);
+  void Deliver(NodeId from, NodeId to, MsgKind kind, SimDuration latency,
+               uint64_t flow, std::function<void()> fn);
+  bool Tracing() const { return trace_ != nullptr && trace_->enabled(); }
+  void TraceMsg(TraceKind tk, NodeId node, MsgKind kind, int64_t b,
+                uint64_t flow);
 
   Simulator* simulator_;
   NetworkOptions options_;
   Rng rng_;
   FaultInjector* injector_ = nullptr;
+  TraceSink* trace_ = nullptr;
+  int64_t in_flight_ = 0;
   std::vector<bool> node_up_;
   std::array<uint64_t, static_cast<size_t>(MsgKind::kNumKinds)> sent_{};
   std::array<std::array<uint64_t, static_cast<size_t>(MsgKind::kNumKinds)>,

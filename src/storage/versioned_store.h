@@ -125,6 +125,13 @@ class VersionedStore {
   int64_t TotalVersionCount() const { return total_versions_; }
   /// High-water mark of per-item live versions over the store's lifetime.
   int MaxLiveVersionsObserved() const { return max_live_observed_; }
+  /// Current (instantaneous) largest live-version chain — the time-series
+  /// gauge behind the paper's "at most three versions" bound. O(items).
+  int CurrentMaxLiveVersions() const {
+    size_t m = 0;
+    for (const auto& [item, chain] : items_) m = std::max(m, chain.size());
+    return static_cast<int>(m);
+  }
   /// Configured bound (0 = unbounded).
   int max_live_versions() const { return max_live_versions_; }
 

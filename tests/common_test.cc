@@ -250,6 +250,51 @@ TEST(HistogramTest, AddAfterPercentileQueryStillSorts) {
   EXPECT_EQ(h.Percentile(0), 5);
 }
 
+TEST(HistogramTest, OutOfRangePercentilesClampToEndpoints) {
+  Histogram h;
+  h.Add(3);
+  h.Add(9);
+  EXPECT_EQ(h.Percentile(-20), 3);
+  EXPECT_EQ(h.Percentile(150), 9);
+}
+
+TEST(HistogramTest, MergeCombinesSamplesAndStats) {
+  Histogram a, b;
+  for (int64_t v = 1; v <= 50; ++v) a.Add(v);
+  for (int64_t v = 51; v <= 100; ++v) b.Add(v);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.min(), 1);
+  EXPECT_EQ(a.max(), 100);
+  EXPECT_DOUBLE_EQ(a.Mean(), 50.5);
+  EXPECT_NEAR(a.Percentile(50), 50, 1);
+  EXPECT_EQ(a.Percentile(100), 100);
+}
+
+TEST(HistogramTest, MergeWithEmptyPreservesStats) {
+  Histogram a, empty;
+  a.Add(-5);
+  a.Add(7);
+  a.Merge(empty);  // must not absorb the empty histogram's sentinels
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), -5);
+  EXPECT_EQ(a.max(), 7);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.min(), -5);
+  EXPECT_EQ(empty.max(), 7);
+  EXPECT_EQ(empty.Percentile(50), 7);
+}
+
+TEST(HistogramTest, MergeAfterSortRestoresOrdering) {
+  Histogram a, b;
+  a.Add(10);
+  EXPECT_EQ(a.Percentile(50), 10);  // forces the sorted state
+  b.Add(1);
+  a.Merge(b);
+  EXPECT_EQ(a.Percentile(0), 1);  // merge must re-sort
+}
+
 // --- TraceSink ----------------------------------------------------------------
 
 TEST(TraceTest, DisabledSinkRecordsNothing) {

@@ -1,0 +1,463 @@
+// Structured-tracing tests: (1) enabling the trace sink is bit-identical
+// to a disabled run — same commits, same aborts, same event count; (2) the
+// gauge sampler changes scheduling (it adds timer events) but never a
+// protocol outcome; (3) spans close properly, even under chaos faults;
+// (4) the Chrome trace-event and JSONL exporters emit valid JSON; (5) flow
+// ids pair message deliveries with their sends across nodes.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "common/trace_export.h"
+#include "engine/database.h"
+#include "sim/fault_injector.h"
+#include "sim/timeseries.h"
+#include "workload/runner.h"
+
+namespace ava3 {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using db::Scheme;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator (syntax only), so exporter tests do not depend on
+// an external parser. Accepts exactly the RFC 8259 grammar.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Peek(':')) return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(',')) { ++pos_; continue; }
+      if (Peek('}')) { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(',')) { ++pos_; continue; }
+      if (Peek(']')) { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (!Peek('"')) return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char c = s_[pos_];
+        if (c == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(c) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // raw control character
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek('-')) ++pos_;
+    if (!Digits()) return false;
+    if (Peek('.')) {
+      ++pos_;
+      if (!Digits()) return false;
+    }
+    if (Peek('e') || Peek('E')) {
+      ++pos_;
+      if (Peek('+') || Peek('-')) ++pos_;
+      if (!Digits()) return false;
+    }
+    return pos_ > start;
+  }
+  bool Digits() {
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool Peek(char c) const { return pos_ < s_.size() && s_[pos_] == c; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shared run harness.
+
+struct Fingerprint {
+  uint64_t commits = 0;
+  uint64_t queries = 0;
+  uint64_t aborts = 0;
+  uint64_t advancements = 0;
+  uint64_t moves = 0;
+  size_t recorded = 0;
+  uint64_t events = 0;  // simulator events — excluded where noted
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+struct RunSetup {
+  bool trace = false;
+  SimDuration sample_interval = 0;
+  bool chaos = false;
+  Scheme scheme = Scheme::kAva3;
+};
+
+struct RunResult {
+  std::unique_ptr<Database> database;
+  Fingerprint fp;
+};
+
+RunResult RunScenario(const RunSetup& setup) {
+  const SimDuration load_window = 2 * kSecond;
+  DatabaseOptions o;
+  o.num_nodes = 3;
+  o.seed = 4242;
+  o.scheme = setup.scheme;
+  o.enable_trace = setup.trace;
+  o.timeseries_interval = setup.sample_interval;
+  if (setup.chaos) {
+    sim::ChaosProfile profile;
+    profile.rates.loss = 0.03;
+    profile.rates.duplicate = 0.08;
+    profile.rates.delay = 0.08;
+    profile.partitions = 2;
+    profile.crashes = 2;
+    o.faults = sim::FaultPlan::Chaos(4242, o.num_nodes, load_window, profile);
+    o.ava3.advancement_resend = 50 * kMillisecond;
+    o.base.txn_timeout = 2 * kSecond;
+    o.base.prepared_timeout = 6 * kSecond;
+  }
+  RunResult r;
+  r.database = std::make_unique<Database>(o);
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 3;
+  spec.items_per_node = 50;
+  spec.zipf_theta = 0.8;
+  spec.update_rate_per_sec = 300;
+  spec.query_rate_per_sec = 100;
+  spec.update_multinode_prob = 0.4;
+  spec.advancement_period = 100 * kMillisecond;
+  spec.rotate_coordinator = true;
+  wl::WorkloadRunner runner(&r.database->simulator(), &r.database->engine(),
+                            spec, 4242);
+  runner.SeedData();
+  runner.Start(load_window);
+  r.database->RunFor(load_window);
+  r.database->RunFor(setup.chaos ? 120 * kSecond : 60 * kSecond);
+  r.fp.commits = r.database->metrics().update_commits();
+  r.fp.queries = r.database->metrics().query_commits();
+  r.fp.aborts = r.database->metrics().aborts();
+  r.fp.advancements = r.database->metrics().advancements();
+  r.fp.moves = r.database->metrics().mtf_count();
+  r.fp.recorded = r.database->recorder().txns().size();
+  r.fp.events = r.database->simulator().events_executed();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: tracing emits synchronously and schedules nothing, so a
+// traced run matches an untraced one on EVERY count, simulator events
+// included.
+
+TEST(TraceDeterminismTest, TraceOnIsBitIdenticalToTraceOff) {
+  RunResult off = RunScenario({.trace = false});
+  RunResult on = RunScenario({.trace = true});
+  EXPECT_EQ(off.fp, on.fp);
+  EXPECT_GT(off.fp.commits, 100u);
+  EXPECT_EQ(off.database->trace().events().size(), 0u);
+  EXPECT_GT(on.database->trace().events().size(), 1000u);
+}
+
+TEST(TraceDeterminismTest, TraceOnIsBitIdenticalUnderChaos) {
+  RunResult off = RunScenario({.trace = false, .chaos = true});
+  RunResult on = RunScenario({.trace = true, .chaos = true});
+  EXPECT_EQ(off.fp, on.fp);
+  EXPECT_GT(off.fp.commits, 20u);
+}
+
+// The sampler adds timer events (shifting event ids), so the comparison
+// excludes events_executed — every protocol outcome must still match.
+TEST(TraceDeterminismTest, SamplerNeverChangesOutcomes) {
+  RunResult off = RunScenario({.trace = false});
+  RunResult on = RunScenario({.trace = false, .sample_interval = 10 * kMillisecond});
+  Fingerprint a = off.fp;
+  Fingerprint b = on.fp;
+  EXPECT_GT(b.events, a.events);  // the sampler's own timer events
+  a.events = 0;
+  b.events = 0;
+  EXPECT_EQ(a, b);
+  ASSERT_NE(on.database->sampler(), nullptr);
+  EXPECT_GT(on.database->sampler()->samples_taken(), 100u);
+}
+
+TEST(TraceDeterminismTest, SameSeedSameRenderedStream) {
+  RunResult a = RunScenario({.trace = true, .chaos = true});
+  RunResult b = RunScenario({.trace = true, .chaos = true});
+  const auto& ea = a.database->trace().events();
+  const auto& eb = b.database->trace().events();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    ASSERT_EQ(Render(ea[i]), Render(eb[i])) << "at event " << i;
+    ASSERT_EQ(ea[i].time, eb[i].time) << "at event " << i;
+    ASSERT_EQ(ea[i].span, eb[i].span) << "at event " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Span discipline.
+
+TEST(TraceSpanTest, SpansBalanceAndCommittedTxnSpansClose) {
+  RunResult r = RunScenario({.trace = true, .chaos = true});
+  std::map<uint64_t, int> begins, ends;
+  std::map<uint64_t, TraceEvent> begin_ev;
+  std::set<TxnId> committed;
+  for (const TraceEvent& ev : r.database->trace().events()) {
+    if (ev.op == TraceOp::kBegin) {
+      ++begins[ev.span];
+      begin_ev[ev.span] = ev;
+    } else if (ev.op == TraceOp::kEnd) {
+      ++ends[ev.span];
+    }
+    if (ev.kind == TraceKind::kCommit) committed.insert(ev.txn);
+  }
+  EXPECT_GT(begins.size(), 100u);
+  EXPECT_GT(committed.size(), 20u);
+  for (const auto& [span, n] : begins) {
+    EXPECT_EQ(n, 1) << "span " << span << " began twice";
+  }
+  for (const auto& [span, n] : ends) {
+    ASSERT_TRUE(begins.count(span)) << "span " << span << " ended unopened";
+    EXPECT_EQ(n, 1) << "span " << span << " ended twice";
+  }
+  // Every update-transaction span whose transaction committed must have
+  // closed (crash-torn spans of uncommitted transactions may stay open
+  // until the exporter's safety pass; committed ones never do).
+  for (const auto& [span, ev] : begin_ev) {
+    if (ev.kind != TraceKind::kUpdateTxn) continue;
+    if (!committed.count(ev.txn)) continue;
+    EXPECT_TRUE(ends.count(span))
+        << "committed txn " << ev.txn << " left span " << span << " open";
+  }
+}
+
+TEST(TraceSpanTest, EveryDeliveryPairsWithItsSend) {
+  RunResult r = RunScenario({.trace = true, .chaos = true});
+  std::set<uint64_t> sent;
+  for (const TraceEvent& ev : r.database->trace().Matching(
+           TraceKind::kMsgSend)) {
+    sent.insert(ev.span);
+  }
+  const auto recvs = r.database->trace().Matching(TraceKind::kMsgRecv);
+  EXPECT_GT(recvs.size(), 1000u);
+  for (const TraceEvent& ev : recvs) {
+    ASSERT_TRUE(sent.count(ev.span))
+        << "delivery with flow " << ev.span << " has no matching send";
+  }
+  // Chaos faults must show up as instants.
+  EXPECT_GT(r.database->trace().Matching(TraceKind::kMsgDrop).size(), 0u);
+  EXPECT_GT(r.database->trace().Matching(TraceKind::kMsgDup).size(), 0u);
+  EXPECT_GT(r.database->trace().Matching(TraceKind::kNodeCrash).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+TEST(TraceExportTest, ChromeTraceIsValidJsonWithPerNodeTracks) {
+  RunResult r = RunScenario({.trace = true,
+                     .sample_interval = 20 * kMillisecond,
+                     .chaos = true});
+  TraceExportOptions topts;
+  topts.sampler = r.database->sampler();
+  topts.faults = &r.database->options().faults;
+  const std::string json = ChromeTraceJson(r.database->trace(), topts);
+  JsonValidator v(json);
+  EXPECT_TRUE(v.Valid()) << "Chrome trace is not valid JSON";
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Per-node process tracks, named.
+  EXPECT_NE(json.find("node 0"), std::string::npos);
+  EXPECT_NE(json.find("node 2"), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  // Duration slices, counters, flow arrows, fault instants.
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("node-crash"), std::string::npos);
+  EXPECT_NE(json.find("\"partition\""), std::string::npos);
+}
+
+TEST(TraceExportTest, ChromeTraceSlicesBalance) {
+  RunResult r = RunScenario({.trace = true, .chaos = true});
+  const std::string json = ChromeTraceJson(r.database->trace(), {});
+  // The exporter's safety pass must leave exactly as many E as B events.
+  size_t b = 0, e = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos) {
+    ++b;
+    pos += 8;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos) {
+    ++e;
+    pos += 8;
+  }
+  EXPECT_GT(b, 100u);
+  EXPECT_EQ(b, e);
+}
+
+TEST(TraceExportTest, JsonlEveryLineIsValidJson) {
+  RunResult r = RunScenario({.trace = true});
+  const std::string jsonl = JsonlDump(r.database->trace());
+  std::istringstream in(jsonl);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    JsonValidator v(line);
+    ASSERT_TRUE(v.Valid()) << "bad JSONL line " << lines << ": " << line;
+    ASSERT_EQ(line.front(), '{');
+  }
+  EXPECT_EQ(lines, r.database->trace().events().size());
+}
+
+TEST(TraceExportTest, MetricsToJsonIsValid) {
+  RunResult r = RunScenario({.trace = false});
+  const std::string json = r.database->metrics().ToJson();
+  JsonValidator v(json);
+  EXPECT_TRUE(v.Valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"lock_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"twopc_round\""), std::string::npos);
+  EXPECT_NE(json.find("\"commit_apply\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Time-series gauges.
+
+TEST(TimeSeriesTest, LiveVersionGaugeRespectsTheBound) {
+  RunResult r = RunScenario({.sample_interval = 5 * kMillisecond});
+  ASSERT_NE(r.database->sampler(), nullptr);
+  bool found = false;
+  for (const auto& g : r.database->sampler()->gauges()) {
+    if (g.name != "live-versions") continue;
+    found = true;
+    EXPECT_GT(g.series.size(), 0u);
+    EXPECT_LE(g.series.MaxValue(), 3.0)
+        << "node " << g.node << " exceeded the three-version bound";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TimeSeriesTest, RingBufferKeepsFreshestWindow) {
+  sim::TimeSeries ts(4);
+  for (int i = 0; i < 10; ++i) ts.Add(i, i * 1.0);
+  ASSERT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.at(0).time, 6);
+  EXPECT_EQ(ts.Last().time, 9);
+  EXPECT_EQ(ts.MaxValue(), 9.0);
+}
+
+TEST(TimeSeriesTest, PerPhaseLatencyIsAlwaysRecorded) {
+  // Phase breakdowns come from plain arithmetic on the root transaction,
+  // not from the trace sink — they populate even with tracing off.
+  RunResult r = RunScenario({.trace = false});
+  const auto& m = r.database->metrics();
+  EXPECT_EQ(m.twopc_round().count(), m.commit_apply().count());
+  EXPECT_GT(m.twopc_round().count(), 100u);
+  EXPECT_GT(m.commit_apply().Mean(), 0.0);
+}
+
+TEST(TimeSeriesTest, GcPrunesFirstCommitTimeMap) {
+  // The staleness helper map must not grow with the advancement count on
+  // soaks: every GC pass prunes entries at or below the cluster-min g,
+  // which no live snapshot can reach anymore.
+  RunResult r = RunScenario({.trace = false});
+  const auto& m = r.database->metrics();
+  EXPECT_GT(m.advancements(), 10u);
+  EXPECT_GT(m.first_commit_entries_pruned(), 0u);
+  EXPECT_LE(m.first_commit_time().size(), 4u);
+  EXPECT_GT(m.staleness().count(), 0u);  // pruning never loses samples
+}
+
+}  // namespace
+}  // namespace ava3
