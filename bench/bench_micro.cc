@@ -16,6 +16,8 @@
 #include "ava3/control_state.h"
 #include "common/zipf.h"
 #include "lock/lock_manager.h"
+#include "runtime/sim_runtime.h"
+#include "sim/simulator.h"
 #include "storage/versioned_store.h"
 
 namespace ava3 {
@@ -23,7 +25,8 @@ namespace {
 
 void BM_CounterIncDec(benchmark::State& state) {
   sim::Simulator sim;
-  core::ControlState cs(&sim, /*combined=*/false);
+  rt::SimRuntime runtime(&sim);
+  core::ControlState cs(&runtime, /*node=*/0, /*combined=*/false);
   for (auto _ : state) {
     cs.IncQuery(0);
     cs.DecQuery(0);
@@ -69,7 +72,8 @@ BENCHMARK(BM_StoreReadAtMost)->Arg(3)->Arg(0);
 
 void BM_LockAcquireRelease(benchmark::State& state) {
   sim::Simulator sim;
-  lock::LockManager lm(&sim, 0);
+  rt::SimRuntime runtime(&sim);
+  lock::LockManager lm(&runtime, 0);
   TxnId txn = 1;
   for (auto _ : state) {
     (void)lm.Acquire(txn, 7, lock::LockMode::kShared, [](Status) {});
@@ -87,6 +91,68 @@ void BM_ZipfNext(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ZipfNext);
+
+// --- DES hot loop (every simulated message/timer pays these paths) --------
+
+void BM_SimScheduleFire(benchmark::State& state) {
+  sim::Simulator sim;
+  // The dominant DES pattern: a handler schedules a successor. Small
+  // capture (fits any small-buffer optimization).
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sim.After(1, [&sink]() { ++sink; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimScheduleFire);
+
+void BM_SimScheduleFireLargeCapture(benchmark::State& state) {
+  sim::Simulator sim;
+  // Closures the size of a message-delivery lambda (several captured
+  // words); large enough to defeat std::function's small-buffer storage.
+  struct Payload {
+    uint64_t a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  } payload;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sim.After(1, [&sink, payload]() { sink += payload.a[7]; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimScheduleFireLargeCapture);
+
+void BM_SimScheduleCancel(benchmark::State& state) {
+  sim::Simulator sim;
+  // Timeout pattern: nearly every transaction schedules a timeout it then
+  // cancels. Step() drains the dead heap entry so the queue stays small.
+  for (auto _ : state) {
+    sim::EventId id = sim.After(1, []() {});
+    sim.Cancel(id);
+    sim.Step();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimScheduleCancel);
+
+void BM_SimFanOutDrain(benchmark::State& state) {
+  // Broadcast pattern: schedule a batch at mixed times, then drain.
+  const int kBatch = 256;
+  sim::Simulator sim;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      sim.After(1 + (i % 7), [&sink]() { ++sink; });
+    }
+    sim.Run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_SimFanOutDrain);
 
 void BM_GarbageCollectPass(benchmark::State& state) {
   for (auto _ : state) {

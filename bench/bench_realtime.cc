@@ -1,0 +1,162 @@
+// Wall-clock throughput on the real-threads runtime.
+//
+// Every other bench binary measures simulated time on the deterministic
+// DES. This one runs the same protocol engines — AVA3 and S2PL-R — on
+// rt::ThreadRuntime (one OS thread per node plus a service thread) and
+// measures *wall-clock* transactions per second while sweeping the node
+// count (and with it the worker-thread count). AVA3's latch-only read path
+// (Section 6.3) is exercised by real concurrent hardware threads here, not
+// by interleaved DES events.
+//
+// Output: BENCH_realtime.json (schema-checked in CI) plus a printed table.
+// `--smoke` shrinks the matrix and per-config transaction count for CI.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ava3/ava3_engine.h"
+#include "baselines/s2pl_engine.h"
+#include "bench/bench_util.h"
+#include "runtime/thread_runtime.h"
+#include "workload/workload.h"
+
+namespace ava3::bench {
+namespace {
+
+struct RealtimeResult {
+  double wall_seconds = 0;
+  int completed = 0;
+  int committed = 0;
+  int aborted = 0;
+  int max_live_versions = 0;
+};
+
+/// Drives `total_txns` generated transactions through `Engine` on a real
+/// ThreadRuntime, keeping at most `kWindow` in flight, and times the span
+/// from first submission to last completion.
+template <typename Engine, typename... EngineArgs>
+RealtimeResult RunRealtime(db::Metrics& metrics, int num_nodes, uint64_t seed,
+                           int total_txns, bool trigger_advancement,
+                           EngineArgs&&... args) {
+  constexpr int kWindow = 32;  // bounded in-flight txns: keeps mailboxes sane
+  rt::ThreadRuntime runtime(num_nodes, {.seed = seed});
+  db::EngineEnv env;
+  env.runtime = &runtime;
+  env.metrics = &metrics;
+  Engine engine(env, num_nodes, db::BaseOptions{},
+                std::forward<EngineArgs>(args)...);
+
+  wl::WorkloadSpec spec;
+  spec.num_nodes = num_nodes;
+  spec.items_per_node = 256;
+  spec.update_multinode_prob = 0.4;
+  spec.query_multinode_prob = 0.4;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    for (int64_t i = 0; i < spec.items_per_node; ++i) {
+      engine.LoadInitial(n, spec.FirstItemOf(n) + i, spec.initial_value);
+    }
+  }
+
+  runtime.Start();
+
+  RealtimeResult out;
+  std::mutex mu;
+  std::condition_variable cv;
+  int inflight = 0;
+  wl::ScriptGenerator gen(spec, Rng(seed));
+  const auto start = std::chrono::steady_clock::now();
+  TxnId next_txn = 1;
+  for (int i = 0; i < total_txns; ++i) {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return inflight < kWindow; });
+      ++inflight;
+    }
+    txn::TxnScript script = (i % 3 == 2) ? gen.NextQuery() : gen.NextUpdate();
+    engine.Submit(next_txn++, std::move(script),
+                  [&](const db::TxnResult& r) {
+                    std::lock_guard<std::mutex> lk(mu);
+                    --inflight;
+                    ++out.completed;
+                    if (r.outcome == TxnOutcome::kCommitted) {
+                      ++out.committed;
+                    } else {
+                      ++out.aborted;
+                    }
+                    cv.notify_all();
+                  });
+    if (trigger_advancement && i % 64 == 63) {
+      const NodeId k = static_cast<NodeId>(i % num_nodes);
+      runtime.ScheduleOn(k, 0, [&engine, k] { engine.TriggerAdvancement(k); });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return out.completed >= total_txns; });
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  runtime.Shutdown();
+
+  out.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    out.max_live_versions = std::max(out.max_live_versions,
+                                     engine.store(n).MaxLiveVersionsObserved());
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  Banner("bench_realtime", "runtime abstraction follow-up",
+         "Wall-clock throughput on real threads: AVA3 vs S2PL-R, sweeping "
+         "nodes (workers = nodes + 1)");
+  if (smoke) std::printf("(smoke mode: reduced matrix and txn count)\n");
+
+  const std::vector<int> node_counts =
+      smoke ? std::vector<int>{2, 4} : std::vector<int>{2, 3, 4, 6};
+  const int total_txns = smoke ? 400 : 2000;
+  const uint64_t seed = 42;
+
+  BenchReport report("realtime");
+  std::printf("%-8s %6s %8s %8s %10s %10s %12s %6s\n", "scheme", "nodes",
+              "threads", "txns", "committed", "wall_s", "txn/s", "maxV");
+  for (const char* scheme : {"ava3", "s2pl"}) {
+    for (int nodes : node_counts) {
+      db::Metrics metrics;
+      RealtimeResult r;
+      if (std::strcmp(scheme, "ava3") == 0) {
+        r = RunRealtime<core::Ava3Engine>(metrics, nodes, seed, total_txns,
+                                          /*trigger_advancement=*/true,
+                                          core::Ava3Options{});
+      } else {
+        r = RunRealtime<baselines::S2plEngine>(
+            metrics, nodes, seed, total_txns, /*trigger_advancement=*/false);
+      }
+      const double tps =
+          r.wall_seconds > 0 ? r.completed / r.wall_seconds : 0.0;
+      const std::string label =
+          std::string(scheme) + "_nodes" + std::to_string(nodes);
+      std::printf("%-8s %6d %8d %8d %10d %10.3f %12.0f %6d\n", scheme, nodes,
+                  nodes + 1, r.completed, r.committed, r.wall_seconds, tps,
+                  r.max_live_versions);
+      report.AddRealtime(label, scheme, nodes, /*threads=*/nodes + 1, seed,
+                         r.wall_seconds, r.completed, r.committed, r.aborted,
+                         r.max_live_versions, metrics);
+      report.AddScalar(label + "_txn_per_sec", tps);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ava3::bench
+
+int main(int argc, char** argv) { return ava3::bench::Main(argc, argv); }

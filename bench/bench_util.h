@@ -129,6 +129,31 @@ class BenchReport {
     runs_.push_back(std::move(w).Take());
   }
 
+  /// Records a wall-clock run on the real-threads runtime (no db::Database
+  /// involved): configuration, throughput, and the metrics payload.
+  void AddRealtime(const std::string& label, const char* scheme, int nodes,
+                   int threads, uint64_t seed, double wall_seconds,
+                   int completed, int committed, int aborted,
+                   int max_live_versions, const db::Metrics& metrics) {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("label", label);
+    w.KV("scheme", scheme);
+    w.KV("nodes", nodes);
+    w.KV("threads", threads);
+    w.KV("seed", seed);
+    w.KV("wall_seconds", wall_seconds);
+    w.KV("completed", completed);
+    w.KV("committed", committed);
+    w.KV("aborted", aborted);
+    w.KV("txns_per_sec", wall_seconds > 0 ? completed / wall_seconds : 0.0);
+    w.KV("max_live_versions", max_live_versions);
+    w.Key("metrics");
+    w.Raw(metrics.ToJson());
+    w.EndObject();
+    runs_.push_back(std::move(w).Take());
+  }
+
   /// Records a headline scalar (a table cell: a throughput, a ratio...).
   void AddScalar(const std::string& key, double value) {
     scalars_.emplace_back(key, value);

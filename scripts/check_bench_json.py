@@ -13,6 +13,10 @@ Two accepted shapes:
    sections, and latency_us.phases must break down lock_wait / twopc_round
    / commit_apply.
 
+   The "realtime" report (bench/bench_realtime, wall-clock runs on
+   rt::ThreadRuntime) additionally requires threads / wall_seconds /
+   txns_per_sec per run and at least two distinct thread counts.
+
 2. google-benchmark's native JSON (bench_micro): top-level "context" and
    "benchmarks" keys; each benchmark entry has "name" and "real_time".
 
@@ -75,6 +79,22 @@ def check_metrics(path, label, m):
                         m["advancement_us"].get(name))
 
 
+def check_realtime_run(path, label, run):
+    """Extra fields the wall-clock (ThreadRuntime) report must carry."""
+    if not isinstance(run.get("threads"), int) or run["threads"] < 2:
+        fail(path, f"run '{label}': bad 'threads' (need nodes + service)")
+    for key in ("wall_seconds", "txns_per_sec"):
+        if not is_num(run.get(key)):
+            fail(path, f"run '{label}': '{key}' missing or not a number")
+    if run["wall_seconds"] <= 0:
+        fail(path, f"run '{label}': wall_seconds must be positive")
+    for key in ("completed", "committed", "aborted"):
+        if not isinstance(run.get(key), int) or run[key] < 0:
+            fail(path, f"run '{label}': bad '{key}'")
+    if run["committed"] + run["aborted"] != run["completed"]:
+        fail(path, f"run '{label}': committed + aborted != completed")
+
+
 def check_bench_report(path, doc):
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
         fail(path, "'bench' missing or not a string")
@@ -91,7 +111,9 @@ def check_bench_report(path, doc):
         fail(path, "'runs' missing or not a list")
     if not runs and not scalars:
         fail(path, "report has neither runs nor scalars")
+    realtime = doc["bench"] == "realtime"
     labels = set()
+    thread_counts = set()
     for i, run in enumerate(runs):
         if not isinstance(run, dict):
             fail(path, f"runs[{i}] is not an object")
@@ -105,7 +127,12 @@ def check_bench_report(path, doc):
             fail(path, f"run '{label}': bad scheme {run.get('scheme')!r}")
         if not isinstance(run.get("nodes"), int) or run["nodes"] < 1:
             fail(path, f"run '{label}': bad 'nodes'")
+        if realtime:
+            check_realtime_run(path, label, run)
+            thread_counts.add(run["threads"])
         check_metrics(path, f"run '{label}'", run.get("metrics"))
+    if realtime and len(thread_counts) < 2:
+        fail(path, "realtime report must sweep >= 2 thread counts")
     print(f"ok   {path}: {len(runs)} run(s), {len(scalars)} scalar(s)")
 
 

@@ -4,6 +4,12 @@
 #   scripts/ci.sh            # default (RelWithDebInfo) + ASan/UBSan
 #   scripts/ci.sh default    # just the plain build
 #   scripts/ci.sh asan       # just the sanitizer build
+#   scripts/ci.sh tsan       # ThreadSanitizer build + real-threads tests
+#
+# The tsan preset runs only the ThreadRuntime suites (unit + protocol
+# stress on real worker threads): the rest of the test pyramid is
+# single-threaded DES code, already covered by default/asan, and TSan's
+# ~10x slowdown makes the full run pointless there.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +24,11 @@ for preset in "${configs[@]}"; do
   echo "=== [$preset] build ==="
   cmake --build --preset "$preset" -j "$(nproc)"
   echo "=== [$preset] test ==="
-  ctest --preset "$preset" -j "$(nproc)"
+  if [[ "$preset" == "tsan" ]]; then
+    TSAN_OPTIONS="halt_on_error=1" \
+      "build-tsan/tests/ava3_tests" --gtest_filter='ThreadRuntime*'
+  else
+    ctest --preset "$preset" -j "$(nproc)"
+  fi
 done
 echo "=== CI green ==="

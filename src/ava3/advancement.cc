@@ -12,10 +12,10 @@
 
 namespace ava3::core {
 
-using sim::MsgKind;
+using rt::MsgKind;
 
 void Ava3Engine::TriggerAdvancement(NodeId k) {
-  if (!network().IsNodeUp(k)) return;
+  if (!runtime().IsNodeUp(k)) return;
   Coordinator& c = coordinators_[k];
   if (c.active) return;  // already coordinating one
   const ControlState& cs = *control_[k];
@@ -37,7 +37,7 @@ void Ava3Engine::StartPhase1(NodeId k, Version newu) {
   c.active = true;
   c.phase = 1;
   c.newu = newu;
-  c.start_time = simulator().Now();
+  c.start_time = runtime().Now();
   c.pending_acks.clear();
   for (NodeId i = 0; i < num_nodes(); ++i) c.pending_acks.insert(i);
   if (TraceEnabled()) {
@@ -60,13 +60,13 @@ void Ava3Engine::BroadcastCurrentPhase(NodeId k, bool pending_only) {
   if (c.phase == 1) {
     const Version newu = c.newu;
     for (NodeId i : targets) {
-      network().Send(k, i, MsgKind::kAdvanceU,
+      runtime().Send(k, i, MsgKind::kAdvanceU,
                      [this, i, newu, k]() { OnAdvanceU(i, newu, k); });
     }
   } else if (c.phase == 2) {
     const Version newq = c.newu - 1;
     for (NodeId i : targets) {
-      network().Send(k, i, MsgKind::kAdvanceQ,
+      runtime().Send(k, i, MsgKind::kAdvanceQ,
                      [this, i, newq, k]() { OnAdvanceQ(i, newq, k); });
     }
   }
@@ -76,10 +76,11 @@ void Ava3Engine::ScheduleResend(NodeId k) {
   if (opts_.advancement_resend <= 0) return;
   Coordinator& c = coordinators_[k];
   const Version round = c.newu;
-  c.resend_ev = simulator().After(opts_.advancement_resend, [this, k, round]() {
+  c.resend_ev =
+      runtime().ScheduleOn(k, opts_.advancement_resend, [this, k, round]() {
     Coordinator& cc = coordinators_[k];
     if (!cc.active || cc.newu != round) return;
-    if (!network().IsNodeUp(k)) return;
+    if (!runtime().IsNodeUp(k)) return;
     BroadcastCurrentPhase(k, /*pending_only=*/true);
     ScheduleResend(k);
   });
@@ -88,7 +89,7 @@ void Ava3Engine::ScheduleResend(NodeId k) {
 void Ava3Engine::CancelCoordinator(NodeId k) {
   Coordinator& c = coordinators_[k];
   if (!c.active) return;
-  simulator().Cancel(c.resend_ev);
+  runtime().CancelTimer(c.resend_ev);
   EndSpan(k, TraceKind::kAdvancePhase, &c.phase_span, kInvalidTxn,
           static_cast<uint8_t>(c.phase));
   c = Coordinator{};
@@ -115,8 +116,8 @@ void Ava3Engine::OnAdvanceU(NodeId i, Version newu, NodeId coord) {
   // Ack once all update subtransactions that started before the switch are
   // done (updateCount(i, newu-1) == 0).
   cs.WhenUpdateZero(newu - 1, [this, i, coord, newu]() {
-    if (!network().IsNodeUp(i)) return;  // we crashed while waiting
-    network().Send(i, coord, MsgKind::kAckAdvanceU, [this, coord, newu, i]() {
+    if (!runtime().IsNodeUp(i)) return;  // we crashed while waiting
+    runtime().Send(i, coord, MsgKind::kAckAdvanceU, [this, coord, newu, i]() {
       OnAckAdvanceU(coord, newu, i);
     });
   });
@@ -141,7 +142,7 @@ void Ava3Engine::StartPhase2(NodeId k) {
   EndSpan(k, TraceKind::kAdvancePhase, &c.phase_span, kInvalidTxn,
           /*phase=*/1);
   c.phase = 2;
-  c.phase2_start = simulator().Now();
+  c.phase2_start = runtime().Now();
   c.pending_acks.clear();
   for (NodeId i = 0; i < num_nodes(); ++i) c.pending_acks.insert(i);
   if (TraceEnabled()) {
@@ -166,14 +167,14 @@ void Ava3Engine::OnAdvanceQ(NodeId i, Version newq, NodeId coord) {
     // FOURV: do not gate on the old queries draining; collect the old
     // query version asynchronously when its local count hits zero.
     FourVRegisterDrain(i, newq - 1);
-    network().Send(i, coord, MsgKind::kAckAdvanceQ, [this, coord, newq, i]() {
+    runtime().Send(i, coord, MsgKind::kAckAdvanceQ, [this, coord, newq, i]() {
       OnAckAdvanceQ(coord, newq, i);
     });
     return;
   }
   cs.WhenQueryZero(newq - 1, [this, i, coord, newq]() {
-    if (!network().IsNodeUp(i)) return;
-    network().Send(i, coord, MsgKind::kAckAdvanceQ, [this, coord, newq, i]() {
+    if (!runtime().IsNodeUp(i)) return;
+    runtime().Send(i, coord, MsgKind::kAckAdvanceQ, [this, coord, newq, i]() {
       OnAckAdvanceQ(coord, newq, i);
     });
   });
@@ -193,18 +194,18 @@ void Ava3Engine::OnAckAdvanceQ(NodeId k, Version newq, NodeId from) {
 
 void Ava3Engine::StartPhase3(NodeId k) {
   Coordinator& c = coordinators_[k];
-  const SimTime now = simulator().Now();
+  const SimTime now = runtime().Now();
   metrics().RecordAdvancement(c.phase2_start - c.start_time,
                               now - c.phase2_start, now - c.start_time);
   const Version newg = c.newu - 2;
   EndSpan(k, TraceKind::kAdvancePhase, &c.phase_span, kInvalidTxn,
           /*phase=*/2);
   EmitTrace(k, TraceKind::kGcBroadcast, kInvalidTxn, newg);
-  simulator().Cancel(c.resend_ev);
+  runtime().CancelTimer(c.resend_ev);
   c = Coordinator{};  // coordinator's job is done; Phase 3 needs no acks
   if (opts_.four_version_mode) return;  // drains collect locally instead
   for (NodeId i = 0; i < num_nodes(); ++i) {
-    network().Send(k, i, MsgKind::kGarbageCollect,
+    runtime().Send(k, i, MsgKind::kGarbageCollect,
                    [this, i, newg]() { OnGarbageCollect(i, newg); });
   }
 }
@@ -226,7 +227,7 @@ void Ava3Engine::RunGcUpTo(NodeId i, Version upto) {
   if (cs.g() >= upto) return;
   const Version v = cs.g() + 1;
   cs.WhenQueryZero(v, [this, i, v, upto]() {
-    if (!network().IsNodeUp(i)) return;
+    if (!runtime().IsNodeUp(i)) return;
     // Another path (a duplicate collect request) may have advanced g
     // while we waited; the step itself is ordered and idempotent.
     if (control_[i]->g() == v - 1) RunGcStep(i, v);
@@ -268,7 +269,7 @@ void Ava3Engine::RunGcStep(NodeId i, Version v) {
 
 void Ava3Engine::FourVRegisterDrain(NodeId i, Version drained_q) {
   control_[i]->WhenQueryZero(drained_q, [this, i, drained_q]() {
-    if (!network().IsNodeUp(i)) return;
+    if (!runtime().IsNodeUp(i)) return;
     fourv_drain_ready_[i].insert(drained_q);
     FourVTryGc(i);
   });
@@ -289,8 +290,8 @@ void Ava3Engine::FourVTryGc(NodeId i) {
 // ---------------------------------------------------------------------------
 
 void Ava3Engine::StartWatchdog(NodeId i) {
-  simulator().After(opts_.watchdog_interval, [this, i]() {
-    if (network().IsNodeUp(i) && !coordinators_[i].active) {
+  runtime().ScheduleOn(i, opts_.watchdog_interval, [this, i]() {
+    if (runtime().IsNodeUp(i) && !coordinators_[i].active) {
       const ControlState& cs = *control_[i];
       VersionSnapshot now{cs.u(), cs.q(), cs.g()};
       const bool stuck_phase2 = cs.q() == cs.u() - 2;
@@ -319,7 +320,7 @@ void Ava3Engine::StartWatchdog(NodeId i) {
           }
           const Version newg = cs.q() - 1;
           for (NodeId j = 0; j < num_nodes(); ++j) {
-            network().Send(i, j, MsgKind::kGarbageCollect,
+            runtime().Send(i, j, MsgKind::kGarbageCollect,
                            [this, j, newg]() { OnGarbageCollect(j, newg); });
           }
         }

@@ -19,8 +19,8 @@ Ava3Engine::Ava3Engine(EngineEnv env, int num_nodes, BaseOptions base_options,
          "FOURV models a centralized scheme (see Ava3Options)");
   control_.reserve(static_cast<size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
-    control_.push_back(
-        std::make_unique<ControlState>(&simulator(), opts_.combined_counters));
+    control_.push_back(std::make_unique<ControlState>(
+        &runtime(), i, opts_.combined_counters));
   }
   coordinators_.resize(static_cast<size_t>(num_nodes));
   fourv_drain_ready_.resize(static_cast<size_t>(num_nodes));
@@ -77,8 +77,8 @@ std::unique_ptr<store::VersionedStore> Ava3Engine::CommittedStateClone(
 }
 
 void Ava3Engine::StartCheckpointTimer(NodeId i) {
-  simulator().After(opts_.checkpoint_period, [this, i]() {
-    if (network().IsNodeUp(i)) {
+  runtime().ScheduleOn(i, opts_.checkpoint_period, [this, i]() {
+    if (runtime().IsNodeUp(i)) {
       durable_[i].Checkpoint(CommittedStateClone(i));
     }
     StartCheckpointTimer(i);
@@ -249,9 +249,9 @@ Status Ava3Engine::UpdateWrite(UpdateRt& rt, const txn::Op& op) {
   }
   Status ws;
   if (deleted) {
-    ws = st.MarkDeleted(op.item, rt.version, rt.txn, simulator().Now());
+    ws = st.MarkDeleted(op.item, rt.version, rt.txn, runtime().Now());
   } else {
-    ws = st.Put(op.item, rt.version, value, rt.txn, simulator().Now());
+    ws = st.Put(op.item, rt.version, value, rt.txn, runtime().Now());
   }
   if (!ws.ok()) return ws;
   wal::LogRecord redo;
@@ -294,7 +294,7 @@ void Ava3Engine::OnCommitMsg(UpdateRt& rt, Version global_version) {
     MoveToFuture(rt, global_version);
   }
 
-  const SimTime now = simulator().Now();
+  const SimTime now = runtime().Now();
   if (opts_.recovery == wal::RecoveryScheme::kNoUndo || rt.resurrected) {
     // Deferred-update apply: install the write buffer at the commit
     // version (also the path for resurrected in-doubt transactions, whose
@@ -312,7 +312,7 @@ void Ava3Engine::OnCommitMsg(UpdateRt& rt, Version global_version) {
       (void)s;
       rt.writes.push_back(verify::WriteRecord{rt.node, item, pw.value,
                                               pw.deleted, now,
-                                              simulator().events_executed()});
+                                              runtime().Seq()});
     }
   } else {
     // In-place: data already sits at rt.version == global_version; just
@@ -323,11 +323,11 @@ void Ava3Engine::OnCommitMsg(UpdateRt& rt, Version global_version) {
       if (r.ok()) {
         rt.writes.push_back(verify::WriteRecord{rt.node, item, r->value,
                                                 r->deleted, now,
-                                                simulator().events_executed()});
+                                                runtime().Seq()});
       } else {
         // Deleted as the only version: physically removed already.
         rt.writes.push_back(verify::WriteRecord{rt.node, item, 0, true, now,
-                                                simulator().events_executed()});
+                                                runtime().Seq()});
       }
     }
   }
@@ -418,9 +418,9 @@ void Ava3Engine::MoveToFuture(UpdateRt& rt, Version newv) {
       redo.new_deleted = cur->deleted;
       lg.Append(redo);
       if (cur->deleted) {
-        (void)st.MarkDeleted(item, newv, rt.txn, simulator().Now());
+        (void)st.MarkDeleted(item, newv, rt.txn, runtime().Now());
       } else {
-        Status s = st.Put(item, newv, cur->value, rt.txn, simulator().Now());
+        Status s = st.Put(item, newv, cur->value, rt.txn, runtime().Now());
         assert(s.ok() && "moveToFuture copy violated the version bound");
         (void)s;
       }
@@ -460,7 +460,7 @@ Status Ava3Engine::OnQueryStart(QueryRt& rt, Version assigned) {
   ControlState& cs = *control_[rt.node];
   if (rt.is_root()) {
     rt.version = cs.q();
-    metrics().RecordQueryStart(rt.version, simulator().Now());
+    metrics().RecordQueryStart(rt.version, runtime().Now());
   } else {
     rt.version = assigned;
     if (assigned <= cs.g()) {
@@ -534,7 +534,7 @@ void Ava3Engine::OnNodeCrash(NodeId node) {
   }
   Coordinator& c = coordinators_[node];
   if (c.active) {
-    simulator().Cancel(c.resend_ev);
+    runtime().CancelTimer(c.resend_ev);
     // The crash kills the in-flight advancement round; close its span so
     // the timeline shows the truncated phase.
     EndSpan(node, TraceKind::kAdvancePhase, &c.phase_span, kInvalidTxn,

@@ -82,7 +82,7 @@ class Ava3Engine : public db::EngineBase {
     std::set<NodeId> pending_acks;
     SimTime start_time = 0;
     SimTime phase2_start = 0;
-    sim::EventId resend_ev = sim::kInvalidEvent;
+    rt::TimerId resend_ev = rt::kInvalidTimer;
     uint64_t phase_span = 0;  // open kAdvancePhase span (tracing only)
   };
 

@@ -5,67 +5,76 @@
 namespace ava3::core {
 
 void ControlState::IncUpdate(Version v) {
-  ++latch_ops_;
-  ++update_counters_[v];
+  latch_ops_.fetch_add(1, std::memory_order_relaxed);
+  Slot(update_counters_, v).Inc();
 }
 
 void ControlState::DecUpdate(Version v) {
-  ++latch_ops_;
-  int& c = update_counters_[v];
-  --c;
-  if (c == 0) {
+  latch_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (Slot(update_counters_, v).Dec() == 0) {
     FireWaiters(update_waiters_, v);
     if (combined_) FireWaiters(query_waiters_, v);
   }
 }
 
 void ControlState::IncQuery(Version v) {
-  ++latch_ops_;
-  ++QueryMap()[v];
+  latch_ops_.fetch_add(1, std::memory_order_relaxed);
+  Slot(QueryMap(), v).Inc();
 }
 
 void ControlState::DecQuery(Version v) {
-  ++latch_ops_;
-  int& c = QueryMap()[v];
-  --c;
-  if (c == 0) {
+  latch_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (Slot(QueryMap(), v).Dec() == 0) {
     FireWaiters(query_waiters_, v);
     if (combined_) FireWaiters(update_waiters_, v);
   }
 }
 
 int ControlState::UpdateCount(Version v) const {
+  rt::LatchGuard guard(latch_);
   auto it = update_counters_.find(v);
-  return it == update_counters_.end() ? 0 : it->second;
+  return it == update_counters_.end()
+             ? 0
+             : static_cast<int>(it->second.Load());
 }
 
 int ControlState::QueryCount(Version v) const {
+  rt::LatchGuard guard(latch_);
   auto it = QueryMap().find(v);
-  return it == QueryMap().end() ? 0 : it->second;
+  return it == QueryMap().end() ? 0 : static_cast<int>(it->second.Load());
 }
 
 void ControlState::WhenUpdateZero(Version v, std::function<void()> cb) {
+  // Counter traffic for `v` is confined to this node's context (the same
+  // context this registration runs in), so the count cannot change between
+  // the check and the registration.
   if (UpdateCount(v) == 0) {
-    simulator_->After(0, std::move(cb));
+    runtime_->ScheduleOn(node_, 0, std::move(cb));
     return;
   }
+  rt::LatchGuard guard(latch_);
   update_waiters_[v].push_back(std::move(cb));
 }
 
 void ControlState::WhenQueryZero(Version v, std::function<void()> cb) {
   if (QueryCount(v) == 0) {
-    simulator_->After(0, std::move(cb));
+    runtime_->ScheduleOn(node_, 0, std::move(cb));
     return;
   }
+  rt::LatchGuard guard(latch_);
   query_waiters_[v].push_back(std::move(cb));
 }
 
 void ControlState::FireWaiters(WaiterMap& waiters, Version v) {
-  auto it = waiters.find(v);
-  if (it == waiters.end()) return;
-  std::vector<std::function<void()>> fns = std::move(it->second);
-  waiters.erase(it);
-  for (auto& fn : fns) simulator_->After(0, std::move(fn));
+  std::vector<std::function<void()>> fns;
+  {
+    rt::LatchGuard guard(latch_);
+    auto it = waiters.find(v);
+    if (it == waiters.end()) return;
+    fns = std::move(it->second);
+    waiters.erase(it);
+  }
+  for (auto& fn : fns) runtime_->ScheduleOn(node_, 0, std::move(fn));
 }
 
 }  // namespace ava3::core

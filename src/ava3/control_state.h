@@ -1,13 +1,15 @@
 #ifndef AVA3_AVA3_CONTROL_STATE_H_
 #define AVA3_AVA3_CONTROL_STATE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <vector>
 
 #include "common/types.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
+#include "runtime/sync.h"
 
 namespace ava3::core {
 
@@ -24,6 +26,14 @@ namespace ava3::core {
 /// main-memory only and reset to zero on a crash — safe because recovery
 /// aborts all in-flight transactions (Lemma 6.1).
 ///
+/// Concurrency (paper Section 6.3): the counter values are std::atomic,
+/// and a query's whole synchronization footprint is one latched counter
+/// increment at start and one decrement at finish — no locks. The latch
+/// guards only the *structure*: the version->counter map (slots appear at
+/// advancement, disappear at GC) and the zero-waiter lists. u/q/g are
+/// atomics because the GC step reads every node's g cross-node. Under
+/// SimRuntime all of this is uncontended and changes nothing.
+///
 /// The `combined` mode implements optimization O3 from Section 10: one
 /// counter per version shared by queries and updates. It is sound because a
 /// version receives queries only after all its updates finished.
@@ -31,37 +41,40 @@ class ControlState {
  public:
   /// Initial state per the paper: all data in version 0, q=0, u=1, g=-1
   /// (version -1 is vacuously collected, satisfying the advancement guard
-  /// u == g + 2).
-  ControlState(sim::Simulator* simulator, bool combined)
-      : simulator_(simulator), combined_(combined) {
-    update_counters_[1] = 0;
-    QueryMap()[0] = 0;
+  /// u == g + 2). `node` is the node this state belongs to; zero-waiters
+  /// fire in that node's runtime context.
+  ControlState(rt::Runtime* runtime, NodeId node, bool combined)
+      : runtime_(runtime), node_(node), combined_(combined) {
+    update_counters_[1];
+    QueryMap()[0];
   }
 
-  Version u() const { return u_; }
-  Version q() const { return q_; }
-  Version g() const { return g_; }
+  Version u() const { return u_.load(std::memory_order_relaxed); }
+  Version q() const { return q_.load(std::memory_order_relaxed); }
+  Version g() const { return g_.load(std::memory_order_relaxed); }
 
   /// Advances the update version (monotonic; no-op if not larger) and
   /// initializes the new version's update counter.
   void AdvanceU(Version newu) {
-    if (newu <= u_) return;
-    u_ = newu;
-    update_counters_.try_emplace(newu, 0);
+    if (newu <= u()) return;
+    u_.store(newu, std::memory_order_relaxed);
+    rt::LatchGuard guard(latch_);
+    update_counters_[newu];
   }
   /// Advances the query version and initializes its query counter.
   void AdvanceQ(Version newq) {
-    if (newq <= q_) return;
-    q_ = newq;
-    QueryMap().try_emplace(newq, 0);
+    if (newq <= q()) return;
+    q_.store(newq, std::memory_order_relaxed);
+    rt::LatchGuard guard(latch_);
+    QueryMap()[newq];
   }
   void AdvanceG(Version newg) {
-    if (newg <= g_) return;
-    g_ = newg;
+    if (newg <= g()) return;
+    g_.store(newg, std::memory_order_relaxed);
   }
 
   // Counter operations. Each is one latched main-memory increment or
-  // decrement; `latch_ops` counts them for experiment E9.
+  // decrement of an atomic; `latch_ops` counts them for experiment E9.
   void IncUpdate(Version v);
   void DecUpdate(Version v);
   void IncQuery(Version v);
@@ -70,9 +83,10 @@ class ControlState {
   int UpdateCount(Version v) const;
   int QueryCount(Version v) const;
 
-  /// Registers `cb` to fire (as a simulator event) once the update counter
-  /// for `v` is zero; fires immediately if it already is. Multiple waiters
-  /// per version are supported (multiple advancement coordinators).
+  /// Registers `cb` to fire (as a zero-delay timer on this node) once the
+  /// update counter for `v` is zero; fires immediately if it already is.
+  /// Multiple waiters per version are supported (multiple advancement
+  /// coordinators).
   void WhenUpdateZero(Version v, std::function<void()> cb);
   void WhenQueryZero(Version v, std::function<void()> cb);
 
@@ -82,6 +96,7 @@ class ControlState {
   /// version reuse the counter its updates drained), so only `oldq` may be
   /// forgotten.
   void EraseCountersAt(Version oldq, Version oldu) {
+    rt::LatchGuard guard(latch_);
     if (combined_) {
       update_counters_.erase(oldq);
       return;
@@ -92,19 +107,24 @@ class ControlState {
 
   /// Crash: counters and waiters are volatile; u/q/g survive (durable).
   void CrashReset() {
+    rt::LatchGuard guard(latch_);
     update_counters_.clear();
     query_counters_.clear();
     update_waiters_.clear();
     query_waiters_.clear();
-    update_counters_.try_emplace(u_, 0);
-    QueryMap().try_emplace(q_, 0);
+    update_counters_[u()];
+    QueryMap()[q()];
   }
 
-  uint64_t latch_ops() const { return latch_ops_; }
+  uint64_t latch_ops() const {
+    return latch_ops_.load(std::memory_order_relaxed);
+  }
   bool combined() const { return combined_; }
 
  private:
-  using CounterMap = std::map<Version, int>;
+  // std::map: node stability means a Counter& stays valid while other
+  // slots come and go (erase of *other* keys never moves it).
+  using CounterMap = std::map<Version, rt::Counter>;
   using WaiterMap = std::map<Version, std::vector<std::function<void()>>>;
 
   CounterMap& QueryMap() {
@@ -114,18 +134,27 @@ class ControlState {
     return combined_ ? update_counters_ : query_counters_;
   }
 
+  /// Find-or-insert of a counter slot under the latch; the returned
+  /// reference is stable (see CounterMap note).
+  rt::Counter& Slot(CounterMap& map, Version v) {
+    rt::LatchGuard guard(latch_);
+    return map[v];
+  }
+
   void FireWaiters(WaiterMap& waiters, Version v);
 
-  sim::Simulator* simulator_;
+  rt::Runtime* runtime_;
+  NodeId node_;
   bool combined_;
-  Version u_ = 1;
-  Version q_ = 0;
-  Version g_ = -1;
+  std::atomic<Version> u_{1};
+  std::atomic<Version> q_{0};
+  std::atomic<Version> g_{-1};
+  mutable rt::Latch latch_;
   CounterMap update_counters_;
   CounterMap query_counters_;  // unused in combined mode
   WaiterMap update_waiters_;
   WaiterMap query_waiters_;
-  uint64_t latch_ops_ = 0;
+  std::atomic<uint64_t> latch_ops_{0};
 };
 
 }  // namespace ava3::core

@@ -2,6 +2,7 @@
 #define AVA3_BASELINES_MVU_ENGINE_H_
 
 #include <algorithm>
+#include <cassert>
 #include <set>
 
 #include "engine/engine_base.h"
@@ -25,6 +26,11 @@ class MvuEngine : public db::EngineBase {
   MvuEngine(db::EngineEnv env, int num_nodes, db::BaseOptions base_options,
             SimDuration gc_sweep_interval = 100 * kMillisecond)
       : EngineBase(env, num_nodes, base_options, /*store_capacity=*/0) {
+    // OnCommitDecision installs writes at every node synchronously from the
+    // coordinator's context and commit_seq_ is a plain global counter —
+    // this baseline is inherently single-threaded. Keep it DES-only.
+    assert(runtime().deterministic() &&
+           "MvuEngine requires a deterministic (single-threaded) runtime");
     if (gc_sweep_interval > 0) StartSweep(gc_sweep_interval);
   }
 
@@ -110,7 +116,7 @@ class MvuEngine : public db::EngineBase {
     // synchronous apply; see class comment).
     const Version cv = ++commit_seq_;
     *global_version = cv;
-    const SimTime now = simulator().Now();
+    const SimTime now = runtime().Now();
     const Version wm = Watermark();
     for (size_t i = 0; i < root_rt.script->subtxns.size(); ++i) {
       const NodeId n = root_rt.script->subtxns[i].node;
@@ -125,7 +131,7 @@ class MvuEngine : public db::EngineBase {
         (void)s;
         rt.writes.push_back(verify::WriteRecord{
             n, item, pw.value, pw.deleted, now,
-            simulator().events_executed()});
+            runtime().Seq()});
         versions_pruned_ += static_cast<uint64_t>(st.PruneItem(item, wm));
       }
     }
@@ -143,7 +149,7 @@ class MvuEngine : public db::EngineBase {
   Status OnQueryStart(QueryRt& rt, Version assigned) override {
     if (rt.is_root()) {
       rt.version = commit_seq_;
-      metrics().RecordQueryStart(rt.version, simulator().Now());
+      metrics().RecordQueryStart(rt.version, runtime().Now());
     } else {
       rt.version = assigned;
     }
@@ -181,7 +187,7 @@ class MvuEngine : public db::EngineBase {
   }
 
   void StartSweep(SimDuration interval) {
-    simulator().After(interval, [this, interval]() {
+    runtime().ScheduleGlobal(interval, [this, interval]() {
       const Version wm = Watermark();
       for (int n = 0; n < num_nodes(); ++n) {
         std::vector<ItemId> ids;

@@ -74,7 +74,7 @@ class S2plEngine : public db::EngineBase {
   void OnCommitMsg(UpdateRt& rt, Version global_version) override {
     (void)global_version;
     store::VersionedStore& st = store(rt.node);
-    const SimTime now = simulator().Now();
+    const SimTime now = runtime().Now();
     for (ItemId item : rt.wbuf_order) {
       const PendingWrite& pw = rt.wbuf[item];
       Status s = pw.deleted ? st.MarkDeleted(item, 0, rt.txn, now)
@@ -82,7 +82,7 @@ class S2plEngine : public db::EngineBase {
       (void)s;
       rt.writes.push_back(verify::WriteRecord{rt.node, item, pw.value,
                                               pw.deleted, now,
-                                              simulator().events_executed()});
+                                              runtime().Seq()});
     }
   }
 
@@ -93,7 +93,7 @@ class S2plEngine : public db::EngineBase {
   Status OnQueryStart(QueryRt& rt, Version assigned) override {
     (void)assigned;
     rt.version = 0;
-    if (rt.is_root()) metrics().RecordQueryStart(0, simulator().Now());
+    if (rt.is_root()) metrics().RecordQueryStart(0, runtime().Now());
     return Status::Ok();
   }
 

@@ -1,12 +1,14 @@
 #ifndef AVA3_COMMON_TRACE_H_
 #define AVA3_COMMON_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "runtime/sync.h"
 
 namespace ava3 {
 
@@ -102,8 +104,13 @@ std::string Render(const TraceEvent& ev);
 bool IsNarrative(const TraceEvent& ev);
 
 /// Collects trace events when enabled. One sink per simulation; subsystems
-/// hold a pointer and call Emit(). Not thread-safe (the simulator is
-/// single-threaded by design).
+/// hold a pointer and call Emit().
+///
+/// Thread safety: Emit() appends under an internal latch and NextSpanId()
+/// is atomic, so concurrent node contexts under ThreadRuntime may trace
+/// (event order then reflects latch-acquisition order, not a deterministic
+/// schedule). Enable/SetListener/Clear and the read accessors are
+/// configuration/post-run operations — call them from a quiesced runtime.
 ///
 /// Contract: when disabled, Emit() drops the event and NextSpanId() must
 /// not be called (callers guard with enabled()); nothing else in the
@@ -115,10 +122,13 @@ class TraceSink {
 
   /// Fresh span/flow id. Only meaningful while enabled (callers allocate
   /// ids solely inside enabled() guards, keeping disabled runs zero-cost).
-  uint64_t NextSpanId() { return ++last_span_; }
+  uint64_t NextSpanId() {
+    return last_span_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   void Emit(TraceEvent ev) {
     if (!enabled_) return;
+    rt::LatchGuard guard(latch_);
     events_.push_back(std::move(ev));
     if (listener_) listener_(events_.back());
   }
@@ -130,6 +140,7 @@ class TraceSink {
     ev.time = time;
     ev.node = node;
     ev.detail = std::move(what);
+    rt::LatchGuard guard(latch_);
     events_.push_back(std::move(ev));
     if (listener_) listener_(events_.back());
   }
@@ -151,7 +162,8 @@ class TraceSink {
 
  private:
   bool enabled_ = false;
-  uint64_t last_span_ = 0;
+  std::atomic<uint64_t> last_span_{0};
+  mutable rt::Latch latch_;
   std::vector<TraceEvent> events_;
   std::function<void(const TraceEvent&)> listener_;
 };

@@ -38,9 +38,10 @@ Database::Database(DatabaseOptions options) : options_(options) {
         Rng(options_.seed ^ 0x0FA17B17E5ULL));
     network_->SetFaultInjector(injector_.get());
   }
+  runtime_ = std::make_unique<rt::SimRuntime>(simulator_.get(), network_.get(),
+                                              options_.seed);
   EngineEnv env;
-  env.simulator = simulator_.get();
-  env.network = network_.get();
+  env.runtime = runtime_.get();
   env.metrics = metrics_.get();
   env.recorder = options_.enable_recorder ? recorder_.get() : nullptr;
   env.trace = trace_.get();

@@ -6,6 +6,7 @@
 
 #include "ava3/ava3_engine.h"
 #include "engine/engine_iface.h"
+#include "runtime/sim_runtime.h"
 #include "sim/fault_injector.h"
 #include "sim/timeseries.h"
 
@@ -66,6 +67,9 @@ class Database {
 
   sim::Simulator& simulator() { return *simulator_; }
   sim::Network& network() { return *network_; }
+  /// The runtime seam the engine programs against (a SimRuntime here; the
+  /// real-time path constructs engines directly over a ThreadRuntime).
+  rt::Runtime& runtime() { return *runtime_; }
   /// The fault injector, or nullptr when the fault plan is inert.
   sim::FaultInjector* fault_injector() { return injector_.get(); }
   Engine& engine() { return *engine_; }
@@ -105,6 +109,8 @@ class Database {
   std::unique_ptr<verify::HistoryRecorder> recorder_;
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<sim::FaultInjector> injector_;
+  /// Declared before engine_ (engines hold a Runtime* for their lifetime).
+  std::unique_ptr<rt::SimRuntime> runtime_;
   std::unique_ptr<Engine> engine_;
   /// Declared after engine_: gauge callbacks read engine state, so the
   /// sampler must be destroyed first.

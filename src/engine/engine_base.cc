@@ -6,22 +6,21 @@
 
 namespace ava3::db {
 
-using sim::MsgKind;
+using rt::MsgKind;
 
 EngineBase::EngineBase(EngineEnv env, int num_nodes, BaseOptions options,
                        int store_capacity)
     : env_(env), options_(options) {
-  assert(env_.simulator != nullptr && env_.network != nullptr &&
-         env_.metrics != nullptr);
+  assert(env_.runtime != nullptr && env_.metrics != nullptr);
   nodes_.resize(static_cast<size_t>(num_nodes));
   std::vector<lock::LockManager*> lms;
   for (int i = 0; i < num_nodes; ++i) {
     nodes_[i].store = std::make_unique<store::VersionedStore>(store_capacity);
-    nodes_[i].locks = std::make_unique<lock::LockManager>(env_.simulator, i);
+    nodes_[i].locks = std::make_unique<lock::LockManager>(env_.runtime, i);
     lms.push_back(nodes_[i].locks.get());
   }
   deadlock_detector_ = std::make_unique<lock::DeadlockDetector>(
-      env_.simulator, std::move(lms), options_.deadlock_interval,
+      env_.runtime, std::move(lms), options_.deadlock_interval,
       [this](TxnId victim) { OnDeadlockVictim(victim); });
   deadlock_detector_->Start();
 }
@@ -38,9 +37,9 @@ int EngineBase::ActiveSubtxns() const {
 
 void EngineBase::Submit(TxnId id, txn::TxnScript script, ResultCallback done) {
   Status valid = script.Validate(num_nodes());
-  const SimTime submit_time = simulator().Now();
+  const SimTime submit_time = runtime().Now();
   if (!valid.ok()) {
-    simulator().After(0, [id, kind = script.kind, valid, submit_time,
+    runtime().ScheduleGlobal(0, [id, kind = script.kind, valid, submit_time,
                           done = std::move(done)]() {
       TxnResult res;
       res.id = id;
@@ -55,14 +54,14 @@ void EngineBase::Submit(TxnId id, txn::TxnScript script, ResultCallback done) {
   auto shared = std::make_shared<const txn::TxnScript>(std::move(script));
   const NodeId root = shared->subtxns[0].node;
   if (shared->kind == TxnKind::kUpdate) {
-    network().Send(root, root, MsgKind::kSpawnSubtxn,
+    runtime().Send(root, root, MsgKind::kSpawnSubtxn,
                    [this, root, shared, id, done = std::move(done),
                     submit_time]() mutable {
                      StartUpdateSubtxn(root, shared, 0, id, kInvalidVersion,
                                        std::move(done), submit_time);
                    });
   } else {
-    network().Send(root, root, MsgKind::kSpawnSubtxn,
+    runtime().Send(root, root, MsgKind::kSpawnSubtxn,
                    [this, root, shared, id, done = std::move(done),
                     submit_time]() mutable {
                      StartQuerySubtxn(root, shared, 0, id, kInvalidVersion,
@@ -73,11 +72,13 @@ void EngineBase::Submit(TxnId id, txn::TxnScript script, ResultCallback done) {
 
 void EngineBase::ScheduleStepUpdate(NodeId node, TxnId txn,
                                     SimDuration delay) {
-  simulator().After(delay, [this, node, txn]() { StepUpdate(node, txn); });
+  runtime().ScheduleOn(node, delay,
+                       [this, node, txn]() { StepUpdate(node, txn); });
 }
 
 void EngineBase::ScheduleStepQuery(NodeId node, TxnId txn, SimDuration delay) {
-  simulator().After(delay, [this, node, txn]() { StepQuery(node, txn); });
+  runtime().ScheduleOn(node, delay,
+                       [this, node, txn]() { StepQuery(node, txn); });
 }
 
 // ---------------------------------------------------------------------------
@@ -102,7 +103,7 @@ void EngineBase::StartUpdateSubtxn(NodeId node,
     rt->done = std::move(done);
     rt->submit_time = submit_time;
     rt->timeout_ev =
-        simulator().After(options_.txn_timeout, [this, node, txn]() {
+        runtime().ScheduleOn(node, options_.txn_timeout, [this, node, txn]() {
           auto it = nodes_[node].updates.find(txn);
           if (it == nodes_[node].updates.end()) return;
           UpdateRt& r = *it->second;
@@ -115,7 +116,7 @@ void EngineBase::StartUpdateSubtxn(NodeId node,
     // own wait. Firing while the root is merely slow is safe: the root
     // cannot have decided commit while this subtransaction is unprepared.
     rt->timeout_ev =
-        simulator().After(2 * options_.txn_timeout, [this, node, txn]() {
+        runtime().ScheduleOn(node, 2 * options_.txn_timeout, [this, node, txn]() {
           auto it = nodes_[node].updates.find(txn);
           if (it == nodes_[node].updates.end()) return;
           UpdateRt& r = *it->second;
@@ -190,7 +191,7 @@ void EngineBase::ExecUpdateOp(UpdateRt& rt, const txn::Op& op) {
       return;
     }
     r.state = UpdateRt::State::kRunning;
-    r.lock_wait_total += simulator().Now() - r.lock_wait_since;
+    r.lock_wait_total += runtime().Now() - r.lock_wait_since;
     EndSpan(node, TraceKind::kLockWait, &r.lock_span, txn);
     // Perform the access the transaction was blocked on.
     const txn::Op& blocked_op = r.spec_ref().ops[r.pc];
@@ -198,7 +199,7 @@ void EngineBase::ExecUpdateOp(UpdateRt& rt, const txn::Op& op) {
   });
   if (result == lock::AcquireResult::kWaiting) {
     rt.state = UpdateRt::State::kLockWait;
-    rt.lock_wait_since = simulator().Now();
+    rt.lock_wait_since = runtime().Now();
     if (TraceEnabled()) {
       rt.lock_span = BeginSpan(node, TraceKind::kLockWait, txn,
                                kInvalidVersion, op.item);
@@ -214,8 +215,8 @@ void EngineBase::FinishUpdateAccess(UpdateRt& rt, const txn::Op& op) {
     verify::ReadRecord rec;
     rec.node = rt.node;
     rec.item = op.item;
-    rec.read_time = simulator().Now();
-    rec.read_seq = simulator().events_executed();
+    rec.read_time = runtime().Now();
+    rec.read_seq = runtime().Seq();
     st = UpdateRead(rt, op.item, &rec);
     if (st.ok()) rt.reads.push_back(rec);
   } else {
@@ -236,7 +237,7 @@ void EngineBase::SpawnUpdateChildren(UpdateRt& rt) {
   for (int child : rt.script->ChildrenOf(rt.spec)) {
     ++rt.children_outstanding;
     const NodeId dst = rt.script->subtxns[child].node;
-    network().Send(rt.node, dst, MsgKind::kSpawnSubtxn,
+    runtime().Send(rt.node, dst, MsgKind::kSpawnSubtxn,
                    [this, dst, s = rt.script, child, txn = rt.txn, carried]() {
                      StartUpdateSubtxn(dst, s, child, txn, carried, nullptr, 0);
                    });
@@ -248,7 +249,7 @@ void EngineBase::OnUpdateLocalOpsDone(UpdateRt& rt) {
   if (rt.is_root() && rt.ops_done_time == 0) {
     // The 2PC round begins: everything from here to the commit decision is
     // prepare collection (the root may still be waiting on children).
-    rt.ops_done_time = simulator().Now();
+    rt.ops_done_time = runtime().Now();
     if (TraceEnabled()) {
       rt.twopc_span = BeginSpan(rt.node, TraceKind::kTwoPcRound, rt.txn);
     }
@@ -286,7 +287,7 @@ void EngineBase::PrepareUpdate(UpdateRt& rt) {
     return;
   }
   const NodeId parent = rt.parent_node();
-  network().Send(rt.node, parent, MsgKind::kPrepared,
+  runtime().Send(rt.node, parent, MsgKind::kPrepared,
                  [this, parent, txn = rt.txn, spec = rt.spec, report_max,
                   report_min]() {
                    OnChildPrepared(parent, txn, spec, report_max, report_min);
@@ -303,14 +304,14 @@ void EngineBase::ArmPreparedTimeout(UpdateRt& rt) {
   const NodeId node = rt.node;
   const TxnId txn = rt.txn;
   rt.prep_timeout_ev =
-      simulator().After(options_.prepared_timeout, [this, node, txn]() {
+      runtime().ScheduleOn(node, options_.prepared_timeout, [this, node, txn]() {
         auto it = nodes_[node].updates.find(txn);
         if (it == nodes_[node].updates.end()) return;
         UpdateRt& r = *it->second;
         if (r.state != UpdateRt::State::kPrepared) return;
         EmitTrace(node, TraceKind::kDecisionInquiry, txn);
         const NodeId root = r.root_node();
-        network().Send(node, root, MsgKind::kDecisionRequest,
+        runtime().Send(node, root, MsgKind::kDecisionRequest,
                        [this, root, txn, node]() {
                          OnDecisionRequest(root, txn, node);
                        });
@@ -319,11 +320,20 @@ void EngineBase::ArmPreparedTimeout(UpdateRt& rt) {
 }
 
 void EngineBase::OnDecisionRequest(NodeId root_node, TxnId txn, NodeId from) {
-  auto it = commit_outcomes_.find(txn);
-  if (it != commit_outcomes_.end()) {
-    const Version global = it->second.first;
-    const SimTime decision_time = it->second.second;
-    network().Send(root_node, from, MsgKind::kCommit,
+  bool committed = false;
+  Version global = kInvalidVersion;
+  SimTime decision_time = 0;
+  {
+    rt::LatchGuard g(shared_latch_);
+    auto it = commit_outcomes_.find(txn);
+    if (it != commit_outcomes_.end()) {
+      committed = true;
+      global = it->second.first;
+      decision_time = it->second.second;
+    }
+  }
+  if (committed) {
+    runtime().Send(root_node, from, MsgKind::kCommit,
                    [this, from, txn, global, decision_time]() {
                      CommitLocal(from, txn, global, decision_time);
                    });
@@ -335,7 +345,7 @@ void EngineBase::OnDecisionRequest(NodeId root_node, TxnId txn, NodeId from) {
   if (rit != nodes_[root_node].updates.end() && !rit->second->decided) {
     return;
   }
-  network().Send(root_node, from, MsgKind::kAbort, [this, from, txn]() {
+  runtime().Send(root_node, from, MsgKind::kAbort, [this, from, txn]() {
     auto uit = nodes_[from].updates.find(txn);
     if (uit != nodes_[from].updates.end()) AbortUpdateLocal(*uit->second);
   });
@@ -380,10 +390,13 @@ void EngineBase::DecideCommit(UpdateRt& root_rt) {
   }
   OnCommitDecision(root_rt, &global);
   root_rt.decided = true;
-  simulator().Cancel(root_rt.timeout_ev);
-  const SimTime decision_time = simulator().Now();
-  commit_outcomes_.emplace(root_rt.txn,
-                           std::make_pair(global, decision_time));
+  runtime().CancelTimer(root_rt.timeout_ev);
+  const SimTime decision_time = runtime().Now();
+  {
+    rt::LatchGuard g(shared_latch_);
+    commit_outcomes_.emplace(root_rt.txn,
+                             std::make_pair(global, decision_time));
+  }
   metrics().RecordUpdateCommit(decision_time - root_rt.submit_time, global,
                                decision_time);
   if (env_.recorder != nullptr) {
@@ -393,6 +406,7 @@ void EngineBase::DecideCommit(UpdateRt& root_rt) {
     ph.txn.commit_version = global;
     ph.txn.decision_time = decision_time;
     ph.subtxns_remaining = static_cast<int>(root_rt.script->subtxns.size());
+    rt::LatchGuard g(shared_latch_);
     pending_history_.emplace(root_rt.txn, std::move(ph));
   }
   EndSpan(root_rt.node, TraceKind::kTwoPcRound, &root_rt.twopc_span,
@@ -406,7 +420,7 @@ void EngineBase::DecideCommit(UpdateRt& root_rt) {
   // subtransaction forwards `commit` to its children (paper step 8).
   const NodeId node = root_rt.node;
   const TxnId txn = root_rt.txn;
-  network().Send(node, node, MsgKind::kCommit,
+  runtime().Send(node, node, MsgKind::kCommit,
                  [this, node, txn, global, decision_time]() {
                    CommitLocal(node, txn, global, decision_time);
                  });
@@ -420,7 +434,7 @@ void EngineBase::CommitLocal(NodeId node, TxnId txn, Version global_version,
   UpdateRt& rt = *it->second;
   if (rt.state != UpdateRt::State::kPrepared) return;
   rt.state = UpdateRt::State::kFinishing;
-  simulator().Cancel(rt.prep_timeout_ev);
+  runtime().CancelTimer(rt.prep_timeout_ev);
 
   OnCommitMsg(rt, global_version);
 
@@ -435,7 +449,7 @@ void EngineBase::CommitLocal(NodeId node, TxnId txn, Version global_version,
   DepositHistory(rt);
   for (int child : rt.script->ChildrenOf(rt.spec)) {
     const NodeId dst = rt.script->subtxns[child].node;
-    network().Send(node, dst, MsgKind::kCommit,
+    runtime().Send(node, dst, MsgKind::kCommit,
                    [this, dst, txn, global_version, decision_time]() {
                      CommitLocal(dst, txn, global_version, decision_time);
                    });
@@ -445,7 +459,7 @@ void EngineBase::CommitLocal(NodeId node, TxnId txn, Version global_version,
     // (the 2PC round), decision -> applied at the root.
     metrics().RecordCommitPhases(rt.lock_wait_total,
                                  decision_time - rt.ops_done_time,
-                                 simulator().Now() - decision_time);
+                                 runtime().Now() - decision_time);
     EndSpan(node, TraceKind::kCommitApply, &rt.apply_span, txn);
   }
   if (rt.is_root() && rt.done) {
@@ -455,7 +469,7 @@ void EngineBase::CommitLocal(NodeId node, TxnId txn, Version global_version,
     res.outcome = TxnOutcome::kCommitted;
     res.commit_version = global_version;
     res.submit_time = rt.submit_time;
-    res.finish_time = simulator().Now();
+    res.finish_time = runtime().Now();
     res.move_to_futures = rt.mtf_count;
     res.reads = std::move(rt.reads);  // root-local reads only
     rt.done(res);
@@ -467,6 +481,9 @@ void EngineBase::CommitLocal(NodeId node, TxnId txn, Version global_version,
 
 void EngineBase::DepositHistory(UpdateRt& rt) {
   if (env_.recorder == nullptr) return;
+  // Every participant of the transaction deposits here (cross-node), so
+  // the whole read-modify-erase runs under the shared latch.
+  rt::LatchGuard g(shared_latch_);
   auto it = pending_history_.find(rt.txn);
   if (it == pending_history_.end()) return;
   PendingHistory& ph = it->second;
@@ -494,7 +511,7 @@ void EngineBase::FailUpdate(UpdateRt& rt, Status status) {
   }
   const NodeId root = rt.root_node();
   const TxnId txn = rt.txn;
-  network().Send(rt.node, root, MsgKind::kAbort,
+  runtime().Send(rt.node, root, MsgKind::kAbort,
                  [this, root, txn, status]() {
                    OnAbortMsgAtRoot(root, txn, status);
                  });
@@ -525,7 +542,7 @@ void EngineBase::BeginAbortBroadcast(UpdateRt& root_rt, Status status) {
   if (root_rt.decided) return;
   metrics().RecordAbort(status.code() == StatusCode::kDeadlock,
                         status.message() == "sync-mismatch");
-  simulator().Cancel(root_rt.timeout_ev);
+  runtime().CancelTimer(root_rt.timeout_ev);
   const TxnId txn = root_rt.txn;
   const NodeId root_node = root_rt.node;
   ResultCallback done = std::move(root_rt.done);
@@ -535,7 +552,7 @@ void EngineBase::BeginAbortBroadcast(UpdateRt& root_rt, Status status) {
   // local abort destroys root_rt).
   for (size_t i = 1; i < script->subtxns.size(); ++i) {
     const NodeId dst = script->subtxns[i].node;
-    network().Send(root_node, dst, MsgKind::kAbort, [this, dst, txn]() {
+    runtime().Send(root_node, dst, MsgKind::kAbort, [this, dst, txn]() {
       auto it = nodes_[dst].updates.find(txn);
       if (it != nodes_[dst].updates.end()) AbortUpdateLocal(*it->second);
     });
@@ -548,7 +565,7 @@ void EngineBase::BeginAbortBroadcast(UpdateRt& root_rt, Status status) {
     res.outcome = TxnOutcome::kAborted;
     res.status = std::move(status);
     res.submit_time = submit_time;
-    res.finish_time = simulator().Now();
+    res.finish_time = runtime().Now();
     done(res);
   }
 }
@@ -559,8 +576,8 @@ void EngineBase::AbortUpdateLocal(UpdateRt& rt) {
   const NodeId node = rt.node;
   const TxnId txn = rt.txn;
   NodeState& ns = nodes_[node];
-  simulator().Cancel(rt.timeout_ev);
-  simulator().Cancel(rt.prep_timeout_ev);
+  runtime().CancelTimer(rt.timeout_ev);
+  runtime().CancelTimer(rt.prep_timeout_ev);
   ns.locks->CancelWaiter(txn);
   OnUpdateAborted(rt);
   wal::LogRecord abort;
@@ -598,7 +615,7 @@ void EngineBase::StartQuerySubtxn(NodeId node,
     rt->done = std::move(done);
     rt->submit_time = submit_time;
     rt->timeout_ev =
-        simulator().After(options_.txn_timeout, [this, node, txn]() {
+        runtime().ScheduleOn(node, options_.txn_timeout, [this, node, txn]() {
           auto it = nodes_[node].queries.find(txn);
           if (it == nodes_[node].queries.end()) return;
           QueryRt& r = *it->second;
@@ -609,7 +626,7 @@ void EngineBase::StartQuerySubtxn(NodeId node,
     // Orphan guard for subqueries whose root's node crashed (see the
     // update-side counterpart above). Aborting a subquery is always safe.
     rt->timeout_ev =
-        simulator().After(2 * options_.txn_timeout, [this, node, txn]() {
+        runtime().ScheduleOn(node, 2 * options_.txn_timeout, [this, node, txn]() {
           auto it = nodes_[node].queries.find(txn);
           if (it == nodes_[node].queries.end()) return;
           QueryRt& r = *it->second;
@@ -686,7 +703,7 @@ void EngineBase::ExecQueryOp(QueryRt& rt, const txn::Op& op) {
         });
     if (result == lock::AcquireResult::kWaiting) {
       rt.state = QueryRt::State::kLockWait;
-      rt.lock_wait_since = simulator().Now();
+      rt.lock_wait_since = runtime().Now();
       if (TraceEnabled()) {
         rt.lock_span = BeginSpan(node, TraceKind::kLockWait, txn,
                                  kInvalidVersion, target);
@@ -703,8 +720,8 @@ void EngineBase::FinishQueryRead(QueryRt& rt, const txn::Op& op) {
   verify::ReadRecord rec;
   rec.node = rt.node;
   rec.item = target;
-  rec.read_time = simulator().Now();
-  rec.read_seq = simulator().events_executed();
+  rec.read_time = runtime().Now();
+  rec.read_seq = runtime().Seq();
   QueryRead(rt, target, &rec);
   rt.reads.push_back(rec);
   if (scanning && ++rt.scan_pos < op.arg) {
@@ -723,7 +740,7 @@ void EngineBase::SpawnQueryChildren(QueryRt& rt) {
     ++rt.children_outstanding;
     const NodeId dst = rt.script->subtxns[child].node;
     // Paper Section 3.3 step 4: children inherit V(Q).
-    network().Send(rt.node, dst, MsgKind::kSpawnSubtxn,
+    runtime().Send(rt.node, dst, MsgKind::kSpawnSubtxn,
                    [this, dst, s = rt.script, child, txn = rt.txn,
                     v = rt.version]() {
                      StartQuerySubtxn(dst, s, child, txn, v, nullptr, 0);
@@ -764,19 +781,19 @@ void EngineBase::MaybeCompleteQuery(QueryRt& rt) {
       auto script = rt.script;
       for (size_t i = 1; i < script->subtxns.size(); ++i) {
         const NodeId dst = script->subtxns[i].node;
-        network().Send(node, dst, MsgKind::kCommit, [this, dst, txn]() {
+        runtime().Send(node, dst, MsgKind::kCommit, [this, dst, txn]() {
           ReleaseHeldQueryLocks(dst, txn);
         });
       }
     }
-    simulator().Cancel(rt.timeout_ev);
-    metrics().RecordQueryCommit(simulator().Now() - rt.submit_time);
+    runtime().CancelTimer(rt.timeout_ev);
+    metrics().RecordQueryCommit(runtime().Now() - rt.submit_time);
     if (env_.recorder != nullptr) {
       verify::CommittedTxn rec;
       rec.id = txn;
       rec.kind = TxnKind::kQuery;
       rec.commit_version = rt.version;
-      rec.decision_time = simulator().Now();
+      rec.decision_time = runtime().Now();
       rec.reads = rt.reads;
       env_.recorder->Record(std::move(rec));
     }
@@ -788,7 +805,7 @@ void EngineBase::MaybeCompleteQuery(QueryRt& rt) {
       res.outcome = TxnOutcome::kCommitted;
       res.commit_version = rt.version;
       res.submit_time = rt.submit_time;
-      res.finish_time = simulator().Now();
+      res.finish_time = runtime().Now();
       res.reads = std::move(rt.reads);
       rt.done(res);
     }
@@ -797,7 +814,7 @@ void EngineBase::MaybeCompleteQuery(QueryRt& rt) {
     return;
   }
   const NodeId parent = rt.parent_node();
-  network().Send(node, parent, MsgKind::kQueryResult,
+  runtime().Send(node, parent, MsgKind::kQueryResult,
                  [this, parent, txn, spec = rt.spec,
                   reads = std::move(rt.reads)]() mutable {
                    OnChildQueryResult(parent, txn, spec, std::move(reads));
@@ -813,7 +830,7 @@ void EngineBase::ReleaseHeldQueryLocks(NodeId node, TxnId txn) {
   if (it == nodes_[node].queries.end()) return;
   QueryRt& rt = *it->second;
   if (rt.state != QueryRt::State::kLockHold) return;
-  simulator().Cancel(rt.timeout_ev);
+  runtime().CancelTimer(rt.timeout_ev);
   nodes_[node].locks->ReleaseAll(txn);
   EndSpan(node, TraceKind::kQueryTxn, &rt.span, txn);
   nodes_[node].queries.erase(txn);
@@ -840,7 +857,7 @@ void EngineBase::FailQuery(QueryRt& rt, Status status) {
   if (rt.state == QueryRt::State::kFinishing) return;
   if (rt.is_root()) {
     metrics().RecordAbort(status.code() == StatusCode::kDeadlock, false);
-    simulator().Cancel(rt.timeout_ev);
+    runtime().CancelTimer(rt.timeout_ev);
     const TxnId txn = rt.txn;
     const NodeId root_node = rt.node;
     ResultCallback done = std::move(rt.done);
@@ -848,7 +865,7 @@ void EngineBase::FailQuery(QueryRt& rt, Status status) {
     auto script = rt.script;
     for (size_t i = 1; i < script->subtxns.size(); ++i) {
       const NodeId dst = script->subtxns[i].node;
-      network().Send(root_node, dst, MsgKind::kAbort, [this, dst, txn]() {
+      runtime().Send(root_node, dst, MsgKind::kAbort, [this, dst, txn]() {
         auto it = nodes_[dst].queries.find(txn);
         if (it != nodes_[dst].queries.end()) AbortQueryLocal(*it->second);
       });
@@ -861,7 +878,7 @@ void EngineBase::FailQuery(QueryRt& rt, Status status) {
       res.outcome = TxnOutcome::kAborted;
       res.status = std::move(status);
       res.submit_time = submit_time;
-      res.finish_time = simulator().Now();
+      res.finish_time = runtime().Now();
       done(res);
     }
     return;
@@ -869,7 +886,7 @@ void EngineBase::FailQuery(QueryRt& rt, Status status) {
   // Non-root failures route to the root, which broadcasts the abort.
   const NodeId root = rt.root_node();
   const TxnId txn = rt.txn;
-  network().Send(rt.node, root, MsgKind::kAbort,
+  runtime().Send(rt.node, root, MsgKind::kAbort,
                  [this, root, txn, status]() {
                    OnAbortMsgAtRoot(root, txn, status);
                  });
@@ -885,7 +902,7 @@ void EngineBase::AbortQueryLocal(QueryRt& rt) {
   const NodeId node = rt.node;
   const TxnId txn = rt.txn;
   NodeState& ns = nodes_[node];
-  simulator().Cancel(rt.timeout_ev);
+  runtime().CancelTimer(rt.timeout_ev);
   if (QueriesUseLocks()) {
     ns.locks->CancelWaiter(txn);
     ns.locks->ReleaseAll(txn);
@@ -932,7 +949,7 @@ void EngineBase::OnDeadlockVictim(TxnId txn) {
 }
 
 void EngineBase::CrashNode(NodeId node) {
-  network().SetNodeUp(node, false);
+  runtime().SetNodeUp(node, false);
   NodeState& ns = nodes_[node];
   // Non-prepared in-flight work dies with the node. Undo side effects
   // first (the in-place recovery scheme must restore the store, which
@@ -949,8 +966,8 @@ void EngineBase::CrashNode(NodeId node) {
       ++it;
       continue;
     }
-    simulator().Cancel(rt.timeout_ev);
-    simulator().Cancel(rt.prep_timeout_ev);
+    runtime().CancelTimer(rt.timeout_ev);
+    runtime().CancelTimer(rt.prep_timeout_ev);
     OnUpdateAborted(rt);
     // Force-close the victim's open spans (lifetime included): the crash
     // is the real end of this subtransaction on the timeline.
@@ -963,7 +980,7 @@ void EngineBase::CrashNode(NodeId node) {
   }
   while (!ns.queries.empty()) {
     QueryRt& rt = *ns.queries.begin()->second;
-    simulator().Cancel(rt.timeout_ev);
+    runtime().CancelTimer(rt.timeout_ev);
     if (rt.state != QueryRt::State::kLockHold) OnQueryFinish(rt);
     EndSpan(node, TraceKind::kLockWait, &rt.lock_span, rt.txn);
     EndSpan(node, TraceKind::kQueryTxn, &rt.span, rt.txn);
@@ -976,7 +993,7 @@ void EngineBase::CrashNode(NodeId node) {
 }
 
 void EngineBase::RecoverNode(NodeId node) {
-  network().SetNodeUp(node, true);
+  runtime().SetNodeUp(node, true);
   // Re-acquire the locks of in-doubt transactions before any new traffic
   // reaches the node (same event, so nothing can interleave): written
   // items may yet commit and read items must stay write-protected until

@@ -12,6 +12,7 @@
 #include "lock/deadlock_detector.h"
 #include "lock/lock_manager.h"
 #include "log/recovery_log.h"
+#include "runtime/sync.h"
 #include "storage/versioned_store.h"
 
 namespace ava3::db {
@@ -154,8 +155,8 @@ class EngineBase : public Engine {
     ResultCallback done;
     SimTime submit_time = 0;
     bool decided = false;
-    sim::EventId timeout_ev = sim::kInvalidEvent;
-    sim::EventId prep_timeout_ev = sim::kInvalidEvent;
+    rt::TimerId timeout_ev = rt::kInvalidTimer;
+    rt::TimerId prep_timeout_ev = rt::kInvalidTimer;
 
     bool is_root() const { return parent_spec < 0; }
     NodeId parent_node() const {
@@ -205,7 +206,7 @@ class EngineBase : public Engine {
     // Root-only fields.
     ResultCallback done;
     SimTime submit_time = 0;
-    sim::EventId timeout_ev = 0;
+    rt::TimerId timeout_ev = rt::kInvalidTimer;
 
     bool is_root() const { return parent_spec < 0; }
     NodeId parent_node() const {
@@ -339,15 +340,15 @@ class EngineBase : public Engine {
   // Services for subclasses.
   // ---------------------------------------------------------------------
 
-  sim::Simulator& simulator() { return *env_.simulator; }
-  sim::Network& network() { return *env_.network; }
+  rt::Runtime& runtime() { return *env_.runtime; }
+  const rt::Runtime& runtime() const { return *env_.runtime; }
   Metrics& metrics() { return *env_.metrics; }
   NodeState& node_state(NodeId n) { return nodes_[n]; }
   const BaseOptions& base_options() const { return options_; }
 
   void Trace(NodeId node, std::string what) {
     if (env_.trace != nullptr) {
-      env_.trace->Emit(env_.simulator->Now(), node, std::move(what));
+      env_.trace->Emit(env_.runtime->Now(), node, std::move(what));
     }
   }
   bool TraceEnabled() const {
@@ -359,7 +360,7 @@ class EngineBase : public Engine {
   /// tracing goes through here so the disabled path is one branch.
   void EmitTrace(TraceEvent ev) {
     if (!TraceEnabled()) return;
-    ev.time = env_.simulator->Now();
+    ev.time = env_.runtime->Now();
     env_.trace->Emit(std::move(ev));
   }
   /// Instant-event shorthand.
@@ -368,7 +369,7 @@ class EngineBase : public Engine {
                  int64_t b = 0) {
     if (!TraceEnabled()) return;
     TraceEvent ev;
-    ev.time = env_.simulator->Now();
+    ev.time = env_.runtime->Now();
     ev.node = node;
     ev.kind = kind;
     ev.txn = txn;
@@ -384,7 +385,7 @@ class EngineBase : public Engine {
                      uint8_t phase = 0) {
     if (!TraceEnabled()) return 0;
     TraceEvent ev;
-    ev.time = env_.simulator->Now();
+    ev.time = env_.runtime->Now();
     ev.node = node;
     ev.kind = kind;
     ev.op = TraceOp::kBegin;
@@ -403,7 +404,7 @@ class EngineBase : public Engine {
                TxnId txn = kInvalidTxn, uint8_t phase = 0) {
     if (*span_id == 0) return;
     TraceEvent ev;
-    ev.time = env_.simulator->Now();
+    ev.time = env_.runtime->Now();
     ev.node = node;
     ev.kind = kind;
     ev.op = TraceOp::kEnd;
@@ -480,6 +481,11 @@ class EngineBase : public Engine {
   BaseOptions options_;
   std::vector<NodeState> nodes_;
   std::unique_ptr<lock::DeadlockDetector> deadlock_detector_;
+  /// Guards pending_history_ and commit_outcomes_: the only EngineBase
+  /// maps written from more than one node's execution context (each root
+  /// writes its own transactions' entries, but the map structure is
+  /// shared). Uncontended and inert under SimRuntime.
+  rt::Latch shared_latch_;
   std::unordered_map<TxnId, PendingHistory> pending_history_;
   /// The coordinator side's durable commit log: global version and
   /// decision time of every committed transaction, consulted by decision

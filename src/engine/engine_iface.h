@@ -8,8 +8,7 @@
 #include "common/trace.h"
 #include "common/types.h"
 #include "engine/metrics.h"
-#include "sim/network.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 #include "txn/script.h"
 #include "verify/history.h"
 
@@ -32,10 +31,11 @@ struct TxnResult {
 using ResultCallback = std::function<void(const TxnResult&)>;
 
 /// Shared wiring handed to every engine. All pointers outlive the engine;
-/// `recorder` and `trace` may be null.
+/// `recorder` and `trace` may be null. Engines see only the runtime seam —
+/// never sim:: types — so the same protocol code runs on the deterministic
+/// DES (rt::SimRuntime) or on real threads (rt::ThreadRuntime).
 struct EngineEnv {
-  sim::Simulator* simulator = nullptr;
-  sim::Network* network = nullptr;
+  rt::Runtime* runtime = nullptr;
   Metrics* metrics = nullptr;
   verify::HistoryRecorder* recorder = nullptr;
   TraceSink* trace = nullptr;

@@ -8,17 +8,25 @@
 
 #include "common/histogram.h"
 #include "common/types.h"
+#include "runtime/sync.h"
 
 namespace ava3::db {
 
 /// Simulation-wide measurement collector. Engines call the Record* hooks;
 /// the bench harness reads the aggregates. The collector is an instrument,
 /// not part of the protocol: it has global visibility by design.
+///
+/// Thread safety: every Record*/Prune* mutator takes an internal latch, so
+/// concurrent node contexts under ThreadRuntime may record freely. The
+/// accessors (and ToJson) are unguarded snapshot reads — call them from a
+/// quiesced runtime (after Shutdown, inside RunExclusive, or under the
+/// single-threaded DES, where the latch is uncontended and free).
 class Metrics {
  public:
   // --- Transactions --------------------------------------------------------
   void RecordUpdateCommit(SimTime latency, Version commit_version,
                           SimTime commit_time) {
+    rt::LatchGuard guard(latch_);
     ++update_commits_;
     update_latency_.Add(latency);
     auto [it, inserted] =
@@ -26,10 +34,12 @@ class Metrics {
     if (!inserted && commit_time < it->second) it->second = commit_time;
   }
   void RecordQueryCommit(SimTime latency) {
+    rt::LatchGuard guard(latch_);
     ++query_commits_;
     query_latency_.Add(latency);
   }
   void RecordAbort(bool deadlock, bool sync_mismatch) {
+    rt::LatchGuard guard(latch_);
     ++aborts_;
     if (deadlock) ++deadlock_aborts_;
     if (sync_mismatch) ++sync_mismatch_aborts_;
@@ -40,6 +50,7 @@ class Metrics {
   /// decision -> commit applied at the root.
   void RecordCommitPhases(SimDuration lock_wait, SimDuration twopc_round,
                           SimDuration commit_apply) {
+    rt::LatchGuard guard(latch_);
     lock_wait_.Add(lock_wait);
     twopc_round_.Add(twopc_round);
     commit_apply_.Add(commit_apply);
@@ -49,6 +60,7 @@ class Metrics {
   /// Staleness = time since the first commit the query cannot see, i.e.
   /// since data in version `snapshot+1` first appeared (0 if none yet).
   void RecordQueryStart(Version snapshot, SimTime now) {
+    rt::LatchGuard guard(latch_);
     auto it = first_commit_time_.upper_bound(snapshot);
     SimTime staleness = 0;
     if (it != first_commit_time_.end() && it->second <= now) {
@@ -59,6 +71,7 @@ class Metrics {
 
   // --- moveToFuture ---------------------------------------------------------
   void RecordMoveToFuture(int records_scanned) {
+    rt::LatchGuard guard(latch_);
     ++mtf_count_;
     mtf_records_scanned_ += static_cast<uint64_t>(records_scanned);
   }
@@ -66,19 +79,32 @@ class Metrics {
   // --- Version advancement --------------------------------------------------
   void RecordAdvancement(SimDuration phase1, SimDuration phase2,
                          SimDuration total) {
+    rt::LatchGuard guard(latch_);
     ++advancements_;
     phase1_duration_.Add(phase1);
     phase2_duration_.Add(phase2);
     advancement_duration_.Add(total);
   }
-  void RecordAdvancementCancelled() { ++advancements_cancelled_; }
+  void RecordAdvancementCancelled() {
+    rt::LatchGuard guard(latch_);
+    ++advancements_cancelled_;
+  }
 
   // --- Latch accounting (paper: queries only bump counters under latches) ---
-  void RecordLatchOp() { ++latch_ops_; }
+  void RecordLatchOp() {
+    rt::LatchGuard guard(latch_);
+    ++latch_ops_;
+  }
 
   // --- Fault events ---------------------------------------------------------
-  void RecordCrash() { ++crashes_; }
-  void RecordRecovery() { ++recoveries_; }
+  void RecordCrash() {
+    rt::LatchGuard guard(latch_);
+    ++crashes_;
+  }
+  void RecordRecovery() {
+    rt::LatchGuard guard(latch_);
+    ++recoveries_;
+  }
 
   // --- Accessors ------------------------------------------------------------
   uint64_t update_commits() const { return update_commits_; }
@@ -118,6 +144,7 @@ class Metrics {
   /// the erased keys; pruning keeps long soaks at bounded memory without
   /// changing any staleness sample.
   void PruneFirstCommitTimes(Version min_g) {
+    rt::LatchGuard guard(latch_);
     auto end = first_commit_time_.upper_bound(min_g);
     first_commit_entries_pruned_ +=
         static_cast<uint64_t>(std::distance(first_commit_time_.begin(), end));
@@ -132,6 +159,7 @@ class Metrics {
   std::string ToJson() const;
 
  private:
+  mutable rt::Latch latch_;
   uint64_t update_commits_ = 0;
   uint64_t query_commits_ = 0;
   uint64_t aborts_ = 0;

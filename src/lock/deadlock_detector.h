@@ -9,7 +9,7 @@
 
 #include "common/types.h"
 #include "lock/lock_manager.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 
 namespace ava3::lock {
 
@@ -27,10 +27,10 @@ class DeadlockDetector {
  public:
   /// `on_victim` must abort the given transaction (idempotent if it is
   /// already finishing).
-  DeadlockDetector(sim::Simulator* simulator,
+  DeadlockDetector(rt::Runtime* runtime,
                    std::vector<LockManager*> lock_managers,
                    SimDuration interval, std::function<void(TxnId)> on_victim)
-      : simulator_(simulator),
+      : runtime_(runtime),
         lock_managers_(std::move(lock_managers)),
         interval_(interval),
         on_victim_(std::move(on_victim)) {}
@@ -47,9 +47,12 @@ class DeadlockDetector {
  private:
   void ScheduleNext() {
     running_ = true;
-    simulator_->After(interval_, [this]() {
+    // The sweep runs in the service context and inspects every node's
+    // lock table at once, so it needs the global safepoint. Under the
+    // DES, RunExclusive is a plain call and the schedule is unchanged.
+    runtime_->ScheduleGlobal(interval_, [this]() {
       if (!running_) return;
-      RunOnce();
+      runtime_->RunExclusive([this]() { RunOnce(); });
       ScheduleNext();
     });
   }
@@ -59,7 +62,7 @@ class DeadlockDetector {
   static std::vector<TxnId> FindCycle(
       const std::unordered_map<TxnId, std::unordered_set<TxnId>>& graph);
 
-  sim::Simulator* simulator_;
+  rt::Runtime* runtime_;
   std::vector<LockManager*> lock_managers_;
   SimDuration interval_;
   std::function<void(TxnId)> on_victim_;

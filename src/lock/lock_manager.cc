@@ -37,7 +37,7 @@ AcquireResult LockManager::Acquire(TxnId txn, ItemId item, LockMode mode,
     }
     ++stats_.waits;
     entry.queue.push_front(Request{txn, mode, std::move(on_grant),
-                                   simulator_->Now(), /*is_upgrade=*/true});
+                                   runtime_->Now(), /*is_upgrade=*/true});
     return AcquireResult::kWaiting;
   }
 
@@ -50,7 +50,7 @@ AcquireResult LockManager::Acquire(TxnId txn, ItemId item, LockMode mode,
   }
   ++stats_.waits;
   entry.queue.push_back(Request{txn, mode, std::move(on_grant),
-                                simulator_->Now(), /*is_upgrade=*/false});
+                                runtime_->Now(), /*is_upgrade=*/false});
   return AcquireResult::kWaiting;
 }
 
@@ -77,7 +77,7 @@ void LockManager::ProcessQueue(ItemId item, Entry& entry) {
         it->second = LockMode::kExclusive;
       }
     }
-    stats_.total_wait_micros += simulator_->Now() - req.enqueue_time;
+    stats_.total_wait_micros += runtime_->Now() - req.enqueue_time;
     ScheduleGrant(std::move(req.on_grant));
     entry.queue.pop_front();
   }
@@ -130,7 +130,7 @@ void LockManager::CancelWaiter(TxnId txn) {
         ++stats_.cancelled;
         GrantCallback cb = std::move(it->on_grant);
         it = entry.queue.erase(it);
-        simulator_->After(0, [fn = std::move(cb)]() {
+        runtime_->ScheduleOn(node_, 0, [fn = std::move(cb)]() {
           fn(Status::Aborted("lock wait cancelled"));
         });
         touched.push_back(item);

@@ -9,7 +9,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
-#include "sim/simulator.h"
+#include "runtime/runtime.h"
 
 namespace ava3::lock {
 
@@ -46,14 +46,15 @@ struct LockStats {
 ///   one distributed transaction share their locks at a node, and waits-for
 ///   edges compose across nodes into a global graph.
 ///
-/// Delayed grants are delivered as simulator events, never from inside the
-/// Release/Cancel call stack, to keep executor re-entrancy trivial.
+/// Delayed grants are delivered as zero-delay runtime timers on this
+/// node, never from inside the Release/Cancel call stack, to keep
+/// executor re-entrancy trivial.
 class LockManager {
  public:
   using GrantCallback = std::function<void(Status)>;
 
-  LockManager(sim::Simulator* simulator, NodeId node)
-      : simulator_(simulator), node_(node) {}
+  LockManager(rt::Runtime* runtime, NodeId node)
+      : runtime_(runtime), node_(node) {}
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
@@ -127,10 +128,11 @@ class LockManager {
   void ProcessQueue(ItemId item, Entry& entry);
 
   void ScheduleGrant(GrantCallback cb) {
-    simulator_->After(0, [fn = std::move(cb)]() { fn(Status::Ok()); });
+    runtime_->ScheduleOn(node_, 0,
+                         [fn = std::move(cb)]() { fn(Status::Ok()); });
   }
 
-  sim::Simulator* simulator_;
+  rt::Runtime* runtime_;
   NodeId node_;
   std::unordered_map<ItemId, Entry> table_;
   LockStats stats_;

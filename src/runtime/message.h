@@ -1,0 +1,49 @@
+#ifndef AVA3_RUNTIME_MESSAGE_H_
+#define AVA3_RUNTIME_MESSAGE_H_
+
+#include <cstdint>
+
+namespace ava3::rt {
+
+/// Protocol message categories, used for accounting (message counts per
+/// kind are part of the experiment outputs) and for tracing. These are a
+/// property of the *protocol*, not of any particular transport, so they
+/// live in the runtime layer; both the simulated network and the real
+/// thread transport speak them.
+enum class MsgKind : uint8_t {
+  // Version-advancement protocol (paper Section 3.2).
+  kAdvanceU = 0,
+  kAckAdvanceU,
+  kAdvanceQ,
+  kAckAdvanceQ,
+  kGarbageCollect,
+  // Distributed transaction execution (paper Section 2, R* model).
+  kSpawnSubtxn,
+  kPrepared,
+  kCommit,
+  kAbort,
+  kQueryResult,
+  kDecisionRequest,  // prepared participant asks the root for the verdict
+  kOther,
+  kNumKinds,  // sentinel
+};
+
+/// Returns a stable short name, e.g. "advance-u".
+const char* MsgKindName(MsgKind kind);
+
+/// Why a message never executed its delivery closure. Kept per MsgKind so
+/// fault experiments can attribute message cost to protocol traffic
+/// classes (e.g. lost `prepared` vs. lost `garbage-collect`).
+enum class DropCause : uint8_t {
+  kInTransit = 0,  // random in-transit loss (drop_probability / fault plan)
+  kDestDown,       // destination node was down at delivery time
+  kPartition,      // an active partition window separated the endpoints
+  kNumCauses,      // sentinel
+};
+
+/// Returns a stable short name, e.g. "in-transit".
+const char* DropCauseName(DropCause cause);
+
+}  // namespace ava3::rt
+
+#endif  // AVA3_RUNTIME_MESSAGE_H_

@@ -1,0 +1,108 @@
+#ifndef AVA3_RUNTIME_RUNTIME_H_
+#define AVA3_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "runtime/message.h"
+
+namespace ava3::rt {
+
+/// Handle used to cancel a scheduled timer. Zero is never a valid handle.
+using TimerId = uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+/// Execution substrate for the protocol stack: clock, timers, node-to-node
+/// transport, liveness flags and per-node randomness. Every engine (AVA3,
+/// SYNC-AVA, FOURV, S2PL-R, MVU) programs against this interface and never
+/// touches `sim::` types directly, so the same protocol code runs either
+///
+///   * inside the deterministic discrete-event simulator (`SimRuntime`,
+///     a thin adapter over sim::Simulator + sim::Network that is
+///     bit-identical to driving those types directly), or
+///   * on real threads (`ThreadRuntime`, one worker per node with MPSC
+///     mailboxes, steady_clock time and real message handoff).
+///
+/// Threading contract (what lets node-confined protocol state stay
+/// lock-free): a closure passed to ScheduleOn(node, ...) or delivered via
+/// Send(..., to, ...) executes in the context of that node — under
+/// SimRuntime that is simply the simulator thread; under ThreadRuntime it
+/// is node `to`'s worker thread, and closures for one node never run
+/// concurrently with each other. ScheduleGlobal closures run outside any
+/// node (service context); code that must touch several nodes' state at
+/// once wraps itself in RunExclusive.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  // --- Clock ------------------------------------------------------------
+
+  /// Current time in microseconds. Simulated time under SimRuntime;
+  /// steady_clock microseconds since runtime start under ThreadRuntime.
+  virtual SimTime Now() const = 0;
+
+  /// Monotonic execution sequence number: strictly increases across the
+  /// closures the runtime executes. Used to order reads/applies for the
+  /// serializability oracle (`read_seq`/`apply_seq`). Under SimRuntime
+  /// this is exactly Simulator::events_executed().
+  virtual uint64_t Seq() const = 0;
+
+  // --- Scheduler --------------------------------------------------------
+
+  /// Runs `fn` in node `node`'s context after `delay` microseconds.
+  virtual TimerId ScheduleOn(NodeId node, SimDuration delay,
+                             std::function<void()> fn) = 0;
+
+  /// Runs `fn` after `delay` microseconds outside any node's context
+  /// (deadlock sweeps, watchdog-style services). Under SimRuntime this is
+  /// indistinguishable from ScheduleOn.
+  virtual TimerId ScheduleGlobal(SimDuration delay,
+                                 std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer. Returns true if it was still pending;
+  /// cancelling a fired or unknown timer is a no-op returning false.
+  virtual bool CancelTimer(TimerId id) = 0;
+
+  /// Runs `fn` while no node closure is executing anywhere (a global
+  /// safepoint). Used by cross-node inspections such as deadlock
+  /// detection. Under SimRuntime this is a plain call (the DES is already
+  /// globally exclusive); under ThreadRuntime it stalls every worker.
+  /// Must not be called from inside a node closure.
+  virtual void RunExclusive(const std::function<void()>& fn) = 0;
+
+  // --- Transport --------------------------------------------------------
+
+  /// Sends a message of `kind` from `from` to `to`; `deliver` runs in the
+  /// destination node's context, unless the transport loses the message
+  /// (faults, destination down). Fire-and-forget: the sender learns
+  /// nothing, exactly the asynchronous-network model of the paper.
+  virtual void Send(NodeId from, NodeId to, MsgKind kind,
+                    std::function<void()> deliver) = 0;
+
+  /// Marks a node up/down. While down, deliveries to it are dropped.
+  virtual void SetNodeUp(NodeId node, bool up) = 0;
+  virtual bool IsNodeUp(NodeId node) const = 0;
+
+  // --- Rand -------------------------------------------------------------
+
+  /// Per-node deterministic random stream, owned by the runtime. Protocol
+  /// code that needs randomness (jittered backoff etc.) must draw from the
+  /// stream of the node it runs on so runs stay a pure function of
+  /// (config, seed) under SimRuntime.
+  virtual Rng& Rand(NodeId node) = 0;
+
+  // ----------------------------------------------------------------------
+
+  virtual int num_nodes() const = 0;
+
+  /// True when the runtime is a deterministic replay substrate (the DES).
+  /// Engines whose algorithms are inherently cross-node-synchronous (MVU)
+  /// assert this: they cannot run on a real-threads runtime.
+  virtual bool deterministic() const = 0;
+};
+
+}  // namespace ava3::rt
+
+#endif  // AVA3_RUNTIME_RUNTIME_H_

@@ -1,0 +1,20 @@
+#include "runtime/sim_runtime.h"
+
+namespace ava3::rt {
+
+Rng& SimRuntime::Rand(NodeId node) {
+  assert(node >= 0);
+  if (static_cast<size_t>(node) >= rngs_.size()) {
+    rngs_.resize(static_cast<size_t>(node) + 1);
+  }
+  auto& slot = rngs_[static_cast<size_t>(node)];
+  if (slot == nullptr) {
+    // Each node gets an independent stream that is a pure function of
+    // (seed, node); draws on one node never perturb another.
+    slot = std::make_unique<Rng>(seed_ ^
+                                 (0xC2B2AE3D27D4EB4FULL * (node + 1)));
+  }
+  return *slot;
+}
+
+}  // namespace ava3::rt

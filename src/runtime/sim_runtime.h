@@ -1,0 +1,90 @@
+#ifndef AVA3_RUNTIME_SIM_RUNTIME_H_
+#define AVA3_RUNTIME_SIM_RUNTIME_H_
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace ava3::rt {
+
+/// Runtime implementation backed by the deterministic discrete-event
+/// simulator. Every method is a 1:1 delegation — ScheduleOn/ScheduleGlobal
+/// are Simulator::After, Send is Network::Send, Seq is events_executed —
+/// so a protocol stack driven through a SimRuntime produces *bit-identical*
+/// event streams, metrics and traces to one driving the sim types directly
+/// (asserted by tests/determinism_test.cc against pre-refactor goldens).
+///
+/// The network may be null for unit-test fixtures that only need timers
+/// (lock manager / control state tests); transport methods then assert.
+class SimRuntime final : public Runtime {
+ public:
+  /// `simulator` must outlive the runtime; `network` may be null.
+  /// `seed` feeds the per-node Rand streams (unused by the DES itself).
+  explicit SimRuntime(sim::Simulator* simulator,
+                      sim::Network* network = nullptr, uint64_t seed = 0)
+      : simulator_(simulator), network_(network), seed_(seed) {
+    assert(simulator_ != nullptr);
+  }
+
+  SimTime Now() const override { return simulator_->Now(); }
+  uint64_t Seq() const override { return simulator_->events_executed(); }
+
+  TimerId ScheduleOn(NodeId /*node*/, SimDuration delay,
+                     std::function<void()> fn) override {
+    // Node affinity is meaningless single-threaded; what matters for
+    // bit-identity is that this allocates the same EventId the direct
+    // After() call used to.
+    return simulator_->After(delay, std::move(fn));
+  }
+
+  TimerId ScheduleGlobal(SimDuration delay,
+                         std::function<void()> fn) override {
+    return simulator_->After(delay, std::move(fn));
+  }
+
+  bool CancelTimer(TimerId id) override { return simulator_->Cancel(id); }
+
+  void RunExclusive(const std::function<void()>& fn) override {
+    // The DES is already globally exclusive: a plain call is a safepoint.
+    fn();
+  }
+
+  void Send(NodeId from, NodeId to, MsgKind kind,
+            std::function<void()> deliver) override {
+    assert(network_ != nullptr && "SimRuntime built without a network");
+    network_->Send(from, to, kind, std::move(deliver));
+  }
+
+  void SetNodeUp(NodeId node, bool up) override {
+    assert(network_ != nullptr && "SimRuntime built without a network");
+    network_->SetNodeUp(node, up);
+  }
+
+  bool IsNodeUp(NodeId node) const override {
+    return network_ == nullptr || network_->IsNodeUp(node);
+  }
+
+  Rng& Rand(NodeId node) override;
+
+  int num_nodes() const override {
+    return network_ != nullptr ? network_->num_nodes() : 1;
+  }
+
+  bool deterministic() const override { return true; }
+
+  sim::Simulator& simulator() { return *simulator_; }
+
+ private:
+  sim::Simulator* simulator_;
+  sim::Network* network_;
+  uint64_t seed_;
+  std::vector<std::unique_ptr<Rng>> rngs_;  // lazily created per node
+};
+
+}  // namespace ava3::rt
+
+#endif  // AVA3_RUNTIME_SIM_RUNTIME_H_

@@ -1,0 +1,66 @@
+#ifndef AVA3_RUNTIME_SYNC_H_
+#define AVA3_RUNTIME_SYNC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace ava3::rt {
+
+/// The paper's "latch": a short-lived mutual-exclusion primitive guarding a
+/// handful of main-memory words (Section 6.3 charges queries exactly one
+/// latched counter increment per start/finish). Under SimRuntime every
+/// acquisition is uncontended — the DES is single-threaded — so the latch
+/// adds no scheduling and cannot perturb determinism; under ThreadRuntime
+/// it is a real mutex.
+class Latch {
+ public:
+  Latch() = default;
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void Lock() { mu_.lock(); }
+  void Unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped Latch holder.
+class LatchGuard {
+ public:
+  explicit LatchGuard(Latch& latch) : latch_(latch) { latch_.Lock(); }
+  ~LatchGuard() { latch_.Unlock(); }
+  LatchGuard(const LatchGuard&) = delete;
+  LatchGuard& operator=(const LatchGuard&) = delete;
+
+ private:
+  Latch& latch_;
+};
+
+/// Atomic counter for the query/update transaction counts of Section 3.1.
+/// The §6.3 latch-only read path boils down to one Inc and one Dec on one
+/// of these per query. Relaxed ordering suffices: the counters gate
+/// version advancement, whose phases synchronize through message passing
+/// (mailbox handoff under ThreadRuntime provides the needed ordering).
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(int64_t v) : v_(v) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Returns the post-increment value.
+  int64_t Inc() { return v_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  /// Returns the post-decrement value.
+  int64_t Dec() { return v_.fetch_sub(1, std::memory_order_relaxed) - 1; }
+  int64_t Load() const { return v_.load(std::memory_order_relaxed); }
+  void Store(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+}  // namespace ava3::rt
+
+#endif  // AVA3_RUNTIME_SYNC_H_

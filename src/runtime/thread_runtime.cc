@@ -1,0 +1,236 @@
+#include "runtime/thread_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ava3::rt {
+
+namespace {
+
+/// Index of the worker the current thread belongs to, or -1 on external
+/// threads (the bench/test driver). Lets RunExclusive skip its own
+/// exec_mu when invoked from a service-context closure.
+thread_local int tls_worker = -1;
+
+/// Worker index bits live above bit 40 of a TimerId; the low bits are a
+/// process-wide monotonic counter, so ids are unique, never zero, and
+/// CancelTimer can route to the owning worker without a global lookup.
+constexpr int kWorkerShift = 40;
+constexpr uint64_t kCounterMask = (uint64_t{1} << kWorkerShift) - 1;
+
+}  // namespace
+
+ThreadRuntime::ThreadRuntime(int num_nodes, ThreadRuntimeOptions options)
+    : num_nodes_(num_nodes), options_(options) {
+  assert(num_nodes_ >= 1);
+  const int workers = num_nodes_ + 1;  // + service context
+  workers_.reserve(workers);
+  rngs_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    rngs_.push_back(std::make_unique<Rng>(
+        options_.seed ^ (0xC2B2AE3D27D4EB4FULL * (i + 1))));
+  }
+  node_up_ = std::make_unique<std::atomic<bool>[]>(num_nodes_);
+  for (int i = 0; i < num_nodes_; ++i) {
+    node_up_[i].store(true, std::memory_order_relaxed);
+  }
+}
+
+ThreadRuntime::~ThreadRuntime() { Shutdown(); }
+
+void ThreadRuntime::Start() {
+  assert(!started_.load() && "ThreadRuntime::Start called twice");
+  start_tp_ = std::chrono::steady_clock::now();
+  started_.store(true, std::memory_order_release);
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread =
+        std::thread([this, i] { WorkerLoop(static_cast<int>(i)); });
+  }
+}
+
+void ThreadRuntime::Shutdown() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stop_.exchange(true)) {
+    // A previous Shutdown already joined the workers.
+    return;
+  }
+  for (auto& w : workers_) {
+    // Lock-then-notify: a worker either sees stop_ before sleeping or is
+    // woken by the notification — no missed-wakeup window.
+    { std::lock_guard<std::mutex> lk(w->mu); }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // Destroy undelivered closures now, while whatever they capture is
+  // still alive. They are never invoked.
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lk(w->mu);
+    w->mailbox.clear();
+    w->timers.clear();
+    while (!w->heap.empty()) w->heap.pop();
+  }
+}
+
+SimTime ThreadRuntime::NowUs() const {
+  if (!started_.load(std::memory_order_acquire)) return 0;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_tp_)
+      .count();
+}
+
+SimTime ThreadRuntime::Now() const { return NowUs(); }
+
+TimerId ThreadRuntime::ScheduleOnWorker(int index, SimDuration delay,
+                                        std::function<void()> fn) {
+  assert(index >= 0 && index < static_cast<int>(workers_.size()));
+  Worker& w = *workers_[index];
+  const uint64_t counter =
+      next_timer_.fetch_add(1, std::memory_order_relaxed);
+  assert(counter <= kCounterMask);
+  const TimerId id =
+      (static_cast<uint64_t>(index + 1) << kWorkerShift) | counter;
+  const SimTime deadline = NowUs() + std::max<SimDuration>(delay, 0);
+  {
+    std::lock_guard<std::mutex> lk(w.mu);
+    w.timers.emplace(id, std::move(fn));
+    w.heap.push(TimerEntry{deadline, id});
+  }
+  w.cv.notify_one();
+  return id;
+}
+
+TimerId ThreadRuntime::ScheduleOn(NodeId node, SimDuration delay,
+                                  std::function<void()> fn) {
+  assert(node >= 0 && node < num_nodes_);
+  return ScheduleOnWorker(node, delay, std::move(fn));
+}
+
+TimerId ThreadRuntime::ScheduleGlobal(SimDuration delay,
+                                      std::function<void()> fn) {
+  return ScheduleOnWorker(num_nodes_, delay, std::move(fn));
+}
+
+bool ThreadRuntime::CancelTimer(TimerId id) {
+  if (id == kInvalidTimer) return false;
+  const int index = static_cast<int>(id >> kWorkerShift) - 1;
+  if (index < 0 || index >= static_cast<int>(workers_.size())) return false;
+  Worker& w = *workers_[index];
+  std::lock_guard<std::mutex> lk(w.mu);
+  // The heap entry stays behind and is skipped when popped (its id no
+  // longer resolves in `timers`).
+  return w.timers.erase(id) > 0;
+}
+
+void ThreadRuntime::RunExclusive(const std::function<void()>& fn) {
+  // Collect every execution lock (except the calling worker's own, which
+  // it already holds) in ascending index order — a total order, so two
+  // concurrent RunExclusive calls cannot deadlock against each other.
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(workers_.size());
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    if (static_cast<int>(i) == tls_worker) continue;
+    held.emplace_back(workers_[i]->exec_mu);
+  }
+  fn();
+}
+
+void ThreadRuntime::Send(NodeId from, NodeId to, MsgKind kind,
+                         std::function<void()> deliver) {
+  (void)from;
+  assert(to >= 0 && to < num_nodes_);
+  sent_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+  if (!IsNodeUp(to)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Worker& w = *workers_[to];
+  {
+    std::lock_guard<std::mutex> lk(w.mu);
+    // Re-check liveness at delivery time, mirroring the simulated
+    // network's drop-at-destination semantics for crash windows.
+    w.mailbox.push_back(
+        [this, to, d = std::move(deliver)]() mutable {
+          if (IsNodeUp(to)) d();
+        });
+  }
+  w.cv.notify_one();
+}
+
+void ThreadRuntime::SetNodeUp(NodeId node, bool up) {
+  assert(node >= 0 && node < num_nodes_);
+  node_up_[node].store(up, std::memory_order_release);
+}
+
+bool ThreadRuntime::IsNodeUp(NodeId node) const {
+  assert(node >= 0 && node < num_nodes_);
+  return node_up_[node].load(std::memory_order_acquire);
+}
+
+Rng& ThreadRuntime::Rand(NodeId node) {
+  assert(node >= 0 && node < static_cast<int>(rngs_.size()));
+  // Each stream is confined to its worker thread; external threads must
+  // not draw from node streams.
+  return *rngs_[node];
+}
+
+uint64_t ThreadRuntime::TotalSent() const {
+  uint64_t total = 0;
+  for (const auto& s : sent_) total += s.load(std::memory_order_relaxed);
+  return total;
+}
+
+void ThreadRuntime::WorkerLoop(int index) {
+  tls_worker = index;
+  Worker& w = *workers_[index];
+  std::unique_lock<std::mutex> lk(w.mu);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const SimTime now = NowUs();
+    std::function<void()> task;
+    bool have = false;
+    // Due timers run before mailbox messages (they are already late).
+    while (!w.heap.empty()) {
+      const TimerEntry top = w.heap.top();
+      auto it = w.timers.find(top.id);
+      if (it == w.timers.end()) {
+        w.heap.pop();  // cancelled: skip the stale heap entry
+        continue;
+      }
+      if (top.deadline > now) break;
+      task = std::move(it->second);
+      w.timers.erase(it);
+      w.heap.pop();
+      have = true;
+      break;
+    }
+    if (!have && !w.mailbox.empty()) {
+      task = std::move(w.mailbox.front());
+      w.mailbox.pop_front();
+      have = true;
+    }
+    if (have) {
+      lk.unlock();
+      seq_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> ex(w.exec_mu);
+        task();
+      }
+      task = nullptr;  // destroy captures outside both locks
+      lk.lock();
+      continue;
+    }
+    if (!w.heap.empty()) {
+      // The top entry may be cancelled; waking at its deadline and
+      // re-scanning is merely a spurious wakeup.
+      w.cv.wait_until(lk, start_tp_ + std::chrono::microseconds(
+                                          w.heap.top().deadline));
+    } else {
+      w.cv.wait(lk);
+    }
+  }
+}
+
+}  // namespace ava3::rt

@@ -1,0 +1,139 @@
+#ifndef AVA3_RUNTIME_THREAD_RUNTIME_H_
+#define AVA3_RUNTIME_THREAD_RUNTIME_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace ava3::rt {
+
+/// Options for the real-threads runtime.
+struct ThreadRuntimeOptions {
+  /// Seed for the per-node Rand streams.
+  uint64_t seed = 1;
+};
+
+/// Runtime that executes the protocol stack on real OS threads: one worker
+/// thread per node plus one service worker for global timers (deadlock
+/// sweeps, watchdogs). Node state stays lock-free because each node's
+/// closures — timer callbacks and message deliveries alike — run only on
+/// that node's worker (MPSC mailbox handoff), which is the same
+/// one-closure-at-a-time-per-node discipline the DES provides; what the
+/// DES serialized globally, this runtime serializes per node and runs in
+/// parallel across nodes. Time is wall-clock (steady_clock microseconds
+/// since Start). NOT deterministic: two runs interleave differently; use
+/// SimRuntime for reproduction and this runtime for wall-clock throughput
+/// (bench/bench_realtime) and for exercising the §6.3 atomic-counter read
+/// path under real contention.
+///
+/// Lifecycle: construct runtime → construct engine (its constructor may
+/// schedule timers; nothing fires yet) → Start() → drive load from any
+/// external thread via Submit-posting closures → Shutdown() (joins
+/// workers; undelivered closures are destroyed unrun) → destroy engine.
+class ThreadRuntime final : public Runtime {
+ public:
+  ThreadRuntime(int num_nodes, ThreadRuntimeOptions options = {});
+  ~ThreadRuntime() override;
+
+  ThreadRuntime(const ThreadRuntime&) = delete;
+  ThreadRuntime& operator=(const ThreadRuntime&) = delete;
+
+  /// Launches the worker threads and starts the clock. Call after the
+  /// engine is fully constructed so early timers cannot observe a
+  /// half-built engine.
+  void Start();
+
+  /// Stops and joins all workers. Pending timers and mailbox closures are
+  /// destroyed without running. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  // Runtime interface ----------------------------------------------------
+  SimTime Now() const override;
+  uint64_t Seq() const override {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  TimerId ScheduleOn(NodeId node, SimDuration delay,
+                     std::function<void()> fn) override;
+  TimerId ScheduleGlobal(SimDuration delay,
+                         std::function<void()> fn) override;
+  bool CancelTimer(TimerId id) override;
+  void RunExclusive(const std::function<void()>& fn) override;
+  void Send(NodeId from, NodeId to, MsgKind kind,
+            std::function<void()> deliver) override;
+  void SetNodeUp(NodeId node, bool up) override;
+  bool IsNodeUp(NodeId node) const override;
+  Rng& Rand(NodeId node) override;
+  int num_nodes() const override { return num_nodes_; }
+  bool deterministic() const override { return false; }
+
+  // Transport statistics (quiescent reads are exact; concurrent reads are
+  // monotone approximations).
+  uint64_t SentCount(MsgKind kind) const {
+    return sent_[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
+  }
+  uint64_t TotalSent() const;
+  uint64_t DroppedCount() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct TimerEntry {
+    SimTime deadline;
+    TimerId id;  // ids are allocated in scheduling order => FIFO tiebreak
+  };
+  struct TimerLater {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.id > b.id;
+    }
+  };
+
+  /// One worker = one execution context (node 0..n-1, or the service
+  /// context at index n). `mu` guards mailbox + timers; `exec_mu` is held
+  /// exactly while a closure runs, so RunExclusive can stall the world by
+  /// collecting every exec_mu.
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> mailbox;
+    std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater>
+        heap;
+    std::unordered_map<TimerId, std::function<void()>> timers;
+    std::mutex exec_mu;
+    std::thread thread;
+  };
+
+  void WorkerLoop(int index);
+  TimerId ScheduleOnWorker(int index, SimDuration delay,
+                           std::function<void()> fn);
+  SimTime NowUs() const;
+
+  const int num_nodes_;
+  const ThreadRuntimeOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;  // size num_nodes_ + 1
+  std::vector<std::unique_ptr<Rng>> rngs_;        // one per worker
+  std::unique_ptr<std::atomic<bool>[]> node_up_;
+  std::chrono::steady_clock::time_point start_tp_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> next_timer_{1};
+  std::array<std::atomic<uint64_t>, static_cast<size_t>(MsgKind::kNumKinds)>
+      sent_{};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace ava3::rt
+
+#endif  // AVA3_RUNTIME_THREAD_RUNTIME_H_

@@ -9,11 +9,12 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "runtime/message.h"
 #include "sim/simulator.h"
 
 namespace ava3::sim {
 
-enum class MsgKind : uint8_t;  // sim/network.h
+using rt::MsgKind;
 
 /// Per-message fault probabilities. A FaultRates instance describes how one
 /// class of messages (everything, one MsgKind, or one directed link) is

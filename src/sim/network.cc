@@ -7,51 +7,7 @@
 
 namespace ava3::sim {
 
-const char* DropCauseName(DropCause cause) {
-  switch (cause) {
-    case DropCause::kInTransit:
-      return "in-transit";
-    case DropCause::kDestDown:
-      return "dest-down";
-    case DropCause::kPartition:
-      return "partition";
-    case DropCause::kNumCauses:
-      break;
-  }
-  return "?";
-}
-
-const char* MsgKindName(MsgKind kind) {
-  switch (kind) {
-    case MsgKind::kAdvanceU:
-      return "advance-u";
-    case MsgKind::kAckAdvanceU:
-      return "ack-advance-u";
-    case MsgKind::kAdvanceQ:
-      return "advance-q";
-    case MsgKind::kAckAdvanceQ:
-      return "ack-advance-q";
-    case MsgKind::kGarbageCollect:
-      return "garbage-collect";
-    case MsgKind::kSpawnSubtxn:
-      return "spawn-subtxn";
-    case MsgKind::kPrepared:
-      return "prepared";
-    case MsgKind::kCommit:
-      return "commit";
-    case MsgKind::kAbort:
-      return "abort";
-    case MsgKind::kQueryResult:
-      return "query-result";
-    case MsgKind::kDecisionRequest:
-      return "decision-request";
-    case MsgKind::kOther:
-      return "other";
-    case MsgKind::kNumKinds:
-      break;
-  }
-  return "?";
-}
+// MsgKindName / DropCauseName now live in runtime/message.cc.
 
 Network::Network(Simulator* simulator, int num_nodes, NetworkOptions options,
                  Rng rng)

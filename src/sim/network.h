@@ -10,32 +10,18 @@
 #include "common/rng.h"
 #include "common/trace.h"
 #include "common/types.h"
+#include "runtime/message.h"
 #include "sim/simulator.h"
 
 namespace ava3::sim {
 
-/// Protocol message categories, used for accounting (message counts per
-/// kind are part of the experiment outputs) and for tracing.
-enum class MsgKind : uint8_t {
-  // Version-advancement protocol (paper Section 3.2).
-  kAdvanceU = 0,
-  kAckAdvanceU,
-  kAdvanceQ,
-  kAckAdvanceQ,
-  kGarbageCollect,
-  // Distributed transaction execution (paper Section 2, R* model).
-  kSpawnSubtxn,
-  kPrepared,
-  kCommit,
-  kAbort,
-  kQueryResult,
-  kDecisionRequest,  // prepared participant asks the root for the verdict
-  kOther,
-  kNumKinds,  // sentinel
-};
-
-/// Returns a stable short name, e.g. "advance-u".
-const char* MsgKindName(MsgKind kind);
+// Message kinds and drop causes are protocol-level concepts shared by every
+// transport; they live in runtime/message.h. Aliased here so existing
+// sim::MsgKind spellings keep working.
+using rt::DropCause;
+using rt::DropCauseName;
+using rt::MsgKind;
+using rt::MsgKindName;
 
 /// Configuration of the message-latency model: latency is drawn uniformly
 /// from [base, base + jitter] for remote messages; self-sends use
@@ -52,19 +38,6 @@ struct NetworkOptions {
 };
 
 class FaultInjector;
-
-/// Why a message never executed its delivery closure. Kept per MsgKind so
-/// fault experiments can attribute message cost to protocol traffic
-/// classes (e.g. lost `prepared` vs. lost `garbage-collect`).
-enum class DropCause : uint8_t {
-  kInTransit = 0,  // random in-transit loss (drop_probability / fault plan)
-  kDestDown,       // destination node was down at delivery time
-  kPartition,      // an active partition window separated the endpoints
-  kNumCauses,      // sentinel
-};
-
-/// Returns a stable short name, e.g. "in-transit".
-const char* DropCauseName(DropCause cause);
 
 /// Simulated message-passing network between `n` nodes. Delivery executes a
 /// closure in the destination's context at the delivery time. Messages to a

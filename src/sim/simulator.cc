@@ -5,28 +5,56 @@
 
 namespace ava3::sim {
 
-EventId Simulator::At(SimTime t, std::function<void()> fn) {
+EventId Simulator::At(SimTime t, EventFn fn) {
   assert(t >= now_ && "cannot schedule events in the past");
   if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{t, id});
-  fns_.emplace(id, std::move(fn));
-  return id;
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  queue_.push(Event{t, next_seq_++, slot, s.gen});
+  ++live_count_;
+  return (static_cast<EventId>(slot) << 32) | s.gen;
 }
 
-bool Simulator::Cancel(EventId id) { return fns_.erase(id) > 0; }
+bool Simulator::Cancel(EventId id) {
+  const uint32_t slot = static_cast<uint32_t>(id >> 32);
+  const uint32_t gen = static_cast<uint32_t>(id);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) return false;  // fired, cancelled, or recycled
+  FreeSlot(slot);
+  --live_count_;
+  return true;
+}
+
+void Simulator::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = EventFn();
+  s.live = false;
+  ++s.gen;  // stale handles and lazily-deleted heap entries now mismatch
+  free_slots_.push_back(slot);
+}
 
 bool Simulator::Step() {
   while (!queue_.empty()) {
     const Event ev = queue_.top();
     queue_.pop();
-    auto it = fns_.find(ev.id);
-    if (it == fns_.end()) continue;  // cancelled
-    // Move the closure out before executing: the closure may schedule or
-    // cancel other events (rehashing fns_), and may even re-enter Step()
+    Slot& s = slots_[ev.slot];
+    if (!s.live || s.gen != ev.gen) continue;  // cancelled
+    // Move the closure out and free the slot before executing: the closure
+    // may schedule (growing slots_), cancel, or even re-enter Step()
     // indirectly via RunUntil in tests.
-    std::function<void()> fn = std::move(it->second);
-    fns_.erase(it);
+    EventFn fn = std::move(s.fn);
+    FreeSlot(ev.slot);
+    --live_count_;
     now_ = ev.time;
     ++events_executed_;
     fn();
@@ -43,11 +71,13 @@ void Simulator::Run(uint64_t max_events) {
 void Simulator::RunUntil(SimTime t) {
   while (!queue_.empty()) {
     // Skip over cancelled heads without advancing time.
-    if (fns_.find(queue_.top().id) == fns_.end()) {
+    const Event& top = queue_.top();
+    const Slot& s = slots_[top.slot];
+    if (!s.live || s.gen != top.gen) {
       queue_.pop();
       continue;
     }
-    if (queue_.top().time > t) break;
+    if (top.time > t) break;
     if (!Step()) break;
   }
   if (now_ < t) now_ = t;

@@ -1,24 +1,131 @@
 #ifndef AVA3_SIM_SIMULATOR_H_
 #define AVA3_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <queue>
-#include <unordered_map>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 
 namespace ava3::sim {
 
-/// Handle used to cancel a scheduled event.
+/// Handle used to cancel a scheduled event: (slot index << 32) | generation.
+/// Generations start at 1, so 0 never names a real event.
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
+
+/// Move-only callable with inline (small-buffer) storage. The DES schedules
+/// millions of short-lived closures; storing them inline in the event slab
+/// avoids a heap allocation per event, which `std::function` in an
+/// unordered_map cost on every At/After. Closures larger than the inline
+/// buffer fall back to the heap.
+class EventFn {
+ public:
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vtable_ = &InlineOps<Fn>::kVtable;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      vtable_ = &HeapOps<Fn>::kVtable;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buf_, other.buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        vtable_->relocate(buf_, other.buf_);
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  void operator()() { vtable_->invoke(buf_); }
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+ private:
+  // 64 bytes holds every closure the protocol schedules today (biggest is a
+  // message delivery capturing this + a few ids) and a whole std::function.
+  static constexpr size_t kInlineSize = 64;
+
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs dst from src's storage and destroys src's value.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void Relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void Destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr VTable kVtable{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& Ptr(void* p) { return *static_cast<Fn**>(p); }
+    static void Invoke(void* p) { (*Ptr(p))(); }
+    static void Relocate(void* dst, void* src) noexcept {
+      Ptr(dst) = Ptr(src);
+    }
+    static void Destroy(void* p) noexcept { delete Ptr(p); }
+    static constexpr VTable kVtable{&Invoke, &Relocate, &Destroy};
+  };
+
+  void Reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
 
 /// Deterministic discrete-event simulator. Single-threaded by design:
 /// every run is a pure function of the scheduled closures and their times.
 /// Ties are broken by scheduling order (FIFO), which the protocol code
 /// relies on for determinism.
+///
+/// Storage: closures live in a slot/generation slab (freed slots are
+/// recycled; the generation in the EventId makes stale handles and the
+/// lazily-deleted heap entries of cancelled events detectable). FIFO
+/// tie-breaking uses a separate monotonic sequence number, never the
+/// recycled slot id.
 class Simulator {
  public:
   Simulator() = default;
@@ -30,10 +137,10 @@ class Simulator {
 
   /// Schedules `fn` at absolute simulated time `t` (>= Now()). Returns a
   /// handle that can be passed to Cancel().
-  EventId At(SimTime t, std::function<void()> fn);
+  EventId At(SimTime t, EventFn fn);
 
   /// Schedules `fn` after `d` microseconds of simulated time.
-  EventId After(SimDuration d, std::function<void()> fn) {
+  EventId After(SimDuration d, EventFn fn) {
     return At(now_ + d, std::move(fn));
   }
 
@@ -56,25 +163,38 @@ class Simulator {
   uint64_t events_executed() const { return events_executed_; }
 
   /// Number of events currently pending.
-  size_t pending() const { return fns_.size(); }
+  size_t pending() const { return live_count_; }
 
  private:
   struct Event {
     SimTime time;
-    EventId id;  // ids are allocated in scheduling order => FIFO tiebreak
+    uint64_t seq;  // allocated in scheduling order => FIFO tiebreak
+    uint32_t slot;
+    uint32_t gen;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
+  struct Slot {
+    EventFn fn;
+    uint32_t gen = 1;
+    bool live = false;
+  };
+
+  /// Destroys the slot's closure, invalidates outstanding handles and heap
+  /// entries (generation bump), and recycles the index.
+  void FreeSlot(uint32_t slot);
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
+  size_t live_count_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_map<EventId, std::function<void()>> fns_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace ava3::sim

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "runtime/sync.h"
 
 namespace ava3::verify {
 
@@ -52,17 +53,28 @@ struct CommittedTxn {
 /// Records every committed transaction for post-hoc serializability
 /// checking. This is a test oracle with global visibility; the protocol
 /// itself never reads it.
+///
+/// Record() is latched so concurrent node contexts under ThreadRuntime can
+/// deposit histories; txns() is an unguarded snapshot — read it only from a
+/// quiesced runtime (post-Shutdown or under the single-threaded DES).
 class HistoryRecorder {
  public:
   /// Called once per committed transaction (updates: at the root's commit
   /// decision; queries: at root completion). Reads/writes from all
   /// subtransactions must already be merged in.
-  void Record(CommittedTxn txn) { txns_.push_back(std::move(txn)); }
+  void Record(CommittedTxn txn) {
+    rt::LatchGuard guard(latch_);
+    txns_.push_back(std::move(txn));
+  }
 
   const std::vector<CommittedTxn>& txns() const { return txns_; }
-  void Clear() { txns_.clear(); }
+  void Clear() {
+    rt::LatchGuard guard(latch_);
+    txns_.clear();
+  }
 
  private:
+  mutable rt::Latch latch_;
   std::vector<CommittedTxn> txns_;
 };
 

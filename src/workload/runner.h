@@ -5,6 +5,7 @@
 #include <map>
 
 #include "engine/engine_iface.h"
+#include "sim/simulator.h"
 #include "workload/workload.h"
 
 namespace ava3::wl {

@@ -2,16 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/sim_runtime.h"
+#include "sim/simulator.h"
+
 namespace ava3::core {
 namespace {
 
 class ControlStateTest : public testing::Test {
  protected:
   sim::Simulator sim_;
+  rt::SimRuntime rt_{&sim_};
 };
 
 TEST_F(ControlStateTest, InitialStateMatchesPaper) {
-  ControlState cs(&sim_, /*combined=*/false);
+  ControlState cs(&rt_, /*node=*/0, /*combined=*/false);
   EXPECT_EQ(cs.q(), 0);
   EXPECT_EQ(cs.u(), 1);
   EXPECT_EQ(cs.g(), -1);
@@ -20,7 +24,7 @@ TEST_F(ControlStateTest, InitialStateMatchesPaper) {
 }
 
 TEST_F(ControlStateTest, AdvanceIsMonotonic) {
-  ControlState cs(&sim_, false);
+  ControlState cs(&rt_, /*node=*/0, false);
   cs.AdvanceU(3);
   EXPECT_EQ(cs.u(), 3);
   cs.AdvanceU(2);  // no-op
@@ -34,7 +38,7 @@ TEST_F(ControlStateTest, AdvanceIsMonotonic) {
 }
 
 TEST_F(ControlStateTest, CountersTrackIncDec) {
-  ControlState cs(&sim_, false);
+  ControlState cs(&rt_, /*node=*/0, false);
   cs.IncUpdate(1);
   cs.IncUpdate(1);
   cs.IncQuery(0);
@@ -46,7 +50,7 @@ TEST_F(ControlStateTest, CountersTrackIncDec) {
 }
 
 TEST_F(ControlStateTest, WaiterFiresImmediatelyWhenAlreadyZero) {
-  ControlState cs(&sim_, false);
+  ControlState cs(&rt_, /*node=*/0, false);
   bool fired = false;
   cs.WhenUpdateZero(1, [&] { fired = true; });
   EXPECT_FALSE(fired);  // delivered as a simulator event, not inline
@@ -55,7 +59,7 @@ TEST_F(ControlStateTest, WaiterFiresImmediatelyWhenAlreadyZero) {
 }
 
 TEST_F(ControlStateTest, WaiterFiresOnTransitionToZero) {
-  ControlState cs(&sim_, false);
+  ControlState cs(&rt_, /*node=*/0, false);
   cs.IncUpdate(1);
   cs.IncUpdate(1);
   bool fired = false;
@@ -69,7 +73,7 @@ TEST_F(ControlStateTest, WaiterFiresOnTransitionToZero) {
 }
 
 TEST_F(ControlStateTest, MultipleWaitersAllFire) {
-  ControlState cs(&sim_, false);
+  ControlState cs(&rt_, /*node=*/0, false);
   cs.IncQuery(0);
   int fired = 0;
   cs.WhenQueryZero(0, [&] { ++fired; });
@@ -80,7 +84,7 @@ TEST_F(ControlStateTest, MultipleWaitersAllFire) {
 }
 
 TEST_F(ControlStateTest, WaitersAreIndependentPerVersion) {
-  ControlState cs(&sim_, false);
+  ControlState cs(&rt_, /*node=*/0, false);
   cs.IncUpdate(1);
   cs.IncUpdate(2);
   bool fired1 = false, fired2 = false;
@@ -93,7 +97,7 @@ TEST_F(ControlStateTest, WaitersAreIndependentPerVersion) {
 }
 
 TEST_F(ControlStateTest, CrashResetClearsCountersAndWaiters) {
-  ControlState cs(&sim_, false);
+  ControlState cs(&rt_, /*node=*/0, false);
   cs.AdvanceU(2);
   cs.AdvanceQ(1);
   cs.IncUpdate(2);
@@ -111,7 +115,7 @@ TEST_F(ControlStateTest, CrashResetClearsCountersAndWaiters) {
 }
 
 TEST_F(ControlStateTest, CombinedModeSharesOneCounterPerVersion) {
-  ControlState cs(&sim_, /*combined=*/true);
+  ControlState cs(&rt_, /*node=*/0, /*combined=*/true);
   cs.IncUpdate(1);
   cs.IncQuery(1);
   // O3: one counter per version for both kinds.
@@ -128,7 +132,7 @@ TEST_F(ControlStateTest, CombinedModeSharesOneCounterPerVersion) {
 }
 
 TEST_F(ControlStateTest, CombinedModeQueryDecFiresUpdateWaiters) {
-  ControlState cs(&sim_, true);
+  ControlState cs(&rt_, /*node=*/0, true);
   cs.IncQuery(3);
   bool update_waiter = false, query_waiter = false;
   cs.WhenUpdateZero(3, [&] { update_waiter = true; });
@@ -142,7 +146,7 @@ TEST_F(ControlStateTest, CombinedModeQueryDecFiresUpdateWaiters) {
 TEST_F(ControlStateTest, CombinedEraseKeepsLiveQueryCounter) {
   // Regression: Phase-3 cleanup must not erase the shared counter slot of
   // the *current* query version (== oldu) in combined mode.
-  ControlState cs(&sim_, true);
+  ControlState cs(&rt_, /*node=*/0, true);
   cs.AdvanceU(2);
   cs.AdvanceQ(1);
   cs.IncQuery(1);  // active query at the current query version
@@ -153,7 +157,7 @@ TEST_F(ControlStateTest, CombinedEraseKeepsLiveQueryCounter) {
 }
 
 TEST_F(ControlStateTest, EraseCountersDropsDrainedSlots) {
-  ControlState cs(&sim_, false);
+  ControlState cs(&rt_, /*node=*/0, false);
   cs.IncUpdate(1);
   cs.DecUpdate(1);
   cs.IncQuery(0);

@@ -1,0 +1,209 @@
+// Bit-identity of the deterministic runtime (the refactor's contract).
+//
+// The runtime-abstraction refactor moved the whole protocol stack from
+// direct sim::Simulator/sim::Network calls onto the rt::Runtime seam. Under
+// SimRuntime that seam is pure delegation, so every run must remain
+// bit-identical to the pre-refactor discrete-event simulator: the same
+// events_executed, the same metrics JSON, the same trace byte stream.
+//
+// Two layers of defense:
+//  - GoldenFingerprint: 16 configurations (4 engines x 2 seeds x
+//    clean/chaos) pinned to fingerprints captured from the pre-refactor
+//    build. Any schedule drift — an extra event, a reordered tie, a
+//    perturbed RNG draw — changes at least one hash.
+//  - SeedSweep: back-to-back runs of the same configuration (8 seeds x 4
+//    engines) must agree exactly, proving the runtime carries no hidden
+//    state across runs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "engine/database.h"
+#include "workload/runner.h"
+
+namespace ava3 {
+namespace {
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string TraceBytes(const TraceSink& sink) {
+  std::string tr;
+  for (const TraceEvent& ev : sink.events()) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%lld|%d|%d|%llu|%lld|%lld|%lld|%u|%u|%llu|%s\n",
+                  static_cast<long long>(ev.time), static_cast<int>(ev.node),
+                  static_cast<int>(ev.kind),
+                  static_cast<unsigned long long>(ev.txn),
+                  static_cast<long long>(ev.version),
+                  static_cast<long long>(ev.a), static_cast<long long>(ev.b),
+                  static_cast<unsigned>(ev.op),
+                  static_cast<unsigned>(ev.phase),
+                  static_cast<unsigned long long>(ev.span),
+                  ev.detail.c_str());
+    tr += buf;
+  }
+  return tr;
+}
+
+struct RunDigest {
+  uint64_t events = 0;
+  uint64_t metrics_hash = 0;
+  uint64_t trace_hash = 0;
+  std::string metrics_json;
+};
+
+/// One workload run with the exact configuration the pre-refactor
+/// fingerprints were captured under.
+RunDigest RunOnce(db::Scheme scheme, uint64_t seed, bool chaos,
+                  bool enable_trace, SimDuration duration, SimDuration drain) {
+  db::DatabaseOptions opt;
+  opt.scheme = scheme;
+  opt.seed = seed;
+  opt.num_nodes = scheme == db::Scheme::kFourV ? 1 : 3;
+  opt.enable_trace = enable_trace;
+  if (chaos) {
+    opt.faults.rates.loss = 0.02;
+    opt.faults.rates.duplicate = 0.02;
+    opt.faults.rates.delay = 0.05;
+    opt.faults.rates.delay_min = 2000;
+    opt.faults.rates.delay_max = 10000;
+  }
+  wl::WorkloadSpec spec;
+  spec.num_nodes = opt.num_nodes;
+  spec.update_rate_per_sec = 120;
+  spec.query_rate_per_sec = 40;
+  if (scheme != db::Scheme::kFourV) {
+    spec.update_multinode_prob = 0.4;
+    spec.query_multinode_prob = 0.4;
+  }
+  db::Database database(opt);
+  wl::WorkloadRunner runner(&database.simulator(), &database.engine(), spec,
+                            seed);
+  runner.SeedData();
+  runner.Start(duration);
+  database.RunFor(duration);
+  database.RunFor(drain);
+  RunDigest d;
+  d.events = database.simulator().events_executed();
+  d.metrics_json = database.metrics().ToJson();
+  d.metrics_hash = Fnv1a(d.metrics_json);
+  d.trace_hash = Fnv1a(TraceBytes(database.trace()));
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Golden fingerprints (captured from the pre-refactor build)
+// ---------------------------------------------------------------------------
+
+struct GoldenRow {
+  const char* scheme;
+  uint64_t seed;
+  int chaos;
+  uint64_t events;
+  uint64_t metrics_hash;
+  uint64_t trace_hash;
+};
+
+// 1 simulated second of load + 30 s drain, trace on, rates 120/40 per sec,
+// 40% multinode (see RunOnce). Captured before the runtime seam existed.
+constexpr GoldenRow kGolden[] = {
+    {"ava3", 1, 0, 5338ULL, 0xda0cbab7a911a9bbULL, 0x43ec4bdf9db0c2e4ULL},
+    {"ava3", 1, 1, 6183ULL, 0x408d413014f1958eULL, 0x14022403b2953701ULL},
+    {"ava3", 7, 0, 5484ULL, 0xbdb5f26a310c951fULL, 0xfade8acb1e7ad6ffULL},
+    {"ava3", 7, 1, 6443ULL, 0x5e93c9b498338955ULL, 0xecfbc2176bfdeb8fULL},
+    {"s2pl", 1, 0, 5152ULL, 0x52630c1960a39d30ULL, 0x0ebeb5415b8c83ceULL},
+    {"s2pl", 1, 1, 5302ULL, 0x6610df0039d8cc5dULL, 0xbdbd1e3245f71426ULL},
+    {"s2pl", 7, 0, 5290ULL, 0x803e6d1ad6a56582ULL, 0x08e1f2d9cf50ba0cULL},
+    {"s2pl", 7, 1, 5387ULL, 0xcf75c8482dc970adULL, 0x50163058a63ded5dULL},
+    {"mvu", 1, 0, 5438ULL, 0x2948a47bf418d257ULL, 0x0eb15433b7f7c359ULL},
+    {"mvu", 1, 1, 5548ULL, 0xecb061d19d3e9cd3ULL, 0x093cf4a2596892f1ULL},
+    {"mvu", 7, 0, 5584ULL, 0x1f01a37d55249303ULL, 0x4ae2b9e33dc68582ULL},
+    {"mvu", 7, 1, 5646ULL, 0x956d07d7ca0fff1cULL, 0xdc939795141483f2ULL},
+    {"fourv", 1, 0, 4618ULL, 0xfb93e1bf451d9d1dULL, 0xccf6dd10f5acd8fdULL},
+    {"fourv", 1, 1, 4618ULL, 0xfb93e1bf451d9d1dULL, 0xccf6dd10f5acd8fdULL},
+    {"fourv", 7, 0, 4886ULL, 0xd02489b285780296ULL, 0x6bb159fa4fdda46bULL},
+    {"fourv", 7, 1, 4886ULL, 0xd02489b285780296ULL, 0x6bb159fa4fdda46bULL},
+};
+// FOURV runs one node, self-sends are never faulted, and its fault RNG is
+// never consulted — so its chaos rows equal its clean rows by construction.
+
+db::Scheme SchemeByName(const std::string& name) {
+  if (name == "ava3") return db::Scheme::kAva3;
+  if (name == "s2pl") return db::Scheme::kS2pl;
+  if (name == "mvu") return db::Scheme::kMvu;
+  return db::Scheme::kFourV;
+}
+
+class GoldenFingerprint : public testing::TestWithParam<GoldenRow> {};
+
+TEST_P(GoldenFingerprint, MatchesPreRefactorRun) {
+  const GoldenRow& row = GetParam();
+  RunDigest d = RunOnce(SchemeByName(row.scheme), row.seed, row.chaos != 0,
+                        /*enable_trace=*/true, 1 * kSecond, 30 * kSecond);
+  EXPECT_EQ(d.events, row.events) << "event count drifted";
+  EXPECT_EQ(d.metrics_hash, row.metrics_hash) << "metrics drifted";
+  EXPECT_EQ(d.trace_hash, row.trace_hash) << "trace byte stream drifted";
+}
+
+std::string GoldenName(const testing::TestParamInfo<GoldenRow>& info) {
+  return std::string(info.param.scheme) + "_seed" +
+         std::to_string(info.param.seed) +
+         (info.param.chaos != 0 ? "_chaos" : "_clean");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, GoldenFingerprint,
+                         testing::ValuesIn(kGolden), GoldenName);
+
+// ---------------------------------------------------------------------------
+// Back-to-back seed sweep
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  db::Scheme scheme;
+  uint64_t seed;
+};
+
+class SeedSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(SeedSweep, BackToBackRunsAreBitIdentical) {
+  const SweepCase& c = GetParam();
+  // Lighter than the golden config (no trace, shorter drain): the point is
+  // run-to-run identity, not a pinned absolute value.
+  RunDigest a = RunOnce(c.scheme, c.seed, /*chaos=*/false,
+                        /*enable_trace=*/false, kSecond / 2, 10 * kSecond);
+  RunDigest b = RunOnce(c.scheme, c.seed, /*chaos=*/false,
+                        /*enable_trace=*/false, kSecond / 2, 10 * kSecond);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
+std::vector<SweepCase> SweepCases() {
+  std::vector<SweepCase> cases;
+  for (db::Scheme s : {db::Scheme::kAva3, db::Scheme::kS2pl, db::Scheme::kMvu,
+                       db::Scheme::kFourV}) {
+    for (uint64_t seed = 11; seed < 19; ++seed) cases.push_back({s, seed});
+  }
+  return cases;
+}
+
+std::string SweepName(const testing::TestParamInfo<SweepCase>& info) {
+  return std::string(db::SchemeName(info.param.scheme)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(EightSeedsFourEngines, SeedSweep,
+                         testing::ValuesIn(SweepCases()), SweepName);
+
+}  // namespace
+}  // namespace ava3

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "lock/deadlock_detector.h"
+#include "runtime/sim_runtime.h"
+#include "sim/simulator.h"
 
 namespace ava3::lock {
 namespace {
@@ -12,7 +14,8 @@ namespace {
 class LockManagerTest : public testing::Test {
  protected:
   sim::Simulator sim_;
-  LockManager lm_{&sim_, 0};
+  rt::SimRuntime rt_{&sim_};
+  LockManager lm_{&rt_, 0};
 
   AcquireResult Acquire(TxnId txn, ItemId item, LockMode mode,
                         Status* out = nullptr) {
@@ -174,16 +177,17 @@ class DeadlockTest : public testing::Test {
  protected:
   void MakeDetector(std::vector<LockManager*> lms) {
     detector_ = std::make_unique<DeadlockDetector>(
-        &sim_, std::move(lms), 1000,
+        &rt_, std::move(lms), 1000,
         [this](TxnId victim) { victims_.push_back(victim); });
   }
   sim::Simulator sim_;
+  rt::SimRuntime rt_{&sim_};
   std::unique_ptr<DeadlockDetector> detector_;
   std::vector<TxnId> victims_;
 };
 
 TEST_F(DeadlockTest, DetectsLocalCycleAndPicksYoungest) {
-  LockManager lm(&sim_, 0);
+  LockManager lm(&rt_, 0);
   MakeDetector({&lm});
   lm.Acquire(1, 7, LockMode::kExclusive, [](Status) {});
   lm.Acquire(2, 8, LockMode::kExclusive, [](Status) {});
@@ -196,8 +200,8 @@ TEST_F(DeadlockTest, DetectsLocalCycleAndPicksYoungest) {
 }
 
 TEST_F(DeadlockTest, DetectsDistributedCycleAcrossNodes) {
-  LockManager lm0(&sim_, 0);
-  LockManager lm1(&sim_, 1);
+  LockManager lm0(&rt_, 0);
+  LockManager lm1(&rt_, 1);
   MakeDetector({&lm0, &lm1});
   // T1 holds a@node0, T2 holds b@node1; each waits for the other remotely.
   lm0.Acquire(1, 7, LockMode::kExclusive, [](Status) {});
@@ -210,7 +214,7 @@ TEST_F(DeadlockTest, DetectsDistributedCycleAcrossNodes) {
 }
 
 TEST_F(DeadlockTest, NoFalsePositivesOnPlainWaiting) {
-  LockManager lm(&sim_, 0);
+  LockManager lm(&rt_, 0);
   MakeDetector({&lm});
   lm.Acquire(1, 7, LockMode::kExclusive, [](Status) {});
   lm.Acquire(2, 7, LockMode::kExclusive, [](Status) {});
@@ -219,7 +223,7 @@ TEST_F(DeadlockTest, NoFalsePositivesOnPlainWaiting) {
 }
 
 TEST_F(DeadlockTest, UpgradeDeadlockIsDetected) {
-  LockManager lm(&sim_, 0);
+  LockManager lm(&rt_, 0);
   MakeDetector({&lm});
   lm.Acquire(1, 7, LockMode::kShared, [](Status) {});
   lm.Acquire(2, 7, LockMode::kShared, [](Status) {});
@@ -231,7 +235,7 @@ TEST_F(DeadlockTest, UpgradeDeadlockIsDetected) {
 }
 
 TEST_F(DeadlockTest, MultipleIndependentCyclesEachLoseOneTxn) {
-  LockManager lm(&sim_, 0);
+  LockManager lm(&rt_, 0);
   MakeDetector({&lm});
   // Cycle A: 1 <-> 2 on items 7/8. Cycle B: 3 <-> 4 on items 9/10.
   lm.Acquire(1, 7, LockMode::kExclusive, [](Status) {});
@@ -247,7 +251,7 @@ TEST_F(DeadlockTest, MultipleIndependentCyclesEachLoseOneTxn) {
 }
 
 TEST_F(DeadlockTest, PeriodicSweepFiresVictimCallback) {
-  LockManager lm(&sim_, 0);
+  LockManager lm(&rt_, 0);
   MakeDetector({&lm});
   detector_->Start();
   lm.Acquire(1, 7, LockMode::kExclusive, [](Status) {});

@@ -50,6 +50,71 @@ TEST(SimulatorTest, CancelPreventsExecution) {
   EXPECT_FALSE(fired);
 }
 
+TEST(SimulatorTest, CancelAfterFireIsRejected) {
+  Simulator s;
+  int fired = 0;
+  EventId id = s.At(10, [&] { ++fired; });
+  s.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.Cancel(id));  // the handle is dead once the event ran
+  EXPECT_FALSE(s.Cancel(id));  // and stays dead
+  s.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancelInvalidAndForeignHandles) {
+  Simulator s;
+  EXPECT_FALSE(s.Cancel(kInvalidEvent));
+  EXPECT_FALSE(s.Cancel(0xdeadbeefdeadbeefULL));  // never allocated
+}
+
+TEST(SimulatorTest, StaleHandleDoesNotCancelRecycledSlot) {
+  Simulator s;
+  bool first = false;
+  bool second = false;
+  EventId id1 = s.At(10, [&] { first = true; });
+  s.Run();
+  EXPECT_TRUE(first);
+  // The slot is recycled for the next event; the old handle must not be
+  // able to cancel the new occupant.
+  EventId id2 = s.At(20, [&] { second = true; });
+  EXPECT_FALSE(s.Cancel(id1));
+  s.Run();
+  EXPECT_TRUE(second);
+  EXPECT_FALSE(s.Cancel(id2));
+}
+
+TEST(SimulatorTest, PendingTracksScheduleFireAndCancel) {
+  Simulator s;
+  EXPECT_EQ(s.pending(), 0u);
+  EventId a = s.At(10, [] {});
+  s.At(20, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  EXPECT_TRUE(s.Cancel(a));
+  EXPECT_EQ(s.pending(), 1u);
+  s.Run();
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.events_executed(), 1u);  // cancelled events never count
+}
+
+TEST(SimulatorTest, FifoTieBreakSurvivesSlotRecycling) {
+  Simulator s;
+  // Burn and free a few slots so the freelist hands out indices out of
+  // order; same-time ordering must still follow scheduling order.
+  EventId e1 = s.At(5, [] {});
+  EventId e2 = s.At(5, [] {});
+  EventId e3 = s.At(5, [] {});
+  s.Cancel(e2);
+  s.Cancel(e1);
+  s.Cancel(e3);
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    s.At(10, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
 TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
   Simulator s;
   int count = 0;
