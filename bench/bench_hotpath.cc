@@ -1,0 +1,263 @@
+// E13 — Data-plane hot-path microbenchmarks.
+//
+// Times the three per-transaction data-plane primitives in isolation, away
+// from the protocol state machines: the versioned store (Put / ReadAtMost /
+// GarbageCollect), the lock table (Acquire / Release / upgrade), and the
+// real-threads mailbox (messages per second through rt::ThreadRuntime).
+// These are the operations the flat-store/flat-lock-table rewrite targets;
+// scripts/perf_guard.py pins the exported scalars against a checked-in
+// baseline so regressions fail CI.
+//
+// Usage: bench_hotpath [--smoke]
+//   --smoke  small iteration counts for CI (numbers are still exported,
+//            but treat them as smoke-test values, not measurements).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "lock/lock_manager.h"
+#include "runtime/sim_runtime.h"
+#include "runtime/thread_runtime.h"
+#include "sim/simulator.h"
+#include "storage/versioned_store.h"
+
+namespace ava3::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Runs `body(i)` for `iters` iterations and returns ns per iteration.
+template <typename F>
+double TimeNsPerOp(int64_t iters, F&& body) {
+  const auto start = Clock::now();
+  for (int64_t i = 0; i < iters; ++i) body(i);
+  const auto stop = Clock::now();
+  const double ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count();
+  return ns / static_cast<double>(iters);
+}
+
+/// Defeats dead-code elimination of benchmark results.
+volatile int64_t g_sink = 0;
+
+// ---------------------------------------------------------------------------
+// Versioned store
+// ---------------------------------------------------------------------------
+
+double BenchStoreReadAtMost(int64_t items, int64_t iters) {
+  store::VersionedStore st(3);
+  for (ItemId i = 0; i < items; ++i) {
+    (void)st.Put(i, 0, i, 1, 0);
+    (void)st.Put(i, 1, i + 1, 2, 0);
+  }
+  Rng rng(42);
+  std::vector<ItemId> order(static_cast<size_t>(iters));
+  for (auto& id : order) id = static_cast<ItemId>(rng.Uniform(items));
+  return TimeNsPerOp(iters, [&](int64_t i) {
+    auto r = st.ReadAtMost(order[static_cast<size_t>(i)], 1);
+    g_sink = g_sink + (r.ok() ? r->value : 0);
+  });
+}
+
+double BenchStorePutOverwrite(int64_t items, int64_t iters) {
+  store::VersionedStore st(3);
+  for (ItemId i = 0; i < items; ++i) (void)st.Put(i, 0, i, 1, 0);
+  Rng rng(43);
+  std::vector<ItemId> order(static_cast<size_t>(iters));
+  for (auto& id : order) id = static_cast<ItemId>(rng.Uniform(items));
+  return TimeNsPerOp(iters, [&](int64_t i) {
+    (void)st.Put(order[static_cast<size_t>(i)], 0, i, 2, 1);
+  });
+}
+
+/// Steady-state version churn: every op creates the item's next version and
+/// drops its oldest, holding the chain at two live versions — the shape a
+/// commit-then-GC cycle produces per item.
+double BenchStorePutInsertDrop(int64_t items, int64_t iters) {
+  store::VersionedStore st(0);  // unbounded: versions grow monotonically
+  for (ItemId i = 0; i < items; ++i) {
+    (void)st.Put(i, 0, i, 1, 0);
+    (void)st.Put(i, 1, i, 1, 0);
+  }
+  std::vector<Version> next(static_cast<size_t>(items), 2);
+  Rng rng(44);
+  std::vector<ItemId> order(static_cast<size_t>(iters));
+  for (auto& id : order) id = static_cast<ItemId>(rng.Uniform(items));
+  return TimeNsPerOp(iters, [&](int64_t i) {
+    const ItemId item = order[static_cast<size_t>(i)];
+    Version& v = next[static_cast<size_t>(item)];
+    (void)st.Put(item, v, i, 2, 1);
+    (void)st.DropVersion(item, v - 2);
+    ++v;
+  });
+}
+
+double BenchStoreGcPerItem(int64_t items, int rounds) {
+  double total_ns = 0;
+  int64_t gc_items = 0;
+  for (int r = 0; r < rounds; ++r) {
+    store::VersionedStore st(3);
+    // Half the items were updated during the epoch (drop path), half were
+    // not (relabel path) — the mix a real GC pass sees.
+    const Version g = 0, newq = 1;
+    for (ItemId i = 0; i < items; ++i) {
+      (void)st.Put(i, g, i, 1, 0);
+      if (i % 2 == 0) (void)st.Put(i, newq, i, 2, 0);
+    }
+    const auto start = Clock::now();
+    store::GcStats stats = st.GarbageCollect(g, newq);
+    const auto stop = Clock::now();
+    g_sink = g_sink + static_cast<int64_t>(stats.versions_dropped +
+                                           stats.versions_relabeled);
+    total_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                     start)
+                    .count();
+    gc_items += items;
+  }
+  return total_ns / static_cast<double>(gc_items);
+}
+
+// ---------------------------------------------------------------------------
+// Lock table
+// ---------------------------------------------------------------------------
+
+double BenchLockAcquireRelease(int64_t items, int64_t iters) {
+  sim::Simulator sim;
+  rt::SimRuntime rt(&sim);
+  lock::LockManager lm(&rt, 0);
+  Rng rng(45);
+  std::vector<ItemId> order(static_cast<size_t>(iters));
+  for (auto& id : order) id = static_cast<ItemId>(rng.Uniform(items));
+  return TimeNsPerOp(iters, [&](int64_t i) {
+    const TxnId txn = static_cast<TxnId>(i + 1);
+    (void)lm.Acquire(txn, order[static_cast<size_t>(i)],
+                     lock::LockMode::kExclusive, [](Status) {});
+    lm.ReleaseAll(txn);
+  });
+}
+
+/// Uncontended read-modify-write locking pattern: S then upgrade to X on
+/// the same item, then release — two acquisitions and a release per cycle.
+double BenchLockUpgrade(int64_t items, int64_t iters) {
+  sim::Simulator sim;
+  rt::SimRuntime rt(&sim);
+  lock::LockManager lm(&rt, 0);
+  Rng rng(46);
+  std::vector<ItemId> order(static_cast<size_t>(iters));
+  for (auto& id : order) id = static_cast<ItemId>(rng.Uniform(items));
+  return TimeNsPerOp(iters, [&](int64_t i) {
+    const TxnId txn = static_cast<TxnId>(i + 1);
+    const ItemId item = order[static_cast<size_t>(i)];
+    (void)lm.Acquire(txn, item, lock::LockMode::kShared, [](Status) {});
+    (void)lm.Acquire(txn, item, lock::LockMode::kExclusive, [](Status) {});
+    lm.ReleaseAll(txn);
+  });
+}
+
+/// One transaction holding `span` locks at once, released in one call —
+/// exercises the table scan inside ReleaseAll with a populated table.
+double BenchLockBatchHold(int64_t span, int64_t iters) {
+  sim::Simulator sim;
+  rt::SimRuntime rt(&sim);
+  lock::LockManager lm(&rt, 0);
+  return TimeNsPerOp(iters, [&](int64_t i) {
+    const TxnId txn = static_cast<TxnId>(i + 1);
+    for (ItemId item = 0; item < span; ++item) {
+      (void)lm.Acquire(txn, item, lock::LockMode::kExclusive, [](Status) {});
+    }
+    lm.ReleaseAll(txn);
+  }) / static_cast<double>(span);
+}
+
+// ---------------------------------------------------------------------------
+// Mailbox throughput (real threads)
+// ---------------------------------------------------------------------------
+
+double BenchMailboxMsgsPerSec(int64_t messages) {
+  rt::ThreadRuntime rt(2);
+  rt.Start();
+  std::atomic<int64_t> delivered{0};
+  const auto start = Clock::now();
+  for (int64_t i = 0; i < messages; ++i) {
+    rt.Send(1, 0, rt::MsgKind::kOther, [&delivered]() {
+      delivered.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  while (delivered.load(std::memory_order_relaxed) < messages) {
+    std::this_thread::yield();
+  }
+  const auto stop = Clock::now();
+  rt.Shutdown();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+  return static_cast<double>(messages) / secs;
+}
+
+}  // namespace
+}  // namespace ava3::bench
+
+int main(int argc, char** argv) {
+  using namespace ava3;
+  using namespace ava3::bench;
+  bool smoke = false;
+  int64_t items_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--items") == 0 && i + 1 < argc) {
+      items_override = std::atoll(argv[i + 1]);
+    }
+  }
+  int64_t items = smoke ? 4'096 : 65'536;
+  if (items_override > 0) items = items_override;
+  const int64_t iters = smoke ? 200'000 : 4'000'000;
+  const int64_t lock_iters = smoke ? 100'000 : 2'000'000;
+  const int gc_rounds = smoke ? 3 : 20;
+  const int64_t messages = smoke ? 100'000 : 2'000'000;
+
+  Banner("E13: data-plane hot-path microbenchmarks",
+         "engineering: store/lock/mailbox fast path",
+         "Per-op cost of the data plane in isolation (no protocol logic)");
+
+  BenchReport report("hotpath");
+
+  const double read_ns = BenchStoreReadAtMost(items, iters);
+  std::printf("store ReadAtMost           %10.1f ns/op\n", read_ns);
+  const double overwrite_ns = BenchStorePutOverwrite(items, iters);
+  std::printf("store Put (overwrite)      %10.1f ns/op\n", overwrite_ns);
+  const double churn_ns = BenchStorePutInsertDrop(items, iters);
+  std::printf("store Put+DropVersion      %10.1f ns/op\n", churn_ns);
+  const double gc_ns = BenchStoreGcPerItem(items, gc_rounds);
+  std::printf("store GarbageCollect       %10.1f ns/item\n", gc_ns);
+
+  const double acq_ns = BenchLockAcquireRelease(items, lock_iters);
+  std::printf("lock Acquire+ReleaseAll    %10.1f ns/op\n", acq_ns);
+  const double upg_ns = BenchLockUpgrade(items, lock_iters);
+  std::printf("lock S->X upgrade cycle    %10.1f ns/op\n", upg_ns);
+  const double batch_ns = BenchLockBatchHold(16, lock_iters / 16);
+  std::printf("lock 16-item hold cycle    %10.1f ns/lock\n", batch_ns);
+
+  const double mailbox_rate = BenchMailboxMsgsPerSec(messages);
+  std::printf("mailbox throughput         %10.0f msgs/s\n", mailbox_rate);
+
+  report.AddScalar("store_read_at_most_ns", read_ns);
+  report.AddScalar("store_put_overwrite_ns", overwrite_ns);
+  report.AddScalar("store_put_insert_drop_ns", churn_ns);
+  report.AddScalar("store_gc_ns_per_item", gc_ns);
+  report.AddScalar("lock_acquire_release_ns", acq_ns);
+  report.AddScalar("lock_upgrade_ns", upg_ns);
+  report.AddScalar("lock_batch_hold_ns", batch_ns);
+  report.AddScalar("mailbox_msgs_per_sec", mailbox_rate);
+  report.AddScalar("smoke", smoke ? 1 : 0);
+  return 0;
+}

@@ -17,6 +17,11 @@ Two accepted shapes:
    rt::ThreadRuntime) additionally requires threads / wall_seconds /
    txns_per_sec per run and at least two distinct thread counts.
 
+   The "hotpath" report (bench/bench_hotpath, data-plane primitives) is
+   scalars-only and must carry every pinned hot-path counter — these are
+   the metrics scripts/perf_guard.py gates on, so a silently missing
+   scalar would quietly disarm the perf guard.
+
 2. google-benchmark's native JSON (bench_micro): top-level "context" and
    "benchmarks" keys; each benchmark entry has "name" and "real_time".
 
@@ -30,6 +35,21 @@ import sys
 
 HIST_KEYS = {"count", "sum", "mean", "min", "p50", "p90", "p99", "max"}
 PHASE_KEYS = {"lock_wait", "twopc_round", "commit_apply"}
+
+# Scalars bench_hotpath must export (what perf_guard.py pins). The "smoke"
+# flag marks CI smoke-quality numbers and is required so the guard can
+# tell measurement runs from smoke runs.
+HOTPATH_SCALARS = {
+    "store_read_at_most_ns",
+    "store_put_overwrite_ns",
+    "store_put_insert_drop_ns",
+    "store_gc_ns_per_item",
+    "lock_acquire_release_ns",
+    "lock_upgrade_ns",
+    "lock_batch_hold_ns",
+    "mailbox_msgs_per_sec",
+    "smoke",
+}
 
 
 def fail(path, msg):
@@ -111,6 +131,15 @@ def check_bench_report(path, doc):
         fail(path, "'runs' missing or not a list")
     if not runs and not scalars:
         fail(path, "report has neither runs nor scalars")
+    if doc["bench"] == "hotpath":
+        missing = HOTPATH_SCALARS - scalars.keys()
+        if missing:
+            fail(path, f"hotpath report missing scalars {sorted(missing)}")
+        for k in HOTPATH_SCALARS - {"smoke"}:
+            if scalars[k] <= 0:
+                fail(path, f"hotpath scalar {k} must be positive")
+        if scalars["smoke"] not in (0, 1):
+            fail(path, "hotpath scalar 'smoke' must be 0 or 1")
     realtime = doc["bench"] == "realtime"
     labels = set()
     thread_counts = set()

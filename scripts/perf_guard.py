@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Performance guard: compares fresh bench exports against the checked-in
+baselines under bench/baselines/ and fails on >25% regression of any
+pinned counter.
+
+Guarded exports:
+
+  BENCH_hotpath.json  — data-plane hot-path scalars from bench/bench_hotpath
+                        (store read/put/GC, lock acquire/upgrade/batch,
+                        mailbox throughput). Enforced.
+  BENCH_micro.json    — google-benchmark microbenchmarks (bench/bench_micro):
+                        per-benchmark real_time. Enforced.
+  BENCH_realtime.json — wall-clock ThreadRuntime throughput. ADVISORY ONLY:
+                        txns/sec depends on host core count and contention,
+                        so regressions print a warning but never fail.
+
+Direction is inferred per metric: names ending in _ns / _ns_per_item /
+real_time are lower-is-better; names ending in _per_sec are
+higher-is-better. A metric present in the baseline but missing from the
+fresh export (or vice versa) is an error for enforced files — silent metric
+loss is how perf guards rot.
+
+Smoke runs (scalar "smoke" == 1, or --smoke-ok) are compared advisorily:
+smoke iteration counts are too small for stable timing, so CI's smoke lane
+uploads artifacts but does not gate on them. The dedicated perf-guard lane
+runs the full benches.
+
+Usage:
+  perf_guard.py [--baseline-dir bench/baselines] [--tolerance 0.25]
+                [--update] FILE [FILE...]
+
+  --update rewrites the baseline files from the fresh exports (run on the
+  reference machine after an intentional perf change, and commit the
+  result). Exits 0 on pass/update, 1 on regression, 2 on usage/schema
+  errors. Stdlib only.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    try:
+        return json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"ERROR {path}: {e}")
+        sys.exit(2)
+
+
+def metric_direction(name):
+    """Returns +1 if higher is better, -1 if lower is better."""
+    if name.endswith("_per_sec") or name.endswith("_throughput"):
+        return +1
+    return -1
+
+
+def extract_metrics(doc):
+    """Flattens an export into {metric_name: value}.
+
+    Understands both the BenchReport schema (scalars) and google-benchmark
+    native JSON (benchmarks[].real_time).
+    """
+    if "benchmarks" in doc and "context" in doc:
+        out = {}
+        for b in doc["benchmarks"]:
+            # Aggregate rows (mean/median/stddev) would double-count.
+            if b.get("run_type") == "aggregate":
+                continue
+            name = b.get("name")
+            rt = b.get("real_time")
+            if isinstance(name, str) and isinstance(rt, (int, float)):
+                out[f"{name}/real_time"] = float(rt)
+        return out, "micro"
+    scalars = doc.get("scalars", {})
+    bench = doc.get("bench", "unknown")
+    return {k: float(v) for k, v in scalars.items()
+            if isinstance(v, (int, float)) and k != "smoke"}, bench
+
+
+def compare(name, base, cur, tolerance):
+    """Returns (regressed, line) for one metric."""
+    direction = metric_direction(name)
+    if base == 0:
+        return False, f"  skip {name}: baseline is 0"
+    ratio = cur / base
+    if direction < 0:
+        regressed = ratio > 1.0 + tolerance
+        delta = (ratio - 1.0) * 100.0
+    else:
+        regressed = ratio < 1.0 - tolerance
+        delta = (1.0 - ratio) * 100.0
+    tag = "REGRESSION" if regressed else "ok"
+    arrow = "slower" if direction < 0 else "less throughput"
+    line = (f"  {tag:10s} {name}: baseline {base:.6g} -> current {cur:.6g} "
+            f"({delta:+.1f}% {arrow if delta > 0 else 'better'})")
+    return regressed, line
+
+
+def guard_file(path, baseline_dir, tolerance, update):
+    doc = load(path)
+    metrics, bench = extract_metrics(doc)
+    if not metrics:
+        print(f"ERROR {path}: no guardable metrics found")
+        sys.exit(2)
+    advisory = bench == "realtime"
+    smoke = doc.get("scalars", {}).get("smoke") == 1
+    base_path = baseline_dir / f"BENCH_{bench}_baseline.json"
+
+    if update:
+        base_path.parent.mkdir(parents=True, exist_ok=True)
+        base_path.write_text(json.dumps(
+            {"bench": bench, "tolerance": tolerance, "metrics": metrics},
+            indent=2, sort_keys=True) + "\n")
+        print(f"updated {base_path} ({len(metrics)} metric(s))")
+        return 0
+
+    if not base_path.is_file():
+        if advisory:
+            print(f"note {path}: no baseline at {base_path} (advisory bench)")
+            return 0
+        print(f"ERROR {path}: missing baseline {base_path} "
+              f"(run with --update on the reference machine)")
+        sys.exit(2)
+    base = load(base_path).get("metrics", {})
+
+    missing = sorted(set(base) - set(metrics))
+    extra = sorted(set(metrics) - set(base))
+    failures = 0
+    mode = "advisory" if (advisory or smoke) else "enforced"
+    print(f"{path} vs {base_path} [{mode}]")
+    if missing:
+        print(f"  metrics missing from fresh export: {missing}")
+        if mode == "enforced":
+            failures += 1
+    if extra:
+        print(f"  note: new metrics not in baseline: {extra} "
+              f"(re-run --update to pin them)")
+    for name in sorted(set(base) & set(metrics)):
+        regressed, line = compare(name, base[name], metrics[name], tolerance)
+        print(line)
+        if regressed and mode == "enforced":
+            failures += 1
+        elif regressed:
+            print(f"  (advisory: not failing CI)")
+    return failures
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="+", help="BENCH_*.json exports to guard")
+    ap.add_argument("--baseline-dir", default="bench/baselines",
+                    type=pathlib.Path)
+    ap.add_argument("--tolerance", default=0.25, type=float,
+                    help="allowed fractional regression (default 0.25)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite baselines from the fresh exports")
+    ap.add_argument("--smoke-ok", action="store_true",
+                    help="treat all files as advisory (smoke-quality numbers)")
+    args = ap.parse_args(argv[1:])
+
+    failures = 0
+    for f in args.files:
+        doc_failures = guard_file(pathlib.Path(f), args.baseline_dir,
+                                  args.tolerance, args.update)
+        if args.smoke_ok:
+            doc_failures = 0
+        failures += doc_failures
+    if failures:
+        print(f"perf_guard: {failures} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance")
+        return 1
+    print("perf_guard: all pinned counters within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

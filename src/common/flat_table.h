@@ -1,0 +1,216 @@
+#ifndef AVA3_COMMON_FLAT_TABLE_H_
+#define AVA3_COMMON_FLAT_TABLE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ava3::common {
+
+/// Open-addressing hash table keyed by ItemId, shared by the data-plane hot
+/// paths (the versioned store's item index and the lock table).
+///
+/// - Power-of-two capacity, linear probing, max load factor 0.75.
+/// - Interleaved storage: each slot holds the key and its payload side by
+///   side, so the overwhelmingly common case — a successful first-probe
+///   lookup followed by a read of the payload — touches a single cache
+///   line instead of one line in a key array plus one in a payload array.
+///   (Dense ItemIds under the Fibonacci hash probe ~1 slot on average at
+///   0.75 load, so the longer probe stride costs less than the saved miss.)
+/// - Backward-shift deletion: no tombstones, so probe sequences never decay.
+/// - `kInvalidItem` marks empty slots; it is not a legal key.
+///
+/// Payload requirements: default-constructible, move-assignable; a
+/// default-constructed payload is the "empty" value (erase resets slots
+/// with it).
+///
+/// Iteration: the table deliberately exposes no hash-order iteration.
+/// `SortedSlots()` returns occupied slots in ascending-key order — the
+/// deterministic order the simulator's golden fingerprints rely on — and
+/// `ForEachRaw` visits in slot order for scans whose per-slot work is
+/// order-insensitive (sums, existence checks, commutative batch edits);
+/// slot order is itself a pure function of the operation history, so raw
+/// scans replay identically too. Slot indices stay valid until the next
+/// insert or erase.
+template <typename P>
+class FlatTable {
+ public:
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  FlatTable() = default;
+  FlatTable(const FlatTable&) = delete;
+  FlatTable& operator=(const FlatTable&) = delete;
+  FlatTable(FlatTable&&) = default;
+  FlatTable& operator=(FlatTable&&) = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  ItemId key_at(size_t i) const { return slots_[i].key; }
+  bool occupied(size_t i) const { return slots_[i].key != kInvalidItem; }
+  P& payload_at(size_t i) { return slots_[i].payload; }
+  const P& payload_at(size_t i) const { return slots_[i].payload; }
+
+  /// Index of `key`'s slot, or kNpos if absent.
+  size_t Find(ItemId key) const {
+    if (slots_.empty()) return kNpos;
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(key) & mask;
+    while (true) {
+      const ItemId k = slots_[i].key;
+      if (k == key) return i;  // hit first: probes nearly always succeed
+      if (k == kInvalidItem) return kNpos;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Slot index for `key`, inserting a default payload if absent (may
+  /// rehash). `inserted` reports whether the slot is new.
+  size_t GetOrInsert(ItemId key, bool* inserted = nullptr) {
+    assert(key != kInvalidItem);
+    // Keep load factor <= 0.75 so probe sequences stay short and always
+    // terminate at an empty slot.
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) Grow();
+    const size_t mask = slots_.size() - 1;
+    size_t i = Hash(key) & mask;
+    while (slots_[i].key != kInvalidItem) {
+      if (slots_[i].key == key) {
+        if (inserted != nullptr) *inserted = false;
+        return i;
+      }
+      i = (i + 1) & mask;
+    }
+    slots_[i].key = key;
+    slots_[i].payload = P{};
+    ++size_;
+    if (inserted != nullptr) *inserted = true;
+    return i;
+  }
+
+  /// Removes the slot at `index` (backward-shift deletion: pulls displaced
+  /// probe-chain members into the hole so lookups never need tombstones).
+  void EraseAt(size_t index) {
+    const size_t mask = slots_.size() - 1;
+    size_t hole = index;
+    slots_[hole].key = kInvalidItem;
+    slots_[hole].payload = P{};
+    size_t j = hole;
+    while (true) {
+      j = (j + 1) & mask;
+      if (slots_[j].key == kInvalidItem) break;
+      const size_t home = Hash(slots_[j].key) & mask;
+      // Move j into the hole unless its home position lies cyclically in
+      // (hole, j] — then j is already as close to home as it can be.
+      const bool home_in_range =
+          (hole < j) ? (home > hole && home <= j) : (home > hole || home <= j);
+      if (!home_in_range) {
+        slots_[hole].key = slots_[j].key;
+        slots_[hole].payload = std::move(slots_[j].payload);
+        slots_[j].key = kInvalidItem;
+        slots_[j].payload = P{};
+        hole = j;
+      }
+    }
+    --size_;
+  }
+
+  /// Erases by key; returns true if the key was present.
+  bool Erase(ItemId key) {
+    const size_t i = Find(key);
+    if (i == kNpos) return false;
+    EraseAt(i);
+    return true;
+  }
+
+  void Clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  /// Deep copy preserving layout: keys are copied wholesale and each
+  /// occupied payload is produced by `copier(source_payload)`. Used by
+  /// payloads that are not trivially copyable (e.g. overflow pointers).
+  template <typename Copier>
+  void CopyFrom(const FlatTable& other, Copier&& copier) {
+    slots_.clear();
+    slots_.resize(other.slots_.size());
+    for (size_t i = 0; i < other.slots_.size(); ++i) {
+      if (other.slots_[i].key != kInvalidItem) {
+        slots_[i].key = other.slots_[i].key;
+        slots_[i].payload = copier(other.slots_[i].payload);
+      }
+    }
+    size_ = other.size_;
+  }
+
+  /// Occupied slots in ascending-key order (the deterministic iteration
+  /// contract). Indices stay valid until the next insert or erase.
+  std::vector<std::pair<ItemId, size_t>> SortedSlots() const {
+    std::vector<std::pair<ItemId, size_t>> order;
+    order.reserve(size_);
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].key != kInvalidItem) order.emplace_back(slots_[i].key, i);
+    }
+    std::sort(order.begin(), order.end());
+    return order;
+  }
+
+  /// Visits every occupied slot in slot order (a sequential sweep — cache
+  /// friendly, and deterministic given the same operation history). Only
+  /// for per-slot work that is order-insensitive; anything whose *order*
+  /// can influence scheduling or output must use SortedSlots().
+  template <typename Fn>
+  void ForEachRaw(Fn&& fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].key != kInvalidItem) fn(slots_[i].key, slots_[i].payload);
+    }
+  }
+  template <typename Fn>
+  void ForEachRaw(Fn&& fn) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].key != kInvalidItem) fn(slots_[i].key, slots_[i].payload);
+    }
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+
+  struct Slot {
+    ItemId key = kInvalidItem;
+    P payload;
+  };
+
+  static uint64_t Hash(ItemId key) {
+    // Fibonacci multiplicative hash: ItemIds are dense small integers, so a
+    // single multiply spreads them across the table.
+    return static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+  }
+
+  void Grow() {
+    const size_t new_cap = slots_.empty() ? kMinCapacity : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(new_cap);
+    const size_t mask = new_cap - 1;
+    for (size_t j = 0; j < old.size(); ++j) {
+      if (old[j].key == kInvalidItem) continue;
+      size_t i = Hash(old[j].key) & mask;
+      while (slots_[i].key != kInvalidItem) i = (i + 1) & mask;
+      slots_[i].key = old[j].key;
+      slots_[i].payload = std::move(old[j].payload);
+    }
+  }
+
+  size_t size_ = 0;
+  std::vector<Slot> slots_;  // .key == kInvalidItem marks an empty slot
+};
+
+}  // namespace ava3::common
+
+#endif  // AVA3_COMMON_FLAT_TABLE_H_

@@ -1,0 +1,122 @@
+#ifndef AVA3_COMMON_SMALL_FN_H_
+#define AVA3_COMMON_SMALL_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ava3::common {
+
+/// Move-only callable with inline (small-buffer) storage.
+///
+/// The hot paths of this codebase — the DES event slab, the lock table's
+/// grant callbacks, the real-threads mailboxes — schedule millions of
+/// short-lived closures; storing them inline avoids the heap allocation
+/// `std::function` costs per callback. Closures larger than the inline
+/// buffer (or not nothrow-movable) fall back to one heap allocation, so any
+/// callable works; the common case stays allocation-free. 64 bytes holds
+/// every closure the protocol schedules today (the biggest is a message
+/// delivery capturing `this` plus a few ids) and a whole `std::function`.
+template <typename Sig, size_t InlineSize = 64>
+class SmallFn;
+
+template <typename R, typename... Args, size_t InlineSize>
+class SmallFn<R(Args...), InlineSize> {
+ public:
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vtable_ = &InlineOps<Fn>::kVtable;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      vtable_ = &HeapOps<Fn>::kVtable;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buf_, other.buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        vtable_->relocate(buf_, other.buf_);
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { Reset(); }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(buf_, std::forward<Args>(args)...);
+  }
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    /// Move-constructs dst from src's storage and destroys src's value.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static R Invoke(void* p, Args&&... args) {
+      return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+    }
+    static void Relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void Destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr VTable kVtable{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& Ptr(void* p) { return *static_cast<Fn**>(p); }
+    static R Invoke(void* p, Args&&... args) {
+      return (*Ptr(p))(std::forward<Args>(args)...);
+    }
+    static void Relocate(void* dst, void* src) noexcept {
+      Ptr(dst) = Ptr(src);
+    }
+    static void Destroy(void* p) noexcept { delete Ptr(p); }
+    static constexpr VTable kVtable{&Invoke, &Relocate, &Destroy};
+  };
+
+  void Reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[InlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace ava3::common
+
+#endif  // AVA3_COMMON_SMALL_FN_H_

@@ -1,14 +1,66 @@
 #include "lock/lock_manager.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace ava3::lock {
 
+namespace {
+constexpr size_t kNpos = common::FlatTable<int>::kNpos;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry holder primitives
+// ---------------------------------------------------------------------------
+
+void LockManager::Entry::AddHolder(TxnId txn, LockMode mode) {
+  if (!overflow && holder_count == kInlineHolders) {
+    overflow = std::make_unique<std::vector<Holder>>(
+        inline_holders, inline_holders + holder_count);
+  }
+  if (overflow) {
+    overflow->push_back(Holder{txn, mode});
+  } else {
+    inline_holders[holder_count] = Holder{txn, mode};
+  }
+  ++holder_count;
+}
+
+void LockManager::Entry::EraseHolderAt(uint32_t index) {
+  if (overflow) {
+    overflow->erase(overflow->begin() + index);
+    --holder_count;
+    if (holder_count <= kInlineHolders) {
+      std::copy(overflow->begin(), overflow->end(), inline_holders);
+      overflow.reset();
+    }
+  } else {
+    for (uint32_t k = index; k + 1 < holder_count; ++k) {
+      inline_holders[k] = inline_holders[k + 1];
+    }
+    --holder_count;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LockManager
+// ---------------------------------------------------------------------------
+
+LockManager::~LockManager() {
+  // Deliveries capture `this` (to deregister themselves); cancel whatever
+  // is still pending so no timer fires into a destroyed lock table.
+  for (const auto& [token, id] : pending_deliveries_) {
+    runtime_->CancelTimer(id);
+  }
+}
+
 bool LockManager::CompatibleWithHolders(const Entry& entry, TxnId txn,
                                         LockMode mode) {
-  for (const auto& [holder, held_mode] : entry.holders) {
-    if (holder == txn) continue;  // own holdings never conflict
-    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+  const Holder* h = entry.holders();
+  for (uint32_t i = 0; i < entry.holder_count; ++i) {
+    if (h[i].txn == txn) continue;  // own holdings never conflict
+    if (mode == LockMode::kExclusive || h[i].mode == LockMode::kExclusive) {
       return false;
     }
   }
@@ -18,37 +70,40 @@ bool LockManager::CompatibleWithHolders(const Entry& entry, TxnId txn,
 AcquireResult LockManager::Acquire(TxnId txn, ItemId item, LockMode mode,
                                    GrantCallback on_grant) {
   ++stats_.acquisitions;
-  Entry& entry = table_[item];
+  Entry& entry = table_.payload_at(table_.GetOrInsert(item));
 
-  auto held = entry.holders.find(txn);
-  const bool already_holds = held != entry.holders.end();
-  if (already_holds) {
-    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+  const uint32_t held = entry.FindHolder(txn);
+  if (held != entry.holder_count) {
+    Holder* h = entry.holders();
+    if (h[held].mode == LockMode::kExclusive || mode == LockMode::kShared) {
       // Re-entrant: already strong enough.
       ++stats_.immediate_grants;
       return AcquireResult::kGranted;
     }
     // Upgrade S -> X: immediate if sole holder and nothing queued ahead
     // that conflicts (upgrades bypass the FIFO queue — they go first).
-    if (entry.holders.size() == 1) {
-      held->second = LockMode::kExclusive;
+    if (entry.holder_count == 1) {
+      h[held].mode = LockMode::kExclusive;
       ++stats_.immediate_grants;
       return AcquireResult::kGranted;
     }
     ++stats_.waits;
-    entry.queue.push_front(Request{txn, mode, std::move(on_grant),
-                                   runtime_->Now(), /*is_upgrade=*/true});
+    ++waiting_;
+    entry.queue.insert(entry.queue.begin(),
+                       Request{txn, mode, std::move(on_grant),
+                               runtime_->Now(), /*is_upgrade=*/true});
     return AcquireResult::kWaiting;
   }
 
   // Fresh request: FIFO — must wait behind any queued request, and behind
   // incompatible holders.
   if (entry.queue.empty() && CompatibleWithHolders(entry, txn, mode)) {
-    entry.holders.emplace(txn, mode);
+    entry.AddHolder(txn, mode);
     ++stats_.immediate_grants;
     return AcquireResult::kGranted;
   }
   ++stats_.waits;
+  ++waiting_;
   entry.queue.push_back(Request{txn, mode, std::move(on_grant),
                                 runtime_->Now(), /*is_upgrade=*/false});
   return AcquireResult::kWaiting;
@@ -59,112 +114,130 @@ void LockManager::ProcessQueue(ItemId item, Entry& entry) {
     Request& req = entry.queue.front();
     if (req.is_upgrade) {
       // Grantable when the requester is the sole remaining holder.
-      auto held = entry.holders.find(req.txn);
-      if (held != entry.holders.end() && entry.holders.size() == 1) {
-        held->second = LockMode::kExclusive;
-      } else if (held == entry.holders.end() &&
+      const uint32_t held = entry.FindHolder(req.txn);
+      if (held != entry.holder_count && entry.holder_count == 1) {
+        entry.holders()[held].mode = LockMode::kExclusive;
+      } else if (held == entry.holder_count &&
                  CompatibleWithHolders(entry, req.txn, req.mode)) {
         // The shared lock was released (e.g. at prepare) while the upgrade
         // waited; grant as a fresh exclusive acquisition.
-        entry.holders.emplace(req.txn, req.mode);
+        entry.AddHolder(req.txn, req.mode);
       } else {
         return;  // still blocked; FIFO stops here
       }
     } else {
       if (!CompatibleWithHolders(entry, req.txn, req.mode)) return;
-      auto [it, inserted] = entry.holders.emplace(req.txn, req.mode);
-      if (!inserted && req.mode == LockMode::kExclusive) {
-        it->second = LockMode::kExclusive;
+      const uint32_t held = entry.FindHolder(req.txn);
+      if (held == entry.holder_count) {
+        entry.AddHolder(req.txn, req.mode);
+      } else if (req.mode == LockMode::kExclusive) {
+        entry.holders()[held].mode = LockMode::kExclusive;
       }
     }
     stats_.total_wait_micros += runtime_->Now() - req.enqueue_time;
-    ScheduleGrant(std::move(req.on_grant));
-    entry.queue.pop_front();
+    ScheduleDelivery(std::move(req.on_grant), Status::Ok());
+    entry.queue.erase(entry.queue.begin());
+    --waiting_;
   }
-  if (entry.queue.empty() && entry.holders.empty()) table_.erase(item);
+  if (entry.queue.empty() && entry.holder_count == 0) table_.Erase(item);
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::vector<ItemId> touched;
-  for (auto& [item, entry] : table_) {
-    bool changed = entry.holders.erase(txn) > 0;
-    for (auto it = entry.queue.begin(); it != entry.queue.end();) {
-      if (it->txn == txn) {
-        it = entry.queue.erase(it);
+  touched_scratch_.clear();
+  table_.ForEachRaw([&](ItemId item, Entry& entry) {
+    bool changed = false;
+    const uint32_t held = entry.FindHolder(txn);
+    if (held != entry.holder_count) {
+      entry.EraseHolderAt(held);
+      changed = true;
+    }
+    for (size_t i = entry.queue.size(); i-- > 0;) {
+      if (entry.queue[i].txn == txn) {
+        entry.queue.erase(entry.queue.begin() +
+                          static_cast<ptrdiff_t>(i));
+        --waiting_;
         changed = true;
-      } else {
-        ++it;
       }
     }
-    if (changed) touched.push_back(item);
-  }
-  for (ItemId item : touched) {
-    auto it = table_.find(item);
-    if (it != table_.end()) ProcessQueue(item, it->second);
+    if (changed) touched_scratch_.push_back(item);
+  });
+  // Ascending ItemId: grant wakeups must fire in a deterministic order.
+  std::sort(touched_scratch_.begin(), touched_scratch_.end());
+  for (ItemId item : touched_scratch_) {
+    const size_t i = table_.Find(item);
+    if (i != kNpos) ProcessQueue(item, table_.payload_at(i));
   }
 }
 
 void LockManager::ReleaseShared(TxnId txn) {
-  std::vector<ItemId> touched;
-  for (auto& [item, entry] : table_) {
-    auto it = entry.holders.find(txn);
-    if (it != entry.holders.end() && it->second == LockMode::kShared) {
-      // Do not drop a shared lock with a pending upgrade request from the
-      // same transaction: the upgrade still needs it as its anchor. The
-      // queue-processing path handles granting it as a fresh X instead.
-      entry.holders.erase(it);
-      touched.push_back(item);
+  touched_scratch_.clear();
+  table_.ForEachRaw([&](ItemId item, Entry& entry) {
+    const uint32_t held = entry.FindHolder(txn);
+    if (held != entry.holder_count &&
+        entry.holders()[held].mode == LockMode::kShared) {
+      // A pending upgrade from the same transaction loses its anchor here;
+      // the queue-processing path handles granting it as a fresh X instead.
+      entry.EraseHolderAt(held);
+      touched_scratch_.push_back(item);
     }
-  }
-  for (ItemId item : touched) {
-    auto it = table_.find(item);
-    if (it != table_.end()) ProcessQueue(item, it->second);
+  });
+  std::sort(touched_scratch_.begin(), touched_scratch_.end());
+  for (ItemId item : touched_scratch_) {
+    const size_t i = table_.Find(item);
+    if (i != kNpos) ProcessQueue(item, table_.payload_at(i));
   }
 }
 
 void LockManager::CancelWaiter(TxnId txn) {
-  std::vector<ItemId> touched;
-  for (auto& [item, entry] : table_) {
-    for (auto it = entry.queue.begin(); it != entry.queue.end();) {
-      if (it->txn == txn) {
+  // Sorted iteration: the Aborted deliveries are scheduled here, so their
+  // order must not depend on table layout.
+  touched_scratch_.clear();
+  for (const auto& [item, slot] : table_.SortedSlots()) {
+    Entry& entry = table_.payload_at(slot);
+    for (size_t i = 0; i < entry.queue.size();) {
+      if (entry.queue[i].txn == txn) {
         ++stats_.cancelled;
-        GrantCallback cb = std::move(it->on_grant);
-        it = entry.queue.erase(it);
-        runtime_->ScheduleOn(node_, 0, [fn = std::move(cb)]() {
-          fn(Status::Aborted("lock wait cancelled"));
-        });
-        touched.push_back(item);
+        --waiting_;
+        ScheduleDelivery(std::move(entry.queue[i].on_grant),
+                         Status::Aborted("lock wait cancelled"));
+        entry.queue.erase(entry.queue.begin() +
+                          static_cast<ptrdiff_t>(i));
+        touched_scratch_.push_back(item);
       } else {
-        ++it;
+        ++i;
       }
     }
   }
-  for (ItemId item : touched) {
-    auto it = table_.find(item);
-    if (it != table_.end()) ProcessQueue(item, it->second);
+  for (ItemId item : touched_scratch_) {
+    const size_t i = table_.Find(item);
+    if (i != kNpos) ProcessQueue(item, table_.payload_at(i));
   }
 }
 
 bool LockManager::Holds(TxnId txn, ItemId item, LockMode mode) const {
-  auto it = table_.find(item);
-  if (it == table_.end()) return false;
-  auto held = it->second.holders.find(txn);
-  if (held == it->second.holders.end()) return false;
-  return mode == LockMode::kShared || held->second == LockMode::kExclusive;
+  const size_t i = table_.Find(item);
+  if (i == kNpos) return false;
+  const Entry& entry = table_.payload_at(i);
+  const uint32_t held = entry.FindHolder(txn);
+  if (held == entry.holder_count) return false;
+  return mode == LockMode::kShared ||
+         entry.holders()[held].mode == LockMode::kExclusive;
 }
 
 void LockManager::CollectWaitsFor(
     const std::function<void(TxnId waiter, TxnId holder)>& emit) const {
-  for (const auto& [item, entry] : table_) {
+  for (const auto& [item, slot] : table_.SortedSlots()) {
+    const Entry& entry = table_.payload_at(slot);
     // Each queued request waits for (a) every conflicting holder and
     // (b) every conflicting request queued ahead of it.
+    const Holder* h = entry.holders();
     for (size_t i = 0; i < entry.queue.size(); ++i) {
       const Request& req = entry.queue[i];
-      for (const auto& [holder, held_mode] : entry.holders) {
-        if (holder == req.txn) continue;
+      for (uint32_t k = 0; k < entry.holder_count; ++k) {
+        if (h[k].txn == req.txn) continue;
         if (req.mode == LockMode::kExclusive ||
-            held_mode == LockMode::kExclusive) {
-          emit(req.txn, holder);
+            h[k].mode == LockMode::kExclusive) {
+          emit(req.txn, h[k].txn);
         }
       }
       for (size_t j = 0; j < i; ++j) {
@@ -180,13 +253,45 @@ void LockManager::CollectWaitsFor(
 }
 
 bool LockManager::HasAnyLockOrWait(TxnId txn) const {
-  for (const auto& [item, entry] : table_) {
-    if (entry.holders.count(txn) > 0) return true;
+  for (size_t i = 0, cap = table_.capacity(); i < cap; ++i) {
+    if (!table_.occupied(i)) continue;
+    const Entry& entry = table_.payload_at(i);
+    if (entry.FindHolder(txn) != entry.holder_count) return true;
     for (const auto& req : entry.queue) {
       if (req.txn == txn) return true;
     }
   }
   return false;
+}
+
+void LockManager::Reset() {
+  // Cancel in-flight deliveries first (see the header contract): a grant
+  // or abort scheduled before the crash must never fire afterwards.
+  for (const auto& [token, id] : pending_deliveries_) {
+    runtime_->CancelTimer(id);
+  }
+  pending_deliveries_.clear();
+  table_.Clear();
+  waiting_ = 0;
+}
+
+int LockManager::WaitingCountSlow() const {
+  int n = 0;
+  table_.ForEachRaw([&](ItemId /*item*/, const Entry& entry) {
+    n += static_cast<int>(entry.queue.size());
+  });
+  return n;
+}
+
+void LockManager::ScheduleDelivery(GrantCallback cb, Status status) {
+  const uint64_t token = next_delivery_token_++;
+  const rt::TimerId id = runtime_->ScheduleOn(
+      node_, 0,
+      [this, token, fn = std::move(cb), status = std::move(status)]() mutable {
+        pending_deliveries_.erase(token);
+        fn(status);
+      });
+  pending_deliveries_.emplace(token, id);
 }
 
 }  // namespace ava3::lock

@@ -2,11 +2,13 @@
 #define AVA3_LOCK_LOCK_MANAGER_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "common/flat_table.h"
+#include "common/small_fn.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "runtime/runtime.h"
@@ -46,17 +48,30 @@ struct LockStats {
 ///   one distributed transaction share their locks at a node, and waits-for
 ///   edges compose across nodes into a global graph.
 ///
+/// Layout (DESIGN.md S16): entries live in an open-addressing flat table
+/// keyed by ItemId (common::FlatTable). Each entry embeds its holders
+/// inline — S2PL holds one X holder or a few S holders on almost every
+/// locked item, so two inline slots cover the common case and larger
+/// holder sets spill to a heap vector. Grant callbacks are SmallFn, so an
+/// uncontended Acquire + ReleaseAll cycle performs no heap allocation.
+/// Scans that can influence scheduling or victim selection (release
+/// wakeups, waits-for edges) visit items in ascending ItemId order;
+/// order-insensitive predicates scan in table order.
+///
 /// Delayed grants are delivered as zero-delay runtime timers on this
 /// node, never from inside the Release/Cancel call stack, to keep
 /// executor re-entrancy trivial.
 class LockManager {
  public:
-  using GrantCallback = std::function<void(Status)>;
+  /// Move-only: fires at most once, with Ok (granted) or Aborted
+  /// (cancelled). Dropped without firing by ReleaseAll and Reset.
+  using GrantCallback = common::SmallFn<void(Status)>;
 
   LockManager(rt::Runtime* runtime, NodeId node)
       : runtime_(runtime), node_(node) {}
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
+  ~LockManager();
 
   /// Requests `mode` on `item` for transaction `txn`. If kGranted is
   /// returned the lock is held and `on_grant` is dropped. Otherwise the
@@ -83,7 +98,9 @@ class LockManager {
   bool Holds(TxnId txn, ItemId item, LockMode mode) const;
 
   /// Emits waits-for edges (waiter -> holder or earlier queued conflicting
-  /// requester) for the global deadlock detector.
+  /// requester) for the global deadlock detector, in ascending ItemId
+  /// order (edge order can steer victim selection, so it must be
+  /// deterministic).
   void CollectWaitsFor(
       const std::function<void(TxnId waiter, TxnId holder)>& emit) const;
 
@@ -92,22 +109,40 @@ class LockManager {
 
   /// Drops the entire lock table without invoking waiter callbacks
   /// (node-crash simulation: lock state is volatile).
-  void Reset() { table_.clear(); }
+  ///
+  /// Contract: queued callbacks are destroyed unfired, and every grant or
+  /// cancellation delivery already scheduled as a zero-delay timer is
+  /// cancelled — after Reset() returns, no callback from the pre-reset
+  /// lock table will ever fire. Without the timer cancellation a grant
+  /// scheduled just before a crash would fire into the recovered engine
+  /// and resurrect a transaction the crash killed (the callbacks capture
+  /// engine state by raw pointer, so a stale delivery is a use-after-free
+  /// waiting to happen; tests/gauge_test.cc asserts none fires).
+  void Reset();
 
   /// Requests currently queued (not granted) across all items — the
-  /// lock-queue-depth gauge for the time-series sampler. O(items).
-  int WaitingCount() const {
-    int n = 0;
-    for (const auto& [item, e] : table_) {
-      n += static_cast<int>(e.queue.size());
-    }
-    return n;
-  }
+  /// lock-queue-depth gauge for the time-series sampler. O(1): maintained
+  /// incrementally on every enqueue/dequeue (tests pin it against
+  /// WaitingCountSlow).
+  int WaitingCount() const { return waiting_; }
+
+  /// Brute-force queue-depth scan — the test oracle for WaitingCount().
+  int WaitingCountSlow() const;
 
   const LockStats& stats() const { return stats_; }
   NodeId node() const { return node_; }
 
  private:
+  /// Two inline holders cover nearly every entry: an X-locked item has
+  /// exactly one holder, and S fan-in above two concurrent holders is rare
+  /// outside pathological hotspots.
+  static constexpr uint32_t kInlineHolders = 2;
+
+  struct Holder {
+    TxnId txn = kInvalidTxn;
+    LockMode mode = LockMode::kShared;
+  };
+
   struct Request {
     TxnId txn;
     LockMode mode;
@@ -115,9 +150,36 @@ class LockManager {
     SimTime enqueue_time;
     bool is_upgrade;
   };
+
+  /// Per-item lock entry. `overflow` is engaged iff
+  /// holder_count > kInlineHolders (the inline array is dead then);
+  /// discriminating on the count keeps the common case off the overflow
+  /// pointer's cache line. The queue is FIFO front-to-back; upgrades are
+  /// inserted at the front.
   struct Entry {
-    std::unordered_map<TxnId, LockMode> holders;
-    std::deque<Request> queue;
+    uint32_t holder_count = 0;
+    Holder inline_holders[kInlineHolders];
+    std::unique_ptr<std::vector<Holder>> overflow;
+    std::vector<Request> queue;
+
+    Holder* holders() {
+      return holder_count <= kInlineHolders ? inline_holders
+                                            : overflow->data();
+    }
+    const Holder* holders() const {
+      return holder_count <= kInlineHolders ? inline_holders
+                                            : overflow->data();
+    }
+    /// Index of txn's holder slot, or holder_count if absent.
+    uint32_t FindHolder(TxnId txn) const {
+      const Holder* h = holders();
+      for (uint32_t i = 0; i < holder_count; ++i) {
+        if (h[i].txn == txn) return i;
+      }
+      return holder_count;
+    }
+    void AddHolder(TxnId txn, LockMode mode);
+    void EraseHolderAt(uint32_t index);
   };
 
   /// True if `txn` requesting `mode` is compatible with current holders.
@@ -127,14 +189,24 @@ class LockManager {
   /// Grants every queue-front request that is now compatible.
   void ProcessQueue(ItemId item, Entry& entry);
 
-  void ScheduleGrant(GrantCallback cb) {
-    runtime_->ScheduleOn(node_, 0,
-                         [fn = std::move(cb)]() { fn(Status::Ok()); });
-  }
+  /// Schedules `cb(status)` as a cancellable zero-delay timer; the timer
+  /// deregisters itself when it fires, so Reset() can cancel whatever is
+  /// still pending.
+  void ScheduleDelivery(GrantCallback cb, Status status);
 
   rt::Runtime* runtime_;
   NodeId node_;
-  std::unordered_map<ItemId, Entry> table_;
+  common::FlatTable<Entry> table_;
+  /// Queued (not granted) requests across all items.
+  int waiting_ = 0;
+  /// In-flight grant/cancel deliveries, keyed by a monotonic token (a
+  /// std::map so Reset cancels in a deterministic order). Entries remove
+  /// themselves when their timer fires.
+  std::map<uint64_t, rt::TimerId> pending_deliveries_;
+  uint64_t next_delivery_token_ = 1;
+  /// Scratch for the touched-item lists the release paths build; reused
+  /// across calls so steady-state releases do not allocate.
+  std::vector<ItemId> touched_scratch_;
   LockStats stats_;
 };
 

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/rng.h"
+#include "common/small_fn.h"
 #include "common/types.h"
 #include "runtime/message.h"
 
@@ -13,6 +14,14 @@ namespace ava3::rt {
 /// Handle used to cancel a scheduled timer. Zero is never a valid handle.
 using TimerId = uint64_t;
 inline constexpr TimerId kInvalidTimer = 0;
+
+/// Closure type the runtime schedules and delivers. Move-only with inline
+/// storage: the data plane schedules millions of these, and SmallFn keeps
+/// the common case allocation-free where `std::function` paid a heap
+/// allocation per closure (it also lets schedulable closures own move-only
+/// state, e.g. the lock table's grant callbacks). Any callable converts
+/// implicitly, including an existing `std::function`.
+using TaskFn = common::SmallFn<void()>;
 
 /// Execution substrate for the protocol stack: clock, timers, node-to-node
 /// transport, liveness flags and per-node randomness. Every engine (AVA3,
@@ -53,13 +62,12 @@ class Runtime {
 
   /// Runs `fn` in node `node`'s context after `delay` microseconds.
   virtual TimerId ScheduleOn(NodeId node, SimDuration delay,
-                             std::function<void()> fn) = 0;
+                             TaskFn fn) = 0;
 
   /// Runs `fn` after `delay` microseconds outside any node's context
   /// (deadlock sweeps, watchdog-style services). Under SimRuntime this is
   /// indistinguishable from ScheduleOn.
-  virtual TimerId ScheduleGlobal(SimDuration delay,
-                                 std::function<void()> fn) = 0;
+  virtual TimerId ScheduleGlobal(SimDuration delay, TaskFn fn) = 0;
 
   /// Cancels a pending timer. Returns true if it was still pending;
   /// cancelling a fired or unknown timer is a no-op returning false.
@@ -79,7 +87,7 @@ class Runtime {
   /// (faults, destination down). Fire-and-forget: the sender learns
   /// nothing, exactly the asynchronous-network model of the paper.
   virtual void Send(NodeId from, NodeId to, MsgKind kind,
-                    std::function<void()> deliver) = 0;
+                    TaskFn deliver) = 0;
 
   /// Marks a node up/down. While down, deliveries to it are dropped.
   virtual void SetNodeUp(NodeId node, bool up) = 0;

@@ -34,15 +34,14 @@ class SimRuntime final : public Runtime {
   uint64_t Seq() const override { return simulator_->events_executed(); }
 
   TimerId ScheduleOn(NodeId /*node*/, SimDuration delay,
-                     std::function<void()> fn) override {
+                     TaskFn fn) override {
     // Node affinity is meaningless single-threaded; what matters for
     // bit-identity is that this allocates the same EventId the direct
     // After() call used to.
     return simulator_->After(delay, std::move(fn));
   }
 
-  TimerId ScheduleGlobal(SimDuration delay,
-                         std::function<void()> fn) override {
+  TimerId ScheduleGlobal(SimDuration delay, TaskFn fn) override {
     return simulator_->After(delay, std::move(fn));
   }
 
@@ -54,7 +53,7 @@ class SimRuntime final : public Runtime {
   }
 
   void Send(NodeId from, NodeId to, MsgKind kind,
-            std::function<void()> deliver) override {
+            TaskFn deliver) override {
     assert(network_ != nullptr && "SimRuntime built without a network");
     network_->Send(from, to, kind, std::move(deliver));
   }

@@ -85,7 +85,7 @@ SimTime ThreadRuntime::NowUs() const {
 SimTime ThreadRuntime::Now() const { return NowUs(); }
 
 TimerId ThreadRuntime::ScheduleOnWorker(int index, SimDuration delay,
-                                        std::function<void()> fn) {
+                                        TaskFn fn) {
   assert(index >= 0 && index < static_cast<int>(workers_.size()));
   Worker& w = *workers_[index];
   const uint64_t counter =
@@ -104,13 +104,12 @@ TimerId ThreadRuntime::ScheduleOnWorker(int index, SimDuration delay,
 }
 
 TimerId ThreadRuntime::ScheduleOn(NodeId node, SimDuration delay,
-                                  std::function<void()> fn) {
+                                  TaskFn fn) {
   assert(node >= 0 && node < num_nodes_);
   return ScheduleOnWorker(node, delay, std::move(fn));
 }
 
-TimerId ThreadRuntime::ScheduleGlobal(SimDuration delay,
-                                      std::function<void()> fn) {
+TimerId ThreadRuntime::ScheduleGlobal(SimDuration delay, TaskFn fn) {
   return ScheduleOnWorker(num_nodes_, delay, std::move(fn));
 }
 
@@ -139,7 +138,7 @@ void ThreadRuntime::RunExclusive(const std::function<void()>& fn) {
 }
 
 void ThreadRuntime::Send(NodeId from, NodeId to, MsgKind kind,
-                         std::function<void()> deliver) {
+                         TaskFn deliver) {
   (void)from;
   assert(to >= 0 && to < num_nodes_);
   sent_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
@@ -186,12 +185,15 @@ uint64_t ThreadRuntime::TotalSent() const {
 void ThreadRuntime::WorkerLoop(int index) {
   tls_worker = index;
   Worker& w = *workers_[index];
+  // Batch buffers live outside the loop so their capacity is reused; the
+  // mailbox swap below recycles `mail`'s capacity back into the mailbox.
+  std::vector<TaskFn> due;
+  std::vector<TaskFn> mail;
   std::unique_lock<std::mutex> lk(w.mu);
   while (!stop_.load(std::memory_order_acquire)) {
     const SimTime now = NowUs();
-    std::function<void()> task;
-    bool have = false;
-    // Due timers run before mailbox messages (they are already late).
+    // Collect every due timer (they are already late) and swap out the
+    // whole mailbox: one mutex acquisition per batch, not per message.
     while (!w.heap.empty()) {
       const TimerEntry top = w.heap.top();
       auto it = w.timers.find(top.id);
@@ -200,25 +202,28 @@ void ThreadRuntime::WorkerLoop(int index) {
         continue;
       }
       if (top.deadline > now) break;
-      task = std::move(it->second);
+      due.push_back(std::move(it->second));
       w.timers.erase(it);
       w.heap.pop();
-      have = true;
-      break;
     }
-    if (!have && !w.mailbox.empty()) {
-      task = std::move(w.mailbox.front());
-      w.mailbox.pop_front();
-      have = true;
-    }
-    if (have) {
+    if (!w.mailbox.empty()) std::swap(mail, w.mailbox);
+    if (!due.empty() || !mail.empty()) {
       lk.unlock();
-      seq_.fetch_add(1, std::memory_order_relaxed);
-      {
+      // Due timers run before mailbox messages. exec_mu is taken per
+      // closure, not per batch, so RunExclusive's safepoint granularity is
+      // unchanged: it can interpose between any two closures.
+      for (auto& task : due) {
+        seq_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> ex(w.exec_mu);
         task();
       }
-      task = nullptr;  // destroy captures outside both locks
+      for (auto& task : mail) {
+        seq_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> ex(w.exec_mu);
+        task();
+      }
+      due.clear();  // destroy captures outside both locks
+      mail.clear();
       lk.lock();
       continue;
     }

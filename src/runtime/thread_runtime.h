@@ -6,7 +6,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -63,14 +62,11 @@ class ThreadRuntime final : public Runtime {
   uint64_t Seq() const override {
     return seq_.load(std::memory_order_relaxed);
   }
-  TimerId ScheduleOn(NodeId node, SimDuration delay,
-                     std::function<void()> fn) override;
-  TimerId ScheduleGlobal(SimDuration delay,
-                         std::function<void()> fn) override;
+  TimerId ScheduleOn(NodeId node, SimDuration delay, TaskFn fn) override;
+  TimerId ScheduleGlobal(SimDuration delay, TaskFn fn) override;
   bool CancelTimer(TimerId id) override;
   void RunExclusive(const std::function<void()>& fn) override;
-  void Send(NodeId from, NodeId to, MsgKind kind,
-            std::function<void()> deliver) override;
+  void Send(NodeId from, NodeId to, MsgKind kind, TaskFn deliver) override;
   void SetNodeUp(NodeId node, bool up) override;
   bool IsNodeUp(NodeId node) const override;
   Rng& Rand(NodeId node) override;
@@ -103,20 +99,25 @@ class ThreadRuntime final : public Runtime {
   /// context at index n). `mu` guards mailbox + timers; `exec_mu` is held
   /// exactly while a closure runs, so RunExclusive can stall the world by
   /// collecting every exec_mu.
+  ///
+  /// The mailbox drains in batches: each wakeup swaps the whole vector out
+  /// under one `mu` acquisition and executes the batch unlocked (due timers
+  /// first), so senders contend for the mutex once per batch rather than
+  /// once per message. The swap recycles the drained vector's capacity back
+  /// into the mailbox, keeping steady-state enqueues allocation-free.
   struct Worker {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<std::function<void()>> mailbox;
+    std::vector<TaskFn> mailbox;
     std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater>
         heap;
-    std::unordered_map<TimerId, std::function<void()>> timers;
+    std::unordered_map<TimerId, TaskFn> timers;
     std::mutex exec_mu;
     std::thread thread;
   };
 
   void WorkerLoop(int index);
-  TimerId ScheduleOnWorker(int index, SimDuration delay,
-                           std::function<void()> fn);
+  TimerId ScheduleOnWorker(int index, SimDuration delay, TaskFn fn);
   SimTime NowUs() const;
 
   const int num_nodes_;

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <cassert>
+#include <memory>
 #include <utility>
 
 #include "sim/fault_injector.h"
@@ -30,8 +31,7 @@ void Network::TraceMsg(TraceKind tk, NodeId node, MsgKind kind, int64_t b,
   trace_->Emit(std::move(ev));
 }
 
-void Network::Send(NodeId from, NodeId to, MsgKind kind,
-                   std::function<void()> deliver) {
+void Network::Send(NodeId from, NodeId to, MsgKind kind, EventFn deliver) {
   assert(to >= 0 && to < num_nodes());
   ++sent_[static_cast<size_t>(kind)];
   // Flow ids are allocated only while tracing, so disabled runs touch
@@ -83,6 +83,11 @@ void Network::Send(NodeId from, NodeId to, MsgKind kind,
       }
     }
   }
+  // Injected duplication needs the closure more than once; share it. The
+  // single-copy path (everything outside fault injection) stays move-only
+  // and allocation-free.
+  std::shared_ptr<EventFn> shared;
+  if (verdict.copies > 1) shared = std::make_shared<EventFn>(std::move(deliver));
   for (int copy = 0; copy < verdict.copies; ++copy) {
     // Each copy draws its own jitter, so a duplicate pair may arrive in
     // either order (the injected-delay spike applies to both).
@@ -91,16 +96,19 @@ void Network::Send(NodeId from, NodeId to, MsgKind kind,
       latency += static_cast<SimDuration>(
           rng_.Uniform(static_cast<uint64_t>(options_.jitter) + 1));
     }
-    Deliver(from, to, kind, latency, flow, deliver);
+    if (shared) {
+      Deliver(from, to, kind, latency, flow, [shared]() { (*shared)(); });
+    } else {
+      Deliver(from, to, kind, latency, flow, std::move(deliver));
+    }
   }
 }
 
 void Network::Deliver(NodeId from, NodeId to, MsgKind kind,
-                      SimDuration latency, uint64_t flow,
-                      std::function<void()> fn) {
+                      SimDuration latency, uint64_t flow, EventFn fn) {
   ++in_flight_;
   simulator_->After(latency, [this, from, to, kind, flow,
-                              fn = std::move(fn)]() {
+                              fn = std::move(fn)]() mutable {
     --in_flight_;
     if (!node_up_[static_cast<size_t>(to)]) {
       CountDrop(DropCause::kDestDown, kind);

@@ -68,8 +68,7 @@ class Network {
 
   /// Sends a message; `deliver` runs at the destination after the modeled
   /// latency, unless the destination is down at delivery time.
-  void Send(NodeId from, NodeId to, MsgKind kind,
-            std::function<void()> deliver);
+  void Send(NodeId from, NodeId to, MsgKind kind, EventFn deliver);
 
   /// Marks a node up/down. While down, deliveries to it are dropped.
   void SetNodeUp(NodeId node, bool up);
@@ -107,7 +106,7 @@ class Network {
   }
   /// Schedules one delivery attempt after `latency`.
   void Deliver(NodeId from, NodeId to, MsgKind kind, SimDuration latency,
-               uint64_t flow, std::function<void()> fn);
+               uint64_t flow, EventFn fn);
   bool Tracing() const { return trace_ != nullptr && trace_->enabled(); }
   void TraceMsg(TraceKind tk, NodeId node, MsgKind kind, int64_t b,
                 uint64_t flow);

@@ -3,12 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <new>
 #include <queue>
-#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/small_fn.h"
 #include "common/types.h"
 
 namespace ava3::sim {
@@ -18,103 +17,13 @@ namespace ava3::sim {
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
-/// Move-only callable with inline (small-buffer) storage. The DES schedules
-/// millions of short-lived closures; storing them inline in the event slab
-/// avoids a heap allocation per event, which `std::function` in an
-/// unordered_map cost on every At/After. Closures larger than the inline
-/// buffer fall back to the heap.
-class EventFn {
- public:
-  EventFn() noexcept = default;
-
-  template <typename F,
-            typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, EventFn> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
-    using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineSize &&
-                  alignof(Fn) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<Fn>) {
-      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
-      vtable_ = &InlineOps<Fn>::kVtable;
-    } else {
-      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
-      vtable_ = &HeapOps<Fn>::kVtable;
-    }
-  }
-
-  EventFn(EventFn&& other) noexcept : vtable_(other.vtable_) {
-    if (vtable_ != nullptr) {
-      vtable_->relocate(buf_, other.buf_);
-      other.vtable_ = nullptr;
-    }
-  }
-
-  EventFn& operator=(EventFn&& other) noexcept {
-    if (this != &other) {
-      Reset();
-      vtable_ = other.vtable_;
-      if (vtable_ != nullptr) {
-        vtable_->relocate(buf_, other.buf_);
-        other.vtable_ = nullptr;
-      }
-    }
-    return *this;
-  }
-
-  EventFn(const EventFn&) = delete;
-  EventFn& operator=(const EventFn&) = delete;
-
-  ~EventFn() { Reset(); }
-
-  void operator()() { vtable_->invoke(buf_); }
-  explicit operator bool() const { return vtable_ != nullptr; }
-
- private:
-  // 64 bytes holds every closure the protocol schedules today (biggest is a
-  // message delivery capturing this + a few ids) and a whole std::function.
-  static constexpr size_t kInlineSize = 64;
-
-  struct VTable {
-    void (*invoke)(void*);
-    /// Move-constructs dst from src's storage and destroys src's value.
-    void (*relocate)(void* dst, void* src) noexcept;
-    void (*destroy)(void*) noexcept;
-  };
-
-  template <typename Fn>
-  struct InlineOps {
-    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
-    static void Relocate(void* dst, void* src) noexcept {
-      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
-      static_cast<Fn*>(src)->~Fn();
-    }
-    static void Destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
-    static constexpr VTable kVtable{&Invoke, &Relocate, &Destroy};
-  };
-
-  template <typename Fn>
-  struct HeapOps {
-    static Fn*& Ptr(void* p) { return *static_cast<Fn**>(p); }
-    static void Invoke(void* p) { (*Ptr(p))(); }
-    static void Relocate(void* dst, void* src) noexcept {
-      Ptr(dst) = Ptr(src);
-    }
-    static void Destroy(void* p) noexcept { delete Ptr(p); }
-    static constexpr VTable kVtable{&Invoke, &Relocate, &Destroy};
-  };
-
-  void Reset() noexcept {
-    if (vtable_ != nullptr) {
-      vtable_->destroy(buf_);
-      vtable_ = nullptr;
-    }
-  }
-
-  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
-  const VTable* vtable_ = nullptr;
-};
+/// Move-only callable with 64-byte inline (small-buffer) storage. The DES
+/// schedules millions of short-lived closures; storing them inline in the
+/// event slab avoids a heap allocation per event, which `std::function` in
+/// an unordered_map cost on every At/After. The machinery lives in
+/// common/small_fn.h and is shared with the lock table's grant callbacks
+/// and the real-threads mailboxes.
+using EventFn = common::SmallFn<void()>;
 
 /// Deterministic discrete-event simulator. Single-threaded by design:
 /// every run is a pure function of the scheduled closures and their times.

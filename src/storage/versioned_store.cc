@@ -1,53 +1,132 @@
 #include "storage/versioned_store.h"
 
-#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <utility>
 
 namespace ava3::store {
 
-const VersionedValue* VersionedStore::Find(const Chain& chain, Version v) {
-  for (const auto& vv : chain) {
-    if (vv.version == v) return &vv;
-  }
-  return nullptr;
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+bool VersionLess(const VersionedValue& a, const VersionedValue& b) {
+  return a.version < b.version;
 }
 
-VersionedValue* VersionedStore::Find(Chain& chain, Version v) {
-  for (auto& vv : chain) {
-    if (vv.version == v) return &vv;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Payload chain primitives
+// ---------------------------------------------------------------------------
+
+void VersionedStore::Payload::InsertSorted(const VersionedValue& vv) {
+  if (!overflow && count == kInlineChain) {
+    overflow = std::make_unique<std::vector<VersionedValue>>(
+        inline_chain, inline_chain + count);
   }
-  return nullptr;
+  if (overflow) {
+    overflow->insert(
+        std::upper_bound(overflow->begin(), overflow->end(), vv, VersionLess),
+        vv);
+  } else {
+    uint32_t pos = 0;
+    while (pos < count && inline_chain[pos].version < vv.version) ++pos;
+    for (uint32_t k = count; k > pos; --k) {
+      inline_chain[k] = inline_chain[k - 1];
+    }
+    inline_chain[pos] = vv;
+  }
+  ++count;
 }
+
+void VersionedStore::Payload::EraseAt(uint32_t index) {
+  if (overflow) {
+    overflow->erase(overflow->begin() + index);
+    --count;
+    if (count <= static_cast<uint32_t>(kInlineChain)) {
+      std::copy(overflow->begin(), overflow->end(), inline_chain);
+      overflow.reset();
+    }
+  } else {
+    for (uint32_t k = index; k + 1 < count; ++k) {
+      inline_chain[k] = inline_chain[k + 1];
+    }
+    --count;
+  }
+}
+
+void VersionedStore::NoteChainResize(uint32_t from, uint32_t to) {
+  if (from > 0) --chain_hist_[from];
+  if (to > 0) {
+    if (to >= chain_hist_.size()) chain_hist_.resize(to + 1, 0);
+    ++chain_hist_[to];
+    if (static_cast<int>(to) > cur_max_chain_) {
+      cur_max_chain_ = static_cast<int>(to);
+    }
+    if (static_cast<int>(to) > max_live_observed_) {
+      max_live_observed_ = static_cast<int>(to);
+    }
+  }
+  // Lazily walk the gauge down past now-empty buckets (amortized O(1):
+  // each decrement is paid for by a previous increment).
+  while (cur_max_chain_ > 0 && chain_hist_[cur_max_chain_] == 0) {
+    --cur_max_chain_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
 
 bool VersionedStore::ExistsIn(ItemId item, Version v) const {
-  auto it = items_.find(item);
-  if (it == items_.end()) return false;
-  return Find(it->second, v) != nullptr;
+  const size_t i = table_.Find(item);
+  if (i == kNpos) return false;
+  const Payload& p = table_.payload_at(i);
+  if (p.count > 0 && v == p.newest_version) return true;  // header hit
+  const VersionedValue* d = p.data();
+  for (uint32_t k = 0; k < p.count; ++k) {
+    if (d[k].version == v) return true;
+  }
+  return false;
 }
 
 Version VersionedStore::MaxVersion(ItemId item) const {
-  auto it = items_.find(item);
-  if (it == items_.end() || it->second.empty()) return kInvalidVersion;
-  return it->second.back().version;
+  const size_t i = table_.Find(item);
+  if (i == kNpos || table_.payload_at(i).count == 0) return kInvalidVersion;
+  return table_.payload_at(i).newest_version;  // header cache, same line
 }
 
 Result<ReadResult> VersionedStore::ReadAtMost(ItemId item,
                                               Version at_most) const {
-  auto it = items_.find(item);
-  if (it == items_.end()) {
+  const size_t i = table_.Find(item);
+  if (i == kNpos) {
     return Status::NotFound("item " + std::to_string(item) + " absent");
   }
-  const Chain& chain = it->second;
+  const Payload& p = table_.payload_at(i);
+  // Header fast path: a read at or above the newest version is served
+  // entirely from the slot header the probe already loaded (identical
+  // result to the scan below finding the chain tail on its first step).
+  if (p.count > 0 && p.newest_version <= at_most) {
+    ReadResult out;
+    out.version = p.newest_version;
+    out.value = p.newest_value;
+    out.deleted = p.newest_deleted;
+    out.versions_scanned = 1;
+    return out;
+  }
+  const VersionedValue* d = p.data();
   int scanned = 0;
   // Scan from the newest backwards: chains are tiny (<=3) for AVA3; for the
   // unbounded baseline the scan length is exactly the overhead the paper
   // ascribes to chain-following schemes, so we count it.
-  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+  for (uint32_t k = p.count; k-- > 0;) {
     ++scanned;
-    if (rit->version <= at_most) {
+    if (d[k].version <= at_most) {
       ReadResult out;
-      out.version = rit->version;
-      out.value = rit->value;
-      out.deleted = rit->deleted;
+      out.version = d[k].version;
+      out.value = d[k].value;
+      out.deleted = d[k].deleted;
       out.versions_scanned = scanned;
       return out;
     }
@@ -57,80 +136,115 @@ Result<ReadResult> VersionedStore::ReadAtMost(ItemId item,
 }
 
 Result<ReadResult> VersionedStore::ReadExact(ItemId item, Version v) const {
-  auto it = items_.find(item);
-  if (it == items_.end()) {
+  const size_t i = table_.Find(item);
+  if (i == kNpos) {
     return Status::NotFound("item " + std::to_string(item) + " absent");
   }
-  const VersionedValue* vv = Find(it->second, v);
-  if (vv == nullptr) {
-    return Status::NotFound("item " + std::to_string(item) +
-                            " absent in version " + std::to_string(v));
+  const Payload& p = table_.payload_at(i);
+  if (p.count > 0 && v == p.newest_version) {
+    ReadResult out;
+    out.version = p.newest_version;
+    out.value = p.newest_value;
+    out.deleted = p.newest_deleted;
+    out.versions_scanned = 1;
+    return out;
   }
-  ReadResult out;
-  out.version = vv->version;
-  out.value = vv->value;
-  out.deleted = vv->deleted;
-  out.versions_scanned = 1;
-  return out;
+  const VersionedValue* d = p.data();
+  for (uint32_t k = 0; k < p.count; ++k) {
+    if (d[k].version == v) {
+      ReadResult out;
+      out.version = d[k].version;
+      out.value = d[k].value;
+      out.deleted = d[k].deleted;
+      out.versions_scanned = 1;
+      return out;
+    }
+  }
+  return Status::NotFound("item " + std::to_string(item) +
+                          " absent in version " + std::to_string(v));
 }
 
-Status VersionedStore::Put(ItemId item, Version v, int64_t value, TxnId writer,
-                           SimTime t) {
-  Chain& chain = items_[item];
-  if (VersionedValue* existing = Find(chain, v)) {
-    existing->value = value;
-    existing->deleted = false;
-    existing->writer = writer;
-    existing->write_time = t;
-    return Status::Ok();
+Status VersionedStore::Put(ItemId item, Version v, int64_t value,
+                           TxnId /*writer*/, SimTime /*t*/) {
+  Payload& p = table_.payload_at(table_.GetOrInsert(item));
+  if (p.count > 0 && v <= p.newest_version) {
+    if (v == p.newest_version) {
+      // Overwrite of the newest version — the dominant write shape (a
+      // transaction re-writing its own uncommitted version). The header
+      // cache identifies the target without scanning the chain, and is
+      // updated in place instead of re-read via SyncNewest().
+      VersionedValue& n = p.data()[p.count - 1];
+      n.value = value;
+      n.deleted = false;
+      p.newest_value = value;
+      p.newest_deleted = false;
+      return Status::Ok();
+    }
+    // v < newest: an overwrite can only match an interior entry, which
+    // leaves the header cache untouched.
+    VersionedValue* d = p.data();
+    for (uint32_t k = 0; k + 1 < p.count; ++k) {
+      if (d[k].version == v) {
+        d[k].value = value;
+        d[k].deleted = false;
+        return Status::Ok();
+      }
+    }
   }
+  // v is new for this item (chains are version-sorted, so v > newest needs
+  // no duplicate scan).
   if (max_live_versions_ > 0 &&
-      static_cast<int>(chain.size()) >= max_live_versions_) {
+      static_cast<int>(p.count) >= max_live_versions_) {
     return Status::Internal(
         "version bound violated: item " + std::to_string(item) + " already has " +
-        std::to_string(chain.size()) + " live versions; cannot create v" +
+        std::to_string(p.count) + " live versions; cannot create v" +
         std::to_string(v));
   }
   VersionedValue vv;
   vv.version = v;
   vv.value = value;
-  vv.writer = writer;
-  vv.write_time = t;
-  chain.insert(std::upper_bound(chain.begin(), chain.end(), v,
-                                [](Version a, const VersionedValue& b) {
-                                  return a < b.version;
-                                }),
-               vv);
+  p.InsertSorted(vv);
+  p.SyncNewest();
   ++total_versions_;
-  NoteChainSize(chain.size());
+  NoteChainResize(p.count - 1, p.count);
   return Status::Ok();
 }
 
 Status VersionedStore::MarkDeleted(ItemId item, Version v, TxnId writer,
                                    SimTime t) {
   AVA3_RETURN_IF_ERROR(Put(item, v, 0, writer, t));
-  Chain& chain = items_[item];
-  VersionedValue* vv = Find(chain, v);
-  vv->deleted = true;
-  // The paper removes the object outright when v is its only version; we
-  // keep the marker until garbage collection instead, because an
-  // *uncommitted* in-place delete may still be undone or moved to another
-  // version (moveToFuture), which requires the slot to exist. GC drops
-  // markers with nothing older to shadow.
+  Payload& p = table_.payload_at(table_.Find(item));
+  VersionedValue* d = p.data();
+  for (uint32_t k = 0; k < p.count; ++k) {
+    if (d[k].version == v) {
+      // The paper removes the object outright when v is its only version; we
+      // keep the marker until garbage collection instead, because an
+      // *uncommitted* in-place delete may still be undone or moved to another
+      // version (moveToFuture), which requires the slot to exist. GC drops
+      // markers with nothing older to shadow.
+      d[k].deleted = true;
+      p.SyncNewest();
+      break;
+    }
+  }
   return Status::Ok();
 }
 
 Status VersionedStore::DropVersion(ItemId item, Version v) {
-  auto it = items_.find(item);
-  if (it == items_.end()) {
+  const size_t i = table_.Find(item);
+  if (i == kNpos) {
     return Status::NotFound("item " + std::to_string(item) + " absent");
   }
-  Chain& chain = it->second;
-  for (auto cit = chain.begin(); cit != chain.end(); ++cit) {
-    if (cit->version == v) {
-      chain.erase(cit);
+  Payload& p = table_.payload_at(i);
+  const VersionedValue* d = p.data();
+  for (uint32_t k = 0; k < p.count; ++k) {
+    if (d[k].version == v) {
+      const uint32_t before = p.count;
+      p.EraseAt(k);
+      p.SyncNewest();
       --total_versions_;
-      if (chain.empty()) items_.erase(it);
+      NoteChainResize(before, p.count);
+      if (p.count == 0) table_.EraseAt(i);
       return Status::Ok();
     }
   }
@@ -139,71 +253,83 @@ Status VersionedStore::DropVersion(ItemId item, Version v) {
 }
 
 Status VersionedStore::RelabelVersion(ItemId item, Version from, Version to) {
-  auto it = items_.find(item);
-  if (it == items_.end()) {
+  const size_t i = table_.Find(item);
+  if (i == kNpos) {
     return Status::NotFound("item " + std::to_string(item) + " absent");
   }
-  Chain& chain = it->second;
-  if (Find(chain, to) != nullptr) {
-    return Status::AlreadyExists("item " + std::to_string(item) +
-                                 " already exists in version " +
-                                 std::to_string(to));
+  Payload& p = table_.payload_at(i);
+  VersionedValue* d = p.data();
+  uint32_t from_index = p.count;
+  for (uint32_t k = 0; k < p.count; ++k) {
+    if (d[k].version == to) {
+      return Status::AlreadyExists("item " + std::to_string(item) +
+                                   " already exists in version " +
+                                   std::to_string(to));
+    }
+    if (d[k].version == from) from_index = k;
   }
-  VersionedValue* vv = Find(chain, from);
-  if (vv == nullptr) {
+  if (from_index == p.count) {
     return Status::NotFound("item " + std::to_string(item) +
                             " absent in version " + std::to_string(from));
   }
-  vv->version = to;
-  std::sort(chain.begin(), chain.end(),
-            [](const VersionedValue& a, const VersionedValue& b) {
-              return a.version < b.version;
-            });
+  d[from_index].version = to;
+  std::sort(d, d + p.count, VersionLess);
+  p.SyncNewest();
   return Status::Ok();
 }
 
 GcStats VersionedStore::GarbageCollect(Version g, Version newq) {
   GcStats stats;
+  // Sequential slot-order sweep: every per-item action here (drop/relabel,
+  // marker removal, integer stat and histogram updates) commutes across
+  // items, so the visit order is unobservable — and slot order is itself a
+  // pure function of the operation history, so replays stay bit-identical.
+  // Walking slots sequentially instead of in ascending-ItemId order turns
+  // the pass from a random walk over the table into a linear sweep.
+  // Chain edits never move slots; empty items are unlinked afterwards.
   std::vector<ItemId> to_remove;
-  for (auto& [item, chain] : items_) {
-    const bool in_newq = Find(chain, newq) != nullptr;
-    const bool in_g = Find(chain, g) != nullptr;
-    if (in_g) {
+  for (size_t i = 0, cap = table_.capacity(); i < cap; ++i) {
+    if (!table_.occupied(i)) continue;
+    Payload& p = table_.payload_at(i);
+    VersionedValue* d = p.data();
+    uint32_t g_index = p.count;
+    bool in_newq = false;
+    for (uint32_t k = 0; k < p.count; ++k) {
+      if (d[k].version == g) g_index = k;
+      if (d[k].version == newq) in_newq = true;
+    }
+    if (g_index != p.count) {
       if (in_newq) {
         // Newer committed state exists: drop the obsolete copy.
-        for (auto cit = chain.begin(); cit != chain.end(); ++cit) {
-          if (cit->version == g) {
-            chain.erase(cit);
-            --total_versions_;
-            ++stats.versions_dropped;
-            break;
-          }
-        }
+        const uint32_t before = p.count;
+        p.EraseAt(g_index);
+        --total_versions_;
+        ++stats.versions_dropped;
+        NoteChainResize(before, p.count);
       } else {
         // Item unchanged during the last update epoch: carry it forward by
         // renaming the copy (paper: "changes the number of the oldq version
         // of x to version newq").
-        VersionedValue* vv = Find(chain, g);
-        vv->version = newq;
-        std::sort(chain.begin(), chain.end(),
-                  [](const VersionedValue& a, const VersionedValue& b) {
-                    return a.version < b.version;
-                  });
+        d[g_index].version = newq;
+        std::sort(d, d + p.count, VersionLess);
         ++stats.versions_relabeled;
       }
     }
     // A deletion marker at the oldest remaining position has no older
     // version left to shadow: it can be physically removed now.
-    while (!chain.empty() && chain.front().deleted &&
-           chain.front().version <= newq) {
-      chain.erase(chain.begin());
+    while (p.count > 0 && p.data()[0].deleted &&
+           p.data()[0].version <= newq) {
+      const uint32_t before = p.count;
+      p.EraseAt(0);
       --total_versions_;
       ++stats.versions_dropped;
+      NoteChainResize(before, p.count);
     }
-    if (chain.empty()) to_remove.push_back(item);
+    p.SyncNewest();
+    if (p.count == 0) to_remove.push_back(table_.key_at(i));
   }
   for (ItemId item : to_remove) {
-    items_.erase(item);
+    table_.Erase(item);
     ++stats.items_removed;
   }
   return stats;
@@ -211,59 +337,95 @@ GcStats VersionedStore::GarbageCollect(Version g, Version newq) {
 
 std::unique_ptr<VersionedStore> VersionedStore::Clone() const {
   auto copy = std::make_unique<VersionedStore>(max_live_versions_);
-  copy->items_ = items_;
-  copy->total_versions_ = total_versions_;
   copy->max_live_observed_ = max_live_observed_;
+  copy->cur_max_chain_ = cur_max_chain_;
+  copy->total_versions_ = total_versions_;
+  copy->chain_hist_ = chain_hist_;
+  copy->table_.CopyFrom(table_, [](const Payload& s) {
+    Payload t;
+    t.count = s.count;
+    t.newest_version = s.newest_version;
+    t.newest_value = s.newest_value;
+    t.newest_deleted = s.newest_deleted;
+    if (s.overflow) {
+      t.overflow = std::make_unique<std::vector<VersionedValue>>(*s.overflow);
+    } else {
+      std::copy(s.inline_chain, s.inline_chain + s.count, t.inline_chain);
+    }
+    return t;
+  });
   return copy;
 }
 
 bool VersionedStore::ContentEquals(const VersionedStore& other) const {
-  if (items_.size() != other.items_.size()) return false;
-  for (const auto& [item, chain] : items_) {
-    auto it = other.items_.find(item);
-    if (it == other.items_.end() || it->second.size() != chain.size()) {
-      return false;
+  if (table_.size() != other.table_.size()) return false;
+  bool equal = true;
+  table_.ForEachRaw([&](ItemId item, const Payload& p) {
+    if (!equal) return;
+    const size_t j = other.table_.Find(item);
+    if (j == kNpos || other.table_.payload_at(j).count != p.count) {
+      equal = false;
+      return;
     }
-    for (size_t i = 0; i < chain.size(); ++i) {
-      const VersionedValue& a = chain[i];
-      const VersionedValue& b = it->second[i];
-      if (a.version != b.version || a.deleted != b.deleted ||
-          (!a.deleted && a.value != b.value)) {
-        return false;
+    const VersionedValue* a = p.data();
+    const VersionedValue* b = other.table_.payload_at(j).data();
+    for (uint32_t k = 0; k < p.count; ++k) {
+      if (a[k].version != b[k].version || a[k].deleted != b[k].deleted ||
+          (!a[k].deleted && a[k].value != b[k].value)) {
+        equal = false;
+        return;
       }
     }
-  }
-  return true;
+  });
+  return equal;
 }
 
 int VersionedStore::PruneItem(ItemId item, Version watermark) {
-  auto it = items_.find(item);
-  if (it == items_.end()) return 0;
-  Chain& chain = it->second;
+  const size_t i = table_.Find(item);
+  if (i == kNpos) return 0;
+  Payload& p = table_.payload_at(i);
+  const VersionedValue* d = p.data();
   // Find the newest version <= watermark; everything older is invisible to
   // every active and future snapshot.
   int keep_from = -1;
-  for (int i = static_cast<int>(chain.size()) - 1; i >= 0; --i) {
-    if (chain[static_cast<size_t>(i)].version <= watermark) {
-      keep_from = i;
+  for (int k = static_cast<int>(p.count) - 1; k >= 0; --k) {
+    if (d[k].version <= watermark) {
+      keep_from = k;
       break;
     }
   }
   if (keep_from <= 0) return 0;
-  chain.erase(chain.begin(), chain.begin() + keep_from);
+  const uint32_t before = p.count;
+  if (p.overflow) {
+    p.overflow->erase(p.overflow->begin(), p.overflow->begin() + keep_from);
+    p.count -= static_cast<uint32_t>(keep_from);
+    if (p.count <= static_cast<uint32_t>(kInlineChain)) {
+      std::copy(p.overflow->begin(), p.overflow->end(), p.inline_chain);
+      p.overflow.reset();
+    }
+  } else {
+    for (uint32_t k = 0; k + keep_from < p.count; ++k) {
+      p.inline_chain[k] = p.inline_chain[k + keep_from];
+    }
+    p.count -= static_cast<uint32_t>(keep_from);
+  }
+  p.SyncNewest();
   total_versions_ -= keep_from;
+  NoteChainResize(before, p.count);
   return keep_from;
 }
 
 void VersionedStore::ForEachItem(
-    const std::function<void(ItemId, const std::vector<VersionedValue>&)>& fn)
+    const std::function<void(ItemId, std::span<const VersionedValue>)>& fn)
     const {
-  for (const auto& [item, chain] : items_) fn(item, chain);
+  for (const auto& [item, i] : table_.SortedSlots()) {
+    fn(item, table_.payload_at(i).chain());
+  }
 }
 
 int VersionedStore::LiveVersions(ItemId item) const {
-  auto it = items_.find(item);
-  return it == items_.end() ? 0 : static_cast<int>(it->second.size());
+  const size_t i = table_.Find(item);
+  return i == kNpos ? 0 : static_cast<int>(table_.payload_at(i).count);
 }
 
 }  // namespace ava3::store

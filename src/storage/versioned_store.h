@@ -5,22 +5,26 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "common/status.h"
 #include "common/types.h"
 
 namespace ava3::store {
 
-/// One physical version of a data item.
+/// One physical version of a data item. Deliberately 24 bytes: only the
+/// fields reads return live in the chain. Writer identity and commit time
+/// are tracked by the history oracle (verify::Mvsg records them per
+/// write), not by the store — recovery replay cannot reproduce them
+/// anyway (see ContentEquals), so retaining them here would bloat every
+/// hot chain entry with metadata that is never read back.
 struct VersionedValue {
   Version version = kInvalidVersion;
   int64_t value = 0;
   bool deleted = false;      // deletion marker (paper Section 3.1)
-  TxnId writer = kInvalidTxn;
-  SimTime write_time = 0;    // commit time of the writing transaction
 };
 
 /// Result of a versioned read.
@@ -42,8 +46,35 @@ struct GcStats {
 ///
 /// Supports the two index questions the paper requires answered
 /// efficiently (Section 3): (1) does item x exist in version v, and
-/// (2) what is the maximum existing version of x. Versions per item are kept
-/// sorted ascending in a small vector.
+/// (2) what is the maximum existing version of x.
+///
+/// Layout (DESIGN.md S16): an open-addressing flat hash table keyed by
+/// ItemId — power-of-two capacity, linear probing, backward-shift deletion —
+/// whose slots interleave the key with the item's version chain, embedded
+/// inline. AVA3's protocol invariant is that chains never exceed 3 live
+/// versions, so each slot carries space for kInlineChain = 4 versions
+/// (3 live + 1 transient during Phase-3 relabel / moveToFuture overlap)
+/// with no per-item heap node and no per-chain vector allocation. Chains
+/// that outgrow the inline capacity (only the unbounded MVU baseline does
+/// this) spill to a heap-allocated overflow vector and migrate back inline
+/// when they shrink.
+///
+/// Each slot additionally caches the (version, value, deleted) triple of
+/// the item's *newest* version in its header, directly after the key —
+/// reads at or above the newest version (the overwhelmingly common case:
+/// queries read at q_i which covers most items' newest, updates read
+/// current state) are served from the same cache line the probe already
+/// loaded, never touching the chain. The cache is refreshed by every
+/// chain mutation; the differential fuzzer cross-checks it against a
+/// std::map reference store on every operation.
+///
+/// Iteration contract: `ForEachItem` visits items in ascending ItemId
+/// order — a deterministic order independent of hash capacity, insertion
+/// history, and standard-library version, so replays and golden
+/// fingerprints survive the layout. `GarbageCollect` sweeps slots in table
+/// order instead: its per-item edits commute across items, and slot order
+/// is a pure function of the operation history, so the sweep replays
+/// bit-identically while staying a linear pass over memory.
 ///
 /// `max_live_versions` enforces the protocol's version bound: 3 for AVA3,
 /// 1 for the single-version S2PL baseline, 4 for FOURV, 0 (unbounded) for
@@ -52,6 +83,10 @@ struct GcStats {
 /// fires.
 class VersionedStore {
  public:
+  /// Inline chain capacity per slot: the AVA3/FOURV bound plus one
+  /// transient version (relabel-in-flight or moveToFuture overlap).
+  static constexpr int kInlineChain = 4;
+
   explicit VersionedStore(int max_live_versions)
       : max_live_versions_(max_live_versions) {}
 
@@ -72,7 +107,9 @@ class VersionedStore {
   /// Creates or overwrites version v of item x with `value`.
   /// Overwriting an existing version is allowed only for the same or a new
   /// writer holding the exclusive lock (enforced by the caller); the store
-  /// checks only the live-version bound.
+  /// checks only the live-version bound. `writer`/`t` identify the writing
+  /// transaction for the caller's history accounting; the store does not
+  /// retain them (see VersionedValue).
   Status Put(ItemId item, Version v, int64_t value, TxnId writer, SimTime t);
 
   /// Marks item x as deleted in version v (paper: deletion is modeled by a
@@ -90,6 +127,8 @@ class VersionedStore {
   /// exists in version newq, drop version g of x (if present); otherwise
   /// relabel x's version g (if present) to newq. Items whose only remaining
   /// version is a deletion marker at newq (with nothing older) are removed.
+  /// Sweeps slots in table order (see the class comment's iteration
+  /// contract); the per-item edits commute, so the order is unobservable.
   GcStats GarbageCollect(Version g, Version newq);
 
   /// Timestamp-chain pruning for the unbounded-multiversioning baseline:
@@ -98,11 +137,11 @@ class VersionedStore {
   /// the number of versions dropped.
   int PruneItem(ItemId item, Version watermark);
 
-  /// Iterates all items; `fn(item, versions)` with versions sorted
-  /// ascending. Used by the verifier and by scans.
+  /// Iterates all items in ascending ItemId order; `fn(item, versions)`
+  /// with versions sorted ascending. Used by the verifier and by scans.
   void ForEachItem(
-      const std::function<void(ItemId, const std::vector<VersionedValue>&)>&
-          fn) const;
+      const std::function<void(ItemId, std::span<const VersionedValue>)>& fn)
+      const;
 
   /// Deep copy (checkpoints and recovery replay).
   std::unique_ptr<VersionedStore> Clone() const;
@@ -118,7 +157,7 @@ class VersionedStore {
     max_live_observed_ = std::max(max_live_observed_, hwm);
   }
 
-  size_t NumItems() const { return items_.size(); }
+  size_t NumItems() const { return table_.size(); }
   /// Number of live versions of an item (0 if absent).
   int LiveVersions(ItemId item) const;
   /// Total physical versions across all items.
@@ -126,32 +165,79 @@ class VersionedStore {
   /// High-water mark of per-item live versions over the store's lifetime.
   int MaxLiveVersionsObserved() const { return max_live_observed_; }
   /// Current (instantaneous) largest live-version chain — the time-series
-  /// gauge behind the paper's "at most three versions" bound. O(items).
-  int CurrentMaxLiveVersions() const {
-    size_t m = 0;
-    for (const auto& [item, chain] : items_) m = std::max(m, chain.size());
-    return static_cast<int>(m);
-  }
+  /// gauge behind the paper's "at most three versions" bound. O(1):
+  /// maintained incrementally via a chain-size histogram (tests pin it
+  /// against the brute-force scan).
+  int CurrentMaxLiveVersions() const { return cur_max_chain_; }
   /// Configured bound (0 = unbounded).
   int max_live_versions() const { return max_live_versions_; }
 
  private:
-  using Chain = std::vector<VersionedValue>;  // sorted ascending by version
+  /// Per-item payload: the inline version chain, sorted ascending by
+  /// version. Chains longer than kInlineChain live in `overflow` (engaged
+  /// iff count > kInlineChain); the inline array is dead while overflow is
+  /// engaged. The owning ItemId is interleaved directly before the payload
+  /// in the table slot (`kInvalidItem` marks an empty slot; workload
+  /// ItemIds are non-negative).
+  ///
+  /// Field order is deliberate: the newest-version cache and `count` sit
+  /// first so that together with the preceding key they form a ~32-byte
+  /// slot header — the only bytes a newest-version read touches.
+  struct Payload {
+    /// Cache of data()[count-1]'s (version, value, deleted) — the fields a
+    /// read returns. Valid iff count > 0; refreshed by SyncNewest() after
+    /// every chain mutation.
+    Version newest_version = kInvalidVersion;
+    int64_t newest_value = 0;
+    uint32_t count = 0;
+    bool newest_deleted = false;
+    VersionedValue inline_chain[kInlineChain];
+    std::unique_ptr<std::vector<VersionedValue>> overflow;
 
-  // Returns the chain slot for (item, v) or nullptr.
-  static const VersionedValue* Find(const Chain& chain, Version v);
-  static VersionedValue* Find(Chain& chain, Version v);
-
-  void NoteChainSize(size_t n) {
-    if (static_cast<int>(n) > max_live_observed_) {
-      max_live_observed_ = static_cast<int>(n);
+    // `count` discriminates instead of testing `overflow` so the common
+    // (inline) case never touches the overflow pointer's cache line.
+    VersionedValue* data() {
+      return count <= static_cast<uint32_t>(kInlineChain) ? inline_chain
+                                                          : overflow->data();
     }
-  }
+    const VersionedValue* data() const {
+      return count <= static_cast<uint32_t>(kInlineChain) ? inline_chain
+                                                          : overflow->data();
+    }
+    std::span<const VersionedValue> chain() const {
+      return {data(), count};
+    }
+    /// Inserts keeping ascending version order; spills to overflow when the
+    /// inline capacity is exceeded.
+    void InsertSorted(const VersionedValue& vv);
+    /// Erases the version at `index`; migrates back inline when the chain
+    /// shrinks to fit.
+    void EraseAt(uint32_t index);
+    /// Refreshes the newest-version header cache from the chain tail. Must
+    /// be called after any mutation that can change data()[count-1].
+    void SyncNewest() {
+      if (count > 0) {
+        const VersionedValue& n = data()[count - 1];
+        newest_version = n.version;
+        newest_value = n.value;
+        newest_deleted = n.deleted;
+      }
+    }
+  };
+
+  /// Records a chain-size transition `from` -> `to` in the histogram that
+  /// backs the O(1) CurrentMaxLiveVersions gauge, and bumps the lifetime
+  /// high-water mark.
+  void NoteChainResize(uint32_t from, uint32_t to);
 
   int max_live_versions_;
   int max_live_observed_ = 0;
+  int cur_max_chain_ = 0;
   int64_t total_versions_ = 0;
-  std::unordered_map<ItemId, Chain> items_;
+  common::FlatTable<Payload> table_;
+  /// chain_hist_[n] = number of items whose chain has exactly n versions
+  /// (n >= 1; absent items are not counted).
+  std::vector<int64_t> chain_hist_;
 };
 
 }  // namespace ava3::store

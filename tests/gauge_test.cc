@@ -1,0 +1,259 @@
+// Regression tests for the O(1) incremental gauges the time-series sampler
+// reads every tick: VersionedStore::CurrentMaxLiveVersions (chain-size
+// histogram with a lazily-walked maximum) and LockManager::WaitingCount
+// (queue-depth counter). Each gauge is pinned against its brute-force
+// oracle through chain growth/shrink, table erases, Clone, the recovery
+// store swap (InheritMaxLiveObserved), lock cancellation, and Reset. Also
+// asserts the Reset() delivery contract: no grant or abort callback from
+// the pre-reset lock table ever fires.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "lock/lock_manager.h"
+#include "runtime/sim_runtime.h"
+#include "sim/simulator.h"
+#include "storage/versioned_store.h"
+#include "reference_store.h"
+
+namespace ava3 {
+namespace {
+
+using store::VersionedStore;
+
+/// Brute-force gauge scan via the public iteration API.
+int MaxChainScan(const VersionedStore& st) {
+  size_t m = 0;
+  st.ForEachItem([&](ItemId, std::span<const store::VersionedValue> chain) {
+    m = std::max(m, chain.size());
+  });
+  return static_cast<int>(m);
+}
+
+TEST(StoreGaugeTest, TracksGrowthAndLazyDecay) {
+  VersionedStore st(0);
+  EXPECT_EQ(st.CurrentMaxLiveVersions(), 0);
+  ASSERT_TRUE(st.Put(1, 0, 10, 1, 0).ok());
+  EXPECT_EQ(st.CurrentMaxLiveVersions(), 1);
+  for (Version v = 1; v < 6; ++v) ASSERT_TRUE(st.Put(1, v, 10, 1, 0).ok());
+  EXPECT_EQ(st.CurrentMaxLiveVersions(), 6);
+  ASSERT_TRUE(st.Put(2, 0, 20, 1, 0).ok());
+  ASSERT_TRUE(st.Put(2, 1, 20, 1, 0).ok());
+  // Shrinking the longest chain must walk the gauge down to the runner-up,
+  // not just decrement: 6 -> (drop to 3 versions) -> 3.
+  for (Version v = 5; v >= 3; --v) ASSERT_TRUE(st.DropVersion(1, v).ok());
+  EXPECT_EQ(st.CurrentMaxLiveVersions(), 3);
+  EXPECT_EQ(st.CurrentMaxLiveVersions(), MaxChainScan(st));
+  // Removing the item entirely leaves item 2's chain as the maximum.
+  for (Version v = 0; v < 3; ++v) ASSERT_TRUE(st.DropVersion(1, v).ok());
+  EXPECT_EQ(st.CurrentMaxLiveVersions(), 2);
+  ASSERT_TRUE(st.DropVersion(2, 0).ok());
+  ASSERT_TRUE(st.DropVersion(2, 1).ok());
+  EXPECT_EQ(st.CurrentMaxLiveVersions(), 0);
+  EXPECT_EQ(st.MaxLiveVersionsObserved(), 6);  // high-water mark sticks
+}
+
+TEST(StoreGaugeTest, RandomOpsMatchBruteForceScan) {
+  Rng rng(99);
+  VersionedStore st(0);
+  Version g = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const ItemId item = static_cast<ItemId>(rng.Uniform(32));
+    const Version v = g + static_cast<Version>(rng.Uniform(5));
+    switch (rng.Uniform(5)) {
+      case 0:
+      case 1:
+        (void)st.Put(item, v, step, 1, step);
+        break;
+      case 2:
+        (void)st.DropVersion(item, v);
+        break;
+      case 3:
+        (void)st.MarkDeleted(item, v, 1, step);
+        break;
+      default:
+        if (rng.Uniform(8) == 0) {
+          st.GarbageCollect(g, g + 1);
+          ++g;
+        } else {
+          (void)st.PruneItem(item, g + 1);
+        }
+        break;
+    }
+    ASSERT_EQ(st.CurrentMaxLiveVersions(), MaxChainScan(st))
+        << "gauge diverged at step " << step;
+  }
+}
+
+TEST(StoreGaugeTest, CloneCarriesGaugeAndHighWaterMark) {
+  VersionedStore st(3);
+  ASSERT_TRUE(st.Put(7, 0, 1, 1, 0).ok());
+  ASSERT_TRUE(st.Put(7, 1, 1, 1, 0).ok());
+  ASSERT_TRUE(st.Put(7, 2, 1, 1, 0).ok());
+  ASSERT_TRUE(st.DropVersion(7, 0).ok());
+  auto copy = st.Clone();
+  EXPECT_EQ(copy->CurrentMaxLiveVersions(), st.CurrentMaxLiveVersions());
+  EXPECT_EQ(copy->MaxLiveVersionsObserved(), st.MaxLiveVersionsObserved());
+  // The clone's gauge keeps evolving correctly on its own histogram.
+  ASSERT_TRUE(copy->DropVersion(7, 1).ok());
+  EXPECT_EQ(copy->CurrentMaxLiveVersions(), 1);
+  EXPECT_EQ(st.CurrentMaxLiveVersions(), 2);
+}
+
+TEST(StoreGaugeTest, RecoverySwapInheritsHighWaterMarkNotGauge) {
+  // Mirrors EngineBase::ReplaceStore: a replayed store starts empty, takes
+  // over the lifetime high-water mark, and its *instantaneous* gauge
+  // reflects only replayed content.
+  VersionedStore old_store(3);
+  for (Version v = 0; v < 3; ++v) {
+    ASSERT_TRUE(old_store.Put(1, v, 0, 1, 0).ok());
+  }
+  ASSERT_EQ(old_store.MaxLiveVersionsObserved(), 3);
+
+  VersionedStore replayed(3);
+  ASSERT_TRUE(replayed.Put(1, 2, 0, 1, 0).ok());
+  replayed.InheritMaxLiveObserved(old_store.MaxLiveVersionsObserved());
+  EXPECT_EQ(replayed.MaxLiveVersionsObserved(), 3);
+  EXPECT_EQ(replayed.CurrentMaxLiveVersions(), 1);
+  EXPECT_EQ(replayed.CurrentMaxLiveVersions(), MaxChainScan(replayed));
+  // Inheriting a smaller mark never lowers the current one.
+  replayed.InheritMaxLiveObserved(1);
+  EXPECT_EQ(replayed.MaxLiveVersionsObserved(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-table gauge + Reset delivery contract
+// ---------------------------------------------------------------------------
+
+class LockGaugeTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  rt::SimRuntime rt_{&sim_};
+  lock::LockManager lm_{&rt_, 0};
+
+  void ExpectGauge(int expected) {
+    EXPECT_EQ(lm_.WaitingCount(), expected);
+    EXPECT_EQ(lm_.WaitingCount(), lm_.WaitingCountSlow());
+  }
+};
+
+TEST_F(LockGaugeTest, WaitingCountTracksQueueLifecycle) {
+  using lock::AcquireResult;
+  using lock::LockMode;
+  ExpectGauge(0);
+  EXPECT_EQ(lm_.Acquire(1, 7, LockMode::kExclusive, [](Status) {}),
+            AcquireResult::kGranted);
+  ExpectGauge(0);  // immediate grants never count
+  EXPECT_EQ(lm_.Acquire(2, 7, LockMode::kExclusive, [](Status) {}),
+            AcquireResult::kWaiting);
+  EXPECT_EQ(lm_.Acquire(3, 7, LockMode::kShared, [](Status) {}),
+            AcquireResult::kWaiting);
+  EXPECT_EQ(lm_.Acquire(3, 8, LockMode::kShared, [](Status) {}),
+            AcquireResult::kGranted);
+  ExpectGauge(2);
+  // An upgrade wait (front of queue) counts like any other wait.
+  EXPECT_EQ(lm_.Acquire(4, 8, LockMode::kShared, [](Status) {}),
+            AcquireResult::kGranted);
+  EXPECT_EQ(lm_.Acquire(3, 8, LockMode::kExclusive, [](Status) {}),
+            AcquireResult::kWaiting);
+  ExpectGauge(3);
+  lm_.ReleaseAll(1);  // grants txn 2; txn 3 still queued behind it
+  sim_.Run();
+  ExpectGauge(2);
+  lm_.CancelWaiter(3);  // cancels both of txn 3's waits
+  sim_.Run();
+  ExpectGauge(0);
+  lm_.ReleaseAll(2);
+  lm_.ReleaseAll(3);
+  lm_.ReleaseAll(4);
+  sim_.Run();
+  ExpectGauge(0);
+}
+
+TEST_F(LockGaugeTest, ReleaseAllDropsOwnQueuedRequestsFromGauge) {
+  using lock::AcquireResult;
+  using lock::LockMode;
+  EXPECT_EQ(lm_.Acquire(1, 5, LockMode::kExclusive, [](Status) {}),
+            AcquireResult::kGranted);
+  EXPECT_EQ(lm_.Acquire(2, 5, LockMode::kExclusive, [](Status) {}),
+            AcquireResult::kWaiting);
+  ExpectGauge(1);
+  lm_.ReleaseAll(2);  // abandons its own wait (no callback)
+  sim_.Run();
+  ExpectGauge(0);
+  EXPECT_TRUE(lm_.Holds(1, 5, LockMode::kExclusive));
+}
+
+TEST_F(LockGaugeTest, ResetZeroesGaugeAndTable) {
+  using lock::AcquireResult;
+  using lock::LockMode;
+  EXPECT_EQ(lm_.Acquire(1, 5, LockMode::kExclusive, [](Status) {}),
+            AcquireResult::kGranted);
+  EXPECT_EQ(lm_.Acquire(2, 5, LockMode::kExclusive, [](Status) {}),
+            AcquireResult::kWaiting);
+  ExpectGauge(1);
+  lm_.Reset();
+  ExpectGauge(0);
+  EXPECT_FALSE(lm_.Holds(1, 5, LockMode::kExclusive));
+  EXPECT_FALSE(lm_.HasAnyLockOrWait(1));
+  EXPECT_FALSE(lm_.HasAnyLockOrWait(2));
+}
+
+TEST_F(LockGaugeTest, NoGrantFiresAfterReset) {
+  // Crash contract (see LockManager::Reset): a grant already scheduled as
+  // a zero-delay timer must be cancelled by Reset, or it would fire into
+  // the recovered engine and resurrect a dead transaction.
+  using lock::AcquireResult;
+  using lock::LockMode;
+  int fired = 0;
+  EXPECT_EQ(lm_.Acquire(1, 5, LockMode::kExclusive, [](Status) {}),
+            AcquireResult::kGranted);
+  EXPECT_EQ(lm_.Acquire(2, 5, LockMode::kExclusive,
+                        [&fired](Status) { ++fired; }),
+            AcquireResult::kWaiting);
+  lm_.ReleaseAll(1);  // schedules txn 2's grant as a zero-delay timer
+  lm_.Reset();        // crash before the event loop runs it
+  sim_.Run();
+  EXPECT_EQ(fired, 0) << "grant delivered from a pre-reset lock table";
+}
+
+TEST_F(LockGaugeTest, NoCancellationFiresAfterReset) {
+  using lock::AcquireResult;
+  using lock::LockMode;
+  int fired = 0;
+  EXPECT_EQ(lm_.Acquire(1, 5, LockMode::kExclusive, [](Status) {}),
+            AcquireResult::kGranted);
+  EXPECT_EQ(lm_.Acquire(2, 5, LockMode::kExclusive,
+                        [&fired](Status) { ++fired; }),
+            AcquireResult::kWaiting);
+  lm_.CancelWaiter(2);  // schedules the Aborted delivery
+  lm_.Reset();          // crash before it runs
+  sim_.Run();
+  EXPECT_EQ(fired, 0) << "abort delivered from a pre-reset lock table";
+}
+
+TEST_F(LockGaugeTest, GrantsBeforeResetStillFireNormally) {
+  // Sanity: Reset only suppresses *pending* deliveries; an already-run
+  // grant is untouched, and post-reset traffic works from a clean slate.
+  using lock::AcquireResult;
+  using lock::LockMode;
+  int fired = 0;
+  EXPECT_EQ(lm_.Acquire(1, 5, LockMode::kExclusive, [](Status) {}),
+            AcquireResult::kGranted);
+  EXPECT_EQ(lm_.Acquire(2, 5, LockMode::kExclusive,
+                        [&fired](Status s) { fired += s.ok() ? 1 : 0; }),
+            AcquireResult::kWaiting);
+  lm_.ReleaseAll(1);
+  sim_.Run();  // grant delivered
+  EXPECT_EQ(fired, 1);
+  lm_.Reset();
+  EXPECT_EQ(lm_.Acquire(3, 5, LockMode::kExclusive, [](Status) {}),
+            AcquireResult::kGranted);
+  ExpectGauge(0);
+}
+
+}  // namespace
+}  // namespace ava3

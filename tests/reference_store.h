@@ -1,0 +1,270 @@
+#ifndef AVA3_TESTS_REFERENCE_STORE_H_
+#define AVA3_TESTS_REFERENCE_STORE_H_
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/versioned_store.h"
+
+namespace ava3::store::testing {
+
+/// Test-only reference implementation of VersionedStore semantics on top of
+/// an ordered std::map — the differential-fuzz oracle for the flat
+/// open-addressing store. Deliberately naive: correctness-by-obviousness,
+/// no layout tricks. Mirrors the production API surface that the fuzzer
+/// drives (Put, MarkDeleted, DropVersion, RelabelVersion, GarbageCollect,
+/// PruneItem) plus the observers the fuzzer compares (reads, counts,
+/// gauges). Status strings match the production store byte-for-byte so the
+/// fuzzer can assert identical error text.
+class ReferenceStore {
+ public:
+  explicit ReferenceStore(int max_live_versions)
+      : max_live_versions_(max_live_versions) {}
+
+  bool ExistsIn(ItemId item, Version v) const {
+    auto it = items_.find(item);
+    if (it == items_.end()) return false;
+    return Find(it->second, v) != nullptr;
+  }
+
+  Version MaxVersion(ItemId item) const {
+    auto it = items_.find(item);
+    if (it == items_.end() || it->second.empty()) return kInvalidVersion;
+    return it->second.back().version;
+  }
+
+  Result<ReadResult> ReadAtMost(ItemId item, Version at_most) const {
+    auto it = items_.find(item);
+    if (it == items_.end()) {
+      return Status::NotFound("item " + std::to_string(item) + " absent");
+    }
+    const Chain& chain = it->second;
+    int scanned = 0;
+    for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+      ++scanned;
+      if (rit->version <= at_most) {
+        ReadResult out;
+        out.version = rit->version;
+        out.value = rit->value;
+        out.deleted = rit->deleted;
+        out.versions_scanned = scanned;
+        return out;
+      }
+    }
+    return Status::NotFound("item " + std::to_string(item) +
+                            " has no version <= " + std::to_string(at_most));
+  }
+
+  Result<ReadResult> ReadExact(ItemId item, Version v) const {
+    auto it = items_.find(item);
+    if (it == items_.end()) {
+      return Status::NotFound("item " + std::to_string(item) + " absent");
+    }
+    const VersionedValue* vv = Find(it->second, v);
+    if (vv == nullptr) {
+      return Status::NotFound("item " + std::to_string(item) +
+                              " absent in version " + std::to_string(v));
+    }
+    ReadResult out;
+    out.version = vv->version;
+    out.value = vv->value;
+    out.deleted = vv->deleted;
+    out.versions_scanned = 1;
+    return out;
+  }
+
+  Status Put(ItemId item, Version v, int64_t value, TxnId /*writer*/,
+             SimTime /*t*/) {
+    Chain& chain = items_[item];
+    if (VersionedValue* existing = Find(chain, v)) {
+      existing->value = value;
+      existing->deleted = false;
+      return Status::Ok();
+    }
+    if (max_live_versions_ > 0 &&
+        static_cast<int>(chain.size()) >= max_live_versions_) {
+      return Status::Internal("version bound violated: item " +
+                              std::to_string(item) + " already has " +
+                              std::to_string(chain.size()) +
+                              " live versions; cannot create v" +
+                              std::to_string(v));
+    }
+    VersionedValue vv;
+    vv.version = v;
+    vv.value = value;
+    chain.insert(std::upper_bound(chain.begin(), chain.end(), v,
+                                  [](Version a, const VersionedValue& b) {
+                                    return a < b.version;
+                                  }),
+                 vv);
+    ++total_versions_;
+    return Status::Ok();
+  }
+
+  Status MarkDeleted(ItemId item, Version v, TxnId writer, SimTime t) {
+    AVA3_RETURN_IF_ERROR(Put(item, v, 0, writer, t));
+    VersionedValue* vv = Find(items_[item], v);
+    vv->deleted = true;
+    return Status::Ok();
+  }
+
+  Status DropVersion(ItemId item, Version v) {
+    auto it = items_.find(item);
+    if (it == items_.end()) {
+      return Status::NotFound("item " + std::to_string(item) + " absent");
+    }
+    Chain& chain = it->second;
+    for (auto cit = chain.begin(); cit != chain.end(); ++cit) {
+      if (cit->version == v) {
+        chain.erase(cit);
+        --total_versions_;
+        if (chain.empty()) items_.erase(it);
+        return Status::Ok();
+      }
+    }
+    return Status::NotFound("item " + std::to_string(item) +
+                            " absent in version " + std::to_string(v));
+  }
+
+  Status RelabelVersion(ItemId item, Version from, Version to) {
+    auto it = items_.find(item);
+    if (it == items_.end()) {
+      return Status::NotFound("item " + std::to_string(item) + " absent");
+    }
+    Chain& chain = it->second;
+    if (Find(chain, to) != nullptr) {
+      return Status::AlreadyExists("item " + std::to_string(item) +
+                                   " already exists in version " +
+                                   std::to_string(to));
+    }
+    VersionedValue* vv = Find(chain, from);
+    if (vv == nullptr) {
+      return Status::NotFound("item " + std::to_string(item) +
+                              " absent in version " + std::to_string(from));
+    }
+    vv->version = to;
+    SortChain(chain);
+    return Status::Ok();
+  }
+
+  GcStats GarbageCollect(Version g, Version newq) {
+    GcStats stats;
+    std::vector<ItemId> to_remove;
+    for (auto& [item, chain] : items_) {
+      const bool in_newq = Find(chain, newq) != nullptr;
+      if (VersionedValue* at_g = Find(chain, g)) {
+        if (in_newq) {
+          chain.erase(chain.begin() + (at_g - chain.data()));
+          --total_versions_;
+          ++stats.versions_dropped;
+        } else {
+          at_g->version = newq;
+          SortChain(chain);
+          ++stats.versions_relabeled;
+        }
+      }
+      while (!chain.empty() && chain.front().deleted &&
+             chain.front().version <= newq) {
+        chain.erase(chain.begin());
+        --total_versions_;
+        ++stats.versions_dropped;
+      }
+      if (chain.empty()) to_remove.push_back(item);
+    }
+    for (ItemId item : to_remove) {
+      items_.erase(item);
+      ++stats.items_removed;
+    }
+    return stats;
+  }
+
+  int PruneItem(ItemId item, Version watermark) {
+    auto it = items_.find(item);
+    if (it == items_.end()) return 0;
+    Chain& chain = it->second;
+    int keep_from = -1;
+    for (int i = static_cast<int>(chain.size()) - 1; i >= 0; --i) {
+      if (chain[static_cast<size_t>(i)].version <= watermark) {
+        keep_from = i;
+        break;
+      }
+    }
+    if (keep_from <= 0) return 0;
+    chain.erase(chain.begin(), chain.begin() + keep_from);
+    total_versions_ -= keep_from;
+    return keep_from;
+  }
+
+  size_t NumItems() const { return items_.size(); }
+  int64_t TotalVersionCount() const { return total_versions_; }
+
+  int LiveVersions(ItemId item) const {
+    auto it = items_.find(item);
+    return it == items_.end() ? 0 : static_cast<int>(it->second.size());
+  }
+
+  /// Brute-force gauge — what the production store must equal.
+  int CurrentMaxLiveVersions() const {
+    size_t m = 0;
+    for (const auto& [item, chain] : items_) m = std::max(m, chain.size());
+    return static_cast<int>(m);
+  }
+
+  /// Compares against the production store: same items, same
+  /// (version, value, deleted) chains.
+  bool Matches(const VersionedStore& st) const {
+    if (st.NumItems() != items_.size()) return false;
+    bool ok = true;
+    st.ForEachItem([&](ItemId item, std::span<const VersionedValue> chain) {
+      auto it = items_.find(item);
+      if (it == items_.end() || it->second.size() != chain.size()) {
+        ok = false;
+        return;
+      }
+      for (size_t i = 0; i < chain.size(); ++i) {
+        const VersionedValue& a = it->second[i];
+        const VersionedValue& b = chain[i];
+        if (a.version != b.version || a.deleted != b.deleted ||
+            (!a.deleted && a.value != b.value)) {
+          ok = false;
+          return;
+        }
+      }
+    });
+    return ok;
+  }
+
+ private:
+  using Chain = std::vector<VersionedValue>;  // sorted ascending by version
+
+  static const VersionedValue* Find(const Chain& chain, Version v) {
+    for (const auto& vv : chain) {
+      if (vv.version == v) return &vv;
+    }
+    return nullptr;
+  }
+  static VersionedValue* Find(Chain& chain, Version v) {
+    for (auto& vv : chain) {
+      if (vv.version == v) return &vv;
+    }
+    return nullptr;
+  }
+  static void SortChain(Chain& chain) {
+    std::sort(chain.begin(), chain.end(),
+              [](const VersionedValue& a, const VersionedValue& b) {
+                return a.version < b.version;
+              });
+  }
+
+  int max_live_versions_;
+  int64_t total_versions_ = 0;
+  std::map<ItemId, Chain> items_;
+};
+
+}  // namespace ava3::store::testing
+
+#endif  // AVA3_TESTS_REFERENCE_STORE_H_

@@ -1,0 +1,126 @@
+// Differential fuzz of the flat open-addressing VersionedStore against the
+// std::map ReferenceStore oracle (tests/reference_store.h). Both stores
+// consume the same random operation stream; after every operation the
+// Status results must match byte-for-byte, and the fuzzer periodically
+// (plus after every GarbageCollect) asserts full content equality, equal
+// GcStats, and equal gauges. This is the safety net for the layout tricks
+// the flat store plays: linear probing, backward-shift deletion, inline
+// chains with overflow spill/migration, and the incremental
+// CurrentMaxLiveVersions histogram.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/versioned_store.h"
+#include "reference_store.h"
+
+namespace ava3::store {
+namespace {
+
+using testing_oracle = ava3::store::testing::ReferenceStore;
+
+std::string Str(const Status& s) {
+  return std::string(StatusCodeName(s.code())) + ": " + s.message();
+}
+
+/// Fuzz parameters: (seed, max_live_versions). Bound 0 exercises the
+/// unbounded overflow path (chains spill past the inline capacity and
+/// migrate back); bounds 1/3/4 exercise the S2PL/AVA3/FOURV shapes where
+/// chains stay inline.
+class StorageDiffFuzz
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(StorageDiffFuzz, FlatStoreMatchesReferenceOracle) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const int bound = std::get<1>(GetParam());
+  Rng rng(seed);
+
+  VersionedStore st(bound);
+  testing_oracle ref(bound);
+
+  // Small key space forces probe collisions, erases with backward shifts,
+  // and table growth/shrink churn. Version space grows with GC epochs.
+  constexpr ItemId kItems = 48;
+  Version epoch_g = 0;  // oldest collectible version
+
+  auto check_full = [&](const char* when) {
+    ASSERT_TRUE(ref.Matches(st)) << "content mismatch " << when;
+    ASSERT_EQ(ref.NumItems(), st.NumItems()) << when;
+    ASSERT_EQ(ref.TotalVersionCount(), st.TotalVersionCount()) << when;
+    ASSERT_EQ(ref.CurrentMaxLiveVersions(), st.CurrentMaxLiveVersions())
+        << "gauge mismatch " << when;
+    // Clone must reproduce the content exactly (recovery checkpoints).
+    ASSERT_TRUE(st.ContentEquals(*st.Clone())) << when;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const ItemId item = static_cast<ItemId>(rng.Uniform(kItems));
+    const Version v = epoch_g + static_cast<Version>(rng.Uniform(6));
+    const uint64_t op = rng.Uniform(100);
+    if (op < 40) {
+      const int64_t value = static_cast<int64_t>(rng.Uniform(1000));
+      const Status a = st.Put(item, v, value, 1, step);
+      const Status b = ref.Put(item, v, value, 1, step);
+      ASSERT_EQ(Str(a), Str(b)) << "Put step " << step;
+    } else if (op < 50) {
+      const Status a = st.MarkDeleted(item, v, 2, step);
+      const Status b = ref.MarkDeleted(item, v, 2, step);
+      ASSERT_EQ(Str(a), Str(b)) << "MarkDeleted step " << step;
+    } else if (op < 65) {
+      const Status a = st.DropVersion(item, v);
+      const Status b = ref.DropVersion(item, v);
+      ASSERT_EQ(Str(a), Str(b)) << "DropVersion step " << step;
+    } else if (op < 75) {
+      const Version to = epoch_g + static_cast<Version>(rng.Uniform(6));
+      const Status a = st.RelabelVersion(item, v, to);
+      const Status b = ref.RelabelVersion(item, v, to);
+      ASSERT_EQ(Str(a), Str(b)) << "Relabel step " << step;
+    } else if (op < 80 && bound == 0) {
+      // Prune is only meaningful for the unbounded MVU baseline.
+      const Version watermark = epoch_g + static_cast<Version>(rng.Uniform(4));
+      ASSERT_EQ(st.PruneItem(item, watermark), ref.PruneItem(item, watermark))
+          << "Prune step " << step;
+    } else if (op < 85) {
+      const Version newq = epoch_g + 1;
+      const GcStats a = st.GarbageCollect(epoch_g, newq);
+      const GcStats b = ref.GarbageCollect(epoch_g, newq);
+      ASSERT_EQ(a.versions_dropped, b.versions_dropped) << "GC step " << step;
+      ASSERT_EQ(a.versions_relabeled, b.versions_relabeled)
+          << "GC step " << step;
+      ASSERT_EQ(a.items_removed, b.items_removed) << "GC step " << step;
+      ++epoch_g;  // advance the epoch so versions keep moving forward
+      check_full("after GC");
+    } else {
+      // Read probes: identical results, including Status text on misses.
+      const auto a = st.ReadAtMost(item, v);
+      const auto b = ref.ReadAtMost(item, v);
+      ASSERT_EQ(a.ok(), b.ok()) << "ReadAtMost step " << step;
+      if (a.ok()) {
+        ASSERT_EQ(a->version, b->version);
+        ASSERT_EQ(a->value, b->value);
+        ASSERT_EQ(a->deleted, b->deleted);
+        ASSERT_EQ(a->versions_scanned, b->versions_scanned);
+      } else {
+        ASSERT_EQ(Str(a.status()), Str(b.status()));
+      }
+      ASSERT_EQ(st.MaxVersion(item), ref.MaxVersion(item));
+      ASSERT_EQ(st.LiveVersions(item), ref.LiveVersions(item));
+    }
+    if (step % 256 == 0) check_full("periodic");
+    ASSERT_EQ(st.CurrentMaxLiveVersions(), ref.CurrentMaxLiveVersions())
+        << "incremental gauge diverged at step " << step;
+  }
+  check_full("final");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBounds, StorageDiffFuzz,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
+                       ::testing::Values(0, 1, 3, 4)));
+
+}  // namespace
+}  // namespace ava3::store

@@ -175,7 +175,7 @@ TEST(VersionedStoreTest, ForEachItemVisitsSortedChains) {
   ASSERT_TRUE(st.Put(1, 0, 2, 1, 0).ok());
   ASSERT_TRUE(st.Put(2, 1, 3, 1, 0).ok());
   int items = 0;
-  st.ForEachItem([&](ItemId item, const std::vector<VersionedValue>& chain) {
+  st.ForEachItem([&](ItemId item, std::span<const VersionedValue> chain) {
     ++items;
     for (size_t i = 1; i < chain.size(); ++i) {
       EXPECT_LT(chain[i - 1].version, chain[i].version) << "item " << item;
