@@ -1,12 +1,17 @@
 // Wall-clock throughput on the real-threads runtime.
 //
 // Every other bench binary measures simulated time on the deterministic
-// DES. This one runs the same protocol engines — AVA3 and S2PL-R — on
-// rt::ThreadRuntime (one OS thread per node plus a service thread) and
-// measures *wall-clock* transactions per second while sweeping the node
-// count (and with it the worker-thread count). AVA3's latch-only read path
-// (Section 6.3) is exercised by real concurrent hardware threads here, not
-// by interleaved DES events.
+// DES. This one runs the same protocol engines — AVA3 and S2PL-R — through
+// the Database facade with runtime=thread (one OS thread per node plus a
+// service thread) and measures *wall-clock* transactions per second while
+// sweeping the node count (and with it the worker-thread count). AVA3's
+// latch-only read path (Section 6.3) is exercised by real concurrent
+// hardware threads here, not by interleaved DES events.
+//
+// `--faults` adds a chaos sweep: the same workload under message loss,
+// duplication, and latency spikes injected at the runtime seam, with the
+// per-cause transport accounting exported alongside the throughput so
+// fault cost is attributable per message class.
 //
 // Output: BENCH_realtime.json (schema-checked in CI) plus a printed table.
 // `--smoke` shrinks the matrix and per-config transaction count for CI.
@@ -19,10 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "ava3/ava3_engine.h"
-#include "baselines/s2pl_engine.h"
 #include "bench/bench_util.h"
-#include "runtime/thread_runtime.h"
 #include "workload/workload.h"
 
 namespace ava3::bench {
@@ -36,20 +38,17 @@ struct RealtimeResult {
   int max_live_versions = 0;
 };
 
-/// Drives `total_txns` generated transactions through `Engine` on a real
-/// ThreadRuntime, keeping at most `kWindow` in flight, and times the span
-/// from first submission to last completion.
-template <typename Engine, typename... EngineArgs>
-RealtimeResult RunRealtime(db::Metrics& metrics, int num_nodes, uint64_t seed,
-                           int total_txns, bool trigger_advancement,
-                           EngineArgs&&... args) {
+/// Drives `total_txns` generated transactions through a thread-runtime
+/// Database, keeping at most `kWindow` in flight, and times the span from
+/// first submission to last completion. The fault plan (if any) must keep
+/// every root node up, so each submission eventually completes (commit or
+/// timeout abort) and the in-flight window always drains.
+RealtimeResult RunRealtime(db::Database& dbase, uint64_t seed,
+                           int total_txns) {
   constexpr int kWindow = 32;  // bounded in-flight txns: keeps mailboxes sane
-  rt::ThreadRuntime runtime(num_nodes, {.seed = seed});
-  db::EngineEnv env;
-  env.runtime = &runtime;
-  env.metrics = &metrics;
-  Engine engine(env, num_nodes, db::BaseOptions{},
-                std::forward<EngineArgs>(args)...);
+  const int num_nodes = dbase.options().num_nodes;
+  const bool trigger_advancement =
+      dbase.options().scheme != db::Scheme::kS2pl;
 
   wl::WorkloadSpec spec;
   spec.num_nodes = num_nodes;
@@ -58,19 +57,17 @@ RealtimeResult RunRealtime(db::Metrics& metrics, int num_nodes, uint64_t seed,
   spec.query_multinode_prob = 0.4;
   for (NodeId n = 0; n < num_nodes; ++n) {
     for (int64_t i = 0; i < spec.items_per_node; ++i) {
-      engine.LoadInitial(n, spec.FirstItemOf(n) + i, spec.initial_value);
+      dbase.LoadInitial(n, spec.FirstItemOf(n) + i, spec.initial_value);
     }
   }
 
-  runtime.Start();
-
+  db::Engine& engine = dbase.engine();
   RealtimeResult out;
   std::mutex mu;
   std::condition_variable cv;
   int inflight = 0;
   wl::ScriptGenerator gen(spec, Rng(seed));
   const auto start = std::chrono::steady_clock::now();
-  TxnId next_txn = 1;
   for (int i = 0; i < total_txns; ++i) {
     {
       std::unique_lock<std::mutex> lk(mu);
@@ -78,7 +75,7 @@ RealtimeResult RunRealtime(db::Metrics& metrics, int num_nodes, uint64_t seed,
       ++inflight;
     }
     txn::TxnScript script = (i % 3 == 2) ? gen.NextQuery() : gen.NextUpdate();
-    engine.Submit(next_txn++, std::move(script),
+    engine.Submit(dbase.NextTxnId(), std::move(script),
                   [&](const db::TxnResult& r) {
                     std::lock_guard<std::mutex> lk(mu);
                     --inflight;
@@ -92,7 +89,8 @@ RealtimeResult RunRealtime(db::Metrics& metrics, int num_nodes, uint64_t seed,
                   });
     if (trigger_advancement && i % 64 == 63) {
       const NodeId k = static_cast<NodeId>(i % num_nodes);
-      runtime.ScheduleOn(k, 0, [&engine, k] { engine.TriggerAdvancement(k); });
+      dbase.runtime().ScheduleOn(
+          k, 0, [&engine, k] { engine.TriggerAdvancement(k); });
     }
   }
   {
@@ -100,25 +98,30 @@ RealtimeResult RunRealtime(db::Metrics& metrics, int num_nodes, uint64_t seed,
     cv.wait(lk, [&] { return out.completed >= total_txns; });
   }
   const auto stop = std::chrono::steady_clock::now();
-  runtime.Shutdown();
+  dbase.Shutdown();
 
   out.wall_seconds = std::chrono::duration<double>(stop - start).count();
-  for (NodeId n = 0; n < num_nodes; ++n) {
-    out.max_live_versions = std::max(out.max_live_versions,
-                                     engine.store(n).MaxLiveVersionsObserved());
+  if (auto* base = dynamic_cast<db::EngineBase*>(&engine)) {
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      out.max_live_versions = std::max(
+          out.max_live_versions, base->store(n).MaxLiveVersionsObserved());
+    }
   }
   return out;
 }
 
 int Main(int argc, char** argv) {
   bool smoke = false;
+  bool faults = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--faults") == 0) faults = true;
   }
   Banner("bench_realtime", "runtime abstraction follow-up",
          "Wall-clock throughput on real threads: AVA3 vs S2PL-R, sweeping "
          "nodes (workers = nodes + 1)");
   if (smoke) std::printf("(smoke mode: reduced matrix and txn count)\n");
+  if (faults) std::printf("(faults mode: adds a chaos sweep)\n");
 
   const std::vector<int> node_counts =
       smoke ? std::vector<int>{2, 4} : std::vector<int>{2, 3, 4, 6};
@@ -126,31 +129,54 @@ int Main(int argc, char** argv) {
   const uint64_t seed = 42;
 
   BenchReport report("realtime");
-  std::printf("%-8s %6s %8s %8s %10s %10s %12s %6s\n", "scheme", "nodes",
+  std::printf("%-14s %6s %8s %8s %10s %10s %12s %6s\n", "scheme", "nodes",
               "threads", "txns", "committed", "wall_s", "txn/s", "maxV");
-  for (const char* scheme : {"ava3", "s2pl"}) {
-    for (int nodes : node_counts) {
-      db::Metrics metrics;
-      RealtimeResult r;
-      if (std::strcmp(scheme, "ava3") == 0) {
-        r = RunRealtime<core::Ava3Engine>(metrics, nodes, seed, total_txns,
-                                          /*trigger_advancement=*/true,
-                                          core::Ava3Options{});
-      } else {
-        r = RunRealtime<baselines::S2plEngine>(
-            metrics, nodes, seed, total_txns, /*trigger_advancement=*/false);
+  // Each sweep entry: (run label suffix, fault plan enabled).
+  std::vector<bool> sweeps{false};
+  if (faults) sweeps.push_back(true);
+  for (const bool with_faults : sweeps) {
+    for (const char* scheme : {"ava3", "s2pl"}) {
+      for (int nodes : node_counts) {
+        db::DatabaseOptions opt;
+        opt.runtime = db::RuntimeKind::kThread;
+        opt.scheme = std::strcmp(scheme, "ava3") == 0 ? db::Scheme::kAva3
+                                                      : db::Scheme::kS2pl;
+        opt.num_nodes = nodes;
+        opt.seed = seed;
+        opt.enable_recorder = false;  // throughput run, no oracle replay
+        if (with_faults) {
+          // Message-level chaos only: loss forces timeout/resend paths, so
+          // tighten the timeouts to wall-clock scale. No partitions or
+          // crash windows — a black-holed submission would never complete
+          // and the in-flight window above would jam.
+          opt.faults.rates.loss = 0.03;
+          opt.faults.rates.duplicate = 0.08;
+          opt.faults.rates.delay = 0.08;
+          opt.base.txn_timeout = 300 * kMillisecond;
+          opt.base.prepared_timeout = 900 * kMillisecond;
+        }
+        db::Database dbase(opt);
+        const RealtimeResult r = RunRealtime(dbase, seed, total_txns);
+        const double tps =
+            r.wall_seconds > 0 ? r.completed / r.wall_seconds : 0.0;
+        const std::string label = std::string(scheme) +
+                                  (with_faults ? "_faults_nodes" : "_nodes") +
+                                  std::to_string(nodes);
+        std::printf("%-14s %6d %8d %8d %10d %10.3f %12.0f %6d\n",
+                    (std::string(scheme) + (with_faults ? "+faults" : ""))
+                        .c_str(),
+                    nodes, nodes + 1, r.completed, r.committed,
+                    r.wall_seconds, tps, r.max_live_versions);
+        report.AddRealtime(label, scheme, nodes, /*threads=*/nodes + 1, seed,
+                           r.wall_seconds, r.completed, r.committed,
+                           r.aborted, r.max_live_versions, dbase.metrics(),
+                           dbase.thread_runtime());
+        report.AddScalar(label + "_txn_per_sec", tps);
+        if (with_faults) {
+          std::printf("    transport: %s\n",
+                      dbase.thread_runtime()->StatsSummary().c_str());
+        }
       }
-      const double tps =
-          r.wall_seconds > 0 ? r.completed / r.wall_seconds : 0.0;
-      const std::string label =
-          std::string(scheme) + "_nodes" + std::to_string(nodes);
-      std::printf("%-8s %6d %8d %8d %10d %10.3f %12.0f %6d\n", scheme, nodes,
-                  nodes + 1, r.completed, r.committed, r.wall_seconds, tps,
-                  r.max_live_versions);
-      report.AddRealtime(label, scheme, nodes, /*threads=*/nodes + 1, seed,
-                         r.wall_seconds, r.completed, r.committed, r.aborted,
-                         r.max_live_versions, metrics);
-      report.AddScalar(label + "_txn_per_sec", tps);
     }
   }
   return 0;

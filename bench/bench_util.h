@@ -129,12 +129,16 @@ class BenchReport {
     runs_.push_back(std::move(w).Take());
   }
 
-  /// Records a wall-clock run on the real-threads runtime (no db::Database
-  /// involved): configuration, throughput, and the metrics payload.
+  /// Records a wall-clock run on the real-threads runtime: configuration,
+  /// throughput, the metrics payload, and (when `transport` is given) the
+  /// thread transport's per-cause x per-kind fault accounting — the same
+  /// shape sim::Network reports, so sim and thread chaos runs compare
+  /// key-for-key.
   void AddRealtime(const std::string& label, const char* scheme, int nodes,
                    int threads, uint64_t seed, double wall_seconds,
                    int completed, int committed, int aborted,
-                   int max_live_versions, const db::Metrics& metrics) {
+                   int max_live_versions, const db::Metrics& metrics,
+                   const rt::ThreadRuntime* transport = nullptr) {
     JsonWriter w;
     w.BeginObject();
     w.KV("label", label);
@@ -148,6 +152,21 @@ class BenchReport {
     w.KV("aborted", aborted);
     w.KV("txns_per_sec", wall_seconds > 0 ? completed / wall_seconds : 0.0);
     w.KV("max_live_versions", max_live_versions);
+    if (transport != nullptr) {
+      w.Key("transport");
+      w.BeginObject();
+      w.KV("sent", transport->TotalSent());
+      w.KV("dropped", transport->DroppedCount());
+      for (size_t c = 0; c < rt::kNumDropCauses; ++c) {
+        const auto cause = static_cast<rt::DropCause>(c);
+        w.KV(std::string("dropped_") + rt::DropCauseName(cause),
+             transport->DroppedCount(cause));
+      }
+      w.KV("duplicated", transport->DuplicatedCount());
+      w.KV("delayed", transport->DelayedCount());
+      w.KV("summary", transport->StatsSummary());
+      w.EndObject();
+    }
     w.Key("metrics");
     w.Raw(metrics.ToJson());
     w.EndObject();

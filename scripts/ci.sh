@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # CI entry point: build and test both configurations.
 #
-#   scripts/ci.sh            # default (RelWithDebInfo) + ASan/UBSan
-#   scripts/ci.sh default    # just the plain build
-#   scripts/ci.sh asan       # just the sanitizer build
-#   scripts/ci.sh tsan       # ThreadSanitizer build + real-threads tests
+#   scripts/ci.sh             # default (RelWithDebInfo) + ASan/UBSan
+#   scripts/ci.sh default     # just the plain build
+#   scripts/ci.sh asan        # just the sanitizer build
+#   scripts/ci.sh tsan        # ThreadSanitizer build + real-threads tests
+#   scripts/ci.sh chaos-tsan  # ThreadSanitizer build + thread chaos soak
 #
-# The tsan preset runs only the ThreadRuntime suites (unit + protocol
-# stress on real worker threads): the rest of the test pyramid is
-# single-threaded DES code, already covered by default/asan, and TSan's
-# ~10x slowdown makes the full run pointless there.
+# The tsan lanes run only the real-threads suites: the rest of the test
+# pyramid is single-threaded DES code, already covered by default/asan,
+# and TSan's ~10x slowdown makes the full run pointless there. `tsan`
+# covers the runtime contract + fault-free protocol stress; `chaos-tsan`
+# runs the fault-injection soak (loss/duplication/reordering/partitions/
+# crash-recovery on real worker threads) plus the shutdown-under-load
+# races — the longest lane, so it is split out to parallelize in CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,16 +23,29 @@ if [[ ${#configs[@]} -eq 0 ]]; then
 fi
 
 for preset in "${configs[@]}"; do
-  echo "=== [$preset] configure ==="
-  cmake --preset "$preset"
-  echo "=== [$preset] build ==="
-  cmake --build --preset "$preset" -j "$(nproc)"
-  echo "=== [$preset] test ==="
-  if [[ "$preset" == "tsan" ]]; then
-    TSAN_OPTIONS="halt_on_error=1" \
-      "build-tsan/tests/ava3_tests" --gtest_filter='ThreadRuntime*'
-  else
-    ctest --preset "$preset" -j "$(nproc)"
+  # chaos-tsan shares the tsan build tree; it only changes which tests run.
+  build_preset="$preset"
+  if [[ "$preset" == "chaos-tsan" ]]; then
+    build_preset=tsan
   fi
+  echo "=== [$preset] configure ==="
+  cmake --preset "$build_preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$build_preset" -j "$(nproc)"
+  echo "=== [$preset] test ==="
+  case "$preset" in
+    tsan)
+      TSAN_OPTIONS="halt_on_error=1" \
+        "build-tsan/tests/ava3_tests" --gtest_filter='ThreadRuntime*'
+      ;;
+    chaos-tsan)
+      TSAN_OPTIONS="halt_on_error=1" \
+        "build-tsan/tests/ava3_tests" \
+        --gtest_filter='*ThreadChaos*:*RuntimeCrashRecovery*/thread:ThreadRuntimeShutdown*:ThreadRuntimeFaults*'
+      ;;
+    *)
+      ctest --preset "$preset" -j "$(nproc)"
+      ;;
+  esac
 done
 echo "=== CI green ==="

@@ -263,6 +263,33 @@ void Ava3Engine::RunGcStep(NodeId i, Version v) {
   metrics().PruneFirstCommitTimes(min_g);
 }
 
+bool Ava3Engine::CollectLaggingVersions(NodeId i, Version writev) {
+  // A write being installed at version `writev` proves an advancement round
+  // with newu == writev started, which proves Phase 2 of round writev - 1
+  // completed everywhere: every query version <= writev - 3 is globally
+  // drained and no new query can start there (the same argument the
+  // Phase-1 catch-up in OnAdvanceU relies on). Normally the round's
+  // kGarbageCollect — or the kAdvanceU whose catch-up would collect —
+  // arrives before any such write, but both can still be in flight when a
+  // commit message carrying the new version overtakes them (this node then
+  // advanced u straight from the commit, step 8, which performs no
+  // catch-up). An item written at three consecutive live versions then has
+  // no slot left for the new one. Collect the provably-dead versions
+  // synchronously; the in-flight async steps later find g already advanced
+  // and no-op. FOURV is excluded: there a lagging g is intentional and old
+  // versions drain strictly through FourVTryGc.
+  if (opts_.four_version_mode) return false;
+  ControlState& cs = *control_[i];
+  bool collected = false;
+  while (cs.g() < writev - 3) {
+    const Version v = cs.g() + 1;
+    if (cs.QueryCount(v) != 0) break;  // never collect under a live reader
+    RunGcStep(i, v);
+    collected = true;
+  }
+  return collected;
+}
+
 // ---------------------------------------------------------------------------
 // FOURV asynchronous drains
 // ---------------------------------------------------------------------------

@@ -92,9 +92,9 @@ void Ava3Engine::OnNodeRecover(NodeId node) {
   // already netted of in-flight effects). A mismatch is a recovery bug.
   std::unique_ptr<store::VersionedStore> replayed =
       durable_[node].Recover(StoreCapacityFor(opts_));
-  ++recoveries_replayed_;
+  recoveries_replayed_.fetch_add(1, std::memory_order_relaxed);
   if (!replayed->ContentEquals(store(node))) {
-    ++recovery_mismatches_;
+    recovery_mismatches_.fetch_add(1, std::memory_order_relaxed);
     Trace(node, "RECOVERY MISMATCH: replayed store differs from committed");
     return;  // keep the live store; the mismatch counter fails tests
   }
@@ -253,6 +253,10 @@ Status Ava3Engine::UpdateWrite(UpdateRt& rt, const txn::Op& op) {
   } else {
     ws = st.Put(op.item, rt.version, value, rt.txn, runtime().Now());
   }
+  if (!ws.ok() && CollectLaggingVersions(rt.node, rt.version)) {
+    ws = deleted ? st.MarkDeleted(op.item, rt.version, rt.txn, runtime().Now())
+                 : st.Put(op.item, rt.version, value, rt.txn, runtime().Now());
+  }
   if (!ws.ok()) return ws;
   wal::LogRecord redo;
   redo.kind = wal::LogRecord::Kind::kRedo;
@@ -308,6 +312,13 @@ void Ava3Engine::OnCommitMsg(UpdateRt& rt, Version global_version) {
       Status s = pw.deleted
                      ? st.MarkDeleted(item, global_version, rt.txn, now)
                      : st.Put(item, global_version, pw.value, rt.txn, now);
+      if (!s.ok() && CollectLaggingVersions(rt.node, global_version)) {
+        // The chain was transiently full because this node's GC lags the
+        // commit version (see CollectLaggingVersions); retry on the
+        // freed slot.
+        s = pw.deleted ? st.MarkDeleted(item, global_version, rt.txn, now)
+                       : st.Put(item, global_version, pw.value, rt.txn, now);
+      }
       assert(s.ok() && "commit apply violated the version bound");
       (void)s;
       rt.writes.push_back(verify::WriteRecord{rt.node, item, pw.value,
@@ -417,13 +428,16 @@ void Ava3Engine::MoveToFuture(UpdateRt& rt, Version newv) {
       redo.new_value = cur->value;
       redo.new_deleted = cur->deleted;
       lg.Append(redo);
-      if (cur->deleted) {
-        (void)st.MarkDeleted(item, newv, rt.txn, runtime().Now());
-      } else {
-        Status s = st.Put(item, newv, cur->value, rt.txn, runtime().Now());
-        assert(s.ok() && "moveToFuture copy violated the version bound");
-        (void)s;
+      Status s = cur->deleted
+                     ? st.MarkDeleted(item, newv, rt.txn, runtime().Now())
+                     : st.Put(item, newv, cur->value, rt.txn, runtime().Now());
+      if (!s.ok() && CollectLaggingVersions(rt.node, newv)) {
+        s = cur->deleted
+                ? st.MarkDeleted(item, newv, rt.txn, runtime().Now())
+                : st.Put(item, newv, cur->value, rt.txn, runtime().Now());
       }
+      assert(s.ok() && "moveToFuture copy violated the version bound");
+      (void)s;
     }
     // Undo the transaction's effect on the old version, newest-first.
     for (const wal::LogRecord& rec : undos) {

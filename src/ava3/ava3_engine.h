@@ -1,6 +1,7 @@
 #ifndef AVA3_AVA3_AVA3_ENGINE_H_
 #define AVA3_AVA3_AVA3_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <string>
@@ -49,8 +50,14 @@ class Ava3Engine : public db::EngineBase {
   Status CheckInvariants() const;
 
   /// Recovery-replay statistics (Ava3Options::durable_replay_recovery).
-  uint64_t recoveries_replayed() const { return recoveries_replayed_; }
-  uint64_t recovery_mismatches() const { return recovery_mismatches_; }
+  /// Atomic because RecoverNode runs on the recovering node's own worker
+  /// under the thread runtime, so two nodes may replay concurrently.
+  uint64_t recoveries_replayed() const {
+    return recoveries_replayed_.load(std::memory_order_relaxed);
+  }
+  uint64_t recovery_mismatches() const {
+    return recovery_mismatches_.load(std::memory_order_relaxed);
+  }
   const wal::DurableLog& durable_log(NodeId n) const { return durable_[n]; }
 
  protected:
@@ -110,6 +117,14 @@ class Ava3Engine : public db::EngineBase {
   void RunGcUpTo(NodeId i, Version upto);
   void RunGcStep(NodeId i, Version v);
 
+  /// Synchronously collects versions that are provably dead given that a
+  /// write at `writev` is being installed at node i. Returns true if any
+  /// step ran. Called only when the store rejects a write on the
+  /// three-version bound — i.e. when this node's g lags the write version
+  /// by more than the window because the round's kGarbageCollect (or the
+  /// kAdvanceU whose catch-up would have collected) is still in flight.
+  bool CollectLaggingVersions(NodeId i, Version writev);
+
   // FOURV-mode asynchronous per-node drains.
   void FourVRegisterDrain(NodeId i, Version drained_q);
   void FourVTryGc(NodeId i);
@@ -139,8 +154,8 @@ class Ava3Engine : public db::EngineBase {
   std::vector<std::unordered_map<ItemId, Version>> read_marks_;
   /// Per-node durable redo logs + checkpoints (replay recovery).
   std::vector<wal::DurableLog> durable_;
-  uint64_t recoveries_replayed_ = 0;
-  uint64_t recovery_mismatches_ = 0;
+  std::atomic<uint64_t> recoveries_replayed_{0};
+  std::atomic<uint64_t> recovery_mismatches_{0};
   // Watchdog change detection: last observed (u,q,g) per node.
   struct VersionSnapshot {
     Version u = -1, q = -1, g = -1;

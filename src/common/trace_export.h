@@ -5,9 +5,15 @@
 
 #include "common/trace.h"
 
+namespace ava3::rt {
+struct FaultPlan;
+}  // namespace ava3::rt
+
 namespace ava3::sim {
 class GaugeSampler;
-struct FaultPlan;
+// Fault plans live at the runtime seam (runtime/fault.h); sim::FaultPlan
+// is an alias for rt::FaultPlan (see sim/fault_injector.h).
+using rt::FaultPlan;
 }  // namespace ava3::sim
 
 namespace ava3 {

@@ -1,6 +1,11 @@
 #include "engine/database.h"
 
 #include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "baselines/mvu_engine.h"
 #include "baselines/s2pl_engine.h"
@@ -21,27 +26,88 @@ const char* SchemeName(Scheme scheme) {
   return "?";
 }
 
+const char* RuntimeKindName(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::kSim:
+      return "sim";
+    case RuntimeKind::kThread:
+      return "thread";
+  }
+  return "?";
+}
+
+Status Database::ValidateOptions(const DatabaseOptions& o) {
+  if (o.num_nodes < 1) {
+    return Status::InvalidArgument("num_nodes must be >= 1");
+  }
+  if (o.runtime == RuntimeKind::kSim) {
+    // The DES implements every option (it is the reference substrate).
+    return Status::Ok();
+  }
+  // Thread runtime: reject anything it cannot honor instead of silently
+  // dropping it on the floor.
+  if (o.scheme == Scheme::kMvu) {
+    return Status::InvalidArgument(
+        "scheme=mvu requires the deterministic runtime (its timestamp "
+        "allocation asserts deterministic()); use runtime=sim");
+  }
+  if (o.net.drop_probability > 0) {
+    return Status::InvalidArgument(
+        "net.drop_probability is a simulated-network fault knob the thread "
+        "transport does not model; use faults.rates.loss instead");
+  }
+  if (o.timeseries_interval > 0) {
+    return Status::InvalidArgument(
+        "timeseries_interval: the gauge sampler runs on simulator events; "
+        "it is not available under runtime=thread");
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<Database> Database::Create(DatabaseOptions options,
+                                           Status* status) {
+  Status st = ValidateOptions(options);
+  if (status != nullptr) *status = st;
+  if (!st.ok()) return nullptr;
+  return std::make_unique<Database>(std::move(options));
+}
+
 Database::Database(DatabaseOptions options) : options_(options) {
-  simulator_ = std::make_unique<sim::Simulator>();
+  assert(ValidateOptions(options_).ok() &&
+         "invalid DatabaseOptions; use Database::Create for a Status");
   trace_ = std::make_unique<TraceSink>();
   trace_->Enable(options_.enable_trace);
   metrics_ = std::make_unique<Metrics>();
   recorder_ = std::make_unique<verify::HistoryRecorder>();
-  network_ = std::make_unique<sim::Network>(simulator_.get(),
-                                            options_.num_nodes, options_.net,
-                                            Rng(options_.seed ^ 0xA5A5A5A5ULL));
-  if (options_.faults.Enabled()) {
-    // Own randomness stream: enabling faults must not perturb the
-    // network's latency/drop draws (only the extra fault branches do).
-    injector_ = std::make_unique<sim::FaultInjector>(
-        simulator_.get(), options_.faults,
-        Rng(options_.seed ^ 0x0FA17B17E5ULL));
-    network_->SetFaultInjector(injector_.get());
-  }
-  runtime_ = std::make_unique<rt::SimRuntime>(simulator_.get(), network_.get(),
-                                              options_.seed);
+
   EngineEnv env;
-  env.runtime = runtime_.get();
+  if (options_.runtime == RuntimeKind::kSim) {
+    simulator_ = std::make_unique<sim::Simulator>();
+    network_ = std::make_unique<sim::Network>(
+        simulator_.get(), options_.num_nodes, options_.net,
+        Rng(options_.seed ^ 0xA5A5A5A5ULL));
+    if (options_.faults.Enabled()) {
+      // Own randomness stream: enabling faults must not perturb the
+      // network's latency/drop draws (only the extra fault branches do).
+      injector_ = std::make_unique<sim::FaultInjector>(
+          simulator_.get(), options_.faults,
+          Rng(options_.seed ^ 0x0FA17B17E5ULL));
+      network_->SetFaultInjector(injector_.get());
+    }
+    runtime_ = std::make_unique<rt::SimRuntime>(simulator_.get(),
+                                                network_.get(),
+                                                options_.seed);
+    runtime_iface_ = runtime_.get();
+  } else {
+    rt::ThreadRuntimeOptions topt;
+    topt.seed = options_.seed;
+    topt.faults = options_.faults;
+    thread_runtime_ = std::make_unique<rt::ThreadRuntime>(options_.num_nodes,
+                                                          std::move(topt));
+    runtime_iface_ = thread_runtime_.get();
+  }
+
+  env.runtime = runtime_iface_;
   env.metrics = metrics_.get();
   env.recorder = options_.enable_recorder ? recorder_.get() : nullptr;
   env.trace = trace_.get();
@@ -67,9 +133,11 @@ Database::Database(DatabaseOptions options) : options_(options) {
           env, options_.num_nodes, options_.base);
       break;
   }
-  // The network traces regardless of scheme; emission is gated on the
-  // sink's enabled flag, so disabled runs stay on the exact legacy path.
-  network_->SetTrace(trace_.get());
+  if (network_ != nullptr) {
+    // The network traces regardless of scheme; emission is gated on the
+    // sink's enabled flag, so disabled runs stay on the exact legacy path.
+    network_->SetTrace(trace_.get());
+  }
   if (options_.timeseries_interval > 0) {
     sampler_ = std::make_unique<sim::GaugeSampler>(
         simulator_.get(), options_.timeseries_interval,
@@ -105,23 +173,65 @@ Database::Database(DatabaseOptions options) : options_(options) {
     sampler_->Start();
   }
   ScheduleCrashWindows();
+  if (thread_runtime_ != nullptr) {
+    // Launch the workers only after the engine is fully built (and the
+    // crash windows are armed), so no closure sees a half-built engine.
+    thread_runtime_->Start();
+  }
 }
 
 void Database::ScheduleCrashWindows() {
   for (const sim::CrashWindow& w : options_.faults.crashes) {
     if (w.node < 0 || w.node >= options_.num_nodes) continue;
-    simulator_->At(w.crash_at, [this, node = w.node]() {
-      if (network_->IsNodeUp(node)) engine_->CrashNode(node);
+    const NodeId node = w.node;
+    if (options_.runtime == RuntimeKind::kSim) {
+      simulator_->At(w.crash_at, [this, node]() {
+        if (network_->IsNodeUp(node)) engine_->CrashNode(node);
+      });
+      if (w.recover_at > w.crash_at) {
+        simulator_->At(w.recover_at, [this, node]() {
+          if (!network_->IsNodeUp(node)) engine_->RecoverNode(node);
+        });
+      }
+      continue;
+    }
+    // Thread runtime: the windows become timers on the crashing node's own
+    // worker — CrashNode/RecoverNode only touch node-confined (or latched)
+    // state, so running them in that node's context is exactly the
+    // per-node serialization the engine expects. Scheduled before Start(),
+    // when Now() == 0, so the delays are absolute plan times.
+    thread_runtime_->ScheduleOn(node, w.crash_at, [this, node]() {
+      if (thread_runtime_->IsNodeUp(node)) engine_->CrashNode(node);
     });
     if (w.recover_at > w.crash_at) {
-      simulator_->At(w.recover_at, [this, node = w.node]() {
-        if (!network_->IsNodeUp(node)) engine_->RecoverNode(node);
+      thread_runtime_->ScheduleOn(node, w.recover_at, [this, node]() {
+        if (!thread_runtime_->IsNodeUp(node)) engine_->RecoverNode(node);
       });
     }
   }
 }
 
-Database::~Database() = default;
+Database::~Database() {
+  // Join the thread runtime's workers before any member (above all the
+  // engine) is destroyed: member destruction runs after this body, and
+  // engine_ is declared after thread_runtime_, so without this the
+  // workers could execute closures against a half-torn-down engine.
+  Shutdown();
+}
+
+void Database::Shutdown() {
+  if (thread_runtime_ != nullptr) thread_runtime_->Shutdown();
+}
+
+sim::Simulator& Database::simulator() {
+  assert(simulator_ != nullptr && "simulator(): DES runtime only");
+  return *simulator_;
+}
+
+sim::Network& Database::network() {
+  assert(network_ != nullptr && "network(): DES runtime only");
+  return *network_;
+}
 
 core::Ava3Engine* Database::ava3_engine() {
   if (options_.scheme == Scheme::kAva3 || options_.scheme == Scheme::kFourV) {
@@ -130,7 +240,34 @@ core::Ava3Engine* Database::ava3_engine() {
   return nullptr;
 }
 
+void Database::LoadInitial(NodeId node, ItemId item, int64_t value) {
+  if (options_.runtime == RuntimeKind::kThread) {
+    thread_runtime_->RunExclusive([this, node, item, value] {
+      engine_->LoadInitial(node, item, value);
+    });
+    return;
+  }
+  engine_->LoadInitial(node, item, value);
+}
+
 TxnResult Database::RunToCompletion(txn::TxnScript script) {
+  if (options_.runtime == RuntimeKind::kThread) {
+    // Block the caller until the completion callback fires on a worker.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<TxnResult> result;
+    engine_->Submit(NextTxnId(), std::move(script),
+                    [&mu, &cv, &result](const TxnResult& r) {
+                      {
+                        std::lock_guard<std::mutex> lk(mu);
+                        result = r;
+                      }
+                      cv.notify_all();
+                    });
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&result] { return result.has_value(); });
+    return *result;
+  }
   std::optional<TxnResult> result;
   engine_->Submit(NextTxnId(), std::move(script),
                   [&result](const TxnResult& r) { result = r; });
@@ -141,6 +278,14 @@ TxnResult Database::RunToCompletion(txn::TxnScript script) {
   }
   assert(result.has_value() && "transaction never completed");
   return *result;
+}
+
+void Database::RunFor(SimDuration d) {
+  if (options_.runtime == RuntimeKind::kThread) {
+    std::this_thread::sleep_for(std::chrono::microseconds(d));
+    return;
+  }
+  simulator_->RunUntil(simulator_->Now() + d);
 }
 
 }  // namespace ava3::db

@@ -1,12 +1,15 @@
 #ifndef AVA3_ENGINE_DATABASE_H_
 #define AVA3_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 
 #include "ava3/ava3_engine.h"
+#include "common/status.h"
 #include "engine/engine_iface.h"
 #include "runtime/sim_runtime.h"
+#include "runtime/thread_runtime.h"
 #include "sim/fault_injector.h"
 #include "sim/timeseries.h"
 
@@ -22,31 +25,52 @@ enum class Scheme {
 
 const char* SchemeName(Scheme scheme);
 
+/// Which execution substrate a Database runs on.
+enum class RuntimeKind {
+  /// The deterministic discrete-event simulator: bit-reproducible runs,
+  /// simulated clock, full network latency model. The default.
+  kSim = 0,
+  /// Real OS threads (one worker per node + a service thread): wall-clock
+  /// time, real parallelism, no latency model. Fault plans are honored
+  /// (loss/duplication/delay/partitions via per-worker fault stages,
+  /// crash windows via runtime timers), but runs are not reproducible.
+  kThread,
+};
+
+const char* RuntimeKindName(RuntimeKind kind);
+
 struct DatabaseOptions {
   int num_nodes = 3;
   Scheme scheme = Scheme::kAva3;
+  RuntimeKind runtime = RuntimeKind::kSim;
   uint64_t seed = 42;
   BaseOptions base;
   core::Ava3Options ava3;
+  /// Network latency model. Simulated runtime only; the thread runtime
+  /// delivers through mailboxes with no modeled latency, and rejects the
+  /// drop_probability fault knob (use `faults.rates.loss` there).
   sim::NetworkOptions net;
   /// Chaos fault scenario: message loss/duplication/latency spikes,
   /// partition windows, and timed crash/restart cycles. A
   /// default-constructed (inert) plan installs nothing and leaves the run
-  /// bit-identical to a fault-free build.
+  /// bit-identical to a fault-free build. Honored by both runtimes; see
+  /// ValidateOptions for the (few) combinations a runtime cannot honor.
   sim::FaultPlan faults;
   bool enable_trace = false;
   bool enable_recorder = true;
   /// Simulated-clock cadence for the per-node gauge sampler (live version
   /// count, lock-queue depth, in-flight subtransactions, u/q versions,
   /// network in-flight/drops). 0 disables sampling entirely; sampling adds
-  /// simulator events but never changes any protocol outcome.
+  /// simulator events but never changes any protocol outcome. Simulated
+  /// runtime only.
   SimDuration timeseries_interval = 0;
   /// Ring-buffer capacity per gauge (oldest samples overwritten on soaks).
   size_t timeseries_capacity = 4096;
 };
 
-/// The public entry point: one simulated distributed database. Owns the
-/// simulator, network, metrics, oracle, and the selected engine.
+/// The public entry point: one distributed database over the selected
+/// runtime. Owns the execution substrate (simulator+network or thread
+/// runtime), metrics, oracle, and the selected engine.
 ///
 /// Typical use (see examples/quickstart.cc):
 ///
@@ -56,22 +80,49 @@ struct DatabaseOptions {
 ///   auto result = database.RunToCompletion(
 ///       ava3::txn::SingleNodeQuery(0, {1}));
 ///
-/// The simulator is single-threaded and deterministic: the same options and
-/// submission sequence reproduce identical runs.
+/// Under RuntimeKind::kSim the run is single-threaded and deterministic:
+/// the same options and submission sequence reproduce identical runs.
+/// Under RuntimeKind::kThread the engine runs on real worker threads the
+/// moment the constructor returns; submissions may come from any thread,
+/// and Shutdown() (or the destructor) joins the workers.
 class Database {
  public:
+  /// Checks that the selected runtime can honor every requested option.
+  /// Returns the first violation as kInvalidArgument (e.g. fault or
+  /// instrumentation knobs that only the DES implements, or the MVU
+  /// scheme, whose timestamp allocation requires determinism, under the
+  /// thread runtime).
+  static Status ValidateOptions(const DatabaseOptions& options);
+
+  /// Validating factory: returns nullptr (and the violation in *status)
+  /// instead of constructing a Database from options the selected runtime
+  /// would silently mis-honor.
+  static std::unique_ptr<Database> Create(DatabaseOptions options,
+                                          Status* status = nullptr);
+
+  /// Direct construction asserts ValidateOptions() in debug builds; use
+  /// Create() when the options come from configuration rather than code.
   explicit Database(DatabaseOptions options);
   ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  sim::Simulator& simulator() { return *simulator_; }
-  sim::Network& network() { return *network_; }
-  /// The runtime seam the engine programs against (a SimRuntime here; the
-  /// real-time path constructs engines directly over a ThreadRuntime).
-  rt::Runtime& runtime() { return *runtime_; }
-  /// The fault injector, or nullptr when the fault plan is inert.
+  /// DES-only accessors: assert under the thread runtime.
+  sim::Simulator& simulator();
+  sim::Network& network();
+  /// The fault injector, or nullptr when the fault plan is inert or the
+  /// runtime is not the DES (thread-runtime fault stats live on
+  /// thread_runtime()).
   sim::FaultInjector* fault_injector() { return injector_.get(); }
+
+  /// The runtime seam the engine programs against.
+  rt::Runtime& runtime() { return *runtime_iface_; }
+  /// The thread runtime, or nullptr under the DES.
+  rt::ThreadRuntime* thread_runtime() { return thread_runtime_.get(); }
+  bool realtime() const {
+    return options_.runtime == RuntimeKind::kThread;
+  }
+
   Engine& engine() { return *engine_; }
   Metrics& metrics() { return *metrics_; }
   TraceSink& trace() { return *trace_; }
@@ -83,23 +134,39 @@ class Database {
   /// The AVA3 engine, or nullptr when running a non-AVA3 scheme.
   core::Ava3Engine* ava3_engine();
 
-  /// Fresh transaction id (monotonic).
-  TxnId NextTxnId() { return next_txn_id_++; }
+  /// Installs initial committed data. Under the thread runtime the workers
+  /// are already live when the constructor returns, so this wraps the
+  /// engine call in a RunExclusive safepoint; under the DES it is a plain
+  /// call. Load before submitting transactions.
+  void LoadInitial(NodeId node, ItemId item, int64_t value);
 
-  /// Submits `script` and runs the simulation until it finishes (plus any
-  /// already-scheduled events at earlier times). Convenience for examples
-  /// and tests; concurrent-workload runs use WorkloadRunner instead.
-  TxnResult RunToCompletion(txn::TxnScript script);
-
-  /// Runs the simulation for `d` simulated microseconds.
-  void RunFor(SimDuration d) {
-    simulator_->RunUntil(simulator_->Now() + d);
+  /// Fresh transaction id (monotonic; safe from any thread).
+  TxnId NextTxnId() {
+    return next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Submits `script` and runs until it finishes. Under the DES this
+  /// steps the simulator; under the thread runtime it blocks the calling
+  /// thread until the completion callback fires. Convenience for examples
+  /// and tests; concurrent-workload runs drive the engine directly.
+  TxnResult RunToCompletion(txn::TxnScript script);
+
+  /// Runs for `d` microseconds: simulated time under the DES, wall-clock
+  /// sleep under the thread runtime (the workers run regardless; this
+  /// merely paces the caller).
+  void RunFor(SimDuration d);
+
+  /// Thread runtime: joins the workers (idempotent), after which engine
+  /// state may be inspected single-threadedly and no callback will fire.
+  /// DES: no-op. The destructor calls this.
+  void Shutdown();
+
  private:
-  /// Schedules the fault plan's crash/restart cycles as simulator events
+  /// Schedules the fault plan's crash/restart cycles as runtime events
   /// driving CrashNode/RecoverNode (skipping redundant transitions, so
-  /// overlapping windows in a hand-written plan are harmless).
+  /// overlapping windows in a hand-written plan are harmless). Works on
+  /// both runtimes: simulator events under the DES, worker timers under
+  /// the thread runtime.
   void ScheduleCrashWindows();
 
   DatabaseOptions options_;
@@ -110,12 +177,15 @@ class Database {
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<sim::FaultInjector> injector_;
   /// Declared before engine_ (engines hold a Runtime* for their lifetime).
+  /// Exactly one of runtime_ / thread_runtime_ is set.
   std::unique_ptr<rt::SimRuntime> runtime_;
+  std::unique_ptr<rt::ThreadRuntime> thread_runtime_;
+  rt::Runtime* runtime_iface_ = nullptr;
   std::unique_ptr<Engine> engine_;
   /// Declared after engine_: gauge callbacks read engine state, so the
   /// sampler must be destroyed first.
   std::unique_ptr<sim::GaugeSampler> sampler_;
-  TxnId next_txn_id_ = 1;
+  std::atomic<TxnId> next_txn_id_{1};
 };
 
 }  // namespace ava3::db

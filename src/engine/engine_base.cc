@@ -1008,6 +1008,15 @@ void EngineBase::RecoverNode(NodeId node) {
       (void)ns.locks->Acquire(txn, r.item, lock::LockMode::kShared,
                               [](Status) {});
     }
+    // Restart the decision-inquiry loop for every in-doubt survivor. The
+    // pre-crash timer usually still exists, but a *root* that crashed
+    // between deciding commit and its loopback commit delivery has no
+    // timer at all: DecideCommit cancelled its transaction timeout, the
+    // inquiry loop is only armed on non-roots, and the loopback was
+    // dropped while the node was down — the entry would sit in-doubt
+    // forever. The inquiry resolves it against commit_outcomes_ (the
+    // durable commit log), which answers for the root itself too.
+    ArmPreparedTimeout(*rt);
   }
   OnNodeRecover(node);
   metrics().RecordRecovery();

@@ -1,0 +1,128 @@
+#include "runtime/fault.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ava3::rt {
+
+bool FaultPlan::Enabled() const {
+  return MessageFaultsEnabled() || !crashes.empty();
+}
+
+bool FaultPlan::MessageFaultsEnabled() const {
+  if (rates.Enabled()) return true;
+  for (const auto& [kind, r] : by_kind) {
+    if (r.Enabled()) return true;
+  }
+  for (const auto& [link, r] : by_link) {
+    if (r.Enabled()) return true;
+  }
+  return !partitions.empty();
+}
+
+FaultPlan FaultPlan::Chaos(uint64_t seed, int num_nodes, SimTime horizon,
+                           const ChaosProfile& profile) {
+  assert(num_nodes > 0 && num_nodes <= 64);
+  FaultPlan plan;
+  plan.rates = profile.rates;
+  Rng rng(seed ^ 0xC4A05E7A11DEADULL);
+  for (int p = 0; p < profile.partitions; ++p) {
+    PartitionWindow w;
+    const SimDuration len = rng.UniformRange(
+        profile.partition_min, std::max(profile.partition_min,
+                                        profile.partition_max));
+    w.start = rng.UniformRange(0, std::max<SimTime>(1, horizon - len));
+    w.end = w.start + len;
+    // A proper bipartition: at least one node on each side.
+    if (num_nodes < 2) continue;
+    do {
+      w.side_a = rng.Uniform(uint64_t{1} << num_nodes);
+    } while (w.side_a == 0 ||
+             w.side_a == ((uint64_t{1} << num_nodes) - 1));
+    plan.partitions.push_back(w);
+  }
+  // Staggered crash cycles: chop the horizon into `crashes` equal slots and
+  // put one node's downtime strictly inside its slot, so at most one node
+  // is ever down and every crash has live peers to recover against.
+  for (int c = 0; c < profile.crashes; ++c) {
+    const SimTime slot_begin = horizon * c / profile.crashes;
+    const SimTime slot_end = horizon * (c + 1) / profile.crashes;
+    const SimDuration slot = slot_end - slot_begin;
+    SimDuration down = rng.UniformRange(
+        profile.downtime_min,
+        std::max(profile.downtime_min, profile.downtime_max));
+    down = std::min<SimDuration>(down, slot > 2 ? slot - 2 : 1);
+    CrashWindow w;
+    w.node = static_cast<NodeId>(rng.Uniform(
+        static_cast<uint64_t>(num_nodes)));
+    w.crash_at =
+        slot_begin + rng.UniformRange(1, std::max<SimTime>(1, slot - down));
+    w.recover_at = w.crash_at + down;
+    plan.crashes.push_back(w);
+  }
+  return plan;
+}
+
+FaultStage::FaultStage(FaultPlan plan, Rng rng)
+    : plan_(std::move(plan)), rng_(rng) {}
+
+const FaultRates& FaultStage::RatesFor(NodeId from, NodeId to,
+                                       MsgKind kind) const {
+  if (!plan_.by_link.empty()) {
+    auto it = plan_.by_link.find({from, to});
+    if (it != plan_.by_link.end()) return it->second;
+  }
+  if (!plan_.by_kind.empty()) {
+    auto it = plan_.by_kind.find(static_cast<uint8_t>(kind));
+    if (it != plan_.by_kind.end()) return it->second;
+  }
+  return plan_.rates;
+}
+
+bool FaultStage::Partitioned(SimTime now, NodeId from, NodeId to) const {
+  if (from == to) return false;
+  for (const PartitionWindow& w : plan_.partitions) {
+    if (now >= w.start && now < w.end && w.Splits(from, to)) return true;
+  }
+  return false;
+}
+
+FaultStage::Verdict FaultStage::OnSend(SimTime now, NodeId from, NodeId to,
+                                       MsgKind kind) {
+  Verdict v;
+  if (Partitioned(now, from, to)) {
+    v.drop = true;
+    v.partitioned = true;
+    ++partition_drops_;
+    return v;
+  }
+  const FaultRates& r = RatesFor(from, to, kind);
+  // Draw in a fixed order, and only for enabled fault classes, so that a
+  // plan with a single class enabled consumes exactly one draw per message
+  // and independent classes never perturb each other's streams.
+  if (r.loss > 0 && rng_.NextDouble() < r.loss) {
+    v.drop = true;
+    ++losses_;
+    return v;
+  }
+  if (r.duplicate > 0 && rng_.NextDouble() < r.duplicate) {
+    v.copies = 2;
+    ++duplicates_;
+  }
+  if (r.delay > 0 && rng_.NextDouble() < r.delay) {
+    v.extra_delay = rng_.UniformRange(r.delay_min,
+                                      std::max(r.delay_min, r.delay_max));
+    ++delays_;
+  }
+  return v;
+}
+
+std::string FaultStage::StatsSummary() const {
+  return "faults: lost=" + std::to_string(losses_) +
+         " dup=" + std::to_string(duplicates_) +
+         " delayed=" + std::to_string(delays_) +
+         " partitioned=" + std::to_string(partition_drops_);
+}
+
+}  // namespace ava3::rt

@@ -1,0 +1,169 @@
+#ifndef AVA3_RUNTIME_FAULT_H_
+#define AVA3_RUNTIME_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "runtime/message.h"
+
+namespace ava3::rt {
+
+/// Per-message fault probabilities. A FaultRates instance describes how one
+/// class of messages (everything, one MsgKind, or one directed link) is
+/// perturbed while in transit.
+struct FaultRates {
+  /// Probability the message is silently lost in transit.
+  double loss = 0.0;
+  /// Probability the message is delivered twice. The duplicate is an
+  /// independent copy with its own latency draw, so the pair may arrive in
+  /// either order — protocol handlers must be idempotent.
+  double duplicate = 0.0;
+  /// Probability the message suffers an extra latency spike drawn uniformly
+  /// from [delay_min, delay_max], letting later messages overtake it
+  /// (reordering without a separate queueing model).
+  double delay = 0.0;
+  SimDuration delay_min = 1 * kMillisecond;
+  SimDuration delay_max = 20 * kMillisecond;
+
+  bool Enabled() const { return loss > 0 || duplicate > 0 || delay > 0; }
+};
+
+/// A network bipartition: during [start, end) every remote message whose
+/// endpoints fall on different sides of the cut is dropped. Side A is the
+/// node-id bitmask `side_a`; everything else is side B. Messages within a
+/// side (and self-sends) are unaffected.
+struct PartitionWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+  uint64_t side_a = 0;
+
+  bool Splits(NodeId a, NodeId b) const {
+    const bool a_in = (side_a >> a) & 1;
+    const bool b_in = (side_a >> b) & 1;
+    return a_in != b_in;
+  }
+};
+
+/// A timed crash/restart of one node, driven through the engine's
+/// CrashNode/RecoverNode machinery (volatile state lost, durable state
+/// kept). `recover_at` <= `crash_at` means the node stays down forever.
+struct CrashWindow {
+  NodeId node = kInvalidNode;
+  SimTime crash_at = 0;
+  SimTime recover_at = 0;
+};
+
+/// Knobs for FaultPlan::Chaos(), expressed as intensities rather than
+/// absolute schedules so one profile scales across horizons/cluster sizes.
+struct ChaosProfile {
+  FaultRates rates;            // applied to all remote messages
+  int partitions = 0;          // number of partition windows to cut
+  SimDuration partition_min = 50 * kMillisecond;
+  SimDuration partition_max = 300 * kMillisecond;
+  int crashes = 0;             // number of crash/restart cycles
+  SimDuration downtime_min = 50 * kMillisecond;
+  SimDuration downtime_max = 400 * kMillisecond;
+};
+
+/// A complete, seed-reproducible fault scenario for one run: message-level
+/// fault rates (global defaults plus per-kind and per-link overrides), a
+/// partition schedule, and a crash/restart schedule.
+///
+/// The plan is runtime-agnostic: times are microseconds on whatever clock
+/// the executing runtime provides — simulated time under rt::SimRuntime
+/// (bit-reproducible), wall-clock microseconds since Start() under
+/// rt::ThreadRuntime (the *schedule* is reproducible; the interleaving is
+/// not).
+struct FaultPlan {
+  FaultRates rates;                       // default for every remote message
+  std::map<uint8_t, FaultRates> by_kind;  // keyed by MsgKind; overrides rates
+  /// Keyed by (from, to); overrides both `rates` and `by_kind`.
+  std::map<std::pair<NodeId, NodeId>, FaultRates> by_link;
+  std::vector<PartitionWindow> partitions;
+  std::vector<CrashWindow> crashes;
+
+  /// True if the plan perturbs anything at all. A default-constructed plan
+  /// is inert: the transport takes no fault branches and draws no
+  /// randomness, keeping no-fault runs bit-identical to a build without
+  /// the injector.
+  bool Enabled() const;
+
+  /// True if the plan perturbs messages in transit (rates or partitions) —
+  /// the part a transport consults per send. Crash windows are scheduled
+  /// by the Database facade, not drawn per message.
+  bool MessageFaultsEnabled() const;
+
+  FaultPlan& SetKindRates(MsgKind kind, FaultRates r) {
+    by_kind[static_cast<uint8_t>(kind)] = r;
+    return *this;
+  }
+  FaultPlan& SetLinkRates(NodeId from, NodeId to, FaultRates r) {
+    by_link[{from, to}] = r;
+    return *this;
+  }
+
+  /// Generates a randomized chaos schedule: `profile.partitions` random
+  /// bipartitions and `profile.crashes` staggered single-node
+  /// crash/restart cycles (never two nodes down at once, so 2PC decision
+  /// inquiry and advancement adoption always have a live peer), all inside
+  /// [0, horizon). Deterministic in (seed, num_nodes, horizon, profile).
+  static FaultPlan Chaos(uint64_t seed, int num_nodes, SimTime horizon,
+                         const ChaosProfile& profile);
+};
+
+/// The runtime-agnostic fault decision core: rolls the dice for one
+/// in-transit message and tracks cumulative fault counts. It owns its plan
+/// and randomness stream but no clock — the caller passes `now`, so the
+/// same stage logic serves the DES (sim::FaultInjector wraps one stage and
+/// feeds it Simulator::Now()) and the real-threads transport (ThreadRuntime
+/// keeps one stage per worker, fed wall-clock microseconds).
+///
+/// Not internally synchronized: confine each stage to one thread (or guard
+/// it externally) — the DES has one caller by construction; ThreadRuntime
+/// gives each worker its own stage, mirroring its per-worker Rand streams.
+class FaultStage {
+ public:
+  FaultStage(FaultPlan plan, Rng rng);
+
+  struct Verdict {
+    bool drop = false;           // lost in transit (counts as such)
+    bool partitioned = false;    // dropped by an active partition window
+    int copies = 1;              // 2 when duplicated
+    SimDuration extra_delay = 0; // reordering spike, added to base latency
+  };
+
+  /// Rolls the dice for one remote message from `from` to `to` at `now`.
+  Verdict OnSend(SimTime now, NodeId from, NodeId to, MsgKind kind);
+
+  /// True while an active partition window separates the two nodes.
+  bool Partitioned(SimTime now, NodeId from, NodeId to) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Cumulative fault accounting (for StatsSummary and benches).
+  uint64_t losses() const { return losses_; }
+  uint64_t duplicates() const { return duplicates_; }
+  uint64_t delays() const { return delays_; }
+  uint64_t partition_drops() const { return partition_drops_; }
+
+  std::string StatsSummary() const;
+
+ private:
+  const FaultRates& RatesFor(NodeId from, NodeId to, MsgKind kind) const;
+
+  FaultPlan plan_;
+  Rng rng_;
+  uint64_t losses_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t delays_ = 0;
+  uint64_t partition_drops_ = 0;
+};
+
+}  // namespace ava3::rt
+
+#endif  // AVA3_RUNTIME_FAULT_H_

@@ -48,4 +48,43 @@ const char* MsgKindName(MsgKind kind) {
   return "?";
 }
 
+std::string FormatTransportStats(const SentCounts& sent,
+                                 const DropCounts& dropped,
+                                 uint64_t duplicated, uint64_t delayed) {
+  std::string out;
+  for (size_t k = 0; k < kNumMsgKinds; ++k) {
+    if (sent[k] == 0) continue;
+    if (!out.empty()) out += " ";
+    out += MsgKindName(static_cast<MsgKind>(k));
+    out += "=";
+    out += std::to_string(sent[k]);
+  }
+  uint64_t total_dropped = 0;
+  for (const auto& per_kind : dropped) {
+    for (uint64_t n : per_kind) total_dropped += n;
+  }
+  out += " dropped=" + std::to_string(total_dropped);
+  for (size_t c = 0; c < kNumDropCauses; ++c) {
+    uint64_t cause_total = 0;
+    for (uint64_t n : dropped[c]) cause_total += n;
+    if (cause_total == 0) continue;
+    out += " dropped[" + std::string(DropCauseName(static_cast<DropCause>(c))) +
+           "]=" + std::to_string(cause_total) + " (";
+    bool first = true;
+    for (size_t k = 0; k < kNumMsgKinds; ++k) {
+      const uint64_t n = dropped[c][k];
+      if (n == 0) continue;
+      if (!first) out += " ";
+      first = false;
+      out += MsgKindName(static_cast<MsgKind>(k));
+      out += "=";
+      out += std::to_string(n);
+    }
+    out += ")";
+  }
+  if (duplicated > 0) out += " duplicated=" + std::to_string(duplicated);
+  if (delayed > 0) out += " delayed=" + std::to_string(delayed);
+  return out;
+}
+
 }  // namespace ava3::rt

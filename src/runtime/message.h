@@ -1,7 +1,9 @@
 #ifndef AVA3_RUNTIME_MESSAGE_H_
 #define AVA3_RUNTIME_MESSAGE_H_
 
+#include <array>
 #include <cstdint>
+#include <string>
 
 namespace ava3::rt {
 
@@ -43,6 +45,24 @@ enum class DropCause : uint8_t {
 
 /// Returns a stable short name, e.g. "in-transit".
 const char* DropCauseName(DropCause cause);
+
+constexpr size_t kNumMsgKinds = static_cast<size_t>(MsgKind::kNumKinds);
+constexpr size_t kNumDropCauses = static_cast<size_t>(DropCause::kNumCauses);
+
+/// Per-kind send counts and per-cause × per-kind drop counts — the common
+/// accounting shape every transport keeps (sim::Network in plain integers,
+/// rt::ThreadRuntime in atomics snapshotted on read).
+using SentCounts = std::array<uint64_t, kNumMsgKinds>;
+using DropCounts = std::array<std::array<uint64_t, kNumMsgKinds>,
+                              kNumDropCauses>;
+
+/// Formats the canonical one-line transport summary: sent per kind, then
+/// drops per cause (with a per-kind breakdown for each non-empty cause),
+/// then duplication/delay counts when fault injection fired. One formatter
+/// for every transport, so sim and thread chaos runs compare key-for-key.
+std::string FormatTransportStats(const SentCounts& sent,
+                                 const DropCounts& dropped,
+                                 uint64_t duplicated, uint64_t delayed);
 
 }  // namespace ava3::rt
 

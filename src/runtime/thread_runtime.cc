@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <utility>
 
 namespace ava3::rt {
@@ -22,7 +23,9 @@ constexpr uint64_t kCounterMask = (uint64_t{1} << kWorkerShift) - 1;
 }  // namespace
 
 ThreadRuntime::ThreadRuntime(int num_nodes, ThreadRuntimeOptions options)
-    : num_nodes_(num_nodes), options_(options) {
+    : num_nodes_(num_nodes),
+      options_(std::move(options)),
+      message_faults_(options_.faults.MessageFaultsEnabled()) {
   assert(num_nodes_ >= 1);
   const int workers = num_nodes_ + 1;  // + service context
   workers_.reserve(workers);
@@ -31,6 +34,17 @@ ThreadRuntime::ThreadRuntime(int num_nodes, ThreadRuntimeOptions options)
     workers_.push_back(std::make_unique<Worker>());
     rngs_.push_back(std::make_unique<Rng>(
         options_.seed ^ (0xC2B2AE3D27D4EB4FULL * (i + 1))));
+  }
+  if (message_faults_) {
+    // One stage per worker plus one for external threads (slot 0), each
+    // with its own forked randomness stream — the thread analogue of the
+    // DES injector's single stream, without cross-worker contention.
+    fault_stages_.reserve(workers + 1);
+    for (int i = 0; i < workers + 1; ++i) {
+      fault_stages_.push_back(std::make_unique<FaultStage>(
+          options_.faults,
+          Rng(options_.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)))));
+    }
   }
   node_up_ = std::make_unique<std::atomic<bool>[]>(num_nodes_);
   for (int i = 0; i < num_nodes_; ++i) {
@@ -51,27 +65,39 @@ void ThreadRuntime::Start() {
 }
 
 void ThreadRuntime::Shutdown() {
-  if (!started_.load(std::memory_order_acquire)) return;
-  if (stop_.exchange(true)) {
-    // A previous Shutdown already joined the workers.
-    return;
-  }
-  for (auto& w : workers_) {
-    // Lock-then-notify: a worker either sees stop_ before sleeping or is
-    // woken by the notification — no missed-wakeup window.
-    { std::lock_guard<std::mutex> lk(w->mu); }
-    w->cv.notify_all();
-  }
-  for (auto& w : workers_) {
-    if (w->thread.joinable()) w->thread.join();
+  // Serialize callers: whoever arrives second must not return while the
+  // first is still joining workers — otherwise its caller could start
+  // tearing down the engine with closures mid-execution.
+  std::lock_guard<std::mutex> shutdown_lk(shutdown_mu_);
+  if (!started_.load(std::memory_order_acquire)) {
+    // Never started: no threads to join. Still mark stopped so later
+    // sends/schedules are destroyed instead of enqueued.
+    stop_.store(true, std::memory_order_release);
+  } else if (!stop_.exchange(true, std::memory_order_acq_rel)) {
+    for (auto& w : workers_) {
+      // Lock-then-notify: a worker either sees stop_ before sleeping or is
+      // woken by the notification — no missed-wakeup window.
+      { std::lock_guard<std::mutex> lk(w->mu); }
+      w->cv.notify_all();
+    }
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
   }
   // Destroy undelivered closures now, while whatever they capture is
-  // still alive. They are never invoked.
+  // still alive. They are never invoked. This runs under shutdown_mu_ on
+  // every call (idempotent), so any racing Send/ScheduleOn either lost to
+  // the stop_ check under the worker mutex or its closure is swept here.
   for (auto& w : workers_) {
-    std::lock_guard<std::mutex> lk(w->mu);
-    w->mailbox.clear();
-    w->timers.clear();
-    while (!w->heap.empty()) w->heap.pop();
+    std::vector<TaskFn> mailbox;
+    std::unordered_map<TimerId, TaskFn> timers;
+    {
+      std::lock_guard<std::mutex> lk(w->mu);
+      mailbox.swap(w->mailbox);
+      timers.swap(w->timers);
+      while (!w->heap.empty()) w->heap.pop();
+    }
+    // Closure destructors run outside w->mu.
   }
 }
 
@@ -96,6 +122,10 @@ TimerId ThreadRuntime::ScheduleOnWorker(int index, SimDuration delay,
   const SimTime deadline = NowUs() + std::max<SimDuration>(delay, 0);
   {
     std::lock_guard<std::mutex> lk(w.mu);
+    // stop_ is checked under the same mutex Shutdown's sweep takes, so a
+    // closure either lands before the sweep (and is swept) or sees stop_
+    // and is destroyed right here — nothing lingers past Shutdown.
+    if (stop_.load(std::memory_order_acquire)) return kInvalidTimer;
     w.timers.emplace(id, std::move(fn));
     w.heap.push(TimerEntry{deadline, id});
   }
@@ -125,38 +155,122 @@ bool ThreadRuntime::CancelTimer(TimerId id) {
 }
 
 void ThreadRuntime::RunExclusive(const std::function<void()>& fn) {
-  // Collect every execution lock (except the calling worker's own, which
-  // it already holds) in ascending index order — a total order, so two
-  // concurrent RunExclusive calls cannot deadlock against each other.
-  std::vector<std::unique_lock<std::mutex>> held;
-  held.reserve(workers_.size());
-  for (size_t i = 0; i < workers_.size(); ++i) {
-    if (static_cast<int>(i) == tls_worker) continue;
-    held.emplace_back(workers_[i]->exec_mu);
+  // Stall the world by collecting every worker's exec_mu (WorkerLoop wraps
+  // each closure in its exec_mu, so holding all of them proves no closure
+  // is mid-execution). Two caller shapes must compose without deadlock or
+  // livelock:
+  //
+  //  - external threads (the bench/test driver), which hold nothing;
+  //  - a *worker-context* closure (the deadlock detector runs on the
+  //    service worker), whose own exec_mu is already held by its
+  //    WorkerLoop frame.
+  //
+  // A plain ordered sweep deadlocks: the worker-context caller permanently
+  // holds its own exec_mu while waiting for the rest, while an external
+  // sweeper holds the rest and waits for it. Try-lock with back-off
+  // instead livelocks under saturation: catching every busy worker between
+  // closures simultaneously almost never happens. So: serialize callers
+  // through one token mutex, and have a worker-context caller drop its own
+  // exec_mu before competing for the token. Parked on the token it is
+  // provably not running, so the token holder can take every exec_mu with
+  // plain blocking acquires. No exec_mu holder ever waits on the token
+  // while holding (it releases first), so the wait graph stays acyclic,
+  // and every blocking acquire is released by a finite closure, so the
+  // sweep always completes. Contract this relies on: a worker-context
+  // closure calls RunExclusive *before* mutating shared state (the
+  // deadlock detector's closure does nothing else), since parking it here
+  // lets another exclusive section run in between.
+  const int self = tls_worker;
+  if (self >= 0) workers_[static_cast<size_t>(self)]->exec_mu.unlock();
+  {
+    std::lock_guard<std::mutex> token(exclusive_mu_);
+    std::vector<std::unique_lock<std::mutex>> held;
+    held.reserve(workers_.size());
+    for (auto& w : workers_) held.emplace_back(w->exec_mu);
+    fn();
   }
-  fn();
+  // Restore the caller's own exec_mu so the WorkerLoop guard that will
+  // unlock it at closure end stays balanced.
+  if (self >= 0) workers_[static_cast<size_t>(self)]->exec_mu.lock();
 }
 
-void ThreadRuntime::Send(NodeId from, NodeId to, MsgKind kind,
-                         TaskFn deliver) {
-  (void)from;
-  assert(to >= 0 && to < num_nodes_);
-  sent_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
-  if (!IsNodeUp(to)) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+FaultStage::Verdict ThreadRuntime::FaultVerdict(NodeId from, NodeId to,
+                                                MsgKind kind) {
+  const SimTime now = NowUs();
+  const int slot = tls_worker + 1;  // external threads (-1) share slot 0
+  if (slot == 0) {
+    std::lock_guard<std::mutex> lk(external_fault_mu_);
+    return fault_stages_[0]->OnSend(now, from, to, kind);
+  }
+  return fault_stages_[static_cast<size_t>(slot)]->OnSend(now, from, to,
+                                                          kind);
+}
+
+void ThreadRuntime::EnqueueDelivery(NodeId to, MsgKind kind,
+                                    SimDuration extra_delay, TaskFn deliver) {
+  TaskFn wrapped([this, to, kind, d = std::move(deliver)]() mutable {
+    // Re-check liveness at delivery time, mirroring the simulated
+    // network's drop-at-destination semantics for crash windows.
+    if (IsNodeUp(to)) {
+      d();
+    } else {
+      CountDrop(DropCause::kDestDown, kind);
+    }
+  });
+  if (extra_delay > 0) {
+    // Delay spike: the delivery re-enters through a destination timer, so
+    // undelayed traffic overtakes it — reordering without a queue model.
+    ScheduleOnWorker(to, extra_delay, std::move(wrapped));
     return;
   }
   Worker& w = *workers_[to];
   {
     std::lock_guard<std::mutex> lk(w.mu);
-    // Re-check liveness at delivery time, mirroring the simulated
-    // network's drop-at-destination semantics for crash windows.
-    w.mailbox.push_back(
-        [this, to, d = std::move(deliver)]() mutable {
-          if (IsNodeUp(to)) d();
-        });
+    if (stop_.load(std::memory_order_acquire)) return;  // destroyed unrun
+    w.mailbox.push_back(std::move(wrapped));
   }
   w.cv.notify_one();
+}
+
+void ThreadRuntime::Send(NodeId from, NodeId to, MsgKind kind,
+                         TaskFn deliver) {
+  assert(to >= 0 && to < num_nodes_);
+  sent_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+  if (!IsNodeUp(to)) {
+    CountDrop(DropCause::kDestDown, kind);
+    return;
+  }
+  int copies = 1;
+  SimDuration extra_delay = 0;
+  if (message_faults_ && from != to) {
+    // Self-sends model in-process dispatch: never faulted, matching sim.
+    const FaultStage::Verdict v = FaultVerdict(from, to, kind);
+    if (v.drop) {
+      CountDrop(v.partitioned ? DropCause::kPartition
+                              : DropCause::kInTransit,
+                kind);
+      return;
+    }
+    if (v.copies > 1) {
+      duplicated_.fetch_add(v.copies - 1, std::memory_order_relaxed);
+    }
+    if (v.extra_delay > 0) {
+      delayed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    copies = v.copies;
+    extra_delay = v.extra_delay;
+  }
+  if (copies == 1) {
+    EnqueueDelivery(to, kind, extra_delay, std::move(deliver));
+    return;
+  }
+  // Injected duplication needs the closure more than once; share it. The
+  // single-copy path (everything outside fault injection) stays move-only
+  // and allocation-free.
+  auto shared = std::make_shared<TaskFn>(std::move(deliver));
+  for (int copy = 0; copy < copies; ++copy) {
+    EnqueueDelivery(to, kind, extra_delay, TaskFn([shared] { (*shared)(); }));
+  }
 }
 
 void ThreadRuntime::SetNodeUp(NodeId node, bool up) {
@@ -180,6 +294,39 @@ uint64_t ThreadRuntime::TotalSent() const {
   uint64_t total = 0;
   for (const auto& s : sent_) total += s.load(std::memory_order_relaxed);
   return total;
+}
+
+uint64_t ThreadRuntime::DroppedCount() const {
+  uint64_t total = 0;
+  for (const auto& per_kind : dropped_) {
+    for (const auto& c : per_kind) {
+      total += c.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+uint64_t ThreadRuntime::DroppedCount(DropCause cause) const {
+  uint64_t total = 0;
+  for (const auto& c : dropped_[static_cast<size_t>(cause)]) {
+    total += c.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string ThreadRuntime::StatsSummary() const {
+  SentCounts sent{};
+  DropCounts dropped{};
+  for (size_t k = 0; k < kNumMsgKinds; ++k) {
+    sent[k] = sent_[k].load(std::memory_order_relaxed);
+  }
+  for (size_t c = 0; c < kNumDropCauses; ++c) {
+    for (size_t k = 0; k < kNumMsgKinds; ++k) {
+      dropped[c][k] = dropped_[c][k].load(std::memory_order_relaxed);
+    }
+  }
+  return FormatTransportStats(sent, dropped, DuplicatedCount(),
+                              DelayedCount());
 }
 
 void ThreadRuntime::WorkerLoop(int index) {
@@ -211,13 +358,17 @@ void ThreadRuntime::WorkerLoop(int index) {
       lk.unlock();
       // Due timers run before mailbox messages. exec_mu is taken per
       // closure, not per batch, so RunExclusive's safepoint granularity is
-      // unchanged: it can interpose between any two closures.
+      // unchanged: it can interpose between any two closures. Re-checking
+      // stop_ per closure bounds how far a batch outruns Shutdown: the
+      // remainder is destroyed unrun (below), same as queued closures.
       for (auto& task : due) {
+        if (stop_.load(std::memory_order_acquire)) break;
         seq_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> ex(w.exec_mu);
         task();
       }
       for (auto& task : mail) {
+        if (stop_.load(std::memory_order_acquire)) break;
         seq_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> ex(w.exec_mu);
         task();

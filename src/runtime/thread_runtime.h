@@ -9,18 +9,27 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/fault.h"
 #include "runtime/runtime.h"
 
 namespace ava3::rt {
 
 /// Options for the real-threads runtime.
 struct ThreadRuntimeOptions {
-  /// Seed for the per-node Rand streams.
+  /// Seed for the per-node Rand streams and the fault stages.
   uint64_t seed = 1;
+  /// Message-fault scenario (loss, duplication, delay spikes, partitions)
+  /// applied to remote sends, the same FaultPlan the DES consumes. The
+  /// *schedule* is reproducible in (seed, plan); which messages exist and
+  /// their timing are not, so thread-runtime chaos is a stress, not a
+  /// replay. Crash windows in the plan are ignored here — the Database
+  /// facade schedules them as timers driving CrashNode/RecoverNode.
+  FaultPlan faults;
 };
 
 /// Runtime that executes the protocol stack on real OS threads: one worker
@@ -35,6 +44,13 @@ struct ThreadRuntimeOptions {
 /// SimRuntime for reproduction and this runtime for wall-clock throughput
 /// (bench/bench_realtime) and for exercising the §6.3 atomic-counter read
 /// path under real contention.
+///
+/// Fault injection mirrors sim::Network's: remote sends consult a
+/// per-worker rt::FaultStage (own RNG stream each, so workers never
+/// contend), losses/partition cuts drop the delivery closure, duplicates
+/// deliver it twice, and delay spikes re-route the delivery through a
+/// destination timer so undelayed traffic overtakes it (reordering).
+/// Self-sends are never faulted, matching the DES.
 ///
 /// Lifecycle: construct runtime → construct engine (its constructor may
 /// schedule timers; nothing fires yet) → Start() → drive load from any
@@ -53,8 +69,14 @@ class ThreadRuntime final : public Runtime {
   /// half-built engine.
   void Start();
 
-  /// Stops and joins all workers. Pending timers and mailbox closures are
-  /// destroyed without running. Idempotent; also called by the destructor.
+  /// Stops and joins all workers, then destroys every pending timer and
+  /// mailbox closure without running it. Safe to call concurrently from
+  /// several threads: every caller blocks until the workers are joined
+  /// and the queues are drained, so when *any* Shutdown() returns, no
+  /// closure is running or will ever run — only then may the engine be
+  /// torn down. Sends and schedules that race past Shutdown are destroyed
+  /// immediately instead of being enqueued. Idempotent; also called by
+  /// the destructor.
   void Shutdown();
 
   // Runtime interface ----------------------------------------------------
@@ -73,15 +95,35 @@ class ThreadRuntime final : public Runtime {
   int num_nodes() const override { return num_nodes_; }
   bool deterministic() const override { return false; }
 
-  // Transport statistics (quiescent reads are exact; concurrent reads are
-  // monotone approximations).
+  // Transport statistics, kept in the same per-cause x per-kind shape as
+  // sim::Network so sim and thread chaos runs compare key-for-key
+  // (quiescent reads are exact; concurrent reads are monotone
+  // approximations).
   uint64_t SentCount(MsgKind kind) const {
     return sent_[static_cast<size_t>(kind)].load(std::memory_order_relaxed);
   }
   uint64_t TotalSent() const;
-  uint64_t DroppedCount() const {
-    return dropped_.load(std::memory_order_relaxed);
+  /// Messages dropped for any reason (all causes, all kinds).
+  uint64_t DroppedCount() const;
+  /// Messages dropped for one cause (summed over kinds).
+  uint64_t DroppedCount(DropCause cause) const;
+  /// Messages of one kind dropped for one cause.
+  uint64_t DroppedCount(DropCause cause, MsgKind kind) const {
+    return dropped_[static_cast<size_t>(cause)][static_cast<size_t>(kind)]
+        .load(std::memory_order_relaxed);
   }
+  /// Extra copies delivered due to injected duplication.
+  uint64_t DuplicatedCount() const {
+    return duplicated_.load(std::memory_order_relaxed);
+  }
+  /// Messages that suffered an injected delay spike.
+  uint64_t DelayedCount() const {
+    return delayed_.load(std::memory_order_relaxed);
+  }
+  /// One-line per-kind summary in sim::Network::StatsSummary() format.
+  std::string StatsSummary() const;
+
+  const FaultPlan& fault_plan() const { return options_.faults; }
 
  private:
   struct TimerEntry {
@@ -119,20 +161,47 @@ class ThreadRuntime final : public Runtime {
   void WorkerLoop(int index);
   TimerId ScheduleOnWorker(int index, SimDuration delay, TaskFn fn);
   SimTime NowUs() const;
+  void CountDrop(DropCause cause, MsgKind kind) {
+    dropped_[static_cast<size_t>(cause)][static_cast<size_t>(kind)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Consults the calling thread's fault stage (workers own one each;
+  /// external threads share one behind a mutex).
+  FaultStage::Verdict FaultVerdict(NodeId from, NodeId to, MsgKind kind);
+  /// Enqueues one delivery closure: straight into `to`'s mailbox, or via a
+  /// destination timer when the fault stage spiked it with `extra_delay`.
+  void EnqueueDelivery(NodeId to, MsgKind kind, SimDuration extra_delay,
+                       TaskFn deliver);
 
   const int num_nodes_;
   const ThreadRuntimeOptions options_;
+  /// True when remote sends must consult a fault stage at all.
+  const bool message_faults_;
   std::vector<std::unique_ptr<Worker>> workers_;  // size num_nodes_ + 1
   std::vector<std::unique_ptr<Rng>> rngs_;        // one per worker
+  /// Fault stages, indexed worker+1; slot 0 serves external threads and is
+  /// guarded by external_fault_mu_. Empty when !message_faults_.
+  std::vector<std::unique_ptr<FaultStage>> fault_stages_;
+  std::mutex external_fault_mu_;
   std::unique_ptr<std::atomic<bool>[]> node_up_;
   std::chrono::steady_clock::time_point start_tp_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_{false};
+  /// Serializes Shutdown callers so every one of them returns only after
+  /// the join + queue drain completed (not merely after losing the
+  /// stop_ exchange race).
+  std::mutex shutdown_mu_;
+  /// RunExclusive token: callers take it before sweeping the exec_mus, so
+  /// at most one world-stop is being assembled at a time (see the deadlock
+  /// / livelock discussion in RunExclusive).
+  std::mutex exclusive_mu_;
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> next_timer_{1};
-  std::array<std::atomic<uint64_t>, static_cast<size_t>(MsgKind::kNumKinds)>
-      sent_{};
-  std::atomic<uint64_t> dropped_{0};
+  std::array<std::atomic<uint64_t>, kNumMsgKinds> sent_{};
+  std::array<std::array<std::atomic<uint64_t>, kNumMsgKinds>, kNumDropCauses>
+      dropped_{};
+  std::atomic<uint64_t> duplicated_{0};
+  std::atomic<uint64_t> delayed_{0};
 };
 
 }  // namespace ava3::rt

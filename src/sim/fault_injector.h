@@ -2,13 +2,11 @@
 #define AVA3_SIM_FAULT_INJECTOR_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
-#include <utility>
-#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "runtime/fault.h"
 #include "runtime/message.h"
 #include "sim/simulator.h"
 
@@ -16,138 +14,52 @@ namespace ava3::sim {
 
 using rt::MsgKind;
 
-/// Per-message fault probabilities. A FaultRates instance describes how one
-/// class of messages (everything, one MsgKind, or one directed link) is
-/// perturbed while in transit.
-struct FaultRates {
-  /// Probability the message is silently lost in transit.
-  double loss = 0.0;
-  /// Probability the message is delivered twice. The duplicate is an
-  /// independent copy with its own latency draw, so the pair may arrive in
-  /// either order — protocol handlers must be idempotent.
-  double duplicate = 0.0;
-  /// Probability the message suffers an extra latency spike drawn uniformly
-  /// from [delay_min, delay_max], letting later messages overtake it
-  /// (reordering without a separate queueing model).
-  double delay = 0.0;
-  SimDuration delay_min = 1 * kMillisecond;
-  SimDuration delay_max = 20 * kMillisecond;
+// Fault plans are a property of the protocol experiment, not of any one
+// transport, so the types live in runtime/fault.h and both runtimes consume
+// them (the DES through this injector, the real-threads transport through
+// per-worker rt::FaultStage instances). Aliased here so existing
+// sim::FaultPlan spellings keep working.
+using rt::ChaosProfile;
+using rt::CrashWindow;
+using rt::FaultPlan;
+using rt::FaultRates;
+using rt::PartitionWindow;
 
-  bool Enabled() const { return loss > 0 || duplicate > 0 || delay > 0; }
-};
-
-/// A network bipartition: during [start, end) every remote message whose
-/// endpoints fall on different sides of the cut is dropped. Side A is the
-/// node-id bitmask `side_a`; everything else is side B. Messages within a
-/// side (and self-sends) are unaffected.
-struct PartitionWindow {
-  SimTime start = 0;
-  SimTime end = 0;
-  uint64_t side_a = 0;
-
-  bool Splits(NodeId a, NodeId b) const {
-    const bool a_in = (side_a >> a) & 1;
-    const bool b_in = (side_a >> b) & 1;
-    return a_in != b_in;
-  }
-};
-
-/// A timed crash/restart of one node, driven through the engine's
-/// CrashNode/RecoverNode machinery (volatile state lost, durable state
-/// kept). `recover_at` <= `crash_at` means the node stays down forever.
-struct CrashWindow {
-  NodeId node = kInvalidNode;
-  SimTime crash_at = 0;
-  SimTime recover_at = 0;
-};
-
-/// Knobs for FaultPlan::Chaos(), expressed as intensities rather than
-/// absolute schedules so one profile scales across horizons/cluster sizes.
-struct ChaosProfile {
-  FaultRates rates;            // applied to all remote messages
-  int partitions = 0;          // number of partition windows to cut
-  SimDuration partition_min = 50 * kMillisecond;
-  SimDuration partition_max = 300 * kMillisecond;
-  int crashes = 0;             // number of crash/restart cycles
-  SimDuration downtime_min = 50 * kMillisecond;
-  SimDuration downtime_max = 400 * kMillisecond;
-};
-
-/// A complete, seed-reproducible fault scenario for one run: message-level
-/// fault rates (global defaults plus per-kind and per-link overrides), a
-/// partition schedule, and a crash/restart schedule.
-struct FaultPlan {
-  FaultRates rates;                       // default for every remote message
-  std::map<uint8_t, FaultRates> by_kind;  // keyed by MsgKind; overrides rates
-  /// Keyed by (from, to); overrides both `rates` and `by_kind`.
-  std::map<std::pair<NodeId, NodeId>, FaultRates> by_link;
-  std::vector<PartitionWindow> partitions;
-  std::vector<CrashWindow> crashes;
-
-  /// True if the plan perturbs anything at all. A default-constructed plan
-  /// is inert: the network takes no fault branches and draws no randomness,
-  /// keeping no-fault runs bit-identical to a build without the injector.
-  bool Enabled() const;
-
-  FaultPlan& SetKindRates(MsgKind kind, FaultRates r) {
-    by_kind[static_cast<uint8_t>(kind)] = r;
-    return *this;
-  }
-  FaultPlan& SetLinkRates(NodeId from, NodeId to, FaultRates r) {
-    by_link[{from, to}] = r;
-    return *this;
-  }
-
-  /// Generates a randomized chaos schedule: `profile.partitions` random
-  /// bipartitions and `profile.crashes` staggered single-node
-  /// crash/restart cycles (never two nodes down at once, so 2PC decision
-  /// inquiry and advancement adoption always have a live peer), all inside
-  /// [0, horizon). Deterministic in (seed, num_nodes, horizon, profile).
-  static FaultPlan Chaos(uint64_t seed, int num_nodes, SimTime horizon,
-                         const ChaosProfile& profile);
-};
-
-/// Decides the fate of each in-transit message. Owned by the Database,
-/// consulted by Network::Send for remote messages only; draws randomness
-/// from its own forked stream so enabling a fault class never perturbs the
-/// latency/drop draws of the base network model.
+/// Decides the fate of each in-transit message on the DES. Owned by the
+/// Database, consulted by Network::Send for remote messages only; a thin
+/// clock adapter over the runtime-agnostic rt::FaultStage, binding the
+/// stage's `now` to Simulator::Now(). Draws randomness from its own forked
+/// stream so enabling a fault class never perturbs the latency/drop draws
+/// of the base network model.
 class FaultInjector {
  public:
+  using Verdict = rt::FaultStage::Verdict;
+
   FaultInjector(Simulator* simulator, FaultPlan plan, Rng rng);
 
-  struct Verdict {
-    bool drop = false;           // lost in transit (counts as such)
-    bool partitioned = false;    // dropped by an active partition window
-    int copies = 1;              // 2 when duplicated
-    SimDuration extra_delay = 0; // reordering spike, added to base latency
-  };
-
   /// Rolls the dice for one remote message from `from` to `to`.
-  Verdict OnSend(NodeId from, NodeId to, MsgKind kind);
+  Verdict OnSend(NodeId from, NodeId to, MsgKind kind) {
+    return stage_.OnSend(simulator_->Now(), from, to, kind);
+  }
 
   /// True while an active partition window separates the two nodes.
-  bool Partitioned(NodeId from, NodeId to) const;
+  bool Partitioned(NodeId from, NodeId to) const {
+    return stage_.Partitioned(simulator_->Now(), from, to);
+  }
 
-  const FaultPlan& plan() const { return plan_; }
+  const FaultPlan& plan() const { return stage_.plan(); }
 
   // Cumulative fault accounting (for StatsSummary and benches).
-  uint64_t losses() const { return losses_; }
-  uint64_t duplicates() const { return duplicates_; }
-  uint64_t delays() const { return delays_; }
-  uint64_t partition_drops() const { return partition_drops_; }
+  uint64_t losses() const { return stage_.losses(); }
+  uint64_t duplicates() const { return stage_.duplicates(); }
+  uint64_t delays() const { return stage_.delays(); }
+  uint64_t partition_drops() const { return stage_.partition_drops(); }
 
-  std::string StatsSummary() const;
+  std::string StatsSummary() const { return stage_.StatsSummary(); }
 
  private:
-  const FaultRates& RatesFor(NodeId from, NodeId to, MsgKind kind) const;
-
   Simulator* simulator_;
-  FaultPlan plan_;
-  Rng rng_;
-  uint64_t losses_ = 0;
-  uint64_t duplicates_ = 0;
-  uint64_t delays_ = 0;
-  uint64_t partition_drops_ = 0;
+  rt::FaultStage stage_;
 };
 
 }  // namespace ava3::sim

@@ -149,35 +149,7 @@ uint64_t Network::DroppedCount(DropCause cause) const {
 }
 
 std::string Network::StatsSummary() const {
-  std::string out;
-  for (size_t k = 0; k < static_cast<size_t>(MsgKind::kNumKinds); ++k) {
-    if (sent_[k] == 0) continue;
-    if (!out.empty()) out += " ";
-    out += MsgKindName(static_cast<MsgKind>(k));
-    out += "=";
-    out += std::to_string(sent_[k]);
-  }
-  out += " dropped=" + std::to_string(DroppedCount());
-  for (size_t c = 0; c < static_cast<size_t>(DropCause::kNumCauses); ++c) {
-    const DropCause cause = static_cast<DropCause>(c);
-    if (DroppedCount(cause) == 0) continue;
-    out += " dropped[" + std::string(DropCauseName(cause)) +
-           "]=" + std::to_string(DroppedCount(cause)) + " (";
-    bool first = true;
-    for (size_t k = 0; k < static_cast<size_t>(MsgKind::kNumKinds); ++k) {
-      const uint64_t n = dropped_[c][k];
-      if (n == 0) continue;
-      if (!first) out += " ";
-      first = false;
-      out += MsgKindName(static_cast<MsgKind>(k));
-      out += "=";
-      out += std::to_string(n);
-    }
-    out += ")";
-  }
-  if (duplicated_ > 0) out += " duplicated=" + std::to_string(duplicated_);
-  if (delayed_ > 0) out += " delayed=" + std::to_string(delayed_);
-  return out;
+  return rt::FormatTransportStats(sent_, dropped_, duplicated_, delayed_);
 }
 
 }  // namespace ava3::sim

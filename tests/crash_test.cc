@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+
 #include "engine/database.h"
 #include "verify/serializability.h"
 #include "workload/runner.h"
@@ -230,6 +235,143 @@ TEST(CrashTest, InDoubtTransactionCommitsAfterCrashRecovery) {
     EXPECT_EQ(recorded, dbase.metrics().update_commits());
   }
 }
+
+// ---------------------------------------------------------------------------
+// Durable-log crash/recover/verify through the Database facade, on *both*
+// runtimes: the crash windows travel in DatabaseOptions::faults, so the
+// facade schedules them as simulator events (DES) or node-worker timers
+// (threads) and each recovery replays checkpoint + redo tail and verifies
+// it against the surviving committed state.
+// ---------------------------------------------------------------------------
+
+class RuntimeCrashRecoveryTest
+    : public testing::TestWithParam<db::RuntimeKind> {};
+
+TEST_P(RuntimeCrashRecoveryTest, DurableReplayRunsUnderCrashWindows) {
+  const db::RuntimeKind kind = GetParam();
+  const bool threads = kind == db::RuntimeKind::kThread;
+  const int num_nodes = 3;
+  // Simulated microseconds under the DES, wall-clock under threads.
+  const SimDuration horizon = threads ? 1'200'000 : 3 * kSecond;
+
+  DatabaseOptions o;
+  o.num_nodes = num_nodes;
+  o.runtime = kind;
+  o.seed = 77;
+  o.ava3.advancement_resend = 50 * kMillisecond;
+  o.ava3.checkpoint_period = horizon / 10;  // several checkpoints per run
+  o.base.txn_timeout = threads ? 300 * kMillisecond : 2 * kSecond;
+  o.base.prepared_timeout = threads ? 900 * kMillisecond : 6 * kSecond;
+  // One staggered crash/restart cycle per node, all inside the horizon.
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    sim::CrashWindow w;
+    w.node = n;
+    w.crash_at = (n + 1) * horizon / 4;
+    w.recover_at = w.crash_at + horizon / 12;
+    o.faults.crashes.push_back(w);
+  }
+
+  Database dbase(o);
+  auto* eng = dbase.ava3_engine();
+  ASSERT_NE(eng, nullptr);
+  std::map<ItemId, int64_t> initial;
+
+  if (!threads) {
+    wl::WorkloadSpec spec;
+    spec.num_nodes = num_nodes;
+    spec.items_per_node = 40;
+    spec.update_rate_per_sec = 300;
+    spec.query_rate_per_sec = 100;
+    spec.update_multinode_prob = 0.4;
+    spec.max_retries = 50;
+    wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec,
+                              o.seed);
+    initial = runner.SeedData();
+    runner.Start(horizon);
+    dbase.RunFor(horizon);
+    dbase.RunFor(120 * kSecond);  // drain: timeouts, in-doubt resolution
+  } else {
+    wl::WorkloadSpec spec;
+    spec.num_nodes = num_nodes;
+    spec.items_per_node = 40;
+    spec.update_multinode_prob = 0.4;
+    spec.query_multinode_prob = 0.4;
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      for (int64_t i = 0; i < spec.items_per_node; ++i) {
+        const ItemId item = spec.FirstItemOf(n) + i;
+        dbase.LoadInitial(n, item, spec.initial_value);
+        initial[item] = spec.initial_value;
+      }
+    }
+    // Open-loop wall-clock submissions across the horizon. Submissions to
+    // a crashed root are black-holed (their callback never fires), so the
+    // drain below polls for stability instead of counting completions.
+    std::atomic<int> completed{0};
+    wl::ScriptGenerator gen(spec, Rng(o.seed));
+    int submitted = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(horizon);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (int burst = 0; burst < 3; ++burst) {
+        txn::TxnScript script =
+            (submitted % 3 == 2) ? gen.NextQuery() : gen.NextUpdate();
+        dbase.engine().Submit(
+            dbase.NextTxnId(), std::move(script),
+            [&completed](const db::TxnResult&) {
+              completed.fetch_add(1, std::memory_order_relaxed);
+            });
+        ++submitted;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+    auto* base = dynamic_cast<db::EngineBase*>(&dbase.engine());
+    ASSERT_NE(base, nullptr);
+    bool quiesced = false;
+    int last = -1;
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (std::chrono::steady_clock::now() < drain_deadline) {
+      bool all_up = true;
+      for (NodeId n = 0; n < num_nodes; ++n) {
+        all_up = all_up && dbase.runtime().IsNodeUp(n);
+      }
+      int active = -1;
+      dbase.runtime().RunExclusive([&] { active = base->ActiveSubtxns(); });
+      const int now_completed = completed.load();
+      if (all_up && active == 0 && now_completed == last) {
+        quiesced = true;
+        break;
+      }
+      last = now_completed;
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    EXPECT_TRUE(quiesced);
+    dbase.Shutdown();
+  }
+
+  const char* label = db::RuntimeKindName(kind);
+  // Every scheduled window fired: three crashes, three verified replays.
+  EXPECT_EQ(dbase.metrics().crashes(), 3u) << label;
+  EXPECT_EQ(eng->recoveries_replayed(), 3u) << label;
+  EXPECT_EQ(eng->recovery_mismatches(), 0u) << label;
+  uint64_t checkpoints = 0;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    checkpoints += eng->durable_log(n).checkpoints();
+  }
+  EXPECT_GT(checkpoints, 0u) << label;
+  EXPECT_GT(dbase.metrics().update_commits(), 20u) << label;
+  verify::SerializabilityChecker checker(initial);
+  Status ok = checker.Check(dbase.recorder().txns());
+  EXPECT_TRUE(ok.ok()) << label << "\n" << ok.ToString();
+  EXPECT_TRUE(eng->CheckInvariants().ok()) << label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothRuntimes, RuntimeCrashRecoveryTest,
+    testing::Values(db::RuntimeKind::kSim, db::RuntimeKind::kThread),
+    [](const testing::TestParamInfo<db::RuntimeKind>& info) {
+      return db::RuntimeKindName(info.param);
+    });
 
 TEST(CrashTest, RandomizedWorkloadSurvivesCrashesSerializably) {
   DatabaseOptions o = Opts();

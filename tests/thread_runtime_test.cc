@@ -13,6 +13,8 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
+#include <memory>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -294,6 +296,262 @@ TEST(ThreadRuntimeStress, S2plSerializableUnderRealThreads) {
   EXPECT_GT(out.committed, 0);
   EXPECT_TRUE(out.serializable.ok()) << out.serializable.message();
   EXPECT_LE(out.max_live_versions, 1);  // single-version scheme
+}
+
+// ---------------------------------------------------------------------------
+// Message-fault injection at the runtime seam
+// ---------------------------------------------------------------------------
+
+TEST(ThreadRuntimeFaults, LossIsCountedPerCauseAndKindAndSparesSelfSends) {
+  rt::FaultPlan plan;
+  plan.rates.loss = 1.0;  // every remote send is lost
+  rt::ThreadRuntime runtime(2, {.seed = 5, .faults = plan});
+  runtime.Start();
+  std::atomic<bool> remote_delivered{false};
+  runtime.Send(0, 1, rt::MsgKind::kPrepared, [&] { remote_delivered = true; });
+  // Self-sends are never faulted (matching the DES), so this one lands —
+  // and because certain loss killed the remote send, waiting for the self
+  // send also bounds how long the remote one could possibly take.
+  Gate gate(1);
+  runtime.Send(1, 1, rt::MsgKind::kCommit, [&] { gate.Arrive(); });
+  ASSERT_TRUE(gate.AwaitFor(10s));
+  std::this_thread::sleep_for(10ms);
+  runtime.Shutdown();
+  EXPECT_FALSE(remote_delivered.load());
+  EXPECT_EQ(runtime.DroppedCount(rt::DropCause::kInTransit,
+                                 rt::MsgKind::kPrepared),
+            1u);
+  EXPECT_EQ(runtime.DroppedCount(rt::DropCause::kInTransit), 1u);
+  EXPECT_EQ(runtime.DroppedCount(), 1u);
+  EXPECT_EQ(runtime.SentCount(rt::MsgKind::kPrepared), 1u);
+  // The summary speaks sim::Network's exact dialect (shared formatter).
+  const std::string summary = runtime.StatsSummary();
+  EXPECT_NE(summary.find("dropped[in-transit]=1"), std::string::npos)
+      << summary;
+  EXPECT_NE(summary.find("prepared=1"), std::string::npos) << summary;
+}
+
+TEST(ThreadRuntimeFaults, DuplicationDeliversTwiceAndIsCounted) {
+  rt::FaultPlan plan;
+  plan.rates.duplicate = 1.0;
+  rt::ThreadRuntime runtime(2, {.seed = 6, .faults = plan});
+  runtime.Start();
+  std::atomic<int> deliveries{0};
+  Gate gate(2);
+  runtime.Send(0, 1, rt::MsgKind::kAdvanceU, [&] {
+    deliveries.fetch_add(1);
+    gate.Arrive();
+  });
+  ASSERT_TRUE(gate.AwaitFor(10s));
+  runtime.Shutdown();
+  EXPECT_EQ(deliveries.load(), 2);
+  EXPECT_EQ(runtime.DuplicatedCount(), 1u);
+  EXPECT_EQ(runtime.SentCount(rt::MsgKind::kAdvanceU), 1u);  // one *send*
+}
+
+TEST(ThreadRuntimeFaults, DelaySpikesStillDeliverAndAreCounted) {
+  rt::FaultPlan plan;
+  plan.rates.delay = 1.0;
+  plan.rates.delay_min = 1 * kMillisecond;
+  plan.rates.delay_max = 2 * kMillisecond;
+  rt::ThreadRuntime runtime(2, {.seed = 7, .faults = plan});
+  runtime.Start();
+  Gate gate(1);
+  runtime.Send(0, 1, rt::MsgKind::kAdvanceQ, [&] { gate.Arrive(); });
+  ASSERT_TRUE(gate.AwaitFor(10s));
+  runtime.Shutdown();
+  EXPECT_EQ(runtime.DelayedCount(), 1u);
+  EXPECT_EQ(runtime.DroppedCount(), 0u);
+}
+
+TEST(ThreadRuntimeFaults, PartitionWindowCutsCrossSideTrafficOnly) {
+  rt::FaultPlan plan;
+  rt::PartitionWindow w;
+  w.start = 0;
+  w.end = 3'600'000'000;  // effectively the whole test
+  w.side_a = 0b001;       // node 0 | nodes 1,2
+  plan.partitions.push_back(w);
+  rt::ThreadRuntime runtime(3, {.seed = 8, .faults = plan});
+  runtime.Start();
+  std::atomic<bool> cross_delivered{false};
+  runtime.Send(0, 1, rt::MsgKind::kSpawnSubtxn, [&] {
+    cross_delivered = true;
+  });
+  // Same-side traffic passes; it also bounds the cross-side wait.
+  Gate gate(1);
+  runtime.Send(1, 2, rt::MsgKind::kSpawnSubtxn, [&] { gate.Arrive(); });
+  ASSERT_TRUE(gate.AwaitFor(10s));
+  std::this_thread::sleep_for(10ms);
+  runtime.Shutdown();
+  EXPECT_FALSE(cross_delivered.load());
+  EXPECT_EQ(runtime.DroppedCount(rt::DropCause::kPartition), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown under load. Regression tests for the teardown races: a timer
+// firing or a send landing between stop_ being set and the worker joins
+// used to slip into the queues and leak (or run against a dying engine).
+// ---------------------------------------------------------------------------
+
+TEST(ThreadRuntimeShutdown, ShutdownRacesExternalSendersSafely) {
+  // Shutdown fires while three external threads are mid-hammer; the
+  // contract is that racing Send/ScheduleOn calls are destroyed unrun and
+  // never crash, no matter where in the teardown they land.
+  for (int round = 0; round < 10; ++round) {
+    rt::ThreadRuntime runtime(3, {.seed = 1000u + round});
+    runtime.Start();
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> posted{0};
+    std::vector<std::thread> hammers;
+    for (int t = 0; t < 3; ++t) {
+      hammers.emplace_back([&runtime, &stop, &posted, t] {
+        uint64_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const NodeId to = static_cast<NodeId>(i % 3);
+          runtime.Send(t, to, rt::MsgKind::kOther, [] {});
+          runtime.ScheduleOn(to, static_cast<SimDuration>(i % 500), [] {});
+          ++i;
+          posted.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::this_thread::sleep_for(2ms);
+    runtime.Shutdown();  // deliberately races the hammers
+    stop = true;
+    for (auto& h : hammers) h.join();
+    EXPECT_GT(posted.load(), 0u);
+  }
+}
+
+TEST(ThreadRuntimeShutdown, NoClosureRunsAfterShutdownReturns) {
+  for (int round = 0; round < 20; ++round) {
+    rt::ThreadRuntime runtime(2, {.seed = 2000u + round});
+    runtime.Start();
+    std::atomic<bool> shut{false};
+    // Self-perpetuating load on both nodes: every closure asserts the
+    // runtime is not yet shut down, then immediately re-arms itself and
+    // cross-sends. If anything fires after Shutdown() returned (and shut
+    // flipped), the assertion trips.
+    std::function<void(NodeId)> pump = [&](NodeId n) {
+      runtime.ScheduleOn(n, 0, [&, n] {
+        EXPECT_FALSE(shut.load());
+        runtime.Send(n, 1 - n, rt::MsgKind::kOther,
+                     [&] { EXPECT_FALSE(shut.load()); });
+        pump(n);
+      });
+    };
+    for (NodeId n = 0; n < 2; ++n) pump(n);
+    std::this_thread::sleep_for(500us);
+    runtime.Shutdown();
+    shut.store(true);
+    // Give any straggler a window to fire (it must not) before teardown.
+    std::this_thread::sleep_for(200us);
+  }
+}
+
+TEST(ThreadRuntimeShutdown, ConcurrentShutdownCallersAllBlockUntilQuiescent) {
+  rt::ThreadRuntime runtime(3);
+  runtime.Start();
+  std::atomic<int> executing{0};
+  std::atomic<bool> stop{false};
+  std::function<void(NodeId)> pump = [&](NodeId n) {
+    runtime.ScheduleOn(n, 0, [&, n] {
+      executing.fetch_add(1);
+      std::this_thread::sleep_for(100us);
+      executing.fetch_sub(1);
+      if (!stop.load()) pump(n);
+    });
+  };
+  for (NodeId n = 0; n < 3; ++n) pump(n);
+  std::this_thread::sleep_for(1ms);
+  // Every Shutdown caller — not just the one that wins the stop_ race —
+  // must block until the workers are joined and no closure can run.
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      runtime.Shutdown();
+      EXPECT_EQ(executing.load(), 0);
+    });
+  }
+  for (auto& c : callers) c.join();
+  stop = true;  // quiets the (now dead) pump for the capture's lifetime
+}
+
+TEST(ThreadRuntimeShutdown, PostShutdownPostsAreDestroyedImmediately) {
+  rt::ThreadRuntime runtime(2);
+  runtime.Start();
+  runtime.Shutdown();
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> weak = token;
+  std::atomic<bool> ran{false};
+  runtime.Send(0, 1, rt::MsgKind::kOther, [token, &ran] { ran = true; });
+  EXPECT_EQ(runtime.ScheduleOn(0, 0, [token, &ran] { ran = true; }),
+            rt::kInvalidTimer);
+  EXPECT_EQ(runtime.ScheduleGlobal(0, [token, &ran] { ran = true; }),
+            rt::kInvalidTimer);
+  token.reset();
+  // All three closures (and their captured state) were destroyed on the
+  // spot instead of lingering in a dead queue.
+  EXPECT_TRUE(weak.expired());
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadRuntimeShutdown, RunExclusiveFromServiceClosureVsExternalCallers) {
+  // Regression: the deadlock detector calls RunExclusive from a
+  // service-context closure, which already holds the service worker's
+  // exec_mu while it collects the node workers' locks. An external caller
+  // collecting every lock in ascending order then formed a hold-and-wait
+  // cycle with it (the external side blocked on the service exec_mu it
+  // would acquire last) — seen as a rare thread-chaos-soak hang. Hammer
+  // both sides; pre-fix this deadlocks within a few iterations.
+  rt::ThreadRuntime runtime(3, {.seed = 99});
+  runtime.Start();
+  std::atomic<bool> stop{false};
+  std::atomic<int> service_passes{0};
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [&runtime, &stop, &service_passes, pump] {
+    if (stop.load(std::memory_order_acquire)) return;
+    runtime.RunExclusive(
+        [&service_passes] { service_passes.fetch_add(1); });
+    runtime.ScheduleGlobal(0, [pump] { (*pump)(); });
+  };
+  runtime.ScheduleGlobal(0, [pump] { (*pump)(); });
+  // Per-node closures keep the node exec_mus busy too.
+  for (NodeId n = 0; n < 3; ++n) {
+    auto node_pump = std::make_shared<std::function<void(NodeId)>>();
+    *node_pump = [&runtime, &stop, node_pump](NodeId node) {
+      if (stop.load(std::memory_order_acquire)) return;
+      runtime.ScheduleOn(node, 0, [node_pump, node] { (*node_pump)(node); });
+    };
+    runtime.ScheduleOn(n, 0, [node_pump, n] { (*node_pump)(n); });
+  }
+  std::atomic<int> external_passes{0};
+  std::vector<std::thread> ext;
+  for (int t = 0; t < 3; ++t) {
+    ext.emplace_back([&runtime, &external_passes] {
+      for (int i = 0; i < 300; ++i) {
+        runtime.RunExclusive(
+            [&external_passes] { external_passes.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& th : ext) th.join();
+  stop.store(true, std::memory_order_release);
+  runtime.Shutdown();
+  EXPECT_EQ(external_passes.load(), 900);
+  EXPECT_GT(service_passes.load(), 0);
+}
+
+TEST(ThreadRuntimeShutdown, ShutdownBeforeStartDestroysPendingClosures) {
+  rt::ThreadRuntime runtime(2);
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> weak = token;
+  runtime.ScheduleOn(0, 1000, [token] {});
+  runtime.Send(0, 1, rt::MsgKind::kOther, [token] {});
+  token.reset();
+  EXPECT_FALSE(weak.expired());  // still parked in the queues
+  runtime.Shutdown();            // never started: must still clean up
+  EXPECT_TRUE(weak.expired());
 }
 
 }  // namespace
