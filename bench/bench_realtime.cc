@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/openmetrics.h"
 #include "workload/workload.h"
 
 namespace ava3::bench {
@@ -113,9 +114,13 @@ RealtimeResult RunRealtime(db::Database& dbase, uint64_t seed,
 int Main(int argc, char** argv) {
   bool smoke = false;
   bool faults = false;
+  std::string openmetrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--faults") == 0) faults = true;
+    if (std::strncmp(argv[i], "--openmetrics-out=", 18) == 0) {
+      openmetrics_out = argv[i] + 18;
+    }
   }
   Banner("bench_realtime", "runtime abstraction follow-up",
          "Wall-clock throughput on real threads: AVA3 vs S2PL-R, sweeping "
@@ -175,6 +180,12 @@ int Main(int argc, char** argv) {
         if (with_faults) {
           std::printf("    transport: %s\n",
                       dbase.thread_runtime()->StatsSummary().c_str());
+        }
+        // Overwritten per config: the file holds the most recent run's
+        // merged counters in Prometheus exposition format.
+        if (!openmetrics_out.empty()) {
+          WriteOpenMetrics(dbase.SnapshotMetrics(), openmetrics_out,
+                           dbase.sampler());
         }
       }
     }

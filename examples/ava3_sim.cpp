@@ -1,24 +1,34 @@
-// ava3_sim: a command-line driver for the simulated distributed database.
+// ava3_sim: a command-line driver for the distributed database.
 //
 // Runs a configurable workload under any of the four concurrency-control
 // schemes and prints a full metrics report, with optional serializability
-// verification and protocol tracing.
+// verification and protocol tracing. `--runtime=sim` (the default) drives
+// the deterministic discrete-event simulator; `--runtime=thread` drives
+// the same engine on real OS threads with wall-clock gauges and
+// ring-buffered tracing.
 //
 // Examples:
 //   ./build/examples/ava3_sim --scheme=ava3 --nodes=4 --seconds=5
 //   ./build/examples/ava3_sim --scheme=s2pl --update-rate=800 --zipf=0.9
 //   ./build/examples/ava3_sim --scheme=ava3 --advance-ms=50 --verify
+//   ./build/examples/ava3_sim --runtime=thread --seconds=3 --sample-ms=5
+//       --openmetrics-out=metrics.prom
 //   ./build/examples/ava3_sim --help
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 
+#include "common/openmetrics.h"
 #include "common/trace_export.h"
 #include "engine/database.h"
 #include "sim/fault_injector.h"
-#include "sim/timeseries.h"
 #include "verify/serializability.h"
 #include "workload/runner.h"
 
@@ -28,6 +38,7 @@ namespace {
 
 struct Flags {
   std::string scheme = "ava3";
+  std::string runtime = "sim";
   int nodes = 3;
   int64_t items = 500;
   double zipf = 0.5;
@@ -50,6 +61,7 @@ struct Flags {
   bool trace = false;
   std::string trace_out;
   std::string metrics_out;
+  std::string openmetrics_out;
   int64_t sample_ms = 0;
   bool help = false;
 };
@@ -70,19 +82,22 @@ bool ParseFlag(const char* arg, const char* name, const char** value) {
 
 void Usage() {
   std::printf(
-      "ava3_sim — drive the simulated distributed three-version database\n\n"
+      "ava3_sim — drive the distributed three-version database\n\n"
       "  --scheme=ava3|s2pl|mvu|fourv   concurrency control (default ava3)\n"
+      "  --runtime=sim|thread           deterministic simulator (default)\n"
+      "                                 or real worker threads (wall clock)\n"
       "  --nodes=N                      sites (default 3; fourv needs 1)\n"
       "  --items=N                      items per node (default 500)\n"
       "  --zipf=T                       access skew 0..0.99 (default 0.5)\n"
-      "  --update-rate=R --query-rate=R arrivals per second\n"
+      "  --update-rate=R --query-rate=R arrivals per second (thread mode\n"
+      "                                 uses only their ratio as query mix)\n"
       "  --delete-fraction=F            fraction of writes that delete\n"
       "  --scan-fraction=F              fraction of query ops that scan\n"
       "  --seconds=S                    workload duration (default 5)\n"
       "  --advance-ms=MS                advancement period, 0=off\n"
       "  --seed=N                       deterministic seed (default 42)\n"
       "  --loss=P --dup=P --delay=P     fault rates 0..1 on remote sends\n"
-      "  --partitions=N --crashes=N     seeded windows over the workload\n"
+      "  --partitions=N --crashes=N     seeded windows (sim runtime only)\n"
       "  --in-place                     in-place recovery (moveToFuture "
       "scans the log)\n"
       "  --eager                        Section-8 eager counter handoff\n"
@@ -92,8 +107,12 @@ void Usage() {
       "  --trace-out=FILE               write Chrome trace JSON (load in\n"
       "                                 Perfetto / chrome://tracing)\n"
       "  --metrics-out=FILE             write the metrics report as JSON\n"
-      "  --sample-ms=MS                 sample per-node gauges every MS of\n"
-      "                                 simulated time (0=off)\n");
+      "  --openmetrics-out=FILE         write the metrics report (plus any\n"
+      "                                 sampled gauges) as OpenMetrics /\n"
+      "                                 Prometheus text exposition format\n"
+      "  --sample-ms=MS                 sample per-node gauges every MS\n"
+      "                                 (simulated time on the simulator,\n"
+      "                                 wall clock on threads; 0=off)\n");
 }
 
 Flags Parse(int argc, char** argv) {
@@ -102,6 +121,8 @@ Flags Parse(int argc, char** argv) {
     const char* v = nullptr;
     if (ParseFlag(argv[i], "--scheme", &v) && v) {
       f.scheme = v;
+    } else if (ParseFlag(argv[i], "--runtime", &v) && v) {
+      f.runtime = v;
     } else if (ParseFlag(argv[i], "--nodes", &v) && v) {
       f.nodes = std::atoi(v);
     } else if (ParseFlag(argv[i], "--items", &v) && v) {
@@ -146,6 +167,8 @@ Flags Parse(int argc, char** argv) {
       f.trace = true;
     } else if (ParseFlag(argv[i], "--metrics-out", &v) && v) {
       f.metrics_out = v;
+    } else if (ParseFlag(argv[i], "--openmetrics-out", &v) && v) {
+      f.openmetrics_out = v;
     } else if (ParseFlag(argv[i], "--sample-ms", &v) && v) {
       f.sample_ms = std::atoll(v);
     } else if (ParseFlag(argv[i], "--help", &v)) {
@@ -158,6 +181,81 @@ Flags Parse(int argc, char** argv) {
   return f;
 }
 
+/// What the thread-runtime closed-loop driver observed.
+struct ThreadDriveStats {
+  double wall_seconds = 0;
+  uint64_t submitted = 0;
+  uint64_t committed_updates = 0;
+  uint64_t committed_queries = 0;
+  uint64_t aborted = 0;
+};
+
+/// Drives the thread-runtime database for `f.seconds` of wall-clock time
+/// with a bounded in-flight window, then drains and joins the workers.
+/// The update/query mix is the flag rates' ratio (real threads run as
+/// fast as the engine allows; open-loop Poisson arrivals belong to the
+/// simulator's workload runner).
+ThreadDriveStats DriveThreadRuntime(db::Database& database,
+                                    const wl::WorkloadSpec& spec,
+                                    const Flags& f) {
+  constexpr int kWindow = 32;  // bounded in-flight txns: keeps mailboxes sane
+  db::Engine& engine = database.engine();
+  const int num_nodes = database.options().num_nodes;
+  const bool trigger_advancement =
+      f.advance_ms > 0 && database.options().scheme != db::Scheme::kS2pl;
+
+  ThreadDriveStats out;
+  std::mutex mu;
+  std::condition_variable cv;
+  int inflight = 0;
+  const double total_rate = f.update_rate + f.query_rate;
+  const double query_frac = total_rate > 0 ? f.query_rate / total_rate : 0.2;
+  wl::ScriptGenerator gen(spec, Rng(f.seed));
+  Rng mix(f.seed ^ 0x6a09e667f3bcc908ull);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::seconds(f.seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return inflight < kWindow; });
+      ++inflight;
+    }
+    const bool is_query = mix.Bernoulli(query_frac);
+    txn::TxnScript script = is_query ? gen.NextQuery() : gen.NextUpdate();
+    engine.Submit(database.NextTxnId(), std::move(script),
+                  [&, is_query](const db::TxnResult& r) {
+                    std::lock_guard<std::mutex> lk(mu);
+                    --inflight;
+                    if (r.outcome != TxnOutcome::kCommitted) {
+                      ++out.aborted;
+                    } else if (is_query) {
+                      ++out.committed_queries;
+                    } else {
+                      ++out.committed_updates;
+                    }
+                    cv.notify_all();
+                  });
+    ++out.submitted;
+    if (trigger_advancement && out.submitted % 64 == 0) {
+      const NodeId k = static_cast<NodeId>((out.submitted / 64) % num_nodes);
+      database.runtime().ScheduleOn(
+          k, 0, [&engine, k] { engine.TriggerAdvancement(k); });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return inflight == 0; });
+  }
+  out.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  // Join the workers; this also drains the per-worker trace rings, so
+  // every later read (metrics, trace export, oracle) is single-threaded.
+  database.Shutdown();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -166,8 +264,15 @@ int main(int argc, char** argv) {
     Usage();
     return 1;
   }
+  const bool threads = f.runtime == "thread";
+  if (!threads && f.runtime != "sim") {
+    std::fprintf(stderr, "unknown runtime %s (want sim or thread)\n",
+                 f.runtime.c_str());
+    return 1;
+  }
 
   db::DatabaseOptions options;
+  options.runtime = threads ? db::RuntimeKind::kThread : db::RuntimeKind::kSim;
   options.num_nodes = f.nodes;
   options.seed = f.seed;
   options.enable_trace = f.trace || !f.trace_out.empty();
@@ -193,6 +298,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (threads && (f.partitions > 0 || f.crashes > 0)) {
+    // A partitioned or crashed root black-holes its in-flight txns; the
+    // closed-loop driver below would jam waiting for completions that
+    // never come. Message-level chaos (loss/dup/delay) is fine.
+    std::fprintf(stderr,
+                 "note: --partitions/--crashes are ignored under "
+                 "--runtime=thread (the closed-loop driver needs every "
+                 "root to stay reachable)\n");
+    f.partitions = 0;
+    f.crashes = 0;
+  }
   sim::ChaosProfile profile;
   profile.rates.loss = f.loss;
   profile.rates.duplicate = f.dup;
@@ -201,8 +317,20 @@ int main(int argc, char** argv) {
   profile.crashes = f.crashes;
   options.faults = sim::FaultPlan::Chaos(f.seed, f.nodes,
                                          f.seconds * kSecond, profile);
+  if (threads && f.loss > 0) {
+    // Loss forces the timeout/resend paths; tighten them to wall-clock
+    // scale so a dropped prepare costs milliseconds, not simulated-minutes.
+    options.base.txn_timeout = 300 * kMillisecond;
+    options.base.prepared_timeout = 900 * kMillisecond;
+  }
 
-  db::Database database(options);
+  Status status;
+  std::unique_ptr<db::Database> dbptr = db::Database::Create(options, &status);
+  if (dbptr == nullptr) {
+    std::fprintf(stderr, "invalid options: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  db::Database& database = *dbptr;
   if (f.trace) {
     database.trace().SetListener([](const TraceEvent& ev) {
       if (!IsNarrative(ev)) return;
@@ -222,52 +350,82 @@ int main(int argc, char** argv) {
   spec.advancement_period = f.advance_ms * kMillisecond;
   spec.rotate_coordinator = true;
 
-  wl::WorkloadRunner runner(&database.simulator(), &database.engine(), spec,
-                            f.seed);
-  const auto& initial = runner.SeedData();
-  std::printf("scheme=%s nodes=%d items/node=%lld zipf=%.2f seed=%llu\n",
-              database.engine().name(), f.nodes,
+  std::printf("scheme=%s runtime=%s nodes=%d items/node=%lld zipf=%.2f "
+              "seed=%llu\n",
+              database.engine().name(),
+              db::RuntimeKindName(options.runtime), f.nodes,
               static_cast<long long>(f.items), f.zipf,
               static_cast<unsigned long long>(f.seed));
-  runner.Start(f.seconds * kSecond);
-  database.RunFor(f.seconds * kSecond);
-  // Drain to quiescence. Under faults the retry tail can run for up to
-  // max_retries * txn_timeout past the load window; verifying before the
-  // stragglers resolve reports spurious oracle violations.
-  SimDuration drain = 60 * kSecond;
-  if (options.faults.Enabled()) {
-    drain += spec.max_retries * options.base.txn_timeout +
-             options.base.prepared_timeout;
-  }
-  database.RunFor(drain);
 
-  const auto& m = database.metrics();
-  const auto& s = runner.stats();
-  std::printf("\n-- results (%d simulated seconds) --\n", f.seconds);
-  std::printf("updates committed  : %llu (%.0f/s), retries %llu, gave up "
-              "%llu\n",
-              static_cast<unsigned long long>(s.committed_updates),
-              static_cast<double>(s.committed_updates) / f.seconds,
-              static_cast<unsigned long long>(s.retries),
-              static_cast<unsigned long long>(s.gave_up));
-  std::printf("queries committed  : %llu (%.0f/s)\n",
-              static_cast<unsigned long long>(s.committed_queries),
-              static_cast<double>(s.committed_queries) / f.seconds);
-  std::printf("update latency us  : %s\n", m.update_latency().Summary().c_str());
-  std::printf("query latency us   : %s\n", m.query_latency().Summary().c_str());
+  std::map<ItemId, int64_t> initial;
+  std::optional<wl::WorkloadRunner> runner;
+  ThreadDriveStats tstats;
+  if (threads) {
+    for (NodeId n = 0; n < f.nodes; ++n) {
+      for (int64_t i = 0; i < spec.items_per_node; ++i) {
+        const ItemId item = spec.FirstItemOf(n) + i;
+        database.LoadInitial(n, item, spec.initial_value);
+        initial[item] = spec.initial_value;
+      }
+    }
+    tstats = DriveThreadRuntime(database, spec, f);
+  } else {
+    runner.emplace(&database.simulator(), &database.engine(), spec, f.seed);
+    initial = runner->SeedData();
+    runner->Start(f.seconds * kSecond);
+    database.RunFor(f.seconds * kSecond);
+    // Drain to quiescence. Under faults the retry tail can run for up to
+    // max_retries * txn_timeout past the load window; verifying before the
+    // stragglers resolve reports spurious oracle violations.
+    SimDuration drain = 60 * kSecond;
+    if (options.faults.Enabled()) {
+      drain += spec.max_retries * options.base.txn_timeout +
+               options.base.prepared_timeout;
+    }
+    database.RunFor(drain);
+  }
+
+  // Both runtimes report through the same merged snapshot (the thread
+  // runtime's shards were quiesced by Shutdown above).
+  const db::MetricsSnapshot m = database.SnapshotMetrics();
+  if (threads) {
+    std::printf("\n-- results (%.2f wall-clock seconds) --\n",
+                tstats.wall_seconds);
+    const double secs = tstats.wall_seconds > 0 ? tstats.wall_seconds : 1;
+    std::printf("updates committed  : %llu (%.0f/s)\n",
+                static_cast<unsigned long long>(tstats.committed_updates),
+                static_cast<double>(tstats.committed_updates) / secs);
+    std::printf("queries committed  : %llu (%.0f/s)\n",
+                static_cast<unsigned long long>(tstats.committed_queries),
+                static_cast<double>(tstats.committed_queries) / secs);
+  } else {
+    const auto& s = runner->stats();
+    std::printf("\n-- results (%d simulated seconds) --\n", f.seconds);
+    std::printf("updates committed  : %llu (%.0f/s), retries %llu, gave up "
+                "%llu\n",
+                static_cast<unsigned long long>(s.committed_updates),
+                static_cast<double>(s.committed_updates) / f.seconds,
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.gave_up));
+    std::printf("queries committed  : %llu (%.0f/s)\n",
+                static_cast<unsigned long long>(s.committed_queries),
+                static_cast<double>(s.committed_queries) / f.seconds);
+  }
+  std::printf("update latency us  : %s\n", m.update_latency.Summary().c_str());
+  std::printf("query latency us   : %s\n", m.query_latency.Summary().c_str());
   std::printf("aborts             : %llu (deadlock %llu, sync %llu)\n",
-              static_cast<unsigned long long>(m.aborts()),
-              static_cast<unsigned long long>(m.deadlock_aborts()),
-              static_cast<unsigned long long>(m.sync_mismatch_aborts()));
+              static_cast<unsigned long long>(m.aborts),
+              static_cast<unsigned long long>(m.deadlock_aborts),
+              static_cast<unsigned long long>(m.sync_mismatch_aborts));
   if (options.scheme == db::Scheme::kAva3 ||
       options.scheme == db::Scheme::kFourV) {
     std::printf("advancements       : %llu completed, %llu cancelled\n",
-                static_cast<unsigned long long>(m.advancements()),
-                static_cast<unsigned long long>(m.advancements_cancelled()));
+                static_cast<unsigned long long>(m.advancements),
+                static_cast<unsigned long long>(m.advancements_cancelled));
     std::printf("moveToFutures      : %llu (%llu log records scanned)\n",
-                static_cast<unsigned long long>(m.mtf_count()),
-                static_cast<unsigned long long>(m.mtf_records_scanned()));
-    std::printf("snapshot staleness : %s\n", m.staleness().Summary().c_str());
+                static_cast<unsigned long long>(m.mtf_count),
+                static_cast<unsigned long long>(m.mtf_records_scanned));
+    std::printf("snapshot staleness : %s\n", m.staleness.Summary().c_str());
     auto* eng = database.ava3_engine();
     int max_versions = 0;
     for (int n = 0; n < f.nodes; ++n) {
@@ -278,14 +436,19 @@ int main(int argc, char** argv) {
     std::printf("latch ops          : %llu\n",
                 static_cast<unsigned long long>(eng->TotalLatchOps()));
   }
-  std::printf("network            : %s\n",
-              database.network().StatsSummary().c_str());
+  if (threads) {
+    std::printf("transport          : %s\n",
+                database.thread_runtime()->StatsSummary().c_str());
+  } else {
+    std::printf("network            : %s\n",
+                database.network().StatsSummary().c_str());
+  }
   if (const sim::FaultInjector* inj = database.fault_injector()) {
     std::string fs = inj->StatsSummary();  // starts with "faults: "
     if (fs.rfind("faults: ", 0) == 0) fs.erase(0, 8);
     std::printf("faults             : %s; crashes=%llu recoveries=%llu\n",
-                fs.c_str(), static_cast<unsigned long long>(m.crashes()),
-                static_cast<unsigned long long>(m.recoveries()));
+                fs.c_str(), static_cast<unsigned long long>(m.crashes),
+                static_cast<unsigned long long>(m.recoveries));
   }
 
   if (!f.trace_out.empty()) {
@@ -293,8 +456,14 @@ int main(int argc, char** argv) {
     topts.sampler = database.sampler();
     topts.faults = &options.faults;
     if (WriteChromeTrace(database.trace(), f.trace_out, topts)) {
-      std::printf("trace written      : %s (%zu events)\n",
+      std::printf("trace written      : %s (%zu events",
                   f.trace_out.c_str(), database.trace().events().size());
+      if (database.trace().dropped() > 0) {
+        std::printf(", %llu dropped at ring overflow",
+                    static_cast<unsigned long long>(
+                        database.trace().dropped()));
+      }
+      std::printf(")\n");
     } else {
       std::fprintf(stderr, "failed to write %s\n", f.trace_out.c_str());
       return 1;
@@ -311,6 +480,13 @@ int main(int argc, char** argv) {
     std::fputc('\n', out);
     std::fclose(out);
     std::printf("metrics written    : %s\n", f.metrics_out.c_str());
+  }
+  if (!f.openmetrics_out.empty()) {
+    if (!WriteOpenMetrics(m, f.openmetrics_out, database.sampler())) {
+      std::fprintf(stderr, "failed to write %s\n", f.openmetrics_out.c_str());
+      return 1;
+    }
+    std::printf("openmetrics written: %s\n", f.openmetrics_out.c_str());
   }
 
   if (f.verify) {

@@ -22,6 +22,11 @@ Two accepted shapes:
    the metrics scripts/perf_guard.py gates on, so a silently missing
    scalar would quietly disarm the perf guard.
 
+   The "observability" report (bench/bench_observability, observability
+   overhead on rt::ThreadRuntime) carries realtime-shaped runs plus the
+   off/gauges/trace/full throughput scalars and the overhead ratios
+   perf_guard.py pins — same disarm-proofing rationale as hotpath.
+
 2. google-benchmark's native JSON (bench_micro): top-level "context" and
    "benchmarks" keys; each benchmark entry has "name" and "real_time".
 
@@ -48,6 +53,20 @@ HOTPATH_SCALARS = {
     "lock_upgrade_ns",
     "lock_batch_hold_ns",
     "mailbox_msgs_per_sec",
+    "smoke",
+}
+
+# Scalars bench_observability must export. The *_overhead_ratio entries are
+# what perf_guard.py pins (ratios of two same-host runs, so they are
+# machine-independent); the absolute *_txn_per_sec scalars are advisory.
+OBSERVABILITY_SCALARS = {
+    "off_txn_per_sec",
+    "gauges_txn_per_sec",
+    "trace_txn_per_sec",
+    "full_txn_per_sec",
+    "gauges_overhead_ratio",
+    "trace_overhead_ratio",
+    "full_overhead_ratio",
     "smoke",
 }
 
@@ -140,7 +159,20 @@ def check_bench_report(path, doc):
                 fail(path, f"hotpath scalar {k} must be positive")
         if scalars["smoke"] not in (0, 1):
             fail(path, "hotpath scalar 'smoke' must be 0 or 1")
-    realtime = doc["bench"] == "realtime"
+    if doc["bench"] == "observability":
+        missing = OBSERVABILITY_SCALARS - scalars.keys()
+        if missing:
+            fail(path, f"observability report missing scalars "
+                       f"{sorted(missing)}")
+        for k in OBSERVABILITY_SCALARS - {"smoke"}:
+            if scalars[k] <= 0:
+                fail(path, f"observability scalar {k} must be positive")
+        if scalars["smoke"] not in (0, 1):
+            fail(path, "observability scalar 'smoke' must be 0 or 1")
+    # Observability runs are wall-clock ThreadRuntime runs too; they carry
+    # the same per-run fields (threads/wall_seconds/txns_per_sec), just
+    # without the >= 2 thread-count sweep requirement below.
+    realtime = doc["bench"] in ("realtime", "observability")
     labels = set()
     thread_counts = set()
     for i, run in enumerate(runs):
@@ -160,7 +192,7 @@ def check_bench_report(path, doc):
             check_realtime_run(path, label, run)
             thread_counts.add(run["threads"])
         check_metrics(path, f"run '{label}'", run.get("metrics"))
-    if realtime and len(thread_counts) < 2:
+    if doc["bench"] == "realtime" and len(thread_counts) < 2:
         fail(path, "realtime report must sweep >= 2 thread counts")
     print(f"ok   {path}: {len(runs)} run(s), {len(scalars)} scalar(s)")
 

@@ -93,7 +93,7 @@ void Ava3Engine::CancelCoordinator(NodeId k) {
   EndSpan(k, TraceKind::kAdvancePhase, &c.phase_span, kInvalidTxn,
           static_cast<uint8_t>(c.phase));
   c = Coordinator{};
-  metrics().RecordAdvancementCancelled();
+  metrics(k).RecordAdvancementCancelled();
   EmitTrace(k, TraceKind::kAdvanceCancelled);
 }
 
@@ -195,8 +195,8 @@ void Ava3Engine::OnAckAdvanceQ(NodeId k, Version newq, NodeId from) {
 void Ava3Engine::StartPhase3(NodeId k) {
   Coordinator& c = coordinators_[k];
   const SimTime now = runtime().Now();
-  metrics().RecordAdvancement(c.phase2_start - c.start_time,
-                              now - c.phase2_start, now - c.start_time);
+  metrics(k).RecordAdvancement(c.phase2_start - c.start_time,
+                               now - c.phase2_start, now - c.start_time);
   const Version newg = c.newu - 2;
   EndSpan(k, TraceKind::kAdvancePhase, &c.phase_span, kInvalidTxn,
           /*phase=*/2);

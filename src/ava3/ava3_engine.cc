@@ -453,7 +453,7 @@ void Ava3Engine::MoveToFuture(UpdateRt& rt, Version newv) {
   }
   rt.version = newv;
   ++rt.mtf_count;
-  metrics().RecordMoveToFuture(scanned);
+  metrics(rt.node).RecordMoveToFuture(scanned);
   EmitTrace(rt.node, TraceKind::kMoveToFuture, rt.txn, newv, /*a=*/oldv,
             /*b=*/scanned);
   if (opts_.eager_counter_handoff && rt.counter_version != newv) {
@@ -474,7 +474,7 @@ Status Ava3Engine::OnQueryStart(QueryRt& rt, Version assigned) {
   ControlState& cs = *control_[rt.node];
   if (rt.is_root()) {
     rt.version = cs.q();
-    metrics().RecordQueryStart(rt.version, runtime().Now());
+    metrics(rt.node).RecordQueryStart(rt.version, runtime().Now());
   } else {
     rt.version = assigned;
     if (assigned <= cs.g()) {

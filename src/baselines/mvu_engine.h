@@ -149,7 +149,7 @@ class MvuEngine : public db::EngineBase {
   Status OnQueryStart(QueryRt& rt, Version assigned) override {
     if (rt.is_root()) {
       rt.version = commit_seq_;
-      metrics().RecordQueryStart(rt.version, runtime().Now());
+      metrics(rt.node).RecordQueryStart(rt.version, runtime().Now());
     } else {
       rt.version = assigned;
     }

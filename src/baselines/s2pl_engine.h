@@ -93,7 +93,9 @@ class S2plEngine : public db::EngineBase {
   Status OnQueryStart(QueryRt& rt, Version assigned) override {
     (void)assigned;
     rt.version = 0;
-    if (rt.is_root()) metrics().RecordQueryStart(0, runtime().Now());
+    if (rt.is_root()) {
+      metrics(rt.node).RecordQueryStart(0, runtime().Now());
+    }
     return Status::Ok();
   }
 

@@ -1,0 +1,124 @@
+#include "common/openmetrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+namespace ava3 {
+
+namespace {
+
+/// OpenMetrics metric names match [a-zA-Z_:][a-zA-Z0-9_:]*; gauge names
+/// use dashes ("live-versions"), so map every other character to '_'.
+std::string Sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = c == '_' || c == ':' ||
+                    std::isalpha(static_cast<unsigned char>(c)) ||
+                    (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Shortest exact decimal for a double (integers render without ".0",
+/// matching Prometheus conventions for counter-valued gauges).
+std::string Num(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void Counter(std::string& out, const std::string& prefix,
+             const std::string& name, uint64_t value) {
+  const std::string full = prefix + "_" + name;
+  out += "# TYPE " + full + " counter\n";
+  out += full + "_total " + std::to_string(value) + "\n";
+}
+
+void Summary(std::string& out, const std::string& prefix,
+             const std::string& name, const Histogram& h) {
+  const std::string full = prefix + "_" + name;
+  out += "# TYPE " + full + " summary\n";
+  out += full + "{quantile=\"0.5\"} " +
+         std::to_string(h.Percentile(50)) + "\n";
+  out += full + "{quantile=\"0.9\"} " +
+         std::to_string(h.Percentile(90)) + "\n";
+  out += full + "{quantile=\"0.99\"} " +
+         std::to_string(h.Percentile(99)) + "\n";
+  out += full + "_sum " + std::to_string(h.sum()) + "\n";
+  out += full + "_count " + std::to_string(h.count()) + "\n";
+}
+
+}  // namespace
+
+std::string OpenMetricsText(const db::MetricsSnapshot& s,
+                            const rt::GaugeSampler* sampler,
+                            const std::string& prefix) {
+  const std::string p = Sanitize(prefix);
+  std::string out;
+  Counter(out, p, "update_commits", s.update_commits);
+  Counter(out, p, "query_commits", s.query_commits);
+  Counter(out, p, "aborts", s.aborts);
+  Counter(out, p, "deadlock_aborts", s.deadlock_aborts);
+  Counter(out, p, "sync_mismatch_aborts", s.sync_mismatch_aborts);
+  Counter(out, p, "move_to_future", s.mtf_count);
+  Counter(out, p, "move_to_future_records_scanned", s.mtf_records_scanned);
+  Counter(out, p, "advancements", s.advancements);
+  Counter(out, p, "advancements_cancelled", s.advancements_cancelled);
+  Counter(out, p, "latch_ops", s.latch_ops);
+  Counter(out, p, "crashes", s.crashes);
+  Counter(out, p, "recoveries", s.recoveries);
+  Counter(out, p, "first_commit_entries_pruned",
+          s.first_commit_entries_pruned);
+  Summary(out, p, "update_latency_us", s.update_latency);
+  Summary(out, p, "query_latency_us", s.query_latency);
+  Summary(out, p, "staleness_us", s.staleness);
+  Summary(out, p, "lock_wait_us", s.lock_wait);
+  Summary(out, p, "twopc_round_us", s.twopc_round);
+  Summary(out, p, "commit_apply_us", s.commit_apply);
+  Summary(out, p, "advancement_phase1_us", s.phase1_duration);
+  Summary(out, p, "advancement_phase2_us", s.phase2_duration);
+  Summary(out, p, "advancement_total_us", s.advancement_duration);
+  if (sampler != nullptr) {
+    // One gauge family per registered name; the freshest ring sample per
+    // (name, node) series. Registration groups per-node series of one
+    // name together, so emit each TYPE line once.
+    std::string last_family;
+    for (const auto& g : sampler->gauges()) {
+      if (g.series.empty()) continue;
+      const std::string full = p + "_gauge_" + Sanitize(g.name);
+      if (full != last_family) {
+        out += "# TYPE " + full + " gauge\n";
+        last_family = full;
+      }
+      out += full;
+      if (g.node != kInvalidNode) {
+        out += "{node=\"" + std::to_string(g.node) + "\"}";
+      }
+      out += " " + Num(g.series.Last().value) + "\n";
+    }
+    Counter(out, p, "gauge_samples_taken", sampler->samples_taken());
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+bool WriteOpenMetrics(const db::MetricsSnapshot& snapshot,
+                      const std::string& path,
+                      const rt::GaugeSampler* sampler,
+                      const std::string& prefix) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = OpenMetricsText(snapshot, sampler, prefix);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int rc = std::fclose(f);
+  return written == text.size() && rc == 0;
+}
+
+}  // namespace ava3

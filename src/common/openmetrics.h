@@ -1,0 +1,33 @@
+#ifndef AVA3_COMMON_OPENMETRICS_H_
+#define AVA3_COMMON_OPENMETRICS_H_
+
+#include <string>
+
+#include "engine/metrics.h"
+#include "runtime/timeseries.h"
+
+namespace ava3 {
+
+/// Renders a metrics snapshot — plus, when given, the gauge sampler's
+/// freshest samples — as OpenMetrics / Prometheus text exposition format:
+/// counters as `<prefix>_<name>_total`, latency histograms as summaries
+/// (quantile-labeled series + _sum/_count), gauges with a `node` label
+/// (cluster-wide gauges unlabeled), terminated by `# EOF`. Metric names
+/// are sanitized to [a-zA-Z0-9_:] so the output scrapes cleanly.
+///
+/// The snapshot is already immutable; the sampler rings follow the usual
+/// quiesced-caller contract (export after Shutdown or at a RunExclusive
+/// safepoint).
+std::string OpenMetricsText(const db::MetricsSnapshot& snapshot,
+                            const rt::GaugeSampler* sampler = nullptr,
+                            const std::string& prefix = "ava3");
+
+/// Writes OpenMetricsText() to `path`; returns false on I/O error.
+bool WriteOpenMetrics(const db::MetricsSnapshot& snapshot,
+                      const std::string& path,
+                      const rt::GaugeSampler* sampler = nullptr,
+                      const std::string& prefix = "ava3");
+
+}  // namespace ava3
+
+#endif  // AVA3_COMMON_OPENMETRICS_H_

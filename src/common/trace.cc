@@ -1,5 +1,7 @@
 #include "common/trace.h"
 
+#include <algorithm>
+
 #include "sim/network.h"
 
 namespace ava3 {
@@ -206,6 +208,76 @@ bool IsNarrative(const TraceEvent& ev) {
     default:
       return true;
   }
+}
+
+thread_local TraceSink::Binding TraceSink::tls_binding_;
+
+void TraceSink::EnableRings(size_t num_workers, size_t capacity) {
+  rings_.clear();
+  rings_.reserve(num_workers + 1);
+  for (size_t i = 0; i < num_workers + 1; ++i) {
+    rings_.push_back(std::make_unique<Ring>(capacity));
+  }
+}
+
+void TraceSink::BindCurrentThread(TraceSink* sink, int worker) {
+  tls_binding_.sink = sink;
+  tls_binding_.ring = sink == nullptr ? 0 : worker + 1;
+}
+
+void TraceSink::RingPush(Ring& r, TraceEvent ev) {
+  const size_t t = r.tail.load(std::memory_order_relaxed);
+  const size_t h = r.head.load(std::memory_order_acquire);
+  if (t - h == r.slots.size()) {
+    r.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  r.slots[t % r.slots.size()] = std::move(ev);
+  r.tail.store(t + 1, std::memory_order_release);
+}
+
+void TraceSink::PushToRing(TraceEvent ev) {
+  const Binding b = tls_binding_;
+  if (b.sink == this && b.ring > 0 &&
+      static_cast<size_t>(b.ring) < rings_.size()) {
+    RingPush(*rings_[static_cast<size_t>(b.ring)], std::move(ev));
+    return;
+  }
+  // Unbound (external) threads — and stale bindings from another sink —
+  // share ring 0; the mutex makes it effectively single-producer.
+  std::lock_guard<std::mutex> g(ext_mu_);
+  RingPush(*rings_[0], std::move(ev));
+}
+
+void TraceSink::Drain() {
+  if (rings_.empty()) return;
+  std::vector<TraceEvent> batch;
+  for (auto& rp : rings_) {
+    Ring& r = *rp;
+    size_t h = r.head.load(std::memory_order_relaxed);
+    const size_t t = r.tail.load(std::memory_order_acquire);
+    for (; h != t; ++h) {
+      batch.push_back(std::move(r.slots[h % r.slots.size()]));
+    }
+    r.head.store(t, std::memory_order_release);
+  }
+  std::sort(batch.begin(), batch.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.seq < y.seq;
+            });
+  rt::LatchGuard guard(latch_);
+  for (auto& ev : batch) {
+    events_.push_back(std::move(ev));
+    if (listener_) listener_(events_.back());
+  }
+}
+
+uint64_t TraceSink::dropped() const {
+  uint64_t total = 0;
+  for (const auto& r : rings_) {
+    total += r->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 std::vector<TraceEvent> TraceSink::Matching(const std::string& needle) const {

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -91,6 +93,11 @@ struct TraceEvent {
   int64_t a = 0;                   // kind-specific numeric argument
   int64_t b = 0;                   // kind-specific numeric argument
   std::string detail;              // status text / legacy notes only
+  /// Global emission order, stamped by the sink. Under ThreadRuntime the
+  /// per-worker rings are merged back into this order at Drain(); under
+  /// the DES it simply mirrors append order. Not part of any rendered or
+  /// fingerprinted output.
+  uint64_t seq = 0;
 };
 
 /// Renders an event as the human-readable one-liner the string-only tracer
@@ -106,11 +113,25 @@ bool IsNarrative(const TraceEvent& ev);
 /// Collects trace events when enabled. One sink per simulation; subsystems
 /// hold a pointer and call Emit().
 ///
-/// Thread safety: Emit() appends under an internal latch and NextSpanId()
-/// is atomic, so concurrent node contexts under ThreadRuntime may trace
-/// (event order then reflects latch-acquisition order, not a deterministic
-/// schedule). Enable/SetListener/Clear and the read accessors are
-/// configuration/post-run operations — call them from a quiesced runtime.
+/// Two collection modes:
+///
+///  - *Direct* (default; the DES path): Emit() appends under an internal
+///    latch — single-threaded on the simulator, so event order is the
+///    deterministic schedule and fingerprints are unchanged.
+///  - *Ring* (EnableRings(); the ThreadRuntime path): each worker thread
+///    pushes into its own fixed-capacity SPSC ring (bound via
+///    BindCurrentThread; unbound threads share a mutex-guarded external
+///    ring), with overflow counted per ring instead of blocking — the
+///    record path never takes the collector latch. Drain() merges the
+///    rings back into the event log in emission (`seq`) order; call it
+///    from a quiesced runtime (RunExclusive safepoint or post-Shutdown)
+///    before reading events(). The live listener fires at Drain() time in
+///    this mode.
+///
+/// NextSpanId() is atomic in both modes, so span/flow pairing survives
+/// concurrent emission. Enable/EnableRings/SetListener/Clear and the read
+/// accessors are configuration/post-run operations — call them from a
+/// quiesced runtime.
 ///
 /// Contract: when disabled, Emit() drops the event and NextSpanId() must
 /// not be called (callers guard with enabled()); nothing else in the
@@ -120,6 +141,29 @@ class TraceSink {
   void Enable(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Switches to ring mode: one SPSC ring per worker thread (indices
+  /// 0..num_workers-1 via BindCurrentThread) plus one shared ring for
+  /// unbound threads, each holding up to `capacity` events. Call before
+  /// the workers start emitting.
+  void EnableRings(size_t num_workers, size_t capacity);
+  bool rings_enabled() const { return !rings_.empty(); }
+
+  /// Binds the calling thread to `sink`'s worker ring `worker` (>= 0).
+  /// Called by ThreadRuntime's worker loops; a thread emits lock-free into
+  /// that ring from then on. Pass sink=nullptr to unbind. The binding is
+  /// validated against the sink at Emit() time, so stale bindings from a
+  /// previous runtime fall back to the external ring instead of
+  /// corrupting a stranger's ring.
+  static void BindCurrentThread(TraceSink* sink, int worker);
+
+  /// Ring mode: moves every buffered event into the main event log in
+  /// emission order and fires the listener for each. Quiesced callers
+  /// only (no worker may be mid-Emit). No-op in direct mode.
+  void Drain();
+
+  /// Events lost to ring overflow (summed over rings).
+  uint64_t dropped() const;
+
   /// Fresh span/flow id. Only meaningful while enabled (callers allocate
   /// ids solely inside enabled() guards, keeping disabled runs zero-cost).
   uint64_t NextSpanId() {
@@ -128,6 +172,11 @@ class TraceSink {
 
   void Emit(TraceEvent ev) {
     if (!enabled_) return;
+    ev.seq = emit_seq_.fetch_add(1, std::memory_order_relaxed);
+    if (!rings_.empty()) {
+      PushToRing(std::move(ev));
+      return;
+    }
     rt::LatchGuard guard(latch_);
     events_.push_back(std::move(ev));
     if (listener_) listener_(events_.back());
@@ -140,9 +189,7 @@ class TraceSink {
     ev.time = time;
     ev.node = node;
     ev.detail = std::move(what);
-    rt::LatchGuard guard(latch_);
-    events_.push_back(std::move(ev));
-    if (listener_) listener_(events_.back());
+    Emit(std::move(ev));
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
@@ -161,11 +208,39 @@ class TraceSink {
   std::vector<TraceEvent> Matching(TraceKind kind, TraceOp op) const;
 
  private:
+  /// Bounded SPSC ring: the owning worker pushes, Drain() pops. head/tail
+  /// are free-running indices (release/acquire paired), slots a
+  /// fixed-size array; a full ring counts the event into `dropped` and
+  /// moves on — tracing never blocks or resizes on the record path.
+  struct Ring {
+    explicit Ring(size_t capacity) : slots(capacity) {}
+    std::vector<TraceEvent> slots;
+    std::atomic<size_t> head{0};  // next to pop (consumer-owned)
+    std::atomic<size_t> tail{0};  // next to push (producer-owned)
+    std::atomic<uint64_t> dropped{0};
+  };
+  struct Binding {
+    TraceSink* sink = nullptr;
+    int ring = 0;  // index into rings_ (0 = external)
+  };
+  static thread_local Binding tls_binding_;
+
+  /// Routes one stamped event to the calling thread's ring (external ring
+  /// under ext_mu_ when unbound).
+  void PushToRing(TraceEvent ev);
+  static void RingPush(Ring& r, TraceEvent ev);
+
   bool enabled_ = false;
   std::atomic<uint64_t> last_span_{0};
+  std::atomic<uint64_t> emit_seq_{0};
   mutable rt::Latch latch_;
   std::vector<TraceEvent> events_;
   std::function<void(const TraceEvent&)> listener_;
+  /// Ring mode storage: [0] external, [1 + worker] per worker. Empty in
+  /// direct mode. unique_ptr keeps Ring addresses stable (atomics are not
+  /// movable).
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::mutex ext_mu_;
 };
 
 }  // namespace ava3

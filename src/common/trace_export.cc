@@ -314,7 +314,7 @@ std::string ChromeTraceJson(const TraceSink& sink,
     for (const auto& g : opts.sampler->gauges()) {
       const int64_t pid = g.node == kInvalidNode ? 0 : g.node + 1;
       for (size_t i = 0; i < g.series.size(); ++i) {
-        const sim::TimePoint& p = g.series.at(i);
+        const rt::TimePoint& p = g.series.at(i);
         WriteCounter(w, pid, g.name, p.time, p.value);
       }
     }

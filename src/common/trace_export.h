@@ -7,14 +7,8 @@
 
 namespace ava3::rt {
 struct FaultPlan;
-}  // namespace ava3::rt
-
-namespace ava3::sim {
 class GaugeSampler;
-// Fault plans live at the runtime seam (runtime/fault.h); sim::FaultPlan
-// is an alias for rt::FaultPlan (see sim/fault_injector.h).
-using rt::FaultPlan;
-}  // namespace ava3::sim
+}  // namespace ava3::rt
 
 namespace ava3 {
 
@@ -22,10 +16,12 @@ namespace ava3 {
 struct TraceExportOptions {
   /// When set, every gauge series is exported as Chrome counter ("C")
   /// events so the ≤3-version bound, queue depths etc. plot as graphs.
-  const sim::GaugeSampler* sampler = nullptr;
+  /// (The sampler lives at the runtime seam — runtime/timeseries.h — and
+  /// serves both runtimes.)
+  const rt::GaugeSampler* sampler = nullptr;
   /// When set, partition windows are synthesized as cluster-track slices
   /// (the plan is static, so this costs no simulation events).
-  const sim::FaultPlan* faults = nullptr;
+  const rt::FaultPlan* faults = nullptr;
 };
 
 /// Renders the sink's events as Chrome trace-event JSON (the format

@@ -56,11 +56,6 @@ Status Database::ValidateOptions(const DatabaseOptions& o) {
         "net.drop_probability is a simulated-network fault knob the thread "
         "transport does not model; use faults.rates.loss instead");
   }
-  if (o.timeseries_interval > 0) {
-    return Status::InvalidArgument(
-        "timeseries_interval: the gauge sampler runs on simulator events; "
-        "it is not available under runtime=thread");
-  }
   return Status::Ok();
 }
 
@@ -75,9 +70,20 @@ std::unique_ptr<Database> Database::Create(DatabaseOptions options,
 Database::Database(DatabaseOptions options) : options_(options) {
   assert(ValidateOptions(options_).ok() &&
          "invalid DatabaseOptions; use Database::Create for a Status");
+  const bool threads = options_.runtime == RuntimeKind::kThread;
   trace_ = std::make_unique<TraceSink>();
   trace_->Enable(options_.enable_trace);
-  metrics_ = std::make_unique<Metrics>();
+  if (threads && options_.enable_trace) {
+    // Per-worker SPSC rings (one per node + the service worker) keep the
+    // record path lock-free; the DES stays on the direct latched log so
+    // golden fingerprints are byte-identical.
+    trace_->EnableRings(static_cast<size_t>(options_.num_nodes) + 1,
+                        options_.trace_ring_capacity);
+  }
+  // One metrics write shard per node under threads (plus-one contexts —
+  // the service worker and external threads — only record inside
+  // RunExclusive safepoints); a single shard under the DES.
+  metrics_ = std::make_unique<Metrics>(threads ? options_.num_nodes : 1);
   recorder_ = std::make_unique<verify::HistoryRecorder>();
 
   EngineEnv env;
@@ -104,6 +110,7 @@ Database::Database(DatabaseOptions options) : options_(options) {
     topt.faults = options_.faults;
     thread_runtime_ = std::make_unique<rt::ThreadRuntime>(options_.num_nodes,
                                                           std::move(topt));
+    thread_runtime_->SetTrace(trace_.get());
     runtime_iface_ = thread_runtime_.get();
   }
 
@@ -139,8 +146,8 @@ Database::Database(DatabaseOptions options) : options_(options) {
     network_->SetTrace(trace_.get());
   }
   if (options_.timeseries_interval > 0) {
-    sampler_ = std::make_unique<sim::GaugeSampler>(
-        simulator_.get(), options_.timeseries_interval,
+    sampler_ = std::make_unique<rt::GaugeSampler>(
+        runtime_iface_, options_.timeseries_interval,
         options_.timeseries_capacity);
     auto* eb = static_cast<EngineBase*>(engine_.get());
     for (NodeId n = 0; n < options_.num_nodes; ++n) {
@@ -164,12 +171,24 @@ Database::Database(DatabaseOptions options) : options_(options) {
         });
       }
     }
-    sampler_->AddGauge("net-in-flight", kInvalidNode, [this]() {
-      return static_cast<double>(network_->InFlight());
-    });
-    sampler_->AddGauge("net-dropped", kInvalidNode, [this]() {
-      return static_cast<double>(network_->DroppedCount());
-    });
+    if (network_ != nullptr) {
+      sampler_->AddGauge("net-in-flight", kInvalidNode, [this]() {
+        return static_cast<double>(network_->InFlight());
+      });
+      sampler_->AddGauge("net-dropped", kInvalidNode, [this]() {
+        return static_cast<double>(network_->DroppedCount());
+      });
+    } else {
+      // The thread transport has no in-flight model; its cluster gauges
+      // are the monotone atomic send/drop counters, sampled on the
+      // service worker.
+      sampler_->AddGauge("net-sent", kInvalidNode, [this]() {
+        return static_cast<double>(thread_runtime_->TotalSent());
+      });
+      sampler_->AddGauge("net-dropped", kInvalidNode, [this]() {
+        return static_cast<double>(thread_runtime_->DroppedCount());
+      });
+    }
     sampler_->Start();
   }
   ScheduleCrashWindows();
@@ -220,7 +239,23 @@ Database::~Database() {
 }
 
 void Database::Shutdown() {
-  if (thread_runtime_ != nullptr) thread_runtime_->Shutdown();
+  if (thread_runtime_ != nullptr) {
+    thread_runtime_->Shutdown();
+    // Workers are joined: collect whatever the trace rings still buffer
+    // into the main event log before anyone reads events().
+    trace_->Drain();
+  }
+}
+
+MetricsSnapshot Database::SnapshotMetrics() {
+  if (thread_runtime_ != nullptr) {
+    MetricsSnapshot snap;
+    thread_runtime_->RunExclusive([this, &snap] {
+      snap = metrics_->Snapshot();
+    });
+    return snap;
+  }
+  return metrics_->Snapshot();
 }
 
 sim::Simulator& Database::simulator() {

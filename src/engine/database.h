@@ -10,8 +10,8 @@
 #include "engine/engine_iface.h"
 #include "runtime/sim_runtime.h"
 #include "runtime/thread_runtime.h"
+#include "runtime/timeseries.h"
 #include "sim/fault_injector.h"
-#include "sim/timeseries.h"
 
 namespace ava3::db {
 
@@ -58,14 +58,20 @@ struct DatabaseOptions {
   sim::FaultPlan faults;
   bool enable_trace = false;
   bool enable_recorder = true;
-  /// Simulated-clock cadence for the per-node gauge sampler (live version
-  /// count, lock-queue depth, in-flight subtransactions, u/q versions,
-  /// network in-flight/drops). 0 disables sampling entirely; sampling adds
-  /// simulator events but never changes any protocol outcome. Simulated
-  /// runtime only.
+  /// Cadence for the per-node gauge sampler (live version count,
+  /// lock-queue depth, in-flight subtransactions, u/q versions, transport
+  /// in-flight/drops): simulated microseconds under the DES (simulator
+  /// events; sampling shifts event ids but never changes any protocol
+  /// outcome), wall-clock microseconds under the thread runtime (each
+  /// node's gauges tick on that node's worker). 0 disables sampling.
   SimDuration timeseries_interval = 0;
   /// Ring-buffer capacity per gauge (oldest samples overwritten on soaks).
   size_t timeseries_capacity = 4096;
+  /// Thread runtime + enable_trace: per-worker trace ring capacity in
+  /// events. Overflow is dropped (counted in TraceSink::dropped()), never
+  /// blocked on — tracing must not perturb the system under test. The DES
+  /// path keeps the direct latched log (bit-identical, unbounded).
+  size_t trace_ring_capacity = 1 << 16;
 };
 
 /// The public entry point: one distributed database over the selected
@@ -125,9 +131,15 @@ class Database {
 
   Engine& engine() { return *engine_; }
   Metrics& metrics() { return *metrics_; }
+  /// Merged counters + histograms across every metrics shard. Under the
+  /// thread runtime the merge runs inside a RunExclusive safepoint so it
+  /// observes a consistent quiesced state mid-run; under the DES it is a
+  /// plain read. This is the one supported way to read metrics while
+  /// worker threads are live.
+  MetricsSnapshot SnapshotMetrics();
   TraceSink& trace() { return *trace_; }
   /// The gauge sampler, or nullptr when timeseries_interval is 0.
-  sim::GaugeSampler* sampler() { return sampler_.get(); }
+  rt::GaugeSampler* sampler() { return sampler_.get(); }
   verify::HistoryRecorder& recorder() { return *recorder_; }
   const DatabaseOptions& options() const { return options_; }
 
@@ -184,7 +196,7 @@ class Database {
   std::unique_ptr<Engine> engine_;
   /// Declared after engine_: gauge callbacks read engine state, so the
   /// sampler must be destroyed first.
-  std::unique_ptr<sim::GaugeSampler> sampler_;
+  std::unique_ptr<rt::GaugeSampler> sampler_;
   std::atomic<TxnId> next_txn_id_{1};
 };
 

@@ -397,8 +397,9 @@ void EngineBase::DecideCommit(UpdateRt& root_rt) {
     commit_outcomes_.emplace(root_rt.txn,
                              std::make_pair(global, decision_time));
   }
-  metrics().RecordUpdateCommit(decision_time - root_rt.submit_time, global,
-                               decision_time);
+  metrics(root_rt.node)
+      .RecordUpdateCommit(decision_time - root_rt.submit_time, global,
+                          decision_time);
   if (env_.recorder != nullptr) {
     PendingHistory ph;
     ph.txn.id = root_rt.txn;
@@ -457,9 +458,9 @@ void EngineBase::CommitLocal(NodeId node, TxnId txn, Version global_version,
   if (rt.is_root()) {
     // Per-phase latency breakdown: blocked-on-locks, ops-done -> decision
     // (the 2PC round), decision -> applied at the root.
-    metrics().RecordCommitPhases(rt.lock_wait_total,
-                                 decision_time - rt.ops_done_time,
-                                 runtime().Now() - decision_time);
+    metrics(node).RecordCommitPhases(rt.lock_wait_total,
+                                     decision_time - rt.ops_done_time,
+                                     runtime().Now() - decision_time);
     EndSpan(node, TraceKind::kCommitApply, &rt.apply_span, txn);
   }
   if (rt.is_root() && rt.done) {
@@ -540,8 +541,9 @@ void EngineBase::OnAbortMsgAtRoot(NodeId node, TxnId txn, Status status) {
 
 void EngineBase::BeginAbortBroadcast(UpdateRt& root_rt, Status status) {
   if (root_rt.decided) return;
-  metrics().RecordAbort(status.code() == StatusCode::kDeadlock,
-                        status.message() == "sync-mismatch");
+  metrics(root_rt.node)
+      .RecordAbort(status.code() == StatusCode::kDeadlock,
+                   status.message() == "sync-mismatch");
   runtime().CancelTimer(root_rt.timeout_ev);
   const TxnId txn = root_rt.txn;
   const NodeId root_node = root_rt.node;
@@ -787,7 +789,7 @@ void EngineBase::MaybeCompleteQuery(QueryRt& rt) {
       }
     }
     runtime().CancelTimer(rt.timeout_ev);
-    metrics().RecordQueryCommit(runtime().Now() - rt.submit_time);
+    metrics(rt.node).RecordQueryCommit(runtime().Now() - rt.submit_time);
     if (env_.recorder != nullptr) {
       verify::CommittedTxn rec;
       rec.id = txn;
@@ -856,7 +858,8 @@ void EngineBase::OnChildQueryResult(NodeId node, TxnId txn, int child_spec,
 void EngineBase::FailQuery(QueryRt& rt, Status status) {
   if (rt.state == QueryRt::State::kFinishing) return;
   if (rt.is_root()) {
-    metrics().RecordAbort(status.code() == StatusCode::kDeadlock, false);
+    metrics(rt.node).RecordAbort(status.code() == StatusCode::kDeadlock,
+                                 false);
     runtime().CancelTimer(rt.timeout_ev);
     const TxnId txn = rt.txn;
     const NodeId root_node = rt.node;
@@ -988,7 +991,7 @@ void EngineBase::CrashNode(NodeId node) {
   }
   ns.locks->Reset();
   OnNodeCrash(node);
-  metrics().RecordCrash();
+  metrics(node).RecordCrash();
   EmitTrace(node, TraceKind::kNodeCrash);
 }
 
@@ -1019,7 +1022,7 @@ void EngineBase::RecoverNode(NodeId node) {
     ArmPreparedTimeout(*rt);
   }
   OnNodeRecover(node);
-  metrics().RecordRecovery();
+  metrics(node).RecordRecovery();
   EmitTrace(node, TraceKind::kNodeRecover);
 }
 

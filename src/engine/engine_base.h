@@ -343,6 +343,10 @@ class EngineBase : public Engine {
   rt::Runtime& runtime() { return *env_.runtime; }
   const rt::Runtime& runtime() const { return *env_.runtime; }
   Metrics& metrics() { return *env_.metrics; }
+  /// The write shard for `node`'s execution context; Record* through this
+  /// from node-confined closures (or inside RunExclusive) so the hot path
+  /// never takes a latch.
+  Metrics::Shard& metrics(NodeId node) { return env_.metrics->shard(node); }
   NodeState& node_state(NodeId n) { return nodes_[n]; }
   const BaseOptions& base_options() const { return options_; }
 

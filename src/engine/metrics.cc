@@ -22,42 +22,74 @@ void HistogramJson(JsonWriter& w, std::string_view key, const Histogram& h) {
 
 }  // namespace
 
-std::string Metrics::ToJson() const {
+MetricsSnapshot Metrics::Snapshot() const {
+  MetricsSnapshot s;
+  for (const auto& sh : shards_) {
+    s.update_commits += sh->update_commits_;
+    s.query_commits += sh->query_commits_;
+    s.aborts += sh->aborts_;
+    s.deadlock_aborts += sh->deadlock_aborts_;
+    s.sync_mismatch_aborts += sh->sync_mismatch_aborts_;
+    s.mtf_count += sh->mtf_count_;
+    s.mtf_records_scanned += sh->mtf_records_scanned_;
+    s.advancements += sh->advancements_;
+    s.advancements_cancelled += sh->advancements_cancelled_;
+    s.latch_ops += sh->latch_ops_;
+    s.crashes += sh->crashes_;
+    s.recoveries += sh->recoveries_;
+    s.update_latency.Merge(sh->update_latency_);
+    s.query_latency.Merge(sh->query_latency_);
+    s.staleness.Merge(sh->staleness_);
+    s.phase1_duration.Merge(sh->phase1_duration_);
+    s.phase2_duration.Merge(sh->phase2_duration_);
+    s.advancement_duration.Merge(sh->advancement_duration_);
+    s.lock_wait.Merge(sh->lock_wait_);
+    s.twopc_round.Merge(sh->twopc_round_);
+    s.commit_apply.Merge(sh->commit_apply_);
+  }
+  {
+    rt::LatchGuard guard(latch_);
+    s.first_commit_entries_pruned = first_commit_entries_pruned_;
+  }
+  return s;
+}
+
+std::string MetricsSnapshot::ToJson() const {
   JsonWriter w;
   w.BeginObject();
   w.Key("counters");
   w.BeginObject();
-  w.KV("update_commits", update_commits_);
-  w.KV("query_commits", query_commits_);
-  w.KV("aborts", aborts_);
-  w.KV("deadlock_aborts", deadlock_aborts_);
-  w.KV("sync_mismatch_aborts", sync_mismatch_aborts_);
-  w.KV("move_to_future", mtf_count_);
-  w.KV("move_to_future_records_scanned", mtf_records_scanned_);
-  w.KV("advancements", advancements_);
-  w.KV("advancements_cancelled", advancements_cancelled_);
-  w.KV("latch_ops", latch_ops_);
-  w.KV("crashes", crashes_);
-  w.KV("recoveries", recoveries_);
-  w.KV("first_commit_entries_pruned", first_commit_entries_pruned_);
+  w.KV("update_commits", update_commits);
+  w.KV("query_commits", query_commits);
+  w.KV("aborts", aborts);
+  w.KV("deadlock_aborts", deadlock_aborts);
+  w.KV("sync_mismatch_aborts", sync_mismatch_aborts);
+  w.KV("move_to_future", mtf_count);
+  w.KV("move_to_future_records_scanned", mtf_records_scanned);
+  w.KV("advancements", advancements);
+  w.KV("advancements_cancelled", advancements_cancelled);
+  w.KV("latch_ops", latch_ops);
+  w.KV("crashes", crashes);
+  w.KV("recoveries", recoveries);
+  w.KV("first_commit_entries_pruned", first_commit_entries_pruned);
   w.EndObject();
   w.Key("latency_us");
   w.BeginObject();
-  HistogramJson(w, "update", update_latency_);
-  HistogramJson(w, "query", query_latency_);
-  HistogramJson(w, "staleness", staleness_);
+  HistogramJson(w, "update", update_latency);
+  HistogramJson(w, "query", query_latency);
+  HistogramJson(w, "staleness", staleness);
   w.Key("phases");
   w.BeginObject();
-  HistogramJson(w, "lock_wait", lock_wait_);
-  HistogramJson(w, "twopc_round", twopc_round_);
-  HistogramJson(w, "commit_apply", commit_apply_);
+  HistogramJson(w, "lock_wait", lock_wait);
+  HistogramJson(w, "twopc_round", twopc_round);
+  HistogramJson(w, "commit_apply", commit_apply);
   w.EndObject();
   w.EndObject();
   w.Key("advancement_us");
   w.BeginObject();
-  HistogramJson(w, "phase1", phase1_duration_);
-  HistogramJson(w, "phase2", phase2_duration_);
-  HistogramJson(w, "total", advancement_duration_);
+  HistogramJson(w, "phase1", phase1_duration);
+  HistogramJson(w, "phase2", phase2_duration);
+  HistogramJson(w, "total", advancement_duration);
   w.EndObject();
   w.EndObject();
   return std::move(w).Take();

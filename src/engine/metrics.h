@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/types.h"
@@ -12,126 +14,239 @@
 
 namespace ava3::db {
 
+/// Immutable aggregate of every Metrics shard, taken at a quiescent point
+/// (RunExclusive safepoint, post-Shutdown, or under the single-threaded
+/// DES). All readers — ToJson, the OpenMetrics exporter, benches — consume
+/// snapshots; nothing reads live shards.
+struct MetricsSnapshot {
+  uint64_t update_commits = 0;
+  uint64_t query_commits = 0;
+  uint64_t aborts = 0;
+  uint64_t deadlock_aborts = 0;
+  uint64_t sync_mismatch_aborts = 0;
+  uint64_t mtf_count = 0;
+  uint64_t mtf_records_scanned = 0;
+  uint64_t advancements = 0;
+  uint64_t advancements_cancelled = 0;
+  uint64_t latch_ops = 0;
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+  uint64_t first_commit_entries_pruned = 0;
+  Histogram update_latency;
+  Histogram query_latency;
+  Histogram staleness;
+  Histogram phase1_duration;
+  Histogram phase2_duration;
+  Histogram advancement_duration;
+  Histogram lock_wait;
+  Histogram twopc_round;
+  Histogram commit_apply;
+
+  /// Full machine-readable report (counters + histogram summaries); the
+  /// bench harness writes this as BENCH_<name>.json.
+  std::string ToJson() const;
+};
+
 /// Simulation-wide measurement collector. Engines call the Record* hooks;
 /// the bench harness reads the aggregates. The collector is an instrument,
 /// not part of the protocol: it has global visibility by design.
 ///
-/// Thread safety: every Record*/Prune* mutator takes an internal latch, so
-/// concurrent node contexts under ThreadRuntime may record freely. The
-/// accessors (and ToJson) are unguarded snapshot reads — call them from a
-/// quiesced runtime (after Shutdown, inside RunExclusive, or under the
-/// single-threaded DES, where the latch is uncontended and free).
+/// Write path: counters and histograms live in per-node *shards*. Under
+/// ThreadRuntime the Database creates one shard per node and every Record*
+/// call goes to the caller's node shard via EngineBase::metrics(node) —
+/// node n's closures run only on worker n (or inside a RunExclusive
+/// safepoint), so shard writes are plain unlatched stores on the hot path.
+/// Under the DES there is a single shard and the same calls are trivially
+/// safe. The only latched state is the cross-shard first-commit-time map
+/// (shared by design: staleness is a global property).
+///
+/// Read path: Snapshot() merges the shards into an immutable
+/// MetricsSnapshot. Call it from a quiesced runtime (after Shutdown,
+/// inside RunExclusive, or under the single-threaded DES); the summed
+/// counter accessors and merged histogram accessors below are
+/// conveniences with the same quiesced-caller contract.
 class Metrics {
  public:
-  // --- Transactions --------------------------------------------------------
+  /// One write shard: plain counters + histograms, no latch. All Record*
+  /// mutators live here; the parent backpointer serves the (rare, latched)
+  /// first-commit-time map lookups that staleness accounting needs.
+  class Shard {
+   public:
+    explicit Shard(Metrics* parent) : parent_(parent) {}
+
+    // --- Transactions ----------------------------------------------------
+    void RecordUpdateCommit(SimTime latency, Version commit_version,
+                            SimTime commit_time) {
+      ++update_commits_;
+      update_latency_.Add(latency);
+      parent_->NoteFirstCommit(commit_version, commit_time);
+    }
+    void RecordQueryCommit(SimTime latency) {
+      ++query_commits_;
+      query_latency_.Add(latency);
+    }
+    void RecordAbort(bool deadlock, bool sync_mismatch) {
+      ++aborts_;
+      if (deadlock) ++deadlock_aborts_;
+      if (sync_mismatch) ++sync_mismatch_aborts_;
+    }
+
+    /// Per-phase latency breakdown of one committed root update: time
+    /// blocked on locks, local-ops-done -> commit decision (the 2PC round
+    /// trip), and decision -> commit applied at the root.
+    void RecordCommitPhases(SimDuration lock_wait, SimDuration twopc_round,
+                            SimDuration commit_apply) {
+      lock_wait_.Add(lock_wait);
+      twopc_round_.Add(twopc_round);
+      commit_apply_.Add(commit_apply);
+    }
+
+    /// Called at query (root) start with the snapshot version it will
+    /// read. Staleness = time since the first commit the query cannot see,
+    /// i.e. since data in version `snapshot+1` first appeared (0 if none
+    /// yet).
+    void RecordQueryStart(Version snapshot, SimTime now) {
+      staleness_.Add(parent_->StalenessAt(snapshot, now));
+    }
+
+    // --- moveToFuture ----------------------------------------------------
+    void RecordMoveToFuture(int records_scanned) {
+      ++mtf_count_;
+      mtf_records_scanned_ += static_cast<uint64_t>(records_scanned);
+    }
+
+    // --- Version advancement ---------------------------------------------
+    void RecordAdvancement(SimDuration phase1, SimDuration phase2,
+                           SimDuration total) {
+      ++advancements_;
+      phase1_duration_.Add(phase1);
+      phase2_duration_.Add(phase2);
+      advancement_duration_.Add(total);
+    }
+    void RecordAdvancementCancelled() { ++advancements_cancelled_; }
+
+    // --- Latch accounting (paper: queries only bump counters under
+    // latches). Per-shard so the gauge path never takes the global latch
+    // it is counting. -------------------------------------------------------
+    void RecordLatchOp() { ++latch_ops_; }
+
+    // --- Fault events ----------------------------------------------------
+    void RecordCrash() { ++crashes_; }
+    void RecordRecovery() { ++recoveries_; }
+
+   private:
+    friend class Metrics;
+    Metrics* parent_;
+    uint64_t update_commits_ = 0;
+    uint64_t query_commits_ = 0;
+    uint64_t aborts_ = 0;
+    uint64_t deadlock_aborts_ = 0;
+    uint64_t sync_mismatch_aborts_ = 0;
+    uint64_t mtf_count_ = 0;
+    uint64_t mtf_records_scanned_ = 0;
+    uint64_t advancements_ = 0;
+    uint64_t advancements_cancelled_ = 0;
+    uint64_t latch_ops_ = 0;
+    uint64_t crashes_ = 0;
+    uint64_t recoveries_ = 0;
+    Histogram update_latency_;
+    Histogram query_latency_;
+    Histogram staleness_;
+    Histogram phase1_duration_;
+    Histogram phase2_duration_;
+    Histogram advancement_duration_;
+    Histogram lock_wait_;
+    Histogram twopc_round_;
+    Histogram commit_apply_;
+  };
+
+  /// `num_shards` = 1 under the DES (one global execution context), one
+  /// per node under ThreadRuntime.
+  explicit Metrics(int num_shards = 1) {
+    if (num_shards < 1) num_shards = 1;
+    shards_.reserve(static_cast<size_t>(num_shards));
+    for (int i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(this));
+    }
+  }
+
+  /// The write shard for `node`'s execution context. With a single shard
+  /// (DES) every node maps to it.
+  Shard& shard(NodeId node) {
+    const size_t i = shards_.size() == 1 ? 0 : static_cast<size_t>(node);
+    return *shards_[i < shards_.size() ? i : 0];
+  }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // Single-shard conveniences: direct Record* calls go to shard 0. Used by
+  // unit tests and single-context callers; engines record through
+  // EngineBase::metrics(node) instead.
   void RecordUpdateCommit(SimTime latency, Version commit_version,
                           SimTime commit_time) {
-    rt::LatchGuard guard(latch_);
-    ++update_commits_;
-    update_latency_.Add(latency);
-    auto [it, inserted] =
-        first_commit_time_.try_emplace(commit_version, commit_time);
-    if (!inserted && commit_time < it->second) it->second = commit_time;
+    shard(0).RecordUpdateCommit(latency, commit_version, commit_time);
   }
   void RecordQueryCommit(SimTime latency) {
-    rt::LatchGuard guard(latch_);
-    ++query_commits_;
-    query_latency_.Add(latency);
+    shard(0).RecordQueryCommit(latency);
   }
   void RecordAbort(bool deadlock, bool sync_mismatch) {
-    rt::LatchGuard guard(latch_);
-    ++aborts_;
-    if (deadlock) ++deadlock_aborts_;
-    if (sync_mismatch) ++sync_mismatch_aborts_;
+    shard(0).RecordAbort(deadlock, sync_mismatch);
   }
-
-  /// Per-phase latency breakdown of one committed root update: time blocked
-  /// on locks, local-ops-done -> commit decision (the 2PC round trip), and
-  /// decision -> commit applied at the root.
   void RecordCommitPhases(SimDuration lock_wait, SimDuration twopc_round,
                           SimDuration commit_apply) {
-    rt::LatchGuard guard(latch_);
-    lock_wait_.Add(lock_wait);
-    twopc_round_.Add(twopc_round);
-    commit_apply_.Add(commit_apply);
+    shard(0).RecordCommitPhases(lock_wait, twopc_round, commit_apply);
   }
-
-  /// Called at query (root) start with the snapshot version it will read.
-  /// Staleness = time since the first commit the query cannot see, i.e.
-  /// since data in version `snapshot+1` first appeared (0 if none yet).
   void RecordQueryStart(Version snapshot, SimTime now) {
-    rt::LatchGuard guard(latch_);
-    auto it = first_commit_time_.upper_bound(snapshot);
-    SimTime staleness = 0;
-    if (it != first_commit_time_.end() && it->second <= now) {
-      staleness = now - it->second;
-    }
-    staleness_.Add(staleness);
+    shard(0).RecordQueryStart(snapshot, now);
   }
-
-  // --- moveToFuture ---------------------------------------------------------
   void RecordMoveToFuture(int records_scanned) {
-    rt::LatchGuard guard(latch_);
-    ++mtf_count_;
-    mtf_records_scanned_ += static_cast<uint64_t>(records_scanned);
+    shard(0).RecordMoveToFuture(records_scanned);
   }
-
-  // --- Version advancement --------------------------------------------------
   void RecordAdvancement(SimDuration phase1, SimDuration phase2,
                          SimDuration total) {
-    rt::LatchGuard guard(latch_);
-    ++advancements_;
-    phase1_duration_.Add(phase1);
-    phase2_duration_.Add(phase2);
-    advancement_duration_.Add(total);
+    shard(0).RecordAdvancement(phase1, phase2, total);
   }
-  void RecordAdvancementCancelled() {
-    rt::LatchGuard guard(latch_);
-    ++advancements_cancelled_;
-  }
+  void RecordAdvancementCancelled() { shard(0).RecordAdvancementCancelled(); }
+  void RecordLatchOp() { shard(0).RecordLatchOp(); }
+  void RecordCrash() { shard(0).RecordCrash(); }
+  void RecordRecovery() { shard(0).RecordRecovery(); }
 
-  // --- Latch accounting (paper: queries only bump counters under latches) ---
-  void RecordLatchOp() {
-    rt::LatchGuard guard(latch_);
-    ++latch_ops_;
+  // --- Aggregated accessors (quiesced-caller contract) --------------------
+  uint64_t update_commits() const { return Sum(&Shard::update_commits_); }
+  uint64_t query_commits() const { return Sum(&Shard::query_commits_); }
+  uint64_t aborts() const { return Sum(&Shard::aborts_); }
+  uint64_t deadlock_aborts() const { return Sum(&Shard::deadlock_aborts_); }
+  uint64_t sync_mismatch_aborts() const {
+    return Sum(&Shard::sync_mismatch_aborts_);
   }
-
-  // --- Fault events ---------------------------------------------------------
-  void RecordCrash() {
-    rt::LatchGuard guard(latch_);
-    ++crashes_;
+  uint64_t mtf_count() const { return Sum(&Shard::mtf_count_); }
+  uint64_t mtf_records_scanned() const {
+    return Sum(&Shard::mtf_records_scanned_);
   }
-  void RecordRecovery() {
-    rt::LatchGuard guard(latch_);
-    ++recoveries_;
+  uint64_t advancements() const { return Sum(&Shard::advancements_); }
+  uint64_t advancements_cancelled() const {
+    return Sum(&Shard::advancements_cancelled_);
   }
+  uint64_t latch_ops() const { return Sum(&Shard::latch_ops_); }
+  uint64_t crashes() const { return Sum(&Shard::crashes_); }
+  uint64_t recoveries() const { return Sum(&Shard::recoveries_); }
 
-  // --- Accessors ------------------------------------------------------------
-  uint64_t update_commits() const { return update_commits_; }
-  uint64_t query_commits() const { return query_commits_; }
-  uint64_t aborts() const { return aborts_; }
-  uint64_t deadlock_aborts() const { return deadlock_aborts_; }
-  uint64_t sync_mismatch_aborts() const { return sync_mismatch_aborts_; }
-  uint64_t mtf_count() const { return mtf_count_; }
-  uint64_t mtf_records_scanned() const { return mtf_records_scanned_; }
-  uint64_t advancements() const { return advancements_; }
-  uint64_t advancements_cancelled() const { return advancements_cancelled_; }
-  uint64_t latch_ops() const { return latch_ops_; }
-  uint64_t crashes() const { return crashes_; }
-  uint64_t recoveries() const { return recoveries_; }
-
-  const Histogram& update_latency() const { return update_latency_; }
-  const Histogram& query_latency() const { return query_latency_; }
-  const Histogram& staleness() const { return staleness_; }
-  const Histogram& phase1_duration() const { return phase1_duration_; }
-  const Histogram& phase2_duration() const { return phase2_duration_; }
-  const Histogram& advancement_duration() const {
-    return advancement_duration_;
+  // Merged-by-value histogram views (single-shard merges are exact
+  // copies, so the DES path renders byte-identical JSON).
+  Histogram update_latency() const { return Merged(&Shard::update_latency_); }
+  Histogram query_latency() const { return Merged(&Shard::query_latency_); }
+  Histogram staleness() const { return Merged(&Shard::staleness_); }
+  Histogram phase1_duration() const {
+    return Merged(&Shard::phase1_duration_);
   }
-
-  const Histogram& lock_wait() const { return lock_wait_; }
-  const Histogram& twopc_round() const { return twopc_round_; }
-  const Histogram& commit_apply() const { return commit_apply_; }
+  Histogram phase2_duration() const {
+    return Merged(&Shard::phase2_duration_);
+  }
+  Histogram advancement_duration() const {
+    return Merged(&Shard::advancement_duration_);
+  }
+  Histogram lock_wait() const { return Merged(&Shard::lock_wait_); }
+  Histogram twopc_round() const { return Merged(&Shard::twopc_round_); }
+  Histogram commit_apply() const { return Merged(&Shard::commit_apply_); }
 
   /// First time any transaction committed in each version (global view).
   const std::map<Version, SimTime>& first_commit_time() const {
@@ -154,34 +269,47 @@ class Metrics {
     return first_commit_entries_pruned_;
   }
 
-  /// Full machine-readable report (counters + histogram summaries); the
-  /// bench harness writes this as BENCH_<name>.json.
-  std::string ToJson() const;
+  /// Merges every shard into an immutable aggregate. Quiesced-caller
+  /// contract; under ThreadRuntime take it inside RunExclusive (see
+  /// Database::SnapshotMetrics).
+  MetricsSnapshot Snapshot() const;
+
+  /// Snapshot().ToJson() — kept as a member for the many existing callers.
+  std::string ToJson() const { return Snapshot().ToJson(); }
 
  private:
-  mutable rt::Latch latch_;
-  uint64_t update_commits_ = 0;
-  uint64_t query_commits_ = 0;
-  uint64_t aborts_ = 0;
-  uint64_t deadlock_aborts_ = 0;
-  uint64_t sync_mismatch_aborts_ = 0;
-  uint64_t mtf_count_ = 0;
-  uint64_t mtf_records_scanned_ = 0;
-  uint64_t advancements_ = 0;
-  uint64_t advancements_cancelled_ = 0;
-  uint64_t latch_ops_ = 0;
-  uint64_t crashes_ = 0;
-  uint64_t recoveries_ = 0;
+  friend class Shard;
+
+  void NoteFirstCommit(Version commit_version, SimTime commit_time) {
+    rt::LatchGuard guard(latch_);
+    auto [it, inserted] =
+        first_commit_time_.try_emplace(commit_version, commit_time);
+    if (!inserted && commit_time < it->second) it->second = commit_time;
+  }
+  SimTime StalenessAt(Version snapshot, SimTime now) const {
+    rt::LatchGuard guard(latch_);
+    auto it = first_commit_time_.upper_bound(snapshot);
+    SimTime staleness = 0;
+    if (it != first_commit_time_.end() && it->second <= now) {
+      staleness = now - it->second;
+    }
+    return staleness;
+  }
+
+  uint64_t Sum(uint64_t Shard::* counter) const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) total += (*s).*counter;
+    return total;
+  }
+  Histogram Merged(Histogram Shard::* hist) const {
+    Histogram out;
+    for (const auto& s : shards_) out.Merge((*s).*hist);
+    return out;
+  }
+
+  mutable rt::Latch latch_;  // guards first_commit_time_ + pruned counter
+  std::vector<std::unique_ptr<Shard>> shards_;
   uint64_t first_commit_entries_pruned_ = 0;
-  Histogram update_latency_;
-  Histogram query_latency_;
-  Histogram staleness_;
-  Histogram phase1_duration_;
-  Histogram phase2_duration_;
-  Histogram advancement_duration_;
-  Histogram lock_wait_;
-  Histogram twopc_round_;
-  Histogram commit_apply_;
   std::map<Version, SimTime> first_commit_time_;
 };
 

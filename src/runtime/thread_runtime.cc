@@ -54,6 +54,18 @@ ThreadRuntime::ThreadRuntime(int num_nodes, ThreadRuntimeOptions options)
 
 ThreadRuntime::~ThreadRuntime() { Shutdown(); }
 
+void ThreadRuntime::TraceMsg(TraceKind tk, NodeId node, MsgKind kind,
+                             int64_t b, uint64_t flow) {
+  TraceEvent ev;
+  ev.time = NowUs();
+  ev.node = node;
+  ev.kind = tk;
+  ev.a = static_cast<int64_t>(kind);
+  ev.b = b;
+  ev.span = flow;
+  trace_->Emit(std::move(ev));
+}
+
 void ThreadRuntime::Start() {
   assert(!started_.load() && "ThreadRuntime::Start called twice");
   start_tp_ = std::chrono::steady_clock::now();
@@ -206,15 +218,21 @@ FaultStage::Verdict ThreadRuntime::FaultVerdict(NodeId from, NodeId to,
                                                           kind);
 }
 
-void ThreadRuntime::EnqueueDelivery(NodeId to, MsgKind kind,
-                                    SimDuration extra_delay, TaskFn deliver) {
-  TaskFn wrapped([this, to, kind, d = std::move(deliver)]() mutable {
+void ThreadRuntime::EnqueueDelivery(NodeId from, NodeId to, MsgKind kind,
+                                    SimDuration extra_delay, uint64_t flow,
+                                    TaskFn deliver) {
+  TaskFn wrapped([this, from, to, kind, flow, d = std::move(deliver)]() mutable {
     // Re-check liveness at delivery time, mirroring the simulated
     // network's drop-at-destination semantics for crash windows.
     if (IsNodeUp(to)) {
+      if (Tracing()) TraceMsg(TraceKind::kMsgRecv, to, kind, from, flow);
       d();
     } else {
       CountDrop(DropCause::kDestDown, kind);
+      if (Tracing()) {
+        TraceMsg(TraceKind::kMsgDrop, to, kind,
+                 static_cast<int64_t>(DropCause::kDestDown), flow);
+      }
     }
   });
   if (extra_delay > 0) {
@@ -236,8 +254,19 @@ void ThreadRuntime::Send(NodeId from, NodeId to, MsgKind kind,
                          TaskFn deliver) {
   assert(to >= 0 && to < num_nodes_);
   sent_[static_cast<size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+  // Flow ids are allocated only while tracing, so disabled runs touch
+  // nothing; every copy of this message shares `flow`.
+  uint64_t flow = 0;
+  if (Tracing()) {
+    flow = trace_->NextSpanId();
+    TraceMsg(TraceKind::kMsgSend, from, kind, to, flow);
+  }
   if (!IsNodeUp(to)) {
     CountDrop(DropCause::kDestDown, kind);
+    if (Tracing()) {
+      TraceMsg(TraceKind::kMsgDrop, to, kind,
+               static_cast<int64_t>(DropCause::kDestDown), flow);
+    }
     return;
   }
   int copies = 1;
@@ -246,22 +275,34 @@ void ThreadRuntime::Send(NodeId from, NodeId to, MsgKind kind,
     // Self-sends model in-process dispatch: never faulted, matching sim.
     const FaultStage::Verdict v = FaultVerdict(from, to, kind);
     if (v.drop) {
-      CountDrop(v.partitioned ? DropCause::kPartition
-                              : DropCause::kInTransit,
-                kind);
+      const DropCause cause = v.partitioned ? DropCause::kPartition
+                                            : DropCause::kInTransit;
+      CountDrop(cause, kind);
+      if (Tracing()) {
+        TraceMsg(TraceKind::kMsgDrop, from, kind, static_cast<int64_t>(cause),
+                 flow);
+      }
       return;
     }
     if (v.copies > 1) {
       duplicated_.fetch_add(v.copies - 1, std::memory_order_relaxed);
+      if (Tracing()) {
+        for (int c = 1; c < v.copies; ++c) {
+          TraceMsg(TraceKind::kMsgDup, from, kind, to, flow);
+        }
+      }
     }
     if (v.extra_delay > 0) {
       delayed_.fetch_add(1, std::memory_order_relaxed);
+      if (Tracing()) {
+        TraceMsg(TraceKind::kMsgDelay, from, kind, v.extra_delay, flow);
+      }
     }
     copies = v.copies;
     extra_delay = v.extra_delay;
   }
   if (copies == 1) {
-    EnqueueDelivery(to, kind, extra_delay, std::move(deliver));
+    EnqueueDelivery(from, to, kind, extra_delay, flow, std::move(deliver));
     return;
   }
   // Injected duplication needs the closure more than once; share it. The
@@ -269,7 +310,8 @@ void ThreadRuntime::Send(NodeId from, NodeId to, MsgKind kind,
   // and allocation-free.
   auto shared = std::make_shared<TaskFn>(std::move(deliver));
   for (int copy = 0; copy < copies; ++copy) {
-    EnqueueDelivery(to, kind, extra_delay, TaskFn([shared] { (*shared)(); }));
+    EnqueueDelivery(from, to, kind, extra_delay, flow,
+                    TaskFn([shared] { (*shared)(); }));
   }
 }
 
@@ -331,6 +373,9 @@ std::string ThreadRuntime::StatsSummary() const {
 
 void ThreadRuntime::WorkerLoop(int index) {
   tls_worker = index;
+  // Bind this thread to its trace ring so worker-context emissions are
+  // lock-free (no-op when the sink runs in direct mode).
+  if (trace_ != nullptr) TraceSink::BindCurrentThread(trace_, index);
   Worker& w = *workers_[index];
   // Batch buffers live outside the loop so their capacity is reused; the
   // mailbox swap below recycles `mail`'s capacity back into the mailbox.

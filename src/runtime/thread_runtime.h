@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/trace.h"
 #include "runtime/fault.h"
 #include "runtime/runtime.h"
 
@@ -125,6 +126,13 @@ class ThreadRuntime final : public Runtime {
 
   const FaultPlan& fault_plan() const { return options_.faults; }
 
+  /// Attaches the trace sink before Start(). Remote sends then emit the
+  /// same kMsgSend/Recv/Drop/Dup/Delay flow-paired events sim::Network
+  /// produces (wall-clock timestamps), and each worker thread binds to its
+  /// ring in the sink when ring mode is enabled — call
+  /// TraceSink::EnableRings before Start() too.
+  void SetTrace(TraceSink* sink) { trace_ = sink; }
+
  private:
   struct TimerEntry {
     SimTime deadline;
@@ -170,8 +178,15 @@ class ThreadRuntime final : public Runtime {
   FaultStage::Verdict FaultVerdict(NodeId from, NodeId to, MsgKind kind);
   /// Enqueues one delivery closure: straight into `to`'s mailbox, or via a
   /// destination timer when the fault stage spiked it with `extra_delay`.
-  void EnqueueDelivery(NodeId to, MsgKind kind, SimDuration extra_delay,
+  /// `flow` is the trace flow id shared by every copy of the message (0
+  /// when tracing is off).
+  void EnqueueDelivery(NodeId from, NodeId to, MsgKind kind,
+                       SimDuration extra_delay, uint64_t flow,
                        TaskFn deliver);
+  bool Tracing() const { return trace_ != nullptr && trace_->enabled(); }
+  /// Message-flow trace instant, same field layout as sim::Network's.
+  void TraceMsg(TraceKind tk, NodeId node, MsgKind kind, int64_t b,
+                uint64_t flow);
 
   const int num_nodes_;
   const ThreadRuntimeOptions options_;
@@ -202,6 +217,7 @@ class ThreadRuntime final : public Runtime {
       dropped_{};
   std::atomic<uint64_t> duplicated_{0};
   std::atomic<uint64_t> delayed_{0};
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ava3::rt

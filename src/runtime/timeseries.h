@@ -1,0 +1,205 @@
+#ifndef AVA3_RUNTIME_TIMESERIES_H_
+#define AVA3_RUNTIME_TIMESERIES_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "runtime/runtime.h"
+
+namespace ava3::rt {
+
+/// One sampled observation.
+struct TimePoint {
+  SimTime time = 0;
+  double value = 0;
+};
+
+/// Fixed-capacity ring buffer of (time, value) samples. Once full, the
+/// oldest sample is overwritten — long soaks keep the freshest window at
+/// constant memory.
+class TimeSeries {
+ public:
+  explicit TimeSeries(size_t capacity) : buf_(capacity) {}
+
+  void Add(SimTime t, double v) {
+    if (buf_.empty()) return;
+    buf_[next_] = TimePoint{t, v};
+    next_ = (next_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return buf_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  /// i-th sample, oldest first (0 <= i < size()).
+  const TimePoint& at(size_t i) const {
+    const size_t start = (next_ + buf_.size() - size_) % buf_.size();
+    return buf_[(start + i) % buf_.size()];
+  }
+
+  const TimePoint& Last() const { return at(size_ - 1); }
+
+  double MaxValue() const {
+    double m = 0;
+    for (size_t i = 0; i < size_; ++i) m = std::max(m, at(i).value);
+    return m;
+  }
+
+  std::vector<TimePoint> Snapshot() const {
+    std::vector<TimePoint> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::vector<TimePoint> buf_;
+  size_t next_ = 0;
+  size_t size_ = 0;
+};
+
+/// Samples a set of registered gauges on a fixed cadence into per-gauge
+/// ring buffers, driven by runtime timers so the same sampler serves both
+/// runtimes:
+///
+///  - On a deterministic runtime (DES) a single repeating global timer
+///    samples every gauge in registration order — the exact event stream
+///    the old simulator-only sampler produced, so outcome fingerprints are
+///    unchanged (the sampler shifts event ids but never any protocol
+///    outcome; tests assert sampled and unsampled runs match).
+///  - On ThreadRuntime each node's gauges tick on that node's worker via a
+///    repeating ScheduleOn timer (gauge reads touch node-confined engine
+///    state, so sampling must ride the same confinement), and cluster-wide
+///    gauges (node == kInvalidNode) tick on the service worker via
+///    ScheduleGlobal. Each ring is then written by exactly one worker.
+///
+/// Register gauges, then Start() once; reads of the rings (exporters,
+/// tests) follow the usual quiesced-caller contract.
+class GaugeSampler {
+ public:
+  struct Gauge {
+    std::string name;            // e.g. "live-versions-max"
+    NodeId node = kInvalidNode;  // kInvalidNode = cluster-wide gauge
+    std::function<double()> read;
+    TimeSeries series;
+
+    Gauge(std::string n, NodeId nd, std::function<double()> fn,
+          size_t capacity)
+        : name(std::move(n)), node(nd), read(std::move(fn)),
+          series(capacity) {}
+  };
+
+  GaugeSampler(Runtime* runtime, SimDuration interval, size_t capacity)
+      : runtime_(runtime), interval_(interval), capacity_(capacity) {}
+
+  /// Registers a gauge before Start(). `read` must stay valid for the
+  /// sampler's lifetime and must not mutate engine state; under
+  /// ThreadRuntime it runs on `node`'s worker (service worker when
+  /// cluster-wide), so it may touch that node's confined state freely.
+  void AddGauge(std::string name, NodeId node, std::function<double()> read) {
+    gauges_.emplace_back(std::move(name), node, std::move(read), capacity_);
+  }
+
+  /// Begins periodic sampling (one sample immediately at the current time,
+  /// then every interval). No-op if the interval is zero or negative.
+  /// Under ThreadRuntime call before Runtime::Start() (the immediate
+  /// sample runs on the constructing thread while no worker is live; the
+  /// periodic timers arm now and first fire after Start()).
+  void Start() {
+    if (started_ || interval_ <= 0) return;
+    started_ = true;
+    SampleOnce();
+    if (runtime_->deterministic()) {
+      ScheduleNextGlobal();
+      return;
+    }
+    // Group gauge indices by owning worker and arm one repeating timer per
+    // group. Grouping is fixed before any timer fires, so each ring has a
+    // single writer from here on.
+    std::vector<size_t> cluster;
+    std::vector<std::vector<size_t>> per_node(
+        static_cast<size_t>(runtime_->num_nodes()));
+    for (size_t i = 0; i < gauges_.size(); ++i) {
+      const NodeId n = gauges_[i].node;
+      if (n == kInvalidNode || n >= runtime_->num_nodes()) {
+        cluster.push_back(i);
+      } else {
+        per_node[static_cast<size_t>(n)].push_back(i);
+      }
+    }
+    for (NodeId n = 0; n < runtime_->num_nodes(); ++n) {
+      if (!per_node[static_cast<size_t>(n)].empty()) {
+        ScheduleNextGroup(n, std::move(per_node[static_cast<size_t>(n)]));
+      }
+    }
+    if (!cluster.empty()) {
+      ScheduleNextGroup(kInvalidNode, std::move(cluster));
+    }
+  }
+
+  /// Reads every gauge once at the current time. Single-context callers
+  /// only (the DES tick, or a quiesced thread run).
+  void SampleOnce() {
+    const SimTime now = runtime_->Now();
+    for (Gauge& g : gauges_) g.series.Add(now, g.read());
+    samples_taken_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::vector<Gauge>& gauges() const { return gauges_; }
+  SimDuration interval() const { return interval_; }
+  uint64_t samples_taken() const {
+    return samples_taken_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ScheduleNextGlobal() {
+    runtime_->ScheduleGlobal(interval_, [this]() {
+      SampleOnce();
+      ScheduleNextGlobal();
+    });
+  }
+
+  /// Arms the repeating tick for one worker's gauge group. The indices
+  /// vector is shared by the chain of closures; the gauges_ vector itself
+  /// is append-only before Start() and stable after.
+  void ScheduleNextGroup(NodeId node, std::vector<size_t> indices) {
+    auto shared =
+        std::make_shared<std::vector<size_t>>(std::move(indices));
+    ArmGroupTimer(node, std::move(shared));
+  }
+  void ArmGroupTimer(NodeId node,
+                     std::shared_ptr<std::vector<size_t>> indices) {
+    auto tick = [this, node, indices]() {
+      const SimTime now = runtime_->Now();
+      for (size_t i : *indices) {
+        Gauge& g = gauges_[i];
+        g.series.Add(now, g.read());
+      }
+      samples_taken_.fetch_add(1, std::memory_order_relaxed);
+      ArmGroupTimer(node, indices);
+    };
+    if (node == kInvalidNode) {
+      runtime_->ScheduleGlobal(interval_, std::move(tick));
+    } else {
+      runtime_->ScheduleOn(node, interval_, std::move(tick));
+    }
+  }
+
+  Runtime* runtime_;
+  SimDuration interval_;
+  size_t capacity_;
+  bool started_ = false;
+  std::atomic<uint64_t> samples_taken_{0};
+  std::vector<Gauge> gauges_;
+};
+
+}  // namespace ava3::rt
+
+#endif  // AVA3_RUNTIME_TIMESERIES_H_

@@ -1,131 +1,17 @@
 #ifndef AVA3_SIM_TIMESERIES_H_
 #define AVA3_SIM_TIMESERIES_H_
 
-#include <algorithm>
-#include <cstdint>
-#include <functional>
-#include <string>
-#include <vector>
+// The gauge sampler now lives behind the runtime seam
+// (runtime/timeseries.h) so wall-clock runs can sample too; these aliases
+// keep the long-standing sim:: spellings working for existing callers.
 
-#include "common/types.h"
-#include "sim/simulator.h"
+#include "runtime/timeseries.h"
 
 namespace ava3::sim {
 
-/// One sampled observation.
-struct TimePoint {
-  SimTime time = 0;
-  double value = 0;
-};
-
-/// Fixed-capacity ring buffer of (time, value) samples. Once full, the
-/// oldest sample is overwritten — long soaks keep the freshest window at
-/// constant memory.
-class TimeSeries {
- public:
-  explicit TimeSeries(size_t capacity) : buf_(capacity) {}
-
-  void Add(SimTime t, double v) {
-    if (buf_.empty()) return;
-    buf_[next_] = TimePoint{t, v};
-    next_ = (next_ + 1) % buf_.size();
-    if (size_ < buf_.size()) ++size_;
-  }
-
-  size_t size() const { return size_; }
-  size_t capacity() const { return buf_.size(); }
-  bool empty() const { return size_ == 0; }
-
-  /// i-th sample, oldest first (0 <= i < size()).
-  const TimePoint& at(size_t i) const {
-    const size_t start = (next_ + buf_.size() - size_) % buf_.size();
-    return buf_[(start + i) % buf_.size()];
-  }
-
-  const TimePoint& Last() const { return at(size_ - 1); }
-
-  double MaxValue() const {
-    double m = 0;
-    for (size_t i = 0; i < size_; ++i) m = std::max(m, at(i).value);
-    return m;
-  }
-
-  std::vector<TimePoint> Snapshot() const {
-    std::vector<TimePoint> out;
-    out.reserve(size_);
-    for (size_t i = 0; i < size_; ++i) out.push_back(at(i));
-    return out;
-  }
-
- private:
-  std::vector<TimePoint> buf_;
-  size_t next_ = 0;
-  size_t size_ = 0;
-};
-
-/// Samples a set of registered gauges on a fixed simulated-clock cadence
-/// into per-gauge ring buffers. Gauge callbacks are pure reads of
-/// simulation state: the sampler adds events to the simulator (shifting
-/// event ids) but never changes any protocol outcome, and tests assert the
-/// outcome-fingerprint of sampled and unsampled runs matches.
-class GaugeSampler {
- public:
-  struct Gauge {
-    std::string name;            // e.g. "live-versions-max"
-    NodeId node = kInvalidNode;  // kInvalidNode = cluster-wide gauge
-    std::function<double()> read;
-    TimeSeries series;
-
-    Gauge(std::string n, NodeId nd, std::function<double()> fn,
-          size_t capacity)
-        : name(std::move(n)), node(nd), read(std::move(fn)),
-          series(capacity) {}
-  };
-
-  GaugeSampler(Simulator* simulator, SimDuration interval, size_t capacity)
-      : simulator_(simulator), interval_(interval), capacity_(capacity) {}
-
-  /// Registers a gauge before Start(). `read` must stay valid for the
-  /// sampler's lifetime and must not mutate simulation state.
-  void AddGauge(std::string name, NodeId node, std::function<double()> read) {
-    gauges_.emplace_back(std::move(name), node, std::move(read), capacity_);
-  }
-
-  /// Begins periodic sampling (one sample immediately at the current time,
-  /// then every interval). No-op if the interval is zero or negative.
-  void Start() {
-    if (started_ || interval_ <= 0) return;
-    started_ = true;
-    SampleOnce();
-    ScheduleNext();
-  }
-
-  /// Reads every gauge once at the current simulated time.
-  void SampleOnce() {
-    const SimTime now = simulator_->Now();
-    for (Gauge& g : gauges_) g.series.Add(now, g.read());
-    ++samples_taken_;
-  }
-
-  const std::vector<Gauge>& gauges() const { return gauges_; }
-  SimDuration interval() const { return interval_; }
-  uint64_t samples_taken() const { return samples_taken_; }
-
- private:
-  void ScheduleNext() {
-    simulator_->After(interval_, [this]() {
-      SampleOnce();
-      ScheduleNext();
-    });
-  }
-
-  Simulator* simulator_;
-  SimDuration interval_;
-  size_t capacity_;
-  bool started_ = false;
-  uint64_t samples_taken_ = 0;
-  std::vector<Gauge> gauges_;
-};
+using TimePoint = rt::TimePoint;
+using TimeSeries = rt::TimeSeries;
+using GaugeSampler = rt::GaugeSampler;
 
 }  // namespace ava3::sim
 

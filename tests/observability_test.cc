@@ -1,0 +1,478 @@
+// Observability-plane tests: sharded metrics merge identity, the shared
+// first-commit (staleness) map across shards, OpenMetrics rendering
+// (golden), trace-ring overflow/merge semantics, and the thread-runtime
+// guarantees — wall-clock gauge sampling, sim-vs-thread metrics parity on
+// a deterministic sequential workload, observability-on/off outcome
+// identity, and message-flow pairing in ring-collected traces.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/openmetrics.h"
+#include "common/trace.h"
+#include "engine/database.h"
+#include "engine/metrics.h"
+#include "txn/script.h"
+
+namespace ava3 {
+namespace {
+
+using db::Database;
+using db::DatabaseOptions;
+using db::Metrics;
+using db::MetricsSnapshot;
+using db::RuntimeKind;
+using db::Scheme;
+
+// ---------------------------------------------------------------------------
+// Sharded metrics.
+
+/// Replays one fixed logical record stream into `m`, spreading writes
+/// across `spread` node contexts (shard() maps them all to shard 0 when
+/// the collector is single-sharded).
+void RecordFixedStream(Metrics& m, int spread) {
+  for (int i = 0; i < 12; ++i) {
+    const NodeId n = static_cast<NodeId>(i % spread);
+    m.shard(n).RecordUpdateCommit(/*latency=*/100 + i, /*commit_version=*/1,
+                                  /*commit_time=*/1000 + i);
+    m.shard(n).RecordCommitPhases(i, 2 * i, 3 * i);
+    if (i % 3 == 0) m.shard(n).RecordQueryCommit(50 + i);
+    if (i % 4 == 0) m.shard(n).RecordAbort(i % 8 == 0, false);
+    if (i % 5 == 0) m.shard(n).RecordMoveToFuture(i);
+    m.shard(n).RecordLatchOp();
+  }
+  m.shard(0).RecordAdvancement(10, 20, 30);
+  m.shard(static_cast<NodeId>(spread - 1)).RecordCrash();
+  m.shard(static_cast<NodeId>(spread - 1)).RecordRecovery();
+}
+
+TEST(MetricsShardTest, MergeMatchesSingleShard) {
+  Metrics sharded(4);
+  Metrics single(1);
+  RecordFixedStream(sharded, 4);
+  RecordFixedStream(single, 1);
+
+  EXPECT_EQ(sharded.num_shards(), 4);
+  EXPECT_EQ(single.num_shards(), 1);
+  // The merged snapshot and its JSON rendering are independent of how the
+  // records were spread over shards.
+  EXPECT_EQ(sharded.ToJson(), single.ToJson());
+  EXPECT_EQ(sharded.update_commits(), single.update_commits());
+  EXPECT_EQ(sharded.aborts(), single.aborts());
+  EXPECT_EQ(sharded.latch_ops(), single.latch_ops());
+  EXPECT_EQ(sharded.update_latency().count(),
+            single.update_latency().count());
+  EXPECT_EQ(sharded.update_latency().sum(), single.update_latency().sum());
+  EXPECT_EQ(sharded.update_latency().Percentile(99),
+            single.update_latency().Percentile(99));
+
+  const MetricsSnapshot a = sharded.Snapshot();
+  const MetricsSnapshot b = single.Snapshot();
+  EXPECT_EQ(a.update_commits, b.update_commits);
+  EXPECT_EQ(a.query_commits, b.query_commits);
+  EXPECT_EQ(a.mtf_records_scanned, b.mtf_records_scanned);
+  EXPECT_EQ(a.crashes, 1u);
+  EXPECT_EQ(a.recoveries, 1u);
+}
+
+TEST(MetricsShardTest, FirstCommitTimesAreSharedAcrossShards) {
+  Metrics m(3);
+  // Node 0 commits the first version-2 data at t=100...
+  m.shard(0).RecordUpdateCommit(/*latency=*/5, /*commit_version=*/2,
+                                /*commit_time=*/100);
+  // ...and a query on node 2 reading snapshot 1 at t=160 is 60us stale:
+  // staleness consults the *global* first-commit map, not shard 2's.
+  m.shard(2).RecordQueryStart(/*snapshot=*/1, /*now=*/160);
+  const MetricsSnapshot s = m.Snapshot();
+  EXPECT_EQ(s.staleness.count(), 1u);
+  EXPECT_EQ(s.staleness.sum(), 60);
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics rendering.
+
+TEST(OpenMetricsTest, GoldenRendering) {
+  MetricsSnapshot s;
+  s.update_commits = 3;
+  s.query_commits = 2;
+  s.aborts = 1;
+  s.update_latency.Add(100);
+  s.update_latency.Add(200);
+  s.update_latency.Add(300);
+  s.staleness.Add(50);
+
+  const std::string expected = R"(# TYPE ava3_update_commits counter
+ava3_update_commits_total 3
+# TYPE ava3_query_commits counter
+ava3_query_commits_total 2
+# TYPE ava3_aborts counter
+ava3_aborts_total 1
+# TYPE ava3_deadlock_aborts counter
+ava3_deadlock_aborts_total 0
+# TYPE ava3_sync_mismatch_aborts counter
+ava3_sync_mismatch_aborts_total 0
+# TYPE ava3_move_to_future counter
+ava3_move_to_future_total 0
+# TYPE ava3_move_to_future_records_scanned counter
+ava3_move_to_future_records_scanned_total 0
+# TYPE ava3_advancements counter
+ava3_advancements_total 0
+# TYPE ava3_advancements_cancelled counter
+ava3_advancements_cancelled_total 0
+# TYPE ava3_latch_ops counter
+ava3_latch_ops_total 0
+# TYPE ava3_crashes counter
+ava3_crashes_total 0
+# TYPE ava3_recoveries counter
+ava3_recoveries_total 0
+# TYPE ava3_first_commit_entries_pruned counter
+ava3_first_commit_entries_pruned_total 0
+# TYPE ava3_update_latency_us summary
+ava3_update_latency_us{quantile="0.5"} 200
+ava3_update_latency_us{quantile="0.9"} 300
+ava3_update_latency_us{quantile="0.99"} 300
+ava3_update_latency_us_sum 600
+ava3_update_latency_us_count 3
+# TYPE ava3_query_latency_us summary
+ava3_query_latency_us{quantile="0.5"} 0
+ava3_query_latency_us{quantile="0.9"} 0
+ava3_query_latency_us{quantile="0.99"} 0
+ava3_query_latency_us_sum 0
+ava3_query_latency_us_count 0
+# TYPE ava3_staleness_us summary
+ava3_staleness_us{quantile="0.5"} 50
+ava3_staleness_us{quantile="0.9"} 50
+ava3_staleness_us{quantile="0.99"} 50
+ava3_staleness_us_sum 50
+ava3_staleness_us_count 1
+# TYPE ava3_lock_wait_us summary
+ava3_lock_wait_us{quantile="0.5"} 0
+ava3_lock_wait_us{quantile="0.9"} 0
+ava3_lock_wait_us{quantile="0.99"} 0
+ava3_lock_wait_us_sum 0
+ava3_lock_wait_us_count 0
+# TYPE ava3_twopc_round_us summary
+ava3_twopc_round_us{quantile="0.5"} 0
+ava3_twopc_round_us{quantile="0.9"} 0
+ava3_twopc_round_us{quantile="0.99"} 0
+ava3_twopc_round_us_sum 0
+ava3_twopc_round_us_count 0
+# TYPE ava3_commit_apply_us summary
+ava3_commit_apply_us{quantile="0.5"} 0
+ava3_commit_apply_us{quantile="0.9"} 0
+ava3_commit_apply_us{quantile="0.99"} 0
+ava3_commit_apply_us_sum 0
+ava3_commit_apply_us_count 0
+# TYPE ava3_advancement_phase1_us summary
+ava3_advancement_phase1_us{quantile="0.5"} 0
+ava3_advancement_phase1_us{quantile="0.9"} 0
+ava3_advancement_phase1_us{quantile="0.99"} 0
+ava3_advancement_phase1_us_sum 0
+ava3_advancement_phase1_us_count 0
+# TYPE ava3_advancement_phase2_us summary
+ava3_advancement_phase2_us{quantile="0.5"} 0
+ava3_advancement_phase2_us{quantile="0.9"} 0
+ava3_advancement_phase2_us{quantile="0.99"} 0
+ava3_advancement_phase2_us_sum 0
+ava3_advancement_phase2_us_count 0
+# TYPE ava3_advancement_total_us summary
+ava3_advancement_total_us{quantile="0.5"} 0
+ava3_advancement_total_us{quantile="0.9"} 0
+ava3_advancement_total_us{quantile="0.99"} 0
+ava3_advancement_total_us_sum 0
+ava3_advancement_total_us_count 0
+# EOF
+)";
+  EXPECT_EQ(OpenMetricsText(s), expected);
+}
+
+TEST(OpenMetricsTest, RendersSampledGaugesFromASimRun) {
+  DatabaseOptions opt;
+  opt.num_nodes = 2;
+  opt.timeseries_interval = 10 * kMillisecond;
+  Database dbase(opt);
+  dbase.LoadInitial(0, 1, 100);
+  dbase.RunToCompletion(txn::SingleNodeUpdate(0, {txn::Op::Add(1, 5)}));
+  dbase.RunFor(100 * kMillisecond);
+
+  const std::string text =
+      OpenMetricsText(dbase.SnapshotMetrics(), dbase.sampler());
+  // Gauge names are sanitized ("live-versions" -> "live_versions"),
+  // per-node series carry a node label, cluster-wide series do not.
+  EXPECT_NE(text.find("# TYPE ava3_gauge_live_versions gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("ava3_gauge_live_versions{node=\"0\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("ava3_gauge_live_versions{node=\"1\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("ava3_gauge_net_in_flight "), std::string::npos);
+  EXPECT_NE(text.find("ava3_gauge_samples_taken_total "), std::string::npos);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+  EXPECT_NE(text.find("ava3_update_commits_total 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace rings.
+
+TEST(TraceRingTest, OverflowCountsDropsInsteadOfBlocking) {
+  TraceSink sink;
+  sink.Enable(true);
+  sink.EnableRings(/*num_workers=*/2, /*capacity=*/8);
+  TraceSink::BindCurrentThread(&sink, /*worker=*/0);
+  for (int i = 0; i < 20; ++i) {
+    TraceEvent ev;
+    ev.kind = TraceKind::kNote;
+    ev.a = i;
+    sink.Emit(std::move(ev));
+  }
+  EXPECT_TRUE(sink.events().empty());  // still buffered
+  sink.Drain();
+  ASSERT_EQ(sink.events().size(), 8u);
+  EXPECT_EQ(sink.dropped(), 12u);
+  // The ring keeps the *oldest* eight (drop-newest keeps the overflow
+  // counter honest: nothing already accepted is evicted later).
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(sink.events()[i].a, static_cast<int64_t>(i));
+  }
+  TraceSink::BindCurrentThread(nullptr, 0);
+}
+
+TEST(TraceRingTest, DrainMergesRingsInEmissionOrder) {
+  TraceSink sink;
+  sink.Enable(true);
+  sink.EnableRings(/*num_workers=*/2, /*capacity=*/64);
+  // Interleave emissions across two worker rings (same thread, rebinding —
+  // emission order is what seq captures, not thread identity).
+  for (int i = 0; i < 10; ++i) {
+    TraceSink::BindCurrentThread(&sink, /*worker=*/i % 2);
+    TraceEvent ev;
+    ev.kind = TraceKind::kNote;
+    ev.a = i;
+    sink.Emit(std::move(ev));
+  }
+  sink.Drain();
+  ASSERT_EQ(sink.events().size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(sink.events()[i].a, static_cast<int64_t>(i));
+    if (i > 0) {
+      EXPECT_LT(sink.events()[i - 1].seq, sink.events()[i].seq);
+    }
+  }
+  // A second drain is a no-op, and direct mode is untouched by it.
+  sink.Drain();
+  EXPECT_EQ(sink.events().size(), 10u);
+  TraceSink::BindCurrentThread(nullptr, 0);
+}
+
+TEST(TraceRingTest, StaleBindingFallsBackToExternalRing) {
+  TraceSink other;
+  TraceSink sink;
+  sink.Enable(true);
+  sink.EnableRings(/*num_workers=*/1, /*capacity=*/8);
+  // Bind this thread to a *different* sink, then emit into `sink`: the
+  // binding must not route into a stranger's ring.
+  TraceSink::BindCurrentThread(&other, /*worker=*/0);
+  TraceEvent ev;
+  ev.kind = TraceKind::kNote;
+  ev.a = 7;
+  sink.Emit(std::move(ev));
+  sink.Drain();
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].a, 7);
+  TraceSink::BindCurrentThread(nullptr, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-runtime observability.
+
+constexpr int kParityNodes = 3;
+
+ItemId ItemOf(NodeId node, int k) { return node * 1000 + 1 + k; }
+
+void SeedParityData(Database& dbase) {
+  for (NodeId n = 0; n < kParityNodes; ++n) {
+    for (int k = 0; k < 8; ++k) {
+      dbase.LoadInitial(n, ItemOf(n, k), 10);
+    }
+  }
+}
+
+/// A fixed, deterministic transaction list: single-node and multinode
+/// updates plus queries, touching disjoint items per step so sequential
+/// submission commits everything on both runtimes.
+std::vector<txn::TxnScript> ParityScripts() {
+  std::vector<txn::TxnScript> out;
+  for (int i = 0; i < 24; ++i) {
+    const NodeId root = static_cast<NodeId>(i % kParityNodes);
+    const NodeId child = static_cast<NodeId>((root + 1) % kParityNodes);
+    if (i % 4 == 3) {
+      out.push_back(
+          txn::SingleNodeQuery(root, {ItemOf(root, 0), ItemOf(root, 1)}));
+    } else if (i % 4 == 2) {
+      out.push_back(txn::TreeTxn(
+          TxnKind::kUpdate, root, {txn::Op::Add(ItemOf(root, i % 8), 1)},
+          {{child, {txn::Op::Add(ItemOf(child, i % 8), 1)}}}));
+    } else {
+      out.push_back(txn::SingleNodeUpdate(
+          root, {txn::Op::Write(ItemOf(root, i % 8), 100 + i)}));
+    }
+  }
+  return out;
+}
+
+struct ParityOutcome {
+  MetricsSnapshot snapshot;
+  std::vector<TxnOutcome> outcomes;
+};
+
+ParityOutcome RunParityWorkload(DatabaseOptions opt) {
+  Status status;
+  auto dbase = Database::Create(opt, &status);
+  EXPECT_NE(dbase, nullptr) << status.ToString();
+  SeedParityData(*dbase);
+  ParityOutcome out;
+  for (auto& script : ParityScripts()) {
+    out.outcomes.push_back(dbase->RunToCompletion(std::move(script)).outcome);
+  }
+  dbase->Shutdown();
+  out.snapshot = dbase->SnapshotMetrics();
+  return out;
+}
+
+TEST(ObservabilityThreadTest, SimAndThreadMetricsAgreeOnLogicalCounters) {
+  DatabaseOptions opt;
+  opt.num_nodes = kParityNodes;
+  opt.scheme = Scheme::kAva3;
+
+  opt.runtime = RuntimeKind::kSim;
+  const ParityOutcome sim = RunParityWorkload(opt);
+  opt.runtime = RuntimeKind::kThread;
+  const ParityOutcome thr = RunParityWorkload(opt);
+
+  EXPECT_EQ(sim.outcomes, thr.outcomes);
+  // Logical counters are runtime-independent; latency *values* are not
+  // (wall clock vs simulated clock), but their sample counts are.
+  EXPECT_EQ(sim.snapshot.update_commits, thr.snapshot.update_commits);
+  EXPECT_EQ(sim.snapshot.query_commits, thr.snapshot.query_commits);
+  EXPECT_EQ(sim.snapshot.aborts, thr.snapshot.aborts);
+  EXPECT_EQ(sim.snapshot.deadlock_aborts, thr.snapshot.deadlock_aborts);
+  EXPECT_EQ(sim.snapshot.advancements, thr.snapshot.advancements);
+  EXPECT_EQ(sim.snapshot.update_latency.count(),
+            thr.snapshot.update_latency.count());
+  EXPECT_EQ(sim.snapshot.query_latency.count(),
+            thr.snapshot.query_latency.count());
+  EXPECT_EQ(sim.snapshot.staleness.count(), thr.snapshot.staleness.count());
+  EXPECT_EQ(sim.snapshot.twopc_round.count(),
+            thr.snapshot.twopc_round.count());
+  EXPECT_GT(thr.snapshot.update_commits, 0u);
+}
+
+TEST(ObservabilityThreadTest, ObservabilityNeverChangesOutcomes) {
+  DatabaseOptions opt;
+  opt.num_nodes = kParityNodes;
+  opt.scheme = Scheme::kAva3;
+  opt.runtime = RuntimeKind::kThread;
+
+  const ParityOutcome bare = RunParityWorkload(opt);
+  opt.enable_trace = true;
+  opt.timeseries_interval = 1 * kMillisecond;
+  const ParityOutcome instrumented = RunParityWorkload(opt);
+
+  EXPECT_EQ(bare.outcomes, instrumented.outcomes);
+  EXPECT_EQ(bare.snapshot.update_commits,
+            instrumented.snapshot.update_commits);
+  EXPECT_EQ(bare.snapshot.query_commits,
+            instrumented.snapshot.query_commits);
+  EXPECT_EQ(bare.snapshot.aborts, instrumented.snapshot.aborts);
+}
+
+TEST(ObservabilityThreadTest, GaugeSamplerTicksOnWallClock) {
+  DatabaseOptions opt;
+  opt.num_nodes = 2;
+  opt.scheme = Scheme::kAva3;
+  opt.runtime = RuntimeKind::kThread;
+  opt.timeseries_interval = 2 * kMillisecond;
+  Status status;
+  auto dbase = Database::Create(opt, &status);
+  ASSERT_NE(dbase, nullptr) << status.ToString();
+  dbase->LoadInitial(0, 1, 100);
+  dbase->LoadInitial(1, 2001, 100);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(60);
+  int i = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    dbase->RunToCompletion(
+        txn::SingleNodeUpdate(static_cast<NodeId>(i % 2),
+                              {txn::Op::Add(i % 2 == 0 ? 1 : 2001, 1)}));
+    ++i;
+  }
+  dbase->Shutdown();
+
+  ASSERT_NE(dbase->sampler(), nullptr);
+  // One immediate sample plus wall-clock ticks: ~60ms at 2ms cadence
+  // across three timer groups (two nodes + cluster). Machine load can
+  // starve timers, so just require several periodic firings.
+  EXPECT_GT(dbase->sampler()->samples_taken(), 5u);
+  for (const auto& g : dbase->sampler()->gauges()) {
+    EXPECT_FALSE(g.series.empty()) << g.name << " node=" << g.node;
+    EXPECT_GE(g.series.Last().time, 0);
+  }
+  const std::string text =
+      OpenMetricsText(dbase->SnapshotMetrics(), dbase->sampler());
+  EXPECT_NE(text.find("ava3_gauge_live_versions{node=\"1\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("ava3_gauge_net_sent "), std::string::npos);
+}
+
+TEST(ObservabilityThreadTest, RingTraceKeepsFlowPairingAndSpanClosure) {
+  DatabaseOptions opt;
+  opt.num_nodes = kParityNodes;
+  opt.scheme = Scheme::kAva3;
+  opt.runtime = RuntimeKind::kThread;
+  opt.enable_trace = true;
+  Status status;
+  auto dbase = Database::Create(opt, &status);
+  ASSERT_NE(dbase, nullptr) << status.ToString();
+  SeedParityData(*dbase);
+  for (auto& script : ParityScripts()) {
+    dbase->RunToCompletion(std::move(script));
+  }
+  dbase->Shutdown();  // joins workers and drains the rings
+
+  const TraceSink& trace = dbase->trace();
+  EXPECT_EQ(trace.dropped(), 0u);  // default ring capacity >> this run
+  ASSERT_FALSE(trace.events().empty());
+  // Drained events come back in global emission order.
+  for (size_t i = 1; i < trace.events().size(); ++i) {
+    EXPECT_LT(trace.events()[i - 1].seq, trace.events()[i].seq);
+  }
+  // Every delivery's flow id pairs with a send (duplicates share the
+  // original's flow id, so recvs form a subset of sends).
+  const auto sends = trace.Matching(TraceKind::kMsgSend);
+  const auto recvs = trace.Matching(TraceKind::kMsgRecv);
+  ASSERT_FALSE(sends.empty());  // multinode txns => remote traffic
+  ASSERT_FALSE(recvs.empty());
+  std::vector<uint64_t> send_flows;
+  for (const auto& ev : sends) send_flows.push_back(ev.span);
+  for (const auto& ev : recvs) {
+    EXPECT_NE(std::find(send_flows.begin(), send_flows.end(), ev.span),
+              send_flows.end())
+        << "recv flow " << ev.span << " has no matching send";
+  }
+  // Span brackets close: no faults, everything committed and drained.
+  EXPECT_EQ(trace.Matching(TraceKind::kUpdateTxn, TraceOp::kBegin).size(),
+            trace.Matching(TraceKind::kUpdateTxn, TraceOp::kEnd).size());
+  EXPECT_EQ(trace.Matching(TraceKind::kQueryTxn, TraceOp::kBegin).size(),
+            trace.Matching(TraceKind::kQueryTxn, TraceOp::kEnd).size());
+  EXPECT_EQ(trace.Matching(TraceKind::kTwoPcRound, TraceOp::kBegin).size(),
+            trace.Matching(TraceKind::kTwoPcRound, TraceOp::kEnd).size());
+}
+
+}  // namespace
+}  // namespace ava3
