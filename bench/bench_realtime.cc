@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cluster/catalog.h"
 #include "common/openmetrics.h"
 #include "workload/workload.h"
 
@@ -54,12 +55,15 @@ RealtimeResult RunRealtime(db::Database& dbase, uint64_t seed,
   wl::WorkloadSpec spec;
   spec.num_nodes = num_nodes;
   spec.items_per_node = 256;
+  spec.partitions_per_node = dbase.options().cluster.partitions_per_node;
   spec.update_multinode_prob = 0.4;
   spec.query_multinode_prob = 0.4;
-  for (NodeId n = 0; n < num_nodes; ++n) {
-    for (int64_t i = 0; i < spec.items_per_node; ++i) {
-      dbase.LoadInitial(n, spec.FirstItemOf(n) + i, spec.initial_value);
-    }
+  // Catalog-routed loading and generation: each item loads at its current
+  // home (identical to the historical per-node loop under the identity
+  // placement, and the only correct answer under skewed/collocated ones).
+  const cluster::Catalog& cat = dbase.catalog();
+  for (ItemId item = 0; item < cat.TotalItems(); ++item) {
+    dbase.LoadInitial(cat.HomeOf(item), item, spec.initial_value);
   }
 
   db::Engine& engine = dbase.engine();
@@ -67,7 +71,7 @@ RealtimeResult RunRealtime(db::Database& dbase, uint64_t seed,
   std::mutex mu;
   std::condition_variable cv;
   int inflight = 0;
-  wl::ScriptGenerator gen(spec, Rng(seed));
+  wl::ScriptGenerator gen(spec, Rng(seed), &cat);
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < total_txns; ++i) {
     {
@@ -103,9 +107,10 @@ RealtimeResult RunRealtime(db::Database& dbase, uint64_t seed,
 
   out.wall_seconds = std::chrono::duration<double>(stop - start).count();
   if (auto* base = dynamic_cast<db::EngineBase*>(&engine)) {
-    for (NodeId n = 0; n < num_nodes; ++n) {
-      out.max_live_versions = std::max(
-          out.max_live_versions, base->store(n).MaxLiveVersionsObserved());
+    for (PartitionId p = 0; p < base->num_partitions(); ++p) {
+      out.max_live_versions =
+          std::max(out.max_live_versions,
+                   base->partition_store(p).MaxLiveVersionsObserved());
     }
   }
   return out;
@@ -114,19 +119,37 @@ RealtimeResult RunRealtime(db::Database& dbase, uint64_t seed,
 int Main(int argc, char** argv) {
   bool smoke = false;
   bool faults = false;
+  int partitions_per_node = 1;
+  bool skewed = false;
   std::string openmetrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--faults") == 0) faults = true;
+    if (std::strncmp(argv[i], "--partitions-per-node=", 22) == 0) {
+      partitions_per_node = std::atoi(argv[i] + 22);
+    }
+    if (std::strcmp(argv[i], "--placement=skewed") == 0) skewed = true;
     if (std::strncmp(argv[i], "--openmetrics-out=", 18) == 0) {
       openmetrics_out = argv[i] + 18;
     }
+  }
+  if (partitions_per_node < 1 || 256 % partitions_per_node != 0) {
+    std::fprintf(stderr,
+                 "--partitions-per-node must be >= 1 and divide 256\n");
+    return 1;
   }
   Banner("bench_realtime", "runtime abstraction follow-up",
          "Wall-clock throughput on real threads: AVA3 vs S2PL-R, sweeping "
          "nodes (workers = nodes + 1)");
   if (smoke) std::printf("(smoke mode: reduced matrix and txn count)\n");
   if (faults) std::printf("(faults mode: adds a chaos sweep)\n");
+  if (partitions_per_node > 1) {
+    std::printf("(collocated placement: %d partitions per node)\n",
+                partitions_per_node);
+  }
+  if (skewed) {
+    std::printf("(skewed placement: half the keyspace piled on node 0)\n");
+  }
 
   const std::vector<int> node_counts =
       smoke ? std::vector<int>{2, 4} : std::vector<int>{2, 3, 4, 6};
@@ -149,6 +172,13 @@ int Main(int argc, char** argv) {
         opt.num_nodes = nodes;
         opt.seed = seed;
         opt.enable_recorder = false;  // throughput run, no oracle replay
+        opt.cluster.partitions_per_node = partitions_per_node;
+        opt.cluster.items_per_partition = 256 / partitions_per_node;
+        if (skewed) {
+          opt.cluster.placement = cluster::Placement::kSkewed;
+          opt.cluster.skew_node = 0;
+          opt.cluster.skew_fraction = 0.5;
+        }
         if (with_faults) {
           // Message-level chaos only: loss forces timeout/resend paths, so
           // tighten the timeouts to wall-clock scale. No partitions or
@@ -190,6 +220,45 @@ int Main(int argc, char** argv) {
       }
     }
   }
+
+  // Collocated-partition routing overhead: the same AVA3 workload at the
+  // seed's identity placement (one partition per node) vs two collocated
+  // partitions per node. The per-op catalog consult is the only delta, so
+  // the throughput ratio prices the routing layer. Exported as scalars
+  // (identity / collocated; <= 1.05 means overhead within 5%) and checked
+  // advisorily by scripts/perf_guard.py — absolute txn/s is
+  // machine-dependent, the ratio of two same-host runs is not.
+  const int routing_txns = smoke ? 400 : 2000;
+  double routing_tps[2] = {0, 0};
+  for (int collocated = 0; collocated < 2; ++collocated) {
+    db::DatabaseOptions opt;
+    opt.runtime = db::RuntimeKind::kThread;
+    opt.scheme = db::Scheme::kAva3;
+    opt.num_nodes = 3;
+    opt.seed = seed;
+    opt.enable_recorder = false;
+    opt.cluster.partitions_per_node = collocated ? 2 : 1;
+    opt.cluster.items_per_partition = collocated ? 128 : 256;
+    db::Database dbase(opt);
+    const RealtimeResult r = RunRealtime(dbase, seed, routing_txns);
+    routing_tps[collocated] =
+        r.wall_seconds > 0 ? r.completed / r.wall_seconds : 0.0;
+    const std::string label =
+        collocated ? "routing_collocated" : "routing_identity";
+    std::printf("%-14s %6d %8d %8d %10d %10.3f %12.0f %6d\n", label.c_str(),
+                3, 4, r.completed, r.committed, r.wall_seconds,
+                routing_tps[collocated], r.max_live_versions);
+    report.AddRealtime(label, "ava3", /*nodes=*/3, /*threads=*/4, seed,
+                       r.wall_seconds, r.completed, r.committed, r.aborted,
+                       r.max_live_versions, dbase.metrics(),
+                       dbase.thread_runtime());
+    report.AddScalar(label + "_txn_per_sec", routing_tps[collocated]);
+  }
+  const double routing_ratio =
+      routing_tps[1] > 0 ? routing_tps[0] / routing_tps[1] : 0.0;
+  report.AddScalar("routing_overhead_ratio", routing_ratio);
+  std::printf("routing overhead (identity / collocated tps): %.3f\n",
+              routing_ratio);
   return 0;
 }
 

@@ -15,7 +15,9 @@ Two accepted shapes:
 
    The "realtime" report (bench/bench_realtime, wall-clock runs on
    rt::ThreadRuntime) additionally requires threads / wall_seconds /
-   txns_per_sec per run and at least two distinct thread counts.
+   txns_per_sec per run, at least two distinct thread counts, and the
+   partition-routing scalars (identity vs collocated placement throughput
+   plus their ratio, checked advisorily by perf_guard.py).
 
    The "hotpath" report (bench/bench_hotpath, data-plane primitives) is
    scalars-only and must carry every pinned hot-path counter — these are
@@ -68,6 +70,17 @@ OBSERVABILITY_SCALARS = {
     "trace_overhead_ratio",
     "full_overhead_ratio",
     "smoke",
+}
+
+
+# Scalars bench_realtime must export for the partition-routing price
+# (identity vs two-collocated-partitions placement on the same host). The
+# ratio is the advisory "routing overhead <= 5%" signal; requiring the
+# scalars here keeps it from silently vanishing from the report.
+REALTIME_ROUTING_SCALARS = {
+    "routing_identity_txn_per_sec",
+    "routing_collocated_txn_per_sec",
+    "routing_overhead_ratio",
 }
 
 
@@ -192,8 +205,15 @@ def check_bench_report(path, doc):
             check_realtime_run(path, label, run)
             thread_counts.add(run["threads"])
         check_metrics(path, f"run '{label}'", run.get("metrics"))
-    if doc["bench"] == "realtime" and len(thread_counts) < 2:
-        fail(path, "realtime report must sweep >= 2 thread counts")
+    if doc["bench"] == "realtime":
+        if len(thread_counts) < 2:
+            fail(path, "realtime report must sweep >= 2 thread counts")
+        missing = REALTIME_ROUTING_SCALARS - scalars.keys()
+        if missing:
+            fail(path, f"realtime report missing scalars {sorted(missing)}")
+        for k in REALTIME_ROUTING_SCALARS:
+            if scalars[k] <= 0:
+                fail(path, f"realtime scalar {k} must be positive")
     print(f"ok   {path}: {len(runs)} run(s), {len(scalars)} scalar(s)")
 
 

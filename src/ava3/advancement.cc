@@ -239,8 +239,14 @@ void Ava3Engine::RunGcStep(NodeId i, Version v) {
   ControlState& cs = *control_[i];
   assert(cs.g() == v - 1 && "GC must collect versions in order");
   const Version newq = v + 1;  // the version that carries items forward
-  store::GcStats stats = store(i).GarbageCollect(v, newq);
-  if (opts_.durable_replay_recovery) durable_[i].LogGc(v, newq);
+  store::GcStats stats;
+  for (PartitionId p : owned_partitions(i)) {
+    const store::GcStats ps = partition_store(p).GarbageCollect(v, newq);
+    stats.versions_dropped += ps.versions_dropped;
+    stats.versions_relabeled += ps.versions_relabeled;
+    stats.items_removed += ps.items_removed;
+    if (opts_.durable_replay_recovery) durable_[p].LogGc(v, newq);
+  }
   cs.AdvanceG(v);
   cs.EraseCountersAt(/*oldq=*/v, /*oldu=*/newq);
   // Read marks at or below the collected epoch can no longer constrain any

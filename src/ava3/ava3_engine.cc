@@ -25,7 +25,7 @@ Ava3Engine::Ava3Engine(EngineEnv env, int num_nodes, BaseOptions base_options,
   coordinators_.resize(static_cast<size_t>(num_nodes));
   fourv_drain_ready_.resize(static_cast<size_t>(num_nodes));
   read_marks_.resize(static_cast<size_t>(num_nodes));
-  durable_.resize(static_cast<size_t>(num_nodes));
+  durable_.resize(static_cast<size_t>(num_partitions()));
   watchdog_last_.resize(static_cast<size_t>(num_nodes));
   if (opts_.advancement_watchdog) {
     for (int i = 0; i < num_nodes; ++i) StartWatchdog(i);
@@ -41,13 +41,30 @@ void Ava3Engine::OnLoadInitial(NodeId node, ItemId item, int64_t value) {
   rec.txn = kInvalidTxn;
   rec.version = 0;
   rec.writes.push_back(wal::DurableLog::ApplyWrite{item, value, false});
-  durable_[node].LogApply(std::move(rec));
+  durable_[partition_of(node, item)].LogApply(std::move(rec));
 }
 
-void Ava3Engine::ApplyUndo(store::VersionedStore& st, NodeId node,
-                           TxnId txn) {
+void Ava3Engine::ApplyUndo(NodeId node, TxnId txn) {
   log(node).ForEachOfTxnBackwards(txn, [&](const wal::LogRecord& rec) {
     if (rec.kind != wal::LogRecord::Kind::kUndo) return;
+    store::VersionedStore& st = store_for(node, rec.item);
+    if (rec.had_version) {
+      Status s = st.Put(rec.item, rec.version, rec.old_value, txn, 0);
+      (void)s;
+      if (rec.old_deleted) {
+        (void)st.MarkDeleted(rec.item, rec.version, txn, 0);
+      }
+    } else {
+      (void)st.DropVersion(rec.item, rec.version);  // NotFound is fine
+    }
+  });
+}
+
+void Ava3Engine::ApplyUndoTo(store::VersionedStore& st, NodeId node,
+                             TxnId txn, PartitionId scope) {
+  log(node).ForEachOfTxnBackwards(txn, [&](const wal::LogRecord& rec) {
+    if (rec.kind != wal::LogRecord::Kind::kUndo) return;
+    if (partition_of(node, rec.item) != scope) return;
     if (rec.had_version) {
       Status s = st.Put(rec.item, rec.version, rec.old_value, txn, 0);
       (void)s;
@@ -61,16 +78,16 @@ void Ava3Engine::ApplyUndo(store::VersionedStore& st, NodeId node,
 }
 
 std::unique_ptr<store::VersionedStore> Ava3Engine::CommittedStateClone(
-    NodeId i) {
-  std::unique_ptr<store::VersionedStore> clone = store(i).Clone();
+    NodeId i, PartitionId p) {
+  std::unique_ptr<store::VersionedStore> clone = partition_store(p).Clone();
   if (opts_.recovery == wal::RecoveryScheme::kInPlace) {
     // In-place: the live store contains effects of in-flight transactions;
     // a checkpoint must be transaction-consistent, so undo them on the
     // copy (this is what [BPR+96]'s fuzzy checkpoints achieve with undo
-    // records).
+    // records), restricted to the records homed in this partition.
     for (const auto& [txn, rt] : node_state(i).updates) {
       (void)rt;
-      ApplyUndo(*clone, i, txn);
+      ApplyUndoTo(*clone, i, txn, p);
     }
   }
   return clone;
@@ -79,7 +96,9 @@ std::unique_ptr<store::VersionedStore> Ava3Engine::CommittedStateClone(
 void Ava3Engine::StartCheckpointTimer(NodeId i) {
   runtime().ScheduleOn(i, opts_.checkpoint_period, [this, i]() {
     if (runtime().IsNodeUp(i)) {
-      durable_[i].Checkpoint(CommittedStateClone(i));
+      for (PartitionId p : owned_partitions(i)) {
+        durable_[p].Checkpoint(CommittedStateClone(i, p));
+      }
     }
     StartCheckpointTimer(i);
   });
@@ -87,21 +106,26 @@ void Ava3Engine::StartCheckpointTimer(NodeId i) {
 
 void Ava3Engine::OnNodeRecover(NodeId node) {
   if (!opts_.durable_replay_recovery) return;
-  // Rebuild the store from the durable checkpoint + redo tail and verify
-  // it against the surviving committed content (which the crash handler
-  // already netted of in-flight effects). A mismatch is a recovery bug.
-  std::unique_ptr<store::VersionedStore> replayed =
-      durable_[node].Recover(StoreCapacityFor(opts_));
+  // Rebuild each hosted partition's store from its durable checkpoint +
+  // redo tail and verify it against the surviving committed content (which
+  // the crash handler already netted of in-flight effects). A mismatch is
+  // a recovery bug. The replay counter counts node recoveries, not
+  // partition replays, so by-node test expectations hold on any layout.
   recoveries_replayed_.fetch_add(1, std::memory_order_relaxed);
-  if (!replayed->ContentEquals(store(node))) {
-    recovery_mismatches_.fetch_add(1, std::memory_order_relaxed);
-    Trace(node, "RECOVERY MISMATCH: replayed store differs from committed");
-    return;  // keep the live store; the mismatch counter fails tests
+  for (PartitionId p : owned_partitions(node)) {
+    std::unique_ptr<store::VersionedStore> replayed =
+        durable_[p].Recover(StoreCapacityFor(opts_));
+    if (!replayed->ContentEquals(partition_store(p))) {
+      recovery_mismatches_.fetch_add(1, std::memory_order_relaxed);
+      Trace(node, "RECOVERY MISMATCH: replayed partition " +
+                      std::to_string(p) + " differs from committed");
+      continue;  // keep the live store; the mismatch counter fails tests
+    }
+    Trace(node, "recovery replay verified (" +
+                    std::to_string(durable_[p].tail_length()) +
+                    " tail records)");
+    ReplaceStore(p, std::move(replayed));
   }
-  Trace(node, "recovery replay verified (" +
-                  std::to_string(durable_[node].tail_length()) +
-                  " tail records)");
-  ReplaceStore(node, std::move(replayed));
 }
 
 bool Ava3Engine::AdvancementInProgress() const {
@@ -137,7 +161,7 @@ void Ava3Engine::OnUpdateStart(UpdateRt& rt, Version carried) {
 
 Status Ava3Engine::UpdateRead(UpdateRt& rt, ItemId item,
                               verify::ReadRecord* out) {
-  store::VersionedStore& st = store(rt.node);
+  store::VersionedStore& st = store_for(rt.node, item);
   if (opts_.recovery == wal::RecoveryScheme::kNoUndo) {
     // Deferred updates: the transaction's own writes live in its buffer.
     auto it = rt.wbuf.find(item);
@@ -173,7 +197,7 @@ Status Ava3Engine::UpdateRead(UpdateRt& rt, ItemId item,
 }
 
 Status Ava3Engine::UpdateWrite(UpdateRt& rt, const txn::Op& op) {
-  store::VersionedStore& st = store(rt.node);
+  store::VersionedStore& st = store_for(rt.node, op.item);
   Version cur = st.MaxVersion(op.item);
   if (opts_.update_read_marks) {
     // A committed update transaction with a higher version *read* this
@@ -306,8 +330,8 @@ void Ava3Engine::OnCommitMsg(UpdateRt& rt, Version global_version) {
     // exclusively locked, so overwriting an existing slot of the same
     // version can only replace a value this transaction is serialized
     // after.
-    store::VersionedStore& st = store(rt.node);
     for (ItemId item : rt.wbuf_order) {
+      store::VersionedStore& st = store_for(rt.node, item);
       const PendingWrite& pw = rt.wbuf[item];
       Status s = pw.deleted
                      ? st.MarkDeleted(item, global_version, rt.txn, now)
@@ -328,9 +352,8 @@ void Ava3Engine::OnCommitMsg(UpdateRt& rt, Version global_version) {
   } else {
     // In-place: data already sits at rt.version == global_version; just
     // report the final values to the oracle.
-    store::VersionedStore& st = store(rt.node);
     for (ItemId item : rt.wbuf_order) {
-      auto r = st.ReadExact(item, global_version);
+      auto r = store_for(rt.node, item).ReadExact(item, global_version);
       if (r.ok()) {
         rt.writes.push_back(verify::WriteRecord{rt.node, item, r->value,
                                                 r->deleted, now,
@@ -343,15 +366,24 @@ void Ava3Engine::OnCommitMsg(UpdateRt& rt, Version global_version) {
     }
   }
   if (opts_.durable_replay_recovery && !rt.writes.empty()) {
-    wal::DurableLog::ApplyRecord rec;
-    rec.txn = rt.txn;
-    rec.version = global_version;
-    rec.writes.reserve(rt.writes.size());
+    // One durable record per partition slice the commit touched, writes in
+    // commit-application order within each (identity layout: exactly one
+    // record, as before partitioning).
+    std::vector<std::pair<PartitionId, wal::DurableLog::ApplyRecord>> recs;
     for (const verify::WriteRecord& w : rt.writes) {
-      rec.writes.push_back(
+      const PartitionId p = partition_of(rt.node, w.item);
+      auto it = std::find_if(recs.begin(), recs.end(),
+                             [p](const auto& pr) { return pr.first == p; });
+      if (it == recs.end()) {
+        recs.emplace_back(p, wal::DurableLog::ApplyRecord{});
+        it = std::prev(recs.end());
+        it->second.txn = rt.txn;
+        it->second.version = global_version;
+      }
+      it->second.writes.push_back(
           wal::DurableLog::ApplyWrite{w.item, w.value, w.deleted});
     }
-    durable_[rt.node].LogApply(std::move(rec));
+    for (auto& [p, rec] : recs) durable_[p].LogApply(std::move(rec));
   }
   if (opts_.update_read_marks) {
     // Record, while this subtransaction's locks are still held, that a
@@ -376,7 +408,7 @@ void Ava3Engine::OnUpdateAborted(UpdateRt& rt) {
     // Records from versions this transaction already moved away from are
     // harmless to re-apply (moveToFuture left those versions restored).
     // (Resurrected in-doubt transactions have no store effects left.)
-    ApplyUndo(store(rt.node), rt.node, rt.txn);
+    ApplyUndo(rt.node, rt.txn);
   }
   control_[rt.node]->DecUpdate(rt.counter_version);
 }
@@ -390,7 +422,6 @@ void Ava3Engine::MoveToFuture(UpdateRt& rt, Version newv) {
   const Version oldv = rt.version;
   int scanned = 0;
   if (opts_.recovery == wal::RecoveryScheme::kInPlace) {
-    store::VersionedStore& st = store(rt.node);
     wal::RecoveryLog& lg = log(rt.node);
     // One backward pass over the transaction's log tail: collect the items
     // whose current effects sit at oldv, and the undo records that restore
@@ -411,6 +442,7 @@ void Ava3Engine::MoveToFuture(UpdateRt& rt, Version newv) {
     // there yet), logging fresh records so a later moveToFuture or abort
     // operates on the new version.
     for (ItemId item : to_copy) {
+      store::VersionedStore& st = store_for(rt.node, item);
       auto cur = st.ReadExact(item, oldv);
       if (!cur.ok()) continue;  // deletion collapsed the item entirely
       wal::LogRecord undo;
@@ -441,6 +473,7 @@ void Ava3Engine::MoveToFuture(UpdateRt& rt, Version newv) {
     }
     // Undo the transaction's effect on the old version, newest-first.
     for (const wal::LogRecord& rec : undos) {
+      store::VersionedStore& st = store_for(rt.node, rec.item);
       if (rec.had_version) {
         (void)st.Put(rec.item, rec.version, rec.old_value, rt.txn, 0);
         if (rec.old_deleted) {
@@ -503,7 +536,7 @@ Status Ava3Engine::OnQueryStart(QueryRt& rt, Version assigned) {
 
 void Ava3Engine::QueryRead(QueryRt& rt, ItemId item,
                            verify::ReadRecord* out) {
-  auto r = store(rt.node).ReadAtMost(item, rt.version);
+  auto r = store_for(rt.node, item).ReadAtMost(item, rt.version);
   if (r.ok() && !r->deleted) {
     out->version_read = r->version;
     out->value = r->value;
@@ -523,16 +556,15 @@ void Ava3Engine::OnCrashPrepared(UpdateRt& rt) {
     // The durable prepare record holds the final values; model it by
     // stashing them into the write buffer, then remove the main-memory
     // in-place effects like any other in-flight state.
-    store::VersionedStore& st = store(rt.node);
     for (ItemId item : rt.wbuf_order) {
-      auto cur = st.ReadExact(item, rt.version);
+      auto cur = store_for(rt.node, item).ReadExact(item, rt.version);
       if (cur.ok()) {
         rt.wbuf[item] = PendingWrite{cur->value, cur->deleted};
       } else {
         rt.wbuf[item] = PendingWrite{0, true};
       }
     }
-    ApplyUndo(st, rt.node, rt.txn);
+    ApplyUndo(rt.node, rt.txn);
   }
 }
 
@@ -582,10 +614,13 @@ Status Ava3Engine::CheckInvariants() const {
   const int cap = StoreCapacityFor(opts_);
   if (cap > 0) {
     for (int n = 0; n < num_nodes(); ++n) {
-      if (store(n).MaxLiveVersionsObserved() > cap) {
-        return Status::Internal("node " + std::to_string(n) +
-                                ": more than " + std::to_string(cap) +
-                                " live versions observed");
+      for (PartitionId p : owned_partitions(n)) {
+        if (partition_store(p).MaxLiveVersionsObserved() > cap) {
+          return Status::Internal("node " + std::to_string(n) +
+                                  " partition " + std::to_string(p) +
+                                  ": more than " + std::to_string(cap) +
+                                  " live versions observed");
+        }
       }
     }
   }
@@ -596,18 +631,22 @@ Status Ava3Engine::CheckInvariants() const {
   if (cap > 0) {
     for (int n = 0; n < num_nodes(); ++n) {
       Status span = Status::Ok();
-      store(n).ForEachItem([&span, cap, n](ItemId item, const auto& chain) {
-        if (!span.ok() || chain.empty()) return;
-        const Version lo = chain.front().version;
-        const Version hi = chain.back().version;
-        if (hi - lo >= cap) {
-          span = Status::Internal(
-              "node " + std::to_string(n) + " item " + std::to_string(item) +
-              ": live version span [" + std::to_string(lo) + "," +
-              std::to_string(hi) + "] would make mod-" + std::to_string(cap) +
-              " version labels ambiguous");
-        }
-      });
+      for (PartitionId p : owned_partitions(n)) {
+        partition_store(p).ForEachItem(
+            [&span, cap, n](ItemId item, const auto& chain) {
+              if (!span.ok() || chain.empty()) return;
+              const Version lo = chain.front().version;
+              const Version hi = chain.back().version;
+              if (hi - lo >= cap) {
+                span = Status::Internal(
+                    "node " + std::to_string(n) + " item " +
+                    std::to_string(item) + ": live version span [" +
+                    std::to_string(lo) + "," + std::to_string(hi) +
+                    "] would make mod-" + std::to_string(cap) +
+                    " version labels ambiguous");
+              }
+            });
+      }
       if (!span.ok()) return span;
     }
   }
@@ -626,6 +665,30 @@ Status Ava3Engine::CheckInvariants() const {
     }
   }
   return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Partition migration
+// ---------------------------------------------------------------------------
+
+void Ava3Engine::OnPartitionMoved(PartitionId p, NodeId from, NodeId to) {
+  // Section 6.2 allows nodes to sit one GC round apart: the destination's
+  // g may exceed the source's, so the arriving store can still hold
+  // versions the destination already collected. Catch the partition up to
+  // the destination's horizon — safe because GC at `to` proves those
+  // versions are globally query-drained, and the partition is quiesced
+  // (no reader or writer touches it during the transfer).
+  const Version g_from = control_[from]->g();
+  const Version g_to = control_[to]->g();
+  for (Version v = g_from + 1; v <= g_to; ++v) {
+    const Version newq = v + 1;  // mirror RunGcStep's relabel target
+    (void)partition_store(p).GarbageCollect(v, newq);
+    if (opts_.durable_replay_recovery) durable_[p].LogGc(v, newq);
+  }
+  if (g_to > g_from) {
+    Trace(to, "partition " + std::to_string(p) + " GC catch-up " +
+                  std::to_string(g_from) + " -> " + std::to_string(g_to));
+  }
 }
 
 }  // namespace ava3::core

@@ -58,7 +58,11 @@ class Ava3Engine : public db::EngineBase {
   uint64_t recovery_mismatches() const {
     return recovery_mismatches_.load(std::memory_order_relaxed);
   }
-  const wal::DurableLog& durable_log(NodeId n) const { return durable_[n]; }
+  /// Durable redo-log slice of one partition (under the identity layout
+  /// partition p lives on node p, so legacy by-node callers still hold).
+  const wal::DurableLog& durable_log(PartitionId p) const {
+    return durable_[p];
+  }
 
  protected:
   // EngineBase hooks (see engine_base.h for contracts).
@@ -78,6 +82,7 @@ class Ava3Engine : public db::EngineBase {
   void OnNodeRecover(NodeId node) override;
   void OnCrashPrepared(UpdateRt& rt) override;
   void OnLoadInitial(NodeId node, ItemId item, int64_t value) override;
+  void OnPartitionMoved(PartitionId p, NodeId from, NodeId to) override;
 
  private:
   /// Per-node version-advancement coordinator state (any node may
@@ -135,11 +140,19 @@ class Ava3Engine : public db::EngineBase {
 
   void StartWatchdog(NodeId i);
 
-  /// Applies txn's undo records (in-place recovery scheme) to `st` —
-  /// shared by abort processing and transaction-consistent checkpoints.
-  void ApplyUndo(store::VersionedStore& st, NodeId node, TxnId txn);
-  /// A copy of node i's store with all in-flight effects undone.
-  std::unique_ptr<store::VersionedStore> CommittedStateClone(NodeId i);
+  /// Applies txn's undo records (in-place recovery scheme) to the live
+  /// stores of `node`, routing each record to the partition holding its
+  /// item — abort and crash processing.
+  void ApplyUndo(NodeId node, TxnId txn);
+  /// Same, but applied to a detached store `st` and restricted to records
+  /// whose item lives in partition `scope` (transaction-consistent
+  /// per-partition checkpoints).
+  void ApplyUndoTo(store::VersionedStore& st, NodeId node, TxnId txn,
+                   PartitionId scope);
+  /// A copy of partition `p`'s store (hosted at node i) with all in-flight
+  /// effects undone.
+  std::unique_ptr<store::VersionedStore> CommittedStateClone(NodeId i,
+                                                             PartitionId p);
   void StartCheckpointTimer(NodeId i);
 
   Ava3Options opts_;
@@ -152,7 +165,9 @@ class Ava3Engine : public db::EngineBase {
   /// Main-memory only (crash-reset is safe: in-flight readers abort and
   /// post-recovery writers start at the durable, already-advanced u).
   std::vector<std::unordered_map<ItemId, Version>> read_marks_;
-  /// Per-node durable redo logs + checkpoints (replay recovery).
+  /// Per-*partition* durable redo logs + checkpoints (replay recovery).
+  /// Indexed by PartitionId, so the slice follows its partition across
+  /// MovePartition with no log surgery.
   std::vector<wal::DurableLog> durable_;
   std::atomic<uint64_t> recoveries_replayed_{0};
   std::atomic<uint64_t> recovery_mismatches_{0};

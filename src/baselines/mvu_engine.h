@@ -70,7 +70,7 @@ class MvuEngine : public db::EngineBase {
       return Status::Ok();
     }
     // Updates read the latest committed version (they hold the lock).
-    auto r = store(rt.node).ReadAtMost(item, kSimTimeMax);
+    auto r = store_for(rt.node, item).ReadAtMost(item, kSimTimeMax);
     NoteScan(r);
     if (r.ok() && !r->deleted) {
       out->version_read = r->version;
@@ -88,7 +88,7 @@ class MvuEngine : public db::EngineBase {
     if (bit != rt.wbuf.end()) {
       if (!bit->second.deleted) base = bit->second.value;
     } else {
-      auto r = store(rt.node).ReadAtMost(op.item, kSimTimeMax);
+      auto r = store_for(rt.node, op.item).ReadAtMost(op.item, kSimTimeMax);
       if (r.ok() && !r->deleted) base = r->value;
     }
     PendingWrite pw;
@@ -123,8 +123,8 @@ class MvuEngine : public db::EngineBase {
       auto it = node_state(n).updates.find(root_rt.txn);
       if (it == node_state(n).updates.end()) continue;
       UpdateRt& rt = *it->second;
-      store::VersionedStore& st = store(n);
       for (ItemId item : rt.wbuf_order) {
+        store::VersionedStore& st = store_for(n, item);
         const PendingWrite& pw = rt.wbuf[item];
         Status s = pw.deleted ? st.MarkDeleted(item, cv, rt.txn, now)
                               : st.Put(item, cv, pw.value, rt.txn, now);
@@ -159,7 +159,7 @@ class MvuEngine : public db::EngineBase {
   }
 
   void QueryRead(QueryRt& rt, ItemId item, verify::ReadRecord* out) override {
-    auto r = store(rt.node).ReadAtMost(item, rt.version);
+    auto r = store_for(rt.node, item).ReadAtMost(item, rt.version);
     NoteScan(r);
     if (r.ok() && !r->deleted) {
       out->version_read = r->version;
@@ -189,13 +189,13 @@ class MvuEngine : public db::EngineBase {
   void StartSweep(SimDuration interval) {
     runtime().ScheduleGlobal(interval, [this, interval]() {
       const Version wm = Watermark();
-      for (int n = 0; n < num_nodes(); ++n) {
+      for (PartitionId p = 0; p < num_partitions(); ++p) {
+        store::VersionedStore& st = partition_store(p);
         std::vector<ItemId> ids;
-        store(n).ForEachItem(
+        st.ForEachItem(
             [&ids](ItemId item, const auto&) { ids.push_back(item); });
         for (ItemId item : ids) {
-          versions_pruned_ +=
-              static_cast<uint64_t>(store(n).PruneItem(item, wm));
+          versions_pruned_ += static_cast<uint64_t>(st.PruneItem(item, wm));
         }
       }
       StartSweep(interval);

@@ -32,7 +32,7 @@ class S2plEngine : public db::EngineBase {
       out->own_write = true;
       return Status::Ok();
     }
-    auto r = store(rt.node).ReadAtMost(item, 0);
+    auto r = store_for(rt.node, item).ReadAtMost(item, 0);
     if (r.ok() && !r->deleted) {
       out->version_read = 0;
       out->value = r->value;
@@ -49,7 +49,7 @@ class S2plEngine : public db::EngineBase {
     if (bit != rt.wbuf.end()) {
       if (!bit->second.deleted) base = bit->second.value;
     } else {
-      auto r = store(rt.node).ReadAtMost(op.item, 0);
+      auto r = store_for(rt.node, op.item).ReadAtMost(op.item, 0);
       if (r.ok() && !r->deleted) base = r->value;
     }
     PendingWrite pw;
@@ -73,9 +73,9 @@ class S2plEngine : public db::EngineBase {
 
   void OnCommitMsg(UpdateRt& rt, Version global_version) override {
     (void)global_version;
-    store::VersionedStore& st = store(rt.node);
     const SimTime now = runtime().Now();
     for (ItemId item : rt.wbuf_order) {
+      store::VersionedStore& st = store_for(rt.node, item);
       const PendingWrite& pw = rt.wbuf[item];
       Status s = pw.deleted ? st.MarkDeleted(item, 0, rt.txn, now)
                             : st.Put(item, 0, pw.value, rt.txn, now);
@@ -100,7 +100,7 @@ class S2plEngine : public db::EngineBase {
   }
 
   void QueryRead(QueryRt& rt, ItemId item, verify::ReadRecord* out) override {
-    auto r = store(rt.node).ReadAtMost(item, 0);
+    auto r = store_for(rt.node, item).ReadAtMost(item, 0);
     if (r.ok() && !r->deleted) {
       out->version_read = 0;
       out->value = r->value;

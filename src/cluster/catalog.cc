@@ -1,0 +1,96 @@
+#include "cluster/catalog.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ava3::cluster {
+namespace {
+
+NodeId InitialOwner(const CatalogOptions& o, PartitionId p) {
+  const int n = o.num_nodes;
+  switch (o.placement) {
+    case Placement::kModulo:
+      return static_cast<NodeId>(p % n);
+    case Placement::kRoundRobin:
+      return static_cast<NodeId>((p + p / n) % n);
+    case Placement::kExplicit:
+      assert(static_cast<size_t>(p) < o.explicit_owners.size());
+      return o.explicit_owners[static_cast<size_t>(p)];
+    case Placement::kSkewed: {
+      const int total = n * o.partitions_per_node;
+      const int hot =
+          static_cast<int>(std::ceil(o.skew_fraction * total));
+      if (p < hot) return o.skew_node;
+      if (n == 1) return 0;
+      // Deal the cold tail modulo over the nodes other than skew_node.
+      const NodeId cold = static_cast<NodeId>((p - hot) % (n - 1));
+      return cold >= o.skew_node ? cold + 1 : cold;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Catalog::Catalog(const CatalogOptions& options)
+    : num_nodes_(options.num_nodes),
+      partitions_per_node_(options.partitions_per_node),
+      items_per_partition_(options.items_per_partition),
+      owner_(static_cast<size_t>(options.num_nodes) *
+             static_cast<size_t>(options.partitions_per_node)),
+      draining_(owner_.size()) {
+  assert(num_nodes_ >= 1);
+  assert(partitions_per_node_ >= 1);
+  assert(items_per_partition_ >= 1);
+  for (size_t p = 0; p < owner_.size(); ++p) {
+    owner_[p].store(InitialOwner(options, static_cast<PartitionId>(p)),
+                    std::memory_order_relaxed);
+    draining_[p].store(false, std::memory_order_relaxed);
+  }
+}
+
+std::unique_ptr<Catalog> Catalog::Identity(int num_nodes,
+                                           int64_t items_per_partition) {
+  CatalogOptions o;
+  o.num_nodes = num_nodes;
+  o.partitions_per_node = 1;
+  o.items_per_partition = items_per_partition;
+  o.placement = Placement::kModulo;
+  return std::make_unique<Catalog>(o);
+}
+
+bool Catalog::BeginDrain(PartitionId p) {
+  bool expected = false;
+  if (!draining_[static_cast<size_t>(p)].compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return true;
+  }
+  draining_count_.fetch_add(1, std::memory_order_acq_rel);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return false;
+}
+
+void Catalog::CommitMove(PartitionId p, NodeId new_owner) {
+  owner_[static_cast<size_t>(p)].store(new_owner, std::memory_order_release);
+  draining_[static_cast<size_t>(p)].store(false, std::memory_order_release);
+  draining_count_.fetch_sub(1, std::memory_order_acq_rel);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Catalog::AbortMove(PartitionId p) {
+  draining_[static_cast<size_t>(p)].store(false, std::memory_order_release);
+  draining_count_.fetch_sub(1, std::memory_order_acq_rel);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::vector<PartitionId> Catalog::PartitionsOf(NodeId node) const {
+  std::vector<PartitionId> out;
+  for (int p = 0; p < num_partitions(); ++p) {
+    if (NodeOf(static_cast<PartitionId>(p)) == node) {
+      out.push_back(static_cast<PartitionId>(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace ava3::cluster

@@ -1,0 +1,139 @@
+#ifndef AVA3_CLUSTER_CATALOG_H_
+#define AVA3_CLUSTER_CATALOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ava3::cluster {
+
+/// How partitions are dealt onto nodes when a Catalog is built.
+enum class Placement : uint8_t {
+  /// `NodeOf(p) = p % num_nodes`. With partitions_per_node == 1 this is the
+  /// identity map (partition i lives on node i) — the seed arithmetic
+  /// `item / items_per_node` falls out exactly, which is what pins the
+  /// golden fingerprints. With more partitions the keyspace is striped
+  /// round the nodes.
+  kModulo = 0,
+  /// Rotated dealing: round r = p / num_nodes starts at node r, i.e.
+  /// `NodeOf(p) = (p + p / num_nodes) % num_nodes`. Identical to kModulo
+  /// at partitions_per_node == 1; spreads *consecutive* partitions across
+  /// different node orders otherwise.
+  kRoundRobin = 1,
+  /// Owner list supplied verbatim by the caller.
+  kExplicit = 2,
+  /// Benchmark skew: the first `ceil(skew_fraction * P)` partitions all
+  /// land on `skew_node`; the rest are dealt modulo over the other nodes.
+  /// Deliberately imbalanced — used to price collocated-partition routing.
+  kSkewed = 3,
+};
+
+/// Construction parameters for a Catalog.
+struct CatalogOptions {
+  int num_nodes = 1;
+  int partitions_per_node = 1;
+  /// Width of each partition's contiguous ItemId block:
+  /// partition(item) = item / items_per_partition. Must match the data
+  /// actually loaded (the workload's items_per_node divided by
+  /// partitions_per_node) for routed placement and MovePartition to be
+  /// meaningful.
+  int64_t items_per_partition = 1000;
+  Placement placement = Placement::kModulo;
+  /// kExplicit: owner per partition (size num_nodes * partitions_per_node).
+  std::vector<NodeId> explicit_owners;
+  /// kSkewed knobs.
+  NodeId skew_node = 0;
+  double skew_fraction = 0.5;
+};
+
+/// Epoch-versioned placement map: ItemId -> PartitionId -> NodeId.
+///
+/// The keyspace is range-sliced: partition p covers items
+/// [p * items_per_partition, (p+1) * items_per_partition). Ownership is a
+/// per-partition atomic NodeId so routers (workload generators, submitters)
+/// on any thread can read placement without locks; structural changes
+/// (MovePartition) happen at a RunExclusive safepoint and publish a new
+/// epoch.
+///
+/// The epoch is the staleness token of the routing protocol: scripts are
+/// stamped with the epoch they were routed under, and the engine admits a
+/// stamped script without per-op ownership checks only while (a) the epoch
+/// still matches and (b) no partition is draining. Any move bumps the epoch
+/// twice — once when draining begins (so newly routed work checks the
+/// draining flag) and once when ownership has transferred (so work routed
+/// before the move re-validates and gets rejected with a retryable
+/// kUnavailable, to be rerouted by the submitter).
+class Catalog {
+ public:
+  explicit Catalog(const CatalogOptions& options);
+
+  /// Identity catalog matching the seed arithmetic: one partition per node,
+  /// partition i on node i, items sliced by `items_per_partition`.
+  static std::unique_ptr<Catalog> Identity(int num_nodes,
+                                           int64_t items_per_partition);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_partitions() const { return static_cast<int>(owner_.size()); }
+  int partitions_per_node() const { return partitions_per_node_; }
+  int64_t items_per_partition() const { return items_per_partition_; }
+  int64_t TotalItems() const { return num_partitions() * items_per_partition_; }
+
+  /// Partition of `item` (pure range arithmetic; placement-independent).
+  PartitionId PartitionOf(ItemId item) const {
+    return static_cast<PartitionId>(item / items_per_partition_);
+  }
+  /// First item of partition `p`.
+  ItemId FirstItemOf(PartitionId p) const { return p * items_per_partition_; }
+
+  /// Current owner node of partition `p`.
+  NodeId NodeOf(PartitionId p) const {
+    return owner_[static_cast<size_t>(p)].load(std::memory_order_acquire);
+  }
+  /// Current home node of `item`.
+  NodeId HomeOf(ItemId item) const { return NodeOf(PartitionOf(item)); }
+
+  /// Routing-epoch. Starts at 0; bumped (under a quiesced runtime) at every
+  /// placement change. Scripts stamped with the current epoch skip per-op
+  /// ownership validation as long as nothing is draining.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  /// True iff any partition is currently draining for a move. Routers must
+  /// fall back to full per-op validation while this holds.
+  bool AnyDraining() const {
+    return draining_count_.load(std::memory_order_acquire) > 0;
+  }
+  bool IsDraining(PartitionId p) const {
+    return draining_[static_cast<size_t>(p)].load(std::memory_order_acquire);
+  }
+
+  /// Marks `p` as draining and bumps the epoch. Returns the pre-existing
+  /// draining state (true = someone else is already moving it).
+  bool BeginDrain(PartitionId p);
+  /// Publishes `p`'s new owner, clears the draining flag, bumps the epoch.
+  /// Must be called at a quiesced safepoint (RunExclusive / DES event).
+  void CommitMove(PartitionId p, NodeId new_owner);
+  /// Aborts a drain without moving (owner unchanged); bumps the epoch so
+  /// scripts stamped mid-drain re-validate.
+  void AbortMove(PartitionId p);
+
+  /// Partitions currently owned by `node`, ascending. Recomputed on demand
+  /// (placement reads are atomic); callers wanting a stable view should
+  /// call this at a quiesced point.
+  std::vector<PartitionId> PartitionsOf(NodeId node) const;
+
+ private:
+  int num_nodes_;
+  int partitions_per_node_;
+  int64_t items_per_partition_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<int32_t> draining_count_{0};
+  std::vector<std::atomic<NodeId>> owner_;
+  std::vector<std::atomic<bool>> draining_;
+};
+
+}  // namespace ava3::cluster
+
+#endif  // AVA3_CLUSTER_CATALOG_H_

@@ -85,6 +85,24 @@ std::string OpenMetricsText(const db::MetricsSnapshot& s,
   Summary(out, p, "advancement_phase1_us", s.phase1_duration);
   Summary(out, p, "advancement_phase2_us", s.phase2_duration);
   Summary(out, p, "advancement_total_us", s.advancement_duration);
+  {
+    // Per-partition data-op counters, summed across write shards (each
+    // shard tracks the partitions its node's worker touched). Partition
+    // ownership moves, so the label is the stable PartitionId, not a node.
+    std::vector<uint64_t> per_part;
+    for (const auto& shard : s.partition_ops) {
+      if (shard.size() > per_part.size()) per_part.resize(shard.size(), 0);
+      for (size_t i = 0; i < shard.size(); ++i) per_part[i] += shard[i];
+    }
+    if (!per_part.empty()) {
+      const std::string full = p + "_partition_ops";
+      out += "# TYPE " + full + " counter\n";
+      for (size_t i = 0; i < per_part.size(); ++i) {
+        out += full + "_total{partition=\"" + std::to_string(i) + "\"} " +
+               std::to_string(per_part[i]) + "\n";
+      }
+    }
+  }
   if (sampler != nullptr) {
     // One gauge family per registered name; the freshest ring sample per
     // (name, node) series. Registration groups per-node series of one

@@ -65,6 +65,8 @@ const char* TraceKindName(TraceKind kind) {
       return "node-crash";
     case TraceKind::kNodeRecover:
       return "node-recover";
+    case TraceKind::kPartitionMove:
+      return "partition-move";
     case TraceKind::kMsgSend:
       return "msg-send";
     case TraceKind::kMsgRecv:
@@ -143,6 +145,9 @@ std::string Render(const TraceEvent& ev) {
       return "node crash";
     case TraceKind::kNodeRecover:
       return "node recovered";
+    case TraceKind::kPartitionMove:
+      return "partition " + std::to_string(ev.a) + " moved in from n" +
+             std::to_string(ev.b);
     case TraceKind::kMsgSend:
       return std::string("send ") + MsgName(ev.a) + " -> n" +
              std::to_string(ev.b) + " flow=" + std::to_string(ev.span);

@@ -63,6 +63,10 @@ enum class TraceKind : uint8_t {
   kCommitApply,   // root: decision -> commit applied at the root
   kAdvancePhase,  // coordinator; phase = 1 or 2, version = newu
 
+  // Appended after the span block: numeric kind values feed determinism
+  // fingerprints, so new kinds must not renumber existing ones.
+  kPartitionMove,  // partition a moved, b = source node, node = destination
+
   kNumKinds,  // sentinel
 };
 

@@ -7,9 +7,9 @@
 #include <vector>
 
 #include "common/json.h"
+#include "runtime/timeseries.h"
 #include "sim/fault_injector.h"
 #include "sim/network.h"
-#include "sim/timeseries.h"
 
 namespace ava3 {
 

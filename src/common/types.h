@@ -11,9 +11,18 @@ namespace ava3 {
 /// 0..n-1, matching the paper's sites 1..n.
 using NodeId = int32_t;
 
-/// Identifier of a data item. Items are partitioned across nodes by the
-/// catalog (see workload::WorkloadSpec); an item lives on exactly one node.
+/// Identifier of a data item. The keyspace is range-sliced into partitions
+/// (contiguous ItemId blocks); an item lives in exactly one partition, and
+/// the epoch-versioned placement catalog (cluster::Catalog) maps each
+/// partition to the node currently hosting it. Placement can change at
+/// runtime (Database::MovePartition); nothing above the catalog may assume
+/// a fixed item -> node arithmetic.
 using ItemId = int64_t;
+
+/// Identifier of a keyspace partition — the unit of data ownership and
+/// migration. Partitions are labeled 0..P-1; several partitions may be
+/// collocated on one node (they share its worker thread and mailbox).
+using PartitionId = int32_t;
 
 /// Globally unique transaction identifier (assigned by the driver).
 using TxnId = uint64_t;
@@ -31,6 +40,7 @@ using SimTime = int64_t;
 using SimDuration = int64_t;
 
 inline constexpr NodeId kInvalidNode = -1;
+inline constexpr PartitionId kInvalidPartition = -1;
 inline constexpr ItemId kInvalidItem = -1;
 inline constexpr TxnId kInvalidTxn = 0;
 inline constexpr Version kInvalidVersion = std::numeric_limits<int64_t>::min();

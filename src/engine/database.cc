@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -39,6 +40,34 @@ const char* RuntimeKindName(RuntimeKind kind) {
 Status Database::ValidateOptions(const DatabaseOptions& o) {
   if (o.num_nodes < 1) {
     return Status::InvalidArgument("num_nodes must be >= 1");
+  }
+  if (o.cluster.partitions_per_node < 1) {
+    return Status::InvalidArgument("cluster.partitions_per_node must be >= 1");
+  }
+  if (o.cluster.items_per_partition < 1) {
+    return Status::InvalidArgument("cluster.items_per_partition must be >= 1");
+  }
+  const int total_parts = o.num_nodes * o.cluster.partitions_per_node;
+  if (o.cluster.placement == cluster::Placement::kExplicit) {
+    if (static_cast<int>(o.cluster.explicit_owners.size()) != total_parts) {
+      return Status::InvalidArgument(
+          "cluster.explicit_owners must name one owner per partition (" +
+          std::to_string(total_parts) + ")");
+    }
+    for (NodeId owner : o.cluster.explicit_owners) {
+      if (owner < 0 || owner >= o.num_nodes) {
+        return Status::InvalidArgument("cluster.explicit_owners out of range");
+      }
+    }
+  }
+  if (o.cluster.placement == cluster::Placement::kSkewed) {
+    if (o.cluster.skew_node < 0 || o.cluster.skew_node >= o.num_nodes) {
+      return Status::InvalidArgument("cluster.skew_node out of range");
+    }
+    if (o.cluster.skew_fraction < 0.0 || o.cluster.skew_fraction > 1.0) {
+      return Status::InvalidArgument(
+          "cluster.skew_fraction must be in [0, 1]");
+    }
   }
   if (o.runtime == RuntimeKind::kSim) {
     // The DES implements every option (it is the reference substrate).
@@ -114,10 +143,16 @@ Database::Database(DatabaseOptions options) : options_(options) {
     runtime_iface_ = thread_runtime_.get();
   }
 
+  // The catalog's node count always follows the database's.
+  cluster::CatalogOptions copt = options_.cluster;
+  copt.num_nodes = options_.num_nodes;
+  catalog_ = std::make_unique<cluster::Catalog>(copt);
+
   env.runtime = runtime_iface_;
   env.metrics = metrics_.get();
   env.recorder = options_.enable_recorder ? recorder_.get() : nullptr;
   env.trace = trace_.get();
+  env.catalog = catalog_.get();
   switch (options_.scheme) {
     case Scheme::kAva3:
       engine_ = std::make_unique<core::Ava3Engine>(env, options_.num_nodes,
@@ -151,15 +186,26 @@ Database::Database(DatabaseOptions options) : options_(options) {
         options_.timeseries_capacity);
     auto* eb = static_cast<EngineBase*>(engine_.get());
     for (NodeId n = 0; n < options_.num_nodes; ++n) {
+      // Aggregated across the node's hosted partitions (identical to the
+      // historical per-node store/lock reads under identity placement).
       sampler_->AddGauge("live-versions", n, [eb, n]() {
-        return static_cast<double>(eb->store(n).CurrentMaxLiveVersions());
+        return static_cast<double>(eb->NodeMaxLiveVersions(n));
       });
       sampler_->AddGauge("lock-queue", n, [eb, n]() {
-        return static_cast<double>(eb->locks(n).WaitingCount());
+        return static_cast<double>(eb->NodeLockWaiting(n));
       });
       sampler_->AddGauge("active-subtxns", n, [eb, n]() {
         return static_cast<double>(eb->ActiveSubtxnsAt(n));
       });
+    }
+    if (options_.cluster.partitions_per_node > 1) {
+      // Collocated layouts additionally expose one hosted-partition count
+      // per node, so dashboards can watch moves land.
+      for (NodeId n = 0; n < options_.num_nodes; ++n) {
+        sampler_->AddGauge("hosted-partitions", n, [eb, n]() {
+          return static_cast<double>(eb->owned_partitions(n).size());
+        });
+      }
     }
     if (core::Ava3Engine* a3 = ava3_engine()) {
       for (NodeId n = 0; n < options_.num_nodes; ++n) {
@@ -312,6 +358,44 @@ TxnResult Database::RunToCompletion(txn::TxnScript script) {
   while (!result.has_value() && safety-- > 0 && simulator_->Step()) {
   }
   assert(result.has_value() && "transaction never completed");
+  return *result;
+}
+
+void Database::MovePartition(PartitionId p, NodeId dest,
+                             std::function<void(Status)> done) {
+  static_cast<EngineBase*>(engine_.get())
+      ->MovePartition(p, dest, std::move(done));
+}
+
+Status Database::MovePartitionSync(PartitionId p, NodeId dest) {
+  if (options_.runtime == RuntimeKind::kThread) {
+    // The callback runs on an engine worker thread; shared ownership keeps
+    // the mutex/cv alive through its notify even after the waiter returns.
+    struct Waiter {
+      std::mutex mu;
+      std::condition_variable cv;
+      std::optional<Status> result;
+    };
+    auto w = std::make_shared<Waiter>();
+    MovePartition(p, dest, [w](Status s) {
+      {
+        std::lock_guard<std::mutex> lk(w->mu);
+        w->result = std::move(s);
+      }
+      w->cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lk(w->mu);
+    w->cv.wait(lk, [&w] { return w->result.has_value(); });
+    return *w->result;
+  }
+  std::optional<Status> result;
+  MovePartition(p, dest, [&result](Status s) { result = std::move(s); });
+  // The drain poll reschedules itself forever if the partition never
+  // quiesces; bound the drive the same way RunToCompletion does.
+  uint64_t safety = 100'000'000;
+  while (!result.has_value() && safety-- > 0 && simulator_->Step()) {
+  }
+  assert(result.has_value() && "partition move never completed");
   return *result;
 }
 

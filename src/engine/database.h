@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "ava3/ava3_engine.h"
+#include "cluster/catalog.h"
 #include "common/status.h"
 #include "engine/engine_iface.h"
 #include "runtime/sim_runtime.h"
@@ -56,6 +57,15 @@ struct DatabaseOptions {
   /// bit-identical to a fault-free build. Honored by both runtimes; see
   /// ValidateOptions for the (few) combinations a runtime cannot honor.
   sim::FaultPlan faults;
+  /// Data placement: how many keyspace partitions each node hosts and how
+  /// they are dealt out (cluster::CatalogOptions). num_nodes is taken from
+  /// DatabaseOptions::num_nodes, overriding whatever this field carries.
+  /// The default — one partition per node, modulo placement — reproduces
+  /// the historical one-store-per-node layout bit-for-bit; the
+  /// items_per_partition slice width must match the loaded keyspace
+  /// (workload items_per_node / partitions_per_node) for routed layouts
+  /// and MovePartition to be meaningful.
+  cluster::CatalogOptions cluster;
   bool enable_trace = false;
   bool enable_recorder = true;
   /// Cadence for the per-node gauge sampler (live version count,
@@ -130,6 +140,9 @@ class Database {
   }
 
   Engine& engine() { return *engine_; }
+  /// The placement catalog the engine routes through (owned here; the
+  /// mutable handle MovePartition needs).
+  cluster::Catalog& catalog() { return *catalog_; }
   Metrics& metrics() { return *metrics_; }
   /// Merged counters + histograms across every metrics shard. Under the
   /// thread runtime the merge runs inside a RunExclusive safepoint so it
@@ -163,6 +176,19 @@ class Database {
   /// and tests; concurrent-workload runs drive the engine directly.
   TxnResult RunToCompletion(txn::TxnScript script);
 
+  /// Drain-based partition migration (EngineBase::MovePartition through
+  /// the owned catalog): quiesces partition `p`, re-homes its store, lock
+  /// table and durable-log slice onto `dest`, bumps the routing epoch.
+  /// `done` fires from a runtime context with Ok, InvalidArgument (bad
+  /// p/dest) or Unavailable (already moving). Works on both runtimes.
+  void MovePartition(PartitionId p, NodeId dest,
+                     std::function<void(Status)> done);
+  /// Blocking convenience: under the DES steps the simulator until the
+  /// move completes (so call it only between RunFor slices, never from
+  /// inside a simulator event); under the thread runtime blocks the
+  /// calling thread while workers drain the partition.
+  Status MovePartitionSync(PartitionId p, NodeId dest);
+
   /// Runs for `d` microseconds: simulated time under the DES, wall-clock
   /// sleep under the thread runtime (the workers run regardless; this
   /// merely paces the caller).
@@ -193,6 +219,9 @@ class Database {
   std::unique_ptr<rt::SimRuntime> runtime_;
   std::unique_ptr<rt::ThreadRuntime> thread_runtime_;
   rt::Runtime* runtime_iface_ = nullptr;
+  /// Declared before engine_ (the engine routes through the catalog for
+  /// its whole lifetime).
+  std::unique_ptr<cluster::Catalog> catalog_;
   std::unique_ptr<Engine> engine_;
   /// Declared after engine_: gauge callbacks read engine state, so the
   /// sampler must be destroyed first.

@@ -12,12 +12,32 @@ EngineBase::EngineBase(EngineEnv env, int num_nodes, BaseOptions options,
                        int store_capacity)
     : env_(env), options_(options) {
   assert(env_.runtime != nullptr && env_.metrics != nullptr);
+  if (env_.catalog != nullptr) {
+    catalog_ = env_.catalog;
+    assert(catalog_->num_nodes() == num_nodes);
+  } else {
+    // No catalog supplied (direct engine construction in tests/benches):
+    // identity layout, one partition per node. The keyspace slice width is
+    // never consulted in this regime — single-partition nodes resolve
+    // without range arithmetic, and scripts carry route_epoch 0 which
+    // matches this catalog's epoch forever — so any width covering every
+    // ItemId works.
+    owned_catalog_ = cluster::Catalog::Identity(num_nodes, int64_t{1} << 40);
+    catalog_ = owned_catalog_.get();
+  }
   nodes_.resize(static_cast<size_t>(num_nodes));
+  const int num_parts = catalog_->num_partitions();
+  parts_.resize(static_cast<size_t>(num_parts));
+  // Partition construction in PartitionId order: with the identity catalog
+  // this is node order, so the lock managers feed the deadlock detector in
+  // exactly the historical sequence (its sweep order is fingerprinted).
   std::vector<lock::LockManager*> lms;
-  for (int i = 0; i < num_nodes; ++i) {
-    nodes_[i].store = std::make_unique<store::VersionedStore>(store_capacity);
-    nodes_[i].locks = std::make_unique<lock::LockManager>(env_.runtime, i);
-    lms.push_back(nodes_[i].locks.get());
+  for (PartitionId p = 0; p < num_parts; ++p) {
+    const NodeId owner = catalog_->NodeOf(p);
+    parts_[p].store = std::make_unique<store::VersionedStore>(store_capacity);
+    parts_[p].locks = std::make_unique<lock::LockManager>(env_.runtime, owner);
+    lms.push_back(parts_[p].locks.get());
+    nodes_[owner].owned.push_back(p);
   }
   deadlock_detector_ = std::make_unique<lock::DeadlockDetector>(
       env_.runtime, std::move(lms), options_.deadlock_interval,
@@ -38,6 +58,15 @@ int EngineBase::ActiveSubtxns() const {
 void EngineBase::Submit(TxnId id, txn::TxnScript script, ResultCallback done) {
   Status valid = script.Validate(num_nodes());
   const SimTime submit_time = runtime().Now();
+  if (valid.ok() && !RouteIsCurrent(script)) {
+    // The script was generated against an older catalog epoch (or a move is
+    // draining): re-validate every subtransaction's home against the live
+    // placement. Rejection is retryable; the submitter re-routes.
+    for (int i = 0; valid.ok() && i < static_cast<int>(script.subtxns.size());
+         ++i) {
+      valid = CheckSubtxnRoute(script, i);
+    }
+  }
   if (!valid.ok()) {
     runtime().ScheduleGlobal(0, [id, kind = script.kind, valid, submit_time,
                           done = std::move(done)]() {
@@ -92,6 +121,33 @@ void EngineBase::StartUpdateSubtxn(NodeId node,
   NodeState& ns = nodes_[node];
   if (!ns.started_txns.insert(txn).second) {
     return;  // duplicated spawn message; the first copy runs the subtxn
+  }
+  if (!RouteIsCurrent(*s)) {
+    // A partition move raced this spawn (the script was admitted before the
+    // epoch bump, or the message crossed the transfer): re-check this
+    // subtransaction's home before touching any local state.
+    Status route = CheckSubtxnRoute(*s, spec);
+    if (!route.ok()) {
+      if (spec == 0) {
+        if (done) {
+          TxnResult res;
+          res.id = txn;
+          res.kind = s->kind;
+          res.outcome = TxnOutcome::kAborted;
+          res.status = std::move(route);
+          res.submit_time = submit_time;
+          res.finish_time = runtime().Now();
+          done(res);
+        }
+      } else {
+        const NodeId root = s->subtxns[0].node;
+        runtime().Send(node, root, MsgKind::kAbort,
+                       [this, root, txn, route]() {
+                         OnAbortMsgAtRoot(root, txn, route);
+                       });
+      }
+      return;
+    }
   }
   auto rt = std::make_unique<UpdateRt>();
   rt->txn = txn;
@@ -178,7 +234,7 @@ void EngineBase::ExecUpdateOp(UpdateRt& rt, const txn::Op& op) {
   const lock::LockMode mode = (op.kind == Kind::kRead)
                                   ? lock::LockMode::kShared
                                   : lock::LockMode::kExclusive;
-  lock::LockManager& lm = *nodes_[rt.node].locks;
+  lock::LockManager& lm = locks_for(rt.node, op.item);
   const NodeId node = rt.node;
   const TxnId txn = rt.txn;
   auto result = lm.Acquire(txn, op.item, mode, [this, node, txn](Status st) {
@@ -226,6 +282,7 @@ void EngineBase::FinishUpdateAccess(UpdateRt& rt, const txn::Op& op) {
     FailUpdate(rt, st);
     return;
   }
+  metrics(rt.node).RecordPartitionOp(partition_of(rt.node, op.item));
   ++rt.pc;
   ScheduleStepUpdate(rt.node, rt.txn, options_.op_cost);
 }
@@ -271,7 +328,9 @@ void EngineBase::PrepareUpdate(UpdateRt& rt) {
   // parallel sibling subtransactions (see BaseOptions), so the default
   // holds them until commit.
   if (options_.release_read_locks_at_prepare) {
-    nodes_[rt.node].locks->ReleaseShared(rt.txn);
+    for (PartitionId p : nodes_[rt.node].owned) {
+      parts_[p].locks->ReleaseShared(rt.txn);
+    }
   }
   const Version report_max =
       std::max(rt.version, rt.max_child_version == kInvalidVersion
@@ -445,7 +504,7 @@ void EngineBase::CommitLocal(NodeId node, TxnId txn, Version global_version,
   commit.version = global_version;  // final version, for recovery replay
   ns.log.Append(commit);
 
-  ns.locks->ReleaseAll(txn);
+  for (PartitionId p : ns.owned) parts_[p].locks->ReleaseAll(txn);
   EmitTrace(node, TraceKind::kCommit, txn, global_version);
   DepositHistory(rt);
   for (int child : rt.script->ChildrenOf(rt.spec)) {
@@ -580,13 +639,13 @@ void EngineBase::AbortUpdateLocal(UpdateRt& rt) {
   NodeState& ns = nodes_[node];
   runtime().CancelTimer(rt.timeout_ev);
   runtime().CancelTimer(rt.prep_timeout_ev);
-  ns.locks->CancelWaiter(txn);
+  for (PartitionId p : ns.owned) parts_[p].locks->CancelWaiter(txn);
   OnUpdateAborted(rt);
   wal::LogRecord abort;
   abort.kind = wal::LogRecord::Kind::kAbort;
   abort.txn = txn;
   ns.log.Append(abort);
-  ns.locks->ReleaseAll(txn);
+  for (PartitionId p : ns.owned) parts_[p].locks->ReleaseAll(txn);
   EndSpan(node, TraceKind::kLockWait, &rt.lock_span, txn);
   EndSpan(node, TraceKind::kCommitApply, &rt.apply_span, txn);
   EndSpan(node, TraceKind::kTwoPcRound, &rt.twopc_span, txn);
@@ -606,6 +665,30 @@ void EngineBase::StartQuerySubtxn(NodeId node,
   NodeState& ns = nodes_[node];
   if (!ns.started_txns.insert(txn).second) {
     return;  // duplicated spawn message
+  }
+  if (!RouteIsCurrent(*s)) {
+    Status route = CheckSubtxnRoute(*s, spec);
+    if (!route.ok()) {
+      if (spec == 0) {
+        if (done) {
+          TxnResult res;
+          res.id = txn;
+          res.kind = s->kind;
+          res.outcome = TxnOutcome::kAborted;
+          res.status = std::move(route);
+          res.submit_time = submit_time;
+          res.finish_time = runtime().Now();
+          done(res);
+        }
+      } else {
+        const NodeId root = s->subtxns[0].node;
+        runtime().Send(node, root, MsgKind::kAbort,
+                       [this, root, txn, route]() {
+                         OnAbortMsgAtRoot(root, txn, route);
+                       });
+      }
+      return;
+    }
   }
   auto rt = std::make_unique<QueryRt>();
   rt->txn = txn;
@@ -691,7 +774,7 @@ void EngineBase::ExecQueryOp(QueryRt& rt, const txn::Op& op) {
   if (QueriesUseLocks()) {
     const NodeId node = rt.node;
     const TxnId txn = rt.txn;
-    auto result = nodes_[node].locks->Acquire(
+    auto result = locks_for(node, target).Acquire(
         txn, target, lock::LockMode::kShared, [this, node, txn](Status st) {
           auto it = nodes_[node].queries.find(txn);
           if (it == nodes_[node].queries.end()) return;
@@ -726,6 +809,7 @@ void EngineBase::FinishQueryRead(QueryRt& rt, const txn::Op& op) {
   rec.read_seq = runtime().Seq();
   QueryRead(rt, target, &rec);
   rt.reads.push_back(rec);
+  metrics(rt.node).RecordPartitionOp(partition_of(rt.node, target));
   if (scanning && ++rt.scan_pos < op.arg) {
     // Stay on the scan op; the next step reads the next item.
   } else {
@@ -774,7 +858,9 @@ void EngineBase::MaybeCompleteQuery(QueryRt& rt) {
   const TxnId txn = rt.txn;
   NodeState& ns = nodes_[node];
   OnQueryFinish(rt);
-  if (QueriesUseLocks() && !hold_locks) ns.locks->ReleaseAll(txn);
+  if (QueriesUseLocks() && !hold_locks) {
+    for (PartitionId p : ns.owned) parts_[p].locks->ReleaseAll(txn);
+  }
   if (rt.is_root()) {
     if (QueriesUseLocks()) {
       // Strict 2PL across nodes: subqueries kept their shared locks while
@@ -833,7 +919,7 @@ void EngineBase::ReleaseHeldQueryLocks(NodeId node, TxnId txn) {
   QueryRt& rt = *it->second;
   if (rt.state != QueryRt::State::kLockHold) return;
   runtime().CancelTimer(rt.timeout_ev);
-  nodes_[node].locks->ReleaseAll(txn);
+  for (PartitionId p : nodes_[node].owned) parts_[p].locks->ReleaseAll(txn);
   EndSpan(node, TraceKind::kQueryTxn, &rt.span, txn);
   nodes_[node].queries.erase(txn);
 }
@@ -907,8 +993,10 @@ void EngineBase::AbortQueryLocal(QueryRt& rt) {
   NodeState& ns = nodes_[node];
   runtime().CancelTimer(rt.timeout_ev);
   if (QueriesUseLocks()) {
-    ns.locks->CancelWaiter(txn);
-    ns.locks->ReleaseAll(txn);
+    for (PartitionId p : ns.owned) {
+      parts_[p].locks->CancelWaiter(txn);
+      parts_[p].locks->ReleaseAll(txn);
+    }
   }
   if (!finished) OnQueryFinish(rt);
   EndSpan(node, TraceKind::kLockWait, &rt.lock_span, txn);
@@ -989,7 +1077,7 @@ void EngineBase::CrashNode(NodeId node) {
     EndSpan(node, TraceKind::kQueryTxn, &rt.span, rt.txn);
     ns.queries.erase(ns.queries.begin());
   }
-  ns.locks->Reset();
+  for (PartitionId p : ns.owned) parts_[p].locks->Reset();
   OnNodeCrash(node);
   metrics(node).RecordCrash();
   EmitTrace(node, TraceKind::kNodeCrash);
@@ -1004,12 +1092,14 @@ void EngineBase::RecoverNode(NodeId node) {
   NodeState& ns = nodes_[node];
   for (auto& [txn, rt] : ns.updates) {
     for (ItemId item : rt->wbuf_order) {
-      (void)ns.locks->Acquire(txn, item, lock::LockMode::kExclusive,
-                              [](Status) {});
+      (void)locks_for(node, item).Acquire(txn, item,
+                                          lock::LockMode::kExclusive,
+                                          [](Status) {});
     }
     for (const verify::ReadRecord& r : rt->reads) {
-      (void)ns.locks->Acquire(txn, r.item, lock::LockMode::kShared,
-                              [](Status) {});
+      (void)locks_for(node, r.item).Acquire(txn, r.item,
+                                            lock::LockMode::kShared,
+                                            [](Status) {});
     }
     // Restart the decision-inquiry loop for every in-doubt survivor. The
     // pre-crash timer usually still exists, but a *root* that crashed
@@ -1024,6 +1114,130 @@ void EngineBase::RecoverNode(NodeId node) {
   OnNodeRecover(node);
   metrics(node).RecordRecovery();
   EmitTrace(node, TraceKind::kNodeRecover);
+}
+
+// ---------------------------------------------------------------------------
+// Partition routing & moves
+// ---------------------------------------------------------------------------
+
+Status EngineBase::CheckSubtxnRoute(const txn::TxnScript& s, int spec) const {
+  const NodeId node = s.subtxns[spec].node;
+  for (const txn::Op& op : s.subtxns[spec].ops) {
+    if (op.item == kInvalidItem) continue;  // spawn/think carry no item
+    const ItemId last = (op.kind == txn::Op::Kind::kScan && op.arg > 0)
+                            ? op.item + op.arg - 1
+                            : op.item;
+    const PartitionId first_p = catalog_->PartitionOf(op.item);
+    const PartitionId last_p = catalog_->PartitionOf(last);
+    if (first_p < 0 || last_p >= num_partitions()) {
+      return Status::Unavailable("item outside the partitioned keyspace");
+    }
+    // A scan may span several contiguous partitions; every one must be
+    // homed at this subtransaction's node and not mid-move.
+    for (PartitionId p = first_p; p <= last_p; ++p) {
+      if (catalog_->NodeOf(p) != node || catalog_->IsDraining(p)) {
+        return Status::Unavailable("stale partition route");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool EngineBase::PartitionQuiesced(NodeId src, PartitionId p) const {
+  if (!parts_[p].locks->Idle()) return false;
+  // Lock-free work (AVA3 queries) and not-yet-locked updates leave no
+  // trace in the lock table, so also require that no in-flight
+  // subtransaction at the source *could* touch the partition. New work
+  // referencing p is rejected while it drains, so this converges (bounded
+  // by the transaction / prepared timeouts for stuck in-doubt work).
+  auto touches = [&](const txn::TxnScript& s, int spec) {
+    for (const txn::Op& op : s.subtxns[spec].ops) {
+      if (op.item == kInvalidItem) continue;
+      const ItemId last = (op.kind == txn::Op::Kind::kScan && op.arg > 0)
+                              ? op.item + op.arg - 1
+                              : op.item;
+      if (catalog_->PartitionOf(op.item) <= p &&
+          catalog_->PartitionOf(last) >= p) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const NodeState& ns = nodes_[src];
+  for (const auto& [txn, rt] : ns.updates) {
+    if (touches(*rt->script, rt->spec)) return false;
+  }
+  for (const auto& [txn, rt] : ns.queries) {
+    if (touches(*rt->script, rt->spec)) return false;
+  }
+  return true;
+}
+
+void EngineBase::MovePartition(PartitionId p, NodeId dest,
+                               std::function<void(Status)> done) {
+  if (p < 0 || p >= num_partitions() || dest < 0 || dest >= num_nodes()) {
+    if (done) done(Status::InvalidArgument("bad partition or destination"));
+    return;
+  }
+  if (env_.catalog == nullptr) {
+    // The engine-internal identity catalog has no real keyspace slicing;
+    // moving under it would leave items unroutable.
+    if (done) {
+      done(Status::InvalidArgument(
+          "partition moves require an external catalog"));
+    }
+    return;
+  }
+  if (catalog_->NodeOf(p) == dest) {
+    if (done) done(Status::Ok());
+    return;
+  }
+  if (catalog_->BeginDrain(p)) {
+    if (done) done(Status::Unavailable("partition is already moving"));
+    return;
+  }
+  // Epoch bumped: new scripts route around p and in-flight admissions take
+  // the full route check, which rejects anything touching p. Poll until the
+  // partition's in-flight work has fully drained, then transfer.
+  PollMoveDrain(p, dest, std::move(done));
+}
+
+void EngineBase::PollMoveDrain(PartitionId p, NodeId dest,
+                               std::function<void(Status)> done) {
+  runtime().ScheduleGlobal(
+      kMillisecond, [this, p, dest, done = std::move(done)]() mutable {
+        bool ready = false;
+        // The safepoint gives a consistent view of every node's in-flight
+        // maps and lock tables (and, on the transfer pass, makes the
+        // ownership flip atomic with respect to all workers).
+        runtime().RunExclusive([&]() {
+          const NodeId src = catalog_->NodeOf(p);
+          if (PartitionQuiesced(src, p)) {
+            TransferPartition(p, src, dest);
+            ready = true;
+          }
+        });
+        if (ready) {
+          if (done) done(Status::Ok());
+        } else {
+          PollMoveDrain(p, dest, std::move(done));
+        }
+      });
+}
+
+void EngineBase::TransferPartition(PartitionId p, NodeId src, NodeId dest) {
+  auto& sowned = nodes_[src].owned;
+  sowned.erase(std::remove(sowned.begin(), sowned.end(), p), sowned.end());
+  auto& downed = nodes_[dest].owned;
+  downed.insert(std::upper_bound(downed.begin(), downed.end(), p), p);
+  // Future lock-grant deliveries must run in the destination's context.
+  parts_[p].locks->SetNode(dest);
+  OnPartitionMoved(p, src, dest);
+  // Publishing last: the epoch bump + owner store release the state edits
+  // above to any worker that observes the new ownership.
+  catalog_->CommitMove(p, dest);
+  EmitTrace(dest, TraceKind::kPartitionMove, kInvalidTxn, kInvalidVersion, p,
+            src);
 }
 
 }  // namespace ava3::db

@@ -1,6 +1,8 @@
 #ifndef AVA3_ENGINE_ENGINE_BASE_H_
 #define AVA3_ENGINE_ENGINE_BASE_H_
 
+#include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -39,11 +41,20 @@ struct BaseOptions {
   bool release_read_locks_at_prepare = false;
 };
 
-/// Shared machinery for every concurrency-control engine: per-node state
-/// (versioned store, lock table, recovery log), the subtransaction executor
-/// state machines for the R*-style transaction trees of Section 2, the
-/// two-phase commit protocol with version piggybacking, abort/timeout/crash
-/// handling, and the global deadlock detector.
+/// Shared machinery for every concurrency-control engine: per-partition
+/// data state (versioned store + lock table, routed through the placement
+/// catalog), per-node protocol state (recovery log, subtransaction tables),
+/// the subtransaction executor state machines for the R*-style transaction
+/// trees of Section 2, the two-phase commit protocol with version
+/// piggybacking, abort/timeout/crash handling, and the global deadlock
+/// detector.
+///
+/// Partitions collocated on a node share its execution context (worker
+/// thread and mailbox), so the per-node closure-confinement story is
+/// unchanged: everything under a partition is only touched from its owner
+/// node's context (or a RunExclusive safepoint). With the identity catalog
+/// (one partition per node, partition i on node i) the layout degenerates
+/// to the historical per-node store/lock pair, bit-for-bit.
 ///
 /// Scheme-specific behaviour (version selection, counters, moveToFuture,
 /// commit application) is supplied by subclasses through protected hooks.
@@ -56,17 +67,55 @@ class EngineBase : public Engine {
   int num_nodes() const final { return static_cast<int>(nodes_.size()); }
   void Submit(TxnId id, txn::TxnScript script, ResultCallback done) final;
   void LoadInitial(NodeId node, ItemId item, int64_t value) final {
-    Status s = nodes_[node].store->Put(item, 0, value, kInvalidTxn, 0);
+    Status s = store_for(node, item).Put(item, 0, value, kInvalidTxn, 0);
     (void)s;
     OnLoadInitial(node, item, value);
   }
   void CrashNode(NodeId node) override;
   void RecoverNode(NodeId node) override;
 
+  /// Drain-based partition migration (the catalog epoch seam made real).
+  /// Marks `p` draining (rejecting newly routed work with a retryable
+  /// kUnavailable), waits until no in-flight subtransaction or lock touches
+  /// the partition, then — at a quiesced point (RunExclusive under real
+  /// threads, a plain event under the DES) — re-homes the partition's store,
+  /// lock table and durable-log slice onto `dest`, bumps the catalog epoch
+  /// and resumes. `done` fires with Ok on completion, InvalidArgument for a
+  /// bad partition/destination, or Unavailable if the partition is already
+  /// being moved. Requires a mutable catalog (the one Database owns).
+  void MovePartition(PartitionId p, NodeId dest,
+                     std::function<void(Status)> done);
+
   // Test/bench accessors.
-  store::VersionedStore& store(NodeId n) { return *nodes_[n].store; }
-  const store::VersionedStore& store(NodeId n) const { return *nodes_[n].store; }
-  lock::LockManager& locks(NodeId n) { return *nodes_[n].locks; }
+  /// The first partition hosted by node `n` — with the identity catalog
+  /// (one partition per node) this is exactly the node's historical store.
+  store::VersionedStore& store(NodeId n) {
+    return *parts_[static_cast<size_t>(nodes_[n].owned.front())].store;
+  }
+  const store::VersionedStore& store(NodeId n) const {
+    return *parts_[static_cast<size_t>(nodes_[n].owned.front())].store;
+  }
+  lock::LockManager& locks(NodeId n) {
+    return *parts_[static_cast<size_t>(nodes_[n].owned.front())].locks;
+  }
+  /// Per-partition data state.
+  store::VersionedStore& partition_store(PartitionId p) {
+    return *parts_[static_cast<size_t>(p)].store;
+  }
+  const store::VersionedStore& partition_store(PartitionId p) const {
+    return *parts_[static_cast<size_t>(p)].store;
+  }
+  lock::LockManager& partition_locks(PartitionId p) {
+    return *parts_[static_cast<size_t>(p)].locks;
+  }
+  int num_partitions() const { return static_cast<int>(parts_.size()); }
+  /// Partitions currently hosted by `n`, ascending (stable between moves).
+  const std::vector<PartitionId>& owned_partitions(NodeId n) const {
+    return nodes_[n].owned;
+  }
+  /// The placement catalog the engine routes through (the caller's, or the
+  /// internal identity catalog when none was supplied).
+  const cluster::Catalog& catalog() const { return *catalog_; }
   wal::RecoveryLog& log(NodeId n) { return nodes_[n].log; }
   lock::DeadlockDetector& deadlock_detector() { return *deadlock_detector_; }
   /// Number of in-flight subtransactions (updates + queries) everywhere.
@@ -75,6 +124,23 @@ class EngineBase : public Engine {
   int ActiveSubtxnsAt(NodeId node) const {
     return static_cast<int>(nodes_[node].updates.size() +
                             nodes_[node].queries.size());
+  }
+  /// Largest current live-version chain across `n`'s partitions (gauge).
+  int NodeMaxLiveVersions(NodeId n) const {
+    int v = 0;
+    for (PartitionId p : nodes_[n].owned) {
+      v = std::max(v, parts_[static_cast<size_t>(p)].store->
+                          CurrentMaxLiveVersions());
+    }
+    return v;
+  }
+  /// Total lock-queue length across `n`'s partitions (gauge).
+  int NodeLockWaiting(NodeId n) const {
+    int v = 0;
+    for (PartitionId p : nodes_[n].owned) {
+      v += parts_[static_cast<size_t>(p)].locks->WaitingCount();
+    }
+    return v;
   }
 
  protected:
@@ -216,9 +282,18 @@ class EngineBase : public Engine {
     const txn::SubtxnSpec& spec_ref() const { return script->subtxns[spec]; }
   };
 
-  struct NodeState {
+  /// One keyspace partition's data state: the versioned store and the lock
+  /// table scoped to its items. Owned by exactly one node at a time (the
+  /// catalog's NodeOf); MovePartition re-homes the whole struct.
+  struct PartitionState {
     std::unique_ptr<store::VersionedStore> store;
     std::unique_ptr<lock::LockManager> locks;
+  };
+
+  struct NodeState {
+    /// Partitions hosted here, ascending PartitionId. Mutated only at a
+    /// quiesced point (MovePartition's transfer step).
+    std::vector<PartitionId> owned;
     wal::RecoveryLog log;
     std::map<TxnId, std::unique_ptr<UpdateRt>> updates;
     std::map<TxnId, std::unique_ptr<QueryRt>> queries;
@@ -327,13 +402,24 @@ class EngineBase : public Engine {
     (void)value;
   }
 
+  /// A partition finished migrating from `from` to `to` (called at the
+  /// quiesced transfer point, after ownership switched). Engines with
+  /// per-node version state use this to reconcile the partition's store
+  /// with the destination's GC horizon (AVA3: nodes may be one GC round
+  /// apart, §6.2).
+  virtual void OnPartitionMoved(PartitionId p, NodeId from, NodeId to) {
+    (void)p;
+    (void)from;
+    (void)to;
+  }
+
   /// Swaps in a replayed store (recovery). The observed version-count
   /// high-water mark is carried over.
-  void ReplaceStore(NodeId node,
+  void ReplaceStore(PartitionId p,
                     std::unique_ptr<store::VersionedStore> fresh) {
-    fresh->InheritMaxLiveObserved(
-        nodes_[node].store->MaxLiveVersionsObserved());
-    nodes_[node].store = std::move(fresh);
+    auto& slot = parts_[static_cast<size_t>(p)].store;
+    fresh->InheritMaxLiveObserved(slot->MaxLiveVersionsObserved());
+    slot = std::move(fresh);
   }
 
   // ---------------------------------------------------------------------
@@ -342,6 +428,26 @@ class EngineBase : public Engine {
 
   rt::Runtime& runtime() { return *env_.runtime; }
   const rt::Runtime& runtime() const { return *env_.runtime; }
+
+  /// Partition hosting `item` at `node`. Single-partition nodes (the
+  /// identity layout, and any node the catalog maps one partition to)
+  /// resolve without touching the catalog — the historical behaviour,
+  /// where a node's store held whatever was loaded at it. Multi-partition
+  /// nodes route by the catalog's range arithmetic; admission checks
+  /// guarantee the item is homed here.
+  PartitionId partition_of(NodeId node, ItemId item) const {
+    const auto& owned = nodes_[node].owned;
+    if (owned.size() == 1) return owned.front();
+    return catalog_->PartitionOf(item);
+  }
+  /// Store / lock table serving `item` at `node` (see partition_of).
+  store::VersionedStore& store_for(NodeId node, ItemId item) {
+    return *parts_[static_cast<size_t>(partition_of(node, item))].store;
+  }
+  lock::LockManager& locks_for(NodeId node, ItemId item) {
+    return *parts_[static_cast<size_t>(partition_of(node, item))].locks;
+  }
+
   Metrics& metrics() { return *env_.metrics; }
   /// The write shard for `node`'s execution context; Record* through this
   /// from node-confined closures (or inside RunExclusive) so the hot path
@@ -472,6 +578,30 @@ class EngineBase : public Engine {
   void ScheduleStepUpdate(NodeId node, TxnId txn, SimDuration delay);
   void ScheduleStepQuery(NodeId node, TxnId txn, SimDuration delay);
 
+  // Partition routing & migration.
+  /// Fast-path admission: the script was routed under the current catalog
+  /// epoch and nothing is draining, so per-op ownership holds by
+  /// construction. Two relaxed atomic loads; no events, no RNG — inert for
+  /// determinism.
+  bool RouteIsCurrent(const txn::TxnScript& s) const {
+    return catalog_->epoch() == s.route_epoch && !catalog_->AnyDraining();
+  }
+  /// Slow-path admission for a stale-epoch script: every item op of
+  /// subtxn `spec` must be homed on its node and not draining. Returns a
+  /// retryable kUnavailable otherwise (the submitter reroutes).
+  Status CheckSubtxnRoute(const txn::TxnScript& s, int spec) const;
+  /// True when nothing at `src` still touches partition `p`: no held or
+  /// queued lock, no pending grant delivery, and no in-flight
+  /// subtransaction whose script references an item of `p`.
+  bool PartitionQuiesced(NodeId src, PartitionId p) const;
+  /// Drain poll loop for MovePartition: re-checks quiescence at a quiesced
+  /// point until the partition is idle, then transfers it.
+  void PollMoveDrain(PartitionId p, NodeId dest,
+                     std::function<void(Status)> done);
+  /// The quiesced transfer: re-homes the partition, swaps the lock table's
+  /// timer context, updates the catalog and notifies the engine hook.
+  void TransferPartition(PartitionId p, NodeId src, NodeId dest);
+
   /// Oracle bookkeeping: a commit decision opens a pending history entry;
   /// every subtransaction's CommitLocal deposits its reads/writes; the last
   /// one closes and records it.
@@ -483,6 +613,11 @@ class EngineBase : public Engine {
 
   EngineEnv env_;
   BaseOptions options_;
+  /// Identity catalog built when the caller supplied none (keeps direct
+  /// engine construction — tests, benches — on the historical layout).
+  std::unique_ptr<cluster::Catalog> owned_catalog_;
+  cluster::Catalog* catalog_ = nullptr;
+  std::vector<PartitionState> parts_;  // indexed by PartitionId
   std::vector<NodeState> nodes_;
   std::unique_ptr<lock::DeadlockDetector> deadlock_detector_;
   /// Guards pending_history_ and commit_outcomes_: the only EngineBase

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "cluster/catalog.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "common/types.h"
@@ -39,6 +40,11 @@ struct EngineEnv {
   Metrics* metrics = nullptr;
   verify::HistoryRecorder* recorder = nullptr;
   TraceSink* trace = nullptr;
+  /// Placement catalog (ItemId -> PartitionId -> NodeId). May be null:
+  /// the engine then builds its own single-partition-per-node identity
+  /// catalog, which reproduces the pre-partitioning layout exactly.
+  /// Non-const because partition moves advance the epoch and ownership.
+  cluster::Catalog* catalog = nullptr;
 };
 
 /// Abstract concurrency-control engine over the simulated cluster. One

@@ -46,6 +46,7 @@ MetricsSnapshot Metrics::Snapshot() const {
     s.lock_wait.Merge(sh->lock_wait_);
     s.twopc_round.Merge(sh->twopc_round_);
     s.commit_apply.Merge(sh->commit_apply_);
+    s.partition_ops.push_back(sh->partition_ops_);
   }
   {
     rt::LatchGuard guard(latch_);

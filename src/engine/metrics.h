@@ -41,6 +41,12 @@ struct MetricsSnapshot {
   Histogram lock_wait;
   Histogram twopc_round;
   Histogram commit_apply;
+  /// Ops served per [shard][PartitionId]. Shard s is node s's execution
+  /// context under ThreadRuntime (one row under the DES), so a cell answers
+  /// "how many accesses did node s serve from partition p" — the routing
+  /// evidence the partition-move tests and the OpenMetrics labels use.
+  /// Deliberately absent from ToJson(): the JSON report is fingerprinted.
+  std::vector<std::vector<uint64_t>> partition_ops;
 
   /// Full machine-readable report (counters + histogram summaries); the
   /// bench harness writes this as BENCH_<name>.json.
@@ -134,6 +140,20 @@ class Metrics {
     void RecordCrash() { ++crashes_; }
     void RecordRecovery() { ++recoveries_; }
 
+    // --- Partition routing -----------------------------------------------
+    /// One data-plane access (update op applied / query item read) served
+    /// from partition `p` by this shard's node. Grown lazily so identity
+    /// layouts pay one bounds check per op. Per-partition counters feed the
+    /// OpenMetrics export only — never ToJson — keeping the fingerprinted
+    /// metrics report byte-identical.
+    void RecordPartitionOp(PartitionId p) {
+      if (p < 0) return;
+      if (static_cast<size_t>(p) >= partition_ops_.size()) {
+        partition_ops_.resize(static_cast<size_t>(p) + 1, 0);
+      }
+      ++partition_ops_[static_cast<size_t>(p)];
+    }
+
    private:
     friend class Metrics;
     Metrics* parent_;
@@ -149,6 +169,8 @@ class Metrics {
     uint64_t latch_ops_ = 0;
     uint64_t crashes_ = 0;
     uint64_t recoveries_ = 0;
+    /// Ops served per PartitionId by this shard (see RecordPartitionOp).
+    std::vector<uint64_t> partition_ops_;
     Histogram update_latency_;
     Histogram query_latency_;
     Histogram staleness_;

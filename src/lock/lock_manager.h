@@ -129,6 +129,19 @@ class LockManager {
   /// Brute-force queue-depth scan — the test oracle for WaitingCount().
   int WaitingCountSlow() const;
 
+  /// True when the table holds no locks, no queued requests and no grant or
+  /// cancellation delivery is still in flight — the partition-move drain
+  /// condition (empty entries are erased eagerly, so table emptiness is
+  /// exact).
+  bool Idle() const {
+    return table_.empty() && waiting_ == 0 && pending_deliveries_.empty();
+  }
+
+  /// Re-homes the table onto another node's execution context: future grant
+  /// deliveries are scheduled there. Partition migration only — call at a
+  /// quiesced point with the table Idle().
+  void SetNode(NodeId node) { node_ = node; }
+
   const LockStats& stats() const { return stats_; }
   NodeId node() const { return node_; }
 

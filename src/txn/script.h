@@ -60,6 +60,14 @@ struct SubtxnSpec {
 struct TxnScript {
   TxnKind kind = TxnKind::kUpdate;
   std::vector<SubtxnSpec> subtxns;  // subtxns[0] is the root
+  /// Placement-catalog epoch this script was routed under
+  /// (cluster::Catalog::epoch()). The engine admits the script without
+  /// per-op ownership checks while the epoch still matches and no partition
+  /// is draining; otherwise every item op is re-validated against the
+  /// catalog and mismatches abort with a retryable kUnavailable so the
+  /// submitter can reroute. 0 matches the catalog's initial epoch, so
+  /// hand-built scripts stay on the fast path until the first move.
+  uint64_t route_epoch = 0;
 
   /// Validates the tree shape: non-empty, subtxns[0] is the root, parents
   /// precede children, at most one subtransaction per node (the paper's

@@ -1,22 +1,28 @@
 #include "workload/runner.h"
 
+#include <unordered_set>
 #include <utility>
 
 namespace ava3::wl {
 
 WorkloadRunner::WorkloadRunner(sim::Simulator* simulator, db::Engine* engine,
-                               WorkloadSpec spec, uint64_t seed)
+                               WorkloadSpec spec, uint64_t seed,
+                               const cluster::Catalog* catalog)
     : simulator_(simulator),
       engine_(engine),
       spec_(spec),
-      gen_(spec, Rng(seed)),
+      catalog_(catalog),
+      gen_(spec, Rng(seed), catalog),
       arrivals_(Rng(seed ^ 0x9E3779B97F4A7C15ULL)) {}
 
 const std::map<ItemId, int64_t>& WorkloadRunner::SeedData() {
   for (NodeId n = 0; n < spec_.num_nodes; ++n) {
     for (int64_t i = 0; i < spec_.items_per_node; ++i) {
       const ItemId item = spec_.FirstItemOf(n) + i;
-      engine_->LoadInitial(n, item, spec_.initial_value);
+      // Each item loads at its catalog home; the identity placement maps
+      // this back to exactly the seed's per-node loop.
+      const NodeId home = catalog_ != nullptr ? catalog_->HomeOf(item) : n;
+      engine_->LoadInitial(home, item, spec_.initial_value);
       initial_values_[item] = spec_.initial_value;
     }
   }
@@ -68,7 +74,31 @@ void WorkloadRunner::ScheduleAdvancement(SimTime end) {
   });
 }
 
+bool WorkloadRunner::Reroute(txn::TxnScript* script) {
+  std::unordered_set<NodeId> seen;
+  for (txn::SubtxnSpec& s : script->subtxns) {
+    for (const txn::Op& op : s.ops) {
+      if (op.item == kInvalidItem) continue;  // spawn / think
+      s.node = catalog_->HomeOf(op.item);
+      break;
+    }
+    if (!seen.insert(s.node).second) return false;
+  }
+  script->route_epoch = catalog_->epoch();
+  ++stats_.reroutes;
+  return true;
+}
+
 void WorkloadRunner::SubmitWithRetry(txn::TxnScript script, int attempt) {
+  if (catalog_ != nullptr && script.route_epoch != catalog_->epoch()) {
+    // A partition moved since this script was routed; re-home it rather
+    // than burn a retry on the engine's stale-route rejection.
+    if (!Reroute(&script)) {
+      ++stats_.reroute_collisions;
+      ++stats_.gave_up;
+      return;
+    }
+  }
   const TxnId id = NextTxnId();
   engine_->Submit(id, script, [this, script, attempt](
                                   const db::TxnResult& res) {

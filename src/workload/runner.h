@@ -18,16 +18,27 @@ struct RunnerStats {
   uint64_t committed_queries = 0;
   uint64_t retries = 0;
   uint64_t gave_up = 0;  // exceeded max_retries
+  /// Scripts re-homed after the placement catalog's epoch moved (partition
+  /// migration landed between routing and submission/retry).
+  uint64_t reroutes = 0;
+  /// Rerouted scripts abandoned because two subtransactions' partitions
+  /// collocated onto one node (the one-subtxn-per-node tree shape cannot
+  /// express that without regenerating the script).
+  uint64_t reroute_collisions = 0;
 };
 
 /// Submits a Poisson-arrival stream of generated transactions to an engine,
 /// retrying aborted attempts (fresh TxnId per attempt, so deadlock victim
 /// selection sees real ages), and periodically triggering version
-/// advancement.
+/// advancement. With a placement catalog the runner is move-aware: scripts
+/// are stamped with the routing epoch, and any script whose epoch went
+/// stale (a MovePartition landed) is re-homed against the current catalog
+/// before submission or retry.
 class WorkloadRunner {
  public:
   WorkloadRunner(sim::Simulator* simulator, db::Engine* engine,
-                 WorkloadSpec spec, uint64_t seed);
+                 WorkloadSpec spec, uint64_t seed,
+                 const cluster::Catalog* catalog = nullptr);
 
   /// Installs initial data (every item at `spec.initial_value`). Returns
   /// the initial-state map for the serializability checker.
@@ -47,10 +58,15 @@ class WorkloadRunner {
   void ScheduleNextUpdate(SimTime end);
   void ScheduleNextQuery(SimTime end);
   void ScheduleAdvancement(SimTime end);
+  /// Re-homes every subtransaction by its first item op's current catalog
+  /// home and re-stamps the routing epoch. Returns false when two
+  /// subtransactions land on the same node (caller abandons the script).
+  bool Reroute(txn::TxnScript* script);
 
   sim::Simulator* simulator_;
   db::Engine* engine_;
   WorkloadSpec spec_;
+  const cluster::Catalog* catalog_;
   ScriptGenerator gen_;
   Rng arrivals_;
   TxnId next_txn_id_ = 1;

@@ -1,35 +1,45 @@
 #include "workload/workload.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_set>
 #include <utility>
 
 namespace ava3::wl {
 
-ScriptGenerator::ScriptGenerator(WorkloadSpec spec, Rng rng)
-    : spec_(spec), rng_(rng) {
+ScriptGenerator::ScriptGenerator(WorkloadSpec spec, Rng rng,
+                                 const cluster::Catalog* catalog)
+    : spec_(spec), rng_(rng), catalog_(catalog) {
+  assert(spec_.partitions_per_node >= 1);
+  assert(spec_.items_per_node % spec_.partitions_per_node == 0);
+  if (catalog_ != nullptr) {
+    // The catalog must describe the same keyspace slicing, or routed
+    // subtransaction homes would not match the loaded data.
+    assert(catalog_->num_partitions() == spec_.TotalPartitions());
+    assert(catalog_->items_per_partition() == spec_.ItemsPerPartition());
+  }
   zipf_ = std::make_unique<ZipfGenerator>(
-      static_cast<uint64_t>(spec_.items_per_node), spec_.zipf_theta);
+      static_cast<uint64_t>(spec_.ItemsPerPartition()), spec_.zipf_theta);
 }
 
-ItemId ScriptGenerator::PickItem(NodeId node) {
+ItemId ScriptGenerator::PickItem(PartitionId p) {
   const uint64_t rank = zipf_->Next(rng_);
-  // Scramble the rank across the node's range with a fixed multiplicative
-  // permutation so that popular items are not adjacent ids.
-  const uint64_t n = static_cast<uint64_t>(spec_.items_per_node);
+  // Scramble the rank across the partition's range with a fixed
+  // multiplicative permutation so that popular items are not adjacent ids.
+  const uint64_t n = static_cast<uint64_t>(spec_.ItemsPerPartition());
   const uint64_t scrambled = (rank * 2654435761ULL + 12345) % n;
-  return spec_.FirstItemOf(node) + static_cast<ItemId>(scrambled);
+  return p * spec_.ItemsPerPartition() + static_cast<ItemId>(scrambled);
 }
 
-std::vector<txn::Op> ScriptGenerator::MakeOps(NodeId node, int count,
+std::vector<txn::Op> ScriptGenerator::MakeOps(PartitionId p, int count,
                                               bool update) {
   std::vector<txn::Op> ops;
   ops.reserve(static_cast<size_t>(count) + 1);
   std::unordered_set<ItemId> used;  // distinct items within a subtxn
   for (int i = 0; i < count; ++i) {
-    ItemId item = PickItem(node);
+    ItemId item = PickItem(p);
     for (int tries = 0; tries < 8 && used.count(item) > 0; ++tries) {
-      item = PickItem(node);
+      item = PickItem(p);
     }
     used.insert(item);
     if (update && rng_.NextDouble() < spec_.update_write_fraction) {
@@ -46,8 +56,8 @@ std::vector<txn::Op> ScriptGenerator::MakeOps(NodeId node, int count,
       }
     } else if (!update && spec_.query_scan_fraction > 0 &&
                rng_.NextDouble() < spec_.query_scan_fraction) {
-      // A short range scan clamped to the node's item range.
-      const ItemId end = spec_.FirstItemOf(node) + spec_.items_per_node;
+      // A short range scan clamped to the partition's item range.
+      const ItemId end = (p + 1) * spec_.ItemsPerPartition();
       const int64_t want = rng_.UniformRange(4, 16);
       ops.push_back(txn::Op::Scan(item, std::min<int64_t>(want, end - item)));
       if (spec_.query_per_op_think > 0) {
@@ -63,43 +73,66 @@ std::vector<txn::Op> ScriptGenerator::MakeOps(NodeId node, int count,
   return ops;
 }
 
+std::vector<PartitionId> ScriptGenerator::PickTreeParts(PartitionId root,
+                                                        int fanout) {
+  // Root partition plus `fanout` partitions with pairwise-distinct home
+  // nodes. With the identity placement this probes node ids exactly like
+  // the seed generator probed nodes (partition == node), so RNG draws and
+  // scripts are unchanged. Placements with fewer distinct owners than
+  // requested (e.g. skewed) bound the probe at one full cycle and settle
+  // for fewer children.
+  std::vector<PartitionId> parts{root};
+  std::vector<NodeId> homes{HomeOf(root)};
+  const int total = spec_.TotalPartitions();
+  for (int i = 0;
+       i < fanout && static_cast<int>(parts.size()) < spec_.num_nodes; ++i) {
+    PartitionId child = PickPartition();
+    int probes = 0;
+    while (std::find(homes.begin(), homes.end(), HomeOf(child)) !=
+           homes.end()) {
+      child = static_cast<PartitionId>((child + 1) % total);
+      if (++probes > total) break;  // no further distinct owner exists
+    }
+    if (probes > total) break;
+    parts.push_back(child);
+    homes.push_back(HomeOf(child));
+  }
+  return parts;
+}
+
 txn::TxnScript ScriptGenerator::NextUpdate() {
-  const NodeId root = PickNode();
+  const PartitionId root = PickPartition();
   const int total_ops = static_cast<int>(
       rng_.UniformRange(spec_.update_ops_min, spec_.update_ops_max));
   const bool multi = spec_.num_nodes > 1 &&
                      rng_.NextDouble() < spec_.update_multinode_prob;
   txn::TxnScript script;
   script.kind = TxnKind::kUpdate;
+  script.route_epoch = RouteEpoch();
   if (!multi) {
     auto ops = MakeOps(root, total_ops, /*update=*/true);
     if (spec_.update_think > 0) {
       ops.insert(ops.begin(), txn::Op::Think(spec_.update_think));
     }
-    script.subtxns.push_back(txn::SubtxnSpec{root, -1, std::move(ops)});
+    script.subtxns.push_back(
+        txn::SubtxnSpec{HomeOf(root), -1, std::move(ops)});
     return script;
   }
-  // Distribute ops over the root plus `fanout` distinct child nodes.
-  std::vector<NodeId> nodes{root};
-  for (int i = 0; i < spec_.update_fanout &&
-                  static_cast<int>(nodes.size()) < spec_.num_nodes;
-       ++i) {
-    NodeId child = PickNode();
-    while (std::find(nodes.begin(), nodes.end(), child) != nodes.end()) {
-      child = static_cast<NodeId>((child + 1) % spec_.num_nodes);
-    }
-    nodes.push_back(child);
-  }
-  const int per = std::max(1, total_ops / static_cast<int>(nodes.size()));
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    auto ops = MakeOps(nodes[i], per, /*update=*/true);
+  // Distribute ops over the root plus `fanout` partitions on distinct
+  // child nodes.
+  const std::vector<PartitionId> parts =
+      PickTreeParts(root, spec_.update_fanout);
+  const int per = std::max(1, total_ops / static_cast<int>(parts.size()));
+  for (size_t i = 0; i < parts.size(); ++i) {
+    auto ops = MakeOps(parts[i], per, /*update=*/true);
     if (i == 0) {
       // Root spawns children before its local work so they run in parallel.
       ops.insert(ops.begin(), txn::Op::Spawn());
       if (spec_.update_think > 0) {
         ops.insert(ops.begin() + 1, txn::Op::Think(spec_.update_think));
       }
-      script.subtxns.push_back(txn::SubtxnSpec{nodes[i], -1, std::move(ops)});
+      script.subtxns.push_back(
+          txn::SubtxnSpec{HomeOf(parts[i]), -1, std::move(ops)});
     } else {
       // Star by default; with deep_trees, hang off any earlier subtxn
       // (multi-level prepared/commit propagation).
@@ -108,49 +141,45 @@ txn::TxnScript ScriptGenerator::NextUpdate() {
         parent = static_cast<int>(rng_.Uniform(static_cast<uint64_t>(i)));
       }
       script.subtxns.push_back(
-          txn::SubtxnSpec{nodes[i], parent, std::move(ops)});
+          txn::SubtxnSpec{HomeOf(parts[i]), parent, std::move(ops)});
     }
   }
   return script;
 }
 
 txn::TxnScript ScriptGenerator::NextQuery() {
-  const NodeId root = PickNode();
+  const PartitionId root = PickPartition();
   const int total_ops = static_cast<int>(
       rng_.UniformRange(spec_.query_ops_min, spec_.query_ops_max));
   const bool multi = spec_.num_nodes > 1 &&
                      rng_.NextDouble() < spec_.query_multinode_prob;
   txn::TxnScript script;
   script.kind = TxnKind::kQuery;
+  script.route_epoch = RouteEpoch();
   if (!multi) {
     auto ops = MakeOps(root, total_ops, /*update=*/false);
     if (spec_.query_think > 0) {
       ops.insert(ops.begin(), txn::Op::Think(spec_.query_think));
     }
-    script.subtxns.push_back(txn::SubtxnSpec{root, -1, std::move(ops)});
+    script.subtxns.push_back(
+        txn::SubtxnSpec{HomeOf(root), -1, std::move(ops)});
     return script;
   }
-  std::vector<NodeId> nodes{root};
-  for (int i = 0; i < spec_.query_fanout &&
-                  static_cast<int>(nodes.size()) < spec_.num_nodes;
-       ++i) {
-    NodeId child = PickNode();
-    while (std::find(nodes.begin(), nodes.end(), child) != nodes.end()) {
-      child = static_cast<NodeId>((child + 1) % spec_.num_nodes);
-    }
-    nodes.push_back(child);
-  }
-  const int per = std::max(1, total_ops / static_cast<int>(nodes.size()));
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    auto ops = MakeOps(nodes[i], per, /*update=*/false);
+  const std::vector<PartitionId> parts =
+      PickTreeParts(root, spec_.query_fanout);
+  const int per = std::max(1, total_ops / static_cast<int>(parts.size()));
+  for (size_t i = 0; i < parts.size(); ++i) {
+    auto ops = MakeOps(parts[i], per, /*update=*/false);
     if (i == 0) {
       ops.insert(ops.begin(), txn::Op::Spawn());
       if (spec_.query_think > 0) {
         ops.insert(ops.begin() + 1, txn::Op::Think(spec_.query_think));
       }
-      script.subtxns.push_back(txn::SubtxnSpec{nodes[i], -1, std::move(ops)});
+      script.subtxns.push_back(
+          txn::SubtxnSpec{HomeOf(parts[i]), -1, std::move(ops)});
     } else {
-      script.subtxns.push_back(txn::SubtxnSpec{nodes[i], 0, std::move(ops)});
+      script.subtxns.push_back(
+          txn::SubtxnSpec{HomeOf(parts[i]), 0, std::move(ops)});
     }
   }
   return script;

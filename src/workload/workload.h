@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/catalog.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "common/zipf.h"
@@ -20,6 +21,9 @@ namespace ava3::wl {
 struct WorkloadSpec {
   int num_nodes = 3;
   int64_t items_per_node = 1000;
+  /// Keyspace partitions collocated per node (must divide items_per_node).
+  /// 1 = the seed layout: one partition per node, partition i on node i.
+  int partitions_per_node = 1;
   /// Zipfian skew of item popularity within a node (0 = uniform).
   double zipf_theta = 0.0;
   int64_t initial_value = 1000;
@@ -63,20 +67,38 @@ struct WorkloadSpec {
   int max_retries = 25;
   SimDuration retry_backoff = 5 * kMillisecond;
 
-  /// First item id owned by `node`.
+  /// First item id owned by `node` under the *identity* placement
+  /// (partitions_per_node == 1, modulo policy). Legacy loaders and tests
+  /// use this; catalog-routed layouts should place via cluster::Catalog.
   ItemId FirstItemOf(NodeId node) const { return node * items_per_node; }
-  /// Owner node of `item`.
+  /// Owner node of `item` under the identity placement (see FirstItemOf).
   NodeId NodeOf(ItemId item) const {
     return static_cast<NodeId>(item / items_per_node);
   }
   int64_t TotalItems() const { return num_nodes * items_per_node; }
+  int64_t ItemsPerPartition() const {
+    return items_per_node / partitions_per_node;
+  }
+  int TotalPartitions() const { return num_nodes * partitions_per_node; }
+  /// Partition of `item` (range-sliced, matching cluster::Catalog).
+  PartitionId PartitionOf(ItemId item) const {
+    return static_cast<PartitionId>(item / ItemsPerPartition());
+  }
 };
 
 /// Generates transaction scripts according to a WorkloadSpec. Determinism:
 /// a generator seeded identically produces the same stream.
+///
+/// Scripts address operations by *item*: the generator picks partitions of
+/// the keyspace and the placement catalog assigns each subtransaction its
+/// home node. Without a catalog the identity/modulo placement is assumed
+/// (partition p on node p % num_nodes), which for partitions_per_node == 1
+/// reproduces the seed's per-node generator draw-for-draw — every RNG
+/// consumption is byte-identical, pinned by the golden fingerprints.
 class ScriptGenerator {
  public:
-  ScriptGenerator(WorkloadSpec spec, Rng rng);
+  ScriptGenerator(WorkloadSpec spec, Rng rng,
+                  const cluster::Catalog* catalog = nullptr);
 
   txn::TxnScript NextUpdate();
   txn::TxnScript NextQuery();
@@ -84,17 +106,27 @@ class ScriptGenerator {
   const WorkloadSpec& spec() const { return spec_; }
 
  private:
-  /// Picks an item on `node` (Zipf-ranked, rank scrambled across the node's
-  /// id range so hot items are spread out).
-  ItemId PickItem(NodeId node);
-  NodeId PickNode() {
-    return static_cast<NodeId>(rng_.Uniform(
-        static_cast<uint64_t>(spec_.num_nodes)));
+  /// Picks an item in partition `p` (Zipf-ranked, rank scrambled across the
+  /// partition's id range so hot items are spread out).
+  ItemId PickItem(PartitionId p);
+  PartitionId PickPartition() {
+    return static_cast<PartitionId>(rng_.Uniform(
+        static_cast<uint64_t>(spec_.TotalPartitions())));
   }
-  std::vector<txn::Op> MakeOps(NodeId node, int count, bool update);
+  /// Home node of partition `p`: catalog placement, or modulo identity.
+  NodeId HomeOf(PartitionId p) const {
+    return catalog_ ? catalog_->NodeOf(p)
+                    : static_cast<NodeId>(p % spec_.num_nodes);
+  }
+  uint64_t RouteEpoch() const { return catalog_ ? catalog_->epoch() : 0; }
+  std::vector<txn::Op> MakeOps(PartitionId p, int count, bool update);
+  /// Root partition plus up to `fanout` extra partitions with pairwise
+  /// distinct home nodes (probed deterministically).
+  std::vector<PartitionId> PickTreeParts(PartitionId root, int fanout);
 
   WorkloadSpec spec_;
   Rng rng_;
+  const cluster::Catalog* catalog_;
   std::unique_ptr<ZipfGenerator> zipf_;
 };
 

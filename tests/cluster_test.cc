@@ -1,0 +1,515 @@
+// Partition catalog & routing layer: placement policies, the epoch/drain
+// lifecycle, and the MovePartition seam on both runtimes.
+//
+// Three layers:
+//  - Catalog unit tests: every placement policy, the drain/commit/abort
+//    epoch protocol, and the ownership queries MovePartition relies on.
+//  - Differential identity-placement sweep: a WorkloadRunner routing
+//    through an identity catalog must be bit-identical (events, metrics
+//    JSON, trace byte stream) to the seed's arithmetic node mapping, for
+//    8 seeds x 4 engines. The 16 golden fingerprints in
+//    determinism_test.cc pin the same property against the pre-refactor
+//    build; this sweep pins catalog-routed vs catalog-less generation.
+//  - MovePartition: a DES run migrating partitions mid-load (with stale
+//    routes rerouted by the runner) and a thread-runtime run migrating
+//    under concurrent chaos load (run under TSan in the chaos-tsan lane),
+//    both verified with the full serializability / version-bound /
+//    Section 6.2 oracles. Post-move service by the destination node is
+//    asserted via the per-partition metrics labels (per-node shards).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "engine/database.h"
+#include "verify/mvsg.h"
+#include "verify/serializability.h"
+#include "workload/runner.h"
+#include "workload/workload.h"
+
+namespace ava3 {
+namespace {
+
+using cluster::Catalog;
+using cluster::CatalogOptions;
+using cluster::Placement;
+using db::Database;
+using db::DatabaseOptions;
+using db::RuntimeKind;
+using db::Scheme;
+
+// ---------------------------------------------------------------------------
+// Catalog unit tests
+// ---------------------------------------------------------------------------
+
+TEST(CatalogTest, ModuloIdentityMatchesSeedArithmetic) {
+  // partitions_per_node == 1 + modulo is the identity map: the catalog
+  // route must equal the seed's `item / items_per_node` arithmetic.
+  std::unique_ptr<Catalog> cat = Catalog::Identity(3, 1000);
+  EXPECT_EQ(cat->num_partitions(), 3);
+  EXPECT_EQ(cat->TotalItems(), 3000);
+  for (ItemId item = 0; item < 3000; item += 37) {
+    EXPECT_EQ(cat->HomeOf(item), static_cast<NodeId>(item / 1000)) << item;
+    EXPECT_EQ(cat->PartitionOf(item), static_cast<PartitionId>(item / 1000));
+  }
+  EXPECT_EQ(cat->epoch(), 0u);
+  EXPECT_FALSE(cat->AnyDraining());
+}
+
+TEST(CatalogTest, ModuloStripesPartitionsRoundTheNodes) {
+  CatalogOptions o;
+  o.num_nodes = 3;
+  o.partitions_per_node = 2;
+  o.items_per_partition = 10;
+  Catalog cat(o);
+  EXPECT_EQ(cat.num_partitions(), 6);
+  for (PartitionId p = 0; p < 6; ++p) {
+    EXPECT_EQ(cat.NodeOf(p), static_cast<NodeId>(p % 3)) << p;
+  }
+  // Range slicing is placement-independent.
+  EXPECT_EQ(cat.PartitionOf(35), 3);
+  EXPECT_EQ(cat.HomeOf(35), 0);  // partition 3 -> node 3 % 3
+  EXPECT_EQ(cat.FirstItemOf(4), 40);
+}
+
+TEST(CatalogTest, RoundRobinRotatesDealing) {
+  CatalogOptions o;
+  o.num_nodes = 3;
+  o.partitions_per_node = 3;
+  o.placement = Placement::kRoundRobin;
+  Catalog cat(o);
+  // Round r starts dealing at node r: 0 1 2 | 1 2 0 | 2 0 1.
+  const NodeId want[] = {0, 1, 2, 1, 2, 0, 2, 0, 1};
+  for (PartitionId p = 0; p < 9; ++p) EXPECT_EQ(cat.NodeOf(p), want[p]) << p;
+}
+
+TEST(CatalogTest, ExplicitOwnersUsedVerbatim) {
+  CatalogOptions o;
+  o.num_nodes = 3;
+  o.partitions_per_node = 2;
+  o.placement = Placement::kExplicit;
+  o.explicit_owners = {2, 2, 1, 0, 0, 1};
+  Catalog cat(o);
+  for (PartitionId p = 0; p < 6; ++p) {
+    EXPECT_EQ(cat.NodeOf(p), o.explicit_owners[static_cast<size_t>(p)]) << p;
+  }
+  EXPECT_EQ(cat.PartitionsOf(2), (std::vector<PartitionId>{0, 1}));
+  EXPECT_EQ(cat.PartitionsOf(0), (std::vector<PartitionId>{3, 4}));
+}
+
+TEST(CatalogTest, SkewedPlacementLoadsTheSkewNode) {
+  CatalogOptions o;
+  o.num_nodes = 4;
+  o.partitions_per_node = 2;
+  o.placement = Placement::kSkewed;
+  o.skew_node = 1;
+  o.skew_fraction = 0.5;
+  Catalog cat(o);
+  // ceil(0.5 * 8) = 4 partitions pinned to node 1; the rest dealt over
+  // the remaining nodes.
+  EXPECT_GE(cat.PartitionsOf(1).size(), 4u);
+  size_t total = 0;
+  for (NodeId n = 0; n < 4; ++n) total += cat.PartitionsOf(n).size();
+  EXPECT_EQ(total, 8u);
+}
+
+TEST(CatalogTest, DrainCommitEpochLifecycle) {
+  std::unique_ptr<Catalog> cat = Catalog::Identity(3, 100);
+  EXPECT_EQ(cat->epoch(), 0u);
+
+  // BeginDrain: epoch bump + draining flag; a second drain of the same
+  // partition reports the collision.
+  EXPECT_FALSE(cat->BeginDrain(0));
+  EXPECT_EQ(cat->epoch(), 1u);
+  EXPECT_TRUE(cat->AnyDraining());
+  EXPECT_TRUE(cat->IsDraining(0));
+  EXPECT_FALSE(cat->IsDraining(1));
+  EXPECT_TRUE(cat->BeginDrain(0));
+
+  // CommitMove publishes the new owner, clears draining, bumps again.
+  cat->CommitMove(0, 2);
+  EXPECT_EQ(cat->NodeOf(0), 2);
+  EXPECT_EQ(cat->HomeOf(50), 2);
+  EXPECT_FALSE(cat->AnyDraining());
+  EXPECT_GE(cat->epoch(), 2u);
+  EXPECT_EQ(cat->PartitionsOf(2), (std::vector<PartitionId>{0, 2}));
+  EXPECT_TRUE(cat->PartitionsOf(0).empty());
+
+  // AbortMove: owner unchanged, drain cleared, epoch bumped (stale stamps
+  // must re-validate even though nothing moved).
+  const uint64_t before = cat->epoch();
+  EXPECT_FALSE(cat->BeginDrain(1));
+  cat->AbortMove(1);
+  EXPECT_EQ(cat->NodeOf(1), 1);
+  EXPECT_FALSE(cat->AnyDraining());
+  EXPECT_GT(cat->epoch(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Differential identity-placement sweep: catalog routing vs seed arithmetic
+// ---------------------------------------------------------------------------
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct RunDigest {
+  uint64_t events = 0;
+  std::string metrics_json;
+  uint64_t trace_hash = 0;
+};
+
+/// One DES workload run, with the runner either routing through the
+/// database's identity catalog or using the legacy arithmetic mapping.
+RunDigest RunIdentity(Scheme scheme, uint64_t seed, bool use_catalog) {
+  DatabaseOptions opt;
+  opt.scheme = scheme;
+  opt.seed = seed;
+  opt.num_nodes = scheme == Scheme::kFourV ? 1 : 3;
+  opt.enable_trace = true;
+  wl::WorkloadSpec spec;
+  spec.num_nodes = opt.num_nodes;
+  spec.update_rate_per_sec = 120;
+  spec.query_rate_per_sec = 40;
+  if (scheme != Scheme::kFourV) {
+    spec.update_multinode_prob = 0.4;
+    spec.query_multinode_prob = 0.4;
+  }
+  Database database(opt);
+  wl::WorkloadRunner runner(&database.simulator(), &database.engine(), spec,
+                            seed,
+                            use_catalog ? &database.catalog() : nullptr);
+  runner.SeedData();
+  runner.Start(kSecond / 2);
+  database.RunFor(kSecond / 2);
+  database.RunFor(10 * kSecond);
+  RunDigest d;
+  d.events = database.simulator().events_executed();
+  d.metrics_json = database.metrics().ToJson();
+  std::string tr;
+  for (const TraceEvent& ev : database.trace().events()) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%lld|%d|%d|%llu|%lld|%lld|%lld|%s\n",
+                  static_cast<long long>(ev.time), static_cast<int>(ev.node),
+                  static_cast<int>(ev.kind),
+                  static_cast<unsigned long long>(ev.txn),
+                  static_cast<long long>(ev.version),
+                  static_cast<long long>(ev.a), static_cast<long long>(ev.b),
+                  ev.detail.c_str());
+    tr += buf;
+  }
+  d.trace_hash = Fnv1a(tr);
+  return d;
+}
+
+struct IdentityCase {
+  Scheme scheme;
+  uint64_t seed;
+};
+
+class IdentityPlacement : public testing::TestWithParam<IdentityCase> {};
+
+TEST_P(IdentityPlacement, CatalogRoutingIsBitIdenticalToSeedArithmetic) {
+  const IdentityCase& c = GetParam();
+  RunDigest arith = RunIdentity(c.scheme, c.seed, /*use_catalog=*/false);
+  RunDigest routed = RunIdentity(c.scheme, c.seed, /*use_catalog=*/true);
+  EXPECT_EQ(arith.events, routed.events);
+  EXPECT_EQ(arith.metrics_json, routed.metrics_json);
+  EXPECT_EQ(arith.trace_hash, routed.trace_hash);
+}
+
+std::vector<IdentityCase> IdentityCases() {
+  std::vector<IdentityCase> cases;
+  for (Scheme s : {Scheme::kAva3, Scheme::kS2pl, Scheme::kMvu,
+                   Scheme::kFourV}) {
+    for (uint64_t seed = 21; seed < 29; ++seed) cases.push_back({s, seed});
+  }
+  return cases;
+}
+
+std::string IdentityName(const testing::TestParamInfo<IdentityCase>& info) {
+  return std::string(db::SchemeName(info.param.scheme)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, IdentityPlacement,
+                         testing::ValuesIn(IdentityCases()), IdentityName);
+
+// ---------------------------------------------------------------------------
+// MovePartition on the DES: migrate mid-load, reroute stale scripts
+// ---------------------------------------------------------------------------
+
+TEST(PartitionMoveTest, DesMoveUnderLoadPreservesSerializability) {
+  DatabaseOptions opt;
+  opt.scheme = Scheme::kAva3;
+  opt.num_nodes = 3;
+  opt.seed = 5;
+  opt.cluster.partitions_per_node = 2;
+  opt.cluster.items_per_partition = 24;
+  Database dbase(opt);
+  ASSERT_EQ(dbase.catalog().num_partitions(), 6);
+
+  wl::WorkloadSpec spec;
+  spec.num_nodes = 3;
+  spec.items_per_node = 48;
+  spec.partitions_per_node = 2;
+  // High arrival rates so scripts routed before each move are still
+  // in flight (or in retry backoff) when the epoch bumps.
+  spec.update_rate_per_sec = 2000;
+  spec.query_rate_per_sec = 500;
+  spec.update_multinode_prob = 0.5;
+  spec.query_multinode_prob = 0.5;
+  spec.max_retries = 60;
+  wl::WorkloadRunner runner(&dbase.simulator(), &dbase.engine(), spec,
+                            opt.seed, &dbase.catalog());
+  const auto& initial = runner.SeedData();
+  runner.Start(2 * kSecond);
+  dbase.RunFor(400 * kMillisecond);
+
+  // Three migrations while the load runs, including moving a partition
+  // back — each drains in-flight work touching the partition, re-homes
+  // store + lock table + durable-log slice, and bumps the epoch twice.
+  ASSERT_TRUE(dbase.MovePartitionSync(0, 2).ok());
+  EXPECT_EQ(dbase.catalog().NodeOf(0), 2);
+  dbase.RunFor(400 * kMillisecond);
+  ASSERT_TRUE(dbase.MovePartitionSync(4, 0).ok());
+  dbase.RunFor(400 * kMillisecond);
+  ASSERT_TRUE(dbase.MovePartitionSync(0, 0).ok());
+  EXPECT_EQ(dbase.catalog().NodeOf(0), 0);
+  dbase.RunFor(800 * kMillisecond);
+  dbase.RunFor(30 * kSecond);  // drain
+
+  auto* base = dynamic_cast<db::EngineBase*>(&dbase.engine());
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->ActiveSubtxns(), 0);
+  // Ownership landed where the catalog says (node 0 hosts partitions
+  // 0, 3 and the migrated 4; node 1 lost nothing; node 2 lost 4).
+  EXPECT_EQ(base->owned_partitions(0),
+            (std::vector<PartitionId>{0, 3, 4}));
+  EXPECT_EQ(base->owned_partitions(1), (std::vector<PartitionId>{1}));
+  EXPECT_EQ(base->owned_partitions(2), (std::vector<PartitionId>{2, 5}));
+
+  // The load kept committing across all three epochs, and at least one
+  // script was re-homed after its routing epoch went stale.
+  const wl::RunnerStats& st = runner.stats();
+  EXPECT_GT(st.committed_updates, 100u);
+  EXPECT_GT(st.committed_queries, 20u);
+  EXPECT_GT(st.reroutes, 0u);
+
+  verify::SerializabilityChecker values(initial);
+  Status ok = values.Check(dbase.recorder().txns());
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+  verify::MvsgChecker mvsg(initial);
+  Status acyclic = mvsg.Check(dbase.recorder().txns());
+  EXPECT_TRUE(acyclic.ok()) << acyclic.ToString();
+
+  int max_live = 0;
+  for (PartitionId p = 0; p < base->num_partitions(); ++p) {
+    max_live =
+        std::max(max_live, base->partition_store(p).MaxLiveVersionsObserved());
+  }
+  EXPECT_LE(max_live, 3);
+  if (auto* eng = dbase.ava3_engine()) {
+    Status inv = eng->CheckInvariants();
+    EXPECT_TRUE(inv.ok()) << inv.ToString();
+    EXPECT_EQ(eng->recovery_mismatches(), 0u);
+  }
+}
+
+TEST(PartitionMoveTest, MoveValidatesArgumentsAndIdempotence) {
+  DatabaseOptions opt;
+  opt.cluster.partitions_per_node = 2;
+  opt.cluster.items_per_partition = 10;
+  Database dbase(opt);
+  // Out-of-range partition / destination.
+  EXPECT_EQ(dbase.MovePartitionSync(99, 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dbase.MovePartitionSync(0, 99).code(),
+            StatusCode::kInvalidArgument);
+  // Moving a partition to its current owner is a no-op success.
+  EXPECT_TRUE(dbase.MovePartitionSync(0, dbase.catalog().NodeOf(0)).ok());
+  EXPECT_EQ(dbase.catalog().epoch(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MovePartition on real threads, under chaos load (TSan in CI)
+// ---------------------------------------------------------------------------
+
+TEST(PartitionMoveTest, ThreadMoveUnderChaosLoadServesFromDestination) {
+  const int num_nodes = 3;
+  const SimDuration horizon = 1'200'000;  // 1.2 s wall clock
+
+  DatabaseOptions opt;
+  opt.num_nodes = num_nodes;
+  opt.scheme = Scheme::kAva3;
+  opt.runtime = RuntimeKind::kThread;
+  opt.seed = 11;
+  opt.base.txn_timeout = 300 * kMillisecond;
+  opt.base.prepared_timeout = 900 * kMillisecond;
+  opt.ava3.advancement_resend = 30 * kMillisecond;
+  opt.cluster.partitions_per_node = 2;
+  opt.cluster.items_per_partition = 24;
+  {
+    // Message-fault chaos (loss + duplication) concurrent with the moves.
+    rt::ChaosProfile profile;
+    profile.rates.loss = 0.03;
+    profile.rates.duplicate = 0.08;
+    opt.faults = rt::FaultPlan::Chaos(opt.seed, num_nodes, horizon, profile);
+  }
+
+  Database dbase(opt);
+  const Catalog& cat = dbase.catalog();
+  ASSERT_EQ(cat.num_partitions(), 6);
+
+  wl::WorkloadSpec spec;
+  spec.num_nodes = num_nodes;
+  spec.items_per_node = 48;
+  spec.partitions_per_node = 2;
+  spec.update_multinode_prob = 0.5;
+  spec.query_multinode_prob = 0.5;
+  std::map<ItemId, int64_t> initial;
+  for (ItemId item = 0; item < cat.TotalItems(); ++item) {
+    dbase.LoadInitial(cat.HomeOf(item), item, spec.initial_value);
+    initial[item] = spec.initial_value;
+  }
+
+  // Paced open-loop submission, catalog-routed: every script is stamped
+  // with the epoch it was generated under, so scripts in flight across a
+  // move get the retryable stale-route rejection.
+  std::atomic<int> committed{0};
+  std::atomic<int> aborted{0};
+  wl::ScriptGenerator gen(spec, Rng(opt.seed ^ 0x7EADC4A05ULL), &cat);
+  db::Engine& engine = dbase.engine();
+  using namespace std::chrono_literals;
+
+  // Mover thread: two migrations while the workload runs. Partition 0
+  // starts on node 0 and ends on node 2; partition 3 moves 0 -> 1.
+  std::atomic<int> committed_at_first_move{-1};
+  std::atomic<bool> moves_done{false};
+  Status move1, move2;
+  std::thread mover([&] {
+    std::this_thread::sleep_for(300ms);
+    move1 = dbase.MovePartitionSync(0, 2);
+    committed_at_first_move.store(committed.load());
+    std::this_thread::sleep_for(200ms);
+    move2 = dbase.MovePartitionSync(3, 1);
+    moves_done.store(true);
+  });
+
+  // Submit for the whole horizon, but never stop before both moves have
+  // landed plus a 300 ms tail — a lossy drain can stretch a move past the
+  // nominal window, and the destination-serves-reads assertion below
+  // needs real post-move traffic.
+  int submitted = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(horizon);
+  std::chrono::steady_clock::time_point tail_until{};
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (moves_done.load() &&
+        tail_until == std::chrono::steady_clock::time_point{}) {
+      tail_until = now + 300ms;
+    }
+    if (now >= deadline &&
+        tail_until != std::chrono::steady_clock::time_point{} &&
+        now >= tail_until) {
+      break;
+    }
+    for (int burst = 0; burst < 4; ++burst) {
+      txn::TxnScript script =
+          (submitted % 3 == 2) ? gen.NextQuery() : gen.NextUpdate();
+      engine.Submit(dbase.NextTxnId(), std::move(script),
+                    [&committed, &aborted](const db::TxnResult& r) {
+                      if (r.outcome == TxnOutcome::kCommitted) {
+                        committed.fetch_add(1, std::memory_order_relaxed);
+                      } else {
+                        aborted.fetch_add(1, std::memory_order_relaxed);
+                      }
+                    });
+      ++submitted;
+    }
+    if (submitted % 32 == 0) {
+      const NodeId k = static_cast<NodeId>((submitted / 32) % num_nodes);
+      dbase.runtime().ScheduleOn(k, 0,
+                                 [&engine, k] { engine.TriggerAdvancement(k); });
+    }
+    std::this_thread::sleep_for(3ms);
+  }
+  mover.join();
+  ASSERT_TRUE(move1.ok()) << move1.ToString();
+  ASSERT_TRUE(move2.ok()) << move2.ToString();
+  EXPECT_EQ(cat.NodeOf(0), 2);
+  EXPECT_EQ(cat.NodeOf(3), 1);
+
+  // Drain to quiescence (same protocol as the thread chaos soak).
+  auto* base = dynamic_cast<db::EngineBase*>(&dbase.engine());
+  ASSERT_NE(base, nullptr);
+  bool quiesced = false;
+  const auto drain_deadline = std::chrono::steady_clock::now() + 120s;
+  while (std::chrono::steady_clock::now() < drain_deadline) {
+    int active = -1;
+    dbase.runtime().RunExclusive([&] { active = base->ActiveSubtxns(); });
+    if (active == 0) {
+      quiesced = true;
+      break;
+    }
+    std::this_thread::sleep_for(30ms);
+  }
+  EXPECT_TRUE(quiesced);
+  dbase.Shutdown();
+
+  EXPECT_GT(committed.load(), 20);
+  // Work continued after the first move landed.
+  EXPECT_GT(committed.load(), committed_at_first_move.load());
+  EXPECT_EQ(base->ActiveSubtxns(), 0);
+  // Ownership followed the catalog.
+  EXPECT_EQ(base->owned_partitions(0), (std::vector<PartitionId>{}));
+  EXPECT_EQ(base->owned_partitions(1), (std::vector<PartitionId>{1, 3, 4}));
+  EXPECT_EQ(base->owned_partitions(2), (std::vector<PartitionId>{0, 2, 5}));
+
+  // Post-move reads are served by the destination: under the thread
+  // runtime metrics shards are per-node, and node 2 can only have touched
+  // partition 0 after the move (it was homed on node 0 until then).
+  const db::MetricsSnapshot snap = dbase.SnapshotMetrics();
+  ASSERT_EQ(snap.partition_ops.size(), static_cast<size_t>(num_nodes));
+  const auto& dest_shard = snap.partition_ops[2];
+  ASSERT_GT(dest_shard.size(), 0u);
+  EXPECT_GT(dest_shard[0], 0u) << "destination never served partition 0";
+  const auto& dest2_shard = snap.partition_ops[1];
+  ASSERT_GT(dest2_shard.size(), 3u);
+  EXPECT_GT(dest2_shard[3], 0u) << "destination never served partition 3";
+
+  // Serializability, version bound, Section 6.2 invariants.
+  verify::SerializabilityChecker values(initial);
+  Status ok = values.Check(dbase.recorder().txns());
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+  verify::MvsgChecker mvsg(initial);
+  Status acyclic = mvsg.Check(dbase.recorder().txns());
+  EXPECT_TRUE(acyclic.ok()) << acyclic.ToString();
+  int max_live = 0;
+  for (PartitionId p = 0; p < base->num_partitions(); ++p) {
+    max_live =
+        std::max(max_live, base->partition_store(p).MaxLiveVersionsObserved());
+  }
+  EXPECT_LE(max_live, 3);
+  if (auto* eng = dbase.ava3_engine()) {
+    Status inv = eng->CheckInvariants();
+    EXPECT_TRUE(inv.ok()) << inv.ToString();
+    EXPECT_EQ(eng->recovery_mismatches(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ava3

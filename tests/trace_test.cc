@@ -17,8 +17,8 @@
 #include "common/trace.h"
 #include "common/trace_export.h"
 #include "engine/database.h"
+#include "runtime/timeseries.h"
 #include "sim/fault_injector.h"
-#include "sim/timeseries.h"
 #include "workload/runner.h"
 
 namespace ava3 {
@@ -429,7 +429,7 @@ TEST(TimeSeriesTest, LiveVersionGaugeRespectsTheBound) {
 }
 
 TEST(TimeSeriesTest, RingBufferKeepsFreshestWindow) {
-  sim::TimeSeries ts(4);
+  rt::TimeSeries ts(4);
   for (int i = 0; i < 10; ++i) ts.Add(i, i * 1.0);
   ASSERT_EQ(ts.size(), 4u);
   EXPECT_EQ(ts.at(0).time, 6);
