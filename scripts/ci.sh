@@ -6,6 +6,8 @@
 #   scripts/ci.sh asan        # just the sanitizer build
 #   scripts/ci.sh tsan        # ThreadSanitizer build + real-threads tests
 #   scripts/ci.sh chaos-tsan  # ThreadSanitizer build + thread chaos soak
+#   scripts/ci.sh lint        # static analysis: seam lint + clang
+#                             # -Werror=thread-safety build + clang-tidy
 #
 # The tsan lanes run only the real-threads suites: the rest of the test
 # pyramid is single-threaded DES code, already covered by default/asan,
@@ -28,12 +30,49 @@ else
   echo "clang-format not found; skipping format check"
 fi
 
+run_lint() {
+  # 1. Determinism/runtime-seam lint: pure python3, runs everywhere. The
+  #    self-test gates the linter itself; the tree run gates the protocol
+  #    dirs. Both also run under ctest (tests/CMakeLists.txt).
+  echo "=== [lint] seam lint self-test ==="
+  python3 scripts/lint_seam.py --self-test
+  echo "=== [lint] seam lint (protocol tree) ==="
+  python3 scripts/lint_seam.py --root .
+
+  # 2. Thread-safety annotation check: clang-only (the annotations are
+  #    no-ops under GCC). Skipped with a note where clang is not installed,
+  #    mirroring the format-check policy above.
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "=== [lint] clang -Werror=thread-safety build ==="
+    CC=clang CXX=clang++ cmake --preset lint
+    cmake --build --preset lint -j "$(nproc)"
+  else
+    echo "clang++ not found; skipping thread-safety build"
+  fi
+
+  # 3. clang-tidy over the lint preset's compile_commands.json (curated
+  #    profile in .clang-tidy; every finding is an error).
+  if command -v clang-tidy >/dev/null 2>&1 \
+      && [[ -f build-lint/compile_commands.json ]]; then
+    echo "=== [lint] clang-tidy ==="
+    git ls-files 'src/*.cc' \
+      | xargs clang-tidy -p build-lint --quiet --warnings-as-errors='*'
+  else
+    echo "clang-tidy (or build-lint/compile_commands.json) not found;" \
+         "skipping clang-tidy"
+  fi
+}
+
 configs=("$@")
 if [[ ${#configs[@]} -eq 0 ]]; then
   configs=(default asan)
 fi
 
 for preset in "${configs[@]}"; do
+  if [[ "$preset" == "lint" ]]; then
+    run_lint
+    continue
+  fi
   # chaos-tsan shares the tsan build tree; it only changes which tests run.
   build_preset="$preset"
   if [[ "$preset" == "chaos-tsan" ]]; then

@@ -1,0 +1,381 @@
+#!/usr/bin/env python3
+"""Determinism / runtime-seam lint for the AVA3 protocol tree.
+
+The reproduction's determinism story rests on protocol code never touching
+wall-clock time, ambient randomness, OS blocking, or raw threading
+primitives directly -- all of that goes through the runtime seam
+(rt::Runtime, runtime/sync.h). This linter enforces the seam statically
+over the protocol directories (src/ava3, src/engine, src/lock, src/txn,
+src/baselines, src/cluster, src/workload).
+
+Rules (ids are what allow-comments name):
+
+  chrono          direct std::chrono / steady_clock / system_clock /
+                  high_resolution_clock use or <chrono> include
+  rand            std::rand / srand / random_device / mt19937 / ... or
+                  <random> include (runtime RNG streams only)
+  sleep           this_thread::sleep* / usleep / nanosleep
+  mutex           raw std::mutex / condition_variable / lock adapters or
+                  their includes (use rt::Latch / rt::Mutex / rt::CondVar /
+                  rt::Notification from runtime/sync.h)
+  thread          std::thread / std::jthread / std::async or their includes
+  unordered-iter  range-for over a std::unordered_{map,set} declared in the
+                  same file -- iteration order is unspecified, so any
+                  observable effect derived from it breaks replay
+  allow-reason    an allow-comment without a reason text
+  allow-unused    an allow-comment that suppresses nothing
+
+Suppression: a line (or the line directly above it) carrying
+`// ava3-lint: allow(<rule>) <reason>` suppresses exactly that rule on
+exactly that one line. The reason is mandatory.
+
+Exit status: 0 clean, 1 violations, 2 usage/self-test failure.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+PROTOCOL_DIRS = (
+    "src/ava3",
+    "src/engine",
+    "src/lock",
+    "src/txn",
+    "src/baselines",
+    "src/cluster",
+    "src/workload",
+)
+
+# rule id -> (regex, human message)
+LINE_RULES = {
+    "chrono": (
+        re.compile(
+            r"std::chrono|steady_clock|system_clock|high_resolution_clock"
+            r"|#\s*include\s*<chrono>"
+        ),
+        "wall-clock time: use rt::Runtime::Now() / runtime timers",
+    ),
+    "rand": (
+        re.compile(
+            r"std::rand\b|\bsrand\s*\(|random_device|mt19937|minstd_rand"
+            r"|default_random_engine|#\s*include\s*<random>"
+        ),
+        "ambient randomness: use the runtime's seeded Rng streams",
+    ),
+    "sleep": (
+        re.compile(r"this_thread::sleep|\busleep\s*\(|\bnanosleep\s*\("),
+        "OS sleep: use runtime timers or ThreadRuntime::SleepFor",
+    ),
+    "mutex": (
+        re.compile(
+            r"std::mutex|std::timed_mutex|std::recursive_mutex"
+            r"|std::shared_mutex|std::condition_variable|std::lock_guard"
+            r"|std::unique_lock|std::scoped_lock|std::shared_lock"
+            r"|#\s*include\s*<mutex>|#\s*include\s*<condition_variable>"
+            r"|#\s*include\s*<shared_mutex>"
+        ),
+        "raw mutex/cv: use rt::Latch / rt::Mutex / rt::Notification"
+        " (runtime/sync.h)",
+    ),
+    "thread": (
+        re.compile(
+            r"std::thread\b|std::jthread\b|std::async\b"
+            r"|#\s*include\s*<thread>|#\s*include\s*<future>"
+        ),
+        "raw threads: execution contexts belong to the runtime",
+    ),
+}
+
+UNORDERED_DECL = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s*[&*]?\s*"
+    r"(\w+)\s*(?:;|=|\{|\bAVA3_GUARDED_BY)"
+)
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*?:\s*\(?\s*(?:this->)?(\w+)\s*\)?\s*\)")
+
+ALLOW_RE = re.compile(r"//\s*ava3-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
+
+BLOCK_COMMENT_START = re.compile(r"/\*")
+
+
+def strip_comments_and_strings(lines):
+    """Returns lines with comments and string/char literals blanked out
+    (replaced by spaces), preserving line count and column positions.
+    State machine handles /* */ across lines; no attempt at raw strings
+    (the tree doesn't use them in protocol code)."""
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        n = len(line)
+        in_str = None  # quote char when inside a literal
+        while i < n:
+            c = line[i]
+            if in_block:
+                if c == "*" and i + 1 < n and line[i + 1] == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+                continue
+            if in_str:
+                if c == "\\" and i + 1 < n:
+                    buf.append("  ")
+                    i += 2
+                    continue
+                if c == in_str:
+                    in_str = None
+                buf.append(" ")
+                i += 1
+                continue
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                break  # rest of line is a comment
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                in_str = c
+                buf.append(" ")
+                i += 1
+                continue
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+class Allow:
+    __slots__ = ("rule", "reason", "line", "used")
+
+    def __init__(self, rule, reason, line):
+        self.rule = rule
+        self.reason = reason
+        self.line = line  # 1-based line the allow-comment sits on
+        self.used = False
+
+
+def collect_allows(raw_lines):
+    allows = []
+    for idx, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            allows.append(Allow(m.group(1), m.group(2).strip(), idx))
+    return allows
+
+
+def allow_for(allows, rule, lineno):
+    """An allow suppresses `rule` on its own line or the line below it
+    (comment-above style). First unused match wins; each allow suppresses
+    at most one violation."""
+    for a in allows:
+        if a.used or a.rule != rule:
+            continue
+        if a.line == lineno or a.line == lineno - 1:
+            a.used = True
+            return a
+    return None
+
+
+def lint_file(path, violations):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read().splitlines()
+    except OSError as e:
+        violations.append((path, 0, "io", str(e)))
+        return
+
+    allows = collect_allows(raw)
+    for a in allows:
+        if not a.reason:
+            violations.append(
+                (path, a.line, "allow-reason",
+                 "allow(%s) needs a reason after the closing paren" % a.rule)
+            )
+
+    code = strip_comments_and_strings(raw)
+
+    # Pass 1: per-line pattern rules.
+    for idx, line in enumerate(code, start=1):
+        for rule, (rx, msg) in LINE_RULES.items():
+            if rx.search(line) and not allow_for(allows, rule, idx):
+                violations.append((path, idx, rule, msg))
+
+    # Pass 2: unordered-container iteration. First collect names declared
+    # as unordered containers anywhere in the file, then flag range-fors
+    # over those names.
+    unordered_names = set()
+    for line in code:
+        for m in UNORDERED_DECL.finditer(line):
+            unordered_names.add(m.group(1))
+    if unordered_names:
+        for idx, line in enumerate(code, start=1):
+            m = RANGE_FOR.search(line)
+            if m and m.group(1) in unordered_names:
+                if not allow_for(allows, "unordered-iter", idx):
+                    violations.append(
+                        (path, idx, "unordered-iter",
+                         "iteration order over '%s' is unspecified; sort "
+                         "first or justify commutativity" % m.group(1))
+                    )
+
+    for a in allows:
+        if not a.used and a.reason:
+            violations.append(
+                (path, a.line, "allow-unused",
+                 "allow(%s) suppresses nothing on its line or the one below"
+                 % a.rule)
+            )
+
+
+def iter_sources(root):
+    for d in PROTOCOL_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith((".cc", ".h", ".hpp", ".cpp")):
+                    yield os.path.join(dirpath, name)
+
+
+def run_tree(root):
+    violations = []
+    count = 0
+    for path in sorted(iter_sources(root)):
+        count += 1
+        lint_file(path, violations)
+    rel = lambda p: os.path.relpath(p, root)  # noqa: E731
+    for path, line, rule, msg in violations:
+        print("%s:%d: [%s] %s" % (rel(path), line, rule, msg))
+    print(
+        "lint_seam: %d file(s), %d violation(s)" % (count, len(violations)),
+        file=sys.stderr,
+    )
+    return 1 if violations else 0
+
+
+def run_files(files):
+    violations = []
+    for path in files:
+        lint_file(path, violations)
+    for path, line, rule, msg in violations:
+        print("%s:%d: [%s] %s" % (path, line, rule, msg))
+    return 1 if violations else 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: lints the fixture corpus in tests/lint_fixtures and checks the
+# expectations embedded in each fixture's name and EXPECT comments.
+
+def self_test(fixtures_dir):
+    failures = []
+
+    def expect(cond, what):
+        if not cond:
+            failures.append(what)
+
+    def lint_one(name):
+        violations = []
+        lint_file(os.path.join(fixtures_dir, name), violations)
+        return [(line, rule) for (_p, line, rule, _m) in violations]
+
+    # clean.cc: zero violations.
+    expect(lint_one("clean.cc") == [], "clean.cc must produce no violations")
+
+    # bad_<rule>.cc: at least one violation of exactly that rule.
+    for rule in ("chrono", "rand", "sleep", "mutex", "thread"):
+        got = lint_one("bad_%s.cc" % rule)
+        expect(got, "bad_%s.cc must flag something" % rule)
+        expect(
+            all(r == rule for (_l, r) in got),
+            "bad_%s.cc must flag only [%s], got %r" % (rule, rule, got),
+        )
+
+    got = lint_one("bad_unordered_iter.cc")
+    expect(
+        got and all(r == "unordered-iter" for (_l, r) in got),
+        "bad_unordered_iter.cc must flag only [unordered-iter], got %r" % got,
+    )
+
+    # allow_ok.cc: every violation suppressed by well-formed allows.
+    expect(
+        lint_one("allow_ok.cc") == [],
+        "allow_ok.cc allows must suppress every violation",
+    )
+
+    # allow_exactly_one.cc: the allow covers one line; the second identical
+    # line two lines further down must still be flagged.
+    got = lint_one("allow_exactly_one.cc")
+    expect(
+        len(got) == 1 and got[0][1] == "chrono",
+        "allow_exactly_one.cc must flag exactly the unsuppressed chrono "
+        "line, got %r" % got,
+    )
+
+    # allow_missing_reason.cc: allow without reason -> allow-reason (plus
+    # the violation still suppressed? No: a reasonless allow still
+    # suppresses -- the allow-reason finding is the enforcement).
+    got = lint_one("allow_missing_reason.cc")
+    expect(
+        any(r == "allow-reason" for (_l, r) in got),
+        "allow_missing_reason.cc must flag allow-reason, got %r" % got,
+    )
+
+    # allow_unused.cc: allow matching nothing -> allow-unused.
+    got = lint_one("allow_unused.cc")
+    expect(
+        any(r == "allow-unused" for (_l, r) in got),
+        "allow_unused.cc must flag allow-unused, got %r" % got,
+    )
+
+    # Comments and strings must not trip rules.
+    expect(
+        lint_one("clean_comments.cc") == [],
+        "clean_comments.cc: rules must ignore comments and string literals",
+    )
+
+    if failures:
+        for f in failures:
+            print("self-test FAIL: %s" % f, file=sys.stderr)
+        return 2
+    print("lint_seam self-test: OK", file=sys.stderr)
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", help="repo root; lints the protocol dirs")
+    ap.add_argument(
+        "--self-test",
+        metavar="FIXTURES",
+        nargs="?",
+        const="",
+        help="run the fixture self-test (default fixtures dir: "
+        "<script>/../tests/lint_fixtures)",
+    )
+    ap.add_argument("files", nargs="*", help="individual files to lint")
+    args = ap.parse_args()
+
+    if args.self_test is not None:
+        fixtures = args.self_test or os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "..",
+            "tests",
+            "lint_fixtures",
+        )
+        return self_test(fixtures)
+    if args.root:
+        return run_tree(args.root)
+    if args.files:
+        return run_files(args.files)
+    ap.print_usage(sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

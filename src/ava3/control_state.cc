@@ -6,27 +6,27 @@ namespace ava3::core {
 
 void ControlState::IncUpdate(Version v) {
   latch_ops_.fetch_add(1, std::memory_order_relaxed);
-  Slot(update_counters_, v).Inc();
+  UpdateSlot(v).Inc();
 }
 
 void ControlState::DecUpdate(Version v) {
   latch_ops_.fetch_add(1, std::memory_order_relaxed);
-  if (Slot(update_counters_, v).Dec() == 0) {
-    FireWaiters(update_waiters_, v);
-    if (combined_) FireWaiters(query_waiters_, v);
+  if (UpdateSlot(v).Dec() == 0) {
+    FireWaiters(/*update_side=*/true, v);
+    if (combined_) FireWaiters(/*update_side=*/false, v);
   }
 }
 
 void ControlState::IncQuery(Version v) {
   latch_ops_.fetch_add(1, std::memory_order_relaxed);
-  Slot(QueryMap(), v).Inc();
+  QuerySlot(v).Inc();
 }
 
 void ControlState::DecQuery(Version v) {
   latch_ops_.fetch_add(1, std::memory_order_relaxed);
-  if (Slot(QueryMap(), v).Dec() == 0) {
-    FireWaiters(query_waiters_, v);
-    if (combined_) FireWaiters(update_waiters_, v);
+  if (QuerySlot(v).Dec() == 0) {
+    FireWaiters(/*update_side=*/false, v);
+    if (combined_) FireWaiters(/*update_side=*/true, v);
   }
 }
 
@@ -65,10 +65,11 @@ void ControlState::WhenQueryZero(Version v, std::function<void()> cb) {
   query_waiters_[v].push_back(std::move(cb));
 }
 
-void ControlState::FireWaiters(WaiterMap& waiters, Version v) {
+void ControlState::FireWaiters(bool update_side, Version v) {
   std::vector<std::function<void()>> fns;
   {
     rt::LatchGuard guard(latch_);
+    WaiterMap& waiters = update_side ? update_waiters_ : query_waiters_;
     auto it = waiters.find(v);
     if (it == waiters.end()) return;
     fns = std::move(it->second);

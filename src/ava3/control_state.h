@@ -45,6 +45,7 @@ class ControlState {
   /// fire in that node's runtime context.
   ControlState(rt::Runtime* runtime, NodeId node, bool combined)
       : runtime_(runtime), node_(node), combined_(combined) {
+    rt::LatchGuard guard(latch_);
     update_counters_[1];
     QueryMap()[0];
   }
@@ -127,21 +128,31 @@ class ControlState {
   using CounterMap = std::map<Version, rt::Counter>;
   using WaiterMap = std::map<Version, std::vector<std::function<void()>>>;
 
-  CounterMap& QueryMap() {
+  CounterMap& QueryMap() AVA3_REQUIRES(latch_) {
     return combined_ ? update_counters_ : query_counters_;
   }
-  const CounterMap& QueryMap() const {
+  const CounterMap& QueryMap() const AVA3_REQUIRES(latch_) {
     return combined_ ? update_counters_ : query_counters_;
   }
 
-  /// Find-or-insert of a counter slot under the latch; the returned
-  /// reference is stable (see CounterMap note).
-  rt::Counter& Slot(CounterMap& map, Version v) {
+  /// Find-or-insert of a counter slot under the latch. The returned
+  /// reference is stable (see CounterMap note) and the Counter it names is
+  /// an atomic used *unlatched* by design — the latch guards the map
+  /// structure, not the element values (§6.3).
+  rt::Counter& UpdateSlot(Version v) AVA3_EXCLUDES(latch_) {
     rt::LatchGuard guard(latch_);
-    return map[v];
+    return update_counters_[v];
+  }
+  rt::Counter& QuerySlot(Version v) AVA3_EXCLUDES(latch_) {
+    rt::LatchGuard guard(latch_);
+    return QueryMap()[v];
   }
 
-  void FireWaiters(WaiterMap& waiters, Version v);
+  /// Drains and fires the zero-waiters registered for `v` on the update
+  /// (true) or query (false) side. Selecting the member map inside the
+  /// latched region keeps guarded members from crossing the call boundary
+  /// by reference.
+  void FireWaiters(bool update_side, Version v) AVA3_EXCLUDES(latch_);
 
   rt::Runtime* runtime_;
   NodeId node_;
@@ -150,10 +161,10 @@ class ControlState {
   std::atomic<Version> q_{0};
   std::atomic<Version> g_{-1};
   mutable rt::Latch latch_;
-  CounterMap update_counters_;
-  CounterMap query_counters_;  // unused in combined mode
-  WaiterMap update_waiters_;
-  WaiterMap query_waiters_;
+  CounterMap update_counters_ AVA3_GUARDED_BY(latch_);
+  CounterMap query_counters_ AVA3_GUARDED_BY(latch_);  // unused if combined
+  WaiterMap update_waiters_ AVA3_GUARDED_BY(latch_);
+  WaiterMap query_waiters_ AVA3_GUARDED_BY(latch_);
   std::atomic<uint64_t> latch_ops_{0};
 };
 

@@ -67,6 +67,12 @@ struct CatalogOptions {
 /// draining flag) and once when ownership has transferred (so work routed
 /// before the move re-validates and gets rejected with a retryable
 /// kUnavailable, to be rerouted by the submitter).
+///
+/// Concurrency contract: lock-free by construction — every mutable member
+/// is a std::atomic and the vectors are sized once at construction. There
+/// is deliberately no capability here for the thread-safety analysis to
+/// track (nothing to annotate AVA3_GUARDED_BY against); the atomics ARE
+/// the contract, and structural changes ride RunExclusive safepoints.
 class Catalog {
  public:
   explicit Catalog(const CatalogOptions& options);

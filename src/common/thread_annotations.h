@@ -1,0 +1,85 @@
+#ifndef AVA3_COMMON_THREAD_ANNOTATIONS_H_
+#define AVA3_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety annotations for the AVA3 concurrency contracts.
+//
+// The codebase's correctness rests on three confinement rules (DESIGN.md
+// "Concurrency contracts & static analysis"):
+//
+//   1. *Per-node confinement*: engine state (stores, lock tables, txn
+//      runtimes) is touched only by closures running on that node's worker
+//      context. Such state carries NO capability annotation — the absence
+//      of a capability IS the contract, enforced by the runtime's
+//      one-closure-at-a-time-per-node mailbox discipline and checked
+//      dynamically by TSan.
+//   2. *Latched observability*: instruments with global visibility
+//      (Metrics' staleness map, TraceSink's direct log, HistoryRecorder,
+//      EngineBase's cross-node history/outcome maps) are guarded by an
+//      rt::Latch and annotated AVA3_GUARDED_BY so the compiler proves every
+//      access happens under the latch.
+//   3. *Runtime-seam primitives*: all blocking/synchronization in runtime
+//      code goes through the annotated rt::Mutex / rt::CondVar /
+//      rt::Notification wrappers (runtime/sync.h), never raw std::mutex —
+//      which is what lets the analysis see acquisitions at all (libstdc++'s
+//      std::mutex carries no annotations).
+//
+// Under clang, `-Wthread-safety` turns violations of rules 2 and 3 into
+// compile errors (the CI static-analysis lane builds with
+// -Werror=thread-safety). Under GCC every macro expands to nothing — the
+// annotations are contracts, not code — and the plain-GCC CI legs prove the
+// tree still builds without them.
+//
+// Macro set and semantics follow the clang Thread Safety Analysis
+// documentation; names are prefixed AVA3_ to keep the no-op guarantee
+// local to this header.
+
+#if defined(__clang__)
+#define AVA3_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AVA3_THREAD_ANNOTATION_(x)  // no-op: GCC and others
+#endif
+
+/// Declares a class to be a capability (a lockable resource). The string
+/// names the capability kind in diagnostics, e.g. "latch" or "mutex".
+#define AVA3_CAPABILITY(x) AVA3_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define AVA3_SCOPED_CAPABILITY AVA3_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member may only be accessed while holding the given capability.
+#define AVA3_GUARDED_BY(x) AVA3_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member: the *pointed-to* data is protected by the capability.
+#define AVA3_PT_GUARDED_BY(x) AVA3_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function acquires the capability (held on return, not on entry).
+#define AVA3_ACQUIRE(...) \
+  AVA3_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define AVA3_RELEASE(...) \
+  AVA3_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function may only be called while holding the capability.
+#define AVA3_REQUIRES(...) \
+  AVA3_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function may only be called while NOT holding the capability (deadlock
+/// prevention: it will acquire it itself).
+#define AVA3_EXCLUDES(...) AVA3_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define AVA3_TRY_ACQUIRE(...) \
+  AVA3_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define AVA3_RETURN_CAPABILITY(x) AVA3_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use in this
+/// codebase carries a comment naming the contract that substitutes for the
+/// static check (usually the quiesced-caller contract: the runtime is
+/// stopped or inside a RunExclusive safepoint, so no capability is needed).
+#define AVA3_NO_THREAD_SAFETY_ANALYSIS \
+  AVA3_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // AVA3_COMMON_THREAD_ANNOTATIONS_H_

@@ -250,7 +250,7 @@ void TraceSink::PushToRing(TraceEvent ev) {
   }
   // Unbound (external) threads — and stale bindings from another sink —
   // share ring 0; the mutex makes it effectively single-producer.
-  std::lock_guard<std::mutex> g(ext_mu_);
+  rt::MutexLock g(ext_mu_);
   RingPush(*rings_[0], std::move(ev));
 }
 
@@ -287,6 +287,7 @@ uint64_t TraceSink::dropped() const {
 
 std::vector<TraceEvent> TraceSink::Matching(const std::string& needle) const {
   std::vector<TraceEvent> out;
+  rt::LatchGuard guard(latch_);
   for (const auto& e : events_) {
     if (Render(e).find(needle) != std::string::npos) out.push_back(e);
   }
@@ -295,6 +296,7 @@ std::vector<TraceEvent> TraceSink::Matching(const std::string& needle) const {
 
 std::vector<TraceEvent> TraceSink::Matching(TraceKind kind) const {
   std::vector<TraceEvent> out;
+  rt::LatchGuard guard(latch_);
   for (const auto& e : events_) {
     if (e.kind == kind) out.push_back(e);
   }
@@ -304,6 +306,7 @@ std::vector<TraceEvent> TraceSink::Matching(TraceKind kind) const {
 std::vector<TraceEvent> TraceSink::Matching(TraceKind kind,
                                             TraceOp op) const {
   std::vector<TraceEvent> out;
+  rt::LatchGuard guard(latch_);
   for (const auto& e : events_) {
     if (e.kind == kind && e.op == op) out.push_back(e);
   }

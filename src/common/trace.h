@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "runtime/sync.h"
 
@@ -174,7 +174,7 @@ class TraceSink {
     return last_span_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  void Emit(TraceEvent ev) {
+  void Emit(TraceEvent ev) AVA3_EXCLUDES(latch_) {
     if (!enabled_) return;
     ev.seq = emit_seq_.fetch_add(1, std::memory_order_relaxed);
     if (!rings_.empty()) {
@@ -196,11 +196,23 @@ class TraceSink {
     Emit(std::move(ev));
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  /// Quiesced-caller contract (in lieu of the latch): callers read the
+  /// event log only after the run — post-Shutdown, inside a RunExclusive
+  /// safepoint, or on the single-threaded DES — so no emission is
+  /// concurrent and no capability is required.
+  const std::vector<TraceEvent>& events() const
+      AVA3_NO_THREAD_SAFETY_ANALYSIS {
+    return events_;
+  }
+  void Clear() AVA3_EXCLUDES(latch_) {
+    rt::LatchGuard guard(latch_);
+    events_.clear();
+  }
 
   /// Optional live listener (used by example binaries to stream the trace).
-  void SetListener(std::function<void(const TraceEvent&)> fn) {
+  void SetListener(std::function<void(const TraceEvent&)> fn)
+      AVA3_EXCLUDES(latch_) {
+    rt::LatchGuard guard(latch_);
     listener_ = std::move(fn);
   }
 
@@ -238,13 +250,13 @@ class TraceSink {
   std::atomic<uint64_t> last_span_{0};
   std::atomic<uint64_t> emit_seq_{0};
   mutable rt::Latch latch_;
-  std::vector<TraceEvent> events_;
-  std::function<void(const TraceEvent&)> listener_;
+  std::vector<TraceEvent> events_ AVA3_GUARDED_BY(latch_);
+  std::function<void(const TraceEvent&)> listener_ AVA3_GUARDED_BY(latch_);
   /// Ring mode storage: [0] external, [1 + worker] per worker. Empty in
   /// direct mode. unique_ptr keeps Ring addresses stable (atomics are not
   /// movable).
   std::vector<std::unique_ptr<Ring>> rings_;
-  std::mutex ext_mu_;
+  rt::Mutex ext_mu_;
 };
 
 }  // namespace ava3

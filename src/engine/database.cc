@@ -1,15 +1,12 @@
 #include "engine/database.h"
 
 #include <cassert>
-#include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <utility>
 
 #include "baselines/mvu_engine.h"
 #include "baselines/s2pl_engine.h"
+#include "runtime/sync.h"
 
 namespace ava3::db {
 
@@ -334,20 +331,18 @@ void Database::LoadInitial(NodeId node, ItemId item, int64_t value) {
 TxnResult Database::RunToCompletion(txn::TxnScript script) {
   if (options_.runtime == RuntimeKind::kThread) {
     // Block the caller until the completion callback fires on a worker.
-    std::mutex mu;
-    std::condition_variable cv;
-    std::optional<TxnResult> result;
+    // rt::Notification (shared with the callback, see its lifetime rule)
+    // is the runtime-seam wait: the result write happens-before Notify(),
+    // so the post-wait read needs no further synchronization.
+    auto done = std::make_shared<rt::Notification>();
+    auto result = std::make_shared<std::optional<TxnResult>>();
     engine_->Submit(NextTxnId(), std::move(script),
-                    [&mu, &cv, &result](const TxnResult& r) {
-                      {
-                        std::lock_guard<std::mutex> lk(mu);
-                        result = r;
-                      }
-                      cv.notify_all();
+                    [done, result](const TxnResult& r) {
+                      *result = r;
+                      done->Notify();
                     });
-    std::unique_lock<std::mutex> lk(mu);
-    cv.wait(lk, [&result] { return result.has_value(); });
-    return *result;
+    done->WaitForNotification();
+    return **result;
   }
   std::optional<TxnResult> result;
   engine_->Submit(NextTxnId(), std::move(script),
@@ -370,23 +365,16 @@ void Database::MovePartition(PartitionId p, NodeId dest,
 Status Database::MovePartitionSync(PartitionId p, NodeId dest) {
   if (options_.runtime == RuntimeKind::kThread) {
     // The callback runs on an engine worker thread; shared ownership keeps
-    // the mutex/cv alive through its notify even after the waiter returns.
-    struct Waiter {
-      std::mutex mu;
-      std::condition_variable cv;
-      std::optional<Status> result;
-    };
-    auto w = std::make_shared<Waiter>();
-    MovePartition(p, dest, [w](Status s) {
-      {
-        std::lock_guard<std::mutex> lk(w->mu);
-        w->result = std::move(s);
-      }
-      w->cv.notify_all();
+    // the Notification alive through its notify even after the waiter
+    // returns (the PR 8 sync-wrapper race, now structural in rt::Notification).
+    auto done = std::make_shared<rt::Notification>();
+    auto result = std::make_shared<std::optional<Status>>();
+    MovePartition(p, dest, [done, result](Status s) {
+      *result = std::move(s);
+      done->Notify();
     });
-    std::unique_lock<std::mutex> lk(w->mu);
-    w->cv.wait(lk, [&w] { return w->result.has_value(); });
-    return *w->result;
+    done->WaitForNotification();
+    return **result;
   }
   std::optional<Status> result;
   MovePartition(p, dest, [&result](Status s) { result = std::move(s); });
@@ -401,7 +389,10 @@ Status Database::MovePartitionSync(PartitionId p, NodeId dest) {
 
 void Database::RunFor(SimDuration d) {
   if (options_.runtime == RuntimeKind::kThread) {
-    std::this_thread::sleep_for(std::chrono::microseconds(d));
+    // Wall-clock pacing is the runtime's business: protocol code touching
+    // std::this_thread/std::chrono directly bypasses the seam (and now
+    // fails scripts/lint_seam.py).
+    thread_runtime_->SleepFor(d);
     return;
   }
   simulator_->RunUntil(simulator_->Now() + d);

@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/engine_iface.h"
 #include "lock/deadlock_detector.h"
 #include "lock/lock_manager.h"
@@ -625,11 +626,13 @@ class EngineBase : public Engine {
   /// writes its own transactions' entries, but the map structure is
   /// shared). Uncontended and inert under SimRuntime.
   rt::Latch shared_latch_;
-  std::unordered_map<TxnId, PendingHistory> pending_history_;
+  std::unordered_map<TxnId, PendingHistory> pending_history_
+      AVA3_GUARDED_BY(shared_latch_);
   /// The coordinator side's durable commit log: global version and
   /// decision time of every committed transaction, consulted by decision
   /// requests (a real system would truncate it at checkpoints).
-  std::unordered_map<TxnId, std::pair<Version, SimTime>> commit_outcomes_;
+  std::unordered_map<TxnId, std::pair<Version, SimTime>> commit_outcomes_
+      AVA3_GUARDED_BY(shared_latch_);
 };
 
 }  // namespace ava3::db

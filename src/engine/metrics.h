@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "runtime/sync.h"
 
@@ -271,7 +272,11 @@ class Metrics {
   Histogram commit_apply() const { return Merged(&Shard::commit_apply_); }
 
   /// First time any transaction committed in each version (global view).
-  const std::map<Version, SimTime>& first_commit_time() const {
+  /// Quiesced-caller contract (in lieu of the latch): reading the map by
+  /// reference is only sound when no shard is recording — post-run, inside
+  /// RunExclusive, or on the single-threaded DES.
+  const std::map<Version, SimTime>& first_commit_time() const
+      AVA3_NO_THREAD_SAFETY_ANALYSIS {
     return first_commit_time_;
   }
 
@@ -280,14 +285,15 @@ class Metrics {
   /// below min_g + 1, so RecordQueryStart's upper_bound can never land on
   /// the erased keys; pruning keeps long soaks at bounded memory without
   /// changing any staleness sample.
-  void PruneFirstCommitTimes(Version min_g) {
+  void PruneFirstCommitTimes(Version min_g) AVA3_EXCLUDES(latch_) {
     rt::LatchGuard guard(latch_);
     auto end = first_commit_time_.upper_bound(min_g);
     first_commit_entries_pruned_ +=
         static_cast<uint64_t>(std::distance(first_commit_time_.begin(), end));
     first_commit_time_.erase(first_commit_time_.begin(), end);
   }
-  uint64_t first_commit_entries_pruned() const {
+  uint64_t first_commit_entries_pruned() const AVA3_EXCLUDES(latch_) {
+    rt::LatchGuard guard(latch_);
     return first_commit_entries_pruned_;
   }
 
@@ -302,13 +308,15 @@ class Metrics {
  private:
   friend class Shard;
 
-  void NoteFirstCommit(Version commit_version, SimTime commit_time) {
+  void NoteFirstCommit(Version commit_version, SimTime commit_time)
+      AVA3_EXCLUDES(latch_) {
     rt::LatchGuard guard(latch_);
     auto [it, inserted] =
         first_commit_time_.try_emplace(commit_version, commit_time);
     if (!inserted && commit_time < it->second) it->second = commit_time;
   }
-  SimTime StalenessAt(Version snapshot, SimTime now) const {
+  SimTime StalenessAt(Version snapshot, SimTime now) const
+      AVA3_EXCLUDES(latch_) {
     rt::LatchGuard guard(latch_);
     auto it = first_commit_time_.upper_bound(snapshot);
     SimTime staleness = 0;
@@ -331,8 +339,8 @@ class Metrics {
 
   mutable rt::Latch latch_;  // guards first_commit_time_ + pruned counter
   std::vector<std::unique_ptr<Shard>> shards_;
-  uint64_t first_commit_entries_pruned_ = 0;
-  std::map<Version, SimTime> first_commit_time_;
+  uint64_t first_commit_entries_pruned_ AVA3_GUARDED_BY(latch_) = 0;
+  std::map<Version, SimTime> first_commit_time_ AVA3_GUARDED_BY(latch_);
 };
 
 }  // namespace ava3::db

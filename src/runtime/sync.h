@@ -2,8 +2,12 @@
 #define AVA3_RUNTIME_SYNC_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace ava3::rt {
 
@@ -12,30 +16,169 @@ namespace ava3::rt {
 /// latched counter increment per start/finish). Under SimRuntime every
 /// acquisition is uncontended — the DES is single-threaded — so the latch
 /// adds no scheduling and cannot perturb determinism; under ThreadRuntime
-/// it is a real mutex.
-class Latch {
+/// it is a real mutex. Annotated as a capability so clang's -Wthread-safety
+/// proves every AVA3_GUARDED_BY(latch) member is only touched under it.
+class AVA3_CAPABILITY("latch") Latch {
  public:
   Latch() = default;
   Latch(const Latch&) = delete;
   Latch& operator=(const Latch&) = delete;
 
-  void Lock() { mu_.lock(); }
-  void Unlock() { mu_.unlock(); }
+  void Lock() AVA3_ACQUIRE() { mu_.lock(); }
+  void Unlock() AVA3_RELEASE() { mu_.unlock(); }
 
  private:
   std::mutex mu_;
 };
 
 /// Scoped Latch holder.
-class LatchGuard {
+class AVA3_SCOPED_CAPABILITY LatchGuard {
  public:
-  explicit LatchGuard(Latch& latch) : latch_(latch) { latch_.Lock(); }
-  ~LatchGuard() { latch_.Unlock(); }
+  explicit LatchGuard(Latch& latch) AVA3_ACQUIRE(latch) : latch_(latch) {
+    latch_.Lock();
+  }
+  ~LatchGuard() AVA3_RELEASE() { latch_.Unlock(); }
   LatchGuard(const LatchGuard&) = delete;
   LatchGuard& operator=(const LatchGuard&) = delete;
 
  private:
   Latch& latch_;
+};
+
+/// Annotated mutex for *runtime-internal* blocking state (mailboxes, timer
+/// heaps, shutdown serialization). Distinct from Latch in role, not
+/// mechanics: a Latch guards a few instrument words and is never held
+/// across a wait; a Mutex may pair with CondVar and be held across
+/// scheduling decisions. Protocol code (src/ava3, src/engine, ...) may use
+/// Latch and the Notification below but never raw std::mutex — enforced by
+/// scripts/lint_seam.py.
+///
+/// Satisfies BasicLockable (lowercase lock/unlock) so std::unique_lock
+/// still works where a scoped MutexLock cannot; native() exposes the
+/// underlying std::mutex to CondVar only.
+class AVA3_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AVA3_ACQUIRE() { mu_.lock(); }
+  void Unlock() AVA3_RELEASE() { mu_.unlock(); }
+  // BasicLockable spelling for std::unique_lock<rt::Mutex>.
+  void lock() AVA3_ACQUIRE() { mu_.lock(); }
+  void unlock() AVA3_RELEASE() { mu_.unlock(); }
+
+  /// The raw mutex, for CondVar's adopt-lock wait dance only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped Mutex holder, relockable (the clang-documented MutexLocker
+/// shape): WorkerLoop-style code drops the lock around closure execution
+/// and retakes it, and the analysis tracks the held state across both.
+class AVA3_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AVA3_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() AVA3_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() AVA3_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+  void Lock() AVA3_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+  Mutex& mutex() { return mu_; }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable paired with rt::Mutex. Wait/WaitUntil take the
+/// caller's MutexLock; the capability is released for the duration of the
+/// wait and re-held on return, which is exactly what the (unannotated)
+/// signatures claim, so the analysis stays sound without special-casing.
+/// Implementation detail: std::condition_variable via an adopt/release
+/// dance on the native mutex, so the wait path costs the same as raw
+/// std::condition_variable use.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lk) {
+    std::unique_lock<std::mutex> ul(lk.mutex().native(), std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();
+  }
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    std::unique_lock<std::mutex> ul(lk.mutex().native(), std::adopt_lock);
+    const std::cv_status st = cv_.wait_until(ul, tp);
+    ul.release();
+    return st;
+  }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// One-shot level-triggered event: an external thread blocks in
+/// WaitForNotification() until a runtime callback calls Notify(). This is
+/// the one sanctioned way for protocol-facade code (Database's sync
+/// wrappers) to block on the runtime — raw mutex/cv pairs there have
+/// historically raced on teardown (the PR 8 sync-wrapper fix), so the
+/// pattern now lives here once.
+///
+/// Lifetime rule: when the notifier runs on a runtime worker and the waiter
+/// may return (and unwind its stack) as soon as the notification is
+/// observable, share the Notification via std::shared_ptr and capture the
+/// shared_ptr in the notifying closure. Notify() touches members after
+/// making `notified_` true (the cv notify and the mutex unlock), so a
+/// stack-owned Notification could be destroyed under it.
+class Notification {
+ public:
+  Notification() = default;
+  Notification(const Notification&) = delete;
+  Notification& operator=(const Notification&) = delete;
+
+  void Notify() {
+    MutexLock lk(mu_);
+    notified_ = true;
+    // Signaled while holding the mutex: a waiter cannot observe
+    // `notified_` and race ahead before the notify call completes.
+    cv_.NotifyAll();
+  }
+
+  bool HasBeenNotified() const {
+    MutexLock lk(mu_);
+    return notified_;
+  }
+
+  void WaitForNotification() {
+    MutexLock lk(mu_);
+    while (!notified_) cv_.Wait(lk);
+  }
+
+ private:
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool notified_ AVA3_GUARDED_BY(mu_) = false;
 };
 
 /// Atomic counter for the query/update transaction counts of Section 3.1.

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 namespace ava3::rt {
@@ -80,7 +83,7 @@ void ThreadRuntime::Shutdown() {
   // Serialize callers: whoever arrives second must not return while the
   // first is still joining workers — otherwise its caller could start
   // tearing down the engine with closures mid-execution.
-  std::lock_guard<std::mutex> shutdown_lk(shutdown_mu_);
+  MutexLock shutdown_lk(shutdown_mu_);
   if (!started_.load(std::memory_order_acquire)) {
     // Never started: no threads to join. Still mark stopped so later
     // sends/schedules are destroyed instead of enqueued.
@@ -89,8 +92,8 @@ void ThreadRuntime::Shutdown() {
     for (auto& w : workers_) {
       // Lock-then-notify: a worker either sees stop_ before sleeping or is
       // woken by the notification — no missed-wakeup window.
-      { std::lock_guard<std::mutex> lk(w->mu); }
-      w->cv.notify_all();
+      { MutexLock lk(w->mu); }
+      w->cv.NotifyAll();
     }
     for (auto& w : workers_) {
       if (w->thread.joinable()) w->thread.join();
@@ -104,7 +107,7 @@ void ThreadRuntime::Shutdown() {
     std::vector<TaskFn> mailbox;
     std::unordered_map<TimerId, TaskFn> timers;
     {
-      std::lock_guard<std::mutex> lk(w->mu);
+      MutexLock lk(w->mu);
       mailbox.swap(w->mailbox);
       timers.swap(w->timers);
       while (!w->heap.empty()) w->heap.pop();
@@ -133,7 +136,7 @@ TimerId ThreadRuntime::ScheduleOnWorker(int index, SimDuration delay,
       (static_cast<uint64_t>(index + 1) << kWorkerShift) | counter;
   const SimTime deadline = NowUs() + std::max<SimDuration>(delay, 0);
   {
-    std::lock_guard<std::mutex> lk(w.mu);
+    MutexLock lk(w.mu);
     // stop_ is checked under the same mutex Shutdown's sweep takes, so a
     // closure either lands before the sweep (and is swept) or sees stop_
     // and is destroyed right here — nothing lingers past Shutdown.
@@ -141,7 +144,7 @@ TimerId ThreadRuntime::ScheduleOnWorker(int index, SimDuration delay,
     w.timers.emplace(id, std::move(fn));
     w.heap.push(TimerEntry{deadline, id});
   }
-  w.cv.notify_one();
+  w.cv.NotifyOne();
   return id;
 }
 
@@ -160,13 +163,14 @@ bool ThreadRuntime::CancelTimer(TimerId id) {
   const int index = static_cast<int>(id >> kWorkerShift) - 1;
   if (index < 0 || index >= static_cast<int>(workers_.size())) return false;
   Worker& w = *workers_[index];
-  std::lock_guard<std::mutex> lk(w.mu);
+  MutexLock lk(w.mu);
   // The heap entry stays behind and is skipped when popped (its id no
   // longer resolves in `timers`).
   return w.timers.erase(id) > 0;
 }
 
-void ThreadRuntime::RunExclusive(const std::function<void()>& fn) {
+void ThreadRuntime::RunExclusive(const std::function<void()>& fn)
+    AVA3_NO_THREAD_SAFETY_ANALYSIS {
   // Stall the world by collecting every worker's exec_mu (WorkerLoop wraps
   // each closure in its exec_mu, so holding all of them proves no closure
   // is mid-execution). Two caller shapes must compose without deadlock or
@@ -192,18 +196,24 @@ void ThreadRuntime::RunExclusive(const std::function<void()>& fn) {
   // closure calls RunExclusive *before* mutating shared state (the
   // deadlock detector's closure does nothing else), since parking it here
   // lets another exclusive section run in between.
+  //
+  // The park/sweep acquires a caller-relative, dynamically sized set of
+  // capabilities — inexpressible in the static annotation language — so
+  // the analysis is disabled for this one function (see the declaration's
+  // AVA3_NO_THREAD_SAFETY_ANALYSIS); the deadlock-freedom argument above
+  // and the chaos-tsan lane stand in for it.
   const int self = tls_worker;
-  if (self >= 0) workers_[static_cast<size_t>(self)]->exec_mu.unlock();
+  if (self >= 0) workers_[static_cast<size_t>(self)]->exec_mu.Unlock();
   {
-    std::lock_guard<std::mutex> token(exclusive_mu_);
-    std::vector<std::unique_lock<std::mutex>> held;
+    MutexLock token(exclusive_mu_);
+    std::vector<std::unique_lock<Mutex>> held;
     held.reserve(workers_.size());
     for (auto& w : workers_) held.emplace_back(w->exec_mu);
     fn();
   }
   // Restore the caller's own exec_mu so the WorkerLoop guard that will
   // unlock it at closure end stays balanced.
-  if (self >= 0) workers_[static_cast<size_t>(self)]->exec_mu.lock();
+  if (self >= 0) workers_[static_cast<size_t>(self)]->exec_mu.Lock();
 }
 
 FaultStage::Verdict ThreadRuntime::FaultVerdict(NodeId from, NodeId to,
@@ -211,7 +221,7 @@ FaultStage::Verdict ThreadRuntime::FaultVerdict(NodeId from, NodeId to,
   const SimTime now = NowUs();
   const int slot = tls_worker + 1;  // external threads (-1) share slot 0
   if (slot == 0) {
-    std::lock_guard<std::mutex> lk(external_fault_mu_);
+    MutexLock lk(external_fault_mu_);
     return fault_stages_[0]->OnSend(now, from, to, kind);
   }
   return fault_stages_[static_cast<size_t>(slot)]->OnSend(now, from, to,
@@ -243,11 +253,11 @@ void ThreadRuntime::EnqueueDelivery(NodeId from, NodeId to, MsgKind kind,
   }
   Worker& w = *workers_[to];
   {
-    std::lock_guard<std::mutex> lk(w.mu);
+    MutexLock lk(w.mu);
     if (stop_.load(std::memory_order_acquire)) return;  // destroyed unrun
     w.mailbox.push_back(std::move(wrapped));
   }
-  w.cv.notify_one();
+  w.cv.NotifyOne();
 }
 
 void ThreadRuntime::Send(NodeId from, NodeId to, MsgKind kind,
@@ -381,7 +391,7 @@ void ThreadRuntime::WorkerLoop(int index) {
   // mailbox swap below recycles `mail`'s capacity back into the mailbox.
   std::vector<TaskFn> due;
   std::vector<TaskFn> mail;
-  std::unique_lock<std::mutex> lk(w.mu);
+  MutexLock lk(w.mu);
   while (!stop_.load(std::memory_order_acquire)) {
     const SimTime now = NowUs();
     // Collect every due timer (they are already late) and swap out the
@@ -400,7 +410,7 @@ void ThreadRuntime::WorkerLoop(int index) {
     }
     if (!w.mailbox.empty()) std::swap(mail, w.mailbox);
     if (!due.empty() || !mail.empty()) {
-      lk.unlock();
+      lk.Unlock();
       // Due timers run before mailbox messages. exec_mu is taken per
       // closure, not per batch, so RunExclusive's safepoint granularity is
       // unchanged: it can interpose between any two closures. Re-checking
@@ -409,29 +419,34 @@ void ThreadRuntime::WorkerLoop(int index) {
       for (auto& task : due) {
         if (stop_.load(std::memory_order_acquire)) break;
         seq_.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> ex(w.exec_mu);
+        MutexLock ex(w.exec_mu);
         task();
       }
       for (auto& task : mail) {
         if (stop_.load(std::memory_order_acquire)) break;
         seq_.fetch_add(1, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> ex(w.exec_mu);
+        MutexLock ex(w.exec_mu);
         task();
       }
       due.clear();  // destroy captures outside both locks
       mail.clear();
-      lk.lock();
+      lk.Lock();
       continue;
     }
     if (!w.heap.empty()) {
       // The top entry may be cancelled; waking at its deadline and
       // re-scanning is merely a spurious wakeup.
-      w.cv.wait_until(lk, start_tp_ + std::chrono::microseconds(
-                                          w.heap.top().deadline));
+      w.cv.WaitUntil(lk, start_tp_ + std::chrono::microseconds(
+                                         w.heap.top().deadline));
     } else {
-      w.cv.wait(lk);
+      w.cv.Wait(lk);
     }
   }
+}
+
+void ThreadRuntime::SleepFor(SimDuration d) const {
+  if (d <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(d));
 }
 
 }  // namespace ava3::rt

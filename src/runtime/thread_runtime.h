@@ -4,19 +4,19 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/trace.h"
 #include "runtime/fault.h"
 #include "runtime/runtime.h"
+#include "runtime/sync.h"
 
 namespace ava3::rt {
 
@@ -126,6 +126,13 @@ class ThreadRuntime final : public Runtime {
 
   const FaultPlan& fault_plan() const { return options_.faults; }
 
+  /// Blocks the *calling* (external) thread for `d` wall-clock
+  /// microseconds; the workers run on regardless. This is the runtime-seam
+  /// wait behind Database::RunFor — protocol code never touches
+  /// std::this_thread / std::chrono directly (scripts/lint_seam.py
+  /// enforces it), so wall-clock pacing lives here.
+  void SleepFor(SimDuration d) const;
+
   /// Attaches the trace sink before Start(). Remote sends then emit the
   /// same kMsgSend/Recv/Drop/Dup/Delay flow-paired events sim::Network
   /// produces (wall-clock timestamps), and each worker thread binds to its
@@ -146,9 +153,12 @@ class ThreadRuntime final : public Runtime {
   };
 
   /// One worker = one execution context (node 0..n-1, or the service
-  /// context at index n). `mu` guards mailbox + timers; `exec_mu` is held
-  /// exactly while a closure runs, so RunExclusive can stall the world by
-  /// collecting every exec_mu.
+  /// context at index n). `mu` guards mailbox + timers (annotated, so the
+  /// clang thread-safety lane proves it); `exec_mu` is held exactly while a
+  /// closure runs, so RunExclusive can stall the world by collecting every
+  /// exec_mu. exec_mu is a pure execution token — no data is GUARDED_BY it;
+  /// what it protects is the *absence of a running closure*, which is the
+  /// per-node confinement contract itself.
   ///
   /// The mailbox drains in batches: each wakeup swaps the whole vector out
   /// under one `mu` acquisition and executes the batch unlocked (due timers
@@ -156,13 +166,13 @@ class ThreadRuntime final : public Runtime {
   /// once per message. The swap recycles the drained vector's capacity back
   /// into the mailbox, keeping steady-state enqueues allocation-free.
   struct Worker {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::vector<TaskFn> mailbox;
+    Mutex mu;
+    CondVar cv;
+    std::vector<TaskFn> mailbox AVA3_GUARDED_BY(mu);
     std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater>
-        heap;
-    std::unordered_map<TimerId, TaskFn> timers;
-    std::mutex exec_mu;
+        heap AVA3_GUARDED_BY(mu);
+    std::unordered_map<TimerId, TaskFn> timers AVA3_GUARDED_BY(mu);
+    Mutex exec_mu;
     std::thread thread;
   };
 
@@ -195,9 +205,12 @@ class ThreadRuntime final : public Runtime {
   std::vector<std::unique_ptr<Worker>> workers_;  // size num_nodes_ + 1
   std::vector<std::unique_ptr<Rng>> rngs_;        // one per worker
   /// Fault stages, indexed worker+1; slot 0 serves external threads and is
-  /// guarded by external_fault_mu_. Empty when !message_faults_.
+  /// guarded by external_fault_mu_ (by convention — the vector itself is
+  /// immutable after construction, and slots 1.. are each confined to one
+  /// worker, so only slot 0's *use* needs the mutex). Empty when
+  /// !message_faults_.
   std::vector<std::unique_ptr<FaultStage>> fault_stages_;
-  std::mutex external_fault_mu_;
+  Mutex external_fault_mu_;
   std::unique_ptr<std::atomic<bool>[]> node_up_;
   std::chrono::steady_clock::time_point start_tp_;
   std::atomic<bool> started_{false};
@@ -205,11 +218,11 @@ class ThreadRuntime final : public Runtime {
   /// Serializes Shutdown callers so every one of them returns only after
   /// the join + queue drain completed (not merely after losing the
   /// stop_ exchange race).
-  std::mutex shutdown_mu_;
+  Mutex shutdown_mu_;
   /// RunExclusive token: callers take it before sweeping the exec_mus, so
   /// at most one world-stop is being assembled at a time (see the deadlock
   /// / livelock discussion in RunExclusive).
-  std::mutex exclusive_mu_;
+  Mutex exclusive_mu_;
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> next_timer_{1};
   std::array<std::atomic<uint64_t>, kNumMsgKinds> sent_{};

@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "runtime/sync.h"
 
@@ -62,20 +63,26 @@ class HistoryRecorder {
   /// Called once per committed transaction (updates: at the root's commit
   /// decision; queries: at root completion). Reads/writes from all
   /// subtransactions must already be merged in.
-  void Record(CommittedTxn txn) {
+  void Record(CommittedTxn txn) AVA3_EXCLUDES(latch_) {
     rt::LatchGuard guard(latch_);
     txns_.push_back(std::move(txn));
   }
 
-  const std::vector<CommittedTxn>& txns() const { return txns_; }
-  void Clear() {
+  /// Quiesced-caller contract (in lieu of the latch): the checker reads
+  /// the history only post-Shutdown or under the single-threaded DES, when
+  /// no Record() can be in flight.
+  const std::vector<CommittedTxn>& txns() const
+      AVA3_NO_THREAD_SAFETY_ANALYSIS {
+    return txns_;
+  }
+  void Clear() AVA3_EXCLUDES(latch_) {
     rt::LatchGuard guard(latch_);
     txns_.clear();
   }
 
  private:
   mutable rt::Latch latch_;
-  std::vector<CommittedTxn> txns_;
+  std::vector<CommittedTxn> txns_ AVA3_GUARDED_BY(latch_);
 };
 
 }  // namespace ava3::verify

@@ -1,0 +1,14 @@
+// Fixture: an allow suppresses exactly one line; the identical violation
+// further down must still be reported.
+namespace fixture {
+
+long A() {
+  // ava3-lint: allow(chrono) first call site is justified
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long B() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: an allow without a reason must be reported as allow-reason.
+namespace fixture {
+
+long A() {
+  // ava3-lint: allow(chrono)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

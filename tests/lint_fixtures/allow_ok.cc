@@ -1,0 +1,24 @@
+// Fixture: every violation carries a well-formed allow with a reason,
+// in both same-line and line-above placements.
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Sampler {
+  std::unordered_map<int, int> counts;
+
+  long WallClock() {
+    // ava3-lint: allow(chrono) boot-time banner only, never replayed
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+
+  int Total() {
+    int sum = 0;
+    for (const auto& [k, v] : counts) sum += v;  // ava3-lint: allow(unordered-iter) summation is commutative
+    (void)sum;
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: an allow that suppresses nothing must be reported as
+// allow-unused (dead allows hide future violations).
+namespace fixture {
+
+int A() {
+  // ava3-lint: allow(mutex) left behind after a refactor
+  return 42;
+}
+
+}  // namespace fixture

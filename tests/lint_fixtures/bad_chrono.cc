@@ -1,0 +1,14 @@
+// Fixture: direct wall-clock access, three spellings.
+#include <chrono>
+
+namespace fixture {
+
+long Now1() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long Now2() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+
+}  // namespace fixture

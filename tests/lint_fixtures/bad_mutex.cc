@@ -1,0 +1,17 @@
+// Fixture: raw standard-library locking instead of runtime/sync.h.
+#include <mutex>
+
+namespace fixture {
+
+struct Table {
+  std::mutex mu;
+  std::condition_variable cv;
+  int rows = 0;
+
+  void Add() {
+    std::lock_guard<std::mutex> lk(mu);
+    ++rows;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: ambient randomness bypassing the runtime's seeded streams.
+#include <random>
+
+namespace fixture {
+
+int Roll() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen());
+}
+
+int LegacyRoll() { return std::rand() % 6; }
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: OS sleeps in protocol code.
+namespace fixture {
+
+void Backoff() {
+  std::this_thread::sleep_for(Micros(100));
+}
+
+void LegacyBackoff() {
+  usleep(100);
+}
+
+}  // namespace fixture

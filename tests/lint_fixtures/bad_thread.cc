@@ -1,0 +1,16 @@
+// Fixture: raw threads — execution contexts belong to the runtime.
+#include <thread>
+
+namespace fixture {
+
+void Spawn() {
+  std::thread t([] {});
+  t.join();
+}
+
+void SpawnAsync() {
+  auto f = std::async([] { return 1; });
+  (void)f.get();
+}
+
+}  // namespace fixture

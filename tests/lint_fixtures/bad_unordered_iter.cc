@@ -1,0 +1,22 @@
+// Fixture: observable-order iteration over unordered containers.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Graph {
+  std::unordered_map<int, std::vector<int>> edges;
+  std::unordered_set<int> live;
+
+  std::vector<int> FirstVictims() {
+    std::vector<int> out;
+    for (const auto& [node, adj] : edges) {
+      if (!adj.empty()) out.push_back(node);
+    }
+    for (int n : live) out.push_back(n);
+    return out;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: forbidden tokens inside comments and string literals must not
+// trip the rules. std::mutex, std::thread, std::chrono — all commentary.
+#include <string>
+
+namespace fixture {
+
+/* Block comment mentioning std::rand() and
+   this_thread::sleep_for across lines. */
+std::string Doc() {
+  // Inline note: random_device is banned in protocol code.
+  std::string s = "uses std::mutex and steady_clock in a string";
+  const char* c = "std::thread";  /* trailing block with std::async */
+  (void)c;
+  return s;
+}
+
+}  // namespace fixture
